@@ -1,0 +1,522 @@
+// Command tmcheck is the model checker for transactional memories: it
+// regenerates every table and figure of Guerraoui, Henzinger and Singh,
+// "Model Checking Transactional Memories", and checks user-selected TMs
+// and words against the safety and liveness specifications.
+//
+// Usage:
+//
+//	tmcheck table1                 reproduce Table 1 (runs and words)
+//	tmcheck table2 [-n 2 -k 2]     reproduce Table 2 (safety verdicts)
+//	tmcheck table3 [-n 2 -k 1]     reproduce Table 3 (liveness verdicts)
+//	tmcheck specs  [-n 2 -k 2]     specification sizes and Theorem 3
+//	tmcheck figures                analyze the Figure 1 and 2 words
+//	tmcheck safety -tm NAME [-cm NAME] [-prop ss|op] [-n 2 -k 2]
+//	tmcheck liveness -tm NAME [-cm NAME] [-n 2 -k 1]
+//	tmcheck word -w "(r,1)1, c1" [-n N -k K]
+//	tmcheck all                    everything above with defaults
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tmcheck/internal/automata"
+	"tmcheck/internal/core"
+	"tmcheck/internal/explore"
+	"tmcheck/internal/liveness"
+	"tmcheck/internal/runtime"
+	"tmcheck/internal/safety"
+	"tmcheck/internal/spec"
+	"tmcheck/internal/tm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = runTable1(args)
+	case "table2":
+		err = runTable2(args)
+	case "table3":
+		err = runTable3(args)
+	case "specs":
+		err = runSpecs(args)
+	case "figures":
+		err = runFigures(args)
+	case "safety":
+		err = runSafety(args)
+	case "liveness":
+		err = runLiveness(args)
+	case "word":
+		err = runWord(args)
+	case "count":
+		err = runCount(args)
+	case "dot":
+		err = runDot(args)
+	case "trace":
+		err = runTrace(args)
+	case "methodology":
+		err = runMethodology(args)
+	case "all":
+		err = runAll()
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "tmcheck: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: tmcheck <command> [flags]
+
+commands:
+  table1     reproduce the paper's Table 1 (example runs and words)
+  table2     reproduce Table 2 (safety language inclusion)
+  table3     reproduce Table 3 (liveness model checking)
+  specs      specification sizes and nondet/det equivalence (Theorem 3)
+  figures    analyze the Figure 1 and Figure 2 example words
+  safety     check one TM against a safety property
+  liveness   check one TM (with a manager) against liveness properties
+  word       classify a word under both safety properties
+  count      count safe words and TM words per length (permissiveness)
+  dot        dump a TM transition system in Graphviz DOT format
+  trace      run an executable STM workload and check its recorded trace
+  methodology  run the full reduction methodology on one TM
+  all        run table1, table2, table3, specs and figures
+
+`)
+	fmt.Fprintf(os.Stderr, "algorithms: %s\n", strings.Join(tm.AlgorithmNames(), ", "))
+	fmt.Fprintf(os.Stderr, "managers:   %s\n", strings.Join(tm.ManagerNames(), ", "))
+}
+
+func runTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("Table 1: example runs and emitted words")
+	fmt.Printf("%-14s %-58s %s\n", "TM/schedule", "run", "word")
+	for _, sc := range explore.Table1Scenarios {
+		ts := explore.Build(sc.Alg(), nil)
+		run := ts.RunProgram(sc.Schedule, sc.Programs)
+		fmt.Printf("%-14s %-58s %s\n", sc.Name, explore.FormatRun(run), ts.WordOf(run))
+	}
+	return nil
+}
+
+func runTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ContinueOnError)
+	n := fs.Int("n", 2, "threads")
+	k := fs.Int("k", 2, "variables")
+	ext := fs.Bool("ext", false, "include the extension TMs (norec, etl) and broken variants")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("Table 2: safety verdicts on the most general program (%d threads, %d variables)\n", *n, *k)
+	fmt.Printf("%-15s %8s  %-22s %-22s\n", "TM", "size", "L(A) ⊆ L(Σss)", "L(A) ⊆ L(Σop)")
+	systems := safety.PaperSystems(*n, *k)
+	if *ext {
+		for _, name := range []string{"norec", "etl", "2pl-noreadlock", "dstm-novalidate"} {
+			alg, err := tm.NewAlgorithm(name, *n, *k)
+			if err != nil {
+				return err
+			}
+			systems = append(systems, safety.System{Alg: alg})
+		}
+	}
+	rows := safety.Table2(systems)
+	for _, row := range rows {
+		fmt.Printf("%-15s %8d  %-22s %-22s\n", row.SS.System, row.SS.TMStates,
+			verdict(row.SS), verdict(row.OP))
+		printCex(row.SS)
+		if row.SS.Holds || row.OP.Holds {
+			printCex(row.OP)
+		}
+	}
+	return nil
+}
+
+func verdict(r safety.Result) string {
+	if r.Holds {
+		return fmt.Sprintf("Y, %v", r.Elapsed.Round(10*time.Microsecond))
+	}
+	return fmt.Sprintf("N, %v", r.Elapsed.Round(10*time.Microsecond))
+}
+
+func printCex(r safety.Result) {
+	if !r.Holds {
+		fmt.Printf("    counterexample (%v): %s\n", r.Prop, r.Counterexample)
+	}
+}
+
+func runTable3(args []string) error {
+	fs := flag.NewFlagSet("table3", flag.ContinueOnError)
+	n := fs.Int("n", 2, "threads")
+	k := fs.Int("k", 1, "variables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("Table 3: liveness verdicts on the most general program (%d threads, %d variables)\n", *n, *k)
+	fmt.Printf("%-18s %6s  %-30s %-30s\n", "TM algorithm", "size", "obstruction freedom", "livelock freedom")
+	rows := liveness.Table3(liveness.PaperSystems(*n, *k))
+	for _, row := range rows {
+		fmt.Printf("%-18s %6d  %-30s %-30s\n", row.Obstruction.System, row.Obstruction.TMStates,
+			liveVerdict(row.Obstruction), liveVerdict(row.Livelock))
+	}
+	fmt.Println("(wait freedom fails for every system; it implies livelock freedom)")
+	return nil
+}
+
+func liveVerdict(r liveness.Result) string {
+	if r.Holds {
+		return fmt.Sprintf("Y, %v", r.Elapsed.Round(10*time.Microsecond))
+	}
+	return fmt.Sprintf("N, loop %s", r.LoopWord())
+}
+
+func runSpecs(args []string) error {
+	fs := flag.NewFlagSet("specs", flag.ContinueOnError)
+	n := fs.Int("n", 2, "threads")
+	k := fs.Int("k", 2, "variables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("TM specifications for %d threads and %d variables (§5.3)\n", *n, *k)
+	for _, prop := range []spec.Property{spec.StrictSerializability, spec.Opacity} {
+		nd := spec.NewNondet(prop, *n, *k).Enumerate()
+		dt := spec.NewDet(prop, *n, *k).Enumerate()
+		min := dt.Minimize()
+		fmt.Printf("%-24s nondet %6d states, det %6d states, minimal %6d states\n",
+			prop.String()+":", nd.NumStates(), dt.NumStates(), min.NumStates())
+		start := time.Now()
+		equal, fwd, cex := automata.EquivalentNFADFA(nd, dt)
+		elapsed := time.Since(start)
+		if equal {
+			fmt.Printf("%-24s L(nondet) = L(det) verified by antichain in %v (Theorem 3)\n",
+				"", elapsed.Round(time.Millisecond))
+		} else {
+			side := "nondet \\ det"
+			if !fwd {
+				side = "det \\ nondet"
+			}
+			ab := core.Alphabet{Threads: *n, Vars: *k}
+			fmt.Printf("%-24s EQUIVALENCE FAILS (%s): %s\n", "", side, ab.DecodeWord(cex))
+		}
+	}
+	return nil
+}
+
+func runFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cases := []struct {
+		name string
+		word string
+	}{
+		{"Figure 1(a)", "(w,1)2, (r,1)1, (r,2)3, c2, (w,2)1, (r,1)3, c1, c3"},
+		{"Figure 1(b)", "(w,1)2, (r,2)2, (r,3)3, (r,1)1, c2, (w,2)3, (w,3)1, c1, c3"},
+		{"Figure 2(a)", "(w,1)2, (r,1)1, (r,2)3, c2, (w,2)1, (r,1)3, c1"},
+		{"Figure 2(b)", "(w,1)2, (r,1)1, c2, (r,2)3, a3, (w,2)1, c1"},
+		{"Table 2 w1", "(w,2)1, (w,1)2, (r,2)2, (r,1)1, c2, c1"},
+	}
+	fmt.Println("Safety classification of the paper's example words")
+	fmt.Printf("%-12s %-62s %-8s %s\n", "figure", "word", "strict", "opaque")
+	for _, c := range cases {
+		w := core.MustParseWord(c.word)
+		fmt.Printf("%-12s %-62s %-8v %v\n", c.name, c.word,
+			core.IsStrictlySerializable(w), core.IsOpaque(w))
+	}
+	return nil
+}
+
+func runSafety(args []string) error {
+	fs := flag.NewFlagSet("safety", flag.ContinueOnError)
+	tmName := fs.String("tm", "dstm", "TM algorithm")
+	cmName := fs.String("cm", "", "contention manager (optional)")
+	propName := fs.String("prop", "op", "property: ss or op")
+	n := fs.Int("n", 2, "threads")
+	k := fs.Int("k", 2, "variables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	alg, err := tm.NewAlgorithm(*tmName, *n, *k)
+	if err != nil {
+		return err
+	}
+	cm, err := tm.NewContentionManager(*cmName)
+	if err != nil {
+		return err
+	}
+	prop := spec.Opacity
+	if *propName == "ss" {
+		prop = spec.StrictSerializability
+	}
+	res := safety.Verify(alg, cm, prop)
+	fmt.Printf("system:         %s\n", res.System)
+	fmt.Printf("property:       %v (%d threads, %d variables)\n", res.Prop, res.Threads, res.Vars)
+	fmt.Printf("TM states:      %d\n", res.TMStates)
+	fmt.Printf("spec states:    %d\n", res.SpecStates)
+	if res.Holds {
+		fmt.Printf("verdict:        SAFE (inclusion holds, %v)\n", res.Elapsed.Round(10*time.Microsecond))
+	} else {
+		fmt.Printf("verdict:        UNSAFE (%v)\n", res.Elapsed.Round(10*time.Microsecond))
+		fmt.Printf("counterexample: %s\n", res.Counterexample)
+		fmt.Println()
+		fmt.Print(safety.Explain(res))
+	}
+	return nil
+}
+
+func runLiveness(args []string) error {
+	fs := flag.NewFlagSet("liveness", flag.ContinueOnError)
+	tmName := fs.String("tm", "dstm", "TM algorithm")
+	cmName := fs.String("cm", "aggressive", "contention manager (optional)")
+	n := fs.Int("n", 2, "threads")
+	k := fs.Int("k", 1, "variables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	alg, err := tm.NewAlgorithm(*tmName, *n, *k)
+	if err != nil {
+		return err
+	}
+	cm, err := tm.NewContentionManager(*cmName)
+	if err != nil {
+		return err
+	}
+	ts := explore.Build(alg, cm)
+	fmt.Printf("system: %s (%d states)\n", ts.Name(), ts.NumStates())
+	for _, res := range []liveness.Result{
+		liveness.CheckObstructionFreedom(ts),
+		liveness.CheckLivelockFreedom(ts),
+		liveness.CheckWaitFreedom(ts),
+	} {
+		if res.Holds {
+			fmt.Printf("%-22s HOLDS (%v)\n", res.Prop.String()+":", res.Elapsed.Round(10*time.Microsecond))
+		} else {
+			fmt.Printf("%-22s FAILS, loop: %s\n", res.Prop.String()+":", res.LoopWord())
+		}
+	}
+	return nil
+}
+
+func runWord(args []string) error {
+	fs := flag.NewFlagSet("word", flag.ContinueOnError)
+	in := fs.String("w", "", "word in the paper's notation, e.g. \"(r,1)1, c1\"")
+	semName := fs.String("sem", "deferred", "conflict semantics: deferred, direct, or mixed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("word: missing -w")
+	}
+	w, err := core.ParseWord(*in)
+	if err != nil {
+		return fmt.Errorf("word: %w", err)
+	}
+	var sem core.Semantics
+	switch *semName {
+	case "deferred":
+		sem = core.DeferredUpdate
+	case "direct":
+		sem = core.DirectUpdate
+	case "mixed":
+		sem = core.MixedInvalidation
+	default:
+		return fmt.Errorf("word: unknown semantics %q (deferred, direct, mixed)", *semName)
+	}
+	fmt.Printf("word:                   %s\n", w)
+	fmt.Printf("semantics:              %v\n", sem)
+	fmt.Printf("threads:                %d, variables: %d\n", len(w.Threads()), len(w.Vars()))
+	fmt.Printf("sequential:             %v\n", core.IsSequential(w))
+	fmt.Printf("strictly serializable:  %v\n", core.IsStrictlySerializableUnder(w, sem))
+	fmt.Printf("opaque:                 %v\n", core.IsOpaqueUnder(w, sem))
+	if seq, ok := core.Sequentialize(w, true, sem); ok {
+		fmt.Printf("witness serialization:  %s\n", seq)
+	} else if g := core.BuildConflictGraphUnder(w, sem); !g.Acyclic() {
+		cyc := g.Cycle()
+		names := make([]string, len(cyc))
+		for i, ti := range cyc {
+			x := g.Txs[ti]
+			names[i] = fmt.Sprintf("T%d.%d", x.Thread+1, x.Seq+1)
+		}
+		fmt.Printf("conflict cycle:         %s\n", strings.Join(names, " < "))
+	}
+	return nil
+}
+
+func runAll() error {
+	if err := runTable1(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runTable2(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runTable3(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runSpecs(nil); err != nil {
+		return err
+	}
+	fmt.Println()
+	return runFigures(nil)
+}
+
+func runCount(args []string) error {
+	fs := flag.NewFlagSet("count", flag.ContinueOnError)
+	n := fs.Int("n", 2, "threads")
+	k := fs.Int("k", 2, "variables")
+	maxLen := fs.Int("len", 8, "maximum word length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ssCounts := automata.CountWords(spec.NewDet(spec.StrictSerializability, *n, *k).Enumerate(), *maxLen)
+	opCounts := automata.CountWords(spec.NewDet(spec.Opacity, *n, *k).Enumerate(), *maxLen)
+
+	type row struct {
+		name   string
+		counts []uint64
+		exact  bool
+	}
+	rows := []row{
+		{"πss (all strictly serializable words)", ssCounts, true},
+		{"πop (all opaque words)", opCounts, true},
+	}
+	for _, name := range []string{"seq", "2pl", "dstm", "tl2"} {
+		alg, err := tm.NewAlgorithm(name, *n, *k)
+		if err != nil {
+			return err
+		}
+		ts := explore.Build(alg, nil)
+		counts, ok := automata.CountWordsNFA(ts.NFA(), *maxLen, 500000)
+		rows = append(rows, row{"L(" + name + ")", counts, ok})
+	}
+	fmt.Printf("Words per length over %d threads, %d variables (permissiveness)\n", *n, *k)
+	fmt.Printf("%-40s", "language")
+	for l := 0; l <= *maxLen; l++ {
+		fmt.Printf(" %9d", l)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-40s", r.name)
+		if !r.exact {
+			fmt.Println(" (subset construction exceeded bound)")
+			continue
+		}
+		for l := 0; l <= *maxLen; l++ {
+			fmt.Printf(" %9d", r.counts[l])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nEvery TM language stays below the corresponding safe-word count;")
+	fmt.Println("the gap measures how much concurrency the TM forgoes for safety.")
+	return nil
+}
+
+func runDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ContinueOnError)
+	tmName := fs.String("tm", "seq", "TM algorithm")
+	cmName := fs.String("cm", "", "contention manager (optional)")
+	n := fs.Int("n", 2, "threads")
+	k := fs.Int("k", 1, "variables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	alg, err := tm.NewAlgorithm(*tmName, *n, *k)
+	if err != nil {
+		return err
+	}
+	cm, err := tm.NewContentionManager(*cmName)
+	if err != nil {
+		return err
+	}
+	ts := explore.Build(alg, cm)
+	fmt.Fprintf(os.Stderr, "%s: %d states, %d edges\n", ts.Name(), ts.NumStates(), ts.NumEdges())
+	return ts.WriteDOT(os.Stdout)
+}
+
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	stmName := fs.String("stm", "tl2", "executable STM: tl2, dstm, norec, 2pl, or glock")
+	k := fs.Int("k", 3, "variables")
+	threads := fs.Int("threads", 3, "goroutines")
+	count := fs.Int("count", 20, "transfers per goroutine")
+	seed := fs.Int64("seed", 1, "workload seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rec := &runtime.Recorder{}
+	var stm runtime.STM
+	switch *stmName {
+	case "tl2":
+		stm = runtime.NewTL2STM(*k, rec)
+	case "dstm":
+		stm = runtime.NewDSTMSTM(*k, rec)
+	case "norec":
+		stm = runtime.NewNOrecSTM(*k, rec)
+	case "2pl":
+		stm = runtime.NewTwoPLSTM(*k, rec)
+	case "glock":
+		stm = runtime.NewGLockSTM(*k, rec)
+	default:
+		return fmt.Errorf("trace: unknown STM %q (tl2, dstm, norec, 2pl, glock)", *stmName)
+	}
+	const initial = 100
+	sum := runtime.RunTransfers(stm, *k, *threads, *count, 10, *seed, initial)
+	trace := rec.Word()
+	fmt.Printf("system:    %s (%d goroutines, %d vars, %d transfers each)\n",
+		stm.Name(), *threads, *k, *count)
+	fmt.Printf("invariant: sum = %d, want %d\n", sum, *k*initial)
+	fmt.Printf("trace:     %d statements\n", len(trace))
+	fmt.Printf("oracle:    opaque = %v\n", core.IsOpaque(trace))
+	mon := spec.NewMonitor(spec.Opacity, *threads, *k)
+	if mon.Feed(trace) {
+		fmt.Println("monitor:   opaque = true")
+	} else {
+		s, pos, _ := mon.Violation()
+		fmt.Printf("monitor:   VIOLATION at statement %d: %v\n", pos+1, s)
+	}
+	return nil
+}
+
+func runMethodology(args []string) error {
+	fs := flag.NewFlagSet("methodology", flag.ContinueOnError)
+	tmName := fs.String("tm", "dstm", "TM algorithm")
+	seed := fs.Int64("seed", 1, "sampler seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	name := *tmName
+	factory := func(n, k int) tm.Algorithm {
+		alg, err := tm.NewAlgorithm(name, n, k)
+		if err != nil {
+			panic(err)
+		}
+		return alg
+	}
+	if _, err := tm.NewAlgorithm(name, 2, 2); err != nil {
+		return err
+	}
+	rep := safety.VerifyViaReduction(name, factory, *seed)
+	fmt.Print(rep)
+	return nil
+}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errCh := make(chan error, 1)
+	go func() { errCh <- f() }()
+	runErr := <-errCh
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	// Drain any remainder.
+	for {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil || n == len(buf) {
+			break
+		}
+	}
+	if runErr != nil {
+		t.Fatalf("command failed: %v", runErr)
+	}
+	return string(buf[:n])
+}
+
+func TestRunTable1(t *testing.T) {
+	out := captureStdout(t, func() error { return runTable1(nil) })
+	for _, want := range []string{
+		"Table 1",
+		"(rl,1)1, (r,1)1, (wl,2)1, (w,2)1, c1, (wl,2)2",
+		"(r,1)1, (o,1)2, (w,1)2, v2, c2, (o,2)1, (w,2)1, a1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	out := captureStdout(t, func() error { return runTable2(nil) })
+	for _, want := range []string{"seq", "modtl2+polite", "counterexample", "Y,", "N,"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	out := captureStdout(t, func() error { return runTable3(nil) })
+	for _, want := range []string{"dstm+aggressive", "loop a1", "Y,"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 output missing %q", want)
+		}
+	}
+}
+
+func TestRunSpecs(t *testing.T) {
+	out := captureStdout(t, func() error { return runSpecs(nil) })
+	for _, want := range []string{"Theorem 3", "opacity", "minimal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("specs output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "EQUIVALENCE FAILS") {
+		t.Error("spec equivalence failed")
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	out := captureStdout(t, func() error { return runFigures(nil) })
+	if !strings.Contains(out, "Figure 2(b)") {
+		t.Error("figures output missing Figure 2(b)")
+	}
+}
+
+func TestRunSafetyVerdicts(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return runSafety([]string{"-tm", "modtl2", "-cm", "polite", "-prop", "ss"})
+	})
+	for _, want := range []string{"UNSAFE", "counterexample", "must precede"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("safety output missing %q:\n%s", want, out)
+		}
+	}
+	out = captureStdout(t, func() error {
+		return runSafety([]string{"-tm", "dstm", "-prop", "op"})
+	})
+	if !strings.Contains(out, "SAFE") {
+		t.Errorf("safety output missing SAFE verdict:\n%s", out)
+	}
+}
+
+func TestRunLiveness(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return runLiveness([]string{"-tm", "dstm", "-cm", "aggressive"})
+	})
+	for _, want := range []string{"obstruction freedom", "HOLDS", "livelock freedom", "FAILS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("liveness output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWord(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return runWord([]string{"-w", "(w,2)1, (w,1)2, (r,2)2, (r,1)1, c2, c1"})
+	})
+	for _, want := range []string{"strictly serializable:  false", "conflict cycle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("word output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWordErrors(t *testing.T) {
+	if err := runWord([]string{"-w", "(x,1)1"}); err == nil {
+		t.Error("bad word should error")
+	}
+	if err := runWord(nil); err == nil {
+		t.Error("missing -w should error")
+	}
+}
+
+func TestRunCount(t *testing.T) {
+	out := captureStdout(t, func() error { return runCount([]string{"-len", "4"}) })
+	for _, want := range []string{"πss", "L(dstm)", "permissiveness"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("count output missing %q", want)
+		}
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return runTrace([]string{"-stm", "tl2", "-threads", "2", "-count", "5"})
+	})
+	for _, want := range []string{"invariant", "opaque = true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+	if err := runTrace([]string{"-stm", "nope"}); err == nil {
+		t.Error("unknown STM should error")
+	}
+}
+
+func TestRunMethodology(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return runMethodology([]string{"-tm", "2pl"})
+	})
+	if !strings.Contains(out, "ALL programs") {
+		t.Errorf("methodology output missing conclusion:\n%s", out)
+	}
+	if err := runMethodology([]string{"-tm", "nope"}); err == nil {
+		t.Error("unknown TM should error")
+	}
+}
+
+func TestRunDot(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return runDot([]string{"-tm", "seq", "-k", "1"})
+	})
+	if !strings.Contains(out, "digraph") {
+		t.Errorf("dot output missing digraph:\n%s", out)
+	}
+}
+
+func TestUnknownAlgorithmErrors(t *testing.T) {
+	if err := runSafety([]string{"-tm", "nope"}); err == nil {
+		t.Error("unknown TM should error")
+	}
+	if err := runLiveness([]string{"-cm", "nope"}); err == nil {
+		t.Error("unknown manager should error")
+	}
+}

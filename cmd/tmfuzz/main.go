@@ -1,0 +1,89 @@
+// Command tmfuzz continuously cross-validates the TM specifications
+// against the semantic oracles on randomized and directed words, printing
+// throughput and stopping on the first disagreement (or after -n words).
+// It is the standalone version of the fuzz used throughout the test suite
+// — run it longer when touching the specification code:
+//
+//	go run ./cmd/tmfuzz -threads 3 -vars 3 -n 1000000
+//	go run ./cmd/tmfuzz -directed -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"tmcheck/internal/core"
+	"tmcheck/internal/spec"
+	"tmcheck/internal/wordgen"
+)
+
+func main() {
+	threads := flag.Int("threads", 3, "threads")
+	vars := flag.Int("vars", 2, "variables")
+	maxLen := flag.Int("len", 12, "maximum word length")
+	count := flag.Int("n", 200000, "words to check (0 = run forever)")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "random seed")
+	directed := flag.Bool("directed", false, "use directed generators only")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	cfg := wordgen.Config{Threads: *threads, Vars: *vars, Len: *maxLen}
+	ndSS := spec.NewNondet(spec.StrictSerializability, *threads, *vars)
+	ndOP := spec.NewNondet(spec.Opacity, *threads, *vars)
+	dtSS := spec.NewDet(spec.StrictSerializability, *threads, *vars)
+	dtOP := spec.NewDet(spec.Opacity, *threads, *vars)
+
+	fmt.Printf("fuzzing specs vs oracles at (%d threads, %d vars), seed %d\n",
+		*threads, *vars, *seed)
+	start := time.Now()
+	checked := 0
+	report := func() {
+		rate := float64(checked) / time.Since(start).Seconds()
+		fmt.Printf("  %d words checked (%.0f/s)\n", checked, rate)
+	}
+	for *count == 0 || checked < *count {
+		var w core.Word
+		switch {
+		case *directed, rng.Intn(3) == 0:
+			w = wordgen.Directed(rng, cfg)
+		default:
+			cfg.Len = 4 + rng.Intn(*maxLen-3)
+			w = wordgen.WellFormed(rng, cfg)
+			cfg.Len = *maxLen
+		}
+		if len(w.Threads()) > *threads {
+			continue
+		}
+		wantSS := core.IsStrictlySerializable(w)
+		wantOP := core.IsOpaque(w)
+		fail := func(which string, got, want bool) {
+			fmt.Fprintf(os.Stderr, "\nDISAGREEMENT (%s): got %v want %v\n  word: %s\n  seed: %d\n",
+				which, got, want, w, *seed)
+			os.Exit(1)
+		}
+		if got := ndSS.Accepts(w); got != wantSS {
+			fail("nondet πss", got, wantSS)
+		}
+		if got := dtSS.Accepts(w); got != wantSS {
+			fail("det πss", got, wantSS)
+		}
+		if got := ndOP.Accepts(w); got != wantOP {
+			fail("nondet πop", got, wantOP)
+		}
+		if got := dtOP.Accepts(w); got != wantOP {
+			fail("det πop", got, wantOP)
+		}
+		if wantOP && !wantSS {
+			fail("oracle internal (πop ⊆ πss)", true, false)
+		}
+		checked++
+		if checked%50000 == 0 {
+			report()
+		}
+	}
+	report()
+	fmt.Println("no disagreements")
+}

@@ -1,0 +1,17 @@
+// Package tmcheck is a model checker for transactional memories,
+// reproducing Guerraoui, Henzinger and Singh, "Model Checking
+// Transactional Memories" (PLDI 2008; extended version).
+//
+// The library verifies safety (strict serializability, opacity) and
+// liveness (obstruction freedom, livelock freedom, wait freedom) of TM
+// algorithms — sequential, two-phase locking, DSTM, TL2, and user-defined
+// ones — by reducing the unbounded verification problem to finite-state
+// language inclusion and loop detection, following the paper's reduction
+// theorems.
+//
+// See the packages under internal/ for the components (core framework,
+// automata substrate, TM algorithms, specifications, explorer, checkers),
+// cmd/tmcheck for the command-line driver, and examples/ for runnable
+// walkthroughs. The root package exists for documentation and for the
+// module-level benchmark suite in bench_test.go.
+package tmcheck

@@ -1,0 +1,3 @@
+module tmcheck
+
+go 1.22

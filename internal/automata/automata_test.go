@@ -1,0 +1,484 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitSetBasics(t *testing.T) {
+	b := NewBitSet(130)
+	if !b.Empty() || b.Len() != 0 || b.Cap() != 130 {
+		t.Fatal("fresh bitset should be empty")
+	}
+	b.Add(0)
+	b.Add(64)
+	b.Add(129)
+	if b.Len() != 3 || !b.Has(64) || b.Has(63) {
+		t.Errorf("bitset contents wrong: %v", b.Members())
+	}
+	got := b.Members()
+	want := []int{0, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+	c := b.Clone()
+	c.Add(5)
+	if b.Has(5) {
+		t.Error("Clone shares storage")
+	}
+	if !b.SubsetOf(c) || c.SubsetOf(b) {
+		t.Error("subset relation wrong")
+	}
+	if b.Equal(c) || !b.Equal(b.Clone()) {
+		t.Error("equality wrong")
+	}
+}
+
+func TestBitSetHashDistinguishes(t *testing.T) {
+	a := NewBitSet(64)
+	b := NewBitSet(64)
+	a.Add(1)
+	b.Add(2)
+	if a.Hash() == b.Hash() {
+		t.Error("distinct singletons hashed equal (possible but suspicious)")
+	}
+	b2 := NewBitSet(64)
+	b2.Add(2)
+	if b.Hash() != b2.Hash() {
+		t.Error("equal sets must hash equal")
+	}
+}
+
+// chain builds the NFA accepting prefixes of the single word given.
+func chain(alphabet int, word []int) *NFA {
+	a := NewNFA(alphabet)
+	cur := a.Initial()
+	for _, l := range word {
+		next := a.AddState()
+		a.AddEdge(cur, l, next)
+		cur = next
+	}
+	return a
+}
+
+func TestNFAAccepts(t *testing.T) {
+	a := chain(3, []int{0, 1, 2})
+	for _, tc := range []struct {
+		w    []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{0}, true},
+		{[]int{0, 1}, true},
+		{[]int{0, 1, 2}, true},
+		{[]int{1}, false},
+		{[]int{0, 1, 2, 0}, false},
+		{[]int{0, 2}, false},
+	} {
+		if got := a.Accepts(tc.w); got != tc.want {
+			t.Errorf("Accepts(%v) = %v, want %v", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestNFAEpsilon(t *testing.T) {
+	// 0 --ε--> 1 --a--> 2, so "a" is accepted from 0 via the ε-hop.
+	a := NewNFA(2)
+	s1 := a.AddState()
+	s2 := a.AddState()
+	a.AddEps(a.Initial(), s1)
+	a.AddEdge(s1, 0, s2)
+	if !a.Accepts([]int{0}) {
+		t.Error("ε-transition not followed")
+	}
+	if a.Accepts([]int{1}) {
+		t.Error("letter 1 should be rejected")
+	}
+	init := a.InitialSet()
+	if init.Len() != 2 || !init.Has(0) || !init.Has(s1) {
+		t.Errorf("InitialSet = %v", init.Members())
+	}
+}
+
+func TestNFAEpsilonChainClosure(t *testing.T) {
+	// ε-closure must be transitive.
+	a := NewNFA(1)
+	s1 := a.AddState()
+	s2 := a.AddState()
+	s3 := a.AddState()
+	a.AddEps(0, s1)
+	a.AddEps(s1, s2)
+	a.AddEps(s2, s3)
+	a.AddEdge(s3, 0, 0)
+	if !a.Accepts([]int{0, 0}) {
+		t.Error("transitive ε-closure failed")
+	}
+	if got := a.CountReachable(); got != 4 {
+		t.Errorf("CountReachable = %d, want 4", got)
+	}
+}
+
+func TestDeterminizeSimple(t *testing.T) {
+	// Nondeterministic automaton: on letter 0 go to a state that allows 1,
+	// or to a state that allows 2. The language {ε, 0, 01, 02}.
+	a := NewNFA(3)
+	p := a.AddState()
+	q := a.AddState()
+	a.AddEdge(0, 0, p)
+	a.AddEdge(0, 0, q)
+	a.AddEdge(p, 1, p)
+	a.AddEdge(q, 2, q)
+	d := a.Determinize()
+	for _, tc := range []struct {
+		w    []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{0}, true},
+		{[]int{0, 1}, true},
+		{[]int{0, 2}, true},
+		{[]int{0, 1, 2}, false},
+		{[]int{1}, false},
+	} {
+		if got := d.Accepts(tc.w); got != tc.want {
+			t.Errorf("DFA.Accepts(%v) = %v, want %v", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestDeterminizeBoundedError(t *testing.T) {
+	// An NFA whose subset construction needs more than 2 states.
+	a := NewNFA(2)
+	p := a.AddState()
+	q := a.AddState()
+	a.AddEdge(0, 0, p)
+	a.AddEdge(0, 0, q)
+	a.AddEdge(p, 0, p)
+	a.AddEdge(q, 1, q)
+	if _, err := a.DeterminizeBounded(1); err == nil {
+		t.Error("want error from bounded determinization")
+	}
+	if _, err := a.DeterminizeBounded(16); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestDFABasics(t *testing.T) {
+	d := NewDFA(2)
+	s1 := d.AddState()
+	d.SetEdge(0, 0, s1)
+	d.SetEdge(s1, 1, 0)
+	if !d.Accepts([]int{0, 1, 0, 1}) {
+		t.Error("alternating word should be accepted")
+	}
+	if d.Accepts([]int{1}) {
+		t.Error("letter 1 undefined from initial state")
+	}
+	if d.Succ(0, 1) != -1 || d.Succ(0, 0) != s1 {
+		t.Error("Succ wrong")
+	}
+}
+
+func TestDFATrim(t *testing.T) {
+	d := NewDFA(1)
+	s1 := d.AddState()
+	d.AddState() // unreachable
+	d.SetEdge(0, 0, s1)
+	trimmed := d.Trim()
+	if trimmed.NumStates() != 2 {
+		t.Errorf("Trim left %d states, want 2", trimmed.NumStates())
+	}
+	if !trimmed.Accepts([]int{0}) || trimmed.Accepts([]int{0, 0}) {
+		t.Error("Trim changed the language")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	// Two redundant paths recognizing prefixes of 0·0: states 1 and 2 are
+	// language-equivalent.
+	d := NewDFA(2)
+	s1 := d.AddState()
+	s2 := d.AddState()
+	s3 := d.AddState()
+	d.SetEdge(0, 0, s1)
+	d.SetEdge(0, 1, s2)
+	d.SetEdge(s1, 0, s3)
+	d.SetEdge(s2, 0, s3)
+	m := d.Minimize()
+	if m.NumStates() != 3 {
+		t.Errorf("Minimize left %d states, want 3", m.NumStates())
+	}
+	for _, tc := range []struct {
+		w    []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{0}, true},
+		{[]int{1}, true},
+		{[]int{0, 0}, true},
+		{[]int{1, 0}, true},
+		{[]int{0, 1}, false},
+		{[]int{0, 0, 0}, false},
+	} {
+		if got := m.Accepts(tc.w); got != tc.want {
+			t.Errorf("minimized Accepts(%v) = %v, want %v", tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	d := randomDFA(rand.New(rand.NewSource(2)), 40, 3)
+	m := d.Minimize()
+	m2 := m.Minimize()
+	if m.NumStates() != m2.NumStates() {
+		t.Errorf("Minimize not idempotent: %d then %d states", m.NumStates(), m2.NumStates())
+	}
+}
+
+func TestInclusionNFAinDFAHolds(t *testing.T) {
+	a := chain(3, []int{0, 1})
+	d := chain(3, []int{0, 1, 2}).Determinize()
+	ok, cex := IncludedInDFA(a, d)
+	if !ok {
+		t.Errorf("inclusion should hold, got counterexample %v", cex)
+	}
+}
+
+func TestInclusionNFAinDFAFails(t *testing.T) {
+	a := chain(2, []int{0, 1, 0})
+	d := chain(2, []int{0, 1}).Determinize()
+	ok, cex := IncludedInDFA(a, d)
+	if ok {
+		t.Fatal("inclusion should fail")
+	}
+	if len(cex) != 3 || cex[0] != 0 || cex[1] != 1 || cex[2] != 0 {
+		t.Errorf("counterexample = %v, want [0 1 0]", cex)
+	}
+	if !a.Accepts(cex) || d.Accepts(cex) {
+		t.Error("counterexample not in L(a) \\ L(d)")
+	}
+}
+
+func TestInclusionWithEpsilonOnLeft(t *testing.T) {
+	// Left automaton reaches its letter through ε.
+	a := NewNFA(2)
+	s1 := a.AddState()
+	s2 := a.AddState()
+	a.AddEps(0, s1)
+	a.AddEdge(s1, 1, s2)
+	d := NewDFA(2)
+	ok, cex := IncludedInDFA(a, d)
+	if ok {
+		t.Fatal("inclusion should fail: d accepts only ε")
+	}
+	if len(cex) != 1 || cex[0] != 1 {
+		t.Errorf("counterexample = %v, want [1]", cex)
+	}
+}
+
+func TestAntichainInclusionHolds(t *testing.T) {
+	a := chain(3, []int{0, 1})
+	b := chain(3, []int{0, 1, 2})
+	ok, cex := IncludedInNFA(a, b)
+	if !ok {
+		t.Errorf("inclusion should hold, got %v", cex)
+	}
+}
+
+func TestAntichainInclusionFails(t *testing.T) {
+	a := chain(2, []int{0, 0, 1})
+	b := chain(2, []int{0, 0})
+	ok, cex := IncludedInNFA(a, b)
+	if ok {
+		t.Fatal("inclusion should fail")
+	}
+	if !a.Accepts(cex) || b.Accepts(cex) {
+		t.Errorf("bad counterexample %v", cex)
+	}
+}
+
+func TestAntichainWithNondeterministicRight(t *testing.T) {
+	// Right automaton: two branches on 0; only together do they cover
+	// {01, 02}.
+	b := NewNFA(3)
+	p := b.AddState()
+	q := b.AddState()
+	b.AddEdge(0, 0, p)
+	b.AddEdge(0, 0, q)
+	b.AddEdge(p, 1, p)
+	b.AddEdge(q, 2, q)
+
+	covered := NewNFA(3)
+	s1 := covered.AddState()
+	s2 := covered.AddState()
+	covered.AddEdge(0, 0, s1)
+	covered.AddEdge(s1, 1, s2)
+	if ok, cex := IncludedInNFA(covered, b); !ok {
+		t.Errorf("inclusion should hold, got %v", cex)
+	}
+
+	escaping := chain(3, []int{0, 1, 2})
+	ok, cex := IncludedInNFA(escaping, b)
+	if ok {
+		t.Fatal("inclusion should fail")
+	}
+	if !escaping.Accepts(cex) || b.Accepts(cex) {
+		t.Errorf("bad counterexample %v", cex)
+	}
+}
+
+func TestEquivalentNFADFA(t *testing.T) {
+	a := NewNFA(3)
+	p := a.AddState()
+	q := a.AddState()
+	a.AddEdge(0, 0, p)
+	a.AddEdge(0, 0, q)
+	a.AddEdge(p, 1, p)
+	a.AddEdge(q, 2, q)
+	d := a.Determinize()
+	equal, _, cex := EquivalentNFADFA(a, d)
+	if !equal {
+		t.Errorf("determinization must preserve the language, cex %v", cex)
+	}
+
+	// Remove behaviour from the DFA: now a ⊄ d.
+	d2 := chain(3, []int{0, 1}).Determinize()
+	equal, fwd, cex := EquivalentNFADFA(a, d2)
+	if equal || !fwd {
+		t.Errorf("equal=%v fwd=%v", equal, fwd)
+	}
+	if !a.Accepts(cex) || d2.Accepts(cex) {
+		t.Errorf("bad counterexample %v", cex)
+	}
+
+	// Extend the DFA beyond a: now d ⊄ a.
+	d3 := chain(3, []int{0, 1, 1, 1}).Determinize()
+	equal, fwd, cex = EquivalentNFADFA(chain(3, []int{0, 1}), d3)
+	if equal || fwd {
+		t.Errorf("equal=%v fwd=%v", equal, fwd)
+	}
+	if !d3.Accepts(cex) {
+		t.Errorf("bad counterexample %v", cex)
+	}
+}
+
+// Randomized cross-validation: for random NFAs and DFAs, the product and
+// antichain inclusion procedures must agree with explicit word checking on
+// bounded-length words.
+
+func randomNFA(rng *rand.Rand, states, alphabet int) *NFA {
+	a := NewNFA(alphabet)
+	for i := 1; i < states; i++ {
+		a.AddState()
+	}
+	for s := 0; s < states; s++ {
+		for l := 0; l < alphabet; l++ {
+			for e := 0; e < 2; e++ {
+				if rng.Float64() < 0.25 {
+					a.AddEdge(s, l, rng.Intn(states))
+				}
+			}
+		}
+		if rng.Float64() < 0.15 {
+			a.AddEps(s, rng.Intn(states))
+		}
+	}
+	return a
+}
+
+func randomDFA(rng *rand.Rand, states, alphabet int) *DFA {
+	d := NewDFA(alphabet)
+	for i := 1; i < states; i++ {
+		d.AddState()
+	}
+	for s := 0; s < states; s++ {
+		for l := 0; l < alphabet; l++ {
+			if rng.Float64() < 0.5 {
+				d.SetEdge(s, l, rng.Intn(states))
+			}
+		}
+	}
+	return d
+}
+
+// enumerate all words up to length max and compare membership.
+func agreeOnShortWords(t *testing.T, accA, accB func([]int) bool, alphabet, max int, mustInclude bool, tag string) {
+	var rec func(prefix []int)
+	rec = func(prefix []int) {
+		if mustInclude && accA(prefix) && !accB(prefix) {
+			t.Fatalf("%s: word %v in left but not right", tag, prefix)
+		}
+		if len(prefix) == max {
+			return
+		}
+		for l := 0; l < alphabet; l++ {
+			rec(append(prefix, l))
+		}
+	}
+	rec(nil)
+}
+
+func TestInclusionRandomizedAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 30; i++ {
+		a := randomNFA(rng, 5, 2)
+		d := randomDFA(rng, 5, 2)
+		ok, cex := IncludedInDFA(a, d)
+		if ok {
+			agreeOnShortWords(t, a.Accepts, d.Accepts, 2, 8, true, "nfa⊆dfa")
+		} else {
+			if !a.Accepts(cex) || d.Accepts(cex) {
+				t.Fatalf("invalid counterexample %v (iteration %d)", cex, i)
+			}
+		}
+	}
+}
+
+func TestAntichainRandomizedAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 30; i++ {
+		a := randomNFA(rng, 5, 2)
+		b := randomNFA(rng, 5, 2)
+		ok, cex := IncludedInNFA(a, b)
+		if ok {
+			agreeOnShortWords(t, a.Accepts, b.Accepts, 2, 8, true, "nfa⊆nfa")
+		} else {
+			if !a.Accepts(cex) || b.Accepts(cex) {
+				t.Fatalf("invalid counterexample %v (iteration %d)", cex, i)
+			}
+		}
+	}
+}
+
+func TestAntichainAgreesWithDeterminizedCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for i := 0; i < 40; i++ {
+		a := randomNFA(rng, 5, 2)
+		b := randomNFA(rng, 5, 2)
+		okAnti, _ := IncludedInNFA(a, b)
+		okProd, _ := IncludedInDFA(a, b.Determinize())
+		if okAnti != okProd {
+			t.Fatalf("antichain=%v product=%v at iteration %d", okAnti, okProd, i)
+		}
+	}
+}
+
+func TestMinimizePreservesLanguageRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for i := 0; i < 25; i++ {
+		d := randomDFA(rng, 8, 2)
+		m := d.Minimize()
+		equal, _, cex := EquivalentNFADFA(d.ToNFA(), m)
+		if !equal {
+			t.Fatalf("minimization changed language, cex %v (iteration %d)", cex, i)
+		}
+		if m.NumStates() > d.NumStates() {
+			t.Fatalf("minimization grew the automaton: %d -> %d", d.NumStates(), m.NumStates())
+		}
+	}
+}

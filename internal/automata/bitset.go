@@ -1,0 +1,93 @@
+package automata
+
+import "math/bits"
+
+// BitSet is a fixed-capacity set of small non-negative integers, used to
+// represent sets of automaton states.
+type BitSet struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// NewBitSet returns an empty set with capacity for values 0..n-1.
+func NewBitSet(n int) *BitSet {
+	return &BitSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the capacity the set was created with.
+func (b *BitSet) Cap() int { return b.n }
+
+// Add inserts i.
+func (b *BitSet) Add(i int) { b.words[i/64] |= 1 << (i % 64) }
+
+// Has reports membership of i.
+func (b *BitSet) Has(i int) bool { return b.words[i/64]&(1<<(i%64)) != 0 }
+
+// Empty reports whether the set has no members.
+func (b *BitSet) Empty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of members.
+func (b *BitSet) Len() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (b *BitSet) Clone() *BitSet {
+	c := &BitSet{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// SubsetOf reports whether every member of b is in o.
+func (b *BitSet) SubsetOf(o *BitSet) bool {
+	for i, w := range b.words {
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether b and o have the same members.
+func (b *BitSet) Equal(o *BitSet) bool {
+	for i, w := range b.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Members lists the set in ascending order.
+func (b *BitSet) Members() []int {
+	out := make([]int, 0, b.Len())
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			out = append(out, wi*64+bit)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Hash returns an FNV-1a style hash of the set's contents, for bucketing.
+func (b *BitSet) Hash() uint64 {
+	h := uint64(1469598103934665603)
+	for _, w := range b.words {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}

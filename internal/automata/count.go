@@ -1,0 +1,100 @@
+package automata
+
+// CountWords returns, for each length 0..maxLen, the number of distinct
+// words of that length accepted by the DFA. Because the automaton is
+// deterministic and every state accepting, accepted words of length L
+// correspond exactly to paths of length L from the initial state, so a
+// simple dynamic program counts them.
+//
+// Applied to the deterministic safety specifications this counts the
+// strictly serializable / opaque words per length; applied to a
+// (determinized) TM language it measures the TM's permissiveness — how
+// many of those behaviours the TM actually admits.
+func CountWords(d *DFA, maxLen int) []uint64 {
+	counts := make([]uint64, maxLen+1)
+	cur := make([]uint64, d.NumStates())
+	next := make([]uint64, d.NumStates())
+	cur[d.Initial()] = 1
+	counts[0] = 1
+	for l := 1; l <= maxLen; l++ {
+		for i := range next {
+			next[i] = 0
+		}
+		var total uint64
+		for s, c := range cur {
+			if c == 0 {
+				continue
+			}
+			for a := 0; a < d.Alphabet(); a++ {
+				if t := d.Succ(s, a); t >= 0 {
+					next[t] += c
+					total += c
+				}
+			}
+		}
+		counts[l] = total
+		cur, next = next, cur
+	}
+	return counts
+}
+
+// CountWordsNFA counts accepted words per length for an NFA by on-the-fly
+// subset construction with memoized subsets. The subset space can be
+// exponential; maxStates bounds the number of distinct subsets
+// materialized (0 = unbounded) and the second return value reports
+// whether the computation stayed within the bound.
+func CountWordsNFA(a *NFA, maxLen, maxStates int) ([]uint64, bool) {
+	type subsetID = int
+	var sets []*BitSet
+	index := map[uint64][]subsetID{}
+	intern := func(s *BitSet) (subsetID, bool) {
+		h := s.Hash()
+		for _, id := range index[h] {
+			if sets[id].Equal(s) {
+				return id, true
+			}
+		}
+		sets = append(sets, s)
+		index[h] = append(index[h], len(sets)-1)
+		return len(sets) - 1, false
+	}
+	init, _ := intern(a.InitialSet())
+
+	counts := make([]uint64, maxLen+1)
+	counts[0] = 1
+	cur := map[subsetID]uint64{init: 1}
+	// trans caches each subset's successors per letter.
+	trans := map[subsetID][]int{}
+	for l := 1; l <= maxLen; l++ {
+		next := map[subsetID]uint64{}
+		var total uint64
+		for id, c := range cur {
+			row, ok := trans[id]
+			if !ok {
+				row = make([]int, a.Alphabet())
+				for letter := 0; letter < a.Alphabet(); letter++ {
+					s2 := a.Step(sets[id], letter)
+					if s2.Empty() {
+						row[letter] = -1
+						continue
+					}
+					nid, _ := intern(s2)
+					row[letter] = nid
+					if maxStates > 0 && len(sets) > maxStates {
+						return nil, false
+					}
+				}
+				trans[id] = row
+			}
+			for _, nid := range row {
+				if nid >= 0 {
+					next[nid] += c
+					total += c
+				}
+			}
+		}
+		counts[l] = total
+		cur = next
+	}
+	return counts, true
+}

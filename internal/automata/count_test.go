@@ -1,0 +1,84 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCountWordsSimpleChain(t *testing.T) {
+	// Language: prefixes of 0·1·2 — exactly one word per length 0..3.
+	d := chain(3, []int{0, 1, 2}).Determinize()
+	counts := CountWords(d, 5)
+	want := []uint64{1, 1, 1, 1, 0, 0}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("counts[%d] = %d, want %d", i, counts[i], want[i])
+		}
+	}
+}
+
+func TestCountWordsFullLanguage(t *testing.T) {
+	// Complete one-state DFA over a binary alphabet: 2^L words per length.
+	d := NewDFA(2)
+	d.SetEdge(0, 0, 0)
+	d.SetEdge(0, 1, 0)
+	counts := CountWords(d, 10)
+	for l := 0; l <= 10; l++ {
+		if counts[l] != 1<<uint(l) {
+			t.Errorf("counts[%d] = %d, want %d", l, counts[l], 1<<uint(l))
+		}
+	}
+}
+
+func TestCountWordsNFAMatchesDFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 40; i++ {
+		a := randomNFA(rng, 5, 2)
+		d := a.Determinize()
+		got, ok := CountWordsNFA(a, 7, 0)
+		if !ok {
+			t.Fatal("unbounded count reported truncation")
+		}
+		want := CountWords(d, 7)
+		for l := range want {
+			if got[l] != want[l] {
+				t.Fatalf("iteration %d: counts[%d] = %d, want %d", i, l, got[l], want[l])
+			}
+		}
+	}
+}
+
+func TestCountWordsNFAMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomNFA(rng, 5, 2)
+	counts, _ := CountWordsNFA(a, 6, 0)
+	// Count words of exactly length 6 via recursion over accepted
+	// prefixes (prefix-closed language: extensions of rejected prefixes
+	// are rejected).
+	total := uint64(0)
+	var rec func(prefix []int)
+	rec = func(prefix []int) {
+		if len(prefix) == 6 {
+			total++
+			return
+		}
+		for l := 0; l < 2; l++ {
+			w := append(prefix[:len(prefix):len(prefix)], l)
+			if a.Accepts(w) {
+				rec(w)
+			}
+		}
+	}
+	rec(nil)
+	if counts[6] != total {
+		t.Errorf("counts[6] = %d, enumeration = %d", counts[6], total)
+	}
+}
+
+func TestCountWordsNFABounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomNFA(rng, 8, 2)
+	if _, ok := CountWordsNFA(a, 10, 1); ok {
+		t.Error("expected truncation with maxStates = 1")
+	}
+}

@@ -1,0 +1,176 @@
+package automata
+
+// Language inclusion for prefix-closed (all-states-accepting) automata.
+//
+// IncludedInDFA is the linear product check the paper uses to verify a TM
+// against a deterministic specification: since the specification is
+// deterministic, a word of the implementation escapes the specification
+// exactly when the synchronized product runs off a defined transition.
+//
+// IncludedInNFA is the antichain algorithm (paper ref. [28]): searching for
+// a word accepted by the left automaton that kills every run of the right
+// one, pruning subset-subsumed search nodes.
+
+// IncludedInDFA reports whether L(a) ⊆ L(d). When inclusion fails it
+// returns a shortest-by-BFS counterexample word in L(a) \ L(d).
+func IncludedInDFA(a *NFA, d *DFA) (bool, []int) {
+	type node struct {
+		parent int
+		letter int // -1 for the root and for ε-steps
+	}
+	width := int64(d.NumStates() + 1)
+	encode := func(n, dd int) int64 { return int64(n)*width + int64(dd) }
+	visited := map[int64]int{} // pair -> node index
+	nodes := []node{{parent: -1, letter: -1}}
+	var queue []int64
+
+	push := func(pair int64, parent, letter int) {
+		if _, ok := visited[pair]; ok {
+			return
+		}
+		nodes = append(nodes, node{parent: parent, letter: letter})
+		visited[pair] = len(nodes) - 1
+		queue = append(queue, pair)
+	}
+
+	buildWord := func(idx, lastLetter int) []int {
+		var rev []int
+		if lastLetter >= 0 {
+			rev = append(rev, lastLetter)
+		}
+		for idx > 0 {
+			if nodes[idx].letter >= 0 {
+				rev = append(rev, nodes[idx].letter)
+			}
+			idx = nodes[idx].parent
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return rev
+	}
+
+	start := encode(a.Initial(), d.Initial())
+	visited[start] = 0
+	queue = append(queue, start)
+	for qi := 0; qi < len(queue); qi++ {
+		pair := queue[qi]
+		n := int(pair / width)
+		dd := int(pair % width)
+		idx := visited[pair]
+		for _, n2 := range a.EpsSucc(n) {
+			push(encode(int(n2), dd), idx, -1)
+		}
+		for l := 0; l < a.Alphabet(); l++ {
+			succs := a.Succ(n, l)
+			if len(succs) == 0 {
+				continue
+			}
+			d2 := d.Succ(dd, l)
+			if d2 < 0 {
+				return false, buildWord(idx, l)
+			}
+			for _, n2 := range succs {
+				push(encode(int(n2), d2), idx, l)
+			}
+		}
+	}
+	return true, nil
+}
+
+// IncludedInNFA reports whether L(a) ⊆ L(b) using the antichain method.
+// When inclusion fails it returns a counterexample word in L(a) \ L(b).
+func IncludedInNFA(a *NFA, b *NFA) (bool, []int) {
+	type node struct {
+		aState int
+		set    *BitSet
+		parent int
+		letter int // -1 for the root and for ε-steps
+		dead   bool
+	}
+	var nodes []node
+	// antichain[aState] indexes nodes holding the minimal b-sets seen for
+	// that a-state.
+	antichain := map[int][]int{}
+
+	buildWord := func(idx, lastLetter int) []int {
+		var rev []int
+		if lastLetter >= 0 {
+			rev = append(rev, lastLetter)
+		}
+		for idx >= 0 {
+			if nodes[idx].letter >= 0 {
+				rev = append(rev, nodes[idx].letter)
+			}
+			idx = nodes[idx].parent
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return rev
+	}
+
+	// insert adds (aState, set) unless subsumed; returns the node id or -1.
+	insert := func(aState int, set *BitSet, parent, letter int) int {
+		ids := antichain[aState]
+		for _, id := range ids {
+			if !nodes[id].dead && nodes[id].set.SubsetOf(set) {
+				return -1 // an easier-or-equal node already covers this one
+			}
+		}
+		for _, id := range ids {
+			if !nodes[id].dead && set.SubsetOf(nodes[id].set) {
+				nodes[id].dead = true
+			}
+		}
+		nodes = append(nodes, node{aState: aState, set: set, parent: parent, letter: letter})
+		id := len(nodes) - 1
+		antichain[aState] = append(ids, id)
+		return id
+	}
+
+	init := insert(a.Initial(), b.InitialSet(), -1, -1)
+	queue := []int{init}
+	for qi := 0; qi < len(queue); qi++ {
+		id := queue[qi]
+		if nodes[id].dead {
+			continue
+		}
+		n, set := nodes[id].aState, nodes[id].set
+		for _, n2 := range a.EpsSucc(n) {
+			if nid := insert(int(n2), set, id, -1); nid >= 0 {
+				queue = append(queue, nid)
+			}
+		}
+		for l := 0; l < a.Alphabet(); l++ {
+			succs := a.Succ(n, l)
+			if len(succs) == 0 {
+				continue
+			}
+			next := b.Step(set, l)
+			if next.Empty() {
+				return false, buildWord(id, l)
+			}
+			for _, n2 := range succs {
+				if nid := insert(int(n2), next, id, l); nid >= 0 {
+					queue = append(queue, nid)
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// EquivalentNFADFA checks L(a) = L(d): the forward direction with the
+// product check and the backward direction with the antichain method. On
+// failure, the returned word witnesses the symmetric difference and fwd
+// tells which side failed (fwd true: word ∈ L(a) \ L(d)).
+func EquivalentNFADFA(a *NFA, d *DFA) (equal bool, fwd bool, cex []int) {
+	if ok, w := IncludedInDFA(a, d); !ok {
+		return false, true, w
+	}
+	if ok, w := IncludedInNFA(d.ToNFA(), a); !ok {
+		return false, false, w
+	}
+	return true, false, nil
+}

@@ -1,0 +1,214 @@
+// Package automata provides the finite-automata substrate of the model
+// checker: nondeterministic and deterministic finite automata over an
+// integer letter alphabet, subset construction, minimization, and the
+// language-inclusion procedures the paper relies on — the linear product
+// check against a deterministic specification and the antichain algorithm
+// of De Wulf, Doyen, Henzinger and Raskin (CAV 2006, the paper's ref. [28])
+// for inclusion in a nondeterministic specification.
+//
+// All automata here recognize prefix-closed "safety" languages: every state
+// is accepting, and a word is in the language exactly when it labels a run
+// from the initial state. This matches the TM setting, where the language
+// of a TM algorithm and of a TM specification are both prefix closed.
+package automata
+
+import "fmt"
+
+// NFA is a nondeterministic finite automaton with ε-transitions over the
+// alphabet {0, …, Alphabet()-1}. Every state is accepting.
+type NFA struct {
+	alphabet int
+	initial  int
+	// trans[s][l] lists the successors of state s on letter l.
+	trans [][][]int32
+	eps   [][]int32
+}
+
+// NewNFA returns an automaton over an alphabet of the given size, with a
+// single initial state 0 already allocated.
+func NewNFA(alphabet int) *NFA {
+	a := &NFA{alphabet: alphabet, initial: 0}
+	a.AddState()
+	return a
+}
+
+// Alphabet returns the alphabet size.
+func (a *NFA) Alphabet() int { return a.alphabet }
+
+// NumStates returns the number of allocated states.
+func (a *NFA) NumStates() int { return len(a.trans) }
+
+// Initial returns the initial state.
+func (a *NFA) Initial() int { return a.initial }
+
+// SetInitial designates s as the initial state.
+func (a *NFA) SetInitial(s int) { a.initial = s }
+
+// AddState allocates a fresh state and returns its id.
+func (a *NFA) AddState() int {
+	a.trans = append(a.trans, make([][]int32, a.alphabet))
+	a.eps = append(a.eps, nil)
+	return len(a.trans) - 1
+}
+
+// AddEdge adds the transition from --letter--> to.
+func (a *NFA) AddEdge(from, letter, to int) {
+	if letter < 0 || letter >= a.alphabet {
+		panic(fmt.Sprintf("automata: letter %d out of range [0,%d)", letter, a.alphabet))
+	}
+	a.trans[from][letter] = append(a.trans[from][letter], int32(to))
+}
+
+// AddEps adds an ε-transition from --ε--> to.
+func (a *NFA) AddEps(from, to int) {
+	a.eps[from] = append(a.eps[from], int32(to))
+}
+
+// Succ returns the successors of s on letter l.
+func (a *NFA) Succ(s, l int) []int32 { return a.trans[s][l] }
+
+// EpsSucc returns the ε-successors of s.
+func (a *NFA) EpsSucc(s int) []int32 { return a.eps[s] }
+
+// EpsClose extends set in place with everything reachable via ε-transitions.
+func (a *NFA) EpsClose(set *BitSet) {
+	stack := set.Members()
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.eps[s] {
+			if !set.Has(int(t)) {
+				set.Add(int(t))
+				stack = append(stack, int(t))
+			}
+		}
+	}
+}
+
+// Step returns εclose(δ(set, l)).
+func (a *NFA) Step(set *BitSet, l int) *BitSet {
+	out := NewBitSet(a.NumStates())
+	for _, s := range set.Members() {
+		for _, t := range a.trans[s][l] {
+			out.Add(int(t))
+		}
+	}
+	a.EpsClose(out)
+	return out
+}
+
+// InitialSet returns εclose({initial}).
+func (a *NFA) InitialSet() *BitSet {
+	set := NewBitSet(a.NumStates())
+	set.Add(a.initial)
+	a.EpsClose(set)
+	return set
+}
+
+// Accepts reports whether the word labels some run from the initial state.
+func (a *NFA) Accepts(word []int) bool {
+	set := a.InitialSet()
+	for _, l := range word {
+		set = a.Step(set, l)
+		if set.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// CountReachable returns the number of states reachable from the initial
+// state via letter or ε transitions.
+func (a *NFA) CountReachable() int {
+	seen := NewBitSet(a.NumStates())
+	seen.Add(a.initial)
+	stack := []int{a.initial}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		push := func(t int32) {
+			if !seen.Has(int(t)) {
+				seen.Add(int(t))
+				stack = append(stack, int(t))
+			}
+		}
+		for l := 0; l < a.alphabet; l++ {
+			for _, t := range a.trans[s][l] {
+				push(t)
+			}
+		}
+		for _, t := range a.eps[s] {
+			push(t)
+		}
+	}
+	return seen.Len()
+}
+
+// Determinize performs the subset construction, producing a DFA that
+// recognizes the same prefix-closed language. The empty subset is never
+// materialized (a missing DFA transition encodes rejection).
+func (a *NFA) Determinize() *DFA {
+	d, err := a.DeterminizeBounded(0)
+	if err != nil {
+		panic(err) // unreachable: 0 means no bound
+	}
+	return d
+}
+
+// DeterminizeBounded is Determinize with a cap on the number of subset
+// states; maxStates ≤ 0 means unbounded. It returns an error when the
+// construction exceeds the cap, since subset construction can blow up
+// exponentially (the reason the paper hand-builds deterministic
+// specifications instead of determinizing the nondeterministic ones).
+func (a *NFA) DeterminizeBounded(maxStates int) (*DFA, error) {
+	d := NewDFA(a.alphabet)
+	type key = uint64
+	index := map[key][]int{} // hash -> candidate DFA state ids
+	sets := []*BitSet{}      // DFA state id -> subset
+
+	lookup := func(s *BitSet) (int, bool) {
+		for _, id := range index[s.Hash()] {
+			if sets[id].Equal(s) {
+				return id, true
+			}
+		}
+		return 0, false
+	}
+	intern := func(s *BitSet) (int, bool) {
+		if id, ok := lookup(s); ok {
+			return id, false
+		}
+		var id int
+		if len(sets) == 0 {
+			id = 0 // the pre-allocated initial DFA state
+		} else {
+			id = d.AddState()
+		}
+		sets = append(sets, s)
+		index[s.Hash()] = append(index[s.Hash()], id)
+		return id, true
+	}
+
+	init := a.InitialSet()
+	id, _ := intern(init)
+	work := []int{id}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		for l := 0; l < a.alphabet; l++ {
+			next := a.Step(sets[cur], l)
+			if next.Empty() {
+				continue
+			}
+			nid, fresh := intern(next)
+			d.SetEdge(cur, l, nid)
+			if fresh {
+				if maxStates > 0 && d.NumStates() > maxStates {
+					return nil, fmt.Errorf("automata: subset construction exceeded %d states", maxStates)
+				}
+				work = append(work, nid)
+			}
+		}
+	}
+	return d, nil
+}

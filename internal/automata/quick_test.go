@@ -1,0 +1,170 @@
+package automata
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genSmallNFA is a quick.Generator producing random NFAs with ≤ 6 states
+// over a binary alphabet.
+type genSmallNFA struct {
+	A *NFA
+}
+
+// Generate implements quick.Generator.
+func (genSmallNFA) Generate(rng *rand.Rand, size int) reflect.Value {
+	states := 1 + rng.Intn(6)
+	a := NewNFA(2)
+	for i := 1; i < states; i++ {
+		a.AddState()
+	}
+	for s := 0; s < states; s++ {
+		for l := 0; l < 2; l++ {
+			for e := 0; e < 2; e++ {
+				if rng.Float64() < 0.3 {
+					a.AddEdge(s, l, rng.Intn(states))
+				}
+			}
+		}
+		if rng.Float64() < 0.2 {
+			a.AddEps(s, rng.Intn(states))
+		}
+	}
+	return reflect.ValueOf(genSmallNFA{A: a})
+}
+
+func randomWords(rng *rand.Rand, alphabet, count, maxLen int) [][]int {
+	out := make([][]int, count)
+	for i := range out {
+		w := make([]int, rng.Intn(maxLen+1))
+		for j := range w {
+			w[j] = rng.Intn(alphabet)
+		}
+		out[i] = w
+	}
+	return out
+}
+
+func TestQuickDeterminizePreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if err := quick.Check(func(g genSmallNFA) bool {
+		d := g.A.Determinize()
+		for _, w := range randomWords(rng, 2, 40, 8) {
+			if g.A.Accepts(w) != d.Accepts(w) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinimizePreservesLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if err := quick.Check(func(g genSmallNFA) bool {
+		d := g.A.Determinize()
+		m := d.Minimize()
+		if m.NumStates() > d.NumStates() {
+			return false
+		}
+		for _, w := range randomWords(rng, 2, 40, 8) {
+			if d.Accepts(w) != m.Accepts(w) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInclusionIsReflexive(t *testing.T) {
+	if err := quick.Check(func(g genSmallNFA) bool {
+		ok, _ := IncludedInNFA(g.A, g.A)
+		return ok
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInclusionAgainstOwnDeterminization(t *testing.T) {
+	if err := quick.Check(func(g genSmallNFA) bool {
+		d := g.A.Determinize()
+		okFwd, _ := IncludedInDFA(g.A, d)
+		okBwd, _ := IncludedInNFA(d.ToNFA(), g.A)
+		return okFwd && okBwd
+	}, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCounterexamplesAreValid(t *testing.T) {
+	if err := quick.Check(func(g1, g2 genSmallNFA) bool {
+		a, b := g1.A, g2.A
+		if ok, cex := IncludedInNFA(a, b); !ok {
+			if !a.Accepts(cex) || b.Accepts(cex) {
+				return false
+			}
+		}
+		if ok, cex := IncludedInDFA(a, b.Determinize()); !ok {
+			if !a.Accepts(cex) || b.Accepts(cex) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBitSetSubsetAntisymmetry(t *testing.T) {
+	if err := quick.Check(func(raw1, raw2 []byte) bool {
+		a := NewBitSet(128)
+		b := NewBitSet(128)
+		for _, x := range raw1 {
+			a.Add(int(x) % 128)
+		}
+		for _, x := range raw2 {
+			b.Add(int(x) % 128)
+		}
+		if a.SubsetOf(b) && b.SubsetOf(a) && !a.Equal(b) {
+			return false
+		}
+		if a.Equal(b) && (!a.SubsetOf(b) || !b.SubsetOf(a)) {
+			return false
+		}
+		if a.Equal(b) && a.Hash() != b.Hash() {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBitSetMembersMatchHas(t *testing.T) {
+	if err := quick.Check(func(raw []byte) bool {
+		b := NewBitSet(200)
+		want := map[int]bool{}
+		for _, x := range raw {
+			v := int(x) % 200
+			b.Add(v)
+			want[v] = true
+		}
+		mem := b.Members()
+		if len(mem) != len(want) || b.Len() != len(want) {
+			return false
+		}
+		for _, v := range mem {
+			if !want[v] || !b.Has(v) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

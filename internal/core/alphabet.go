@@ -1,0 +1,90 @@
+package core
+
+import "fmt"
+
+// Alphabet fixes a number of threads and variables and enumerates the
+// statement alphabet Ŝ = Ĉ × T as consecutive integers, the letter domain
+// of the automata layer. For each thread the commands are laid out as
+// read(0..k-1), write(0..k-1), commit, abort.
+type Alphabet struct {
+	Threads int
+	Vars    int
+}
+
+// Size returns |Ŝ| = n·(2k+2).
+func (a Alphabet) Size() int { return a.Threads * (2*a.Vars + 2) }
+
+// Encode maps a statement to its letter.
+func (a Alphabet) Encode(s Stmt) int {
+	base := int(s.T) * (2*a.Vars + 2)
+	switch s.Cmd.Op {
+	case OpRead:
+		return base + int(s.Cmd.V)
+	case OpWrite:
+		return base + a.Vars + int(s.Cmd.V)
+	case OpCommit:
+		return base + 2*a.Vars
+	case OpAbort:
+		return base + 2*a.Vars + 1
+	default:
+		panic(fmt.Sprintf("core: cannot encode op %v", s.Cmd.Op))
+	}
+}
+
+// Decode maps a letter back to its statement.
+func (a Alphabet) Decode(l int) Stmt {
+	per := 2*a.Vars + 2
+	t := Thread(l / per)
+	r := l % per
+	switch {
+	case r < a.Vars:
+		return St(Read(Var(r)), t)
+	case r < 2*a.Vars:
+		return St(Write(Var(r-a.Vars)), t)
+	case r == 2*a.Vars:
+		return St(Commit(), t)
+	default:
+		return St(Abort(), t)
+	}
+}
+
+// EncodeWord maps a word to its letter sequence.
+func (a Alphabet) EncodeWord(w Word) []int {
+	out := make([]int, len(w))
+	for i, s := range w {
+		out[i] = a.Encode(s)
+	}
+	return out
+}
+
+// DecodeWord maps a letter sequence back to a word.
+func (a Alphabet) DecodeWord(ls []int) Word {
+	out := make(Word, len(ls))
+	for i, l := range ls {
+		out[i] = a.Decode(l)
+	}
+	return out
+}
+
+// Statements enumerates all statements of the alphabet in letter order.
+func (a Alphabet) Statements() []Stmt {
+	out := make([]Stmt, a.Size())
+	for l := range out {
+		out[l] = a.Decode(l)
+	}
+	return out
+}
+
+// Commands enumerates the command set C (reads, writes, commit — not
+// abort) for this alphabet's variables, the commands a program may issue.
+func (a Alphabet) Commands() []Command {
+	var out []Command
+	for v := 0; v < a.Vars; v++ {
+		out = append(out, Read(Var(v)))
+	}
+	for v := 0; v < a.Vars; v++ {
+		out = append(out, Write(Var(v)))
+	}
+	out = append(out, Commit())
+	return out
+}

@@ -1,0 +1,156 @@
+package core
+
+// Conflicts under deferred-update semantics (paper §2): a statement s1 of
+// transaction x and a statement s2 of transaction y ≠ x conflict in w if
+//
+//	(i)  s1 is a global read of some variable v, s2 is a commit, and y
+//	     writes to v; or
+//	(ii) s1 and s2 are both commits, and x and y write to a common variable.
+//
+// The relation is symmetric in (s1, s2); what strict equivalence preserves
+// is the order of the two positions within the word.
+
+// ConflictPair records two conflicting statement positions i < j of a word.
+type ConflictPair struct {
+	I, J int
+}
+
+// conflictIndex precomputes per-position conflict-relevant facts.
+type conflictIndex struct {
+	txs   []*Transaction
+	owner []*Transaction
+	// globalReadVar[i] is the variable globally read at position i, or -1.
+	globalReadVar []int
+}
+
+func indexConflicts(w Word) *conflictIndex {
+	txs := Transactions(w)
+	owner := TxOf(w, txs)
+	grv := make([]int, len(w))
+	for i := range grv {
+		grv[i] = -1
+	}
+	// Recompute global reads positionally: a read of v at position p is
+	// global if no earlier write of v exists in the same transaction.
+	for _, x := range txs {
+		var written VarSet
+		for _, p := range x.Positions {
+			switch w[p].Cmd.Op {
+			case OpRead:
+				if !written.Has(w[p].Cmd.V) {
+					grv[p] = int(w[p].Cmd.V)
+				}
+			case OpWrite:
+				written = written.Add(w[p].Cmd.V)
+			}
+		}
+	}
+	return &conflictIndex{txs: txs, owner: owner, globalReadVar: grv}
+}
+
+// positionsConflict reports whether statements at positions i and j of w
+// conflict. The order of i and j is immaterial.
+func (ci *conflictIndex) positionsConflict(w Word, i, j int) bool {
+	xi, xj := ci.owner[i], ci.owner[j]
+	if xi == nil || xj == nil || xi == xj {
+		return false
+	}
+	si, sj := w[i], w[j]
+	// Case (i): global read vs. commit of a writer, either orientation.
+	if v := ci.globalReadVar[i]; v >= 0 && sj.Cmd.Op == OpCommit && xj.Writes(w).Has(Var(v)) {
+		return true
+	}
+	if v := ci.globalReadVar[j]; v >= 0 && si.Cmd.Op == OpCommit && xi.Writes(w).Has(Var(v)) {
+		return true
+	}
+	// Case (ii): two commits of transactions writing a common variable.
+	if si.Cmd.Op == OpCommit && sj.Cmd.Op == OpCommit &&
+		xi.Writes(w).Intersects(xj.Writes(w)) {
+		return true
+	}
+	return false
+}
+
+// ConflictPairs returns every conflicting pair of positions (i, j), i < j,
+// of w.
+func ConflictPairs(w Word) []ConflictPair {
+	ci := indexConflicts(w)
+	var out []ConflictPair
+	for i := 0; i < len(w); i++ {
+		for j := i + 1; j < len(w); j++ {
+			if ci.positionsConflict(w, i, j) {
+				out = append(out, ConflictPair{I: i, J: j})
+			}
+		}
+	}
+	return out
+}
+
+// StrictlyEquivalent reports whether w is strictly equivalent to w2, where
+// w2 is the word being serialized and w the candidate (πss and πop ask for
+// a sequential w strictly equivalent to com(w2) respectively w2): the
+// words have the same thread projections, the order of every conflicting
+// pair agrees (conflict-pair-hood depends only on thread projections, so
+// the condition is symmetric), and for every finishing transaction x of
+// w2, x <w2 y implies ¬(y <w x) — a completed transaction precedes, in
+// real time, everything that starts after it, and the candidate must not
+// reverse that. See BuildConflictGraph for why the real-time clause is
+// anchored at the finished transaction.
+func StrictlyEquivalent(w, w2 Word) bool {
+	if len(w) != len(w2) {
+		return false
+	}
+	// (i) Thread projections must agree; build the positional correspondence
+	// while checking.
+	pos2 := make([]int, len(w)) // position in w2 of w's statement i
+	next := map[Thread][]int{}
+	for j, s := range w2 {
+		next[s.T] = append(next[s.T], j)
+	}
+	used := map[Thread]int{}
+	for i, s := range w {
+		lst := next[s.T]
+		k := used[s.T]
+		if k >= len(lst) || w2[lst[k]] != s {
+			return false
+		}
+		pos2[i] = lst[k]
+		used[s.T] = k + 1
+	}
+	for t, lst := range next {
+		if used[t] != len(lst) {
+			return false
+		}
+	}
+	// (ii) Conflict order preserved.
+	for _, p := range ConflictPairs(w) {
+		if pos2[p.I] > pos2[p.J] {
+			return false
+		}
+	}
+	// (iii) Real-time precedence of w2's finishing transactions preserved.
+	txs := Transactions(w)
+	txs2 := Transactions(w2)
+	// Same thread projections imply the same per-thread transaction
+	// decomposition; match transactions by (thread, per-thread sequence).
+	byKey := map[[2]int]*Transaction{}
+	for _, x := range txs {
+		byKey[[2]int{int(x.Thread), x.Seq}] = x
+	}
+	for _, x2 := range txs2 {
+		if x2.Status == TxUnfinished {
+			continue
+		}
+		x := byKey[[2]int{int(x2.Thread), x2.Seq}]
+		for _, y2 := range txs2 {
+			if y2 == x2 || !x2.Precedes(y2) {
+				continue
+			}
+			y := byKey[[2]int{int(y2.Thread), y2.Seq}]
+			if y.Precedes(x) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,297 @@
+// Package core defines the formal framework of Guerraoui, Henzinger and
+// Singh, "Model Checking Transactional Memories" (PLDI 2008): commands,
+// statements, words, transactions, conflicts under deferred-update
+// semantics, strict equivalence, and reference (oracle) decision procedures
+// for the safety properties strict serializability and opacity.
+//
+// The package is deliberately self-contained and value-oriented: a Word is a
+// plain slice of statements, and every analysis is a pure function of it.
+// Higher layers (internal/tm, internal/spec, internal/explore) build
+// transition systems whose emitted letters are exactly the statements
+// defined here.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Thread identifies a thread. Threads are numbered 0..n-1.
+type Thread uint8
+
+// Var identifies a shared variable. Variables are numbered 0..k-1.
+type Var uint8
+
+// Op is the kind of a command or finishing statement.
+type Op uint8
+
+// The four statement kinds of the framework. Read and Write carry a
+// variable; Commit and Abort do not. The paper's command set C is
+// {commit} ∪ ({read,write} × V); the extended statement alphabet Ĉ adds
+// abort.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpCommit
+	OpAbort
+)
+
+// String returns the short mnemonic used throughout the paper's tables.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "r"
+	case OpWrite:
+		return "w"
+	case OpCommit:
+		return "c"
+	case OpAbort:
+		return "a"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Command is an element of Ĉ = C ∪ {abort}. V is meaningful only when Op is
+// OpRead or OpWrite; it must be zero otherwise so that Command values are
+// directly comparable.
+type Command struct {
+	Op Op
+	V  Var
+}
+
+// Read returns the command (read, v).
+func Read(v Var) Command { return Command{Op: OpRead, V: v} }
+
+// Write returns the command (write, v).
+func Write(v Var) Command { return Command{Op: OpWrite, V: v} }
+
+// Commit returns the commit command.
+func Commit() Command { return Command{Op: OpCommit} }
+
+// Abort returns the abort pseudo-command.
+func Abort() Command { return Command{Op: OpAbort} }
+
+// IsAccess reports whether the command reads or writes a variable.
+func (c Command) IsAccess() bool { return c.Op == OpRead || c.Op == OpWrite }
+
+// String renders the command in the paper's notation, e.g. "(r,1)" or "c".
+// Variables are printed 1-based to match the paper's examples.
+func (c Command) String() string {
+	switch c.Op {
+	case OpRead, OpWrite:
+		return fmt.Sprintf("(%s,%d)", c.Op, c.V+1)
+	default:
+		return c.Op.String()
+	}
+}
+
+// Stmt is a statement: a command attributed to a thread (an element of
+// Ŝ = Ĉ × T).
+type Stmt struct {
+	Cmd Command
+	T   Thread
+}
+
+// St builds a statement from a command and thread.
+func St(c Command, t Thread) Stmt { return Stmt{Cmd: c, T: t} }
+
+// String renders the statement in the paper's notation, e.g. "(r,1)2" for a
+// read of variable 1 by thread 2. Threads are printed 1-based.
+func (s Stmt) String() string {
+	return fmt.Sprintf("%s%d", s.Cmd, s.T+1)
+}
+
+// Word is a finite sequence of statements (an element of Ŝ*).
+type Word []Stmt
+
+// String renders the word as a comma-separated statement list.
+func (w Word) String() string {
+	parts := make([]string, len(w))
+	for i, s := range w {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Clone returns a copy of w that shares no storage with it.
+func (w Word) Clone() Word {
+	c := make(Word, len(w))
+	copy(c, w)
+	return c
+}
+
+// Threads returns the set of threads with at least one statement in w,
+// in ascending order.
+func (w Word) Threads() []Thread {
+	seen := map[Thread]bool{}
+	var out []Thread
+	for _, s := range w {
+		if !seen[s.T] {
+			seen[s.T] = true
+			out = append(out, s.T)
+		}
+	}
+	sortThreads(out)
+	return out
+}
+
+// Vars returns the set of variables accessed (read or written) in w, in
+// ascending order.
+func (w Word) Vars() []Var {
+	seen := map[Var]bool{}
+	var out []Var
+	for _, s := range w {
+		if s.Cmd.IsAccess() && !seen[s.Cmd.V] {
+			seen[s.Cmd.V] = true
+			out = append(out, s.Cmd.V)
+		}
+	}
+	sortVars(out)
+	return out
+}
+
+// ThreadProjection returns w|t, the subsequence of statements of thread t.
+func (w Word) ThreadProjection(t Thread) Word {
+	var out Word
+	for _, s := range w {
+		if s.T == t {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two words are identical statement-for-statement.
+func (w Word) Equal(v Word) bool {
+	if len(w) != len(v) {
+		return false
+	}
+	for i := range w {
+		if w[i] != v[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortThreads(ts []Thread) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func sortVars(vs []Var) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+// VarSet is a bitset of variables; bit v is set when variable v is a member.
+// With at most a handful of variables in any model-checking instance, a
+// uint16 is ample.
+type VarSet uint16
+
+// Has reports membership of v.
+func (vs VarSet) Has(v Var) bool { return vs&(1<<v) != 0 }
+
+// Add returns vs ∪ {v}.
+func (vs VarSet) Add(v Var) VarSet { return vs | 1<<v }
+
+// Remove returns vs \ {v}.
+func (vs VarSet) Remove(v Var) VarSet { return vs &^ (1 << v) }
+
+// Union returns vs ∪ o.
+func (vs VarSet) Union(o VarSet) VarSet { return vs | o }
+
+// Intersect returns vs ∩ o.
+func (vs VarSet) Intersect(o VarSet) VarSet { return vs & o }
+
+// Intersects reports whether vs ∩ o ≠ ∅.
+func (vs VarSet) Intersects(o VarSet) bool { return vs&o != 0 }
+
+// Empty reports whether the set is empty.
+func (vs VarSet) Empty() bool { return vs == 0 }
+
+// Len returns the number of members.
+func (vs VarSet) Len() int {
+	n := 0
+	for x := vs; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Vars lists the members in ascending order.
+func (vs VarSet) Vars() []Var {
+	var out []Var
+	for v := Var(0); v < 16; v++ {
+		if vs.Has(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders the set as {v1,v2,...} with 1-based variable names.
+func (vs VarSet) String() string {
+	parts := []string{}
+	for _, v := range vs.Vars() {
+		parts = append(parts, fmt.Sprintf("%d", v+1))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// ThreadSet is a bitset of threads, analogous to VarSet.
+type ThreadSet uint16
+
+// Has reports membership of t.
+func (ts ThreadSet) Has(t Thread) bool { return ts&(1<<t) != 0 }
+
+// Add returns ts ∪ {t}.
+func (ts ThreadSet) Add(t Thread) ThreadSet { return ts | 1<<t }
+
+// Remove returns ts \ {t}.
+func (ts ThreadSet) Remove(t Thread) ThreadSet { return ts &^ (1 << t) }
+
+// Union returns ts ∪ o.
+func (ts ThreadSet) Union(o ThreadSet) ThreadSet { return ts | o }
+
+// Intersects reports whether ts ∩ o ≠ ∅.
+func (ts ThreadSet) Intersects(o ThreadSet) bool { return ts&o != 0 }
+
+// Empty reports whether the set is empty.
+func (ts ThreadSet) Empty() bool { return ts == 0 }
+
+// Len returns the number of members.
+func (ts ThreadSet) Len() int {
+	n := 0
+	for x := ts; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Threads lists the members in ascending order.
+func (ts ThreadSet) Threads() []Thread {
+	var out []Thread
+	for t := Thread(0); t < 16; t++ {
+		if ts.Has(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// String renders the set as {t1,t2,...} with 1-based thread names.
+func (ts ThreadSet) String() string {
+	parts := []string{}
+	for _, t := range ts.Threads() {
+		parts = append(parts, fmt.Sprintf("%d", t+1))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

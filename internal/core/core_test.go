@@ -1,0 +1,351 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestCommandConstructors(t *testing.T) {
+	if c := Read(1); c.Op != OpRead || c.V != 1 {
+		t.Errorf("Read(1) = %+v", c)
+	}
+	if c := Write(0); c.Op != OpWrite || c.V != 0 {
+		t.Errorf("Write(0) = %+v", c)
+	}
+	if c := Commit(); c.Op != OpCommit || c.V != 0 {
+		t.Errorf("Commit() = %+v", c)
+	}
+	if c := Abort(); c.Op != OpAbort || c.V != 0 {
+		t.Errorf("Abort() = %+v", c)
+	}
+}
+
+func TestCommandIsAccess(t *testing.T) {
+	for _, tc := range []struct {
+		c    Command
+		want bool
+	}{
+		{Read(0), true},
+		{Write(1), true},
+		{Commit(), false},
+		{Abort(), false},
+	} {
+		if got := tc.c.IsAccess(); got != tc.want {
+			t.Errorf("IsAccess(%v) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestStmtString(t *testing.T) {
+	for _, tc := range []struct {
+		s    Stmt
+		want string
+	}{
+		{St(Read(0), 1), "(r,1)2"},
+		{St(Write(1), 0), "(w,2)1"},
+		{St(Commit(), 0), "c1"},
+		{St(Abort(), 1), "a2"},
+	} {
+		if got := tc.s.String(); got != tc.want {
+			t.Errorf("String(%+v) = %q, want %q", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestWordString(t *testing.T) {
+	w := MustParseWord("(r,1)1, (w,2)1, c1")
+	if got := w.String(); got != "(r,1)1, (w,2)1, c1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	inputs := []string{
+		"(r,1)1, (w,2)1, c1, (w,1)2, c2",
+		"(w,2)1, (w,1)2, (r,2)2, (r,1)1, c2, c1",
+		"a1",
+		"c1, c2, a1",
+	}
+	for _, in := range inputs {
+		w, err := ParseWord(in)
+		if err != nil {
+			t.Fatalf("ParseWord(%q): %v", in, err)
+		}
+		w2, err := ParseWord(w.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", w.String(), err)
+		}
+		if !w.Equal(w2) {
+			t.Errorf("round trip changed %q to %q", in, w2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"(x,1)1",
+		"(r,0)1",
+		"(r,1)0",
+		"(r,1",
+		"q1",
+		"c0",
+		"(r)1",
+		"(r,1,2)1",
+	} {
+		if _, err := ParseWord(in); err == nil {
+			t.Errorf("ParseWord(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseEmptyWord(t *testing.T) {
+	w, err := ParseWord("")
+	if err != nil {
+		t.Fatalf("ParseWord(\"\"): %v", err)
+	}
+	if len(w) != 0 {
+		t.Errorf("empty input parsed to %v", w)
+	}
+}
+
+func TestThreadProjection(t *testing.T) {
+	w := MustParseWord("(r,1)1, (w,2)2, c1, a2, (r,1)2")
+	p1 := w.ThreadProjection(0)
+	if p1.String() != "(r,1)1, c1" {
+		t.Errorf("w|1 = %q", p1)
+	}
+	p2 := w.ThreadProjection(1)
+	if p2.String() != "(w,2)2, a2, (r,1)2" {
+		t.Errorf("w|2 = %q", p2)
+	}
+	if p3 := w.ThreadProjection(2); len(p3) != 0 {
+		t.Errorf("w|3 = %v, want empty", p3)
+	}
+}
+
+func TestThreadsAndVars(t *testing.T) {
+	w := MustParseWord("(r,2)3, (w,1)1, c3, c1")
+	ts := w.Threads()
+	if len(ts) != 2 || ts[0] != 0 || ts[1] != 2 {
+		t.Errorf("Threads = %v", ts)
+	}
+	vs := w.Vars()
+	if len(vs) != 2 || vs[0] != 0 || vs[1] != 1 {
+		t.Errorf("Vars = %v", vs)
+	}
+}
+
+func TestTransactionsDecomposition(t *testing.T) {
+	w := MustParseWord("(r,1)1, (w,2)1, c1, (w,1)2, a2, (r,1)1, (r,2)2")
+	txs := Transactions(w)
+	if len(txs) != 4 {
+		t.Fatalf("got %d transactions, want 4", len(txs))
+	}
+	x := txs[0]
+	if x.Thread != 0 || x.Status != TxCommitting || len(x.Positions) != 3 {
+		t.Errorf("tx0 = %+v", x)
+	}
+	y := txs[1]
+	if y.Thread != 1 || y.Status != TxAborting || len(y.Positions) != 2 {
+		t.Errorf("tx1 = %+v", y)
+	}
+	z := txs[2]
+	if z.Thread != 0 || z.Status != TxUnfinished || z.Seq != 1 {
+		t.Errorf("tx2 = %+v", z)
+	}
+	u := txs[3]
+	if u.Thread != 1 || u.Status != TxUnfinished || u.Seq != 1 {
+		t.Errorf("tx3 = %+v", u)
+	}
+}
+
+func TestTransactionAccessors(t *testing.T) {
+	w := MustParseWord("(w,1)1, (r,1)1, (r,2)1, (w,2)1, c1")
+	txs := Transactions(w)
+	if len(txs) != 1 {
+		t.Fatalf("got %d transactions", len(txs))
+	}
+	x := txs[0]
+	if x.First() != 0 || x.Last() != 4 {
+		t.Errorf("First/Last = %d/%d", x.First(), x.Last())
+	}
+	if got := x.Writes(w); !got.Has(0) || !got.Has(1) || got.Len() != 2 {
+		t.Errorf("Writes = %v", got)
+	}
+	// The read of variable 1 follows a write of variable 1 in the same
+	// transaction, so only variable 2 is globally read.
+	if got := x.GlobalReads(w); got.Has(0) || !got.Has(1) || got.Len() != 1 {
+		t.Errorf("GlobalReads = %v", got)
+	}
+	if got := x.Statements(w); !got.Equal(w) {
+		t.Errorf("Statements = %v", got)
+	}
+}
+
+func TestPrecedes(t *testing.T) {
+	w := MustParseWord("(r,1)1, c1, (r,1)2, c2")
+	txs := Transactions(w)
+	if !txs[0].Precedes(txs[1]) {
+		t.Error("tx0 should precede tx1")
+	}
+	if txs[1].Precedes(txs[0]) {
+		t.Error("tx1 should not precede tx0")
+	}
+	// Overlapping transactions precede in neither direction.
+	w2 := MustParseWord("(r,1)1, (r,1)2, c1, c2")
+	txs2 := Transactions(w2)
+	if txs2[0].Precedes(txs2[1]) || txs2[1].Precedes(txs2[0]) {
+		t.Error("overlapping transactions must not precede each other")
+	}
+}
+
+func TestCom(t *testing.T) {
+	w := MustParseWord("(r,1)1, (w,2)1, a2, c1, (w,1)2, c2, (r,2)1")
+	// Thread 2's first transaction is the lone abort a2 (aborting); its
+	// second commits. Thread 1's first transaction commits; its last read is
+	// unfinished.
+	got := Com(w)
+	want := MustParseWord("(r,1)1, (w,2)1, c1, (w,1)2, c2")
+	if !got.Equal(want) {
+		t.Errorf("Com = %q, want %q", got, want)
+	}
+}
+
+func TestComEmpty(t *testing.T) {
+	if got := Com(nil); len(got) != 0 {
+		t.Errorf("Com(nil) = %v", got)
+	}
+	w := MustParseWord("(r,1)1, a1")
+	if got := Com(w); len(got) != 0 {
+		t.Errorf("Com of all-aborting word = %v", got)
+	}
+}
+
+func TestIsSequential(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want bool
+	}{
+		{"(r,1)1, c1, (w,1)2, c2", true},
+		{"(r,1)1, (w,1)2, c1, c2", false},
+		{"(r,1)1, c1, (r,1)1, c1", true},
+		{"", true},
+		{"(r,1)1", true},
+		// The definition orders x before y when x's *last statement so far*
+		// precedes y's first, so an unfinished transaction whose statements
+		// all come first still yields a sequential word.
+		{"(r,1)1, (r,1)2, c2", true},
+		// ... but interleaving breaks it.
+		{"(r,1)2, (r,1)1, (w,1)2, c2", false},
+	} {
+		w := MustParseWord(tc.in)
+		if got := IsSequential(w); got != tc.want {
+			t.Errorf("IsSequential(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestVarSetOps(t *testing.T) {
+	var vs VarSet
+	if !vs.Empty() || vs.Len() != 0 {
+		t.Error("zero VarSet should be empty")
+	}
+	vs = vs.Add(3).Add(1).Add(3)
+	if vs.Len() != 2 || !vs.Has(1) || !vs.Has(3) || vs.Has(0) {
+		t.Errorf("vs = %v", vs)
+	}
+	if got := vs.Remove(1); got.Has(1) || !got.Has(3) {
+		t.Errorf("Remove = %v", got)
+	}
+	other := VarSet(0).Add(3).Add(5)
+	if got := vs.Union(other); got.Len() != 3 {
+		t.Errorf("Union = %v", got)
+	}
+	if got := vs.Intersect(other); got.Len() != 1 || !got.Has(3) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !vs.Intersects(other) {
+		t.Error("Intersects should be true")
+	}
+	if vs.Intersects(VarSet(0).Add(0)) {
+		t.Error("Intersects should be false")
+	}
+	if got := vs.String(); got != "{2,4}" {
+		t.Errorf("String = %q", got)
+	}
+	lst := vs.Vars()
+	if len(lst) != 2 || lst[0] != 1 || lst[1] != 3 {
+		t.Errorf("Vars = %v", lst)
+	}
+}
+
+func TestThreadSetOps(t *testing.T) {
+	var ts ThreadSet
+	ts = ts.Add(0).Add(2)
+	if ts.Len() != 2 || !ts.Has(0) || !ts.Has(2) || ts.Has(1) {
+		t.Errorf("ts = %v", ts)
+	}
+	if got := ts.Remove(0); got.Has(0) {
+		t.Errorf("Remove = %v", got)
+	}
+	if got := ts.Union(ThreadSet(0).Add(1)); got.Len() != 3 {
+		t.Errorf("Union = %v", got)
+	}
+	if ts.Intersects(ThreadSet(0).Add(1)) {
+		t.Error("Intersects should be false")
+	}
+	if got := ts.String(); got != "{1,3}" {
+		t.Errorf("String = %q", got)
+	}
+	lst := ts.Threads()
+	if len(lst) != 2 || lst[0] != 0 || lst[1] != 2 {
+		t.Errorf("Threads = %v", lst)
+	}
+	if !ThreadSet(0).Empty() {
+		t.Error("zero ThreadSet should be empty")
+	}
+}
+
+func TestWordClone(t *testing.T) {
+	w := MustParseWord("(r,1)1, c1")
+	c := w.Clone()
+	c[0] = St(Write(1), 1)
+	if w[0] != St(Read(0), 0) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestAlphabetWordHelpers(t *testing.T) {
+	ab := Alphabet{Threads: 2, Vars: 2}
+	w := MustParseWord("(r,1)1, (w,2)2, c1, a2")
+	ls := ab.EncodeWord(w)
+	if len(ls) != len(w) {
+		t.Fatalf("EncodeWord length %d", len(ls))
+	}
+	if !ab.DecodeWord(ls).Equal(w) {
+		t.Errorf("DecodeWord round trip failed")
+	}
+	if got := len(ab.Statements()); got != ab.Size() {
+		t.Errorf("Statements = %d, want %d", got, ab.Size())
+	}
+	cmds := ab.Commands()
+	// 2 reads + 2 writes + commit.
+	if len(cmds) != 5 || cmds[len(cmds)-1].Op != OpCommit {
+		t.Errorf("Commands = %v", cmds)
+	}
+}
+
+func TestSemanticsString(t *testing.T) {
+	if DeferredUpdate.String() != "deferred update" ||
+		DirectUpdate.String() != "direct update" ||
+		MixedInvalidation.String() != "mixed invalidation" {
+		t.Error("Semantics names wrong")
+	}
+}
+
+func TestWordEqualLengthMismatch(t *testing.T) {
+	a := MustParseWord("(r,1)1")
+	b := MustParseWord("(r,1)1, c1")
+	if a.Equal(b) || b.Equal(a) {
+		t.Error("words of different length must differ")
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDeferredUnderMatchesDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 300; i++ {
+		w := randomWellFormed(rng, 10)
+		if got, want := IsStrictlySerializableUnder(w, DeferredUpdate), IsStrictlySerializable(w); got != want {
+			t.Fatalf("πss mismatch on %q", w)
+		}
+		if got, want := IsOpaqueUnder(w, DeferredUpdate), IsOpaque(w); got != want {
+			t.Fatalf("πop mismatch on %q", w)
+		}
+	}
+}
+
+func TestDirectConflictsAreStatementLevel(t *testing.T) {
+	// Deferred update: a read before the writer's commit reads the old
+	// value, so the reader can serialize first. Direct update: the read
+	// follows the write physically, so the writer serializes first.
+	w := MustParseWord("(w,1)1, (r,1)2, c2, c1")
+	// Deferred: t2 read old v1 (conflict with c1 at pos 3), so t2 before
+	// t1: serializable.
+	if !IsStrictlySerializableUnder(w, DeferredUpdate) {
+		t.Error("deferred: want serializable")
+	}
+	// Direct: t1's write precedes t2's read → t1 before t2; t2's commit
+	// precedes nothing binding; still serializable, but with the opposite
+	// witness order. Check via the graphs' edges.
+	gDef := BuildConflictGraphUnder(w, DeferredUpdate)
+	gDir := BuildConflictGraphUnder(w, DirectUpdate)
+	// Transactions: 0 = t1's, 1 = t2's.
+	if !gDef.HasEdge(1, 0) || gDef.HasEdge(0, 1) {
+		t.Errorf("deferred edges wrong")
+	}
+	if !gDir.HasEdge(0, 1) || gDir.HasEdge(1, 0) {
+		t.Errorf("direct edges wrong")
+	}
+}
+
+func TestDirectUpdateDistinguishingWord(t *testing.T) {
+	// t1 writes v1; t2 reads v1 (dirty under direct update) and writes v2;
+	// t1 then reads v2 after t2 commits. Deferred: t2 read old v1 → t2
+	// before t1; t1 read new v2 → t2 before t1: consistent, serializable.
+	// Direct: t2 read t1's v1 → t1 before t2; t1 read t2's committed v2 →
+	// t2 before t1: cycle.
+	w := MustParseWord("(w,1)1, (r,1)2, (w,2)2, c2, (r,2)1, c1")
+	if !IsStrictlySerializableUnder(w, DeferredUpdate) {
+		t.Error("deferred: want serializable")
+	}
+	if IsStrictlySerializableUnder(w, DirectUpdate) {
+		t.Error("direct: want not serializable")
+	}
+}
+
+func TestDirectWriteWriteOrder(t *testing.T) {
+	// Two writes to the same variable conflict at the statements under
+	// direct update, regardless of commits.
+	w := MustParseWord("(w,1)1, (w,1)2, c2, c1")
+	pairs := ConflictPairsUnder(w, DirectUpdate)
+	found := false
+	for _, p := range pairs {
+		if p.I == 0 && p.J == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing w-w statement conflict, pairs = %v", pairs)
+	}
+	// Deferred update: only the commits conflict.
+	pairsDef := ConflictPairsUnder(w, DeferredUpdate)
+	if len(pairsDef) != 1 || pairsDef[0] != (ConflictPair{I: 2, J: 3}) {
+		t.Errorf("deferred pairs = %v", pairsDef)
+	}
+}
+
+func TestDirectOpacityImpliesDirectSerializability(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 300; i++ {
+		w := randomWellFormed(rng, 10)
+		if IsOpaqueUnder(w, DirectUpdate) && !IsStrictlySerializableUnder(w, DirectUpdate) {
+			t.Fatalf("direct πop ⊄ πss on %q", w)
+		}
+	}
+}
+
+// Direct-update conflicts refine deferred-update ones in the absence of
+// reads racing commits: on sequential words both semantics agree
+// (everything is trivially serializable).
+func TestSemanticsAgreeOnSequentialWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for i := 0; i < 200; i++ {
+		w := randomSequential(rng, 12)
+		if !IsOpaqueUnder(w, DirectUpdate) {
+			t.Fatalf("sequential word not direct-opaque: %q", w)
+		}
+		if !IsOpaqueUnder(w, DeferredUpdate) {
+			t.Fatalf("sequential word not deferred-opaque: %q", w)
+		}
+	}
+}
+
+func TestMixedInvalidationSeparatesFromDeferred(t *testing.T) {
+	// Under deferred update, a read between a writer's write and its
+	// commit can still serialize before the writer. Under mixed
+	// invalidation, the read conflicts with the WRITE statement itself, so
+	// a read after the write is pinned after the writer.
+	//
+	// x (t1) writes v1 then v2 and commits; y (t2) reads v1 AFTER the
+	// write but BEFORE the commit, then reads v2 after the commit. Under
+	// deferred semantics: y's v1-read is before the commit (y before x),
+	// y's v2-read after it (y after x) — a cycle, not serializable. Under
+	// mixed: both reads follow x's writes/commit, so y sits after x.
+	w := MustParseWord("(w,1)1, (r,1)2, (w,2)1, c1, (r,2)2, c2")
+	if IsStrictlySerializableUnder(w, DeferredUpdate) {
+		t.Error("deferred: expected non-serializable")
+	}
+	if !IsStrictlySerializableUnder(w, MixedInvalidation) {
+		t.Error("mixed: expected serializable")
+	}
+}
+
+func TestMixedEagerReadWriteOrder(t *testing.T) {
+	// A read BEFORE a committing writer's write is pinned before the
+	// writer under mixed invalidation, at the statement, not the commit.
+	w := MustParseWord("(r,1)2, (w,1)1, c1, c2")
+	g := BuildConflictGraphUnder(w, MixedInvalidation)
+	// Transaction 0 is t2's (first statement), 1 is t1's.
+	if !g.HasEdge(0, 1) {
+		t.Error("reader should precede the committing writer")
+	}
+	if !IsStrictlySerializableUnder(w, MixedInvalidation) {
+		t.Error("word should be serializable under mixed invalidation")
+	}
+}
+
+func TestMixedIgnoresAbortedWriters(t *testing.T) {
+	// An aborting writer's writes invalidate nobody.
+	w := MustParseWord("(w,1)1, (r,1)2, a1, c2")
+	pairs := ConflictPairsUnder(w, MixedInvalidation)
+	if len(pairs) != 0 {
+		t.Errorf("aborting writer should not conflict: %v", pairs)
+	}
+}
+
+func TestMixedOpacityImpliesMixedSerializability(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for i := 0; i < 300; i++ {
+		w := randomWellFormed(rng, 10)
+		if IsOpaqueUnder(w, MixedInvalidation) && !IsStrictlySerializableUnder(w, MixedInvalidation) {
+			t.Fatalf("mixed πop ⊄ πss on %q", w)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the conflict graph in Graphviz DOT format: one node per
+// transaction (labeled Tthread.seq and colored by status), conflict and
+// precedence edges, with the transactions of a detected cycle highlighted.
+func (g *ConflictGraph) WriteDOT(w io.Writer, name string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n", name); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	inCycle := map[int]bool{}
+	for _, v := range g.Cycle() {
+		inCycle[v] = true
+	}
+	for i, x := range g.Txs {
+		color := "black"
+		switch x.Status {
+		case TxAborting:
+			color = "gray"
+		case TxUnfinished:
+			color = "blue"
+		}
+		style := ""
+		if inCycle[i] {
+			style = ", style=filled, fillcolor=mistyrose"
+		}
+		fmt.Fprintf(w, "  t%d [label=\"T%d.%d (%s)\", color=%s%s];\n",
+			i, x.Thread+1, x.Seq+1, x.Status, color, style)
+	}
+	for u, adj := range g.Adj {
+		for _, v := range adj {
+			attr := ""
+			if inCycle[u] && inCycle[v] {
+				attr = " [color=red]"
+			}
+			fmt.Fprintf(w, "  t%d -> t%d%s;\n", u, v, attr)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

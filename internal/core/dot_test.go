@@ -1,0 +1,44 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConflictGraphDOT(t *testing.T) {
+	w := MustParseWord("(w,2)1, (w,1)2, (r,2)2, (r,1)1, c2, c1")
+	g := BuildConflictGraph(w)
+	var b strings.Builder
+	if err := g.WriteDOT(&b, "w1"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "w1"`,
+		"T1.1",
+		"T2.1",
+		"color=red", // the cycle is highlighted
+		"fillcolor=mistyrose",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConflictGraphDOTAcyclic(t *testing.T) {
+	w := MustParseWord("(r,1)1, c1, (w,1)2, a2, (r,2)3")
+	g := BuildConflictGraph(w)
+	var b strings.Builder
+	if err := g.WriteDOT(&b, "ok"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "fillcolor") {
+		t.Errorf("acyclic graph should not highlight a cycle:\n%s", out)
+	}
+	// Status coloring: aborting gray, unfinished blue.
+	if !strings.Contains(out, "color=gray") || !strings.Contains(out, "color=blue") {
+		t.Errorf("status colors missing:\n%s", out)
+	}
+}

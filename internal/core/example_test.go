@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"fmt"
+
+	"tmcheck/internal/core"
+)
+
+func ExampleParseWord() {
+	w, err := core.ParseWord("(r,1)1, (w,2)1, c1, (w,1)2, c2")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(w), "statements over", len(w.Threads()), "threads")
+	// Output: 5 statements over 2 threads
+}
+
+func ExampleIsOpaque() {
+	// Figure 2(b) of the paper: the aborting transaction of thread 3 read
+	// an inconsistent snapshot, so the word is strictly serializable but
+	// not opaque.
+	w := core.MustParseWord("(w,1)2, (r,1)1, c2, (r,2)3, a3, (w,2)1, c1")
+	fmt.Println("strictly serializable:", core.IsStrictlySerializable(w))
+	fmt.Println("opaque:", core.IsOpaque(w))
+	// Output:
+	// strictly serializable: true
+	// opaque: false
+}
+
+func ExampleSequentialize() {
+	// The reader serializes before the writer whose commit came first.
+	w := core.MustParseWord("(r,1)1, (w,1)2, c1, c2")
+	seq, ok := core.Sequentialize(w, false, core.DeferredUpdate)
+	fmt.Println(ok, seq)
+	// Output: true (r,1)1, c1, (w,1)2, c2
+}
+
+func ExampleBuildConflictGraph() {
+	// The modified-TL2 counterexample: both transactions read what the
+	// other commits over, so the conflict graph has a cycle.
+	w := core.MustParseWord("(w,2)1, (w,1)2, (r,2)2, (r,1)1, c2, c1")
+	g := core.BuildConflictGraph(w)
+	fmt.Println("acyclic:", g.Acyclic())
+	fmt.Println("cycle length:", len(g.Cycle()))
+	// Output:
+	// acyclic: false
+	// cycle length: 2
+}
+
+func ExampleTransactions() {
+	w := core.MustParseWord("(r,1)1, (w,1)2, a2, c1, (r,2)2")
+	for _, x := range core.Transactions(w) {
+		fmt.Printf("thread %d: %d statements, %s\n", x.Thread+1, len(x.Positions), x.Status)
+	}
+	// Output:
+	// thread 1: 2 statements, committing
+	// thread 2: 2 statements, aborting
+	// thread 2: 1 statements, unfinished
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The paper's worked examples (Figures 1 and 2, Table 2) pin down the
+// oracle's behaviour.
+
+func TestFigure1aNotStrictlySerializable(t *testing.T) {
+	// Figure 1(a): x = t1 reads v1 then writes v2; y = t2 writes v1;
+	// z = t3 reads v2 then v1. All commit. x→y→z→x is a conflict cycle.
+	w := MustParseWord("(w,1)2, (r,1)1, (r,2)3, c2, (w,2)1, (r,1)3, c1, c3")
+	if IsStrictlySerializable(w) {
+		t.Error("Figure 1(a) word must not be strictly serializable")
+	}
+	if IsOpaque(w) {
+		t.Error("Figure 1(a) word must not be opaque (πop ⊆ πss)")
+	}
+}
+
+func TestFigure1aWithoutFinalCommitIsSerializable(t *testing.T) {
+	// The paper: "if one of the transactions had not committed, the word
+	// would have been strictly serializable."
+	w := MustParseWord("(w,1)2, (r,1)1, (r,2)3, c2, (w,2)1, (r,1)3, c1")
+	if !IsStrictlySerializable(w) {
+		t.Error("dropping c3 must make the word strictly serializable")
+	}
+}
+
+func TestFigure1bNotStrictlySerializable(t *testing.T) {
+	w := MustParseWord("(w,1)2, (r,2)2, (r,3)3, (r,1)1, c2, (w,2)3, (w,3)1, c1, c3")
+	if IsStrictlySerializable(w) {
+		t.Error("Figure 1(b) word must not be strictly serializable")
+	}
+}
+
+func TestFigure2aOpacity(t *testing.T) {
+	// Figure 2(a): like 1(a) but z never commits. Strictly serializable,
+	// yet not opaque: the unfinished z still observes an inconsistent
+	// snapshot.
+	w := MustParseWord("(w,1)2, (r,1)1, (r,2)3, c2, (w,2)1, (r,1)3, c1")
+	if !IsStrictlySerializable(w) {
+		t.Error("Figure 2(a) word must be strictly serializable")
+	}
+	if IsOpaque(w) {
+		t.Error("Figure 2(a) word must not be opaque")
+	}
+}
+
+func TestFigure2bOpacity(t *testing.T) {
+	// Figure 2(b): z aborts, yet its read forces a serialization cycle.
+	w := MustParseWord("(w,1)2, (r,1)1, c2, (r,2)3, a3, (w,2)1, c1")
+	if !IsStrictlySerializable(w) {
+		t.Error("Figure 2(b) word must be strictly serializable")
+	}
+	if IsOpaque(w) {
+		t.Error("Figure 2(b) word must not be opaque")
+	}
+}
+
+func TestTable2CounterexampleNotSerializable(t *testing.T) {
+	// w1 from Table 2, the counterexample against modified TL2.
+	w := MustParseWord("(w,2)1, (w,1)2, (r,2)2, (r,1)1, c2, c1")
+	if IsStrictlySerializable(w) {
+		t.Error("Table 2 counterexample must not be strictly serializable")
+	}
+	if IsOpaque(w) {
+		t.Error("Table 2 counterexample must not be opaque")
+	}
+}
+
+func TestSimpleSerializableWords(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"(r,1)1, (w,2)1, c1, (w,1)2, c2",
+		"(r,1)1, (w,2)1, a2, c1, (w,1)2, c2",
+		"(r,1)1, (w,1)2, c1, c2", // read before writer's commit: t1 < t2
+		"(r,1)1, (r,1)2, c1, c2", // two readers never conflict
+		"(w,1)1, (w,1)2, c1, c2", // write-write resolved by commit order
+		"c1, c2",                 // empty transactions
+		"(r,1)1, (w,1)1, c1",     // read own write
+		"(w,1)1, (r,1)1, c1",     // local read after own write
+		"(r,1)1, a1, (w,1)2, c2", // aborted reader
+		"(w,1)2, (r,1)1, c2, a1", // reader aborts after writer commits
+		"(r,1)1, (w,2)2, c2, (r,2)1, c1",
+	} {
+		w := MustParseWord(in)
+		if !IsStrictlySerializable(w) {
+			t.Errorf("IsStrictlySerializable(%q) = false, want true", in)
+		}
+		if !IsOpaque(w) {
+			t.Errorf("IsOpaque(%q) = false, want true", in)
+		}
+	}
+}
+
+func TestNonSerializableWords(t *testing.T) {
+	for _, in := range []string{
+		// Classic write skew on reads: each reads what the other commits
+		// over.
+		"(w,2)1, (w,1)2, (r,2)2, (r,1)1, c2, c1",
+		// Read of v1 before y's commit, read of v2 after: x straddles two
+		// versions published by y.
+		"(r,1)1, (w,1)2, (w,2)2, c2, (r,2)1, c1",
+	} {
+		w := MustParseWord(in)
+		if IsStrictlySerializable(w) {
+			t.Errorf("IsStrictlySerializable(%q) = true, want false", in)
+		}
+	}
+}
+
+func TestInconsistentReadBetweenTwoCommits(t *testing.T) {
+	// x reads v1 (old), then y commits writes to v1 and v2, then x reads v2
+	// (new). Not serializable once x commits.
+	w := MustParseWord("(r,1)1, (w,1)2, (w,2)2, c2, (r,2)1, c1")
+	if IsStrictlySerializable(w) {
+		t.Error("want not strictly serializable")
+	}
+	// Without x's commit, strict serializability holds but opacity fails.
+	prefix := w[:len(w)-1]
+	if !IsStrictlySerializable(prefix) {
+		t.Error("prefix must be strictly serializable")
+	}
+	if IsOpaque(prefix) {
+		t.Error("prefix must not be opaque")
+	}
+}
+
+func TestOpacityRequiresRealTimeOrder(t *testing.T) {
+	// Non-overlapping committing transactions must serialize in real-time
+	// order even without conflicts.
+	w := MustParseWord("(r,1)1, c1, (w,2)2, c2")
+	if !IsOpaque(w) {
+		t.Error("want opaque")
+	}
+}
+
+func TestConflictPairsExamples(t *testing.T) {
+	// Global read vs. commit of a writer.
+	w := MustParseWord("(r,1)1, (w,1)2, c2, c1")
+	pairs := ConflictPairs(w)
+	// (r,1)1 at 0 conflicts with c2 at 2; the two commits do not conflict
+	// because only t2 writes.
+	if len(pairs) != 1 || pairs[0] != (ConflictPair{I: 0, J: 2}) {
+		t.Errorf("ConflictPairs = %v", pairs)
+	}
+
+	// Commit-commit conflict requires a common written variable.
+	w2 := MustParseWord("(w,1)1, (w,1)2, c1, c2")
+	pairs2 := ConflictPairs(w2)
+	if len(pairs2) != 1 || pairs2[0] != (ConflictPair{I: 2, J: 3}) {
+		t.Errorf("ConflictPairs = %v", pairs2)
+	}
+
+	// A read following the thread's own write is not global: no conflict.
+	w3 := MustParseWord("(w,1)1, (r,1)1, (w,1)2, c2, c1")
+	pairs3 := ConflictPairs(w3)
+	if len(pairs3) != 1 || pairs3[0] != (ConflictPair{I: 3, J: 4}) {
+		t.Errorf("ConflictPairs = %v", pairs3)
+	}
+
+	// Statements within one transaction never conflict.
+	w4 := MustParseWord("(r,1)1, (w,1)1, c1")
+	if got := ConflictPairs(w4); len(got) != 0 {
+		t.Errorf("ConflictPairs = %v", got)
+	}
+}
+
+func TestStrictEquivalenceBasics(t *testing.T) {
+	w := MustParseWord("(r,1)1, (w,1)2, c1, c2")
+	// Identity.
+	if !StrictlyEquivalent(w, w) {
+		t.Error("word must be strictly equivalent to itself")
+	}
+	// Different thread projection.
+	w2 := MustParseWord("(r,1)1, c1, c2")
+	if StrictlyEquivalent(w, w2) || StrictlyEquivalent(w2, w) {
+		t.Error("different thread projections must not be equivalent")
+	}
+	// A sequential rearrangement that respects the conflict (read before
+	// writer's commit).
+	seq := MustParseWord("(r,1)1, c1, (w,1)2, c2")
+	if !StrictlyEquivalent(seq, w) {
+		t.Errorf("%q should be strictly equivalent to %q", seq, w)
+	}
+	// The opposite order breaks the conflict order.
+	bad := MustParseWord("(w,1)2, c2, (r,1)1, c1")
+	if StrictlyEquivalent(bad, w) {
+		t.Errorf("%q should not be strictly equivalent to %q", bad, w)
+	}
+}
+
+func TestStrictEquivalencePrecedence(t *testing.T) {
+	// x (t1) commits before y (t2) begins; a candidate placing y first
+	// violates condition (iii) when x is finishing.
+	w := MustParseWord("(r,1)1, c1, (r,2)2, c2")
+	rev := MustParseWord("(r,2)2, c2, (r,1)1, c1")
+	if StrictlyEquivalent(rev, w) {
+		t.Error("reversing non-overlapping committed transactions must fail")
+	}
+	if !StrictlyEquivalent(w, w) {
+		t.Error("identity must hold")
+	}
+}
+
+func TestConflictGraphCycleExtraction(t *testing.T) {
+	w := MustParseWord("(w,2)1, (w,1)2, (r,2)2, (r,1)1, c2, c1")
+	g := BuildConflictGraph(w)
+	if g.Acyclic() {
+		t.Fatal("graph should be cyclic")
+	}
+	cyc := g.Cycle()
+	if len(cyc) < 2 {
+		t.Fatalf("Cycle = %v", cyc)
+	}
+	// Every consecutive pair (and the wrap-around) must be an edge.
+	for i := range cyc {
+		a, b := cyc[i], cyc[(i+1)%len(cyc)]
+		if !g.HasEdge(a, b) {
+			t.Errorf("missing edge %d->%d in cycle %v", a, b, cyc)
+		}
+	}
+}
+
+func TestConflictGraphAcyclicHasNoCycle(t *testing.T) {
+	w := MustParseWord("(r,1)1, c1, (w,1)2, c2")
+	g := BuildConflictGraph(w)
+	if !g.Acyclic() {
+		t.Fatal("graph should be acyclic")
+	}
+	if cyc := g.Cycle(); cyc != nil {
+		t.Errorf("Cycle = %v on acyclic graph", cyc)
+	}
+}
+
+func TestOpacityImpliesSerializabilityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		w := randomWellFormed(rng, 10)
+		if IsOpaque(w) && !IsStrictlySerializable(w) {
+			t.Fatalf("opaque but not strictly serializable: %q", w)
+		}
+	}
+}
+
+func TestOraclePrefixClosedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		w := randomWellFormed(rng, 10)
+		if IsOpaque(w) {
+			for j := range w {
+				if !IsOpaque(w[:j]) {
+					t.Fatalf("opacity not prefix closed at %d: %q", j, w)
+				}
+			}
+		}
+		if IsStrictlySerializable(w) {
+			for j := range w {
+				if !IsStrictlySerializable(w[:j]) {
+					t.Fatalf("πss not prefix closed at %d: %q", j, w)
+				}
+			}
+		}
+	}
+}
+
+func TestBruteForceAgreesWithConflictGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 600; i++ {
+		w := randomWellFormed(rng, 9)
+		if got, want := IsStrictlySerializableBrute(w), IsStrictlySerializable(w); got != want {
+			t.Fatalf("πss disagreement on %q: brute=%v graph=%v", w, got, want)
+		}
+		if got, want := IsOpaqueBrute(w), IsOpaque(w); got != want {
+			t.Fatalf("πop disagreement on %q: brute=%v graph=%v", w, got, want)
+		}
+	}
+}
+
+func TestSequentialWordsAreOpaque(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		w := randomSequential(rng, 12)
+		if !IsSequential(w) {
+			t.Fatalf("generator produced non-sequential word %q", w)
+		}
+		if !IsOpaque(w) {
+			t.Fatalf("sequential word not opaque: %q", w)
+		}
+	}
+}
+
+// randomWellFormed emits words whose per-thread shape is
+// (access* (commit|abort))*, over 3 threads and 3 variables.
+func randomWellFormed(rng *rand.Rand, n int) Word {
+	inTx := make([]bool, 3)
+	var w Word
+	for len(w) < n {
+		t := rng.Intn(3)
+		switch r := rng.Float64(); {
+		case r < 0.2 && inTx[t]:
+			w = append(w, St(Commit(), Thread(t)))
+			inTx[t] = false
+		case r < 0.3 && inTx[t]:
+			w = append(w, St(Abort(), Thread(t)))
+			inTx[t] = false
+		default:
+			v := Var(rng.Intn(3))
+			if rng.Intn(2) == 0 {
+				w = append(w, St(Read(v), Thread(t)))
+			} else {
+				w = append(w, St(Write(v), Thread(t)))
+			}
+			inTx[t] = true
+		}
+	}
+	return w
+}
+
+func randomSequential(rng *rand.Rand, n int) Word {
+	var w Word
+	for len(w) < n {
+		t := Thread(rng.Intn(3))
+		steps := 1 + rng.Intn(3)
+		for i := 0; i < steps && len(w) < n-1; i++ {
+			v := Var(rng.Intn(3))
+			if rng.Intn(2) == 0 {
+				w = append(w, St(Read(v), t))
+			} else {
+				w = append(w, St(Write(v), t))
+			}
+		}
+		if rng.Float64() < 0.8 {
+			w = append(w, St(Commit(), t))
+		} else {
+			w = append(w, St(Abort(), t))
+		}
+	}
+	return w
+}

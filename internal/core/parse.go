@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseWord parses the paper's word notation, e.g.
+//
+//	(w,2)1, (w,1)2, (r,2)2, (r,1)1, c2, c1
+//
+// Statements are comma-separated at the top level. Reads and writes are
+// written "(r,v)t" / "(w,v)t"; commits "ct"; aborts "at". Variables and
+// threads are 1-based in the notation and converted to the package's
+// 0-based identifiers.
+func ParseWord(s string) (Word, error) {
+	var w Word
+	toks := splitStatements(s)
+	for _, tok := range toks {
+		st, err := ParseStmt(tok)
+		if err != nil {
+			return nil, fmt.Errorf("statement %q: %w", tok, err)
+		}
+		w = append(w, st)
+	}
+	return w, nil
+}
+
+// MustParseWord is ParseWord for trusted literals; it panics on error.
+func MustParseWord(s string) Word {
+	w, err := ParseWord(s)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// ParseStmt parses a single statement in the paper's notation.
+func ParseStmt(tok string) (Stmt, error) {
+	tok = strings.TrimSpace(tok)
+	if tok == "" {
+		return Stmt{}, fmt.Errorf("empty statement")
+	}
+	if strings.HasPrefix(tok, "(") {
+		close := strings.Index(tok, ")")
+		if close < 0 {
+			return Stmt{}, fmt.Errorf("missing ')'")
+		}
+		inner := tok[1:close]
+		rest := strings.TrimSpace(tok[close+1:])
+		parts := strings.Split(inner, ",")
+		if len(parts) != 2 {
+			return Stmt{}, fmt.Errorf("want (op,var), got %q", inner)
+		}
+		op := strings.TrimSpace(parts[0])
+		v, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil || v < 1 {
+			return Stmt{}, fmt.Errorf("bad variable %q", parts[1])
+		}
+		t, err := strconv.Atoi(rest)
+		if err != nil || t < 1 {
+			return Stmt{}, fmt.Errorf("bad thread %q", rest)
+		}
+		switch op {
+		case "r":
+			return St(Read(Var(v-1)), Thread(t-1)), nil
+		case "w":
+			return St(Write(Var(v-1)), Thread(t-1)), nil
+		default:
+			return Stmt{}, fmt.Errorf("bad op %q", op)
+		}
+	}
+	op := tok[:1]
+	t, err := strconv.Atoi(strings.TrimSpace(tok[1:]))
+	if err != nil || t < 1 {
+		return Stmt{}, fmt.Errorf("bad thread %q", tok[1:])
+	}
+	switch op {
+	case "c":
+		return St(Commit(), Thread(t-1)), nil
+	case "a":
+		return St(Abort(), Thread(t-1)), nil
+	default:
+		return Stmt{}, fmt.Errorf("bad op %q", op)
+	}
+}
+
+// splitStatements splits on commas that are not inside parentheses.
+func splitStatements(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	tail := strings.TrimSpace(s[start:])
+	if tail != "" {
+		out = append(out, tail)
+	}
+	// Drop empty fragments produced by trailing commas.
+	var clean []string
+	for _, f := range out {
+		if strings.TrimSpace(f) != "" {
+			clean = append(clean, f)
+		}
+	}
+	return clean
+}

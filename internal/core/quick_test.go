@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genWord is a quick.Generator producing well-formed words over up to 3
+// threads and 3 variables.
+type genWord struct {
+	W Word
+}
+
+// Generate implements quick.Generator.
+func (genWord) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 1 + rng.Intn(3)
+	k := 1 + rng.Intn(3)
+	length := rng.Intn(12)
+	inTx := make([]bool, n)
+	var w Word
+	for len(w) < length {
+		t := rng.Intn(n)
+		r := rng.Float64()
+		switch {
+		case r < 0.2 && inTx[t]:
+			w = append(w, St(Commit(), Thread(t)))
+			inTx[t] = false
+		case r < 0.3 && inTx[t]:
+			w = append(w, St(Abort(), Thread(t)))
+			inTx[t] = false
+		default:
+			v := Var(rng.Intn(k))
+			if rng.Intn(2) == 0 {
+				w = append(w, St(Read(v), Thread(t)))
+			} else {
+				w = append(w, St(Write(v), Thread(t)))
+			}
+			inTx[t] = true
+		}
+	}
+	return reflect.ValueOf(genWord{W: w})
+}
+
+var quickCfg = &quick.Config{MaxCount: 400}
+
+func TestQuickVarSetAlgebra(t *testing.T) {
+	if err := quick.Check(func(a, b, c uint16) bool {
+		x, y, z := VarSet(a), VarSet(b), VarSet(c)
+		if x.Union(y) != y.Union(x) {
+			return false
+		}
+		if x.Union(y).Union(z) != x.Union(y.Union(z)) {
+			return false
+		}
+		if x.Union(x) != x || x.Intersect(x) != x {
+			return false
+		}
+		if x.Intersect(y.Union(z)) != x.Intersect(y).Union(x.Intersect(z)) {
+			return false
+		}
+		if x.Intersects(y) != !x.Intersect(y).Empty() {
+			return false
+		}
+		return true
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVarSetAddRemove(t *testing.T) {
+	if err := quick.Check(func(a uint16, vRaw uint8) bool {
+		x := VarSet(a)
+		v := Var(vRaw % 16)
+		if !x.Add(v).Has(v) {
+			return false
+		}
+		if x.Remove(v).Has(v) {
+			return false
+		}
+		if x.Add(v).Remove(v).Has(v) {
+			return false
+		}
+		// Adding a present element preserves Len.
+		if x.Has(v) && x.Add(v).Len() != x.Len() {
+			return false
+		}
+		if !x.Has(v) && x.Add(v).Len() != x.Len()+1 {
+			return false
+		}
+		return true
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickThreadSetMirrorsVarSet(t *testing.T) {
+	if err := quick.Check(func(a, b uint16, tRaw uint8) bool {
+		x, y := ThreadSet(a), ThreadSet(b)
+		tr := Thread(tRaw % 16)
+		if x.Union(y) != y.Union(x) {
+			return false
+		}
+		if !x.Add(tr).Has(tr) || x.Remove(tr).Has(tr) {
+			return false
+		}
+		if len(x.Threads()) != x.Len() {
+			return false
+		}
+		return true
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAlphabetRoundTrip(t *testing.T) {
+	for _, ab := range []Alphabet{{1, 1}, {2, 2}, {3, 2}, {2, 4}, {4, 3}} {
+		for l := 0; l < ab.Size(); l++ {
+			s := ab.Decode(l)
+			if got := ab.Encode(s); got != l {
+				t.Fatalf("alphabet %+v: Encode(Decode(%d)) = %d", ab, l, got)
+			}
+		}
+		// Distinct letters decode to distinct statements.
+		seen := map[Stmt]bool{}
+		for l := 0; l < ab.Size(); l++ {
+			s := ab.Decode(l)
+			if seen[s] {
+				t.Fatalf("alphabet %+v: duplicate statement %v", ab, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestQuickThreadProjectionPartitions(t *testing.T) {
+	if err := quick.Check(func(g genWord) bool {
+		w := g.W
+		total := 0
+		for _, th := range w.Threads() {
+			total += len(w.ThreadProjection(th))
+		}
+		return total == len(w)
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTransactionsPartitionPositions(t *testing.T) {
+	if err := quick.Check(func(g genWord) bool {
+		w := g.W
+		txs := Transactions(w)
+		covered := make([]bool, len(w))
+		for _, x := range txs {
+			for _, p := range x.Positions {
+				if covered[p] {
+					return false // a position in two transactions
+				}
+				covered[p] = true
+			}
+		}
+		for _, c := range covered {
+			if !c {
+				return false // uncovered position
+			}
+		}
+		return true
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComIdempotent(t *testing.T) {
+	if err := quick.Check(func(g genWord) bool {
+		c := Com(g.W)
+		return Com(c).Equal(c)
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickComKeepsOnlyCommitting(t *testing.T) {
+	if err := quick.Check(func(g genWord) bool {
+		c := Com(g.W)
+		for _, x := range Transactions(c) {
+			if x.Status != TxCommitting {
+				return false
+			}
+		}
+		return true
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStrictEquivalenceReflexive(t *testing.T) {
+	if err := quick.Check(func(g genWord) bool {
+		return StrictlyEquivalent(g.W, g.W)
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOpacityImpliesSerializability(t *testing.T) {
+	if err := quick.Check(func(g genWord) bool {
+		return !IsOpaque(g.W) || IsStrictlySerializable(g.W)
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOraclePrefixClosed(t *testing.T) {
+	if err := quick.Check(func(g genWord) bool {
+		w := g.W
+		if IsOpaque(w) {
+			for j := range w {
+				if !IsOpaque(w[:j]) {
+					return false
+				}
+			}
+		}
+		if IsStrictlySerializable(w) {
+			for j := range w {
+				if !IsStrictlySerializable(w[:j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSerializabilityIgnoresNonCommitted(t *testing.T) {
+	// πss is a property of com(w): dropping aborting and unfinished
+	// transactions does not change the verdict.
+	if err := quick.Check(func(g genWord) bool {
+		return IsStrictlySerializable(g.W) == IsStrictlySerializable(Com(g.W))
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConflictPairsAreOrdered(t *testing.T) {
+	if err := quick.Check(func(g genWord) bool {
+		for _, p := range ConflictPairs(g.W) {
+			if p.I >= p.J || p.J >= len(g.W) || p.I < 0 {
+				return false
+			}
+		}
+		return true
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseRoundTrip(t *testing.T) {
+	if err := quick.Check(func(g genWord) bool {
+		w2, err := ParseWord(g.W.String())
+		return err == nil && w2.Equal(g.W)
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConflictGraphEdgesWithinRange(t *testing.T) {
+	if err := quick.Check(func(g genWord) bool {
+		gr := BuildConflictGraph(g.W)
+		n := len(gr.Txs)
+		for u, adj := range gr.Adj {
+			for _, v := range adj {
+				if v < 0 || v >= n || v == u {
+					return false
+				}
+			}
+		}
+		return true
+	}, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

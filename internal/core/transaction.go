@@ -1,0 +1,156 @@
+package core
+
+// TxStatus classifies a transaction within a word.
+type TxStatus uint8
+
+// A transaction is committing if its last statement is a commit, aborting if
+// its last statement is an abort, and unfinished otherwise.
+const (
+	TxCommitting TxStatus = iota
+	TxAborting
+	TxUnfinished
+)
+
+// String names the status.
+func (s TxStatus) String() string {
+	switch s {
+	case TxCommitting:
+		return "committing"
+	case TxAborting:
+		return "aborting"
+	case TxUnfinished:
+		return "unfinished"
+	default:
+		return "invalid"
+	}
+}
+
+// Transaction is a maximal run of statements of one thread between an
+// initiating statement and a finishing statement (or the end of the word).
+// Positions index into the word the transaction was extracted from.
+type Transaction struct {
+	Thread    Thread
+	Status    TxStatus
+	Positions []int // indices into the source word, ascending
+	Index     int   // ordinal among all transactions, by first statement
+	Seq       int   // ordinal among transactions of the same thread
+}
+
+// First returns the position of the transaction's first statement.
+func (x *Transaction) First() int { return x.Positions[0] }
+
+// Last returns the position of the transaction's last statement.
+func (x *Transaction) Last() int { return x.Positions[len(x.Positions)-1] }
+
+// Statements materializes the transaction's statements from the source word.
+func (x *Transaction) Statements(w Word) Word {
+	out := make(Word, len(x.Positions))
+	for i, p := range x.Positions {
+		out[i] = w[p]
+	}
+	return out
+}
+
+// Writes returns the set of variables written by the transaction in w.
+func (x *Transaction) Writes(w Word) VarSet {
+	var vs VarSet
+	for _, p := range x.Positions {
+		if w[p].Cmd.Op == OpWrite {
+			vs = vs.Add(w[p].Cmd.V)
+		}
+	}
+	return vs
+}
+
+// GlobalReads returns the set of variables globally read by the transaction:
+// variables v with a read of v not preceded (within the transaction) by a
+// write of v.
+func (x *Transaction) GlobalReads(w Word) VarSet {
+	var reads, written VarSet
+	for _, p := range x.Positions {
+		switch w[p].Cmd.Op {
+		case OpRead:
+			if !written.Has(w[p].Cmd.V) {
+				reads = reads.Add(w[p].Cmd.V)
+			}
+		case OpWrite:
+			written = written.Add(w[p].Cmd.V)
+		}
+	}
+	return reads
+}
+
+// Precedes reports x <w y: the last statement of x occurs before the first
+// statement of y in the source word.
+func (x *Transaction) Precedes(y *Transaction) bool {
+	return x.Last() < y.First()
+}
+
+// Transactions decomposes w into its transactions, ordered by first
+// statement. Each statement of w belongs to exactly one transaction.
+func Transactions(w Word) []*Transaction {
+	open := map[Thread]*Transaction{} // current unfinished transaction per thread
+	seq := map[Thread]int{}
+	var txs []*Transaction
+	for i, s := range w {
+		x := open[s.T]
+		if x == nil {
+			x = &Transaction{Thread: s.T, Status: TxUnfinished, Seq: seq[s.T]}
+			seq[s.T]++
+			open[s.T] = x
+			txs = append(txs, x)
+		}
+		x.Positions = append(x.Positions, i)
+		switch s.Cmd.Op {
+		case OpCommit:
+			x.Status = TxCommitting
+			delete(open, s.T)
+		case OpAbort:
+			x.Status = TxAborting
+			delete(open, s.T)
+		}
+	}
+	for i, x := range txs {
+		x.Index = i
+	}
+	return txs
+}
+
+// TxOf maps each position of w to the transaction containing it.
+func TxOf(w Word, txs []*Transaction) []*Transaction {
+	owner := make([]*Transaction, len(w))
+	for _, x := range txs {
+		for _, p := range x.Positions {
+			owner[p] = x
+		}
+	}
+	return owner
+}
+
+// Com returns com(w): the subsequence of w consisting of every statement
+// that is part of a committing transaction.
+func Com(w Word) Word {
+	txs := Transactions(w)
+	owner := TxOf(w, txs)
+	var out Word
+	for i := range w {
+		if owner[i] != nil && owner[i].Status == TxCommitting {
+			out = append(out, w[i])
+		}
+	}
+	return out
+}
+
+// IsSequential reports whether every pair of transactions in w is ordered:
+// for all transactions x ≠ y, either x <w y or y <w x.
+func IsSequential(w Word) bool {
+	txs := Transactions(w)
+	for i := 0; i < len(txs); i++ {
+		for j := i + 1; j < len(txs); j++ {
+			if !txs[i].Precedes(txs[j]) && !txs[j].Precedes(txs[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}

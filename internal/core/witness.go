@@ -1,0 +1,64 @@
+package core
+
+// SerializationWitness returns, for a serializable word, the witness
+// order: transaction indices (into Transactions of the analyzed word) in
+// an order whose induced sequential word is strictly equivalent to the
+// input. For πss the analyzed word is com(w); for πop it is w itself.
+// ok is false when no witness exists (the word is not serializable).
+//
+// The witness is a topological order of the precedence digraph, choosing
+// the smallest available transaction index first, so it is deterministic.
+func SerializationWitness(w Word, prop bool /* true = opacity */, sem Semantics) (order []int, ok bool) {
+	target := w
+	if !prop {
+		target = Com(w)
+	}
+	g := BuildConflictGraphUnder(target, sem)
+	n := len(g.Txs)
+	indeg := make([]int, n)
+	for _, adj := range g.Adj {
+		for _, v := range adj {
+			indeg[v]++
+		}
+	}
+	// Kahn's algorithm with smallest-index-first selection.
+	used := make([]bool, n)
+	for len(order) < n {
+		pick := -1
+		for i := 0; i < n; i++ {
+			if !used[i] && indeg[i] == 0 {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			return nil, false // cycle
+		}
+		used[pick] = true
+		order = append(order, pick)
+		for _, v := range g.Adj[pick] {
+			indeg[v]--
+		}
+	}
+	return order, true
+}
+
+// Sequentialize materializes the witness: it returns the sequential word
+// obtained by concatenating the analyzed word's transactions in witness
+// order. For πss the analyzed word is com(w).
+func Sequentialize(w Word, prop bool, sem Semantics) (Word, bool) {
+	target := w
+	if !prop {
+		target = Com(w)
+	}
+	order, ok := SerializationWitness(w, prop, sem)
+	if !ok {
+		return nil, false
+	}
+	txs := Transactions(target)
+	var out Word
+	for _, i := range order {
+		out = append(out, txs[i].Statements(target)...)
+	}
+	return out, true
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWitnessOnSerializableWord(t *testing.T) {
+	w := MustParseWord("(r,1)1, (w,1)2, c1, c2")
+	seq, ok := Sequentialize(w, false, DeferredUpdate)
+	if !ok {
+		t.Fatal("expected a witness")
+	}
+	if !IsSequential(seq) {
+		t.Fatalf("witness %q not sequential", seq)
+	}
+	// The witness must be strictly equivalent to com(w) per the paper's
+	// definition (witness as subject).
+	if !StrictlyEquivalent(seq, Com(w)) {
+		t.Fatalf("witness %q not strictly equivalent to %q", seq, Com(w))
+	}
+	// The reader serializes first here.
+	want := MustParseWord("(r,1)1, c1, (w,1)2, c2")
+	if !seq.Equal(want) {
+		t.Errorf("witness = %q, want %q", seq, want)
+	}
+}
+
+func TestWitnessAbsentOnCycle(t *testing.T) {
+	w := MustParseWord("(w,2)1, (w,1)2, (r,2)2, (r,1)1, c2, c1")
+	if _, ok := SerializationWitness(w, false, DeferredUpdate); ok {
+		t.Error("non-serializable word must have no witness")
+	}
+	if _, ok := Sequentialize(w, false, DeferredUpdate); ok {
+		t.Error("non-serializable word must not sequentialize")
+	}
+}
+
+func TestWitnessMatchesOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for i := 0; i < 400; i++ {
+		w := randomWellFormed(rng, 10)
+		_, okSS := SerializationWitness(w, false, DeferredUpdate)
+		if okSS != IsStrictlySerializable(w) {
+			t.Fatalf("πss witness/oracle mismatch on %q", w)
+		}
+		_, okOp := SerializationWitness(w, true, DeferredUpdate)
+		if okOp != IsOpaque(w) {
+			t.Fatalf("πop witness/oracle mismatch on %q", w)
+		}
+	}
+}
+
+func TestWitnessIsStrictlyEquivalentRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	checked := 0
+	for i := 0; i < 300; i++ {
+		w := randomWellFormed(rng, 9)
+		if seq, ok := Sequentialize(w, true, DeferredUpdate); ok {
+			checked++
+			if !IsSequential(seq) {
+				t.Fatalf("witness %q not sequential for %q", seq, w)
+			}
+			if !StrictlyEquivalent(seq, w) {
+				t.Fatalf("witness %q not strictly equivalent to %q", seq, w)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no opaque samples — generator broken?")
+	}
+}
+
+func TestWitnessDirectSemantics(t *testing.T) {
+	w := MustParseWord("(w,1)1, (r,1)2, c2, c1")
+	ordDef, ok := SerializationWitness(w, false, DeferredUpdate)
+	if !ok {
+		t.Fatal("deferred witness expected")
+	}
+	ordDir, ok := SerializationWitness(w, false, DirectUpdate)
+	if !ok {
+		t.Fatal("direct witness expected")
+	}
+	// Deferred: reader (transaction 1) first; direct: writer (0) first.
+	if ordDef[0] != 1 || ordDir[0] != 0 {
+		t.Errorf("orders: deferred %v, direct %v", ordDef, ordDir)
+	}
+}

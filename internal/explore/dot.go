@@ -1,0 +1,36 @@
+package explore
+
+import (
+	"fmt"
+	"io"
+
+	"tmcheck/internal/tm"
+)
+
+// WriteDOT renders the transition system in Graphviz DOT format:
+// emitting edges are solid and labeled with the emitted statement,
+// internal ⊥-steps are dashed and labeled with the extended command,
+// aborts are red. For systems beyond a few hundred states the output is
+// better piped through sfdp than dot.
+func (ts *TS) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n", ts.Name()); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  rankdir=LR;\n  node [shape=circle, fontsize=10];\n")
+	fmt.Fprintf(w, "  q0 [shape=doublecircle];\n")
+	for s := range ts.Out {
+		for _, e := range ts.Out[s] {
+			attr := ""
+			label := fmt.Sprintf("%s%d", e.X, e.T+1)
+			switch {
+			case e.X.Kind == tm.XAbort:
+				attr = ", color=red, fontcolor=red"
+			case e.R == tm.RespPending:
+				attr = ", style=dashed"
+			}
+			fmt.Fprintf(w, "  q%d -> q%d [label=%q%s];\n", s, e.To, label, attr)
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

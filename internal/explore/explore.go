@@ -1,0 +1,279 @@
+// Package explore unfolds a TM algorithm — optionally in product with a
+// contention manager — applied to the most general program with n threads
+// and k variables into an explicit finite transition system (§3.2).
+//
+// The most general program lets every thread issue every command whenever
+// no command of that thread is pending. The explorer supplies the generic
+// parts of the TM-algorithm formalism:
+//
+//   - pending-command bookkeeping (the function γ): a command answered
+//     with response ⊥ stays pending and is the only command the thread may
+//     continue with;
+//   - abort transitions: an abort of thread t is possible exactly when the
+//     enabled command is abort enabled (no extended-command transition
+//     exists) or the conflict function is true;
+//   - the contention-manager product of §3.1: at a conflict only extended
+//     commands the manager has a transition for may execute; elsewhere the
+//     manager merely observes.
+//
+// The resulting transition system is the common substrate of the safety
+// checker (via its NFA view: completed commands and aborts are letters,
+// ⊥-responses are ε-moves) and of the liveness checker (which inspects its
+// loops).
+package explore
+
+import (
+	"fmt"
+
+	"tmcheck/internal/automata"
+	"tmcheck/internal/core"
+	"tmcheck/internal/tm"
+)
+
+// pending is a thread's pending command, if any. The zero value means no
+// command is pending.
+type pending struct {
+	Active bool
+	C      core.Command
+}
+
+// prodState is an explored state: the TM-algorithm state, each thread's
+// pending command, and the contention-manager state (nil when exploring
+// without a manager).
+type prodState struct {
+	TM      tm.State
+	Pending [tm.MaxThreads]pending
+	CM      tm.State
+}
+
+// Edge is one transition of the explicit system.
+type Edge struct {
+	To int32
+	// Cmd is the program command being executed and T the thread.
+	Cmd core.Command
+	T   core.Thread
+	// X and R are the extended command executed and the TM's response.
+	// Aborts appear as X.Kind == XAbort with R == Resp0.
+	X tm.XCmd
+	R tm.Resp
+	// Emit is the letter of the emitted statement (completed command or
+	// abort) in the instance alphabet, or -1 for internal ⊥-steps.
+	Emit int16
+}
+
+// TS is the explicit transition system of a TM algorithm applied to the
+// most general program.
+type TS struct {
+	Alg      tm.Algorithm
+	CM       tm.ContentionManager // nil when the TM runs without a manager
+	Alphabet core.Alphabet
+	States   []prodState
+	Out      [][]Edge // outgoing edges per state; state 0 is initial
+}
+
+// Name describes the explored system, e.g. "dstm" or "tl2+polite".
+func (ts *TS) Name() string {
+	if ts.CM == nil {
+		return ts.Alg.Name()
+	}
+	return ts.Alg.Name() + "+" + ts.CM.Name()
+}
+
+// NumStates returns the number of reachable states — the "Size" column of
+// the paper's Table 2.
+func (ts *TS) NumStates() int { return len(ts.States) }
+
+// NumEdges returns the total number of transitions.
+func (ts *TS) NumEdges() int {
+	n := 0
+	for _, es := range ts.Out {
+		n += len(es)
+	}
+	return n
+}
+
+// Build explores the TM algorithm applied to the most general program on
+// the algorithm's own thread and variable bounds. cm may be nil.
+func Build(alg tm.Algorithm, cm tm.ContentionManager) *TS {
+	n := alg.Threads()
+	ab := core.Alphabet{Threads: n, Vars: alg.Vars()}
+	ts := &TS{Alg: alg, CM: cm, Alphabet: ab}
+
+	var cmInit tm.State
+	if cm != nil {
+		cmInit = cm.Initial()
+	}
+	init := prodState{TM: alg.Initial(), CM: cmInit}
+
+	index := map[prodState]int32{init: 0}
+	ts.States = append(ts.States, init)
+	ts.Out = append(ts.Out, nil)
+
+	intern := func(s prodState) int32 {
+		if id, ok := index[s]; ok {
+			return id
+		}
+		id := int32(len(ts.States))
+		index[s] = id
+		ts.States = append(ts.States, s)
+		ts.Out = append(ts.Out, nil)
+		return id
+	}
+
+	commands := ab.Commands()
+	for qi := 0; qi < len(ts.States); qi++ {
+		q := ts.States[qi]
+		for t := core.Thread(0); int(t) < n; t++ {
+			enabled := commands
+			if q.Pending[t].Active {
+				enabled = []core.Command{q.Pending[t].C}
+			}
+			for _, c := range enabled {
+				ts.expand(qi, q, c, t, intern)
+			}
+		}
+	}
+	return ts
+}
+
+// expand appends every transition for command c by thread t from state q.
+func (ts *TS) expand(qi int, q prodState, c core.Command, t core.Thread, intern func(prodState) int32) {
+	steps := ts.Alg.Steps(q.TM, c, t)
+	conflict := ts.Alg.Conflict(q.TM, c, t)
+
+	// cmStep resolves the contention-manager product for extended command
+	// x: allowed reports whether the transition survives, and next is the
+	// manager's state afterwards.
+	cmStep := func(x tm.XCmd) (next tm.State, allowed bool) {
+		if ts.CM == nil {
+			return q.CM, true
+		}
+		p2, has := ts.CM.Step(q.CM, x, t)
+		if conflict && !has {
+			return nil, false
+		}
+		if has {
+			return p2, true
+		}
+		return q.CM, true
+	}
+
+	for _, step := range steps {
+		cmNext, ok := cmStep(step.X)
+		if !ok {
+			continue
+		}
+		next := prodState{TM: step.Next, Pending: q.Pending, CM: cmNext}
+		emit := int16(-1)
+		if step.R == tm.RespPending {
+			next.Pending[t] = pending{Active: true, C: c}
+		} else {
+			next.Pending[t] = pending{}
+			if step.R == tm.Resp1 {
+				emit = int16(ts.Alphabet.Encode(core.St(c, t)))
+			}
+		}
+		ts.addEdge(qi, Edge{To: intern(next), Cmd: c, T: t, X: step.X, R: step.R, Emit: emit})
+	}
+
+	// Abort transitions exist when the command is abort enabled (no
+	// extended-command step) or the conflict function is true.
+	if len(steps) == 0 || conflict {
+		if cmNext, ok := cmStep(tm.XCmd{Kind: tm.XAbort}); ok {
+			next := prodState{TM: ts.Alg.AbortStep(q.TM, t), Pending: q.Pending, CM: cmNext}
+			next.Pending[t] = pending{}
+			emit := int16(ts.Alphabet.Encode(core.St(core.Abort(), t)))
+			ts.addEdge(qi, Edge{
+				To: intern(next), Cmd: c, T: t,
+				X: tm.XCmd{Kind: tm.XAbort}, R: tm.Resp0, Emit: emit,
+			})
+		}
+	}
+}
+
+func (ts *TS) addEdge(from int, e Edge) {
+	ts.Out[from] = append(ts.Out[from], e)
+}
+
+// NFA views the transition system as an automaton over the instance
+// alphabet: emitting edges become letter transitions, internal ⊥-steps
+// become ε-transitions. Its language is L(A), the language of the TM
+// algorithm (§3.2).
+func (ts *TS) NFA() *automata.NFA {
+	a := automata.NewNFA(ts.Alphabet.Size())
+	for i := 1; i < len(ts.States); i++ {
+		a.AddState()
+	}
+	for s, es := range ts.Out {
+		for _, e := range es {
+			if e.Emit >= 0 {
+				a.AddEdge(s, int(e.Emit), int(e.To))
+			} else {
+				a.AddEps(s, int(e.To))
+			}
+		}
+	}
+	return a
+}
+
+// InLanguage reports whether the word is in L(A), by NFA simulation.
+func (ts *TS) InLanguage(w core.Word) bool {
+	return ts.NFA().Accepts(ts.Alphabet.EncodeWord(w))
+}
+
+// Run replays a scheduler (a sequence of thread choices) from the initial
+// state, resolving nondeterminism by taking the first enabled transition of
+// the scheduled thread whose extended command is not an abort, falling
+// back to an abort when nothing else is enabled. It returns the sequence
+// of executed edges, mirroring the runs of the paper's Table 1. The replay
+// stops early if the scheduled thread has no transition at all.
+func (ts *TS) Run(schedule []core.Thread) []Edge {
+	var out []Edge
+	cur := int32(0)
+	for _, t := range schedule {
+		var chosen *Edge
+		for i := range ts.Out[cur] {
+			e := &ts.Out[cur][i]
+			if e.T != t {
+				continue
+			}
+			if e.X.Kind != tm.XAbort {
+				chosen = e
+				break
+			}
+			if chosen == nil {
+				chosen = e
+			}
+		}
+		if chosen == nil {
+			return out
+		}
+		out = append(out, *chosen)
+		cur = chosen.To
+	}
+	return out
+}
+
+// WordOf extracts the emitted word of a sequence of edges.
+func (ts *TS) WordOf(run []Edge) core.Word {
+	var w core.Word
+	for _, e := range run {
+		if e.Emit >= 0 {
+			w = append(w, ts.Alphabet.Decode(int(e.Emit)))
+		}
+	}
+	return w
+}
+
+// FormatRun renders a run in the paper's Table 1 notation, e.g.
+// "(rl,1)1, (r,1)1, (wl,2)1, ...".
+func FormatRun(run []Edge) string {
+	s := ""
+	for i, e := range run {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s%d", e.X, e.T+1)
+	}
+	return s
+}

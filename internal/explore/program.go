@@ -1,0 +1,60 @@
+package explore
+
+import (
+	"tmcheck/internal/core"
+	"tmcheck/internal/tm"
+)
+
+// Program assigns each thread a list of commands to issue in order. A
+// command that completes (response 1) or aborts is consumed; an aborted
+// command is not retried — the thread's next command begins a fresh
+// transaction, matching the runs of the paper's Table 1.
+type Program map[core.Thread][]core.Command
+
+// RunProgram replays a schedule (a sequence of thread choices) against the
+// transition system, each thread issuing its program's commands in order.
+// At each step the scheduled thread executes one extended command of its
+// current program command, resolving nondeterminism in favour of the first
+// non-abort edge and falling back to an abort edge. The replay stops early
+// when the scheduled thread has no matching transition or its program is
+// exhausted.
+func (ts *TS) RunProgram(schedule []core.Thread, prog Program) []Edge {
+	var out []Edge
+	cur := int32(0)
+	next := map[core.Thread]int{}
+	pendingOf := map[core.Thread]bool{}
+	for _, t := range schedule {
+		idx := next[t]
+		if idx >= len(prog[t]) {
+			return out
+		}
+		cmd := prog[t][idx]
+		var chosen *Edge
+		for i := range ts.Out[cur] {
+			e := &ts.Out[cur][i]
+			if e.T != t || e.Cmd != cmd {
+				continue
+			}
+			if e.X.Kind != tm.XAbort {
+				chosen = e
+				break
+			}
+			if chosen == nil {
+				chosen = e
+			}
+		}
+		if chosen == nil {
+			return out
+		}
+		out = append(out, *chosen)
+		cur = chosen.To
+		switch {
+		case chosen.X.Kind == tm.XAbort, chosen.R == tm.Resp1:
+			next[t] = idx + 1
+			pendingOf[t] = false
+		default:
+			pendingOf[t] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package explore
+
+import (
+	"tmcheck/internal/core"
+	"tmcheck/internal/tm"
+)
+
+// ThreadProgram restricts the commands one thread may issue: a finite
+// automaton over commands. The most general program is the one-state
+// automaton allowing everything; restricted programs model real workload
+// classes — read-only threads, fixed transaction shapes, bounded
+// transaction counts.
+type ThreadProgram interface {
+	// Initial returns the program's start state. States must be
+	// comparable values.
+	Initial() tm.State
+	// Next returns the successor state if the command is allowed in p,
+	// or ok = false if the program never issues c here.
+	Next(p tm.State, c core.Command) (next tm.State, ok bool)
+	// OnAbort returns the program state after the TM aborts the thread's
+	// transaction — typically rewinding to the transaction's start to
+	// model a retry loop.
+	OnAbort(p tm.State) tm.State
+}
+
+// AnyProgram allows every command — the most general program.
+type AnyProgram struct{}
+
+type anyState struct{}
+
+// Initial implements ThreadProgram.
+func (AnyProgram) Initial() tm.State { return anyState{} }
+
+// Next implements ThreadProgram.
+func (AnyProgram) Next(p tm.State, c core.Command) (tm.State, bool) { return p, true }
+
+// OnAbort implements ThreadProgram.
+func (AnyProgram) OnAbort(p tm.State) tm.State { return p }
+
+// ReadOnlyProgram allows reads and commits only.
+type ReadOnlyProgram struct{}
+
+// Initial implements ThreadProgram.
+func (ReadOnlyProgram) Initial() tm.State { return anyState{} }
+
+// Next implements ThreadProgram.
+func (ReadOnlyProgram) Next(p tm.State, c core.Command) (tm.State, bool) {
+	return p, c.Op != core.OpWrite
+}
+
+// OnAbort implements ThreadProgram.
+func (ReadOnlyProgram) OnAbort(p tm.State) tm.State { return p }
+
+// seqProgState tracks progress through a fixed command list, plus the
+// index the current transaction started at (for retry after abort).
+type seqProgState struct {
+	At      uint8
+	TxStart uint8
+}
+
+// FixedProgram issues a fixed command sequence, transaction by
+// transaction, then stops. Aborted transactions are retried from their
+// first command.
+type FixedProgram struct {
+	Commands []core.Command
+}
+
+// Initial implements ThreadProgram.
+func (f *FixedProgram) Initial() tm.State { return seqProgState{} }
+
+// Next implements ThreadProgram.
+func (f *FixedProgram) Next(p tm.State, c core.Command) (tm.State, bool) {
+	st := p.(seqProgState)
+	if int(st.At) >= len(f.Commands) || f.Commands[st.At] != c {
+		return p, false
+	}
+	st.At++
+	if c.Op == core.OpCommit {
+		st.TxStart = st.At
+	}
+	return st, true
+}
+
+// OnAbort implements ThreadProgram: rewind to the transaction's start.
+func (f *FixedProgram) OnAbort(p tm.State) tm.State {
+	st := p.(seqProgState)
+	st.At = st.TxStart
+	return st
+}
+
+// rstate is a restricted-exploration state: the TM product state plus the
+// per-thread program states.
+type rstate struct {
+	Prod prodState
+	Prog [tm.MaxThreads]tm.State
+}
+
+// BuildRestricted unfolds the TM against per-thread programs instead of
+// the most general program. progs[t] restricts thread t; a nil entry means
+// AnyProgram. The resulting transition system supports exactly the same
+// analyses (safety inclusion, liveness loops) as Build's, so one can ask
+// whether a TM is, say, obstruction free for read-only workloads even
+// though it is not in general.
+func BuildRestricted(alg tm.Algorithm, cm tm.ContentionManager, progs []ThreadProgram) *TS {
+	n := alg.Threads()
+	ab := core.Alphabet{Threads: n, Vars: alg.Vars()}
+	ts := &TS{Alg: alg, CM: cm, Alphabet: ab}
+
+	filled := make([]ThreadProgram, n)
+	for t := 0; t < n; t++ {
+		if t < len(progs) && progs[t] != nil {
+			filled[t] = progs[t]
+		} else {
+			filled[t] = AnyProgram{}
+		}
+	}
+
+	var init rstate
+	init.Prod = prodState{TM: alg.Initial()}
+	if cm != nil {
+		init.Prod.CM = cm.Initial()
+	}
+	for t := 0; t < n; t++ {
+		init.Prog[t] = filled[t].Initial()
+	}
+
+	index := map[rstate]int32{init: 0}
+	states := []rstate{init}
+	ts.States = append(ts.States, init.Prod)
+	ts.Out = append(ts.Out, nil)
+	intern := func(s rstate) int32 {
+		if id, ok := index[s]; ok {
+			return id
+		}
+		id := int32(len(states))
+		index[s] = id
+		states = append(states, s)
+		ts.States = append(ts.States, s.Prod)
+		ts.Out = append(ts.Out, nil)
+		return id
+	}
+
+	commands := ab.Commands()
+	for qi := 0; qi < len(states); qi++ {
+		q := states[qi]
+		for t := core.Thread(0); int(t) < n; t++ {
+			var enabled []core.Command
+			if q.Prod.Pending[t].Active {
+				enabled = []core.Command{q.Prod.Pending[t].C}
+			} else {
+				for _, c := range commands {
+					if _, ok := filled[t].Next(q.Prog[t], c); ok {
+						enabled = append(enabled, c)
+					}
+				}
+			}
+			for _, c := range enabled {
+				ts.expandRestricted(filled[t], qi, q, c, t, intern)
+			}
+		}
+	}
+	return ts
+}
+
+// expandRestricted mirrors TS.expand with program-state tracking: the
+// program advances when its command completes and rewinds on aborts.
+func (ts *TS) expandRestricted(prog ThreadProgram, qi int, q rstate, c core.Command, t core.Thread, intern func(rstate) int32) {
+	steps := ts.Alg.Steps(q.Prod.TM, c, t)
+	conflict := ts.Alg.Conflict(q.Prod.TM, c, t)
+
+	cmStep := func(x tm.XCmd) (tm.State, bool) {
+		if ts.CM == nil {
+			return q.Prod.CM, true
+		}
+		p2, has := ts.CM.Step(q.Prod.CM, x, t)
+		if conflict && !has {
+			return nil, false
+		}
+		if has {
+			return p2, true
+		}
+		return q.Prod.CM, true
+	}
+
+	for _, step := range steps {
+		cmNext, ok := cmStep(step.X)
+		if !ok {
+			continue
+		}
+		next := rstate{Prod: prodState{TM: step.Next, Pending: q.Prod.Pending, CM: cmNext}, Prog: q.Prog}
+		emit := int16(-1)
+		if step.R == tm.RespPending {
+			next.Prod.Pending[t] = pending{Active: true, C: c}
+		} else {
+			next.Prod.Pending[t] = pending{}
+			if step.R == tm.Resp1 {
+				emit = int16(ts.Alphabet.Encode(core.St(c, t)))
+				p2, ok := prog.Next(q.Prog[t], c)
+				if !ok {
+					continue // unreachable: c was enabled by the program
+				}
+				next.Prog[t] = p2
+			}
+		}
+		ts.addEdge(qi, Edge{To: intern(next), Cmd: c, T: t, X: step.X, R: step.R, Emit: emit})
+	}
+
+	if len(steps) == 0 || conflict {
+		if cmNext, ok := cmStep(tm.XCmd{Kind: tm.XAbort}); ok {
+			next := rstate{
+				Prod: prodState{TM: ts.Alg.AbortStep(q.Prod.TM, t), Pending: q.Prod.Pending, CM: cmNext},
+				Prog: q.Prog,
+			}
+			next.Prod.Pending[t] = pending{}
+			next.Prog[t] = prog.OnAbort(q.Prog[t])
+			emit := int16(ts.Alphabet.Encode(core.St(core.Abort(), t)))
+			ts.addEdge(qi, Edge{
+				To: intern(next), Cmd: c, T: t,
+				X: tm.XCmd{Kind: tm.XAbort}, R: tm.Resp0, Emit: emit,
+			})
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package explore
+
+import (
+	"tmcheck/internal/core"
+	"tmcheck/internal/tm"
+)
+
+// Table1Scenario is one row of the paper's Table 1: a TM, a scheduler
+// output, the per-thread programs implied by the paper's run, the run of
+// extended statements, and the emitted word.
+type Table1Scenario struct {
+	Name     string
+	TM       string
+	Alg      func() tm.Algorithm
+	Schedule []core.Thread
+	Programs Program
+	WantRun  string
+	WantWord string
+}
+
+// Table1Scenarios reproduces the paper's Table 1 verbatim. Threads and
+// variables are 1-based in the strings, as in the paper.
+var Table1Scenarios = []Table1Scenario{
+	{
+		Name:     "seq/11122",
+		TM:       "seq",
+		Alg:      func() tm.Algorithm { return tm.NewSeq(2, 2) },
+		Schedule: []core.Thread{0, 0, 0, 1, 1},
+		Programs: Program{
+			0: {core.Read(0), core.Write(1), core.Commit()},
+			1: {core.Write(0), core.Commit()},
+		},
+		WantRun:  "(r,1)1, (w,2)1, c1, (w,1)2, c2",
+		WantWord: "(r,1)1, (w,2)1, c1, (w,1)2, c2",
+	},
+	{
+		Name:     "seq/112122",
+		TM:       "seq",
+		Alg:      func() tm.Algorithm { return tm.NewSeq(2, 2) },
+		Schedule: []core.Thread{0, 0, 1, 0, 1, 1},
+		Programs: Program{
+			0: {core.Read(0), core.Write(1), core.Commit()},
+			1: {core.Write(0), core.Write(0), core.Commit()},
+		},
+		WantRun:  "(r,1)1, (w,2)1, a2, c1, (w,1)2, c2",
+		WantWord: "(r,1)1, (w,2)1, a2, c1, (w,1)2, c2",
+	},
+	{
+		Name:     "2pl/111112",
+		TM:       "2pl",
+		Alg:      func() tm.Algorithm { return tm.NewTwoPL(2, 2) },
+		Schedule: []core.Thread{0, 0, 0, 0, 0, 1},
+		Programs: Program{
+			0: {core.Read(0), core.Write(1), core.Commit()},
+			1: {core.Write(1)},
+		},
+		WantRun:  "(rl,1)1, (r,1)1, (wl,2)1, (w,2)1, c1, (wl,2)2",
+		WantWord: "(r,1)1, (w,2)1, c1",
+	},
+	{
+		Name:     "2pl/1211112",
+		TM:       "2pl",
+		Alg:      func() tm.Algorithm { return tm.NewTwoPL(2, 2) },
+		Schedule: []core.Thread{0, 1, 0, 0, 0, 0, 1},
+		Programs: Program{
+			0: {core.Read(0), core.Write(1), core.Commit()},
+			1: {core.Write(0), core.Write(1)},
+		},
+		WantRun:  "(rl,1)1, a2, (r,1)1, (wl,2)1, (w,2)1, c1, (wl,2)2",
+		WantWord: "a2, (r,1)1, (w,2)1, c1",
+	},
+	{
+		Name:     "dstm/12211112",
+		TM:       "dstm",
+		Alg:      func() tm.Algorithm { return tm.NewDSTM(2, 2) },
+		Schedule: []core.Thread{0, 1, 1, 0, 0, 0, 0, 1},
+		Programs: Program{
+			0: {core.Read(0), core.Write(1), core.Commit()},
+			1: {core.Write(0), core.Commit()},
+		},
+		WantRun:  "(r,1)1, (o,1)2, (w,1)2, (o,2)1, (w,2)1, v1, c1, a2",
+		WantWord: "(r,1)1, (w,1)2, (w,2)1, c1, a2",
+	},
+	{
+		Name:     "dstm/12222111",
+		TM:       "dstm",
+		Alg:      func() tm.Algorithm { return tm.NewDSTM(2, 2) },
+		Schedule: []core.Thread{0, 1, 1, 1, 1, 0, 0, 0},
+		Programs: Program{
+			0: {core.Read(0), core.Write(1), core.Commit()},
+			1: {core.Write(0), core.Commit()},
+		},
+		WantRun:  "(r,1)1, (o,1)2, (w,1)2, v2, c2, (o,2)1, (w,2)1, a1",
+		WantWord: "(r,1)1, (w,1)2, c2, (w,2)1, a1",
+	},
+	{
+		Name:     "tl2/112112212",
+		TM:       "tl2",
+		Alg:      func() tm.Algorithm { return tm.NewTL2(2, 2) },
+		Schedule: []core.Thread{0, 0, 1, 0, 0, 1, 1, 0, 1},
+		Programs: Program{
+			0: {core.Read(0), core.Write(1), core.Commit()},
+			1: {core.Write(0), core.Commit()},
+		},
+		WantRun:  "(r,1)1, (w,2)1, (w,1)2, (l,2)1, v1, (l,1)2, v2, c1, c2",
+		WantWord: "(r,1)1, (w,2)1, (w,1)2, c1, c2",
+	},
+	{
+		Name:     "tl2/11212122",
+		TM:       "tl2",
+		Alg:      func() tm.Algorithm { return tm.NewTL2(2, 2) },
+		Schedule: []core.Thread{0, 0, 1, 0, 1, 0, 1, 1},
+		Programs: Program{
+			0: {core.Read(0), core.Write(1), core.Commit()},
+			1: {core.Write(0), core.Commit()},
+		},
+		WantRun:  "(r,1)1, (w,2)1, (w,1)2, (l,2)1, (l,1)2, a1, v2, c2",
+		WantWord: "(r,1)1, (w,2)1, (w,1)2, a1, c2",
+	},
+}

@@ -1,0 +1,77 @@
+package explore
+
+import (
+	"tmcheck/internal/core"
+)
+
+// WitnessRun finds a run of the transition system that emits exactly the
+// given word: the sequence of edges — including the internal
+// extended-command steps — realizing it. It returns ok = false when the
+// word is not in the TM's language. The search is a BFS over (state, word
+// position) pairs, so the run found has the fewest internal steps.
+func (ts *TS) WitnessRun(w core.Word) ([]Edge, bool) {
+	letters := ts.Alphabet.EncodeWord(w)
+	type node struct {
+		state int32
+		pos   int
+	}
+	type pred struct {
+		prev node
+		ref  edgeIdx
+		ok   bool
+	}
+	preds := map[node]pred{{state: 0, pos: 0}: {}}
+	queue := []node{{state: 0, pos: 0}}
+	var goal *node
+	for len(queue) > 0 && goal == nil {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.pos == len(letters) {
+			g := cur
+			goal = &g
+			break
+		}
+		for i, e := range ts.Out[cur.state] {
+			var next node
+			switch {
+			case e.Emit < 0:
+				next = node{state: e.To, pos: cur.pos}
+			case int(e.Emit) == letters[cur.pos]:
+				next = node{state: e.To, pos: cur.pos + 1}
+			default:
+				continue
+			}
+			if _, seen := preds[next]; seen {
+				continue
+			}
+			preds[next] = pred{prev: cur, ref: edgeIdx{from: cur.state, idx: i}, ok: true}
+			queue = append(queue, next)
+		}
+	}
+	if goal == nil {
+		// The empty word is always realizable at the initial state.
+		if len(letters) == 0 {
+			return nil, true
+		}
+		return nil, false
+	}
+	var rev []Edge
+	cur := *goal
+	for {
+		p := preds[cur]
+		if !p.ok {
+			break
+		}
+		rev = append(rev, ts.Out[p.ref.from][p.ref.idx])
+		cur = p.prev
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+type edgeIdx struct {
+	from int32
+	idx  int
+}

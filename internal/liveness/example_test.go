@@ -1,0 +1,36 @@
+package liveness_test
+
+import (
+	"fmt"
+
+	"tmcheck/internal/explore"
+	"tmcheck/internal/liveness"
+	"tmcheck/internal/tm"
+)
+
+func ExampleCheckObstructionFreedom() {
+	// DSTM with the aggressive contention manager never aborts a
+	// transaction running alone, so it is obstruction free; with the
+	// polite manager it is not.
+	aggr := explore.Build(tm.NewDSTM(2, 1), tm.Aggressive{})
+	fmt.Println("dstm+aggressive:", liveness.CheckObstructionFreedom(aggr).Holds)
+
+	pol := explore.Build(tm.NewDSTM(2, 1), tm.Polite{})
+	res := liveness.CheckObstructionFreedom(pol)
+	fmt.Println("dstm+polite:", res.Holds, "loop:", res.LoopWord())
+	// Output:
+	// dstm+aggressive: true
+	// dstm+polite: false loop: a1
+}
+
+func ExampleCheckLivelockFreedom() {
+	// Two writers stealing ownership from each other forever: no TM in the
+	// paper is livelock free.
+	ts := explore.Build(tm.NewDSTM(2, 1), tm.Aggressive{})
+	res := liveness.CheckLivelockFreedom(ts)
+	fmt.Println("livelock free:", res.Holds)
+	fmt.Println("loop:", res.LoopWord())
+	// Output:
+	// livelock free: false
+	// loop: a1, (o,1)1, a2, (o,1)2
+}

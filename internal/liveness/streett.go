@@ -1,0 +1,354 @@
+package liveness
+
+import (
+	"tmcheck/internal/core"
+	"tmcheck/internal/explore"
+)
+
+// The paper observes (§6) that obstruction freedom is formally a Streett
+// condition and livelock freedom a close relative, then exploits their
+// special shape with direct loop searches. This file provides the general
+// machinery as an independent backend: a Streett-satisfaction engine based
+// on the classical recursive SCC decomposition (find an SCC; any pair with
+// its E-edges present but F-edges absent is unsatisfiable there, so delete
+// those E-edges and recurse), used to re-derive both liveness checks. The
+// two backends cross-validate each other in the tests.
+//
+// Violations are phrased as runs to FIND:
+//
+//   - obstruction freedom is violated by a run that eventually uses only
+//     one thread's non-commit edges and visits that thread's aborts
+//     infinitely — a required-class search on a restricted graph;
+//   - livelock freedom is violated by a run with finitely many commits
+//     that satisfies the Streett pairs (statements of t ⇒ aborts of t) for
+//     every thread — a Streett satisfaction on the commit-free graph.
+
+// StreettPair is an edge-level Streett pair: a run satisfies it when
+// visiting E infinitely implies visiting F infinitely.
+type StreettPair struct {
+	E func(explore.Edge) bool
+	F func(explore.Edge) bool
+}
+
+// FindStreettRun looks for an infinite run of ts that eventually uses only
+// edges passing restrict, satisfies every Streett pair, and visits at
+// least one edge of every required class infinitely often. It returns the
+// stem and loop of a witness lasso, or nil loops when no such run exists.
+func FindStreettRun(ts *explore.TS, restrict func(explore.Edge) bool, pairs []StreettPair, require []func(explore.Edge) bool) (stem, loop []explore.Edge) {
+	// live marks the edges currently allowed; the recursion disables
+	// E-edges of failing pairs.
+	type edgeKey struct {
+		from int32
+		idx  int
+	}
+	disabled := map[edgeKey]bool{}
+	allowed := func(from int32, idx int, e explore.Edge) bool {
+		return restrict(e) && !disabled[edgeKey{from, idx}]
+	}
+
+	// search returns a witness within the given state set (nil = all).
+	var search func(states []int32) (stem, loop []explore.Edge)
+	search = func(states []int32) ([]explore.Edge, []explore.Edge) {
+		inScope := map[int32]bool{}
+		if states == nil {
+			for s := range ts.Out {
+				inScope[int32(s)] = true
+			}
+		} else {
+			for _, s := range states {
+				inScope[s] = true
+			}
+		}
+		// graphView's keep only sees the edge value, not its index, so the
+		// SCC computation here is index-aware.
+		comp, comps := sccWithFilter(ts, inScope, allowed)
+		for cid, members := range comps {
+			// Edges fully inside this SCC.
+			type cedge struct {
+				from int32
+				idx  int
+			}
+			var inside []cedge
+			for _, s := range members {
+				for i, e := range ts.Out[s] {
+					if allowed(s, i, e) && comp[e.To] == int32(cid) && inScope[e.To] {
+						inside = append(inside, cedge{s, i})
+					}
+				}
+			}
+			if len(inside) == 0 {
+				continue // trivial SCC, no cycle
+			}
+			// Check the Streett pairs within this SCC.
+			var failing []int
+			for pi, p := range pairs {
+				hasE, hasF := false, false
+				for _, ce := range inside {
+					e := ts.Out[ce.from][ce.idx]
+					if p.E(e) {
+						hasE = true
+					}
+					if p.F(e) {
+						hasF = true
+					}
+				}
+				if hasE && !hasF {
+					failing = append(failing, pi)
+				}
+			}
+			if len(failing) > 0 {
+				// Disable the failing pairs' E-edges inside this SCC and
+				// recurse on its states.
+				var disabledHere []edgeKey
+				for _, ce := range inside {
+					e := ts.Out[ce.from][ce.idx]
+					for _, pi := range failing {
+						if pairs[pi].E(e) {
+							k := edgeKey{ce.from, ce.idx}
+							if !disabled[k] {
+								disabled[k] = true
+								disabledHere = append(disabledHere, k)
+							}
+							break
+						}
+					}
+				}
+				st, lp := search(members)
+				if lp != nil {
+					return st, lp
+				}
+				for _, k := range disabledHere {
+					delete(disabled, k)
+				}
+				continue
+			}
+			// Pairs satisfied. Check the required classes.
+			reqEdges := make([]edgeRef, 0, len(require)+len(pairs))
+			ok := true
+			for _, rc := range require {
+				found := false
+				for _, ce := range inside {
+					if rc(ts.Out[ce.from][ce.idx]) {
+						reqEdges = append(reqEdges, edgeRef{from: ce.from, idx: ce.idx})
+						found = true
+						break
+					}
+				}
+				if !found {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Include one F-edge for every pair whose E-edges occur here,
+			// so the loop itself satisfies the pairs.
+			for _, p := range pairs {
+				hasE := false
+				for _, ce := range inside {
+					if p.E(ts.Out[ce.from][ce.idx]) {
+						hasE = true
+						break
+					}
+				}
+				if !hasE {
+					continue
+				}
+				for _, ce := range inside {
+					if p.F(ts.Out[ce.from][ce.idx]) {
+						reqEdges = append(reqEdges, edgeRef{from: ce.from, idx: ce.idx})
+						break
+					}
+				}
+			}
+			if len(reqEdges) == 0 {
+				// Any cycle will do; take the first inside edge.
+				reqEdges = append(reqEdges, edgeRef{from: inside[0].from, idx: inside[0].idx})
+			}
+			return buildStreettLoop(ts, inScope, allowed, comp, int32(cid), reqEdges)
+		}
+		return nil, nil
+	}
+	return search(nil)
+}
+
+// sccWithFilter computes SCCs over the filtered, index-aware edge set,
+// returning the component of each state and the member lists of
+// components that contain at least one state.
+func sccWithFilter(ts *explore.TS, inScope map[int32]bool, allowed func(int32, int, explore.Edge) bool) ([]int32, [][]int32) {
+	n := len(ts.Out)
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int32, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+	var stack []int32
+	var next, compCount int32
+	var comps [][]int32
+
+	type frame struct {
+		v  int32
+		ei int
+	}
+	for root := 0; root < n; root++ {
+		if !inScope[int32(root)] || index[root] != unvisited {
+			continue
+		}
+		call := []frame{{v: int32(root)}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			advanced := false
+			for f.ei < len(ts.Out[f.v]) {
+				i := f.ei
+				e := ts.Out[f.v][i]
+				f.ei++
+				if !allowed(f.v, i, e) || !inScope[e.To] {
+					continue
+				}
+				w := e.To
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[f.v] == index[f.v] {
+				var members []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = compCount
+					members = append(members, w)
+					if w == f.v {
+						break
+					}
+				}
+				comps = append(comps, members)
+				compCount++
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := &call[len(call)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+			}
+		}
+	}
+	return comp, comps
+}
+
+// buildStreettLoop stitches the required edges into a loop within the SCC
+// and finds a stem from the initial state.
+func buildStreettLoop(ts *explore.TS, inScope map[int32]bool, allowed func(int32, int, explore.Edge) bool, comp []int32, cid int32, refs []edgeRef) (stem, loop []explore.Edge) {
+	path := func(src, dst int32) []explore.Edge {
+		if src == dst {
+			return nil
+		}
+		type pred struct {
+			prev int32
+			ref  edgeRef
+		}
+		preds := map[int32]pred{src: {prev: -1}}
+		queue := []int32{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for i, e := range ts.Out[v] {
+				if !allowed(v, i, e) || comp[e.To] != cid || !inScope[e.To] {
+					continue
+				}
+				if _, seen := preds[e.To]; seen {
+					continue
+				}
+				preds[e.To] = pred{prev: v, ref: edgeRef{from: v, idx: i}}
+				if e.To == dst {
+					var rev []explore.Edge
+					cur := dst
+					for cur != src {
+						p := preds[cur]
+						rev = append(rev, ts.Out[p.ref.from][p.ref.idx])
+						cur = p.prev
+					}
+					for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+						rev[i], rev[j] = rev[j], rev[i]
+					}
+					return rev
+				}
+				queue = append(queue, e.To)
+			}
+		}
+		return nil
+	}
+	for i, r := range refs {
+		e := ts.Out[r.from][r.idx]
+		loop = append(loop, e)
+		next := refs[(i+1)%len(refs)]
+		loop = append(loop, path(e.To, next.from)...)
+	}
+	stem = stemTo(ts, refs[0].from)
+	return stem, loop
+}
+
+// CheckObstructionFreedomStreett re-derives the obstruction-freedom check
+// through the general engine.
+func CheckObstructionFreedomStreett(ts *explore.TS) Result {
+	res := newResult(ts, ObstructionFreedom)
+	for t := core.Thread(0); int(t) < ts.Alg.Threads(); t++ {
+		th := t
+		restrict := func(e explore.Edge) bool { return e.T == th && !isCommit(e) }
+		require := []func(explore.Edge) bool{
+			func(e explore.Edge) bool { return isAbort(e) && e.T == th },
+		}
+		if stem, loop := FindStreettRun(ts, restrict, nil, require); loop != nil {
+			res.Holds = false
+			res.Stem, res.Loop = stem, loop
+			break
+		}
+	}
+	return res
+}
+
+// CheckLivelockFreedomStreett re-derives the livelock-freedom check
+// through the general engine: on the commit-free graph, find a run
+// satisfying the Streett pairs (statements of t ⇒ aborts of t) for every
+// thread, with at least one abort overall.
+func CheckLivelockFreedomStreett(ts *explore.TS) Result {
+	res := newResult(ts, LivelockFreedom)
+	restrict := func(e explore.Edge) bool { return !isCommit(e) }
+	var pairs []StreettPair
+	for t := core.Thread(0); int(t) < ts.Alg.Threads(); t++ {
+		th := t
+		pairs = append(pairs, StreettPair{
+			E: func(e explore.Edge) bool { return e.T == th },
+			F: func(e explore.Edge) bool { return e.T == th && isAbort(e) },
+		})
+	}
+	require := []func(explore.Edge) bool{isAbort}
+	if stem, loop := FindStreettRun(ts, restrict, pairs, require); loop != nil {
+		res.Holds = false
+		res.Stem, res.Loop = stem, loop
+	}
+	return res
+}

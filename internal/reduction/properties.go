@@ -1,0 +1,400 @@
+package reduction
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tmcheck/internal/automata"
+	"tmcheck/internal/core"
+	"tmcheck/internal/explore"
+)
+
+// Language wraps a TM's language for membership queries. The explicit
+// transition system of internal/explore satisfies it.
+type Language interface {
+	InLanguage(core.Word) bool
+}
+
+// Violation describes a sampled structural-property failure.
+type Violation struct {
+	Property string
+	Word     core.Word // the witness in the language
+	Derived  core.Word // the transformed word that fell out of the language
+}
+
+// Error renders the violation.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s violated: %q in language but %q is not", v.Property, v.Word, v.Derived)
+}
+
+// Sampler checks structural properties of a TM by sampling words from its
+// transition system and applying the reduction transformations.
+type Sampler struct {
+	TS  *explore.TS
+	Rng *rand.Rand
+	// Samples is the number of random words drawn per check.
+	Samples int
+	// MaxLen bounds the emitted length of sampled words.
+	MaxLen int
+
+	nfa *automata.NFA
+}
+
+// NewSampler returns a sampler with the given seed, drawing 200 words of
+// up to 10 statements per check.
+func NewSampler(ts *explore.TS, seed int64) *Sampler {
+	return &Sampler{TS: ts, Rng: rand.New(rand.NewSource(seed)), Samples: 200, MaxLen: 10}
+}
+
+func (s *Sampler) accepts(w core.Word) bool {
+	if s.nfa == nil {
+		s.nfa = s.TS.NFA()
+	}
+	return s.nfa.Accepts(s.TS.Alphabet.EncodeWord(w))
+}
+
+// sampleWord draws a random emitted word from the transition system.
+func (s *Sampler) sampleWord() core.Word {
+	var w core.Word
+	cur := int32(0)
+	for steps := 0; steps < 6*s.MaxLen && len(w) < s.MaxLen; steps++ {
+		es := s.TS.Out[cur]
+		if len(es) == 0 {
+			break
+		}
+		e := es[s.Rng.Intn(len(es))]
+		if e.Emit >= 0 {
+			w = append(w, s.TS.Alphabet.Decode(int(e.Emit)))
+		}
+		cur = e.To
+	}
+	return w
+}
+
+// CheckP1 samples the transaction-projection property: removing all
+// aborting transactions and any subset of the unfinished ones preserves
+// language membership.
+func (s *Sampler) CheckP1() *Violation {
+	for i := 0; i < s.Samples; i++ {
+		w := s.sampleWord()
+		for _, keepUnfinished := range []bool{true, false} {
+			p := ProjectCommitted(w, keepUnfinished)
+			if !s.accepts(p) {
+				return &Violation{Property: "P1 (transaction projection)", Word: w, Derived: p}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckP2 samples thread symmetry: when two threads' transactions do not
+// overlap (and nothing aborts), renaming one thread to the other stays in
+// the language.
+func (s *Sampler) CheckP2() *Violation {
+	n := s.TS.Alg.Threads()
+	for i := 0; i < s.Samples; i++ {
+		w := s.sampleWord()
+		if HasAborting(w) {
+			w = DropAborting(w)
+			if !s.accepts(w) {
+				continue // already a P1 matter
+			}
+		}
+		for a := core.Thread(0); int(a) < n; a++ {
+			for b := core.Thread(0); int(b) < n; b++ {
+				if a == b || !NonOverlapping(w, a, b) {
+					continue
+				}
+				// Renaming must not merge transactions: an unfinished
+				// a- or b-transaction followed by more statements of the
+				// other thread would fuse with them under the renaming,
+				// changing the word's transaction structure. Require all
+				// transactions of both threads to be committing, except a
+				// trailing unfinished one owning the word's tail.
+				if mergesUnderRenaming(w, a, b) {
+					continue
+				}
+				r := RenameThread(w, a, b)
+				if !s.accepts(r) {
+					return &Violation{Property: "P2 (thread symmetry)", Word: w, Derived: r}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckP3 samples variable projection: in abort-free words, dropping the
+// accesses of any variable subset preserves membership.
+func (s *Sampler) CheckP3() *Violation {
+	k := s.TS.Alg.Vars()
+	for i := 0; i < s.Samples; i++ {
+		w := s.sampleWord()
+		if HasAborting(w) {
+			continue
+		}
+		for mask := 0; mask < 1<<k; mask++ {
+			p := VariableProjection(w, core.VarSet(mask))
+			if !s.accepts(p) {
+				return &Violation{Property: "P3 (variable projection)", Word: w, Derived: p}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAll runs P1–P3 and returns the first violation, if any. (P4,
+// monotonicity, quantifies over sequentializations and is checked
+// separately by the commutativity samplers below; P5–P6 are the liveness
+// analogues of P1 and P3.)
+func (s *Sampler) CheckAll() *Violation {
+	if v := s.CheckP1(); v != nil {
+		return v
+	}
+	if v := s.CheckP2(); v != nil {
+		return v
+	}
+	if v := s.CheckP3(); v != nil {
+		return v
+	}
+	return nil
+}
+
+// CheckUnfinishedCommutative samples the first half of the paper's
+// sufficient condition for P4 (monotonicity): a global read commutes left
+// over non-conflicting statements of other threads.
+func (s *Sampler) CheckUnfinishedCommutative() *Violation {
+	for i := 0; i < s.Samples; i++ {
+		w := s.sampleWord()
+		// The commutativity conditions are stated over S* — words without
+		// aborts (an abort elsewhere may owe its enabledness to the very
+		// statement being moved).
+		if HasAborting(w) || hasAbortStatement(w) {
+			continue
+		}
+		// Pick a global read and slide it left over a non-conflicting
+		// directly preceding statement of another thread.
+		for pos := 1; pos < len(w); pos++ {
+			if w[pos].Cmd.Op != core.OpRead {
+				continue
+			}
+			prev := w[pos-1]
+			if prev.T == w[pos].T || prev.Cmd.Op == core.OpCommit || prev.Cmd.Op == core.OpAbort {
+				continue
+			}
+			swapped := w.Clone()
+			swapped[pos-1], swapped[pos] = swapped[pos], swapped[pos-1]
+			if !s.accepts(swapped) {
+				return &Violation{Property: "P4 (unfinished commutativity)", Word: w, Derived: swapped}
+			}
+		}
+	}
+	return nil
+}
+
+// splitTail decomposes w into w1 · w2 where w2 is the maximal suffix whose
+// statements all belong to one thread and contain no commit — the shape of
+// the liveness reduction's words (§6.1). ok is false when the tail is
+// empty or the whole word.
+func splitTail(w core.Word) (w1, w2 core.Word, ok bool) {
+	if len(w) == 0 {
+		return nil, nil, false
+	}
+	t := w[len(w)-1].T
+	cut := len(w)
+	for cut > 0 {
+		s := w[cut-1]
+		if s.T != t || s.Cmd.Op == core.OpCommit {
+			break
+		}
+		cut--
+	}
+	if cut == len(w) || cut == 0 {
+		return nil, nil, false
+	}
+	w1, w2 = w[:cut], w[cut:]
+	// The paper's decomposition requires that no unfinished transaction of
+	// w1 has a statement in w2; since w2 is all one thread's statements,
+	// that thread must be at a transaction boundary at the cut.
+	for i := cut - 1; i >= 0; i-- {
+		if w[i].T != t {
+			continue
+		}
+		if w[i].Cmd.Op != core.OpCommit && w[i].Cmd.Op != core.OpAbort {
+			return nil, nil, false // open transaction spans the boundary
+		}
+		break
+	}
+	hasAccess := false
+	for _, s := range w2 {
+		if s.Cmd.Op == core.OpAbort {
+			// An abort hides the variable of the command it aborted, so a
+			// tail containing aborts cannot be projected soundly from the
+			// word alone (the attempted accesses are invisible). The
+			// paper's V_2 is defined over the run, which sees them.
+			return nil, nil, false
+		}
+		if s.Cmd.IsAccess() {
+			hasAccess = true
+		}
+	}
+	if !hasAccess {
+		return nil, nil, false
+	}
+	return w1, w2, true
+}
+
+// hasAbortStatement reports whether the word contains any abort statement
+// (HasAborting only sees aborting transactions).
+func hasAbortStatement(w core.Word) bool {
+	for _, s := range w {
+		if s.Cmd.Op == core.OpAbort {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckP5 samples the liveness transaction-projection property (§6.1): for
+// words w1 · w2 with a single-thread commit-free tail, removing the
+// aborting transactions of w1 — and, when w1 is abort free and the tail
+// touches one variable, projecting w1 to a single thread's transactions —
+// stays in the language.
+func (s *Sampler) CheckP5() *Violation {
+	for i := 0; i < s.Samples; i++ {
+		w := s.sampleWord()
+		w1, w2, ok := splitTail(w)
+		if !ok {
+			continue
+		}
+		// (i) Dropping w1's aborting transactions.
+		p := append(DropAborting(w1), w2...)
+		if !s.accepts(p) {
+			return &Violation{Property: "P5(i) (liveness transaction projection)", Word: w, Derived: p}
+		}
+		// (ii) With an abort-free prefix and a one-variable tail, keep one
+		// prefix thread.
+		if HasAborting(w1) || len(w2.Vars()) > 1 {
+			continue
+		}
+		for _, keep := range w1.Threads() {
+			q := append(w1.ThreadProjection(keep), w2...)
+			if s.accepts(q) {
+				goto ok2
+			}
+		}
+		if len(w1.Threads()) > 0 {
+			return &Violation{Property: "P5(ii) (liveness transaction projection)", Word: w, Derived: w2}
+		}
+	ok2:
+	}
+	return nil
+}
+
+// CheckP6 samples the liveness variable-projection property (§6.1): the
+// tail projects onto each of its variables, and with an abort-free prefix
+// the prefix projects onto the tail's variables.
+func (s *Sampler) CheckP6() *Violation {
+	for i := 0; i < s.Samples; i++ {
+		w := s.sampleWord()
+		w1, w2, ok := splitTail(w)
+		if !ok {
+			continue
+		}
+		// (i) Some single-variable projection of the tail must survive
+		// (the paper's P6(i) is an existential claim).
+		vs := w2.Vars()
+		if len(vs) > 0 {
+			found := false
+			var last core.Word
+			for _, v := range vs {
+				p := append(w1.Clone(), VariableProjection(w2, core.VarSet(0).Add(v))...)
+				last = p
+				if s.accepts(p) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return &Violation{Property: "P6(i) (liveness variable projection)", Word: w, Derived: last}
+			}
+		}
+		// (ii) With an abort-free prefix, project the prefix to the tail's
+		// variables.
+		if HasAborting(w1) {
+			continue
+		}
+		var tailVars core.VarSet
+		for _, v := range w2.Vars() {
+			tailVars = tailVars.Add(v)
+		}
+		q := append(VariableProjection(w1, tailVars), w2...)
+		if !s.accepts(q) {
+			return &Violation{Property: "P6(ii) (liveness variable projection)", Word: w, Derived: q}
+		}
+	}
+	return nil
+}
+
+// CheckCommitCommutative samples the second half of the paper's sufficient
+// condition for P4, as defined: if wp · wq · s · ws is in the language,
+// where s commits transaction x and no statement of wq conflicts with s,
+// then wp · x · wq′ · ws is too, where x runs contiguously and wq′ is wq
+// with x's other statements removed.
+func (s *Sampler) CheckCommitCommutative() *Violation {
+	for i := 0; i < s.Samples; i++ {
+		w := s.sampleWord()
+		// The condition is stated over S* — words without aborts.
+		if hasAbortStatement(w) {
+			continue
+		}
+		txs := core.Transactions(w)
+		owner := core.TxOf(w, txs)
+		pairs := core.ConflictPairs(w)
+		for _, x := range txs {
+			if x.Status != core.TxCommitting {
+				continue
+			}
+			start, commit := x.First(), x.Last()
+			if commit == start {
+				continue // empty transaction: nothing to move
+			}
+			// Preconditions, in the strength the paper's proof context
+			// provides (sequentialized prefix, conflict-free move): no
+			// statement anywhere before the commit conflicts with it or
+			// with any other statement of x, and the moved-over region
+			// contains no commits of other transactions. Weaker literal
+			// readings are refuted by DSTM — a reader invalidated by the
+			// relocated commit loses its remaining reads.
+			ok := true
+			for _, p := range pairs {
+				if owner[p.I] == x || owner[p.J] == x {
+					ok = false
+					break
+				}
+			}
+			for i := start; ok && i < commit; i++ {
+				if owner[i] != x && w[i].Cmd.Op == core.OpCommit {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Build wp · x · wq′ · ws.
+			derived := make(core.Word, 0, len(w))
+			derived = append(derived, w[:start]...)
+			derived = append(derived, x.Statements(w)...)
+			for i := start; i < commit; i++ {
+				if owner[i] != x {
+					derived = append(derived, w[i])
+				}
+			}
+			derived = append(derived, w[commit+1:]...)
+			if !s.accepts(derived) {
+				return &Violation{Property: "P4 (commit commutativity)", Word: w, Derived: derived}
+			}
+		}
+	}
+	return nil
+}

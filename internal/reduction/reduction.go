@@ -1,0 +1,128 @@
+// Package reduction implements the word transformations behind the
+// paper's reduction theorems (§4 and §6.1) — transaction projection,
+// variable projection, and thread renaming — together with randomized
+// checkers for the structural properties P1–P6 that a TM must satisfy for
+// the theorems to apply.
+//
+// The reduction theorems themselves are meta-results: Theorem 1 reduces
+// safety for arbitrarily many threads and variables to (2,2), Theorem 5
+// reduces liveness to (2,1). The checkers here sample the premises on
+// bounded instances: they exercise each transformation against a TM's
+// language and report violations. Passing the samplers is evidence, not
+// proof, that a TM satisfies the structural properties; the paper, too,
+// checks them by manual inspection.
+package reduction
+
+import (
+	"tmcheck/internal/core"
+)
+
+// TransactionProjection returns the subsequence of w containing every
+// statement of the transactions selected by keep.
+func TransactionProjection(w core.Word, keep func(*core.Transaction) bool) core.Word {
+	txs := core.Transactions(w)
+	owner := core.TxOf(w, txs)
+	var out core.Word
+	for i := range w {
+		if owner[i] != nil && keep(owner[i]) {
+			out = append(out, w[i])
+		}
+	}
+	return out
+}
+
+// ProjectCommitted keeps committing transactions and, optionally, the
+// unfinished ones — the projection used in the proof of Theorem 1 (all
+// committing transactions, no aborting ones, a chosen subset of the
+// unfinished ones).
+func ProjectCommitted(w core.Word, keepUnfinished bool) core.Word {
+	return TransactionProjection(w, func(x *core.Transaction) bool {
+		switch x.Status {
+		case core.TxCommitting:
+			return true
+		case core.TxUnfinished:
+			return keepUnfinished
+		default:
+			return false
+		}
+	})
+}
+
+// DropAborting removes aborting transactions only — the projection of
+// property P5(i).
+func DropAborting(w core.Word) core.Word {
+	return TransactionProjection(w, func(x *core.Transaction) bool {
+		return x.Status != core.TxAborting
+	})
+}
+
+// VariableProjection keeps every commit and abort statement and the reads
+// and writes of the selected variables (the paper's variable projection).
+func VariableProjection(w core.Word, keep core.VarSet) core.Word {
+	var out core.Word
+	for _, s := range w {
+		if !s.Cmd.IsAccess() || keep.Has(s.Cmd.V) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RenameThread renames every statement of thread from to thread to.
+// Property P2 applies it to non-overlapping transactions.
+func RenameThread(w core.Word, from, to core.Thread) core.Word {
+	out := w.Clone()
+	for i := range out {
+		if out[i].T == from {
+			out[i].T = to
+		}
+	}
+	return out
+}
+
+// NonOverlapping reports whether all transactions of threads a and b in w
+// are pairwise ordered — the premise of thread symmetry (P2).
+func NonOverlapping(w core.Word, a, b core.Thread) bool {
+	txs := core.Transactions(w)
+	for _, x := range txs {
+		if x.Thread != a {
+			continue
+		}
+		for _, y := range txs {
+			if y.Thread != b {
+				continue
+			}
+			if !x.Precedes(y) && !y.Precedes(x) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mergesUnderRenaming reports whether renaming thread a to b would fuse an
+// unfinished transaction of one thread with a later transaction of the
+// other, changing the word's transaction structure.
+func mergesUnderRenaming(w core.Word, a, b core.Thread) bool {
+	var last *core.Transaction
+	for _, x := range core.Transactions(w) {
+		if x.Thread != a && x.Thread != b {
+			continue
+		}
+		if last != nil && last.Status == core.TxUnfinished {
+			return true // an unfinished transaction precedes another
+		}
+		last = x
+	}
+	return false
+}
+
+// HasAborting reports whether w contains an aborting transaction.
+func HasAborting(w core.Word) bool {
+	for _, x := range core.Transactions(w) {
+		if x.Status == core.TxAborting {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+package runtime
+
+import (
+	"sync"
+
+	"tmcheck/internal/core"
+)
+
+// GLockSTM is the baseline: one global mutex held for the whole
+// transaction. Trivially opaque (transactions are truly sequential) and a
+// useful control for the trace checker — its recorded words must always be
+// sequential.
+type GLockSTM struct {
+	mu   sync.Mutex
+	vars []int
+	rec  *Recorder
+}
+
+// NewGLockSTM returns a global-lock STM over k variables recording into
+// rec.
+func NewGLockSTM(k int, rec *Recorder) *GLockSTM {
+	return &GLockSTM{vars: make([]int, k), rec: rec}
+}
+
+// Name implements STM.
+func (s *GLockSTM) Name() string { return "glock" }
+
+// Begin implements STM: it blocks until the global lock is available.
+func (s *GLockSTM) Begin(t core.Thread) Tx {
+	s.mu.Lock()
+	return &glockTx{stm: s, t: t}
+}
+
+type glockTx struct {
+	stm  *GLockSTM
+	t    core.Thread
+	dead bool
+}
+
+// Read implements Tx.
+func (tx *glockTx) Read(v core.Var) (int, error) {
+	if tx.dead {
+		return 0, ErrAborted
+	}
+	checkVar(v, len(tx.stm.vars))
+	tx.stm.rec.Record(core.St(core.Read(v), tx.t))
+	return tx.stm.vars[v], nil
+}
+
+// Write implements Tx.
+func (tx *glockTx) Write(v core.Var, val int) error {
+	if tx.dead {
+		return ErrAborted
+	}
+	checkVar(v, len(tx.stm.vars))
+	tx.stm.rec.Record(core.St(core.Write(v), tx.t))
+	tx.stm.vars[v] = val
+	return nil
+}
+
+// Commit implements Tx: writes were performed in place under the lock, so
+// committing just releases it.
+func (tx *glockTx) Commit() error {
+	if tx.dead {
+		return ErrAborted
+	}
+	tx.stm.rec.Record(core.St(core.Commit(), tx.t))
+	tx.dead = true
+	tx.stm.mu.Unlock()
+	return nil
+}
+
+// Abort implements Tx. Note the direct-update caveat: the global lock
+// makes rollback unnecessary for isolation, but aborting loses the
+// in-place writes' rollback — this STM is meant for committing workloads
+// and the trace checker, not as a serious design.
+func (tx *glockTx) Abort() {
+	if tx.dead {
+		return
+	}
+	tx.stm.rec.Record(core.St(core.Abort(), tx.t))
+	tx.dead = true
+	tx.stm.mu.Unlock()
+}

@@ -1,0 +1,158 @@
+package runtime
+
+import (
+	"math/rand"
+	"sync"
+
+	"tmcheck/internal/core"
+)
+
+// TxScript is one transaction's intended commands (reads and writes; the
+// commit is implicit at the end). Values written are derived from the
+// workload.
+type TxScript []core.Command
+
+// Workload assigns each thread a sequence of transactions.
+type Workload map[core.Thread][]TxScript
+
+// RunSequential executes the workload single-threadedly under the given
+// schedule: each schedule entry runs the named thread's next pending
+// command (or begins/commits transactions as needed). Aborted transactions
+// are not retried. It returns the recorded word via the STM's recorder.
+//
+// This gives deterministic, repeatable interleavings at command
+// granularity — the STM's internal steps still interleave only as the
+// implementation dictates.
+func RunSequential(stm STM, rec *Recorder, schedule []core.Thread, w Workload) {
+	type threadState struct {
+		txIdx  int
+		cmdIdx int
+		tx     Tx
+	}
+	states := map[core.Thread]*threadState{}
+	for _, t := range schedule {
+		st := states[t]
+		if st == nil {
+			st = &threadState{}
+			states[t] = st
+		}
+		scripts := w[t]
+		if st.txIdx >= len(scripts) {
+			continue
+		}
+		script := scripts[st.txIdx]
+		if st.tx == nil {
+			st.tx = stm.Begin(t)
+		}
+		var err error
+		if st.cmdIdx < len(script) {
+			cmd := script[st.cmdIdx]
+			switch cmd.Op {
+			case core.OpRead:
+				_, err = st.tx.Read(cmd.V)
+			case core.OpWrite:
+				err = st.tx.Write(cmd.V, int(cmd.V)+st.txIdx)
+			}
+			st.cmdIdx++
+		} else {
+			err = st.tx.Commit()
+			st.tx = nil
+			st.txIdx++
+			st.cmdIdx = 0
+		}
+		if err != nil {
+			// The transaction died; move on to the next one.
+			st.tx = nil
+			st.txIdx++
+			st.cmdIdx = 0
+		}
+	}
+	// Abandon any transactions still open (they stay unfinished in the
+	// word).
+	_ = states
+}
+
+// Transfer is the classic invariant workload: move amounts between two
+// accounts so that the sum is preserved; run concurrently it exposes
+// non-serializable STMs immediately.
+type Transfer struct {
+	From, To core.Var
+	Amount   int
+}
+
+// RunTransfers executes count random transfers per goroutine over
+// `threads` goroutines against the STM, retrying aborted transactions up
+// to `retries` times. It returns the sum of all variables afterwards. The
+// initial balance is written by thread 0 before the race begins.
+func RunTransfers(stm STM, k, threads, count, retries int, seed int64, initial int) int {
+	// Seed the accounts.
+	init := stm.Begin(0)
+	for v := 0; v < k; v++ {
+		if err := init.Write(core.Var(v), initial); err != nil {
+			panic("seeding aborted")
+		}
+	}
+	if err := init.Commit(); err != nil {
+		panic("seeding aborted")
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(t core.Thread, seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < count; i++ {
+				from := core.Var(rng.Intn(k))
+				to := core.Var(rng.Intn(k))
+				if from == to {
+					continue
+				}
+				amount := 1 + rng.Intn(5)
+				for attempt := 0; attempt <= retries; attempt++ {
+					if tryTransfer(stm, t, from, to, amount) {
+						break
+					}
+				}
+			}
+		}(core.Thread(g), seed+int64(g))
+	}
+	wg.Wait()
+
+	// Read the final sum in one transaction (retrying; it is read-only).
+	for {
+		tx := stm.Begin(0)
+		sum := 0
+		ok := true
+		for v := 0; v < k; v++ {
+			val, err := tx.Read(core.Var(v))
+			if err != nil {
+				ok = false
+				break
+			}
+			sum += val
+		}
+		if ok && tx.Commit() == nil {
+			return sum
+		}
+	}
+}
+
+func tryTransfer(stm STM, t core.Thread, from, to core.Var, amount int) bool {
+	tx := stm.Begin(t)
+	a, err := tx.Read(from)
+	if err != nil {
+		return false
+	}
+	b, err := tx.Read(to)
+	if err != nil {
+		return false
+	}
+	if err := tx.Write(from, a-amount); err != nil {
+		return false
+	}
+	if err := tx.Write(to, b+amount); err != nil {
+		return false
+	}
+	return tx.Commit() == nil
+}

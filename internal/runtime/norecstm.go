@@ -1,0 +1,135 @@
+package runtime
+
+import (
+	"sync"
+
+	"tmcheck/internal/core"
+)
+
+// NOrecSTM is an executable NOrec (Dalessandro, Spear, Scott, PPoPP 2010):
+// no per-variable metadata at all — one global sequence lock plus
+// value-based validation. A transaction snapshots the global version; on
+// every change it revalidates its read set BY VALUE (rereading the
+// variables and comparing to what it saw); commits serialize on the
+// sequence lock.
+type NOrecSTM struct {
+	mu   sync.Mutex // protects version and vars; models the seqlock
+	ver  int64      // odd while a commit is writing back
+	vars []int
+	rec  *Recorder
+}
+
+// NewNOrecSTM returns a NOrec STM over k variables recording into rec.
+func NewNOrecSTM(k int, rec *Recorder) *NOrecSTM {
+	return &NOrecSTM{vars: make([]int, k), rec: rec}
+}
+
+// Name implements STM.
+func (s *NOrecSTM) Name() string { return "norec" }
+
+// Begin implements STM.
+func (s *NOrecSTM) Begin(t core.Thread) Tx {
+	s.mu.Lock()
+	snap := s.ver
+	s.mu.Unlock()
+	return &norecTx{stm: s, t: t, snap: snap, writes: map[core.Var]int{}, reads: map[core.Var]int{}}
+}
+
+type norecTx struct {
+	stm    *NOrecSTM
+	t      core.Thread
+	snap   int64
+	reads  map[core.Var]int // value observed per variable
+	order  []core.Var
+	writes map[core.Var]int
+	dead   bool
+}
+
+func (tx *norecTx) abortNow() error {
+	if !tx.dead {
+		tx.dead = true
+		tx.stm.rec.Record(core.St(core.Abort(), tx.t))
+	}
+	return ErrAborted
+}
+
+// revalidateLocked re-reads the read set by value under the lock; on
+// success it advances the snapshot to the current version.
+func (tx *norecTx) revalidateLocked() bool {
+	for _, v := range tx.order {
+		if tx.stm.vars[v] != tx.reads[v] {
+			return false
+		}
+	}
+	tx.snap = tx.stm.ver
+	return true
+}
+
+// Read implements Tx: value-based validation — if the global version moved
+// since the snapshot, the whole read set revalidates by value before the
+// new read is admitted.
+func (tx *norecTx) Read(v core.Var) (int, error) {
+	if tx.dead {
+		return 0, ErrAborted
+	}
+	checkVar(v, len(tx.stm.vars))
+	if val, ok := tx.writes[v]; ok {
+		tx.stm.rec.Record(core.St(core.Read(v), tx.t))
+		return val, nil
+	}
+	tx.stm.mu.Lock()
+	if tx.stm.ver != tx.snap && !tx.revalidateLocked() {
+		tx.stm.mu.Unlock()
+		return 0, tx.abortNow()
+	}
+	val := tx.stm.vars[v]
+	tx.stm.rec.Record(core.St(core.Read(v), tx.t))
+	tx.stm.mu.Unlock()
+	if _, seen := tx.reads[v]; !seen {
+		tx.reads[v] = val
+		tx.order = append(tx.order, v)
+	}
+	return val, nil
+}
+
+// Write implements Tx: NOrec buffers writes.
+func (tx *norecTx) Write(v core.Var, val int) error {
+	if tx.dead {
+		return ErrAborted
+	}
+	checkVar(v, len(tx.stm.vars))
+	tx.writes[v] = val
+	tx.stm.rec.Record(core.St(core.Write(v), tx.t))
+	return nil
+}
+
+// Commit implements Tx: read-only transactions with a valid snapshot are
+// already serialized; writers take the sequence lock, revalidate by value,
+// and write back.
+func (tx *norecTx) Commit() error {
+	if tx.dead {
+		return ErrAborted
+	}
+	tx.stm.mu.Lock()
+	if tx.stm.ver != tx.snap && !tx.revalidateLocked() {
+		tx.stm.mu.Unlock()
+		return tx.abortNow()
+	}
+	if len(tx.writes) > 0 {
+		for v, val := range tx.writes {
+			tx.stm.vars[v] = val
+		}
+		tx.stm.ver++
+	}
+	tx.stm.rec.Record(core.St(core.Commit(), tx.t))
+	tx.stm.mu.Unlock()
+	tx.dead = true
+	return nil
+}
+
+// Abort implements Tx.
+func (tx *norecTx) Abort() {
+	if !tx.dead {
+		tx.abortNow() //nolint:errcheck // the error is the point
+	}
+}

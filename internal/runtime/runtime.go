@@ -1,0 +1,95 @@
+// Package runtime provides executable software transactional memories —
+// real data structures operating on real values, not transition-system
+// models — together with a trace recorder that emits the statement words
+// of the formal framework. Running workloads against these STMs and
+// checking the recorded words against the specifications (or the oracles)
+// connects the verified models of internal/tm to code of the shape people
+// actually deploy:
+//
+//   - TL2STM is transactional locking 2 with per-variable version-and-lock
+//     words and a global version clock, as published;
+//   - DSTMSTM is DSTM with ownership records and commit-time validation;
+//   - GLockSTM is the trivial global-lock STM (always opaque, never
+//     obstruction free).
+//
+// All three implement the STM interface. Transactions follow the usual
+// speculative discipline: Read/Write may fail with ErrAborted, after which
+// the transaction must be dropped (and may be retried as a fresh one).
+//
+// The recorded trace contains one statement per successful read/write, one
+// commit per successful commit, and one abort per aborted transaction —
+// exactly the successful statements of a run in the paper's sense.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tmcheck/internal/core"
+)
+
+// ErrAborted is returned by transaction operations when the transaction
+// has been aborted (by a conflict or by the STM's validation) and must be
+// abandoned.
+var ErrAborted = errors.New("stm: transaction aborted")
+
+// STM is an executable transactional memory over k integer variables.
+type STM interface {
+	// Name identifies the implementation.
+	Name() string
+	// Begin starts a transaction for the given thread.
+	Begin(t core.Thread) Tx
+}
+
+// Tx is a live transaction. After any method returns ErrAborted the
+// transaction is dead: the abort has been recorded and no further calls
+// are allowed.
+type Tx interface {
+	// Read returns the variable's value as of the transaction's snapshot.
+	Read(v core.Var) (int, error)
+	// Write buffers (or performs, depending on the STM) a write.
+	Write(v core.Var, val int) error
+	// Commit attempts to make the transaction's effects global.
+	Commit() error
+	// Abort voluntarily abandons the transaction (idempotent).
+	Abort()
+}
+
+// Recorder collects the global word of successful statements across
+// threads. It is safe for concurrent use; the order of statements is the
+// order in which the STM's internal critical sections complete, which is a
+// linearization of the actual execution.
+type Recorder struct {
+	mu sync.Mutex
+	w  core.Word
+}
+
+// Record appends a statement.
+func (r *Recorder) Record(s core.Stmt) {
+	r.mu.Lock()
+	r.w = append(r.w, s)
+	r.mu.Unlock()
+}
+
+// Word returns a copy of the recorded word.
+func (r *Recorder) Word() core.Word {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.w.Clone()
+}
+
+// Reset clears the recorded word.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.w = nil
+	r.mu.Unlock()
+}
+
+// checkVar panics on out-of-range variables — a programming error in the
+// workload, not a TM behaviour.
+func checkVar(v core.Var, k int) {
+	if int(v) >= k {
+		panic(fmt.Sprintf("stm: variable %d out of range [0,%d)", v, k))
+	}
+}

@@ -1,0 +1,366 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmcheck/internal/core"
+)
+
+func TestTL2BasicTransaction(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewTL2STM(2, rec)
+	tx := stm.Begin(0)
+	if v, err := tx.Read(0); err != nil || v != 0 {
+		t.Fatalf("Read = %d, %v", v, err)
+	}
+	if err := tx.Write(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tx.Read(1); err != nil || v != 42 {
+		t.Fatalf("own-write read = %d, %v", v, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The committed value is visible to the next transaction.
+	tx2 := stm.Begin(1)
+	if v, err := tx2.Read(1); err != nil || v != 42 {
+		t.Fatalf("post-commit read = %d, %v", v, err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := core.MustParseWord("(r,1)1, (w,2)1, (r,2)1, c1, (r,2)2, c2")
+	if got := rec.Word(); !got.Equal(want) {
+		t.Errorf("word = %q, want %q", got, want)
+	}
+}
+
+func TestTL2StaleReadAborts(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewTL2STM(2, rec)
+	tx1 := stm.Begin(0)
+	if _, err := tx1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	// Another transaction commits a write to variable 1.
+	tx2 := stm.Begin(1)
+	if err := tx2.Write(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// tx1's read of the now-newer variable must abort (version > rv).
+	if _, err := tx1.Read(1); err != ErrAborted {
+		t.Fatalf("stale read: err = %v, want ErrAborted", err)
+	}
+	w := rec.Word()
+	if w[len(w)-1] != core.St(core.Abort(), 0) {
+		t.Errorf("abort not recorded: %q", w)
+	}
+}
+
+func TestTL2WriteConflictAborts(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewTL2STM(1, rec)
+	tx1 := stm.Begin(0)
+	tx2 := stm.Begin(1)
+	if err := tx1.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Write(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// tx2's read version predates tx1's commit; committing its blind write
+	// succeeds (TL2 validates only the read set), which is serializable.
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !core.IsOpaque(rec.Word()) {
+		t.Errorf("word not opaque: %q", rec.Word())
+	}
+}
+
+func TestTL2ReadSetRevalidationAtCommit(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewTL2STM(2, rec)
+	tx1 := stm.Begin(0)
+	if _, err := tx1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Write(1, 9); err != nil {
+		t.Fatal(err)
+	}
+	// A competing commit bumps variable 0's version.
+	tx2 := stm.Begin(1)
+	if err := tx2.Write(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// tx1 wrote variable 1, so it revalidates its read of variable 0 at
+	// commit — and must abort.
+	if err := tx1.Commit(); err != ErrAborted {
+		t.Fatalf("commit err = %v, want ErrAborted", err)
+	}
+	if !core.IsOpaque(rec.Word()) {
+		t.Errorf("word not opaque: %q", rec.Word())
+	}
+}
+
+func TestDSTMBasicAndSteal(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewDSTMSTM(2, rec)
+	tx1 := stm.Begin(0)
+	if err := tx1.Write(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	// tx2 steals ownership of variable 0; tx1 is doomed.
+	tx2 := stm.Begin(1)
+	if err := tx2.Write(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); err != ErrAborted {
+		t.Fatalf("victim commit err = %v, want ErrAborted", err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx3 := stm.Begin(0)
+	if v, err := tx3.Read(0); err != nil || v != 4 {
+		t.Fatalf("read = %d, %v; want 4", v, err)
+	}
+	if err := tx3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !core.IsOpaque(rec.Word()) {
+		t.Errorf("word not opaque: %q", rec.Word())
+	}
+}
+
+func TestDSTMOpenValidationPreventsInconsistentSnapshot(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewDSTMSTM(2, rec)
+	tx1 := stm.Begin(0)
+	if _, err := tx1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	// Another transaction commits writes to both variables.
+	tx2 := stm.Begin(1)
+	if err := tx2.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Write(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// tx1's next open must abort rather than observe the new value of
+	// variable 1 alongside the old value of variable 0.
+	if _, err := tx1.Read(1); err != ErrAborted {
+		t.Fatalf("read err = %v, want ErrAborted", err)
+	}
+	if !core.IsOpaque(rec.Word()) {
+		t.Errorf("word not opaque: %q", rec.Word())
+	}
+}
+
+func TestGLockSequentialWords(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewGLockSTM(2, rec)
+	for i := 0; i < 3; i++ {
+		tx := stm.Begin(core.Thread(i % 2))
+		if _, err := tx.Read(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Write(1, i); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := rec.Word()
+	if !core.IsSequential(w) {
+		t.Errorf("global-lock word not sequential: %q", w)
+	}
+	if !core.IsOpaque(w) {
+		t.Errorf("global-lock word not opaque: %q", w)
+	}
+}
+
+func TestDeadTransactionsRefuseWork(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewTL2STM(1, rec)
+	tx := stm.Begin(0)
+	tx.Abort()
+	if _, err := tx.Read(0); err != ErrAborted {
+		t.Errorf("Read after abort: %v", err)
+	}
+	if err := tx.Write(0, 1); err != ErrAborted {
+		t.Errorf("Write after abort: %v", err)
+	}
+	if err := tx.Commit(); err != ErrAborted {
+		t.Errorf("Commit after abort: %v", err)
+	}
+	// Abort is idempotent: exactly one abort statement recorded.
+	aborts := 0
+	for _, s := range rec.Word() {
+		if s.Cmd.Op == core.OpAbort {
+			aborts++
+		}
+	}
+	if aborts != 1 {
+		t.Errorf("%d aborts recorded, want 1", aborts)
+	}
+}
+
+// Random sequential interleavings: every recorded word of the real STMs
+// must be opaque — the runtime counterpart of Theorem 4.
+func TestRandomInterleavingsAreOpaque(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 150; iter++ {
+		workload := randomWorkload(rng)
+		schedule := randomSchedule(rng, 30)
+		for _, mk := range []func(*Recorder) STM{
+			func(r *Recorder) STM { return NewTL2STM(2, r) },
+			func(r *Recorder) STM { return NewDSTMSTM(2, r) },
+		} {
+			rec := &Recorder{}
+			stm := mk(rec)
+			RunSequential(stm, rec, schedule, workload)
+			if w := rec.Word(); !core.IsOpaque(w) {
+				t.Fatalf("%s produced non-opaque word %q (iteration %d)", stm.Name(), w, iter)
+			}
+		}
+	}
+}
+
+func randomWorkload(rng *rand.Rand) Workload {
+	w := Workload{}
+	for t := core.Thread(0); t < 2; t++ {
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			var script TxScript
+			steps := 1 + rng.Intn(3)
+			for j := 0; j < steps; j++ {
+				v := core.Var(rng.Intn(2))
+				if rng.Intn(2) == 0 {
+					script = append(script, core.Read(v))
+				} else {
+					script = append(script, core.Write(v))
+				}
+			}
+			w[t] = append(w[t], script)
+		}
+	}
+	return w
+}
+
+func randomSchedule(rng *rand.Rand, n int) []core.Thread {
+	s := make([]core.Thread, n)
+	for i := range s {
+		s[i] = core.Thread(rng.Intn(2))
+	}
+	return s
+}
+
+// Concurrent bank transfers: the sum of all accounts is invariant, and the
+// recorded trace is opaque. This is the classic end-to-end STM test, run
+// against real goroutines.
+func TestConcurrentTransfers(t *testing.T) {
+	const (
+		k       = 4
+		threads = 4
+		count   = 25
+		initial = 100
+	)
+	for _, mk := range []func(*Recorder) STM{
+		func(r *Recorder) STM { return NewTL2STM(k, r) },
+		func(r *Recorder) STM { return NewDSTMSTM(k, r) },
+		func(r *Recorder) STM { return NewGLockSTM(k, r) },
+	} {
+		rec := &Recorder{}
+		stm := mk(rec)
+		sum := RunTransfers(stm, k, threads, count, 10, 99, initial)
+		if sum != k*initial {
+			t.Errorf("%s: sum = %d, want %d", stm.Name(), sum, k*initial)
+		}
+		w := rec.Word()
+		if !core.IsOpaque(w) {
+			t.Errorf("%s: recorded word (%d statements) not opaque", stm.Name(), len(w))
+		}
+	}
+}
+
+func TestSTMNamesAndRecorderReset(t *testing.T) {
+	rec := &Recorder{}
+	for _, tc := range []struct {
+		stm  STM
+		want string
+	}{
+		{NewTL2STM(1, rec), "tl2"},
+		{NewDSTMSTM(1, rec), "dstm"},
+		{NewNOrecSTM(1, rec), "norec"},
+		{NewTwoPLSTM(1, rec), "2pl"},
+		{NewGLockSTM(1, rec), "glock"},
+	} {
+		if got := tc.stm.Name(); got != tc.want {
+			t.Errorf("Name = %q, want %q", got, tc.want)
+		}
+	}
+	rec.Record(core.St(core.Commit(), 0))
+	if len(rec.Word()) != 1 {
+		t.Fatal("record failed")
+	}
+	rec.Reset()
+	if len(rec.Word()) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestAbortMethodsIdempotent(t *testing.T) {
+	for _, mk := range []func(*Recorder) STM{
+		func(r *Recorder) STM { return NewTL2STM(1, r) },
+		func(r *Recorder) STM { return NewDSTMSTM(1, r) },
+		func(r *Recorder) STM { return NewNOrecSTM(1, r) },
+		func(r *Recorder) STM { return NewTwoPLSTM(1, r) },
+	} {
+		rec := &Recorder{}
+		stm := mk(rec)
+		tx := stm.Begin(0)
+		if err := tx.Write(0, 1); err != nil {
+			t.Fatalf("%s: %v", stm.Name(), err)
+		}
+		tx.Abort()
+		tx.Abort() // second abort is a no-op
+		aborts := 0
+		for _, s := range rec.Word() {
+			if s.Cmd.Op == core.OpAbort {
+				aborts++
+			}
+		}
+		if aborts != 1 {
+			t.Errorf("%s: %d aborts recorded, want 1", stm.Name(), aborts)
+		}
+	}
+}
+
+func TestCheckVarPanics(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewTL2STM(1, rec)
+	tx := stm.Begin(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range variable should panic")
+		}
+	}()
+	tx.Read(5) //nolint:errcheck // panics
+}

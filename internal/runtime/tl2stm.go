@@ -1,0 +1,176 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"tmcheck/internal/core"
+)
+
+// TL2STM is an executable transactional locking 2: a global version clock,
+// and per variable a version-and-lock word plus the value. Reads validate
+// the version-and-lock word against the transaction's read version; commit
+// locks the write set, increments the clock, revalidates the read set, and
+// publishes. This is the published algorithm whose model (internal/tm.TL2)
+// is verified opaque.
+type TL2STM struct {
+	clock atomic.Int64
+	vars  []tl2Var
+	rec   *Recorder
+}
+
+type tl2Var struct {
+	mu      sync.Mutex
+	version int64
+	locked  bool
+	value   int
+}
+
+// NewTL2STM returns a TL2 STM over k variables recording into rec.
+func NewTL2STM(k int, rec *Recorder) *TL2STM {
+	return &TL2STM{vars: make([]tl2Var, k), rec: rec}
+}
+
+// Name implements STM.
+func (s *TL2STM) Name() string { return "tl2" }
+
+// Begin implements STM.
+func (s *TL2STM) Begin(t core.Thread) Tx {
+	return &tl2Tx{stm: s, t: t, rv: s.clock.Load(), writes: map[core.Var]int{}}
+}
+
+type tl2Tx struct {
+	stm    *TL2STM
+	t      core.Thread
+	rv     int64
+	reads  []core.Var
+	writes map[core.Var]int
+	dead   bool
+}
+
+func (tx *tl2Tx) abortNow() error {
+	if !tx.dead {
+		tx.dead = true
+		tx.stm.rec.Record(core.St(core.Abort(), tx.t))
+	}
+	return ErrAborted
+}
+
+// Read implements Tx: it returns the buffered value for own writes, and
+// otherwise samples the variable's version-and-lock word atomically — a
+// locked or too-new variable aborts the transaction, as in published TL2.
+func (tx *tl2Tx) Read(v core.Var) (int, error) {
+	if tx.dead {
+		return 0, ErrAborted
+	}
+	checkVar(v, len(tx.stm.vars))
+	if val, ok := tx.writes[v]; ok {
+		tx.stm.rec.Record(core.St(core.Read(v), tx.t))
+		return val, nil
+	}
+	slot := &tx.stm.vars[v]
+	slot.mu.Lock()
+	if slot.locked || slot.version > tx.rv {
+		slot.mu.Unlock()
+		return 0, tx.abortNow()
+	}
+	val := slot.value
+	// The read's linearization point is inside the critical section, so
+	// record it there.
+	tx.stm.rec.Record(core.St(core.Read(v), tx.t))
+	slot.mu.Unlock()
+	tx.reads = append(tx.reads, v)
+	return val, nil
+}
+
+// Write implements Tx: TL2 buffers writes until commit.
+func (tx *tl2Tx) Write(v core.Var, val int) error {
+	if tx.dead {
+		return ErrAborted
+	}
+	checkVar(v, len(tx.stm.vars))
+	tx.writes[v] = val
+	tx.stm.rec.Record(core.St(core.Write(v), tx.t))
+	return nil
+}
+
+// Commit implements Tx: lock the write set in variable order, bump the
+// global clock, revalidate the read set (version and lock word), publish,
+// release.
+func (tx *tl2Tx) Commit() error {
+	if tx.dead {
+		return ErrAborted
+	}
+	if len(tx.writes) == 0 {
+		// Read-only fast path: every read was validated against rv at read
+		// time; nothing can have invalidated the snapshot it chose.
+		tx.dead = true
+		tx.stm.rec.Record(core.St(core.Commit(), tx.t))
+		return nil
+	}
+	// Lock the write set in ascending order (deadlock freedom); fail on
+	// any lock held by another transaction.
+	var locked []core.Var
+	release := func() {
+		for _, v := range locked {
+			slot := &tx.stm.vars[v]
+			slot.mu.Lock()
+			slot.locked = false
+			slot.mu.Unlock()
+		}
+	}
+	for v := core.Var(0); int(v) < len(tx.stm.vars); v++ {
+		if _, ok := tx.writes[v]; !ok {
+			continue
+		}
+		slot := &tx.stm.vars[v]
+		slot.mu.Lock()
+		if slot.locked {
+			slot.mu.Unlock()
+			release()
+			return tx.abortNow()
+		}
+		slot.locked = true
+		slot.mu.Unlock()
+		locked = append(locked, v)
+	}
+	wv := tx.stm.clock.Add(1)
+	// Revalidate the read set. Variables we also write are locked by us,
+	// so only the version check applies to them — but it does apply: a
+	// global read followed by a later write of the same variable is still
+	// a read that must not be stale. (Skipping those entries is a real TL2
+	// implementation bug; the trace checker found it in an earlier version
+	// of this file via a non-opaque recorded word.)
+	for _, v := range tx.reads {
+		_, own := tx.writes[v]
+		slot := &tx.stm.vars[v]
+		slot.mu.Lock()
+		bad := slot.version > tx.rv || (!own && slot.locked)
+		slot.mu.Unlock()
+		if bad {
+			release()
+			return tx.abortNow()
+		}
+	}
+	// Publish and release. The first publication is the commit's
+	// linearization point; record the commit there, while every write lock
+	// is still held.
+	tx.stm.rec.Record(core.St(core.Commit(), tx.t))
+	for _, v := range locked {
+		slot := &tx.stm.vars[v]
+		slot.mu.Lock()
+		slot.value = tx.writes[v]
+		slot.version = wv
+		slot.locked = false
+		slot.mu.Unlock()
+	}
+	tx.dead = true
+	return nil
+}
+
+// Abort implements Tx.
+func (tx *tl2Tx) Abort() {
+	if !tx.dead {
+		tx.abortNow() //nolint:errcheck // the error is the point
+	}
+}

@@ -1,0 +1,180 @@
+package runtime
+
+import (
+	"sync"
+
+	"tmcheck/internal/core"
+)
+
+// TwoPLSTM is executable two-phase locking with try-locks: reads take
+// shared locks, writes take exclusive locks (upgrading a held shared
+// lock), all released at commit or abort. A lock that cannot be acquired
+// immediately aborts the transaction — the non-blocking discipline the
+// model in internal/tm uses, which avoids deadlock by construction.
+type TwoPLSTM struct {
+	vars []tplVar
+	rec  *Recorder
+}
+
+type tplVar struct {
+	mu      sync.Mutex
+	value   int
+	writer  *tplTx          // exclusive holder, or nil
+	readers map[*tplTx]bool // shared holders
+}
+
+// NewTwoPLSTM returns a 2PL STM over k variables recording into rec.
+func NewTwoPLSTM(k int, rec *Recorder) *TwoPLSTM {
+	s := &TwoPLSTM{vars: make([]tplVar, k), rec: rec}
+	for i := range s.vars {
+		s.vars[i].readers = map[*tplTx]bool{}
+	}
+	return s
+}
+
+// Name implements STM.
+func (s *TwoPLSTM) Name() string { return "2pl" }
+
+// Begin implements STM.
+func (s *TwoPLSTM) Begin(t core.Thread) Tx {
+	return &tplTx{stm: s, t: t, undo: map[core.Var]int{}}
+}
+
+type tplTx struct {
+	stm    *TwoPLSTM
+	t      core.Thread
+	shared []core.Var
+	excl   []core.Var
+	undo   map[core.Var]int // original values of written variables
+	dead   bool
+}
+
+func (tx *tplTx) abortNow() error {
+	if !tx.dead {
+		tx.dead = true
+		// Roll back in-place writes, then release all locks.
+		for _, v := range tx.excl {
+			slot := &tx.stm.vars[v]
+			slot.mu.Lock()
+			if old, ok := tx.undo[v]; ok {
+				slot.value = old
+			}
+			slot.writer = nil
+			slot.mu.Unlock()
+		}
+		tx.releaseShared()
+		tx.stm.rec.Record(core.St(core.Abort(), tx.t))
+	}
+	return ErrAborted
+}
+
+func (tx *tplTx) releaseShared() {
+	for _, v := range tx.shared {
+		slot := &tx.stm.vars[v]
+		slot.mu.Lock()
+		delete(slot.readers, tx)
+		slot.mu.Unlock()
+	}
+	tx.shared = nil
+}
+
+func (tx *tplTx) holdsShared(v core.Var) bool {
+	for _, x := range tx.shared {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (tx *tplTx) holdsExcl(v core.Var) bool {
+	for _, x := range tx.excl {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Read implements Tx: acquire (or reuse) a shared lock, then read in
+// place. Direct update under exclusive locks means reads always see
+// consistent committed-or-own values.
+func (tx *tplTx) Read(v core.Var) (int, error) {
+	if tx.dead {
+		return 0, ErrAborted
+	}
+	checkVar(v, len(tx.stm.vars))
+	slot := &tx.stm.vars[v]
+	slot.mu.Lock()
+	if !tx.holdsExcl(v) && !tx.holdsShared(v) {
+		if slot.writer != nil && slot.writer != tx {
+			slot.mu.Unlock()
+			return 0, tx.abortNow()
+		}
+		slot.readers[tx] = true
+		tx.shared = append(tx.shared, v)
+	}
+	val := slot.value
+	tx.stm.rec.Record(core.St(core.Read(v), tx.t))
+	slot.mu.Unlock()
+	return val, nil
+}
+
+// Write implements Tx: acquire (or upgrade to) the exclusive lock and
+// write in place, remembering the old value for rollback.
+func (tx *tplTx) Write(v core.Var, val int) error {
+	if tx.dead {
+		return ErrAborted
+	}
+	checkVar(v, len(tx.stm.vars))
+	slot := &tx.stm.vars[v]
+	slot.mu.Lock()
+	if !tx.holdsExcl(v) {
+		if slot.writer != nil && slot.writer != tx {
+			slot.mu.Unlock()
+			return tx.abortNow()
+		}
+		// Upgrade: no other shared holders allowed.
+		for r := range slot.readers {
+			if r != tx {
+				slot.mu.Unlock()
+				return tx.abortNow()
+			}
+		}
+		slot.writer = tx
+		delete(slot.readers, tx)
+		tx.excl = append(tx.excl, v)
+		if _, ok := tx.undo[v]; !ok {
+			tx.undo[v] = slot.value
+		}
+	}
+	slot.value = val
+	tx.stm.rec.Record(core.St(core.Write(v), tx.t))
+	slot.mu.Unlock()
+	return nil
+}
+
+// Commit implements Tx: writes already happened in place; release all
+// locks.
+func (tx *tplTx) Commit() error {
+	if tx.dead {
+		return ErrAborted
+	}
+	tx.stm.rec.Record(core.St(core.Commit(), tx.t))
+	for _, v := range tx.excl {
+		slot := &tx.stm.vars[v]
+		slot.mu.Lock()
+		slot.writer = nil
+		slot.mu.Unlock()
+	}
+	tx.releaseShared()
+	tx.dead = true
+	return nil
+}
+
+// Abort implements Tx.
+func (tx *tplTx) Abort() {
+	if !tx.dead {
+		tx.abortNow() //nolint:errcheck // the error is the point
+	}
+}

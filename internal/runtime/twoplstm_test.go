@@ -1,0 +1,149 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmcheck/internal/core"
+)
+
+func TestTwoPLSTMBasic(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewTwoPLSTM(2, rec)
+	tx := stm.Begin(0)
+	if err := tx.Write(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tx.Read(0); err != nil || v != 7 {
+		t.Fatalf("own read = %d, %v", v, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := stm.Begin(1)
+	if v, err := tx2.Read(0); err != nil || v != 7 {
+		t.Fatalf("read = %d, %v", v, err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !core.IsOpaque(rec.Word()) {
+		t.Errorf("trace not opaque: %q", rec.Word())
+	}
+}
+
+func TestTwoPLSTMSharedLocksCoexist(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewTwoPLSTM(1, rec)
+	tx1 := stm.Begin(0)
+	tx2 := stm.Begin(1)
+	if _, err := tx1.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	// A writer cannot enter while two readers hold the lock.
+	tx3 := stm.Begin(2)
+	if err := tx3.Write(0, 1); err != ErrAborted {
+		t.Fatalf("write err = %v, want ErrAborted", err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPLSTMExclusiveBlocksReaders(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewTwoPLSTM(1, rec)
+	tx1 := stm.Begin(0)
+	if err := tx1.Write(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := stm.Begin(1)
+	if _, err := tx2.Read(0); err != ErrAborted {
+		t.Fatalf("read err = %v, want ErrAborted", err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPLSTMUpgrade(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewTwoPLSTM(1, rec)
+	tx := stm.Begin(0)
+	if _, err := tx.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(0, 9); err != nil {
+		t.Fatal(err) // sole reader upgrades
+	}
+	// Upgrade is refused when another reader shares the lock.
+	tx2 := stm.Begin(1)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx3 := stm.Begin(0)
+	if _, err := tx2.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx3.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Write(0, 1); err != ErrAborted {
+		t.Fatalf("upgrade err = %v, want ErrAborted", err)
+	}
+	tx3.Abort()
+}
+
+func TestTwoPLSTMRollback(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewTwoPLSTM(1, rec)
+	seed := stm.Begin(0)
+	if err := seed.Write(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx := stm.Begin(1)
+	if err := tx.Write(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	check := stm.Begin(0)
+	if v, err := check.Read(0); err != nil || v != 42 {
+		t.Fatalf("rollback failed: %d, %v", v, err)
+	}
+	if err := check.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPLSTMConcurrentTransfers(t *testing.T) {
+	rec := &Recorder{}
+	stm := NewTwoPLSTM(4, rec)
+	sum := RunTransfers(stm, 4, 4, 25, 10, 13, 100)
+	if sum != 400 {
+		t.Errorf("sum = %d, want 400", sum)
+	}
+	if !core.IsOpaque(rec.Word()) {
+		t.Errorf("trace (%d statements) not opaque", len(rec.Word()))
+	}
+}
+
+func TestTwoPLSTMRandomInterleavingsOpaque(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for iter := 0; iter < 150; iter++ {
+		rec := &Recorder{}
+		stm := NewTwoPLSTM(2, rec)
+		RunSequential(stm, rec, randomSchedule(rng, 30), randomWorkload(rng))
+		if w := rec.Word(); !core.IsOpaque(w) {
+			t.Fatalf("non-opaque 2PL trace %q (iteration %d)", w, iter)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package safety_test
+
+import (
+	"fmt"
+
+	"tmcheck/internal/safety"
+	"tmcheck/internal/spec"
+	"tmcheck/internal/tm"
+)
+
+func ExampleVerify() {
+	// Verify DSTM against opacity on the most general program with two
+	// threads and two variables; the reduction theorem extends the verdict
+	// to all programs.
+	res := safety.Verify(tm.NewDSTM(2, 2), nil, spec.Opacity)
+	fmt.Println(res.System, "ensures opacity:", res.Holds)
+	// Output: dstm ensures opacity: true
+}
+
+func ExampleVerify_counterexample() {
+	// The modified TL2 of the paper's §5.4 — validate split into rvalidate
+	// before chklock — is unsafe; the checker produces a witness.
+	res := safety.Verify(tm.NewTL2Mod(2, 2), tm.Polite{}, spec.StrictSerializability)
+	fmt.Println("safe:", res.Holds)
+	fmt.Println("counterexample:", res.Counterexample)
+	// Output:
+	// safe: false
+	// counterexample: (r,1)1, (w,2)1, (r,2)2, (w,1)2, c1, c2
+}

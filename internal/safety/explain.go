@@ -1,0 +1,78 @@
+package safety
+
+import (
+	"fmt"
+	"strings"
+
+	"tmcheck/internal/core"
+	"tmcheck/internal/spec"
+)
+
+// Explain renders a human-readable account of a failed safety check: the
+// counterexample word, its transactions, and the precedence cycle that
+// makes it unserializable — which conflicting statements force which
+// serialization orders. It returns "" for a passing result.
+func Explain(r Result) string {
+	if r.Holds || len(r.Counterexample) == 0 {
+		return ""
+	}
+	w := r.Counterexample
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s violates %v on the word\n    %s\n", r.System, r.Prop, w)
+
+	// For strict serializability the cycle lives in com(w).
+	target := w
+	if r.Prop == spec.StrictSerializability {
+		target = core.Com(w)
+	}
+	g := core.BuildConflictGraph(target)
+	cyc := g.Cycle()
+	if cyc == nil {
+		fmt.Fprintf(&b, "(no conflict cycle — the violation is a real-time ordering issue)\n")
+		return b.String()
+	}
+	txs := g.Txs
+	fmt.Fprintf(&b, "the committed transactions cannot be ordered: ")
+	names := make([]string, len(cyc)+1)
+	for i, ti := range cyc {
+		names[i] = txName(txs[ti])
+	}
+	names[len(cyc)] = txName(txs[cyc[0]])
+	fmt.Fprintf(&b, "%s\n", strings.Join(names, " < "))
+	for i := range cyc {
+		a, c := txs[cyc[i]], txs[cyc[(i+1)%len(cyc)]]
+		fmt.Fprintf(&b, "  %s must precede %s: %s\n", txName(a), txName(c), edgeReason(target, a, c))
+	}
+	return b.String()
+}
+
+func txName(x *core.Transaction) string {
+	return fmt.Sprintf("T%d.%d", x.Thread+1, x.Seq+1)
+}
+
+// edgeReason reconstructs why transaction a must serialize before c.
+func edgeReason(w core.Word, a, c *core.Transaction) string {
+	// Conflict-pair reasons.
+	for _, p := range core.ConflictPairs(w) {
+		owner := core.TxOf(w, core.Transactions(w))
+		pa, pc := owner[p.I], owner[p.J]
+		if sameTx(pa, a) && sameTx(pc, c) {
+			return fmt.Sprintf("statement %s at position %d conflicts with %s at position %d",
+				w[p.I], p.I+1, w[p.J], p.J+1)
+		}
+	}
+	// Program order.
+	if a.Thread == c.Thread && a.Seq < c.Seq {
+		return "program order (same thread)"
+	}
+	// Real time.
+	if a.Precedes(c) && c.Status != core.TxUnfinished {
+		return fmt.Sprintf("real-time order: %s finishes (position %d) before %s starts (position %d)",
+			txName(a), a.Last()+1, txName(c), c.First()+1)
+	}
+	return "precedence required by the conflict graph"
+}
+
+func sameTx(x, y *core.Transaction) bool {
+	return x != nil && y != nil && x.Thread == y.Thread && x.Seq == y.Seq
+}

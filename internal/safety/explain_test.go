@@ -1,0 +1,55 @@
+package safety
+
+import (
+	"strings"
+	"testing"
+
+	"tmcheck/internal/spec"
+	"tmcheck/internal/tm"
+)
+
+func TestExplainOnFailure(t *testing.T) {
+	res := Verify(tm.NewTL2Mod(2, 2), tm.Polite{}, spec.StrictSerializability)
+	if res.Holds {
+		t.Fatal("expected failure")
+	}
+	msg := Explain(res)
+	if msg == "" {
+		t.Fatal("Explain returned empty string for a failure")
+	}
+	for _, want := range []string{
+		"violates strict serializability",
+		"cannot be ordered",
+		"must precede",
+		"conflicts with",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, msg)
+		}
+	}
+	// The cycle mentions both threads' transactions.
+	if !strings.Contains(msg, "T1.") || !strings.Contains(msg, "T2.") {
+		t.Errorf("Explain output missing transaction names:\n%s", msg)
+	}
+}
+
+func TestExplainOnSuccess(t *testing.T) {
+	res := Verify(tm.NewSeq(2, 2), nil, spec.Opacity)
+	if !res.Holds {
+		t.Fatal("expected success")
+	}
+	if msg := Explain(res); msg != "" {
+		t.Errorf("Explain on success = %q, want empty", msg)
+	}
+}
+
+func TestExplainOpacityCycle(t *testing.T) {
+	res := Verify(tm.NewDSTMNoValidate(2, 2), nil, spec.Opacity)
+	if res.Holds {
+		t.Fatal("expected failure for dstm-novalidate")
+	}
+	msg := Explain(res)
+	if !strings.Contains(msg, "violates opacity") {
+		t.Errorf("Explain output wrong:\n%s", msg)
+	}
+}

@@ -1,0 +1,167 @@
+// Package safety checks TM algorithms against the safety specifications
+// (the paper's §5.4): the language of the TM algorithm applied to the most
+// general program must be included in the language of the TM specification
+// for strict serializability or opacity.
+//
+// The standard pipeline checks against the deterministic specification,
+// where inclusion is a linear product construction; a slower validation
+// path checks against the nondeterministic specification with the
+// antichain algorithm. By the reduction theorem (paper Theorem 1), a
+// verdict for 2 threads and 2 variables extends to all programs for TMs
+// satisfying the structural properties P1–P4, and safety without a
+// contention manager implies safety with every contention manager (since a
+// manager only restricts the language).
+package safety
+
+import (
+	"time"
+
+	"tmcheck/internal/automata"
+	"tmcheck/internal/core"
+	"tmcheck/internal/explore"
+	"tmcheck/internal/spec"
+	"tmcheck/internal/tm"
+)
+
+// Result reports one language-inclusion check.
+type Result struct {
+	// System names the TM (and contention manager, if any).
+	System string
+	// Prop is the property checked.
+	Prop spec.Property
+	// Threads and Vars are the instance bounds.
+	Threads, Vars int
+	// TMStates is the size of the TM transition system (Table 2's "Size").
+	TMStates int
+	// SpecStates is the size of the specification automaton used.
+	SpecStates int
+	// Holds reports whether L(TM) ⊆ L(Σ).
+	Holds bool
+	// Counterexample is a word of the TM outside the specification, when
+	// inclusion fails.
+	Counterexample core.Word
+	// Elapsed is the wall-clock time of the inclusion check itself
+	// (excluding construction of the two systems).
+	Elapsed time.Duration
+}
+
+// Check verifies L(ts) ⊆ L(Σd prop) with the deterministic specification,
+// in time linear in the product of the two systems.
+func Check(ts *explore.TS, prop spec.Property) Result {
+	det := spec.NewDet(prop, ts.Alg.Threads(), ts.Alg.Vars())
+	dfa := det.Enumerate()
+	return CheckAgainstDFA(ts, prop, dfa)
+}
+
+// CheckAgainstDFA is Check with a pre-built specification automaton, so
+// the (comparatively expensive) specification enumeration can be shared
+// across many TM checks.
+func CheckAgainstDFA(ts *explore.TS, prop spec.Property, dfa *automata.DFA) Result {
+	nfa := ts.NFA()
+	start := time.Now()
+	ok, cexLetters := automata.IncludedInDFA(nfa, dfa)
+	elapsed := time.Since(start)
+	res := Result{
+		System:     ts.Name(),
+		Prop:       prop,
+		Threads:    ts.Alg.Threads(),
+		Vars:       ts.Alg.Vars(),
+		TMStates:   ts.NumStates(),
+		SpecStates: dfa.NumStates(),
+		Holds:      ok,
+		Elapsed:    elapsed,
+	}
+	if !ok {
+		res.Counterexample = ts.Alphabet.DecodeWord(cexLetters)
+	}
+	return res
+}
+
+// CheckAgainstNondet verifies L(ts) ⊆ L(Σ prop) directly against the
+// nondeterministic specification using the antichain algorithm — the
+// validation path for the deterministic pipeline.
+func CheckAgainstNondet(ts *explore.TS, prop spec.Property) Result {
+	nd := spec.NewNondet(prop, ts.Alg.Threads(), ts.Alg.Vars())
+	specNFA := nd.Enumerate()
+	nfa := ts.NFA()
+	start := time.Now()
+	ok, cexLetters := automata.IncludedInNFA(nfa, specNFA)
+	elapsed := time.Since(start)
+	res := Result{
+		System:     ts.Name(),
+		Prop:       prop,
+		Threads:    ts.Alg.Threads(),
+		Vars:       ts.Alg.Vars(),
+		TMStates:   ts.NumStates(),
+		SpecStates: specNFA.NumStates(),
+		Holds:      ok,
+		Elapsed:    elapsed,
+	}
+	if !ok {
+		res.Counterexample = ts.Alphabet.DecodeWord(cexLetters)
+	}
+	return res
+}
+
+// Verify builds the TM transition system for alg (with the optional
+// contention manager) and checks it against the deterministic
+// specification.
+func Verify(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property) Result {
+	return Check(explore.Build(alg, cm), prop)
+}
+
+// Table2Row pairs the two safety verdicts for one TM, as in the paper's
+// Table 2.
+type Table2Row struct {
+	SS Result
+	OP Result
+}
+
+// Table2 reproduces the paper's Table 2 on the given systems: for each,
+// the transition-system size and the verdicts for strict serializability
+// and opacity with counterexamples. The deterministic specifications for
+// the (n, k) instances involved are built once and shared.
+func Table2(systems []System) []Table2Row {
+	type key struct {
+		prop spec.Property
+		n, k int
+	}
+	dfas := map[key]*automata.DFA{}
+	dfaFor := func(prop spec.Property, n, k int) *automata.DFA {
+		k2 := key{prop, n, k}
+		if d, ok := dfas[k2]; ok {
+			return d
+		}
+		d := spec.NewDet(prop, n, k).Enumerate()
+		dfas[k2] = d
+		return d
+	}
+	var rows []Table2Row
+	for _, sys := range systems {
+		ts := explore.Build(sys.Alg, sys.CM)
+		n, k := sys.Alg.Threads(), sys.Alg.Vars()
+		rows = append(rows, Table2Row{
+			SS: CheckAgainstDFA(ts, spec.StrictSerializability, dfaFor(spec.StrictSerializability, n, k)),
+			OP: CheckAgainstDFA(ts, spec.Opacity, dfaFor(spec.Opacity, n, k)),
+		})
+	}
+	return rows
+}
+
+// System is a TM algorithm with an optional contention manager.
+type System struct {
+	Alg tm.Algorithm
+	CM  tm.ContentionManager
+}
+
+// PaperSystems returns the five systems of the paper's Table 2 at (n, k):
+// sequential, 2PL, DSTM, TL2, and modified TL2 with the polite manager.
+func PaperSystems(n, k int) []System {
+	return []System{
+		{Alg: tm.NewSeq(n, k)},
+		{Alg: tm.NewTwoPL(n, k)},
+		{Alg: tm.NewDSTM(n, k)},
+		{Alg: tm.NewTL2(n, k)},
+		{Alg: tm.NewTL2Mod(n, k), CM: tm.Polite{}},
+	}
+}

@@ -1,0 +1,38 @@
+package spec_test
+
+import (
+	"fmt"
+
+	"tmcheck/internal/core"
+	"tmcheck/internal/spec"
+)
+
+func ExampleMonitor() {
+	// Feed a live trace to the online opacity monitor.
+	m := spec.NewMonitor(spec.Opacity, 2, 2)
+	trace := core.MustParseWord("(r,1)1, (w,1)2, c2, (r,2)1")
+	for i, s := range trace {
+		if !m.Step(s) {
+			fmt.Printf("violation at statement %d: %v\n", i+1, s)
+			return
+		}
+	}
+	fmt.Println("trace is opaque so far")
+	// Output: trace is opaque so far
+}
+
+func ExampleNondet_Accepts() {
+	// The nondeterministic specification decides opacity by guessing
+	// serialization points.
+	op := spec.NewNondet(spec.Opacity, 3, 2)
+	w := core.MustParseWord("(w,1)2, (r,1)1, c2, (r,2)3, a3, (w,2)1, c1")
+	fmt.Println("opaque:", op.Accepts(w))
+	// Output: opaque: false
+}
+
+func ExampleDet_Accepts() {
+	ss := spec.NewDet(spec.StrictSerializability, 2, 2)
+	w := core.MustParseWord("(w,2)1, (w,1)2, (r,2)2, (r,1)1, c2, c1")
+	fmt.Println("strictly serializable:", ss.Accepts(w))
+	// Output: strictly serializable: false
+}

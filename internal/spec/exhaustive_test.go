@@ -1,0 +1,94 @@
+package spec
+
+import (
+	"testing"
+
+	"tmcheck/internal/core"
+)
+
+// Exhaustive validation on a small instance: for EVERY word of length ≤ 6
+// over 2 threads and 1 variable, the deterministic specification, the
+// nondeterministic specification and the conflict-graph oracle agree.
+// Rejected prefixes are pruned (all three languages are prefix closed, a
+// fact checked as we go).
+func TestExhaustiveAgreement21(t *testing.T) {
+	const maxLen = 6
+	ab := core.Alphabet{Threads: 2, Vars: 1}
+	for _, prop := range []Property{StrictSerializability, Opacity} {
+		det := NewDet(prop, 2, 1)
+		nd := NewNondet(prop, 2, 1)
+		oracle := oracleFor(prop)
+		words := 0
+		var rec func(w core.Word, detState DState, detAlive bool)
+		rec = func(w core.Word, detState DState, detAlive bool) {
+			if len(w) == maxLen {
+				return
+			}
+			for l := 0; l < ab.Size(); l++ {
+				s := ab.Decode(l)
+				w2 := append(w[:len(w):len(w)], s)
+				words++
+				want := oracle(w2)
+				var nextDet DState
+				gotDet := false
+				if detAlive {
+					var ok bool
+					nextDet, ok = det.Step(detState, s)
+					gotDet = ok
+				}
+				if gotDet != want {
+					t.Fatalf("%v: det=%v oracle=%v on %q", prop, gotDet, want, w2)
+				}
+				if gotNd := nd.Accepts(w2); gotNd != want {
+					t.Fatalf("%v: nondet=%v oracle=%v on %q", prop, gotNd, want, w2)
+				}
+				if want {
+					rec(w2, nextDet, true)
+				}
+				// Rejected words need no recursion: all three languages
+				// are prefix closed, so every extension is rejected too —
+				// spot-check the oracle's prefix closure here.
+				if !want && len(w2) < maxLen {
+					probe := append(w2[:len(w2):len(w2)], core.St(core.Commit(), 0))
+					if oracle(probe) {
+						t.Fatalf("%v: oracle not prefix closed at %q", prop, probe)
+					}
+				}
+			}
+		}
+		rec(nil, det.Initial(), true)
+		if words < 10000 {
+			t.Fatalf("%v: only %d words explored — enumeration broken?", prop, words)
+		}
+		t.Logf("%v: %d words checked exhaustively", prop, words)
+	}
+}
+
+// Exhaustive agreement at (2,2) up to length 4 — wider alphabet, shorter
+// words.
+func TestExhaustiveAgreement22(t *testing.T) {
+	const maxLen = 4
+	ab := core.Alphabet{Threads: 2, Vars: 2}
+	for _, prop := range []Property{StrictSerializability, Opacity} {
+		det := NewDet(prop, 2, 2)
+		oracle := oracleFor(prop)
+		var rec func(w core.Word)
+		rec = func(w core.Word) {
+			if len(w) == maxLen {
+				return
+			}
+			for l := 0; l < ab.Size(); l++ {
+				w2 := append(w[:len(w):len(w)], ab.Decode(l))
+				got := det.Accepts(w2)
+				want := oracle(w2)
+				if got != want {
+					t.Fatalf("%v: det=%v oracle=%v on %q", prop, got, want, w2)
+				}
+				if want {
+					rec(w2)
+				}
+			}
+		}
+		rec(nil)
+	}
+}

@@ -1,0 +1,90 @@
+package spec
+
+import (
+	"fmt"
+
+	"tmcheck/internal/core"
+)
+
+// Monitor is an online safety monitor: feed it the statements of an
+// execution one at a time and it reports, in O(1) amortized time per
+// statement, whether the execution so far still satisfies the property.
+// It runs the deterministic specification directly on its state — no
+// automaton enumeration — so it works for any thread/variable bounds the
+// state arrays accommodate, and is suitable for checking live traces (for
+// example the recorder output of internal/runtime).
+//
+// Once a statement is rejected the monitor latches: Violation reports the
+// offending statement and position, and further statements are ignored.
+type Monitor struct {
+	spec    *Det
+	state   DState
+	n       int
+	pos     int
+	violPos int
+	violSt  core.Stmt
+	dead    bool
+}
+
+// NewMonitor returns a monitor for the given property over at most n
+// threads and k variables.
+func NewMonitor(prop Property, n, k int) *Monitor {
+	return &Monitor{spec: NewDet(prop, n, k), state: DState{}, n: n, violPos: -1}
+}
+
+// Step feeds one statement. It returns true while the execution remains
+// within the property.
+func (m *Monitor) Step(s core.Stmt) bool {
+	if m.dead {
+		return false
+	}
+	if int(s.T) >= m.spec.Threads || (s.Cmd.IsAccess() && int(s.Cmd.V) >= m.spec.Vars) {
+		panic(fmt.Sprintf("spec: statement %v outside monitor bounds (%d threads, %d vars)",
+			s, m.spec.Threads, m.spec.Vars))
+	}
+	next, ok := m.spec.Step(m.state, s)
+	if !ok {
+		m.dead = true
+		m.violPos = m.pos
+		m.violSt = s
+		return false
+	}
+	m.state = next
+	m.pos++
+	return true
+}
+
+// Feed runs Step over a whole word, returning true if all of it is
+// accepted.
+func (m *Monitor) Feed(w core.Word) bool {
+	for _, s := range w {
+		if !m.Step(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// OK reports whether no violation has occurred.
+func (m *Monitor) OK() bool { return !m.dead }
+
+// Position returns the number of accepted statements.
+func (m *Monitor) Position() int { return m.pos }
+
+// Violation returns the first rejected statement and its position, or
+// ok = false if none occurred.
+func (m *Monitor) Violation() (s core.Stmt, pos int, ok bool) {
+	if !m.dead {
+		return core.Stmt{}, 0, false
+	}
+	return m.violSt, m.violPos, true
+}
+
+// Reset returns the monitor to its initial state.
+func (m *Monitor) Reset() {
+	m.state = DState{}
+	m.pos = 0
+	m.dead = false
+	m.violPos = -1
+	m.violSt = core.Stmt{}
+}

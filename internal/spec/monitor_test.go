@@ -1,0 +1,90 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmcheck/internal/core"
+	"tmcheck/internal/wordgen"
+)
+
+func TestMonitorAcceptsAndRejects(t *testing.T) {
+	m := NewMonitor(Opacity, 3, 3)
+	good := core.MustParseWord("(r,1)1, (w,2)1, c1, (w,1)2, c2")
+	if !m.Feed(good) || !m.OK() {
+		t.Fatal("monitor rejected an opaque word")
+	}
+	if m.Position() != len(good) {
+		t.Errorf("Position = %d", m.Position())
+	}
+
+	m.Reset()
+	bad := core.MustParseWord("(w,1)2, (r,1)1, (r,2)3, c2, (w,2)1, (r,1)3, c1")
+	if m.Feed(bad) {
+		t.Fatal("monitor accepted the Figure 2(a) word")
+	}
+	s, pos, ok := m.Violation()
+	if !ok {
+		t.Fatal("Violation not reported")
+	}
+	// The violation is at the inconsistent read (r,1)3 (position 5) or the
+	// closing commit, depending on where the deterministic spec detects
+	// it; it must certainly be within the word.
+	if pos < 0 || pos >= len(bad) || bad[pos] != s {
+		t.Errorf("violation = %v at %d", s, pos)
+	}
+	// Latches.
+	if m.Step(core.St(core.Commit(), 0)) || m.OK() {
+		t.Error("monitor must latch after a violation")
+	}
+}
+
+func TestMonitorMatchesOracleOnline(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for i := 0; i < 300; i++ {
+		w := wordgen.WellFormed(rng, wordgen.Config{Threads: 3, Vars: 2, Len: 10})
+		m := NewMonitor(Opacity, 3, 2)
+		got := m.Feed(w)
+		if want := core.IsOpaque(w); got != want {
+			t.Fatalf("monitor = %v, oracle = %v on %q", got, want, w)
+		}
+		// The violation position is the first non-opaque prefix boundary.
+		if !got {
+			_, pos, _ := m.Violation()
+			if core.IsOpaque(w[:pos+1]) {
+				t.Fatalf("prefix through violation still opaque: %q @ %d", w, pos)
+			}
+			if pos > 0 && !core.IsOpaque(w[:pos]) {
+				t.Fatalf("violation reported late: %q @ %d", w, pos)
+			}
+		}
+	}
+}
+
+func TestMonitorBoundsPanic(t *testing.T) {
+	m := NewMonitor(Opacity, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-bounds thread")
+		}
+	}()
+	m.Step(core.St(core.Read(0), 3))
+}
+
+func TestMonitorResetClearsViolation(t *testing.T) {
+	m := NewMonitor(StrictSerializability, 2, 2)
+	bad := core.MustParseWord("(w,2)1, (w,1)2, (r,2)2, (r,1)1, c2, c1")
+	if m.Feed(bad) {
+		t.Fatal("expected rejection")
+	}
+	m.Reset()
+	if !m.OK() || m.Position() != 0 {
+		t.Error("Reset did not clear state")
+	}
+	if _, _, ok := m.Violation(); ok {
+		t.Error("Reset did not clear violation")
+	}
+	if !m.Feed(core.MustParseWord("(r,1)1, c1")) {
+		t.Error("monitor rejects after reset")
+	}
+}

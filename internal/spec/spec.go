@@ -1,0 +1,56 @@
+// Package spec implements the paper's TM specifications for safety (§5):
+// finite-state transition systems whose languages are exactly the strictly
+// serializable (πss) respectively opaque (πop) words over a bounded number
+// of threads and variables.
+//
+// Two constructions are provided, mirroring the paper:
+//
+//   - the nondeterministic specifications Σss and Σop (Algorithm 5,
+//     nondetSpec), in which every transaction nondeterministically guesses
+//     its serialization point via an internal ε(t) transition;
+//   - the deterministic specifications Σdss and Σdop (Algorithm 6,
+//     detSpec), which track weak and strong predecessor sets instead of
+//     guessing.
+//
+// The nondeterministic construction is the natural one and is validated
+// against the brute-force oracles of internal/core; the deterministic one
+// is validated against the nondeterministic one by antichain language
+// equivalence (the paper's Theorem 3). Safety checking of a TM then
+// reduces to language inclusion of the TM's transition system in the
+// deterministic specification.
+package spec
+
+// Property selects the safety property a specification captures.
+type Property uint8
+
+// The two safety properties of §2.
+const (
+	StrictSerializability Property = iota
+	Opacity
+)
+
+// String names the property as in the paper.
+func (p Property) String() string {
+	if p == Opacity {
+		return "opacity"
+	}
+	return "strict serializability"
+}
+
+// Thread statuses shared by both specifications. The paper uses
+// {started, invalid, serialized, finished} for the nondeterministic
+// specification and {started, invalid, pending, finished} for the
+// deterministic one; serialized and pending occupy the same slot.
+const (
+	stFinished uint8 = iota
+	stStarted
+	stInvalid
+	stSerialized // nondeterministic spec: ε taken
+	stPending    // deterministic spec: must serialize before a past commit
+	// stInvalidSer marks a thread of the nondeterministic specification
+	// that serialized (took its ε) and then became unable to commit. For
+	// opacity its serialization standing still matters: it remains in the
+	// serialized set, so later committers record it as a predecessor and
+	// keep extending its prohibited read set.
+	stInvalidSer
+)

@@ -1,0 +1,191 @@
+// Package tm expresses transactional memories as TM algorithms in the
+// formalism of Guerraoui, Henzinger and Singh (§3): a TM algorithm has a
+// set of states, an extended command set D ⊇ C, a conflict function φ, a
+// pending function γ, and a transition relation that executes each program
+// command as a sequence of atomically executed extended commands.
+//
+// The package provides the sequential TM, two-phase locking, DSTM, TL2,
+// the "modified TL2" of §5.4 (validate split into rvalidate followed by
+// chklock, the ordering shown unsafe), deliberately buggy variants used to
+// exercise counterexample generation, and contention managers with the
+// product construction of §3.1.
+//
+// The generic parts of the formalism — pending-command bookkeeping, the
+// abort rule (abort is possible exactly when a command is abort enabled or
+// the conflict function is true), and the contention-manager product — live
+// in internal/explore, which unfolds an Algorithm into an explicit
+// transition system.
+package tm
+
+import (
+	"fmt"
+
+	"tmcheck/internal/core"
+)
+
+// MaxThreads bounds the number of threads a TM-algorithm state can track.
+// The reduction theorems need only 2; a little headroom supports the
+// structural-property experiments.
+const MaxThreads = 4
+
+// XKind enumerates the extended command kinds used by the TMs in this
+// package. The base kinds mirror core commands; the rest are TM specific.
+type XKind uint8
+
+// Extended command kinds. XRead/XWrite/XCommit/XAbort are the base
+// commands; the others are the TM-specific extended commands of §3.3.
+const (
+	XRead XKind = iota
+	XWrite
+	XCommit
+	XAbort
+	XRLock     // 2PL: acquire shared lock
+	XWLock     // 2PL: acquire exclusive lock
+	XOwn       // DSTM: acquire ownership
+	XValidate  // DSTM, TL2: validate read set
+	XLock      // TL2: lock a write-set variable
+	XRValidate // modified TL2: version check only
+	XChkLock   // modified TL2: read-set lock check only
+)
+
+// String returns the mnemonic used in the paper's Table 1.
+func (k XKind) String() string {
+	switch k {
+	case XRead:
+		return "r"
+	case XWrite:
+		return "w"
+	case XCommit:
+		return "c"
+	case XAbort:
+		return "a"
+	case XRLock:
+		return "rl"
+	case XWLock:
+		return "wl"
+	case XOwn:
+		return "o"
+	case XValidate:
+		return "v"
+	case XLock:
+		return "l"
+	case XRValidate:
+		return "rv"
+	case XChkLock:
+		return "k"
+	default:
+		return fmt.Sprintf("x(%d)", uint8(k))
+	}
+}
+
+// XCmd is an extended command; V is meaningful only for variable-indexed
+// kinds and must be zero otherwise.
+type XCmd struct {
+	Kind XKind
+	V    core.Var
+}
+
+// String renders the extended command, e.g. "(rl,1)" or "v".
+func (x XCmd) String() string {
+	switch x.Kind {
+	case XRead, XWrite, XRLock, XWLock, XOwn, XLock:
+		return fmt.Sprintf("(%s,%d)", x.Kind, x.V+1)
+	default:
+		return x.Kind.String()
+	}
+}
+
+// HasVar reports whether the extended command kind carries a variable.
+func (x XCmd) HasVar() bool {
+	switch x.Kind {
+	case XRead, XWrite, XRLock, XWLock, XOwn, XLock:
+		return true
+	default:
+		return false
+	}
+}
+
+// Base returns the extended command implementing a program command
+// directly (d = c in the paper's notation).
+func Base(c core.Command) XCmd {
+	switch c.Op {
+	case core.OpRead:
+		return XCmd{Kind: XRead, V: c.V}
+	case core.OpWrite:
+		return XCmd{Kind: XWrite, V: c.V}
+	case core.OpCommit:
+		return XCmd{Kind: XCommit}
+	default:
+		return XCmd{Kind: XAbort}
+	}
+}
+
+// Resp is the TM algorithm's response to an extended command execution.
+type Resp uint8
+
+// Responses: RespPending (⊥) means more extended commands follow for the
+// same program command; Resp0 accompanies aborts; Resp1 completes the
+// command.
+const (
+	RespPending Resp = iota
+	Resp0
+	Resp1
+)
+
+// String renders the response as in the paper (⊥, 0, 1).
+func (r Resp) String() string {
+	switch r {
+	case RespPending:
+		return "⊥"
+	case Resp0:
+		return "0"
+	default:
+		return "1"
+	}
+}
+
+// State is a TM-algorithm state. Implementations must be comparable value
+// types (they are used as map keys by the explorer).
+type State any
+
+// Step is a non-abort transition option from a state for a given pending
+// command and thread: execute extended command X with response R, moving
+// to state Next.
+type Step struct {
+	X    XCmd
+	R    Resp
+	Next State
+}
+
+// Algorithm is a TM algorithm without its generic bookkeeping. Steps must
+// not enumerate abort transitions; the explorer derives them (an abort is
+// possible when Steps is empty — the command is abort enabled — or when
+// Conflict is true, following §3's rules).
+type Algorithm interface {
+	// Name identifies the TM (e.g. "tl2").
+	Name() string
+	// Threads and Vars return the instance bounds n and k.
+	Threads() int
+	Vars() int
+	// Initial returns q_init.
+	Initial() State
+	// Steps enumerates the transitions (d, r, q') with d ∈ D for program
+	// command c by thread t from state q.
+	Steps(q State, c core.Command, t core.Thread) []Step
+	// Conflict is the conflict function φ(q, (c, t)): true when the TM
+	// would consult a contention manager before executing c.
+	Conflict(q State, c core.Command, t core.Thread) bool
+	// AbortStep returns the successor state after thread t aborts in q.
+	AbortStep(q State, t core.Thread) State
+}
+
+// CheckBounds panics unless 1 ≤ n ≤ MaxThreads and 1 ≤ k ≤ 16; the TM
+// constructors share it.
+func CheckBounds(n, k int) {
+	if n < 1 || n > MaxThreads {
+		panic(fmt.Sprintf("tm: thread count %d out of range [1,%d]", n, MaxThreads))
+	}
+	if k < 1 || k > 16 {
+		panic(fmt.Sprintf("tm: variable count %d out of range [1,16]", k))
+	}
+}

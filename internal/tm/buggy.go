@@ -1,0 +1,90 @@
+package tm
+
+import (
+	"tmcheck/internal/core"
+)
+
+// Deliberately broken TM variants. They exercise the checker's
+// counterexample generation and serve as ablations: each removes one
+// ingredient of a verified TM and demonstrably loses the safety property.
+
+// TwoPLNoReadLock is two-phase locking with the shared (read) locks
+// removed: reads proceed without any lock, writes still take exclusive
+// locks. Write-write conflicts remain ordered, but a reader can observe a
+// value and then let the writer commit behind its back — the classic
+// unserializable read skew.
+type TwoPLNoReadLock struct {
+	TwoPL
+}
+
+// NewTwoPLNoReadLock returns the broken 2PL variant for n threads and k
+// variables.
+func NewTwoPLNoReadLock(n, k int) *TwoPLNoReadLock {
+	CheckBounds(n, k)
+	return &TwoPLNoReadLock{TwoPL{n: n, k: k}}
+}
+
+// Name implements Algorithm.
+func (p *TwoPLNoReadLock) Name() string { return "2pl-noreadlock" }
+
+// Steps implements Algorithm: reads always complete immediately; all other
+// commands behave as in 2PL.
+func (p *TwoPLNoReadLock) Steps(q State, c core.Command, t core.Thread) []Step {
+	if c.Op != core.OpRead {
+		return p.TwoPL.Steps(q, c, t)
+	}
+	st := q.(TwoPLState)
+	// A read never blocks and never locks — the bug.
+	return []Step{{X: Base(c), R: Resp1, Next: st}}
+}
+
+// DSTMNoValidate is DSTM with read validation removed entirely: a commit
+// publishes immediately — without the validate step — and, crucially,
+// without invalidating the readers of the published write set. (Removing
+// only the validate step is not enough to break DSTM: the invalid marking
+// at commit models DSTM's per-open read validation, which is what actually
+// protects readers.) A transaction can then keep acting on a stale
+// snapshot and commit it.
+type DSTMNoValidate struct {
+	DSTM
+}
+
+// NewDSTMNoValidate returns the broken DSTM variant for n threads and k
+// variables.
+func NewDSTMNoValidate(n, k int) *DSTMNoValidate {
+	CheckBounds(n, k)
+	return &DSTMNoValidate{DSTM{n: n, k: k}}
+}
+
+// Name implements Algorithm.
+func (d *DSTMNoValidate) Name() string { return "dstm-novalidate" }
+
+// Steps implements Algorithm: commit publishes in a single step with no
+// validation; reads and writes behave as in DSTM.
+func (d *DSTMNoValidate) Steps(q State, c core.Command, t core.Thread) []Step {
+	if c.Op != core.OpCommit {
+		return d.DSTM.Steps(q, c, t)
+	}
+	st := q.(DSTMState)
+	ti := int(t)
+	if st.Status[ti] == dstmAborted {
+		return nil
+	}
+	if st.Status[ti] != dstmFinished {
+		return nil
+	}
+	next := st
+	next.RS[ti] = 0
+	next.OS[ti] = 0
+	// The bug: readers of the committed write set are left untouched.
+	return []Step{{X: Base(c), R: Resp1, Next: next}}
+}
+
+// Conflict implements Algorithm: without validation, only the write
+// conflict remains.
+func (d *DSTMNoValidate) Conflict(q State, c core.Command, t core.Thread) bool {
+	if c.Op == core.OpCommit {
+		return false
+	}
+	return d.DSTM.Conflict(q, c, t)
+}

@@ -1,0 +1,157 @@
+package tm
+
+import "tmcheck/internal/core"
+
+// ContentionManager is the formalism of §3.1: a transition system over
+// extended statements (d, t). When the TM algorithm reports a conflict for
+// (c, t), only extended commands for which the contention manager has a
+// transition may execute; outside conflicts the manager merely observes
+// (its state advances when it has a matching transition, and stays put
+// otherwise).
+type ContentionManager interface {
+	// Name identifies the manager (e.g. "aggressive").
+	Name() string
+	// Initial returns p_init. States must be comparable values.
+	Initial() State
+	// Step returns the successor state on (x, t) and whether δcm contains
+	// such a transition at all.
+	Step(p State, x XCmd, t core.Thread) (State, bool)
+}
+
+// cmUnit is the single state of the stateless contention managers.
+type cmUnit struct{}
+
+// Aggressive is the aggressive contention manager: it has a transition for
+// every extended command except abort, so at a conflict the transaction is
+// never allowed to abort itself — it must push through (aborting others as
+// the TM's transition relation dictates).
+type Aggressive struct{}
+
+// Name implements ContentionManager.
+func (Aggressive) Name() string { return "aggressive" }
+
+// Initial implements ContentionManager.
+func (Aggressive) Initial() State { return cmUnit{} }
+
+// Step implements ContentionManager: every non-abort statement is allowed.
+func (Aggressive) Step(p State, x XCmd, t core.Thread) (State, bool) {
+	if x.Kind == XAbort {
+		return p, false
+	}
+	return p, true
+}
+
+// Polite is the polite contention manager: its only transitions are aborts,
+// so at a conflict the transaction must abort itself.
+type Polite struct{}
+
+// Name implements ContentionManager.
+func (Polite) Name() string { return "polite" }
+
+// Initial implements ContentionManager.
+func (Polite) Initial() State { return cmUnit{} }
+
+// Step implements ContentionManager: only abort statements are allowed.
+func (Polite) Step(p State, x XCmd, t core.Thread) (State, bool) {
+	if x.Kind == XAbort {
+		return p, true
+	}
+	return p, false
+}
+
+// karmaState tracks a bounded per-thread work credit. It is a comparable
+// value.
+type karmaState struct {
+	Credit [MaxThreads]uint8
+}
+
+// karmaMaxCredit bounds the credit counter so the manager stays finite
+// state — the paper notes that unbounded managers (random backoff, true
+// Karma priorities) would blow up the state space, which is why safety is
+// proved manager-independently.
+const karmaMaxCredit = 2
+
+// Karma is a bounded abstraction of the Karma contention manager of
+// Scherer and Scott: threads accumulate credit for work performed
+// (completed reads, writes and commits, standing in for "objects opened")
+// and spend it on the TM's internal acquisition steps (own, lock, rlock,
+// wlock, validate, …) — the steps that resolve conflicts. At a conflict a
+// thread without credit can only abort; an abort forfeits all credit.
+// Unlike the real Karma — which compares priorities between attacker and
+// victim — this abstraction consults only the attacker's own credit,
+// which is all the formalism's manager interface can see; the bounded
+// counter keeps it finite state, as the formalism requires (the paper
+// notes unbounded managers would blow up the state space).
+type Karma struct{}
+
+// Name implements ContentionManager.
+func (Karma) Name() string { return "karma" }
+
+// Initial implements ContentionManager: one credit each, so a fresh
+// thread can perform its first acquisition.
+func (Karma) Initial() State {
+	var s karmaState
+	for t := range s.Credit {
+		s.Credit[t] = 1
+	}
+	return s
+}
+
+// Step implements ContentionManager. Since the manager's state advances on
+// matching statements both at and outside conflicts (the product rule),
+// the accounting is uniform: base commands earn, internal steps spend,
+// aborts forfeit.
+func (Karma) Step(p State, x XCmd, t core.Thread) (State, bool) {
+	s := p.(karmaState)
+	switch x.Kind {
+	case XAbort:
+		s.Credit[t] = 0
+		return s, true
+	case XRead, XWrite, XCommit:
+		if s.Credit[t] < karmaMaxCredit {
+			s.Credit[t]++
+		}
+		return s, true
+	default:
+		if s.Credit[t] == 0 {
+			return p, false
+		}
+		s.Credit[t]--
+		return s, true
+	}
+}
+
+// timidState tracks, per thread, whether the thread backed off (aborted at
+// its last conflict). It is a comparable value.
+type timidState struct {
+	BackedOff core.ThreadSet
+}
+
+// Timid is a small stateful contention manager used in the ablation
+// experiments: a thread must abort at its first conflict (politeness), but
+// having backed off once it may push through the next conflict
+// (aggressiveness), after which the cycle repeats. It exercises the
+// product construction with a non-trivial manager state.
+type Timid struct{}
+
+// Name implements ContentionManager.
+func (Timid) Name() string { return "timid" }
+
+// Initial implements ContentionManager.
+func (Timid) Initial() State { return timidState{} }
+
+// Step implements ContentionManager.
+func (Timid) Step(p State, x XCmd, t core.Thread) (State, bool) {
+	s := p.(timidState)
+	if x.Kind == XAbort {
+		// Always willing to abort; remember the back-off.
+		s.BackedOff = s.BackedOff.Add(t)
+		return s, true
+	}
+	if s.BackedOff.Has(t) {
+		// Earned the right to push through one conflict.
+		s.BackedOff = s.BackedOff.Remove(t)
+		return s, true
+	}
+	return p, false
+}

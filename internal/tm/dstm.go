@@ -1,0 +1,166 @@
+package tm
+
+import (
+	"tmcheck/internal/core"
+)
+
+// DSTM thread statuses (the paper's Status function for Algorithm 3).
+const (
+	dstmFinished uint8 = iota
+	dstmAborted
+	dstmValidated
+	dstmInvalid
+)
+
+// DSTMState is the DSTM state: per-thread status, read set, and ownership
+// set.
+type DSTMState struct {
+	Status [MaxThreads]uint8
+	RS     [MaxThreads]core.VarSet
+	OS     [MaxThreads]core.VarSet
+}
+
+// DSTM is the dynamic software transactional memory of Algorithm 3
+// (Herlihy et al., PODC 2003, as modeled in the paper). Writers acquire
+// ownership (extended command own), aborting any current owner; a commit
+// validates the read set (aborting owners of read variables) and then
+// invalidates readers of the committed write set. Conflicts arise when
+// writing a variable owned by another thread and when committing with a
+// read set intersecting another thread's ownership set; a contention
+// manager arbitrates both.
+type DSTM struct {
+	n, k int
+}
+
+// NewDSTM returns the DSTM algorithm for n threads and k variables.
+func NewDSTM(n, k int) *DSTM {
+	CheckBounds(n, k)
+	return &DSTM{n: n, k: k}
+}
+
+// Name implements Algorithm.
+func (d *DSTM) Name() string { return "dstm" }
+
+// Threads implements Algorithm.
+func (d *DSTM) Threads() int { return d.n }
+
+// Vars implements Algorithm.
+func (d *DSTM) Vars() int { return d.k }
+
+// Initial implements Algorithm: every status finished, all sets empty.
+func (d *DSTM) Initial() State { return DSTMState{} }
+
+// Conflict implements Algorithm: φ(q, (c, t)) is true when c writes a
+// variable owned by another thread, or c commits while the thread's read
+// set intersects another thread's ownership set. A thread already aborted
+// by another thread has no decision left to make — it can only abort — so
+// φ is false for it regardless of the command.
+func (d *DSTM) Conflict(q State, c core.Command, t core.Thread) bool {
+	st := q.(DSTMState)
+	ti := int(t)
+	if st.Status[ti] == dstmAborted {
+		return false
+	}
+	switch c.Op {
+	case core.OpWrite:
+		for u := 0; u < d.n; u++ {
+			if u != ti && st.OS[u].Has(c.V) {
+				return true
+			}
+		}
+	case core.OpCommit:
+		if st.Status[ti] != dstmFinished {
+			return false
+		}
+		for u := 0; u < d.n; u++ {
+			if u != ti && st.RS[ti].Intersects(st.OS[u]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Steps implements Algorithm (the getDSTM procedure).
+func (d *DSTM) Steps(q State, c core.Command, t core.Thread) []Step {
+	st := q.(DSTMState)
+	ti := int(t)
+	// A thread aborted by another thread can only abort.
+	if st.Status[ti] == dstmAborted {
+		return nil
+	}
+	switch c.Op {
+	case core.OpRead:
+		v := c.V
+		if st.OS[ti].Has(v) {
+			return []Step{{X: Base(c), R: Resp1, Next: st}}
+		}
+		if st.Status[ti] == dstmFinished {
+			next := st
+			next.RS[ti] = next.RS[ti].Add(v)
+			return []Step{{X: Base(c), R: Resp1, Next: next}}
+		}
+		// Status invalid: no global read is possible; the command is abort
+		// enabled.
+		return nil
+	case core.OpWrite:
+		v := c.V
+		if st.OS[ti].Has(v) {
+			return []Step{{X: Base(c), R: Resp1, Next: st}}
+		}
+		// Acquire ownership, aborting any current owner.
+		next := st
+		next.OS[ti] = next.OS[ti].Add(v)
+		for u := 0; u < d.n; u++ {
+			if u != ti && next.OS[u].Has(v) {
+				next.Status[u] = dstmAborted
+				next.RS[u] = 0
+				next.OS[u] = 0
+			}
+		}
+		return []Step{{X: XCmd{Kind: XOwn, V: v}, R: RespPending, Next: next}}
+	case core.OpCommit:
+		switch st.Status[ti] {
+		case dstmFinished:
+			// Validate: abort every thread owning a variable this thread
+			// has read.
+			next := st
+			next.Status[ti] = dstmValidated
+			for u := 0; u < d.n; u++ {
+				if u != ti && st.RS[ti].Intersects(st.OS[u]) {
+					next.Status[u] = dstmAborted
+					next.RS[u] = 0
+					next.OS[u] = 0
+				}
+			}
+			return []Step{{X: XCmd{Kind: XValidate}, R: RespPending, Next: next}}
+		case dstmValidated:
+			// Commit: invalidate readers of the committed write set.
+			next := st
+			next.Status[ti] = dstmFinished
+			next.RS[ti] = 0
+			next.OS[ti] = 0
+			for u := 0; u < d.n; u++ {
+				if u != ti && st.RS[u].Intersects(st.OS[ti]) {
+					next.Status[u] = dstmInvalid
+				}
+			}
+			return []Step{{X: Base(c), R: Resp1, Next: next}}
+		default:
+			// Invalid: the commit is abort enabled.
+			return nil
+		}
+	default:
+		return nil
+	}
+}
+
+// AbortStep implements Algorithm: the thread resets to finished with empty
+// sets.
+func (d *DSTM) AbortStep(q State, t core.Thread) State {
+	st := q.(DSTMState)
+	st.Status[t] = dstmFinished
+	st.RS[t] = 0
+	st.OS[t] = 0
+	return st
+}

@@ -1,0 +1,157 @@
+package tm
+
+import (
+	"tmcheck/internal/core"
+)
+
+// ETLState is the encounter-time-locking state: per-thread status,
+// read/write/modified sets, and per-thread lock sets. Unlike TL2, the
+// write lock is taken when the write executes, not at commit.
+type ETLState struct {
+	Status [MaxThreads]uint8 // reuses the TL2 status values
+	RS     [MaxThreads]core.VarSet
+	WS     [MaxThreads]core.VarSet
+	LS     [MaxThreads]core.VarSet
+	MS     [MaxThreads]core.VarSet
+}
+
+// ETL models an encounter-time-locking STM in write-back mode (the
+// TinySTM family): a write immediately acquires the variable's lock —
+// stealing it aborts the holder, a contention-manager decision — and
+// buffers the value; reads check the version-and-lock word as in TL2;
+// commit only validates the read set and publishes (all locks are already
+// held). Version numbers are abstracted by modified sets exactly as in
+// the TL2 model.
+type ETL struct {
+	n, k int
+}
+
+// NewETL returns the ETL algorithm for n threads and k variables.
+func NewETL(n, k int) *ETL {
+	CheckBounds(n, k)
+	return &ETL{n: n, k: k}
+}
+
+// Name implements Algorithm.
+func (e *ETL) Name() string { return "etl" }
+
+// Threads implements Algorithm.
+func (e *ETL) Threads() int { return e.n }
+
+// Vars implements Algorithm.
+func (e *ETL) Vars() int { return e.k }
+
+// Initial implements Algorithm.
+func (e *ETL) Initial() State { return ETLState{} }
+
+// Conflict implements Algorithm: writing a variable locked by another
+// thread is the contention point (steal or abort, the manager decides).
+func (e *ETL) Conflict(q State, c core.Command, t core.Thread) bool {
+	st := q.(ETLState)
+	ti := int(t)
+	if st.Status[ti] == tl2Aborted || c.Op != core.OpWrite {
+		return false
+	}
+	for u := 0; u < e.n; u++ {
+		if u != ti && st.LS[u].Has(c.V) {
+			return true
+		}
+	}
+	return false
+}
+
+// Steps implements Algorithm.
+func (e *ETL) Steps(q State, c core.Command, t core.Thread) []Step {
+	st := q.(ETLState)
+	ti := int(t)
+	if st.Status[ti] == tl2Aborted {
+		return nil
+	}
+	switch c.Op {
+	case core.OpRead:
+		v := c.V
+		if st.WS[ti].Has(v) {
+			return []Step{{X: Base(c), R: Resp1, Next: st}}
+		}
+		locked := false
+		for u := 0; u < e.n; u++ {
+			if u != ti && st.LS[u].Has(v) {
+				locked = true
+				break
+			}
+		}
+		if st.MS[ti].Has(v) || locked {
+			return nil
+		}
+		next := st
+		next.RS[ti] = next.RS[ti].Add(v)
+		return []Step{{X: Base(c), R: Resp1, Next: next}}
+	case core.OpWrite:
+		v := c.V
+		if st.WS[ti].Has(v) {
+			return []Step{{X: Base(c), R: Resp1, Next: st}}
+		}
+		// Acquire the lock at encounter, stealing from (and aborting) any
+		// current holder.
+		next := st
+		next.LS[ti] = next.LS[ti].Add(v)
+		next.WS[ti] = next.WS[ti].Add(v)
+		for u := 0; u < e.n; u++ {
+			if u != ti && st.LS[u].Has(v) {
+				next.Status[u] = tl2Aborted
+			}
+		}
+		return []Step{{X: XCmd{Kind: XWLock, V: v}, R: RespPending, Next: next}}
+	case core.OpCommit:
+		switch st.Status[ti] {
+		case tl2Finished:
+			// Locks are already held; validate the read set.
+			if !etlValidate(e.n, st, ti) {
+				return nil
+			}
+			next := st
+			next.Status[ti] = tl2Validated
+			return []Step{{X: XCmd{Kind: XValidate}, R: RespPending, Next: next}}
+		case tl2Validated:
+			next := st
+			for u := 0; u < e.n; u++ {
+				if u != ti && (st.RS[u] != 0 || st.WS[u] != 0) {
+					next.MS[u] = next.MS[u].Union(st.WS[ti])
+				}
+			}
+			next.Status[ti] = tl2Finished
+			next.RS[ti] = 0
+			next.WS[ti] = 0
+			next.LS[ti] = 0
+			next.MS[ti] = 0
+			return []Step{{X: Base(c), R: Resp1, Next: next}}
+		default:
+			return nil
+		}
+	default:
+		return nil
+	}
+}
+
+func etlValidate(n int, st ETLState, ti int) bool {
+	if st.RS[ti].Intersects(st.MS[ti]) {
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if u != ti && st.RS[ti].Intersects(st.LS[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AbortStep implements Algorithm.
+func (e *ETL) AbortStep(q State, t core.Thread) State {
+	st := q.(ETLState)
+	st.Status[t] = tl2Finished
+	st.RS[t] = 0
+	st.WS[t] = 0
+	st.LS[t] = 0
+	st.MS[t] = 0
+	return st
+}

@@ -1,0 +1,61 @@
+package tm
+
+import "testing"
+
+func TestKarmaEarnSpend(t *testing.T) {
+	var cm Karma
+	p := cm.Initial()
+	// Fresh threads hold one credit: the first acquisition succeeds.
+	p2, ok := cm.Step(p, XCmd{Kind: XOwn}, 0)
+	if !ok {
+		t.Fatal("first acquisition should be allowed")
+	}
+	// Credit is spent: a second immediate acquisition is refused.
+	if _, ok := cm.Step(p2, XCmd{Kind: XLock}, 0); ok {
+		t.Fatal("second acquisition without earning should be refused")
+	}
+	// Completing the write earns the credit back.
+	p3, ok := cm.Step(p2, XCmd{Kind: XWrite}, 0)
+	if !ok {
+		t.Fatal("base command must always be allowed")
+	}
+	if _, ok := cm.Step(p3, XCmd{Kind: XOwn}, 0); !ok {
+		t.Fatal("acquisition after earning should be allowed")
+	}
+}
+
+func TestKarmaAbortForfeits(t *testing.T) {
+	var cm Karma
+	p := cm.Initial()
+	p, _ = cm.Step(p, XCmd{Kind: XRead}, 0) // credit 2 (capped)
+	p, ok := cm.Step(p, XCmd{Kind: XAbort}, 0)
+	if !ok {
+		t.Fatal("abort must always be allowed")
+	}
+	// All credit gone: an acquisition is refused until something is
+	// earned.
+	if _, ok := cm.Step(p, XCmd{Kind: XOwn}, 0); ok {
+		t.Fatal("acquisition after abort should be refused")
+	}
+}
+
+func TestKarmaCreditIsPerThread(t *testing.T) {
+	var cm Karma
+	p := cm.Initial()
+	p, _ = cm.Step(p, XCmd{Kind: XOwn}, 0) // thread 1 spends
+	if _, ok := cm.Step(p, XCmd{Kind: XOwn}, 1); !ok {
+		t.Fatal("thread 2's credit should be untouched")
+	}
+}
+
+func TestKarmaCreditBounded(t *testing.T) {
+	var cm Karma
+	p := cm.Initial()
+	for i := 0; i < 10; i++ {
+		p, _ = cm.Step(p, XCmd{Kind: XRead}, 0)
+	}
+	s := p.(karmaState)
+	if s.Credit[0] > karmaMaxCredit {
+		t.Fatalf("credit %d exceeds bound %d", s.Credit[0], karmaMaxCredit)
+	}
+}

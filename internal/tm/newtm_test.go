@@ -1,0 +1,168 @@
+package tm
+
+import (
+	"testing"
+
+	"tmcheck/internal/core"
+)
+
+// --- NOrec ---
+
+func TestNOrecCommitSequence(t *testing.T) {
+	m := NewNOrec(2, 2)
+	q := m.Initial()
+	q = m.Steps(q, core.Write(0), 0)[0].Next
+	// Writer commit: lock, validate, publish.
+	steps := m.Steps(q, core.Commit(), 0)
+	if len(steps) != 1 || steps[0].X.Kind != XLock {
+		t.Fatalf("want global lock step, got %+v", steps)
+	}
+	q = steps[0].Next
+	if got := q.(NOrecState).GlobalLock; got != 0 {
+		t.Fatalf("lock holder = %d", got)
+	}
+	steps = m.Steps(q, core.Commit(), 0)
+	if len(steps) != 1 || steps[0].X.Kind != XValidate {
+		t.Fatalf("want validate, got %+v", steps)
+	}
+	q = steps[0].Next
+	steps = m.Steps(q, core.Commit(), 0)
+	if len(steps) != 1 || steps[0].R != Resp1 {
+		t.Fatalf("want publish, got %+v", steps)
+	}
+	if got := steps[0].Next.(NOrecState).GlobalLock; got != uint8(MaxThreads) {
+		t.Errorf("lock not released: %d", got)
+	}
+}
+
+func TestNOrecReadOnlyFastPath(t *testing.T) {
+	m := NewNOrec(2, 1)
+	q := m.Initial()
+	q = m.Steps(q, core.Read(0), 0)[0].Next
+	steps := m.Steps(q, core.Commit(), 0)
+	if len(steps) != 1 || steps[0].X.Kind != XCommit || steps[0].R != Resp1 {
+		t.Fatalf("read-only commit should be immediate, got %+v", steps)
+	}
+}
+
+func TestNOrecGlobalLockBlocksEverything(t *testing.T) {
+	m := NewNOrec(2, 2)
+	q := m.Initial()
+	q = m.Steps(q, core.Write(0), 0)[0].Next
+	q = m.Steps(q, core.Commit(), 0)[0].Next // t1 holds the commit lock
+	// t2 can neither read nor commit writes while the lock is held.
+	if got := m.Steps(q, core.Read(1), 1); got != nil {
+		t.Errorf("read during commit should wait (abort enabled), got %+v", got)
+	}
+	q2 := m.Steps(q, core.Write(1), 1)[0].Next // buffering is fine
+	if got := m.Steps(q2, core.Commit(), 1); got != nil {
+		t.Errorf("second committer should be blocked, got %+v", got)
+	}
+	if !m.Conflict(q2, core.Commit(), 1) {
+		t.Error("blocked commit should be a conflict")
+	}
+}
+
+func TestNOrecSnapshotInvalidation(t *testing.T) {
+	m := NewNOrec(2, 2)
+	q := m.Initial()
+	q = m.Steps(q, core.Read(0), 1)[0].Next // t2 snapshots v1
+	// t1 commits a write to v1.
+	q = m.Steps(q, core.Write(0), 0)[0].Next
+	q = m.Steps(q, core.Commit(), 0)[0].Next
+	q = m.Steps(q, core.Commit(), 0)[0].Next
+	q = m.Steps(q, core.Commit(), 0)[0].Next
+	st := q.(NOrecState)
+	if !st.MS[1].Has(0) {
+		t.Fatalf("modified set not propagated: %+v", st)
+	}
+	// t2's snapshot is dead: reads and commits are abort enabled.
+	if got := m.Steps(q, core.Read(1), 1); got != nil {
+		t.Errorf("read on dead snapshot should fail, got %+v", got)
+	}
+	if got := m.Steps(q, core.Commit(), 1); got != nil {
+		t.Errorf("commit on dead snapshot should fail, got %+v", got)
+	}
+}
+
+func TestNOrecAbortReleasesGlobalLock(t *testing.T) {
+	m := NewNOrec(2, 1)
+	q := m.Initial()
+	q = m.Steps(q, core.Write(0), 0)[0].Next
+	q = m.Steps(q, core.Commit(), 0)[0].Next
+	q2 := m.AbortStep(q, 0)
+	if got := q2.(NOrecState).GlobalLock; got != uint8(MaxThreads) {
+		t.Errorf("abort did not release the commit lock: %d", got)
+	}
+}
+
+// --- ETL ---
+
+func TestETLWriteLocksAtEncounter(t *testing.T) {
+	e := NewETL(2, 2)
+	q := e.Initial()
+	steps := e.Steps(q, core.Write(0), 0)
+	if len(steps) != 1 || steps[0].X.Kind != XWLock || steps[0].R != RespPending {
+		t.Fatalf("want encounter-time lock, got %+v", steps)
+	}
+	st := steps[0].Next.(ETLState)
+	if !st.LS[0].Has(0) || !st.WS[0].Has(0) {
+		t.Errorf("lock/write set not updated: %+v", st)
+	}
+	// The pending write completes.
+	steps = e.Steps(steps[0].Next, core.Write(0), 0)
+	if len(steps) != 1 || steps[0].R != Resp1 {
+		t.Fatalf("continuation = %+v", steps)
+	}
+}
+
+func TestETLStealAborts(t *testing.T) {
+	e := NewETL(2, 1)
+	q := e.Initial()
+	q = e.Steps(q, core.Write(0), 0)[0].Next // t1 locks v1
+	if !e.Conflict(q, core.Write(0), 1) {
+		t.Error("competing write should conflict")
+	}
+	steps := e.Steps(q, core.Write(0), 1)
+	if len(steps) != 1 {
+		t.Fatalf("steal = %+v", steps)
+	}
+	st := steps[0].Next.(ETLState)
+	if st.Status[0] != tl2Aborted {
+		t.Errorf("victim not aborted: %+v", st)
+	}
+}
+
+func TestETLCommitValidatesOnly(t *testing.T) {
+	e := NewETL(2, 2)
+	q := e.Initial()
+	q = e.Steps(q, core.Write(0), 0)[0].Next
+	q = e.Steps(q, core.Write(0), 0)[0].Next // write completes
+	// Commit: no lock steps (already held) — validate then publish.
+	steps := e.Steps(q, core.Commit(), 0)
+	if len(steps) != 1 || steps[0].X.Kind != XValidate {
+		t.Fatalf("want validate, got %+v", steps)
+	}
+	q = steps[0].Next
+	steps = e.Steps(q, core.Commit(), 0)
+	if len(steps) != 1 || steps[0].R != Resp1 {
+		t.Fatalf("want publish, got %+v", steps)
+	}
+}
+
+func TestETLReadBlockedByLockAndVersion(t *testing.T) {
+	e := NewETL(2, 2)
+	q := e.Initial()
+	q = e.Steps(q, core.Write(0), 1)[0].Next // t2 locks v1
+	if got := e.Steps(q, core.Read(0), 0); got != nil {
+		t.Errorf("read of locked variable should fail, got %+v", got)
+	}
+	// After t2 commits, an active t1 has v1 in its modified set.
+	q = e.Steps(q, core.Write(0), 1)[0].Next
+	q = e.Steps(q, core.Read(1), 0)[0].Next // t1 becomes active
+	q = e.Steps(q, core.Commit(), 1)[0].Next
+	q = e.Steps(q, core.Commit(), 1)[0].Next
+	if got := e.Steps(q, core.Read(0), 0); got != nil {
+		t.Errorf("stale read should fail, got %+v", got)
+	}
+}

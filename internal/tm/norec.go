@@ -1,0 +1,173 @@
+package tm
+
+import (
+	"tmcheck/internal/core"
+)
+
+// NOrec thread statuses.
+const (
+	norecActive uint8 = iota
+	norecCommitLocked
+	norecValidated
+)
+
+// NOrecState is the NOrec state: per-thread read/write/modified sets, the
+// per-thread status, and the identity of the thread holding the single
+// global commit lock (none when GlobalLock is MaxThreads).
+type NOrecState struct {
+	Status     [MaxThreads]uint8
+	RS         [MaxThreads]core.VarSet
+	WS         [MaxThreads]core.VarSet
+	MS         [MaxThreads]core.VarSet
+	GlobalLock uint8 // MaxThreads when free
+}
+
+// NOrec models the "no ownership records" STM of Dalessandro, Spear and
+// Scott (PPoPP 2010): writes are buffered; a single global sequence lock
+// serializes commits; readers revalidate their whole read set whenever the
+// global version changes. Value-based validation is abstracted the same
+// way the paper abstracts TL2's version clock: a committing transaction
+// adds its write set to the modified set of every active transaction, and
+// a transaction whose read set intersects its modified set can no longer
+// read or commit (its snapshot is gone).
+//
+// The conflict function is true when a thread wants to commit writes while
+// another thread holds the commit lock — the only contention point NOrec
+// has; a manager decides between waiting out (aborting self) and, in this
+// model, there being nothing to steal, so the aggressive manager simply
+// never lets the transaction abort itself (it retries from the program's
+// perspective).
+type NOrec struct {
+	n, k int
+}
+
+// NewNOrec returns the NOrec algorithm for n threads and k variables.
+func NewNOrec(n, k int) *NOrec {
+	CheckBounds(n, k)
+	return &NOrec{n: n, k: k}
+}
+
+// Name implements Algorithm.
+func (m *NOrec) Name() string { return "norec" }
+
+// Threads implements Algorithm.
+func (m *NOrec) Threads() int { return m.n }
+
+// Vars implements Algorithm.
+func (m *NOrec) Vars() int { return m.k }
+
+// Initial implements Algorithm.
+func (m *NOrec) Initial() State { return NOrecState{GlobalLock: MaxThreads} }
+
+// Conflict implements Algorithm: committing writes while another thread
+// holds the global commit lock.
+func (m *NOrec) Conflict(q State, c core.Command, t core.Thread) bool {
+	st := q.(NOrecState)
+	return c.Op == core.OpCommit &&
+		st.Status[t] == norecActive &&
+		st.WS[t] != 0 &&
+		st.GlobalLock != uint8(MaxThreads) && st.GlobalLock != uint8(t)
+}
+
+// Steps implements Algorithm.
+func (m *NOrec) Steps(q State, c core.Command, t core.Thread) []Step {
+	st := q.(NOrecState)
+	ti := int(t)
+	switch c.Op {
+	case core.OpRead:
+		v := c.V
+		if st.WS[ti].Has(v) {
+			return []Step{{X: Base(c), R: Resp1, Next: st}}
+		}
+		// A snapshot that saw a concurrent commit over its read set is
+		// dead; also, reads wait out a commit in progress (the sequence
+		// lock is odd) — modeled as abort enabled while the lock is held
+		// by another thread.
+		if st.RS[ti].Intersects(st.MS[ti]) {
+			return nil
+		}
+		if st.GlobalLock != uint8(MaxThreads) && st.GlobalLock != uint8(ti) {
+			return nil
+		}
+		// Reading a freshly modified variable is fine only together with
+		// revalidation; NOrec revalidates by value, which the set model
+		// abstracts as: reading a variable modified since the snapshot
+		// kills the transaction (conservative, like the TL2 model).
+		if st.MS[ti].Has(v) {
+			return nil
+		}
+		next := st
+		next.RS[ti] = next.RS[ti].Add(v)
+		return []Step{{X: Base(c), R: Resp1, Next: next}}
+	case core.OpWrite:
+		next := st
+		next.WS[ti] = next.WS[ti].Add(c.V)
+		return []Step{{X: Base(c), R: Resp1, Next: next}}
+	case core.OpCommit:
+		return m.commitSteps(st, ti)
+	default:
+		return nil
+	}
+}
+
+func (m *NOrec) commitSteps(st NOrecState, ti int) []Step {
+	switch st.Status[ti] {
+	case norecActive:
+		if st.WS[ti] == 0 {
+			// Read-only fast path: valid snapshot ⇒ commit immediately.
+			if st.RS[ti].Intersects(st.MS[ti]) {
+				return nil
+			}
+			next := st
+			next.RS[ti] = 0
+			next.MS[ti] = 0
+			return []Step{{X: Base(core.Commit()), R: Resp1, Next: next}}
+		}
+		// Writer: acquire the global sequence lock.
+		if st.GlobalLock != uint8(MaxThreads) {
+			return nil // held: abort enabled (φ is true here)
+		}
+		next := st
+		next.GlobalLock = uint8(ti)
+		next.Status[ti] = norecCommitLocked
+		return []Step{{X: XCmd{Kind: XLock}, R: RespPending, Next: next}}
+	case norecCommitLocked:
+		// Validate under the lock.
+		if st.RS[ti].Intersects(st.MS[ti]) {
+			return nil
+		}
+		next := st
+		next.Status[ti] = norecValidated
+		return []Step{{X: XCmd{Kind: XValidate}, R: RespPending, Next: next}}
+	case norecValidated:
+		// Publish, bump every active snapshot's modified set, release.
+		next := st
+		for u := 0; u < m.n; u++ {
+			if u != ti && (st.RS[u] != 0 || st.WS[u] != 0) {
+				next.MS[u] = next.MS[u].Union(st.WS[ti])
+			}
+		}
+		next.RS[ti] = 0
+		next.WS[ti] = 0
+		next.MS[ti] = 0
+		next.Status[ti] = norecActive
+		next.GlobalLock = uint8(MaxThreads)
+		return []Step{{X: Base(core.Commit()), R: Resp1, Next: next}}
+	default:
+		return nil
+	}
+}
+
+// AbortStep implements Algorithm: release the commit lock if held, reset
+// the thread.
+func (m *NOrec) AbortStep(q State, t core.Thread) State {
+	st := q.(NOrecState)
+	if st.GlobalLock == uint8(t) {
+		st.GlobalLock = uint8(MaxThreads)
+	}
+	st.Status[t] = norecActive
+	st.RS[t] = 0
+	st.WS[t] = 0
+	st.MS[t] = 0
+	return st
+}

@@ -1,0 +1,69 @@
+package tm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// algorithmFactories maps TM names to constructors.
+var algorithmFactories = map[string]func(n, k int) Algorithm{
+	"seq":             func(n, k int) Algorithm { return NewSeq(n, k) },
+	"2pl":             func(n, k int) Algorithm { return NewTwoPL(n, k) },
+	"dstm":            func(n, k int) Algorithm { return NewDSTM(n, k) },
+	"tl2":             func(n, k int) Algorithm { return NewTL2(n, k) },
+	"modtl2":          func(n, k int) Algorithm { return NewTL2Mod(n, k) },
+	"norec":           func(n, k int) Algorithm { return NewNOrec(n, k) },
+	"etl":             func(n, k int) Algorithm { return NewETL(n, k) },
+	"2pl-noreadlock":  func(n, k int) Algorithm { return NewTwoPLNoReadLock(n, k) },
+	"dstm-novalidate": func(n, k int) Algorithm { return NewDSTMNoValidate(n, k) },
+}
+
+// managerFactories maps contention-manager names to constructors.
+var managerFactories = map[string]func() ContentionManager{
+	"aggressive": func() ContentionManager { return Aggressive{} },
+	"polite":     func() ContentionManager { return Polite{} },
+	"karma":      func() ContentionManager { return Karma{} },
+	"timid":      func() ContentionManager { return Timid{} },
+}
+
+// NewAlgorithm constructs a TM algorithm by name.
+func NewAlgorithm(name string, n, k int) (Algorithm, error) {
+	f, ok := algorithmFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("tm: unknown algorithm %q (have %v)", name, AlgorithmNames())
+	}
+	return f(n, k), nil
+}
+
+// NewContentionManager constructs a contention manager by name; the empty
+// name yields nil (no manager).
+func NewContentionManager(name string) (ContentionManager, error) {
+	if name == "" || name == "none" {
+		return nil, nil
+	}
+	f, ok := managerFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("tm: unknown contention manager %q (have %v)", name, ManagerNames())
+	}
+	return f(), nil
+}
+
+// AlgorithmNames lists the registered TM algorithms.
+func AlgorithmNames() []string {
+	var names []string
+	for n := range algorithmFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ManagerNames lists the registered contention managers.
+func ManagerNames() []string {
+	var names []string
+	for n := range managerFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,66 @@
+package tm
+
+import (
+	"tmcheck/internal/core"
+)
+
+// SeqState is the sequential TM's state: the set of threads whose current
+// transaction has started (the paper's Status function, with membership
+// meaning Status(t) = started).
+type SeqState struct {
+	Started core.ThreadSet
+}
+
+// Seq is the sequential TM of Algorithm 1: a command executes only when
+// every other thread's transaction is finished, so transactions run one at
+// a time; a thread scheduled while another transaction runs can only
+// abort. The conflict function is constantly false — no contention manager
+// is ever consulted.
+type Seq struct {
+	n, k int
+}
+
+// NewSeq returns the sequential TM for n threads and k variables.
+func NewSeq(n, k int) *Seq {
+	CheckBounds(n, k)
+	return &Seq{n: n, k: k}
+}
+
+// Name implements Algorithm.
+func (s *Seq) Name() string { return "seq" }
+
+// Threads implements Algorithm.
+func (s *Seq) Threads() int { return s.n }
+
+// Vars implements Algorithm.
+func (s *Seq) Vars() int { return s.k }
+
+// Initial implements Algorithm: every thread's status is finished.
+func (s *Seq) Initial() State { return SeqState{} }
+
+// Conflict implements Algorithm: φ is constantly false.
+func (s *Seq) Conflict(q State, c core.Command, t core.Thread) bool { return false }
+
+// Steps implements Algorithm (the getSequential procedure).
+func (s *Seq) Steps(q State, c core.Command, t core.Thread) []Step {
+	st := q.(SeqState)
+	// A command executes only when all other threads are finished.
+	if st.Started.Remove(t) != 0 {
+		return nil
+	}
+	next := st
+	switch c.Op {
+	case core.OpRead, core.OpWrite:
+		next.Started = next.Started.Add(t)
+	case core.OpCommit:
+		next.Started = next.Started.Remove(t)
+	}
+	return []Step{{X: Base(c), R: Resp1, Next: next}}
+}
+
+// AbortStep implements Algorithm: the thread's status resets to finished.
+func (s *Seq) AbortStep(q State, t core.Thread) State {
+	st := q.(SeqState)
+	st.Started = st.Started.Remove(t)
+	return st
+}

@@ -1,0 +1,210 @@
+package tm
+
+import (
+	"tmcheck/internal/core"
+)
+
+// TL2 thread statuses (Algorithm 4, plus rvalidated for the modified
+// variant of §5.4).
+const (
+	tl2Finished uint8 = iota
+	tl2Aborted
+	tl2Validated
+	tl2RValidated // modified TL2 only: version check passed, lock check pending
+)
+
+// TL2State is the TL2 state: per-thread status, read set, write set, lock
+// set, and modified set (the model of version numbers: a committing
+// transaction adds its write set to the modified set of every thread with
+// an active transaction).
+type TL2State struct {
+	Status [MaxThreads]uint8
+	RS     [MaxThreads]core.VarSet
+	WS     [MaxThreads]core.VarSet
+	LS     [MaxThreads]core.VarSet
+	MS     [MaxThreads]core.VarSet
+}
+
+// TL2 is transactional locking 2 (Dice, Shalev, Shavit, DISC 2006) as
+// modeled by Algorithm 4. Writes are buffered; commit locks the write set
+// (stealing locks aborts their holders), validates — atomically checking
+// that no read variable was modified since the transaction started and
+// that no read variable is locked by another thread — and publishes.
+//
+// Interpretation notes (see DESIGN.md): the paper's validate branch
+// mentions an ownership set TL2 does not have; we read the intended check
+// as "no read variable is locked by another thread", the lock-bit half of
+// TL2's atomic version-and-lock word. The commit branch's "rs(t) ∪ ws(t)"
+// guard is read as rs(u) ∪ ws(u): the write set joins the modified set of
+// every thread with an active transaction.
+type TL2 struct {
+	n, k int
+}
+
+// NewTL2 returns the TL2 algorithm for n threads and k variables.
+func NewTL2(n, k int) *TL2 {
+	CheckBounds(n, k)
+	return &TL2{n: n, k: k}
+}
+
+// Name implements Algorithm.
+func (l *TL2) Name() string { return "tl2" }
+
+// Threads implements Algorithm.
+func (l *TL2) Threads() int { return l.n }
+
+// Vars implements Algorithm.
+func (l *TL2) Vars() int { return l.k }
+
+// Initial implements Algorithm.
+func (l *TL2) Initial() State { return TL2State{} }
+
+// Conflict implements Algorithm: φ(q, (c, t)) is true when c is a commit
+// and some write-set variable is locked by another thread — the point
+// where a contention manager decides between stealing the lock and
+// aborting. A thread already aborted by a lock thief has no decision to
+// make (it can only abort), so φ is false for it; the paper's own
+// livelock counterexample for DSTM requires this reading.
+func (l *TL2) Conflict(q State, c core.Command, t core.Thread) bool {
+	st := q.(TL2State)
+	ti := int(t)
+	if c.Op != core.OpCommit || st.Status[ti] == tl2Aborted {
+		return false
+	}
+	for u := 0; u < l.n; u++ {
+		if u != ti && st.WS[ti].Intersects(st.LS[u]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Steps implements Algorithm (the getTL2 procedure).
+func (l *TL2) Steps(q State, c core.Command, t core.Thread) []Step {
+	st := q.(TL2State)
+	ti := int(t)
+	switch c.Op {
+	case core.OpRead:
+		v := c.V
+		if st.WS[ti].Has(v) {
+			return []Step{{X: Base(c), R: Resp1, Next: st}}
+		}
+		// A global read checks the variable's version-and-lock word, as in
+		// the published TL2: it fails if the variable was modified since
+		// the transaction began or if another thread holds its lock (a
+		// committer between validation and publication).
+		locked := false
+		for u := 0; u < l.n; u++ {
+			if u != ti && st.LS[u].Has(v) {
+				locked = true
+				break
+			}
+		}
+		if !st.MS[ti].Has(v) && !locked {
+			next := st
+			next.RS[ti] = next.RS[ti].Add(v)
+			return []Step{{X: Base(c), R: Resp1, Next: next}}
+		}
+		// The read is abort enabled.
+		return nil
+	case core.OpWrite:
+		next := st
+		next.WS[ti] = next.WS[ti].Add(c.V)
+		return []Step{{X: Base(c), R: Resp1, Next: next}}
+	case core.OpCommit:
+		return l.commitSteps(st, ti)
+	default:
+		return nil
+	}
+}
+
+func (l *TL2) commitSteps(st TL2State, ti int) []Step {
+	switch st.Status[ti] {
+	case tl2Finished:
+		var steps []Step
+		// Lock each write-set variable not yet locked, stealing from (and
+		// thereby aborting) any current holder.
+		for _, v := range st.WS[ti].Vars() {
+			if st.LS[ti].Has(v) {
+				continue
+			}
+			next := st
+			next.LS[ti] = next.LS[ti].Add(v)
+			for u := 0; u < l.n; u++ {
+				if u != ti && st.LS[u].Has(v) {
+					next.Status[u] = tl2Aborted
+				}
+			}
+			steps = append(steps, Step{X: XCmd{Kind: XLock, V: v}, R: RespPending, Next: next})
+		}
+		// Validate once all locks are held: the read set must be
+		// unmodified since the transaction began and unlocked by others.
+		if st.WS[ti] == st.LS[ti] && tl2ValidateReads(l.n, st, ti) {
+			next := st
+			next.Status[ti] = tl2Validated
+			steps = append(steps, Step{X: XCmd{Kind: XValidate}, R: RespPending, Next: next})
+		}
+		return steps
+	case tl2Validated:
+		next := st
+		tl2Publish(l.n, &next, ti)
+		return []Step{{X: XCmd{Kind: XCommit}, R: Resp1, Next: next}}
+	default:
+		// Aborted (or mid-validation in the modified variant): nothing to
+		// do here.
+		return nil
+	}
+}
+
+// tl2ValidateReads checks rs(t) ∩ ms(t) = ∅ and that no other thread holds
+// a lock on a variable in rs(t).
+func tl2ValidateReads(n int, st TL2State, ti int) bool {
+	if st.RS[ti].Intersects(st.MS[ti]) {
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if u != ti && st.RS[ti].Intersects(st.LS[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// tl2ChkLockOnly checks only the lock half of validation: no other thread
+// holds a lock on a variable in rs(t). The modified TL2 runs it as a
+// separate atomic step after the version half.
+func tl2ChkLockOnly(n int, st TL2State, ti int) bool {
+	for u := 0; u < n; u++ {
+		if u != ti && st.RS[ti].Intersects(st.LS[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// tl2Publish performs the d = commit effect: the write set joins the
+// modified set of every other thread with an active transaction, and the
+// committing thread resets.
+func tl2Publish(n int, st *TL2State, ti int) {
+	for u := 0; u < n; u++ {
+		if u != ti && (st.RS[u] != 0 || st.WS[u] != 0) {
+			st.MS[u] = st.MS[u].Union(st.WS[ti])
+		}
+	}
+	st.Status[ti] = tl2Finished
+	st.RS[ti] = 0
+	st.WS[ti] = 0
+	st.LS[ti] = 0
+	st.MS[ti] = 0
+}
+
+// AbortStep implements Algorithm: the thread resets entirely.
+func (l *TL2) AbortStep(q State, t core.Thread) State {
+	st := q.(TL2State)
+	st.Status[t] = tl2Finished
+	st.RS[t] = 0
+	st.WS[t] = 0
+	st.LS[t] = 0
+	st.MS[t] = 0
+	return st
+}

@@ -1,0 +1,86 @@
+package tm
+
+import (
+	"tmcheck/internal/core"
+)
+
+// TL2Mod is the modified TL2 TM algorithm of §5.4: the atomic validate of
+// Algorithm 4 is split into two separately atomic extended commands,
+// rvalidate (the version-number half: rs(t) ∩ ms(t) = ∅) followed by
+// chklock (the lock-bit half: no read variable locked by another thread),
+// in that order. The published TL2 stores the version number and the lock
+// bit in one memory word, making the combined check atomic; splitting it
+// with rvalidate first opens a window — another transaction can commit
+// (bumping versions) and release its locks between the two checks — and
+// the TM becomes unsafe. The paper's counterexample
+//
+//	(w,2)1, (w,1)2, (r,2)2, (r,1)1, c2, c1
+//
+// threads that window.
+type TL2Mod struct {
+	TL2
+}
+
+// NewTL2Mod returns the modified TL2 algorithm for n threads and k
+// variables.
+func NewTL2Mod(n, k int) *TL2Mod {
+	CheckBounds(n, k)
+	return &TL2Mod{TL2{n: n, k: k}}
+}
+
+// Name implements Algorithm.
+func (l *TL2Mod) Name() string { return "modtl2" }
+
+// Steps implements Algorithm: identical to TL2 except for the commit
+// sequence lock* · rvalidate · chklock · commit.
+func (l *TL2Mod) Steps(q State, c core.Command, t core.Thread) []Step {
+	if c.Op != core.OpCommit {
+		return l.TL2.Steps(q, c, t)
+	}
+	st := q.(TL2State)
+	ti := int(t)
+	switch st.Status[ti] {
+	case tl2Finished:
+		var steps []Step
+		for _, v := range st.WS[ti].Vars() {
+			if st.LS[ti].Has(v) {
+				continue
+			}
+			next := st
+			next.LS[ti] = next.LS[ti].Add(v)
+			for u := 0; u < l.n; u++ {
+				if u != ti && st.LS[u].Has(v) {
+					next.Status[u] = tl2Aborted
+				}
+			}
+			steps = append(steps, Step{X: XCmd{Kind: XLock, V: v}, R: RespPending, Next: next})
+		}
+		// rvalidate: only the version half of TL2's validation.
+		if st.WS[ti] == st.LS[ti] && !st.RS[ti].Intersects(st.MS[ti]) {
+			next := st
+			next.Status[ti] = tl2RValidated
+			steps = append(steps, Step{X: XCmd{Kind: XRValidate}, R: RespPending, Next: next})
+		}
+		return steps
+	case tl2RValidated:
+		// chklock: the lock half, atomically separate from rvalidate.
+		if !tl2ChkLockOnly(l.n, st, ti) {
+			return nil
+		}
+		next := st
+		next.Status[ti] = tl2Validated
+		return []Step{{X: XCmd{Kind: XChkLock}, R: RespPending, Next: next}}
+	case tl2Validated:
+		next := st
+		tl2Publish(l.n, &next, ti)
+		return []Step{{X: XCmd{Kind: XCommit}, R: Resp1, Next: next}}
+	default:
+		return nil
+	}
+}
+
+// Conflict implements Algorithm: as in TL2, but a thread caught between
+// rvalidate and chklock is also past the contention decision.
+func (l *TL2Mod) Conflict(q State, c core.Command, t core.Thread) bool {
+	return l.TL2.Conflict(q, c, t)
+}

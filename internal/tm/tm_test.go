@@ -1,0 +1,552 @@
+package tm
+
+import (
+	"testing"
+
+	"tmcheck/internal/core"
+)
+
+func TestXCmdStrings(t *testing.T) {
+	for _, tc := range []struct {
+		x    XCmd
+		want string
+	}{
+		{XCmd{Kind: XRead, V: 0}, "(r,1)"},
+		{XCmd{Kind: XWrite, V: 1}, "(w,2)"},
+		{XCmd{Kind: XCommit}, "c"},
+		{XCmd{Kind: XAbort}, "a"},
+		{XCmd{Kind: XRLock, V: 0}, "(rl,1)"},
+		{XCmd{Kind: XWLock, V: 1}, "(wl,2)"},
+		{XCmd{Kind: XOwn, V: 0}, "(o,1)"},
+		{XCmd{Kind: XValidate}, "v"},
+		{XCmd{Kind: XLock, V: 1}, "(l,2)"},
+		{XCmd{Kind: XRValidate}, "rv"},
+		{XCmd{Kind: XChkLock}, "k"},
+	} {
+		if got := tc.x.String(); got != tc.want {
+			t.Errorf("String(%v) = %q, want %q", tc.x.Kind, got, tc.want)
+		}
+	}
+}
+
+func TestBaseCommand(t *testing.T) {
+	if Base(core.Read(1)) != (XCmd{Kind: XRead, V: 1}) {
+		t.Error("Base(read) wrong")
+	}
+	if Base(core.Write(0)) != (XCmd{Kind: XWrite}) {
+		t.Error("Base(write) wrong")
+	}
+	if Base(core.Commit()) != (XCmd{Kind: XCommit}) {
+		t.Error("Base(commit) wrong")
+	}
+	if Base(core.Abort()) != (XCmd{Kind: XAbort}) {
+		t.Error("Base(abort) wrong")
+	}
+}
+
+func TestRespString(t *testing.T) {
+	if RespPending.String() != "⊥" || Resp0.String() != "0" || Resp1.String() != "1" {
+		t.Error("Resp strings wrong")
+	}
+}
+
+func TestCheckBoundsPanics(t *testing.T) {
+	for _, tc := range [][2]int{{0, 1}, {5, 1}, {1, 0}, {1, 17}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CheckBounds(%d,%d) did not panic", tc[0], tc[1])
+				}
+			}()
+			CheckBounds(tc[0], tc[1])
+		}()
+	}
+	CheckBounds(1, 1)
+	CheckBounds(MaxThreads, 16)
+}
+
+// --- Sequential TM ---
+
+func TestSeqMutualExclusion(t *testing.T) {
+	s := NewSeq(2, 2)
+	q := s.Initial()
+	// Thread 1 starts a transaction.
+	steps := s.Steps(q, core.Read(0), 0)
+	if len(steps) != 1 || steps[0].R != Resp1 {
+		t.Fatalf("Steps = %+v", steps)
+	}
+	q = steps[0].Next
+	// Thread 2 cannot do anything while thread 1 runs.
+	if got := s.Steps(q, core.Read(0), 1); got != nil {
+		t.Errorf("thread 2 should be blocked, got %+v", got)
+	}
+	if got := s.Steps(q, core.Commit(), 1); got != nil {
+		t.Errorf("thread 2 commit should be blocked, got %+v", got)
+	}
+	// Thread 1 commits; thread 2 may proceed.
+	q = s.Steps(q, core.Commit(), 0)[0].Next
+	if got := s.Steps(q, core.Write(1), 1); len(got) != 1 {
+		t.Errorf("thread 2 should proceed after commit, got %+v", got)
+	}
+}
+
+func TestSeqAbortResets(t *testing.T) {
+	s := NewSeq(2, 1)
+	q := s.Steps(s.Initial(), core.Write(0), 0)[0].Next
+	q2 := s.AbortStep(q, 0)
+	if q2 != s.Initial() {
+		t.Errorf("abort should reset to initial, got %+v", q2)
+	}
+}
+
+func TestSeqNeverConflicts(t *testing.T) {
+	s := NewSeq(2, 2)
+	if s.Conflict(s.Initial(), core.Write(0), 0) {
+		t.Error("sequential TM must never report conflicts")
+	}
+}
+
+// --- Two-phase locking ---
+
+func TestTwoPLReadLocks(t *testing.T) {
+	p := NewTwoPL(2, 2)
+	q := p.Initial()
+	// First read acquires a shared lock with response ⊥.
+	steps := p.Steps(q, core.Read(0), 0)
+	if len(steps) != 1 || steps[0].R != RespPending || steps[0].X.Kind != XRLock {
+		t.Fatalf("Steps = %+v", steps)
+	}
+	q = steps[0].Next
+	// The pending read then completes.
+	steps = p.Steps(q, core.Read(0), 0)
+	if len(steps) != 1 || steps[0].R != Resp1 || steps[0].X.Kind != XRead {
+		t.Fatalf("continuation = %+v", steps)
+	}
+	// Both threads can hold shared locks.
+	steps2 := p.Steps(q, core.Read(0), 1)
+	if len(steps2) != 1 || steps2[0].X.Kind != XRLock {
+		t.Errorf("second reader should acquire a shared lock, got %+v", steps2)
+	}
+	// But no other thread can write-lock a read-locked variable.
+	if got := p.Steps(q, core.Write(0), 1); got != nil {
+		t.Errorf("writer should be blocked by shared lock, got %+v", got)
+	}
+}
+
+func TestTwoPLWriteLockExcludes(t *testing.T) {
+	p := NewTwoPL(2, 2)
+	q := p.Steps(p.Initial(), core.Write(0), 0)[0].Next // wlock v1 by t1
+	if got := p.Steps(q, core.Read(0), 1); got != nil {
+		t.Errorf("reader should be blocked by exclusive lock, got %+v", got)
+	}
+	if got := p.Steps(q, core.Write(0), 1); got != nil {
+		t.Errorf("writer should be blocked by exclusive lock, got %+v", got)
+	}
+	// The other variable stays available.
+	if got := p.Steps(q, core.Write(1), 1); len(got) != 1 {
+		t.Errorf("other variable should be lockable, got %+v", got)
+	}
+}
+
+func TestTwoPLUpgrade(t *testing.T) {
+	p := NewTwoPL(2, 2)
+	q := p.Steps(p.Initial(), core.Read(0), 0)[0].Next // rlock
+	q = p.Steps(q, core.Read(0), 0)[0].Next            // read completes
+	steps := p.Steps(q, core.Write(0), 0)              // upgrade
+	if len(steps) != 1 || steps[0].X.Kind != XWLock {
+		t.Fatalf("upgrade = %+v", steps)
+	}
+	// Upgrade is blocked if another thread shares the lock.
+	qShared := p.Steps(q, core.Read(0), 1)[0].Next
+	if got := p.Steps(qShared, core.Write(0), 0); got != nil {
+		t.Errorf("upgrade should block on a second shared holder, got %+v", got)
+	}
+}
+
+func TestTwoPLCommitReleasesLocks(t *testing.T) {
+	p := NewTwoPL(2, 2)
+	q := p.Steps(p.Initial(), core.Write(0), 0)[0].Next
+	q = p.Steps(q, core.Write(0), 0)[0].Next // write completes
+	q = p.Steps(q, core.Commit(), 0)[0].Next
+	if q != p.Initial() {
+		t.Errorf("commit should release all locks, got %+v", q)
+	}
+}
+
+// --- DSTM ---
+
+func TestDSTMOwnershipSteal(t *testing.T) {
+	d := NewDSTM(2, 2)
+	q := d.Initial()
+	// t1 owns v1 via a write.
+	q = d.Steps(q, core.Write(0), 0)[0].Next // own
+	q = d.Steps(q, core.Write(0), 0)[0].Next // write completes
+	st := q.(DSTMState)
+	if !st.OS[0].Has(0) {
+		t.Fatalf("t1 should own v1: %+v", st)
+	}
+	// t2 writing v1 is a conflict, and the own step aborts t1.
+	if !d.Conflict(q, core.Write(0), 1) {
+		t.Error("conflicting write should set φ")
+	}
+	steps := d.Steps(q, core.Write(0), 1)
+	if len(steps) != 1 || steps[0].X.Kind != XOwn {
+		t.Fatalf("steal = %+v", steps)
+	}
+	st = steps[0].Next.(DSTMState)
+	if st.Status[0] != dstmAborted || st.OS[0] != 0 {
+		t.Errorf("victim not aborted: %+v", st)
+	}
+	if !st.OS[1].Has(0) {
+		t.Errorf("thief did not gain ownership: %+v", st)
+	}
+}
+
+func TestDSTMAbortedThreadCanOnlyAbort(t *testing.T) {
+	d := NewDSTM(2, 1)
+	q := d.Initial()
+	q = d.Steps(q, core.Write(0), 0)[0].Next // t1 owns v1
+	q = d.Steps(q, core.Write(0), 1)[0].Next // t2 steals; t1 aborted
+	for _, c := range []core.Command{core.Read(0), core.Write(0), core.Commit()} {
+		if got := d.Steps(q, c, 0); got != nil {
+			t.Errorf("aborted thread should have no %v steps, got %+v", c, got)
+		}
+	}
+	// And φ must be false for it, so the abort is never blocked by a
+	// contention manager.
+	if d.Conflict(q, core.Write(0), 0) {
+		t.Error("φ must be false for an aborted thread")
+	}
+}
+
+func TestDSTMValidateAbortsOwnersOfReadVars(t *testing.T) {
+	d := NewDSTM(2, 2)
+	q := d.Initial()
+	q = d.Steps(q, core.Read(0), 0)[0].Next  // t1 reads v1
+	q = d.Steps(q, core.Write(0), 1)[0].Next // t2 owns v1
+	// t1's commit is a conflict; its validate step aborts t2.
+	if !d.Conflict(q, core.Commit(), 0) {
+		t.Error("commit with read-ownership overlap should conflict")
+	}
+	steps := d.Steps(q, core.Commit(), 0)
+	if len(steps) != 1 || steps[0].X.Kind != XValidate {
+		t.Fatalf("commit steps = %+v", steps)
+	}
+	st := steps[0].Next.(DSTMState)
+	if st.Status[1] != dstmAborted {
+		t.Errorf("owner of read variable should be aborted: %+v", st)
+	}
+	if st.Status[0] != dstmValidated {
+		t.Errorf("committer should be validated: %+v", st)
+	}
+}
+
+func TestDSTMCommitInvalidatesReaders(t *testing.T) {
+	d := NewDSTM(2, 2)
+	q := d.Initial()
+	q = d.Steps(q, core.Read(0), 1)[0].Next  // t2 reads v1
+	q = d.Steps(q, core.Write(0), 0)[0].Next // t1 owns v1
+	q = d.Steps(q, core.Write(0), 0)[0].Next // write completes
+	q = d.Steps(q, core.Commit(), 0)[0].Next // validate
+	q = d.Steps(q, core.Commit(), 0)[0].Next // commit
+	st := q.(DSTMState)
+	if st.Status[1] != dstmInvalid {
+		t.Errorf("reader should be invalid after overlapping commit: %+v", st)
+	}
+	// The invalid reader cannot perform new global reads or commit.
+	if got := d.Steps(q, core.Read(1), 1); got != nil {
+		t.Errorf("invalid thread should not read globally, got %+v", got)
+	}
+	if got := d.Steps(q, core.Commit(), 1); got != nil {
+		t.Errorf("invalid thread should not commit, got %+v", got)
+	}
+	// But it can still write (acquire ownership).
+	if got := d.Steps(q, core.Write(1), 1); len(got) != 1 {
+		t.Errorf("invalid thread should still write, got %+v", got)
+	}
+}
+
+// --- TL2 ---
+
+func TestTL2WritesAreBuffered(t *testing.T) {
+	l := NewTL2(2, 2)
+	q := l.Steps(l.Initial(), core.Write(0), 0)[0].Next
+	st := q.(TL2State)
+	if !st.WS[0].Has(0) || st.LS[0] != 0 {
+		t.Errorf("write should only extend ws: %+v", st)
+	}
+	// The writer reads its own buffered value.
+	steps := l.Steps(q, core.Read(0), 0)
+	if len(steps) != 1 || steps[0].Next.(TL2State).RS[0] != 0 {
+		t.Errorf("own-write read should not extend rs: %+v", steps)
+	}
+}
+
+func TestTL2CommitSequence(t *testing.T) {
+	l := NewTL2(2, 2)
+	q := l.Initial()
+	q = l.Steps(q, core.Write(0), 0)[0].Next
+	q = l.Steps(q, core.Write(1), 0)[0].Next
+	// Commit: two lock steps (one per write variable), then validate.
+	steps := l.Steps(q, core.Commit(), 0)
+	if len(steps) != 2 {
+		t.Fatalf("want 2 lock steps, got %+v", steps)
+	}
+	q = steps[0].Next
+	steps = l.Steps(q, core.Commit(), 0)
+	if len(steps) != 1 || steps[0].X.Kind != XLock {
+		t.Fatalf("want second lock step, got %+v", steps)
+	}
+	q = steps[0].Next
+	steps = l.Steps(q, core.Commit(), 0)
+	if len(steps) != 1 || steps[0].X.Kind != XValidate {
+		t.Fatalf("want validate, got %+v", steps)
+	}
+	q = steps[0].Next
+	steps = l.Steps(q, core.Commit(), 0)
+	if len(steps) != 1 || steps[0].X.Kind != XCommit || steps[0].R != Resp1 {
+		t.Fatalf("want final commit, got %+v", steps)
+	}
+	if got := steps[0].Next.(TL2State); got != (TL2State{}) {
+		t.Errorf("committer should reset (no other active threads): %+v", got)
+	}
+}
+
+func TestTL2LockStealingAborts(t *testing.T) {
+	l := NewTL2(2, 1)
+	q := l.Initial()
+	q = l.Steps(q, core.Write(0), 0)[0].Next // t1 buffers write
+	q = l.Steps(q, core.Commit(), 0)[0].Next // t1 locks v1
+	q = l.Steps(q, core.Write(0), 1)[0].Next // t2 buffers write
+	// t2's commit conflicts (v1 locked by t1).
+	if !l.Conflict(q, core.Commit(), 1) {
+		t.Error("commit against held lock should conflict")
+	}
+	steps := l.Steps(q, core.Commit(), 1)
+	if len(steps) != 1 || steps[0].X.Kind != XLock {
+		t.Fatalf("steal = %+v", steps)
+	}
+	st := steps[0].Next.(TL2State)
+	if st.Status[0] != tl2Aborted {
+		t.Errorf("victim should be aborted: %+v", st)
+	}
+}
+
+func TestTL2StaleReadAbortEnabled(t *testing.T) {
+	l := NewTL2(2, 2)
+	q := l.Initial()
+	// t2 becomes active (reads v2), then t1 commits a write to v1.
+	q = l.Steps(q, core.Read(1), 1)[0].Next
+	q = l.Steps(q, core.Write(0), 0)[0].Next
+	q = l.Steps(q, core.Commit(), 0)[0].Next // lock
+	q = l.Steps(q, core.Commit(), 0)[0].Next // validate
+	q = l.Steps(q, core.Commit(), 0)[0].Next // publish
+	st := q.(TL2State)
+	if !st.MS[1].Has(0) {
+		t.Fatalf("modified set not propagated: %+v", st)
+	}
+	// t2's read of the modified variable is abort enabled.
+	if got := l.Steps(q, core.Read(0), 1); got != nil {
+		t.Errorf("stale read should have no steps, got %+v", got)
+	}
+	// Fresh variables remain readable.
+	if got := l.Steps(q, core.Read(1), 1); len(got) != 1 {
+		t.Errorf("unmodified variable should be readable, got %+v", got)
+	}
+}
+
+func TestTL2ReadOfLockedVarAbortEnabled(t *testing.T) {
+	l := NewTL2(2, 2)
+	q := l.Initial()
+	q = l.Steps(q, core.Write(0), 0)[0].Next
+	q = l.Steps(q, core.Commit(), 0)[0].Next // t1 locks v1
+	if got := l.Steps(q, core.Read(0), 1); got != nil {
+		t.Errorf("read of a locked variable should have no steps, got %+v", got)
+	}
+}
+
+func TestTL2ValidateRequiresUnlockedReadSet(t *testing.T) {
+	l := NewTL2(2, 2)
+	q := l.Initial()
+	q = l.Steps(q, core.Read(1), 0)[0].Next  // t1 reads v2
+	q = l.Steps(q, core.Write(1), 1)[0].Next // t2 buffers write to v2
+	q = l.Steps(q, core.Commit(), 1)[0].Next // t2 locks v2
+	// t1 commits read-only: validation must fail (v2 locked by t2), so the
+	// commit is abort enabled.
+	if got := l.Steps(q, core.Commit(), 0); got != nil {
+		t.Errorf("validate with locked read set should fail, got %+v", got)
+	}
+}
+
+// --- Modified TL2 ---
+
+func TestTL2ModCommitSequence(t *testing.T) {
+	l := NewTL2Mod(2, 2)
+	q := l.Initial()
+	q = l.Steps(q, core.Write(0), 0)[0].Next
+	q = l.Steps(q, core.Commit(), 0)[0].Next // lock
+	steps := l.Steps(q, core.Commit(), 0)
+	if len(steps) != 1 || steps[0].X.Kind != XRValidate {
+		t.Fatalf("want rvalidate, got %+v", steps)
+	}
+	q = steps[0].Next
+	steps = l.Steps(q, core.Commit(), 0)
+	if len(steps) != 1 || steps[0].X.Kind != XChkLock {
+		t.Fatalf("want chklock, got %+v", steps)
+	}
+	q = steps[0].Next
+	steps = l.Steps(q, core.Commit(), 0)
+	if len(steps) != 1 || steps[0].X.Kind != XCommit {
+		t.Fatalf("want commit, got %+v", steps)
+	}
+}
+
+func TestTL2ModWindow(t *testing.T) {
+	// The unsafe window: t2 passes rvalidate, then t1 publishes a write to
+	// t2's read set and releases its locks, then t2's chklock passes.
+	l := NewTL2Mod(2, 2)
+	q := l.Initial()
+	q = l.Steps(q, core.Read(0), 1)[0].Next  // t2 reads v1
+	q = l.Steps(q, core.Write(1), 1)[0].Next // t2 writes v2
+	q = l.Steps(q, core.Commit(), 1)[0].Next // t2 locks v2
+	q = l.Steps(q, core.Commit(), 1)[0].Next // t2 rvalidates
+	q = l.Steps(q, core.Write(0), 0)[0].Next // t1 writes v1
+	q = l.Steps(q, core.Commit(), 0)[0].Next // t1 locks v1
+	q = l.Steps(q, core.Commit(), 0)[0].Next // t1 rvalidates
+	q = l.Steps(q, core.Commit(), 0)[0].Next // t1 chklocks
+	q = l.Steps(q, core.Commit(), 0)[0].Next // t1 publishes, releases locks
+	// t2's chklock now passes despite its stale read of v1.
+	steps := l.Steps(q, core.Commit(), 1)
+	if len(steps) != 1 || steps[0].X.Kind != XChkLock {
+		t.Fatalf("chklock should pass in the window, got %+v", steps)
+	}
+	q = steps[0].Next
+	steps = l.Steps(q, core.Commit(), 1)
+	if len(steps) != 1 || steps[0].X.Kind != XCommit {
+		t.Fatalf("unsafe commit should complete, got %+v", steps)
+	}
+}
+
+// --- Buggy variants ---
+
+func TestTwoPLNoReadLockReadsFreely(t *testing.T) {
+	p := NewTwoPLNoReadLock(2, 2)
+	q := p.Steps(p.Initial(), core.Write(0), 1)[0].Next // t2 wlocks v1
+	steps := p.Steps(q, core.Read(0), 0)
+	if len(steps) != 1 || steps[0].R != Resp1 {
+		t.Errorf("read should proceed without lock, got %+v", steps)
+	}
+}
+
+func TestDSTMNoValidateCommitsBlindly(t *testing.T) {
+	d := NewDSTMNoValidate(2, 2)
+	q := d.Initial()
+	q = d.Steps(q, core.Read(0), 0)[0].Next  // t1 reads v1
+	q = d.Steps(q, core.Write(0), 1)[0].Next // t2 owns v1
+	// t1 commits in one step, without validation.
+	steps := d.Steps(q, core.Commit(), 0)
+	if len(steps) != 1 || steps[0].X.Kind != XCommit || steps[0].R != Resp1 {
+		t.Errorf("commit should be a single unvalidated step, got %+v", steps)
+	}
+}
+
+// --- Contention managers ---
+
+func TestAggressiveManager(t *testing.T) {
+	var cm Aggressive
+	p := cm.Initial()
+	if _, ok := cm.Step(p, XCmd{Kind: XAbort}, 0); ok {
+		t.Error("aggressive manager must not allow aborts")
+	}
+	if _, ok := cm.Step(p, XCmd{Kind: XOwn}, 0); !ok {
+		t.Error("aggressive manager must allow non-aborts")
+	}
+}
+
+func TestPoliteManager(t *testing.T) {
+	var cm Polite
+	p := cm.Initial()
+	if _, ok := cm.Step(p, XCmd{Kind: XAbort}, 0); !ok {
+		t.Error("polite manager must allow aborts")
+	}
+	if _, ok := cm.Step(p, XCmd{Kind: XOwn}, 0); ok {
+		t.Error("polite manager must not allow non-aborts")
+	}
+}
+
+func TestTimidManagerAlternates(t *testing.T) {
+	var cm Timid
+	p := cm.Initial()
+	// First conflict: only abort allowed.
+	if _, ok := cm.Step(p, XCmd{Kind: XOwn}, 0); ok {
+		t.Error("timid manager should refuse the first push-through")
+	}
+	p2, ok := cm.Step(p, XCmd{Kind: XAbort}, 0)
+	if !ok {
+		t.Fatal("timid manager should allow the abort")
+	}
+	// Having backed off, the thread may push through once.
+	p3, ok := cm.Step(p2, XCmd{Kind: XOwn}, 0)
+	if !ok {
+		t.Fatal("timid manager should allow push-through after back-off")
+	}
+	// The credit is spent.
+	if _, ok := cm.Step(p3, XCmd{Kind: XOwn}, 0); ok {
+		t.Error("push-through credit should be consumed")
+	}
+	// Credits are per thread.
+	if _, ok := cm.Step(p2, XCmd{Kind: XOwn}, 1); ok {
+		t.Error("thread 2 has no credit")
+	}
+}
+
+func TestXCmdHasVar(t *testing.T) {
+	for _, tc := range []struct {
+		x    XCmd
+		want bool
+	}{
+		{XCmd{Kind: XRead}, true},
+		{XCmd{Kind: XWrite}, true},
+		{XCmd{Kind: XRLock}, true},
+		{XCmd{Kind: XWLock}, true},
+		{XCmd{Kind: XOwn}, true},
+		{XCmd{Kind: XLock}, true},
+		{XCmd{Kind: XCommit}, false},
+		{XCmd{Kind: XAbort}, false},
+		{XCmd{Kind: XValidate}, false},
+		{XCmd{Kind: XRValidate}, false},
+		{XCmd{Kind: XChkLock}, false},
+	} {
+		if got := tc.x.HasVar(); got != tc.want {
+			t.Errorf("HasVar(%v) = %v, want %v", tc.x.Kind, got, tc.want)
+		}
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	names := AlgorithmNames()
+	if len(names) < 8 {
+		t.Errorf("AlgorithmNames = %v", names)
+	}
+	for _, n := range names {
+		alg, err := NewAlgorithm(n, 2, 2)
+		if err != nil || alg.Name() == "" {
+			t.Errorf("NewAlgorithm(%q): %v", n, err)
+		}
+	}
+	if _, err := NewAlgorithm("bogus", 2, 2); err == nil {
+		t.Error("bogus algorithm should error")
+	}
+	for _, n := range ManagerNames() {
+		cm, err := NewContentionManager(n)
+		if err != nil || cm.Name() != n {
+			t.Errorf("NewContentionManager(%q): %v", n, err)
+		}
+	}
+	if cm, err := NewContentionManager(""); err != nil || cm != nil {
+		t.Error("empty manager name should yield nil, nil")
+	}
+	if _, err := NewContentionManager("bogus"); err == nil {
+		t.Error("bogus manager should error")
+	}
+}

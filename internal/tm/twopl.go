@@ -1,0 +1,96 @@
+package tm
+
+import (
+	"tmcheck/internal/core"
+)
+
+// TwoPLState is the two-phase-locking state: per-thread shared (read) and
+// exclusive (write) lock sets.
+type TwoPLState struct {
+	RS [MaxThreads]core.VarSet // shared locks held
+	WS [MaxThreads]core.VarSet // exclusive locks held
+}
+
+// TwoPL is the two-phase locking TM of Algorithm 2. A read first acquires
+// a shared lock (extended command rlock, response ⊥) unless a lock is
+// already held; a write acquires an exclusive lock (wlock). Lock
+// acquisition fails — leaving the command abort enabled — when another
+// thread holds a conflicting lock. All locks release at commit or abort.
+// The conflict function is constantly false.
+type TwoPL struct {
+	n, k int
+}
+
+// NewTwoPL returns the 2PL TM for n threads and k variables.
+func NewTwoPL(n, k int) *TwoPL {
+	CheckBounds(n, k)
+	return &TwoPL{n: n, k: k}
+}
+
+// Name implements Algorithm.
+func (p *TwoPL) Name() string { return "2pl" }
+
+// Threads implements Algorithm.
+func (p *TwoPL) Threads() int { return p.n }
+
+// Vars implements Algorithm.
+func (p *TwoPL) Vars() int { return p.k }
+
+// Initial implements Algorithm: all lock sets empty.
+func (p *TwoPL) Initial() State { return TwoPLState{} }
+
+// Conflict implements Algorithm: φ is constantly false.
+func (p *TwoPL) Conflict(q State, c core.Command, t core.Thread) bool { return false }
+
+// Steps implements Algorithm (the get2PL procedure).
+func (p *TwoPL) Steps(q State, c core.Command, t core.Thread) []Step {
+	st := q.(TwoPLState)
+	ti := int(t)
+	switch c.Op {
+	case core.OpRead:
+		v := c.V
+		if st.RS[ti].Has(v) || st.WS[ti].Has(v) {
+			return []Step{{X: Base(c), R: Resp1, Next: st}}
+		}
+		// Acquire a shared lock unless another thread holds an exclusive
+		// lock on v.
+		for u := 0; u < p.n; u++ {
+			if u != ti && st.WS[u].Has(v) {
+				return nil
+			}
+		}
+		next := st
+		next.RS[ti] = next.RS[ti].Add(v)
+		return []Step{{X: XCmd{Kind: XRLock, V: v}, R: RespPending, Next: next}}
+	case core.OpWrite:
+		v := c.V
+		if st.WS[ti].Has(v) {
+			return []Step{{X: Base(c), R: Resp1, Next: st}}
+		}
+		// Acquire an exclusive lock unless any other thread holds any lock
+		// on v. A thread holding only its own shared lock upgrades.
+		for u := 0; u < p.n; u++ {
+			if u != ti && (st.WS[u].Has(v) || st.RS[u].Has(v)) {
+				return nil
+			}
+		}
+		next := st
+		next.WS[ti] = next.WS[ti].Add(v)
+		return []Step{{X: XCmd{Kind: XWLock, V: v}, R: RespPending, Next: next}}
+	case core.OpCommit:
+		next := st
+		next.RS[ti] = 0
+		next.WS[ti] = 0
+		return []Step{{X: Base(c), R: Resp1, Next: next}}
+	default:
+		return nil
+	}
+}
+
+// AbortStep implements Algorithm: all locks of t release.
+func (p *TwoPL) AbortStep(q State, t core.Thread) State {
+	st := q.(TwoPLState)
+	st.RS[t] = 0
+	st.WS[t] = 0
+	return st
+}

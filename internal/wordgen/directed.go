@@ -1,0 +1,123 @@
+package wordgen
+
+import (
+	"math/rand"
+
+	"tmcheck/internal/core"
+)
+
+// Directed generators: word shapes that probe the corners where the
+// specifications and the two readings of the definitions diverge. Random
+// well-formed words hit these patterns rarely; the generators hit them
+// every time, with randomized parameters.
+
+// Straddle produces a reader whose transaction brackets another thread's
+// commit: t reads some variables, u commits writes overlapping them, t
+// keeps reading (possibly the overwritten variables) and finishes
+// randomly. These words exercise the doomed-transaction rules (DESIGN.md
+// decisions 6 and 7).
+func Straddle(rng *rand.Rand, cfg Config) core.Word {
+	cfg = cfg.withDefaults()
+	reader := core.Thread(rng.Intn(cfg.Threads))
+	writer := core.Thread(rng.Intn(cfg.Threads))
+	for writer == reader {
+		writer = core.Thread(rng.Intn(cfg.Threads))
+	}
+	var w core.Word
+	// Phase 1: the reader samples variables.
+	nRead := 1 + rng.Intn(2)
+	for i := 0; i < nRead; i++ {
+		w = append(w, core.St(core.Read(core.Var(rng.Intn(cfg.Vars))), reader))
+	}
+	// Phase 2: the writer commits writes over some of them.
+	nWrite := 1 + rng.Intn(2)
+	for i := 0; i < nWrite; i++ {
+		w = append(w, core.St(core.Write(core.Var(rng.Intn(cfg.Vars))), writer))
+	}
+	w = append(w, core.St(core.Commit(), writer))
+	// Phase 3: the reader continues — rereads, writes, and finishes (or
+	// not).
+	nMore := rng.Intn(3)
+	for i := 0; i < nMore; i++ {
+		v := core.Var(rng.Intn(cfg.Vars))
+		if rng.Intn(2) == 0 {
+			w = append(w, core.St(core.Read(v), reader))
+		} else {
+			w = append(w, core.St(core.Write(v), reader))
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		w = append(w, core.St(core.Commit(), reader))
+	case 1:
+		w = append(w, core.St(core.Abort(), reader))
+	}
+	return w
+}
+
+// PendingChain produces the pattern behind the real-time-clause divergence
+// (DESIGN.md decision 0): a thread becomes pending (pinned before a
+// commit), the committer finishes, and a third thread starts afterwards
+// and touches the pending thread's writes.
+func PendingChain(rng *rand.Rand, cfg Config) core.Word {
+	cfg = cfg.withDefaults()
+	if cfg.Threads < 3 {
+		cfg.Threads = 3
+	}
+	pend, committer, late := core.Thread(0), core.Thread(1), core.Thread(2)
+	v1 := core.Var(rng.Intn(cfg.Vars))
+	v2 := core.Var(rng.Intn(cfg.Vars))
+	var w core.Word
+	// The pending thread writes v1 and reads v2.
+	w = append(w,
+		core.St(core.Write(v1), pend),
+		core.St(core.Read(v2), pend),
+	)
+	// The committer writes v2 (read by the pending thread) and commits:
+	// the pending thread is now pinned before this commit.
+	w = append(w,
+		core.St(core.Write(v2), committer),
+		core.St(core.Commit(), committer),
+	)
+	// The late thread starts afterwards and reads the pending thread's
+	// written variable, then optionally more.
+	w = append(w, core.St(core.Read(v1), late))
+	if rng.Intn(2) == 0 {
+		w = append(w, core.St(core.Read(core.Var(rng.Intn(cfg.Vars))), late))
+	}
+	// Random endings for the pending and late threads.
+	if rng.Intn(2) == 0 {
+		w = append(w, core.St(core.Commit(), pend))
+	}
+	if rng.Intn(3) == 0 {
+		w = append(w, core.St(core.Commit(), late))
+	}
+	return w
+}
+
+// EmptyCommitNoise interleaves a well-formed word with empty committed
+// transactions, which reset spec state in ways plain generators rarely
+// produce.
+func EmptyCommitNoise(rng *rand.Rand, cfg Config) core.Word {
+	base := WellFormed(rng, cfg)
+	var w core.Word
+	for _, s := range base {
+		if rng.Float64() < 0.15 {
+			w = append(w, core.St(core.Commit(), core.Thread(rng.Intn(cfg.withDefaults().Threads))))
+		}
+		w = append(w, s)
+	}
+	return w
+}
+
+// Directed draws from all directed generators with equal probability.
+func Directed(rng *rand.Rand, cfg Config) core.Word {
+	switch rng.Intn(3) {
+	case 0:
+		return Straddle(rng, cfg)
+	case 1:
+		return PendingChain(rng, cfg)
+	default:
+		return EmptyCommitNoise(rng, cfg)
+	}
+}

@@ -1,0 +1,122 @@
+// Package wordgen produces pseudo-random statement words for property-based
+// testing. The generator is deterministic for a given seed, so failures
+// reproduce.
+package wordgen
+
+import (
+	"math/rand"
+
+	"tmcheck/internal/core"
+)
+
+// Config bounds the shape of generated words.
+type Config struct {
+	Threads int // number of threads (≥ 1)
+	Vars    int // number of variables (≥ 1)
+	Len     int // exact number of statements
+	// CommitBias, AbortBias ∈ [0,1] weight how often a finishing statement
+	// is attempted relative to reads/writes. Zero values default to 0.2 and
+	// 0.1 respectively.
+	CommitBias float64
+	AbortBias  float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 2
+	}
+	if c.Vars <= 0 {
+		c.Vars = 2
+	}
+	if c.CommitBias == 0 {
+		c.CommitBias = 0.2
+	}
+	if c.AbortBias == 0 {
+		c.AbortBias = 0.1
+	}
+	return c
+}
+
+// Random generates an arbitrary word: any statement may follow any other,
+// including degenerate shapes (aborts of empty transactions, repeated
+// commits). Useful for fuzzing parsers and projections.
+func Random(rng *rand.Rand, cfg Config) core.Word {
+	cfg = cfg.withDefaults()
+	w := make(core.Word, 0, cfg.Len)
+	for i := 0; i < cfg.Len; i++ {
+		t := core.Thread(rng.Intn(cfg.Threads))
+		w = append(w, core.St(randomCommand(rng, cfg), t))
+	}
+	return w
+}
+
+func randomCommand(rng *rand.Rand, cfg Config) core.Command {
+	r := rng.Float64()
+	switch {
+	case r < cfg.CommitBias:
+		return core.Commit()
+	case r < cfg.CommitBias+cfg.AbortBias:
+		return core.Abort()
+	default:
+		v := core.Var(rng.Intn(cfg.Vars))
+		if rng.Intn(2) == 0 {
+			return core.Read(v)
+		}
+		return core.Write(v)
+	}
+}
+
+// WellFormed generates a word in which every thread issues statements in
+// transaction shape: accesses followed by an optional commit or abort, then
+// possibly a new transaction. This is the shape TM algorithms emit.
+func WellFormed(rng *rand.Rand, cfg Config) core.Word {
+	cfg = cfg.withDefaults()
+	inTx := make([]bool, cfg.Threads)
+	w := make(core.Word, 0, cfg.Len)
+	for i := 0; i < cfg.Len; i++ {
+		t := rng.Intn(cfg.Threads)
+		c := randomCommand(rng, cfg)
+		// An abort or commit of a thread outside a transaction would form a
+		// trivial transaction; allow commits (an empty committed
+		// transaction is legal) but re-roll aborts to keep words closer to
+		// realistic TM output.
+		if c.Op == core.OpAbort && !inTx[t] {
+			c = core.Read(core.Var(rng.Intn(cfg.Vars)))
+		}
+		switch c.Op {
+		case core.OpCommit, core.OpAbort:
+			inTx[t] = false
+		default:
+			inTx[t] = true
+		}
+		w = append(w, core.St(c, core.Thread(t)))
+	}
+	return w
+}
+
+// Sequential generates a sequential word: transactions run one after the
+// other with no interleaving. Such words are always opaque.
+func Sequential(rng *rand.Rand, cfg Config) core.Word {
+	cfg = cfg.withDefaults()
+	var w core.Word
+	for len(w) < cfg.Len {
+		t := core.Thread(rng.Intn(cfg.Threads))
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n && len(w) < cfg.Len; i++ {
+			v := core.Var(rng.Intn(cfg.Vars))
+			if rng.Intn(2) == 0 {
+				w = append(w, core.St(core.Read(v), t))
+			} else {
+				w = append(w, core.St(core.Write(v), t))
+			}
+		}
+		if len(w) < cfg.Len {
+			if rng.Float64() < 0.8 {
+				w = append(w, core.St(core.Commit(), t))
+			} else {
+				w = append(w, core.St(core.Abort(), t))
+			}
+		}
+	}
+	return w
+}

@@ -1,0 +1,87 @@
+package wordgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmcheck/internal/core"
+)
+
+func TestRandomRespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := Config{Threads: 3, Vars: 2, Len: 20}
+	for i := 0; i < 100; i++ {
+		w := Random(rng, cfg)
+		if len(w) != cfg.Len {
+			t.Fatalf("len = %d, want %d", len(w), cfg.Len)
+		}
+		for _, s := range w {
+			if int(s.T) >= cfg.Threads {
+				t.Fatalf("thread %d out of range in %q", s.T, w)
+			}
+			if s.Cmd.IsAccess() && int(s.Cmd.V) >= cfg.Vars {
+				t.Fatalf("variable %d out of range in %q", s.Cmd.V, w)
+			}
+		}
+	}
+}
+
+func TestWellFormedShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := Config{Threads: 2, Vars: 2, Len: 15}
+	for i := 0; i < 200; i++ {
+		w := WellFormed(rng, cfg)
+		// No abort of an empty transaction: every abort must follow at
+		// least one access of the same thread within the transaction.
+		open := map[core.Thread]int{}
+		for _, s := range w {
+			switch s.Cmd.Op {
+			case core.OpAbort:
+				if open[s.T] == 0 {
+					t.Fatalf("abort of empty transaction in %q", w)
+				}
+				open[s.T] = 0
+			case core.OpCommit:
+				open[s.T] = 0
+			default:
+				open[s.T]++
+			}
+		}
+	}
+}
+
+func TestSequentialIsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := Config{Threads: 3, Vars: 3, Len: 18}
+	for i := 0; i < 200; i++ {
+		w := Sequential(rng, cfg)
+		if !core.IsSequential(w) {
+			t.Fatalf("not sequential: %q", w)
+		}
+		if !core.IsOpaque(w) {
+			t.Fatalf("sequential word not opaque: %q", w)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := Config{Threads: 2, Vars: 2, Len: 10}
+	w1 := WellFormed(rand.New(rand.NewSource(7)), cfg)
+	w2 := WellFormed(rand.New(rand.NewSource(7)), cfg)
+	if !w1.Equal(w2) {
+		t.Errorf("same seed produced %q and %q", w1, w2)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := WellFormed(rng, Config{Len: 8})
+	if len(w) != 8 {
+		t.Fatalf("len = %d", len(w))
+	}
+	for _, s := range w {
+		if int(s.T) >= 2 {
+			t.Fatalf("default thread bound violated in %q", w)
+		}
+	}
+}
