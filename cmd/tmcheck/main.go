@@ -14,6 +14,12 @@
 //	tmcheck liveness -tm NAME [-cm NAME] [-n 2 -k 1]
 //	tmcheck word -w "(r,1)1, c1" [-n N -k K]
 //	tmcheck all                    everything above with defaults
+//
+// Every command additionally accepts the global observability flags
+// -stats, -stats-json FILE, -cpuprofile FILE and -memprofile FILE (see
+// cmd/tmcheck/stats.go), e.g.:
+//
+//	tmcheck table2 -stats-json report.json
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"tmcheck/internal/core"
 	"tmcheck/internal/explore"
 	"tmcheck/internal/liveness"
+	"tmcheck/internal/obs"
 	"tmcheck/internal/runtime"
 	"tmcheck/internal/safety"
 	"tmcheck/internal/spec"
@@ -34,11 +41,35 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	global, rest, gerr := extractGlobalFlags(os.Args[1:])
+	if gerr != nil {
+		fmt.Fprintln(os.Stderr, "tmcheck:", gerr)
+		os.Exit(2)
+	}
+	if len(rest) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := rest[0], rest[1:]
+	if err := global.begin(); err != nil {
+		fmt.Fprintln(os.Stderr, "tmcheck:", err)
+		os.Exit(1)
+	}
+	err := dispatch(cmd, args)
+	if ferr := global.finish(cmd); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmcheck:", err)
+		os.Exit(1)
+	}
+}
+
+// dispatch runs one subcommand inside a top-level obs phase named
+// after it, so every report's phase tree is rooted at the command.
+func dispatch(cmd string, args []string) error {
+	done := obs.Phase(cmd)
+	defer done()
 	var err error
 	switch cmd {
 	case "table1":
@@ -74,10 +105,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tmcheck:", err)
-		os.Exit(1)
-	}
+	return err
 }
 
 func usage() {
@@ -97,6 +125,12 @@ commands:
   trace      run an executable STM workload and check its recorded trace
   methodology  run the full reduction methodology on one TM
   all        run table1, table2, table3, specs and figures
+
+global flags (any command, before or after it):
+  -stats            print the instrumentation report to stderr
+  -stats-json FILE  write the machine-readable report to FILE ("-" = stdout)
+  -cpuprofile FILE  write a pprof CPU profile
+  -memprofile FILE  write a pprof heap profile
 
 `)
 	fmt.Fprintf(os.Stderr, "algorithms: %s\n", strings.Join(tm.AlgorithmNames(), ", "))
@@ -272,6 +306,8 @@ func runSafety(args []string) error {
 	fmt.Printf("property:       %v (%d threads, %d variables)\n", res.Prop, res.Threads, res.Vars)
 	fmt.Printf("TM states:      %d\n", res.TMStates)
 	fmt.Printf("spec states:    %d\n", res.SpecStates)
+	fmt.Printf("build TM:       %v\n", res.BuildTMElapsed.Round(10*time.Microsecond))
+	fmt.Printf("build spec:     %v\n", res.BuildSpecElapsed.Round(10*time.Microsecond))
 	if res.Holds {
 		fmt.Printf("verdict:        SAFE (inclusion holds, %v)\n", res.Elapsed.Round(10*time.Microsecond))
 	} else {
@@ -300,8 +336,10 @@ func runLiveness(args []string) error {
 	if err != nil {
 		return err
 	}
+	buildStart := time.Now()
 	ts := explore.Build(alg, cm)
-	fmt.Printf("system: %s (%d states)\n", ts.Name(), ts.NumStates())
+	fmt.Printf("system: %s (%d states, built in %v)\n",
+		ts.Name(), ts.NumStates(), time.Since(buildStart).Round(10*time.Microsecond))
 	for _, res := range []liveness.Result{
 		liveness.CheckObstructionFreedom(ts),
 		liveness.CheckLivelockFreedom(ts),

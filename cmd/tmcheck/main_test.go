@@ -1,9 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"tmcheck/internal/obs"
 )
 
 // captureStdout runs f with os.Stdout redirected to a pipe and returns
@@ -176,6 +181,129 @@ func TestRunDot(t *testing.T) {
 	})
 	if !strings.Contains(out, "digraph") {
 		t.Errorf("dot output missing digraph:\n%s", out)
+	}
+}
+
+func TestExtractGlobalFlags(t *testing.T) {
+	g, rest, err := extractGlobalFlags([]string{
+		"table2", "-n", "3", "-stats", "-stats-json", "out.json", "-cpuprofile=cpu.prof",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.stats || g.statsJSON != "out.json" || g.cpuProfile != "cpu.prof" {
+		t.Errorf("flags not extracted: %+v", g)
+	}
+	if want := []string{"table2", "-n", "3"}; !reflect.DeepEqual(rest, want) {
+		t.Errorf("rest = %v, want %v", rest, want)
+	}
+
+	// Global flags are position-independent: before the subcommand too.
+	g2, rest2, err := extractGlobalFlags([]string{"-memprofile", "mem.prof", "table1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.memProfile != "mem.prof" || !reflect.DeepEqual(rest2, []string{"table1"}) {
+		t.Errorf("prefix extraction failed: %+v rest %v", g2, rest2)
+	}
+
+	if _, _, err := extractGlobalFlags([]string{"table1", "-stats-json"}); err == nil {
+		t.Error("dangling -stats-json should error")
+	}
+}
+
+// TestStatsReportTable2 is the acceptance check of the observability
+// layer: running table2 twice produces reports with identical counter
+// and gauge values (times may differ), containing per-TM exploration
+// counts, spec enumeration size and time, inclusion pairs visited, and
+// the phase wall-clock breakdown.
+func TestStatsReportTable2(t *testing.T) {
+	run := func() obs.Report {
+		obs.Default().Reset()
+		captureStdout(t, func() error { return dispatch("table2", nil) })
+		return obs.Default().Snapshot("table2")
+	}
+	rep := run()
+	rep2 := run()
+	defer obs.Default().Reset()
+
+	if !reflect.DeepEqual(rep.Counters, rep2.Counters) {
+		t.Errorf("counters differ between identical runs:\n%v\n%v", rep.Counters, rep2.Counters)
+	}
+	if !reflect.DeepEqual(rep.Gauges, rep2.Gauges) {
+		t.Errorf("gauges differ between identical runs:\n%v\n%v", rep.Gauges, rep2.Gauges)
+	}
+	for _, key := range []string{
+		"explore.seq.states", "explore.2pl.states", "explore.dstm.states",
+		"explore.tl2.states", "explore.modtl2+polite.states",
+		"explore.dstm.edges", "explore.dstm.eps_steps", "explore.dstm.abort_edges",
+		"spec.det.ss.n2k2.states", "spec.det.op.n2k2.states",
+		"safety.dstm.ss.pairs", "safety.modtl2+polite.op.pairs",
+		"automata.dfa_inclusion.pairs",
+	} {
+		if rep.Counters[key] <= 0 {
+			t.Errorf("counter %q missing or zero in report", key)
+		}
+	}
+	// Table 2's "size" column: dstm explores 2864 states at (2,2).
+	if got := rep.Counters["explore.dstm.states"]; got != 2864 {
+		t.Errorf("explore.dstm.states = %d, want 2864", got)
+	}
+	for _, key := range []string{"spec.det.ss.n2k2.enumerate", "spec.det.op.n2k2.enumerate"} {
+		if rep.Timers[key].Count != 1 {
+			t.Errorf("timer %q = %+v, want one enumeration", key, rep.Timers[key])
+		}
+	}
+	// Phase tree: table2 → safety:<system> → build-tm/build-spec/inclusion.
+	if len(rep.Phases) != 1 || rep.Phases[0].Name != "table2" {
+		t.Fatalf("phase roots = %+v, want single table2", rep.Phases)
+	}
+	var names []string
+	for _, p := range rep.Phases[0].Children {
+		names = append(names, p.Name)
+		for _, c := range p.Children {
+			names = append(names, c.Name)
+		}
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"safety:seq", "safety:modtl2+polite", "build-tm", "build-spec:ss", "inclusion:dstm:op"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("phase tree missing %q: %v", want, names)
+		}
+	}
+}
+
+func TestStatsOutputsWritten(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	memPath := filepath.Join(dir, "mem.prof")
+	cpuPath := filepath.Join(dir, "cpu.prof")
+	g := globalOpts{statsJSON: jsonPath, memProfile: memPath, cpuProfile: cpuPath}
+	if err := g.begin(); err != nil {
+		t.Fatal(err)
+	}
+	obs.Default().Reset()
+	captureStdout(t, func() error { return dispatch("table1", nil) })
+	if err := g.finish("table1"); err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Default().Reset()
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("stats JSON does not parse: %v", err)
+	}
+	if rep.Schema != obs.Schema || rep.Command != "table1" {
+		t.Errorf("report header = %q/%q, want %q/table1", rep.Schema, rep.Command, obs.Schema)
+	}
+	for _, p := range []string{memPath, cpuPath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err %v)", p, err)
+		}
 	}
 }
 

@@ -1,0 +1,143 @@
+package main
+
+// Global observability flags, accepted by every subcommand and
+// position-independent (before or after the subcommand):
+//
+//	-stats            print the instrumentation report to stderr
+//	-stats-json FILE  write the machine-readable report to FILE ("-" = stdout)
+//	-cpuprofile FILE  write a pprof CPU profile of the whole command
+//	-memprofile FILE  write a pprof heap profile taken after the command
+//
+// The JSON report (schema "tmcheck/stats/v1") is deterministic in its
+// counter and gauge values for a deterministic command, so reports from
+// two commits on the same inputs are directly comparable.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+
+	"tmcheck/internal/obs"
+)
+
+// globalOpts holds the observability flags extracted before subcommand
+// dispatch.
+type globalOpts struct {
+	stats      bool
+	statsJSON  string
+	cpuProfile string
+	memProfile string
+
+	cpuFile *os.File
+}
+
+// extractGlobalFlags splits the global observability flags out of args,
+// wherever they appear, and returns the remaining arguments unchanged
+// and in order for the subcommand's own flag set.
+func extractGlobalFlags(args []string) (globalOpts, []string, error) {
+	var g globalOpts
+	rest := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		if !strings.HasPrefix(arg, "-") {
+			rest = append(rest, arg)
+			continue
+		}
+		name, inline, hasInline := strings.Cut(strings.TrimLeft(arg, "-"), "=")
+		value := func() (string, error) {
+			if hasInline {
+				return inline, nil
+			}
+			if i+1 >= len(args) {
+				return "", fmt.Errorf("flag -%s needs a value", name)
+			}
+			i++
+			return args[i], nil
+		}
+		var err error
+		switch name {
+		case "stats":
+			g.stats = true
+		case "stats-json":
+			g.statsJSON, err = value()
+		case "cpuprofile":
+			g.cpuProfile, err = value()
+		case "memprofile":
+			g.memProfile, err = value()
+		default:
+			rest = append(rest, arg)
+		}
+		if err != nil {
+			return g, nil, err
+		}
+	}
+	return g, rest, nil
+}
+
+// begin starts CPU profiling when requested. Call finish afterwards.
+func (g *globalOpts) begin() error {
+	if g.cpuProfile == "" {
+		return nil
+	}
+	f, err := os.Create(g.cpuProfile)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	g.cpuFile = f
+	return nil
+}
+
+// finish stops profiling and emits the requested reports for the
+// command that just ran.
+func (g *globalOpts) finish(command string) error {
+	if g.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := g.cpuFile.Close(); err != nil {
+			return err
+		}
+	}
+	if g.memProfile != "" {
+		f, err := os.Create(g.memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		err = pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if g.statsJSON != "" {
+		if err := writeStatsJSON(g.statsJSON, command); err != nil {
+			return err
+		}
+	}
+	if g.stats {
+		fmt.Fprint(os.Stderr, obs.Default().Text())
+	}
+	return nil
+}
+
+func writeStatsJSON(path, command string) error {
+	if path == "-" {
+		return obs.Default().WriteJSON(os.Stdout, command)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = obs.Default().WriteJSON(f, command)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"time"
@@ -20,70 +21,92 @@ import (
 	"tmcheck/internal/wordgen"
 )
 
+// config bounds one fuzzing session.
+type config struct {
+	threads  int
+	vars     int
+	maxLen   int
+	count    int // 0 = run forever
+	seed     int64
+	directed bool
+	every    int // progress-report interval in words
+}
+
 func main() {
-	threads := flag.Int("threads", 3, "threads")
-	vars := flag.Int("vars", 2, "variables")
-	maxLen := flag.Int("len", 12, "maximum word length")
-	count := flag.Int("n", 200000, "words to check (0 = run forever)")
-	seed := flag.Int64("seed", time.Now().UnixNano(), "random seed")
-	directed := flag.Bool("directed", false, "use directed generators only")
+	var cfg config
+	flag.IntVar(&cfg.threads, "threads", 3, "threads")
+	flag.IntVar(&cfg.vars, "vars", 2, "variables")
+	flag.IntVar(&cfg.maxLen, "len", 12, "maximum word length")
+	flag.IntVar(&cfg.count, "n", 200000, "words to check (0 = run forever)")
+	flag.Int64Var(&cfg.seed, "seed", time.Now().UnixNano(), "random seed")
+	flag.BoolVar(&cfg.directed, "directed", false, "use directed generators only")
 	flag.Parse()
+	cfg.every = 50000
+	if err := fuzz(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
-	rng := rand.New(rand.NewSource(*seed))
-	cfg := wordgen.Config{Threads: *threads, Vars: *vars, Len: *maxLen}
-	ndSS := spec.NewNondet(spec.StrictSerializability, *threads, *vars)
-	ndOP := spec.NewNondet(spec.Opacity, *threads, *vars)
-	dtSS := spec.NewDet(spec.StrictSerializability, *threads, *vars)
-	dtOP := spec.NewDet(spec.Opacity, *threads, *vars)
+// fuzz runs the cross-validation loop, writing progress to out. It
+// returns an error describing the first disagreement between a
+// specification and the oracles, or nil after cfg.count clean words.
+func fuzz(cfg config, out io.Writer) error {
+	rng := rand.New(rand.NewSource(cfg.seed))
+	gen := wordgen.Config{Threads: cfg.threads, Vars: cfg.vars, Len: cfg.maxLen}
+	ndSS := spec.NewNondet(spec.StrictSerializability, cfg.threads, cfg.vars)
+	ndOP := spec.NewNondet(spec.Opacity, cfg.threads, cfg.vars)
+	dtSS := spec.NewDet(spec.StrictSerializability, cfg.threads, cfg.vars)
+	dtOP := spec.NewDet(spec.Opacity, cfg.threads, cfg.vars)
 
-	fmt.Printf("fuzzing specs vs oracles at (%d threads, %d vars), seed %d\n",
-		*threads, *vars, *seed)
+	fmt.Fprintf(out, "fuzzing specs vs oracles at (%d threads, %d vars), seed %d\n",
+		cfg.threads, cfg.vars, cfg.seed)
 	start := time.Now()
 	checked := 0
 	report := func() {
 		rate := float64(checked) / time.Since(start).Seconds()
-		fmt.Printf("  %d words checked (%.0f/s)\n", checked, rate)
+		fmt.Fprintf(out, "  %d words checked (%.0f/s)\n", checked, rate)
 	}
-	for *count == 0 || checked < *count {
+	for cfg.count == 0 || checked < cfg.count {
 		var w core.Word
 		switch {
-		case *directed, rng.Intn(3) == 0:
-			w = wordgen.Directed(rng, cfg)
+		case cfg.directed, rng.Intn(3) == 0:
+			w = wordgen.Directed(rng, gen)
 		default:
-			cfg.Len = 4 + rng.Intn(*maxLen-3)
-			w = wordgen.WellFormed(rng, cfg)
-			cfg.Len = *maxLen
+			gen.Len = 4 + rng.Intn(cfg.maxLen-3)
+			w = wordgen.WellFormed(rng, gen)
+			gen.Len = cfg.maxLen
 		}
-		if len(w.Threads()) > *threads {
+		if len(w.Threads()) > cfg.threads {
 			continue
 		}
 		wantSS := core.IsStrictlySerializable(w)
 		wantOP := core.IsOpaque(w)
-		fail := func(which string, got, want bool) {
-			fmt.Fprintf(os.Stderr, "\nDISAGREEMENT (%s): got %v want %v\n  word: %s\n  seed: %d\n",
-				which, got, want, w, *seed)
-			os.Exit(1)
+		fail := func(which string, got, want bool) error {
+			return fmt.Errorf("DISAGREEMENT (%s): got %v want %v\n  word: %s\n  seed: %d",
+				which, got, want, w, cfg.seed)
 		}
 		if got := ndSS.Accepts(w); got != wantSS {
-			fail("nondet πss", got, wantSS)
+			return fail("nondet πss", got, wantSS)
 		}
 		if got := dtSS.Accepts(w); got != wantSS {
-			fail("det πss", got, wantSS)
+			return fail("det πss", got, wantSS)
 		}
 		if got := ndOP.Accepts(w); got != wantOP {
-			fail("nondet πop", got, wantOP)
+			return fail("nondet πop", got, wantOP)
 		}
 		if got := dtOP.Accepts(w); got != wantOP {
-			fail("det πop", got, wantOP)
+			return fail("det πop", got, wantOP)
 		}
 		if wantOP && !wantSS {
-			fail("oracle internal (πop ⊆ πss)", true, false)
+			return fail("oracle internal (πop ⊆ πss)", true, false)
 		}
 		checked++
-		if checked%50000 == 0 {
+		if cfg.every > 0 && checked%cfg.every == 0 {
 			report()
 		}
 	}
 	report()
-	fmt.Println("no disagreements")
+	fmt.Fprintln(out, "no disagreements")
+	return nil
 }

@@ -1,5 +1,7 @@
 package automata
 
+import "tmcheck/internal/obs"
+
 // Language inclusion for prefix-closed (all-states-accepting) automata.
 //
 // IncludedInDFA is the linear product check the paper uses to verify a TM
@@ -11,9 +13,34 @@ package automata
 // a word accepted by the left automaton that kills every run of the right
 // one, pruning subset-subsumed search nodes.
 
+// InclusionStats exposes the work an inclusion check performed, for
+// the observability layer and for callers tracking the perf
+// trajectory across instances.
+type InclusionStats struct {
+	// PairsVisited counts distinct product pairs reached by the
+	// deterministic check (IncludedInDFA).
+	PairsVisited int
+	// NodesCreated and NodesPruned count antichain search nodes
+	// created respectively killed by subsumption (IncludedInNFA).
+	NodesCreated int
+	NodesPruned  int
+	// CexLen is the number of letters of the returned counterexample —
+	// the BFS depth at which the inclusion broke — or 0 when inclusion
+	// holds.
+	CexLen int
+}
+
 // IncludedInDFA reports whether L(a) ⊆ L(d). When inclusion fails it
 // returns a shortest-by-BFS counterexample word in L(a) \ L(d).
 func IncludedInDFA(a *NFA, d *DFA) (bool, []int) {
+	ok, cex, _ := IncludedInDFAStats(a, d)
+	return ok, cex
+}
+
+// IncludedInDFAStats is IncludedInDFA returning the work counters; the
+// aggregate totals are also recorded under "automata.dfa_inclusion.*"
+// in the obs registry.
+func IncludedInDFAStats(a *NFA, d *DFA) (ok bool, cex []int, st InclusionStats) {
 	type node struct {
 		parent int
 		letter int // -1 for the root and for ε-steps
@@ -50,6 +77,13 @@ func IncludedInDFA(a *NFA, d *DFA) (bool, []int) {
 		return rev
 	}
 
+	record := func(ok bool, cex []int) (bool, []int, InclusionStats) {
+		st = InclusionStats{PairsVisited: len(visited), CexLen: len(cex)}
+		obs.Inc("automata.dfa_inclusion.checks", 1)
+		obs.Inc("automata.dfa_inclusion.pairs", int64(st.PairsVisited))
+		return ok, cex, st
+	}
+
 	start := encode(a.Initial(), d.Initial())
 	visited[start] = 0
 	queue = append(queue, start)
@@ -68,19 +102,27 @@ func IncludedInDFA(a *NFA, d *DFA) (bool, []int) {
 			}
 			d2 := d.Succ(dd, l)
 			if d2 < 0 {
-				return false, buildWord(idx, l)
+				return record(false, buildWord(idx, l))
 			}
 			for _, n2 := range succs {
 				push(encode(int(n2), d2), idx, l)
 			}
 		}
 	}
-	return true, nil
+	return record(true, nil)
 }
 
 // IncludedInNFA reports whether L(a) ⊆ L(b) using the antichain method.
 // When inclusion fails it returns a counterexample word in L(a) \ L(b).
 func IncludedInNFA(a *NFA, b *NFA) (bool, []int) {
+	ok, cex, _ := IncludedInNFAStats(a, b)
+	return ok, cex
+}
+
+// IncludedInNFAStats is IncludedInNFA returning the work counters; the
+// aggregate totals are also recorded under "automata.antichain.*" in
+// the obs registry.
+func IncludedInNFAStats(a *NFA, b *NFA) (ok bool, cex []int, st InclusionStats) {
 	type node struct {
 		aState int
 		set    *BitSet
@@ -89,6 +131,7 @@ func IncludedInNFA(a *NFA, b *NFA) (bool, []int) {
 		dead   bool
 	}
 	var nodes []node
+	pruned := 0
 	// antichain[aState] indexes nodes holding the minimal b-sets seen for
 	// that a-state.
 	antichain := map[int][]int{}
@@ -121,12 +164,21 @@ func IncludedInNFA(a *NFA, b *NFA) (bool, []int) {
 		for _, id := range ids {
 			if !nodes[id].dead && set.SubsetOf(nodes[id].set) {
 				nodes[id].dead = true
+				pruned++
 			}
 		}
 		nodes = append(nodes, node{aState: aState, set: set, parent: parent, letter: letter})
 		id := len(nodes) - 1
 		antichain[aState] = append(ids, id)
 		return id
+	}
+
+	record := func(ok bool, cex []int) (bool, []int, InclusionStats) {
+		st = InclusionStats{NodesCreated: len(nodes), NodesPruned: pruned, CexLen: len(cex)}
+		obs.Inc("automata.antichain.checks", 1)
+		obs.Inc("automata.antichain.nodes", int64(st.NodesCreated))
+		obs.Inc("automata.antichain.pruned", int64(st.NodesPruned))
+		return ok, cex, st
 	}
 
 	init := insert(a.Initial(), b.InitialSet(), -1, -1)
@@ -149,7 +201,7 @@ func IncludedInNFA(a *NFA, b *NFA) (bool, []int) {
 			}
 			next := b.Step(set, l)
 			if next.Empty() {
-				return false, buildWord(id, l)
+				return record(false, buildWord(id, l))
 			}
 			for _, n2 := range succs {
 				if nid := insert(int(n2), next, id, l); nid >= 0 {
@@ -158,7 +210,7 @@ func IncludedInNFA(a *NFA, b *NFA) (bool, []int) {
 			}
 		}
 	}
-	return true, nil
+	return record(true, nil)
 }
 
 // EquivalentNFADFA checks L(a) = L(d): the forward direction with the

@@ -24,9 +24,11 @@ package explore
 
 import (
 	"fmt"
+	"time"
 
 	"tmcheck/internal/automata"
 	"tmcheck/internal/core"
+	"tmcheck/internal/obs"
 	"tmcheck/internal/tm"
 )
 
@@ -94,7 +96,13 @@ func (ts *TS) NumEdges() int {
 
 // Build explores the TM algorithm applied to the most general program on
 // the algorithm's own thread and variable bounds. cm may be nil.
+//
+// The exploration records its vitals into the obs registry under
+// "explore.<system>.*": reachable states, edges, ε-steps (pending ⊥
+// responses), abort transitions, the maximum BFS frontier, and the
+// build wall-clock (from which states/sec follows).
 func Build(alg tm.Algorithm, cm tm.ContentionManager) *TS {
+	start := time.Now()
 	n := alg.Threads()
 	ab := core.Alphabet{Threads: n, Vars: alg.Vars()}
 	ts := &TS{Alg: alg, CM: cm, Alphabet: ab}
@@ -121,7 +129,11 @@ func Build(alg tm.Algorithm, cm tm.ContentionManager) *TS {
 	}
 
 	commands := ab.Commands()
+	maxFrontier := 1
 	for qi := 0; qi < len(ts.States); qi++ {
+		if f := len(ts.States) - qi; f > maxFrontier {
+			maxFrontier = f
+		}
 		q := ts.States[qi]
 		for t := core.Thread(0); int(t) < n; t++ {
 			enabled := commands
@@ -133,7 +145,35 @@ func Build(alg tm.Algorithm, cm tm.ContentionManager) *TS {
 			}
 		}
 	}
+	ts.record(start, maxFrontier)
 	return ts
+}
+
+// record batches the exploration statistics into the obs registry, so
+// the hot loop above carries no per-edge instrumentation cost.
+func (ts *TS) record(start time.Time, maxFrontier int) {
+	if !obs.Enabled() {
+		return
+	}
+	eps, aborts := 0, 0
+	for _, es := range ts.Out {
+		for _, e := range es {
+			if e.Emit < 0 {
+				eps++
+			}
+			if e.X.Kind == tm.XAbort {
+				aborts++
+			}
+		}
+	}
+	key := "explore." + ts.Name()
+	obs.Inc(key+".builds", 1)
+	obs.Inc(key+".states", int64(ts.NumStates()))
+	obs.Inc(key+".edges", int64(ts.NumEdges()))
+	obs.Inc(key+".eps_steps", int64(eps))
+	obs.Inc(key+".abort_edges", int64(aborts))
+	obs.MaxGauge(key+".frontier_max", int64(maxFrontier))
+	obs.AddTime(key+".build", time.Since(start))
 }
 
 // expand appends every transition for command c by thread t from state q.

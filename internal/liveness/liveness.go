@@ -24,6 +24,7 @@ import (
 
 	"tmcheck/internal/core"
 	"tmcheck/internal/explore"
+	"tmcheck/internal/obs"
 	"tmcheck/internal/tm"
 )
 
@@ -49,6 +50,18 @@ func (p Prop) String() string {
 	}
 }
 
+// Key is the short identifier used in metric names and reports.
+func (p Prop) Key() string {
+	switch p {
+	case ObstructionFreedom:
+		return "obstruction"
+	case LivelockFreedom:
+		return "livelock"
+	default:
+		return "wait"
+	}
+}
+
 // Result reports one liveness check.
 type Result struct {
 	// System names the TM (and contention manager, if any).
@@ -67,6 +80,11 @@ type Result struct {
 	Stem, Loop []explore.Edge
 	// Elapsed is the wall-clock time of the check.
 	Elapsed time.Duration
+	// BuildElapsed is the wall-clock time spent exploring the managed
+	// TM transition system, when the checking entry point built it
+	// (zero when the caller passed a pre-built system). BuildElapsed +
+	// Elapsed then adds up to the check's total wall-clock.
+	BuildElapsed time.Duration
 }
 
 // LoopWord renders the looping part of the counterexample in the paper's
@@ -274,6 +292,7 @@ func CheckObstructionFreedom(ts *explore.TS) Result {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	res.record()
 	return res
 }
 
@@ -298,6 +317,7 @@ func CheckLivelockFreedom(ts *explore.TS) Result {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	res.record()
 	return res
 }
 
@@ -318,6 +338,7 @@ func CheckWaitFreedom(ts *explore.TS) Result {
 		}
 	}
 	res.Elapsed = time.Since(start)
+	res.record()
 	return res
 }
 
@@ -330,6 +351,22 @@ func newResult(ts *explore.TS, p Prop) Result {
 		TMStates: ts.NumStates(),
 		Holds:    true,
 	}
+}
+
+// record writes the per-system verdict counters and timings into the
+// obs registry, keyed "liveness.<system>.<prop>.*".
+func (r Result) record() {
+	if !obs.Enabled() {
+		return
+	}
+	key := "liveness." + r.System + "." + r.Prop.Key()
+	obs.Inc(key+".checks", 1)
+	obs.SetGauge(key+".tm_states", int64(r.TMStates))
+	if !r.Holds {
+		obs.SetGauge(key+".loop_len", int64(len(r.Loop)))
+		obs.SetGauge(key+".stem_len", int64(len(r.Stem)))
+	}
+	obs.AddTime(key+".check", r.Elapsed)
 }
 
 // findAbortLoop searches the filtered graph for a loop containing an abort
@@ -458,12 +495,33 @@ func PaperSystems(n, k int) []System {
 func Table3(systems []System) []Table3Row {
 	var rows []Table3Row
 	for _, sys := range systems {
+		name := sys.Alg.Name()
+		if sys.CM != nil {
+			name += "+" + sys.CM.Name()
+		}
+		doneSys := obs.Phase("liveness:" + name)
+		doneBuild := obs.Phase("build-tm")
+		buildStart := time.Now()
 		ts := explore.Build(sys.Alg, sys.CM)
-		rows = append(rows, Table3Row{
-			Obstruction: CheckObstructionFreedom(ts),
-			Livelock:    CheckLivelockFreedom(ts),
-			Wait:        CheckWaitFreedom(ts),
-		})
+		buildElapsed := time.Since(buildStart)
+		doneBuild()
+		row := Table3Row{
+			Obstruction: checkInPhase(ts, ObstructionFreedom, CheckObstructionFreedom),
+			Livelock:    checkInPhase(ts, LivelockFreedom, CheckLivelockFreedom),
+			Wait:        checkInPhase(ts, WaitFreedom, CheckWaitFreedom),
+		}
+		// The shared exploration is charged to the first check; the
+		// build and check times of a row then add up to its wall-clock.
+		row.Obstruction.BuildElapsed = buildElapsed
+		rows = append(rows, row)
+		doneSys()
 	}
 	return rows
+}
+
+// checkInPhase runs one liveness check inside a named obs phase.
+func checkInPhase(ts *explore.TS, p Prop, check func(*explore.TS) Result) Result {
+	done := obs.Phase("check:" + p.Key())
+	defer done()
+	return check(ts)
 }

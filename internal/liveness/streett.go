@@ -1,6 +1,8 @@
 package liveness
 
 import (
+	"time"
+
 	"tmcheck/internal/core"
 	"tmcheck/internal/explore"
 )
@@ -314,6 +316,7 @@ func buildStreettLoop(ts *explore.TS, inScope map[int32]bool, allowed func(int32
 // CheckObstructionFreedomStreett re-derives the obstruction-freedom check
 // through the general engine.
 func CheckObstructionFreedomStreett(ts *explore.TS) Result {
+	start := time.Now()
 	res := newResult(ts, ObstructionFreedom)
 	for t := core.Thread(0); int(t) < ts.Alg.Threads(); t++ {
 		th := t
@@ -327,6 +330,8 @@ func CheckObstructionFreedomStreett(ts *explore.TS) Result {
 			break
 		}
 	}
+	res.Elapsed = time.Since(start)
+	res.record()
 	return res
 }
 
@@ -335,6 +340,7 @@ func CheckObstructionFreedomStreett(ts *explore.TS) Result {
 // satisfying the Streett pairs (statements of t ⇒ aborts of t) for every
 // thread, with at least one abort overall.
 func CheckLivelockFreedomStreett(ts *explore.TS) Result {
+	start := time.Now()
 	res := newResult(ts, LivelockFreedom)
 	restrict := func(e explore.Edge) bool { return !isCommit(e) }
 	var pairs []StreettPair
@@ -350,5 +356,7 @@ func CheckLivelockFreedomStreett(ts *explore.TS) Result {
 		res.Holds = false
 		res.Stem, res.Loop = stem, loop
 	}
+	res.Elapsed = time.Since(start)
+	res.record()
 	return res
 }

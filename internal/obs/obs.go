@@ -1,0 +1,245 @@
+// Package obs is the zero-dependency instrumentation layer of the
+// checker pipeline: counters, gauges, duration timers, latency
+// histograms, and span-style phases with nesting, collected in a
+// Registry that renders both a human-readable text report and
+// deterministic JSON.
+//
+// The pipeline packages (explore, spec, automata, safety, liveness,
+// runtime) record into the process-wide default registry under dotted
+// names, e.g. "explore.dstm.states" or "safety.tl2.op.pairs". Counter
+// and gauge values are deterministic for a deterministic computation;
+// timers and histograms carry wall-clock measurements and naturally
+// vary between runs. cmd/tmcheck surfaces the registry through the
+// global -stats and -stats-json flags.
+//
+// All operations are safe for concurrent use and cheap enough to stay
+// always-on: hot loops record aggregated totals once rather than
+// incrementing per step. Disabling the registry turns every record
+// operation into an immediate return.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Timer accumulates durations under one name.
+type Timer struct {
+	// Count is the number of recorded durations.
+	Count int64
+	// Total is their sum.
+	Total time.Duration
+}
+
+// histBounds are the upper bounds of the latency histogram buckets, in
+// nanoseconds; a final implicit +Inf bucket catches the rest.
+var histBounds = []int64{
+	1_000,       // 1µs
+	4_000,       // 4µs
+	16_000,      // 16µs
+	64_000,      // 64µs
+	256_000,     // 256µs
+	1_000_000,   // 1ms
+	4_000_000,   // 4ms
+	16_000_000,  // 16ms
+	64_000_000,  // 64ms
+	256_000_000, // 256ms
+	1_000_000_000,
+}
+
+// Hist is a fixed-bucket latency histogram.
+type Hist struct {
+	// Count and Total mirror Timer over the observed durations.
+	Count int64
+	Total time.Duration
+	// BucketCounts[i] counts observations ≤ histBounds[i]; the last
+	// entry is the +Inf bucket.
+	BucketCounts []int64
+}
+
+// Span is one phase of a run: a named interval with nested children.
+type Span struct {
+	Name     string
+	Elapsed  time.Duration
+	Children []*Span
+
+	start time.Time
+}
+
+// Registry collects all instruments of one run.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]int64
+	timers   map[string]*Timer
+	hists    map[string]*Hist
+	roots    []*Span
+	stack    []*Span
+}
+
+// New returns an enabled, empty registry.
+func New() *Registry {
+	r := &Registry{}
+	r.enabled.Store(true)
+	r.init()
+	return r
+}
+
+func (r *Registry) init() {
+	r.counters = map[string]int64{}
+	r.gauges = map[string]int64{}
+	r.timers = map[string]*Timer{}
+	r.hists = map[string]*Hist{}
+	r.roots = nil
+	r.stack = nil
+}
+
+// SetEnabled switches recording on or off. While off, every record
+// operation returns immediately.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether the registry records.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// Reset drops everything recorded so far.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.init()
+	r.mu.Unlock()
+}
+
+// Inc adds delta to the named counter.
+func (r *Registry) Inc(name string, delta int64) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// SetGauge sets the named gauge to v (last write wins).
+func (r *Registry) SetGauge(name string, v int64) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// MaxGauge raises the named gauge to v if v exceeds its current value.
+func (r *Registry) MaxGauge(name string, v int64) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	if cur, ok := r.gauges[name]; !ok || v > cur {
+		r.gauges[name] = v
+	}
+	r.mu.Unlock()
+}
+
+// AddTime records one duration under the named timer.
+func (r *Registry) AddTime(name string, d time.Duration) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	t := r.timers[name]
+	if t == nil {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	t.Count++
+	t.Total += d
+	r.mu.Unlock()
+}
+
+// Observe records one duration into the named latency histogram.
+func (r *Registry) Observe(name string, d time.Duration) {
+	if !r.Enabled() {
+		return
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Hist{BucketCounts: make([]int64, len(histBounds)+1)}
+		r.hists[name] = h
+	}
+	h.Count++
+	h.Total += d
+	ns := d.Nanoseconds()
+	idx := len(histBounds) // +Inf
+	for i, b := range histBounds {
+		if ns <= b {
+			idx = i
+			break
+		}
+	}
+	h.BucketCounts[idx]++
+	r.mu.Unlock()
+}
+
+// StartPhase opens a named phase nested under the currently open one
+// (if any) and returns the function that closes it. Phases are meant
+// for the single-threaded pipeline spine; concurrent workers should
+// record counters and histograms instead.
+func (r *Registry) StartPhase(name string) func() {
+	if !r.Enabled() {
+		return func() {}
+	}
+	s := &Span{Name: name, start: time.Now()}
+	r.mu.Lock()
+	if len(r.stack) > 0 {
+		p := r.stack[len(r.stack)-1]
+		p.Children = append(p.Children, s)
+	} else {
+		r.roots = append(r.roots, s)
+	}
+	r.stack = append(r.stack, s)
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		s.Elapsed = time.Since(s.start)
+		// Pop down to and including s, tolerating out-of-order closes.
+		for i := len(r.stack) - 1; i >= 0; i-- {
+			if r.stack[i] == s {
+				r.stack = r.stack[:i]
+				break
+			}
+		}
+		r.mu.Unlock()
+	}
+}
+
+// std is the process-wide default registry the pipeline records into.
+var std = New()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return std }
+
+// Enabled reports whether the default registry records.
+func Enabled() bool { return std.Enabled() }
+
+// Inc adds delta to a counter of the default registry.
+func Inc(name string, delta int64) { std.Inc(name, delta) }
+
+// SetGauge sets a gauge of the default registry.
+func SetGauge(name string, v int64) { std.SetGauge(name, v) }
+
+// MaxGauge raises a gauge of the default registry.
+func MaxGauge(name string, v int64) { std.MaxGauge(name, v) }
+
+// AddTime records a duration under a timer of the default registry.
+func AddTime(name string, d time.Duration) { std.AddTime(name, d) }
+
+// Observe records a duration into a histogram of the default registry.
+func Observe(name string, d time.Duration) { std.Observe(name, d) }
+
+// Phase opens a phase on the default registry; call the returned
+// function to close it.
+func Phase(name string) func() { return std.StartPhase(name) }

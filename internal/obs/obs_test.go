@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersGaugesTimers(t *testing.T) {
+	r := New()
+	r.Inc("a.count", 2)
+	r.Inc("a.count", 3)
+	r.SetGauge("a.gauge", 7)
+	r.SetGauge("a.gauge", 4)
+	r.MaxGauge("a.max", 5)
+	r.MaxGauge("a.max", 3)
+	r.AddTime("a.timer", 2*time.Millisecond)
+	r.AddTime("a.timer", 3*time.Millisecond)
+
+	rep := r.Snapshot("test")
+	if rep.Counters["a.count"] != 5 {
+		t.Errorf("counter = %d, want 5", rep.Counters["a.count"])
+	}
+	if rep.Gauges["a.gauge"] != 4 {
+		t.Errorf("gauge = %d, want 4 (last write wins)", rep.Gauges["a.gauge"])
+	}
+	if rep.Gauges["a.max"] != 5 {
+		t.Errorf("max gauge = %d, want 5", rep.Gauges["a.max"])
+	}
+	tm := rep.Timers["a.timer"]
+	if tm.Count != 2 || tm.TotalNS != (5*time.Millisecond).Nanoseconds() {
+		t.Errorf("timer = %+v, want count 2 total 5ms", tm)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	r.Observe("lat", 500*time.Nanosecond) // ≤1µs
+	r.Observe("lat", 2*time.Microsecond)  // ≤4µs
+	r.Observe("lat", 2*time.Microsecond)  // ≤4µs
+	r.Observe("lat", 2*time.Second)       // +Inf
+	h := r.Snapshot("").Histograms["lat"]
+	if h.Count != 4 {
+		t.Fatalf("count = %d, want 4", h.Count)
+	}
+	want := map[int64]int64{1_000: 1, 4_000: 2, -1: 1}
+	if len(h.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want 3 non-empty", h.Buckets)
+	}
+	for _, b := range h.Buckets {
+		if want[b.LeNS] != b.Count {
+			t.Errorf("bucket le=%d count=%d, want %d", b.LeNS, b.Count, want[b.LeNS])
+		}
+	}
+}
+
+func TestPhaseNesting(t *testing.T) {
+	r := New()
+	outer := r.StartPhase("outer")
+	inner := r.StartPhase("inner")
+	inner()
+	sibling := r.StartPhase("sibling")
+	sibling()
+	outer()
+	rep := r.Snapshot("")
+	if len(rep.Phases) != 1 || rep.Phases[0].Name != "outer" {
+		t.Fatalf("roots = %+v, want single outer", rep.Phases)
+	}
+	kids := rep.Phases[0].Children
+	if len(kids) != 2 || kids[0].Name != "inner" || kids[1].Name != "sibling" {
+		t.Fatalf("children = %+v, want inner then sibling", kids)
+	}
+	if rep.Phases[0].ElapsedNS < kids[0].ElapsedNS {
+		t.Error("outer phase shorter than nested child")
+	}
+}
+
+func TestDisabledRecordsNothing(t *testing.T) {
+	r := New()
+	r.SetEnabled(false)
+	r.Inc("c", 1)
+	r.SetGauge("g", 1)
+	r.AddTime("t", time.Second)
+	r.Observe("h", time.Second)
+	done := r.StartPhase("p")
+	done()
+	rep := r.Snapshot("")
+	if len(rep.Counters)+len(rep.Gauges)+len(rep.Timers)+len(rep.Histograms)+len(rep.Phases) != 0 {
+		t.Errorf("disabled registry recorded: %+v", rep)
+	}
+}
+
+func TestJSONDeterministicUpToTimes(t *testing.T) {
+	record := func() *Registry {
+		r := New()
+		r.Inc("z.last", 1)
+		r.Inc("a.first", 42)
+		r.SetGauge("m.gauge", 9)
+		done := r.StartPhase("phase")
+		done()
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	if err := record().WriteJSON(&b1, "cmd"); err != nil {
+		t.Fatal(err)
+	}
+	if err := record().WriteJSON(&b2, "cmd"); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the measured fields, then the bytes must match exactly.
+	strip := func(b []byte) Report {
+		var rep Report
+		if err := json.Unmarshal(b, &rep); err != nil {
+			t.Fatal(err)
+		}
+		rep.Phases = nil
+		return rep
+	}
+	r1, r2 := strip(b1.Bytes()), strip(b2.Bytes())
+	j1, _ := json.Marshal(r1)
+	j2, _ := json.Marshal(r2)
+	if string(j1) != string(j2) {
+		t.Errorf("reports differ:\n%s\n%s", j1, j2)
+	}
+	// Key order in the raw bytes is sorted: a.first before z.last.
+	s := b1.String()
+	if strings.Index(s, "a.first") > strings.Index(s, "z.last") {
+		t.Error("JSON counter keys not sorted")
+	}
+}
+
+func TestTextReportSections(t *testing.T) {
+	r := New()
+	r.Inc("explore.seq.states", 3)
+	r.AddTime("explore.seq.build", time.Millisecond)
+	r.Observe("stm.tl2.attempt", time.Microsecond)
+	done := r.StartPhase("table2")
+	done()
+	txt := r.Text()
+	for _, want := range []string{"phases:", "table2", "counters:", "explore.seq.states", "timers:", "histograms:", "stm.tl2.attempt"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("text report missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Inc("shared", 1)
+				r.Observe("lat", time.Duration(i))
+				r.MaxGauge("peak", int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	rep := r.Snapshot("")
+	if rep.Counters["shared"] != 8000 {
+		t.Errorf("shared counter = %d, want 8000", rep.Counters["shared"])
+	}
+	if rep.Histograms["lat"].Count != 8000 {
+		t.Errorf("histogram count = %d, want 8000", rep.Histograms["lat"].Count)
+	}
+	if rep.Gauges["peak"] != 999 {
+		t.Errorf("peak gauge = %d, want 999", rep.Gauges["peak"])
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	r.Inc("c", 1)
+	done := r.StartPhase("p")
+	done()
+	r.Reset()
+	rep := r.Snapshot("")
+	if len(rep.Counters) != 0 || len(rep.Phases) != 0 {
+		t.Errorf("reset registry still holds data: %+v", rep)
+	}
+}

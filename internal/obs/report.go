@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Schema identifies the JSON report layout; bump on incompatible
+// changes so downstream tooling (BENCH_*.json trackers) can dispatch.
+const Schema = "tmcheck/stats/v1"
+
+// Report is the machine-readable snapshot of a registry. Counter and
+// gauge values are deterministic across runs on the same inputs;
+// timers, histogram totals, and phase elapsed times are wall-clock
+// measurements. encoding/json marshals the maps in sorted key order,
+// so the rendered bytes are stable up to the measured times.
+type Report struct {
+	Schema  string `json:"schema"`
+	Command string `json:"command,omitempty"`
+
+	Counters   map[string]int64           `json:"counters"`
+	Gauges     map[string]int64           `json:"gauges"`
+	Timers     map[string]TimerReport     `json:"timers"`
+	Histograms map[string]HistogramReport `json:"histograms"`
+	Phases     []PhaseReport              `json:"phases"`
+}
+
+// TimerReport is one timer's JSON form.
+type TimerReport struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+}
+
+// BucketReport is one histogram bucket: observations ≤ LeNS
+// nanoseconds not counted by an earlier bucket. LeNS = -1 marks the
+// +Inf bucket. Buckets with zero count are omitted.
+type BucketReport struct {
+	LeNS  int64 `json:"le_ns"`
+	Count int64 `json:"count"`
+}
+
+// HistogramReport is one latency histogram's JSON form.
+type HistogramReport struct {
+	Count   int64          `json:"count"`
+	TotalNS int64          `json:"total_ns"`
+	Buckets []BucketReport `json:"buckets"`
+}
+
+// PhaseReport is one phase of the run with its nested children.
+type PhaseReport struct {
+	Name      string        `json:"name"`
+	ElapsedNS int64         `json:"elapsed_ns"`
+	Children  []PhaseReport `json:"children,omitempty"`
+}
+
+// Snapshot captures the registry's current contents. Phases still open
+// report the time elapsed so far.
+func (r *Registry) Snapshot(command string) Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := Report{
+		Schema:     Schema,
+		Command:    command,
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Timers:     map[string]TimerReport{},
+		Histograms: map[string]HistogramReport{},
+	}
+	for k, v := range r.counters {
+		rep.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		rep.Gauges[k] = v
+	}
+	for k, t := range r.timers {
+		rep.Timers[k] = TimerReport{Count: t.Count, TotalNS: t.Total.Nanoseconds()}
+	}
+	for k, h := range r.hists {
+		hr := HistogramReport{Count: h.Count, TotalNS: h.Total.Nanoseconds()}
+		for i, c := range h.BucketCounts {
+			if c == 0 {
+				continue
+			}
+			le := int64(-1)
+			if i < len(histBounds) {
+				le = histBounds[i]
+			}
+			hr.Buckets = append(hr.Buckets, BucketReport{LeNS: le, Count: c})
+		}
+		rep.Histograms[k] = hr
+	}
+	for _, s := range r.roots {
+		rep.Phases = append(rep.Phases, snapshotSpan(s))
+	}
+	return rep
+}
+
+func snapshotSpan(s *Span) PhaseReport {
+	d := s.Elapsed
+	if d == 0 && !s.start.IsZero() {
+		d = time.Since(s.start)
+	}
+	p := PhaseReport{Name: s.Name, ElapsedNS: d.Nanoseconds()}
+	for _, c := range s.Children {
+		p.Children = append(p.Children, snapshotSpan(c))
+	}
+	return p
+}
+
+// WriteJSON writes the indented JSON report for the registry.
+func (r *Registry) WriteJSON(w io.Writer, command string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot(command))
+}
+
+// Text renders the human-readable report: the phase tree first, then
+// counters, gauges, timers, and histograms, each section sorted by
+// name.
+func (r *Registry) Text() string {
+	rep := r.Snapshot("")
+	var b strings.Builder
+	if len(rep.Phases) > 0 {
+		fmt.Fprintf(&b, "phases:\n")
+		for _, p := range rep.Phases {
+			writePhase(&b, p, 1)
+		}
+	}
+	writeSection(&b, "counters", rep.Counters, func(v int64) string {
+		return fmt.Sprintf("%d", v)
+	})
+	writeSection(&b, "gauges", rep.Gauges, func(v int64) string {
+		return fmt.Sprintf("%d", v)
+	})
+	writeSection(&b, "timers", rep.Timers, func(t TimerReport) string {
+		return fmt.Sprintf("%v over %d call(s)",
+			time.Duration(t.TotalNS).Round(time.Microsecond), t.Count)
+	})
+	writeSection(&b, "histograms", rep.Histograms, histText)
+	return b.String()
+}
+
+func writePhase(b *strings.Builder, p PhaseReport, depth int) {
+	fmt.Fprintf(b, "%s%-*s %v\n", strings.Repeat("  ", depth),
+		46-2*depth, p.Name,
+		time.Duration(p.ElapsedNS).Round(time.Microsecond))
+	for _, c := range p.Children {
+		writePhase(b, c, depth+1)
+	}
+}
+
+func writeSection[V any](b *strings.Builder, title string, m map[string]V, render func(V) string) {
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(b, "%s:\n", title)
+	for _, k := range keys {
+		fmt.Fprintf(b, "  %-44s %s\n", k, render(m[k]))
+	}
+}
+
+func histText(h HistogramReport) string {
+	parts := make([]string, 0, len(h.Buckets)+1)
+	parts = append(parts, fmt.Sprintf("%d obs, total %v",
+		h.Count, time.Duration(h.TotalNS).Round(time.Microsecond)))
+	for _, bk := range h.Buckets {
+		le := "+Inf"
+		if bk.LeNS >= 0 {
+			le = time.Duration(bk.LeNS).String()
+		}
+		parts = append(parts, fmt.Sprintf("≤%s:%d", le, bk.Count))
+	}
+	return strings.Join(parts, "  ")
+}

@@ -3,8 +3,10 @@ package runtime
 import (
 	"math/rand"
 	"sync"
+	"time"
 
 	"tmcheck/internal/core"
+	"tmcheck/internal/obs"
 )
 
 // TxScript is one transaction's intended commands (reads and writes; the
@@ -84,7 +86,13 @@ type Transfer struct {
 // `threads` goroutines against the STM, retrying aborted transactions up
 // to `retries` times. It returns the sum of all variables afterwards. The
 // initial balance is written by thread 0 before the race begins.
+//
+// Per-algorithm commit/abort/retry counts and per-attempt latency
+// buckets are recorded under "stm.<name>.*" in the obs registry.
+// Unlike the checker counters these depend on the actual goroutine
+// interleaving and vary between runs.
 func RunTransfers(stm STM, k, threads, count, retries int, seed int64, initial int) int {
+	key := "stm." + stm.Name()
 	// Seed the accounts.
 	init := stm.Begin(0)
 	for v := 0; v < k; v++ {
@@ -110,9 +118,17 @@ func RunTransfers(stm STM, k, threads, count, retries int, seed int64, initial i
 				}
 				amount := 1 + rng.Intn(5)
 				for attempt := 0; attempt <= retries; attempt++ {
-					if tryTransfer(stm, t, from, to, amount) {
+					if attempt > 0 {
+						obs.Inc(key+".retries", 1)
+					}
+					attemptStart := time.Now()
+					ok := tryTransfer(stm, t, from, to, amount)
+					obs.Observe(key+".attempt", time.Since(attemptStart))
+					if ok {
+						obs.Inc(key+".commits", 1)
 						break
 					}
+					obs.Inc(key+".aborts", 1)
 				}
 			}
 		}(core.Thread(g), seed+int64(g))

@@ -19,6 +19,7 @@ import (
 	"tmcheck/internal/automata"
 	"tmcheck/internal/core"
 	"tmcheck/internal/explore"
+	"tmcheck/internal/obs"
 	"tmcheck/internal/spec"
 	"tmcheck/internal/tm"
 )
@@ -43,23 +44,41 @@ type Result struct {
 	// Elapsed is the wall-clock time of the inclusion check itself
 	// (excluding construction of the two systems).
 	Elapsed time.Duration
+	// BuildTMElapsed is the wall-clock time spent exploring the TM
+	// transition system, when the checking entry point built it (zero
+	// when the caller passed a pre-built system).
+	BuildTMElapsed time.Duration
+	// BuildSpecElapsed is the wall-clock time spent enumerating the
+	// specification automaton; when a shared automaton is reused across
+	// checks (Table2), the enumeration is charged to the first check
+	// and zero here for the rest. BuildTMElapsed + BuildSpecElapsed +
+	// Elapsed then adds up to the total wall-clock of the check.
+	BuildSpecElapsed time.Duration
+	// Inclusion reports the work counters of the inclusion check.
+	Inclusion automata.InclusionStats
 }
 
 // Check verifies L(ts) ⊆ L(Σd prop) with the deterministic specification,
 // in time linear in the product of the two systems.
 func Check(ts *explore.TS, prop spec.Property) Result {
 	det := spec.NewDet(prop, ts.Alg.Threads(), ts.Alg.Vars())
+	specStart := time.Now()
 	dfa := det.Enumerate()
-	return CheckAgainstDFA(ts, prop, dfa)
+	specElapsed := time.Since(specStart)
+	res := CheckAgainstDFA(ts, prop, dfa)
+	res.BuildSpecElapsed = specElapsed
+	return res
 }
 
 // CheckAgainstDFA is Check with a pre-built specification automaton, so
 // the (comparatively expensive) specification enumeration can be shared
 // across many TM checks.
 func CheckAgainstDFA(ts *explore.TS, prop spec.Property, dfa *automata.DFA) Result {
+	done := obs.Phase("inclusion:" + ts.Name() + ":" + prop.Key())
+	defer done()
 	nfa := ts.NFA()
 	start := time.Now()
-	ok, cexLetters := automata.IncludedInDFA(nfa, dfa)
+	ok, cexLetters, st := automata.IncludedInDFAStats(nfa, dfa)
 	elapsed := time.Since(start)
 	res := Result{
 		System:     ts.Name(),
@@ -70,11 +89,36 @@ func CheckAgainstDFA(ts *explore.TS, prop spec.Property, dfa *automata.DFA) Resu
 		SpecStates: dfa.NumStates(),
 		Holds:      ok,
 		Elapsed:    elapsed,
+		Inclusion:  st,
 	}
 	if !ok {
 		res.Counterexample = ts.Alphabet.DecodeWord(cexLetters)
 	}
+	res.record("dfa")
 	return res
+}
+
+// record writes the per-system verdict counters and timings into the
+// obs registry, keyed "safety.<system>.<prop>.*".
+func (r Result) record(pipeline string) {
+	if !obs.Enabled() {
+		return
+	}
+	key := "safety." + r.System + "." + r.Prop.Key()
+	obs.Inc(key+".checks", 1)
+	obs.SetGauge(key+".tm_states", int64(r.TMStates))
+	obs.SetGauge(key+".spec_states", int64(r.SpecStates))
+	switch pipeline {
+	case "dfa":
+		obs.Inc(key+".pairs", int64(r.Inclusion.PairsVisited))
+	case "antichain":
+		obs.Inc(key+".antichain_nodes", int64(r.Inclusion.NodesCreated))
+		obs.Inc(key+".antichain_pruned", int64(r.Inclusion.NodesPruned))
+	}
+	if !r.Holds {
+		obs.SetGauge(key+".cex_len", int64(r.Inclusion.CexLen))
+	}
+	obs.AddTime(key+".inclusion", r.Elapsed)
 }
 
 // CheckAgainstNondet verifies L(ts) ⊆ L(Σ prop) directly against the
@@ -82,24 +126,29 @@ func CheckAgainstDFA(ts *explore.TS, prop spec.Property, dfa *automata.DFA) Resu
 // validation path for the deterministic pipeline.
 func CheckAgainstNondet(ts *explore.TS, prop spec.Property) Result {
 	nd := spec.NewNondet(prop, ts.Alg.Threads(), ts.Alg.Vars())
+	specStart := time.Now()
 	specNFA := nd.Enumerate()
+	specElapsed := time.Since(specStart)
 	nfa := ts.NFA()
 	start := time.Now()
-	ok, cexLetters := automata.IncludedInNFA(nfa, specNFA)
+	ok, cexLetters, st := automata.IncludedInNFAStats(nfa, specNFA)
 	elapsed := time.Since(start)
 	res := Result{
-		System:     ts.Name(),
-		Prop:       prop,
-		Threads:    ts.Alg.Threads(),
-		Vars:       ts.Alg.Vars(),
-		TMStates:   ts.NumStates(),
-		SpecStates: specNFA.NumStates(),
-		Holds:      ok,
-		Elapsed:    elapsed,
+		System:           ts.Name(),
+		Prop:             prop,
+		Threads:          ts.Alg.Threads(),
+		Vars:             ts.Alg.Vars(),
+		TMStates:         ts.NumStates(),
+		SpecStates:       specNFA.NumStates(),
+		Holds:            ok,
+		Elapsed:          elapsed,
+		BuildSpecElapsed: specElapsed,
+		Inclusion:        st,
 	}
 	if !ok {
 		res.Counterexample = ts.Alphabet.DecodeWord(cexLetters)
 	}
+	res.record("antichain")
 	return res
 }
 
@@ -107,7 +156,12 @@ func CheckAgainstNondet(ts *explore.TS, prop spec.Property) Result {
 // contention manager) and checks it against the deterministic
 // specification.
 func Verify(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property) Result {
-	return Check(explore.Build(alg, cm), prop)
+	buildStart := time.Now()
+	ts := explore.Build(alg, cm)
+	buildElapsed := time.Since(buildStart)
+	res := Check(ts, prop)
+	res.BuildTMElapsed = buildElapsed
+	return res
 }
 
 // Table2Row pairs the two safety verdicts for one TM, as in the paper's
@@ -127,23 +181,46 @@ func Table2(systems []System) []Table2Row {
 		n, k int
 	}
 	dfas := map[key]*automata.DFA{}
-	dfaFor := func(prop spec.Property, n, k int) *automata.DFA {
+	// dfaFor builds (or reuses) the deterministic specification and
+	// reports the enumeration time — zero on a cache hit, so the cost
+	// is charged exactly once across the table.
+	dfaFor := func(prop spec.Property, n, k int) (*automata.DFA, time.Duration) {
 		k2 := key{prop, n, k}
 		if d, ok := dfas[k2]; ok {
-			return d
+			return d, 0
 		}
+		done := obs.Phase("build-spec:" + prop.Key())
+		start := time.Now()
 		d := spec.NewDet(prop, n, k).Enumerate()
+		elapsed := time.Since(start)
+		done()
 		dfas[k2] = d
-		return d
+		return d, elapsed
 	}
 	var rows []Table2Row
 	for _, sys := range systems {
+		name := sys.Alg.Name()
+		if sys.CM != nil {
+			name += "+" + sys.CM.Name()
+		}
+		doneSys := obs.Phase("safety:" + name)
+		doneBuild := obs.Phase("build-tm")
+		buildStart := time.Now()
 		ts := explore.Build(sys.Alg, sys.CM)
+		buildElapsed := time.Since(buildStart)
+		doneBuild()
 		n, k := sys.Alg.Threads(), sys.Alg.Vars()
-		rows = append(rows, Table2Row{
-			SS: CheckAgainstDFA(ts, spec.StrictSerializability, dfaFor(spec.StrictSerializability, n, k)),
-			OP: CheckAgainstDFA(ts, spec.Opacity, dfaFor(spec.Opacity, n, k)),
-		})
+		ssDFA, ssSpecElapsed := dfaFor(spec.StrictSerializability, n, k)
+		opDFA, opSpecElapsed := dfaFor(spec.Opacity, n, k)
+		row := Table2Row{
+			SS: CheckAgainstDFA(ts, spec.StrictSerializability, ssDFA),
+			OP: CheckAgainstDFA(ts, spec.Opacity, opDFA),
+		}
+		row.SS.BuildTMElapsed = buildElapsed
+		row.SS.BuildSpecElapsed = ssSpecElapsed
+		row.OP.BuildSpecElapsed = opSpecElapsed
+		rows = append(rows, row)
+		doneSys()
 	}
 	return rows
 }

@@ -1,8 +1,12 @@
 package spec
 
 import (
+	"fmt"
+	"time"
+
 	"tmcheck/internal/automata"
 	"tmcheck/internal/core"
+	"tmcheck/internal/obs"
 	"tmcheck/internal/tm"
 )
 
@@ -319,8 +323,10 @@ func (sp *Det) Accepts(w core.Word) bool {
 }
 
 // Enumerate builds the explicit DFA of the specification over the
-// instance alphabet.
+// instance alphabet. The enumeration size and time are recorded under
+// "spec.det.<prop>.n<n>k<k>.*" in the obs registry.
 func (sp *Det) Enumerate() *automata.DFA {
+	start := time.Now()
 	ab := core.Alphabet{Threads: sp.Threads, Vars: sp.Vars}
 	dfa := automata.NewDFA(ab.Size())
 	index := map[DState]int{sp.Initial(): 0}
@@ -340,6 +346,12 @@ func (sp *Det) Enumerate() *automata.DFA {
 			}
 			dfa.SetEdge(qi, l, id)
 		}
+	}
+	if obs.Enabled() {
+		key := fmt.Sprintf("spec.det.%s.n%dk%d", sp.Prop.Key(), sp.Threads, sp.Vars)
+		obs.Inc(key+".enumerations", 1)
+		obs.Inc(key+".states", int64(dfa.NumStates()))
+		obs.AddTime(key+".enumerate", time.Since(start))
 	}
 	return dfa
 }

@@ -1,8 +1,12 @@
 package spec
 
 import (
+	"fmt"
+	"time"
+
 	"tmcheck/internal/automata"
 	"tmcheck/internal/core"
+	"tmcheck/internal/obs"
 	"tmcheck/internal/tm"
 )
 
@@ -294,8 +298,11 @@ func (sp *Nondet) Accepts(w core.Word) bool {
 }
 
 // Enumerate builds the explicit NFA of the specification over the instance
-// alphabet, with ε(t) guesses as ε-transitions.
+// alphabet, with ε(t) guesses as ε-transitions. The enumeration size
+// and time are recorded under "spec.nondet.<prop>.n<n>k<k>.*" in the
+// obs registry.
 func (sp *Nondet) Enumerate() *automata.NFA {
+	start := time.Now()
 	ab := core.Alphabet{Threads: sp.Threads, Vars: sp.Vars}
 	nfa := automata.NewNFA(ab.Size())
 	index := map[NState]int{sp.Initial(): 0}
@@ -323,6 +330,12 @@ func (sp *Nondet) Enumerate() *automata.NFA {
 				nfa.AddEps(qi, id)
 			}
 		}
+	}
+	if obs.Enabled() {
+		key := fmt.Sprintf("spec.nondet.%s.n%dk%d", sp.Prop.Key(), sp.Threads, sp.Vars)
+		obs.Inc(key+".enumerations", 1)
+		obs.Inc(key+".states", int64(nfa.NumStates()))
+		obs.AddTime(key+".enumerate", time.Since(start))
 	}
 	return nfa
 }

@@ -37,6 +37,15 @@ func (p Property) String() string {
 	return "strict serializability"
 }
 
+// Key is the short identifier used in metric names and reports: "ss"
+// for strict serializability, "op" for opacity.
+func (p Property) Key() string {
+	if p == Opacity {
+		return "op"
+	}
+	return "ss"
+}
+
 // Thread statuses shared by both specifications. The paper uses
 // {started, invalid, serialized, finished} for the nondeterministic
 // specification and {started, invalid, pending, finished} for the
