@@ -270,11 +270,15 @@ func BenchmarkOracleVsBrute(b *testing.B) {
 // reason the reduction theorem matters.
 func BenchmarkScaling(b *testing.B) {
 	// Larger instances grow steeply — (2,3) takes seconds and (3,2) close
-	// to a minute — so the sweep stops at the sizes the reduction theorems
-	// actually require.
-	for _, dims := range [][2]int{{2, 1}, {2, 2}, {3, 1}} {
+	// to a minute — so the regular sweep stops at the sizes the reduction
+	// theorems actually require; the (2,3) case runs only without -short.
+	for _, dims := range [][2]int{{2, 1}, {2, 2}, {3, 1}, {2, 3}} {
 		n, k := dims[0], dims[1]
+		expensive := n == 2 && k == 3
 		b.Run(benchName(n, k), func(b *testing.B) {
+			if expensive && testing.Short() {
+				b.Skip("skipping expensive (2,3) instance in -short mode")
+			}
 			for i := 0; i < b.N; i++ {
 				ts := explore.Build(tm.NewDSTM(n, k), nil)
 				dfa := spec.NewDet(spec.Opacity, n, k).Enumerate()
@@ -288,7 +292,7 @@ func BenchmarkScaling(b *testing.B) {
 }
 
 func benchName(n, k int) string {
-	return "dstm-" + string(rune('0'+n)) + "t" + string(rune('0'+k)) + "v"
+	return fmt.Sprintf("dstm-%dt%dv", n, k)
 }
 
 // --- Extensions beyond the paper ---

@@ -1,0 +1,175 @@
+// Command benchjson records the benchmark baseline of the checker: it
+// runs the key Table 2 and scaling benchmarks in-process (the same
+// workloads as bench_test.go's BenchmarkTable2Build,
+// BenchmarkTable2EndToEnd and BenchmarkScaling) and writes a
+// BENCH_<n>.json file with ns/op per benchmark, so the perf trajectory
+// across commits is committed next to the code it measures.
+//
+// Usage:
+//
+//	benchjson [-o FILE] [-workers N] [-full]
+//
+// Without -o the tool picks the next free BENCH_<n>.json in the current
+// directory. -workers pins the parallel-engine worker count (default
+// GOMAXPROCS); the recorded file notes the setting. -full adds the
+// expensive (2,3) scaling instance.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"tmcheck/internal/explore"
+	"tmcheck/internal/parbfs"
+	"tmcheck/internal/safety"
+	"tmcheck/internal/spec"
+	"tmcheck/internal/tm"
+)
+
+// report is the trajectory file schema ("tmcheck/bench/v1").
+type report struct {
+	Schema     string  `json:"schema"`
+	Note       string  `json:"note,omitempty"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	Workers    int     `json:"workers"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+type entry struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default: next free BENCH_<n>.json)")
+	workers := flag.Int("workers", 0, "parallel-engine workers (default GOMAXPROCS)")
+	full := flag.Bool("full", false, "include the expensive (2,3) scaling instance")
+	note := flag.String("note", "", "free-form annotation recorded in the file")
+	flag.Parse()
+
+	if *workers > 0 {
+		parbfs.SetWorkers(*workers)
+	}
+	rep := report{
+		Schema:    "tmcheck/bench/v1",
+		Note:      *note,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Workers:   parbfs.Workers(),
+	}
+	for _, bm := range benchmarks(*full) {
+		fmt.Fprintf(os.Stderr, "running %s...\n", bm.name)
+		r := testing.Benchmark(bm.fn)
+		rep.Benchmarks = append(rep.Benchmarks, entry{
+			Name:        bm.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	path := *out
+	if path == "" {
+		path = nextFree()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(rep)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(rep.Benchmarks))
+}
+
+// nextFree returns the first BENCH_<n>.json that does not exist yet.
+func nextFree() string {
+	for n := 0; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}
+
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// benchmarks mirrors the bench_test.go workloads that track the
+// checker's end-to-end performance.
+func benchmarks(full bool) []namedBench {
+	var bms []namedBench
+	for _, sys := range safety.PaperSystems(2, 2) {
+		sys := sys
+		name := sys.Alg.Name()
+		if sys.CM != nil {
+			name += "+" + sys.CM.Name()
+		}
+		bms = append(bms, namedBench{
+			name: "Table2Build/" + name,
+			fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ts := explore.Build(sys.Alg, sys.CM)
+					if ts.NumStates() == 0 {
+						b.Fatal("empty system")
+					}
+				}
+			},
+		})
+	}
+	bms = append(bms, namedBench{
+		name: "Table2EndToEnd",
+		fn: func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows := safety.Table2(safety.PaperSystems(2, 2))
+				if len(rows) != 5 {
+					b.Fatal("wrong row count")
+				}
+			}
+		},
+	})
+	dims := [][2]int{{2, 1}, {2, 2}, {3, 1}}
+	if full {
+		dims = append(dims, [2]int{2, 3})
+	}
+	for _, d := range dims {
+		n, k := d[0], d[1]
+		bms = append(bms, namedBench{
+			name: fmt.Sprintf("Scaling/dstm-%dt%dv", n, k),
+			fn: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ts := explore.Build(tm.NewDSTM(n, k), nil)
+					dfa := spec.NewDet(spec.Opacity, n, k).Enumerate()
+					res := safety.CheckAgainstDFA(ts, spec.Opacity, dfa)
+					if !res.Holds {
+						b.Fatalf("dstm unsafe at (%d,%d)?", n, k)
+					}
+				}
+			},
+		})
+	}
+	return bms
+}

@@ -15,11 +15,17 @@
 //	tmcheck word -w "(r,1)1, c1" [-n N -k K]
 //	tmcheck all                    everything above with defaults
 //
-// Every command additionally accepts the global observability flags
+// Every command additionally accepts the global flags -workers N,
 // -stats, -stats-json FILE, -cpuprofile FILE and -memprofile FILE (see
 // cmd/tmcheck/stats.go), e.g.:
 //
 //	tmcheck table2 -stats-json report.json
+//	tmcheck -workers 4 table2
+//
+// -workers sets the worker count of the parallel engines (state-space
+// exploration, specification enumeration, table-row fan-out); it
+// defaults to GOMAXPROCS, and -workers 1 restores the exact sequential
+// behavior. Results are bit-identical for every worker count.
 package main
 
 import (
@@ -127,6 +133,7 @@ commands:
   all        run table1, table2, table3, specs and figures
 
 global flags (any command, before or after it):
+  -workers N        parallel-engine workers (default GOMAXPROCS; 1 = sequential)
   -stats            print the instrumentation report to stderr
   -stats-json FILE  write the machine-readable report to FILE ("-" = stdout)
   -cpuprofile FILE  write a pprof CPU profile

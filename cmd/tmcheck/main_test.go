@@ -210,6 +210,19 @@ func TestExtractGlobalFlags(t *testing.T) {
 	if _, _, err := extractGlobalFlags([]string{"table1", "-stats-json"}); err == nil {
 		t.Error("dangling -stats-json should error")
 	}
+
+	g3, rest3, err := extractGlobalFlags([]string{"-workers", "4", "table2", "-n", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.workers != 4 || !reflect.DeepEqual(rest3, []string{"table2", "-n", "2"}) {
+		t.Errorf("-workers extraction failed: %+v rest %v", g3, rest3)
+	}
+	for _, bad := range []string{"0", "-2", "x"} {
+		if _, _, err := extractGlobalFlags([]string{"-workers", bad, "table1"}); err == nil {
+			t.Errorf("-workers %s should error", bad)
+		}
+	}
 }
 
 // TestStatsReportTable2 is the acceptance check of the observability

@@ -1,8 +1,10 @@
 package main
 
-// Global observability flags, accepted by every subcommand and
-// position-independent (before or after the subcommand):
+// Global flags, accepted by every subcommand and position-independent
+// (before or after the subcommand):
 //
+//	-workers N        worker count for the parallel engines (default
+//	                  GOMAXPROCS; 1 = exact sequential behavior)
 //	-stats            print the instrumentation report to stderr
 //	-stats-json FILE  write the machine-readable report to FILE ("-" = stdout)
 //	-cpuprofile FILE  write a pprof CPU profile of the whole command
@@ -17,14 +19,17 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"tmcheck/internal/obs"
+	"tmcheck/internal/parbfs"
 )
 
-// globalOpts holds the observability flags extracted before subcommand
+// globalOpts holds the global flags extracted before subcommand
 // dispatch.
 type globalOpts struct {
+	workers    int
 	stats      bool
 	statsJSON  string
 	cpuProfile string
@@ -58,6 +63,14 @@ func extractGlobalFlags(args []string) (globalOpts, []string, error) {
 		}
 		var err error
 		switch name {
+		case "workers":
+			var v string
+			if v, err = value(); err == nil {
+				g.workers, err = strconv.Atoi(v)
+				if err != nil || g.workers < 1 {
+					err = fmt.Errorf("flag -workers needs a positive integer, got %q", v)
+				}
+			}
 		case "stats":
 			g.stats = true
 		case "stats-json":
@@ -76,8 +89,12 @@ func extractGlobalFlags(args []string) (globalOpts, []string, error) {
 	return g, rest, nil
 }
 
-// begin starts CPU profiling when requested. Call finish afterwards.
+// begin installs the worker count and starts CPU profiling when
+// requested. Call finish afterwards.
 func (g *globalOpts) begin() error {
+	if g.workers > 0 {
+		parbfs.SetWorkers(g.workers)
+	}
 	if g.cpuProfile == "" {
 		return nil
 	}

@@ -1,6 +1,10 @@
 package automata
 
-import "tmcheck/internal/obs"
+import (
+	"sync"
+
+	"tmcheck/internal/obs"
+)
 
 // Language inclusion for prefix-closed (all-states-accepting) automata.
 //
@@ -37,9 +41,44 @@ func IncludedInDFA(a *NFA, d *DFA) (bool, []int) {
 	return ok, cex
 }
 
+// denseVisitedLimit bounds the product size (NFA states × DFA states)
+// for which the deterministic inclusion check uses a dense visited
+// table; 2²⁵ int32 entries ≈ 128 MiB. Larger products fall back to the
+// hash map, trading speed for footprint.
+const denseVisitedLimit = 1 << 25
+
+// denseVisitedPool recycles the dense visited tables across checks.
+// Every pooled slice upholds the all-(-1) invariant: users reset
+// exactly the entries they touched (those in their BFS queue) before
+// returning it.
+var denseVisitedPool sync.Pool
+
+func getDenseVisited(n int) []int32 {
+	if v, ok := denseVisitedPool.Get().(*[]int32); ok && len(*v) >= n {
+		return (*v)[:n]
+	}
+	fresh := make([]int32, n)
+	for i := range fresh {
+		fresh[i] = -1
+	}
+	return fresh
+}
+
+func putDenseVisited(v []int32, touched []int64) {
+	for _, pair := range touched {
+		v[pair] = -1
+	}
+	full := v[:cap(v)]
+	denseVisitedPool.Put(&full)
+}
+
 // IncludedInDFAStats is IncludedInDFA returning the work counters; the
 // aggregate totals are also recorded under "automata.dfa_inclusion.*"
 // in the obs registry.
+//
+// The visited set over product pairs (n, d) is a dense int32 table
+// indexed by n·width+d (both factors are known up front), recycled
+// across checks through a pool; oversized products fall back to a map.
 func IncludedInDFAStats(a *NFA, d *DFA) (ok bool, cex []int, st InclusionStats) {
 	type node struct {
 		parent int
@@ -47,16 +86,38 @@ func IncludedInDFAStats(a *NFA, d *DFA) (ok bool, cex []int, st InclusionStats) 
 	}
 	width := int64(d.NumStates() + 1)
 	encode := func(n, dd int) int64 { return int64(n)*width + int64(dd) }
-	visited := map[int64]int{} // pair -> node index
+	total := int64(a.NumStates()) * width
 	nodes := []node{{parent: -1, letter: -1}}
 	var queue []int64
 
-	push := func(pair int64, parent, letter int) {
-		if _, ok := visited[pair]; ok {
+	// lookup/set abstract the two visited-table representations; every
+	// visited pair enters the queue exactly once, so len(queue) is the
+	// pairs-visited count for both.
+	var lookup func(pair int64) (int32, bool)
+	var set func(pair int64, idx int32)
+	var dense []int32
+	if total <= denseVisitedLimit {
+		dense = getDenseVisited(int(total))
+		lookup = func(pair int64) (int32, bool) {
+			idx := dense[pair]
+			return idx, idx >= 0
+		}
+		set = func(pair int64, idx int32) { dense[pair] = idx }
+	} else {
+		m := make(map[int64]int32)
+		lookup = func(pair int64) (int32, bool) {
+			idx, ok := m[pair]
+			return idx, ok
+		}
+		set = func(pair int64, idx int32) { m[pair] = idx }
+	}
+
+	push := func(pair int64, parent int, letter int) {
+		if _, ok := lookup(pair); ok {
 			return
 		}
 		nodes = append(nodes, node{parent: parent, letter: letter})
-		visited[pair] = len(nodes) - 1
+		set(pair, int32(len(nodes)-1))
 		queue = append(queue, pair)
 	}
 
@@ -78,20 +139,24 @@ func IncludedInDFAStats(a *NFA, d *DFA) (ok bool, cex []int, st InclusionStats) 
 	}
 
 	record := func(ok bool, cex []int) (bool, []int, InclusionStats) {
-		st = InclusionStats{PairsVisited: len(visited), CexLen: len(cex)}
+		st = InclusionStats{PairsVisited: len(queue), CexLen: len(cex)}
 		obs.Inc("automata.dfa_inclusion.checks", 1)
 		obs.Inc("automata.dfa_inclusion.pairs", int64(st.PairsVisited))
+		if dense != nil {
+			putDenseVisited(dense, queue)
+		}
 		return ok, cex, st
 	}
 
 	start := encode(a.Initial(), d.Initial())
-	visited[start] = 0
+	set(start, 0)
 	queue = append(queue, start)
 	for qi := 0; qi < len(queue); qi++ {
 		pair := queue[qi]
 		n := int(pair / width)
 		dd := int(pair % width)
-		idx := visited[pair]
+		idx32, _ := lookup(pair)
+		idx := int(idx32)
 		for _, n2 := range a.EpsSucc(n) {
 			push(encode(int(n2), dd), idx, -1)
 		}

@@ -24,11 +24,13 @@ package explore
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"tmcheck/internal/automata"
 	"tmcheck/internal/core"
 	"tmcheck/internal/obs"
+	"tmcheck/internal/parbfs"
 	"tmcheck/internal/tm"
 )
 
@@ -71,6 +73,11 @@ type TS struct {
 	Alphabet core.Alphabet
 	States   []prodState
 	Out      [][]Edge // outgoing edges per state; state 0 is initial
+
+	// nfa caches the NFA view: TS is immutable after Build, so the view
+	// is computed at most once and shared by every caller.
+	nfaOnce sync.Once
+	nfa     *automata.NFA
 }
 
 // Name describes the explored system, e.g. "dstm" or "tl2+polite".
@@ -95,13 +102,25 @@ func (ts *TS) NumEdges() int {
 }
 
 // Build explores the TM algorithm applied to the most general program on
-// the algorithm's own thread and variable bounds. cm may be nil.
+// the algorithm's own thread and variable bounds, with the process-wide
+// worker count (the -workers flag of cmd/tmcheck; GOMAXPROCS by
+// default). cm may be nil.
 //
 // The exploration records its vitals into the obs registry under
 // "explore.<system>.*": reachable states, edges, ε-steps (pending ⊥
-// responses), abort transitions, the maximum BFS frontier, and the
-// build wall-clock (from which states/sec follows).
+// responses), abort transitions, BFS frontier shape, intern-table
+// collisions, and the build wall-clock (from which states/sec follows).
 func Build(alg tm.Algorithm, cm tm.ContentionManager) *TS {
+	return BuildWorkers(alg, cm, parbfs.Workers())
+}
+
+// BuildWorkers is Build with an explicit worker count. One worker runs
+// the plain sequential exploration; more run the level-synchronized
+// parallel engine of internal/parbfs. The resulting transition system —
+// state numbering, edge order, and every downstream verdict — is
+// bit-identical for every worker count (see the parbfs package comment
+// for the argument; TestEngineEquivalence checks it on the registry).
+func BuildWorkers(alg tm.Algorithm, cm tm.ContentionManager, workers int) *TS {
 	start := time.Now()
 	n := alg.Threads()
 	ab := core.Alphabet{Threads: n, Vars: alg.Vars()}
@@ -113,6 +132,19 @@ func Build(alg tm.Algorithm, cm tm.ContentionManager) *TS {
 	}
 	init := prodState{TM: alg.Initial(), CM: cmInit}
 
+	var pstats parbfs.Stats
+	if workers <= 1 {
+		ts.buildSeq(init)
+	} else {
+		pstats = ts.buildPar(init, workers)
+	}
+	ts.record(start, workers, pstats)
+	return ts
+}
+
+// buildSeq is the sequential scan-order BFS: states are interned on
+// first sight and processed in id order.
+func (ts *TS) buildSeq(init prodState) {
 	index := map[prodState]int32{init: 0}
 	ts.States = append(ts.States, init)
 	ts.Out = append(ts.Out, nil)
@@ -128,30 +160,68 @@ func Build(alg tm.Algorithm, cm tm.ContentionManager) *TS {
 		return id
 	}
 
-	commands := ab.Commands()
-	maxFrontier := 1
-	for qi := 0; qi < len(ts.States); qi++ {
-		if f := len(ts.States) - qi; f > maxFrontier {
-			maxFrontier = f
-		}
-		q := ts.States[qi]
-		for t := core.Thread(0); int(t) < n; t++ {
-			enabled := commands
-			if q.Pending[t].Active {
-				enabled = []core.Command{q.Pending[t].C}
-			}
-			for _, c := range enabled {
-				ts.expand(qi, q, c, t, intern)
-			}
-		}
+	commands := ts.Alphabet.Commands()
+	// The yield closures are hoisted out of the scan loop (capturing the
+	// loop variables) so the hot path allocates none per state.
+	var (
+		qi int
+		q  prodState
+	)
+	stepYield := func(next prodState, e Edge) {
+		e.To = intern(next)
+		ts.Out[qi] = append(ts.Out[qi], e)
 	}
-	ts.record(start, maxFrontier)
-	return ts
+	cmdYield := func(c core.Command, t core.Thread) {
+		ts.forEachStep(q, c, t, stepYield)
+	}
+	for qi = 0; qi < len(ts.States); qi++ {
+		q = ts.States[qi]
+		ts.forEachEnabled(q, commands, cmdYield)
+	}
+}
+
+// buildPar is the frontier-parallel exploration: each BFS level is
+// expanded by a worker pool interning into parbfs's sharded table, and
+// state numbering is canonicalized at every level barrier so the result
+// matches buildSeq bit for bit.
+func (ts *TS) buildPar(init prodState, workers int) parbfs.Stats {
+	commands := ts.Alphabet.Commands()
+	// pendEdges[id] buffers state id's edge templates (To unresolved)
+	// between the expand and finish passes of its level.
+	var pendEdges [][]Edge
+	return parbfs.Run(init, workers,
+		func(id int, emit func(prodState)) {
+			q := ts.States[id]
+			var buf []Edge
+			ts.forEachEnabled(q, commands, func(c core.Command, t core.Thread) {
+				ts.forEachStep(q, c, t, func(next prodState, e Edge) {
+					buf = append(buf, e)
+					emit(next)
+				})
+			})
+			pendEdges[id] = buf
+		},
+		func(id int, s prodState) {
+			ts.States = append(ts.States, s)
+			ts.Out = append(ts.Out, nil)
+			pendEdges = append(pendEdges, nil)
+		},
+		func(id int, succ []int32) {
+			edges := pendEdges[id]
+			for j := range edges {
+				edges[j].To = succ[j]
+			}
+			ts.Out[id] = edges
+			pendEdges[id] = nil
+		},
+	)
 }
 
 // record batches the exploration statistics into the obs registry, so
-// the hot loop above carries no per-edge instrumentation cost.
-func (ts *TS) record(start time.Time, maxFrontier int) {
+// the hot loops above carry no per-edge instrumentation cost. All
+// counter and gauge values except the intern-shard load are derived
+// from the final graph, so they are identical for every worker count.
+func (ts *TS) record(start time.Time, workers int, pstats parbfs.Stats) {
 	if !obs.Enabled() {
 		return
 	}
@@ -166,18 +236,112 @@ func (ts *TS) record(start time.Time, maxFrontier int) {
 			}
 		}
 	}
+	// Reconstruct the sequential engine's queue-backlog peak from the
+	// canonical numbering: when state qi is dequeued, the states known
+	// so far are exactly those with ids below the largest successor id
+	// seen while processing 0..qi-1.
+	maxFrontier, known := 1, 1
+	for qi := range ts.Out {
+		if f := known - qi; f > maxFrontier {
+			maxFrontier = f
+		}
+		for _, e := range ts.Out[qi] {
+			if int(e.To) >= known {
+				known = int(e.To) + 1
+			}
+		}
+	}
 	key := "explore." + ts.Name()
 	obs.Inc(key+".builds", 1)
 	obs.Inc(key+".states", int64(ts.NumStates()))
 	obs.Inc(key+".edges", int64(ts.NumEdges()))
 	obs.Inc(key+".eps_steps", int64(eps))
 	obs.Inc(key+".abort_edges", int64(aborts))
+	obs.Inc(key+".intern.dup_hits", int64(ts.NumEdges()-(ts.NumStates()-1)))
 	obs.MaxGauge(key+".frontier_max", int64(maxFrontier))
+	obs.SetGauge(key+".workers", int64(workers))
+	recordFrontierHist(key, ts.levelSizes())
+	if pstats.Shards > 0 {
+		obs.SetGauge(key+".intern.shards", int64(pstats.Shards))
+		obs.MaxGauge(key+".intern.max_shard_load", int64(pstats.MaxShardLoad))
+	}
 	obs.AddTime(key+".build", time.Since(start))
 }
 
-// expand appends every transition for command c by thread t from state q.
-func (ts *TS) expand(qi int, q prodState, c core.Command, t core.Thread, intern func(prodState) int32) {
+// levelSizes returns the BFS level populations of the final graph
+// (identical to the per-level frontiers of the parallel engine, and
+// engine independent since both numberings are canonical).
+func (ts *TS) levelSizes() []int {
+	dist := make([]int32, len(ts.Out))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	sizes := []int{1}
+	queue := []int32{0}
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		for _, e := range ts.Out[s] {
+			if dist[e.To] < 0 {
+				dist[e.To] = dist[s] + 1
+				for int(dist[e.To]) >= len(sizes) {
+					sizes = append(sizes, 0)
+				}
+				sizes[dist[e.To]]++
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return sizes
+}
+
+// frontierBounds are the level-population histogram buckets recorded
+// under "<key>.frontier.le_<bound>" (plus a final gt_4096 bucket).
+var frontierBounds = []int{1, 4, 16, 64, 256, 1024, 4096}
+
+// recordFrontierHist records the per-level frontier histogram: how many
+// BFS levels had ≤ bound newly discovered states.
+func recordFrontierHist(key string, sizes []int) {
+	obs.Inc(key+".frontier.levels", int64(len(sizes)))
+	peak := 0
+	for _, n := range sizes {
+		if n > peak {
+			peak = n
+		}
+		bucket := key + ".frontier.gt_4096"
+		for _, b := range frontierBounds {
+			if n <= b {
+				bucket = fmt.Sprintf("%s.frontier.le_%d", key, b)
+				break
+			}
+		}
+		obs.Inc(bucket, 1)
+	}
+	obs.MaxGauge(key+".frontier_peak", int64(peak))
+}
+
+// forEachEnabled calls yield for every (command, thread) pair the most
+// general program may issue from q: everything when the thread has no
+// pending command, only the pending command otherwise.
+func (ts *TS) forEachEnabled(q prodState, commands []core.Command, yield func(core.Command, core.Thread)) {
+	n := ts.Alg.Threads()
+	for t := core.Thread(0); int(t) < n; t++ {
+		if q.Pending[t].Active {
+			yield(q.Pending[t].C, t)
+			continue
+		}
+		for _, c := range commands {
+			yield(c, t)
+		}
+	}
+}
+
+// forEachStep enumerates every transition for command c by thread t from
+// state q, calling yield with the successor product state and the edge
+// template (To left unset — the caller interns the successor). Both
+// engines funnel through this single enumerator, so their edge order
+// agrees by construction.
+func (ts *TS) forEachStep(q prodState, c core.Command, t core.Thread, yield func(next prodState, e Edge)) {
 	steps := ts.Alg.Steps(q.TM, c, t)
 	conflict := ts.Alg.Conflict(q.TM, c, t)
 
@@ -213,7 +377,7 @@ func (ts *TS) expand(qi int, q prodState, c core.Command, t core.Thread, intern 
 				emit = int16(ts.Alphabet.Encode(core.St(c, t)))
 			}
 		}
-		ts.addEdge(qi, Edge{To: intern(next), Cmd: c, T: t, X: step.X, R: step.R, Emit: emit})
+		yield(next, Edge{Cmd: c, T: t, X: step.X, R: step.R, Emit: emit})
 	}
 
 	// Abort transitions exist when the command is abort enabled (no
@@ -223,14 +387,16 @@ func (ts *TS) expand(qi int, q prodState, c core.Command, t core.Thread, intern 
 			next := prodState{TM: ts.Alg.AbortStep(q.TM, t), Pending: q.Pending, CM: cmNext}
 			next.Pending[t] = pending{}
 			emit := int16(ts.Alphabet.Encode(core.St(core.Abort(), t)))
-			ts.addEdge(qi, Edge{
-				To: intern(next), Cmd: c, T: t,
+			yield(next, Edge{
+				Cmd: c, T: t,
 				X: tm.XCmd{Kind: tm.XAbort}, R: tm.Resp0, Emit: emit,
 			})
 		}
 	}
 }
 
+// addEdge appends one resolved edge; the sequential restricted explorer
+// (restricted.go) still interns inline and uses this directly.
 func (ts *TS) addEdge(from int, e Edge) {
 	ts.Out[from] = append(ts.Out[from], e)
 }
@@ -238,8 +404,15 @@ func (ts *TS) addEdge(from int, e Edge) {
 // NFA views the transition system as an automaton over the instance
 // alphabet: emitting edges become letter transitions, internal ⊥-steps
 // become ε-transitions. Its language is L(A), the language of the TM
-// algorithm (§3.2).
+// algorithm (§3.2). The view is built once and cached — TS is immutable
+// after Build — so repeated safety checks against different properties
+// share it.
 func (ts *TS) NFA() *automata.NFA {
+	ts.nfaOnce.Do(func() { ts.nfa = ts.buildNFA() })
+	return ts.nfa
+}
+
+func (ts *TS) buildNFA() *automata.NFA {
 	a := automata.NewNFA(ts.Alphabet.Size())
 	for i := 1; i < len(ts.States); i++ {
 		a.AddState()

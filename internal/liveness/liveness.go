@@ -25,6 +25,7 @@ import (
 	"tmcheck/internal/core"
 	"tmcheck/internal/explore"
 	"tmcheck/internal/obs"
+	"tmcheck/internal/parbfs"
 	"tmcheck/internal/tm"
 )
 
@@ -492,7 +493,42 @@ func PaperSystems(n, k int) []System {
 }
 
 // Table3 reproduces the paper's Table 3 on the given systems.
+//
+// With the process-wide worker count above one, the rows run
+// concurrently over a bounded pool (each row's exploration and checks
+// stay sequential inside the row); results are identical to the
+// sequential driver.
 func Table3(systems []System) []Table3Row {
+	if workers := parbfs.Workers(); workers > 1 && len(systems) > 1 {
+		return table3Par(systems, workers)
+	}
+	return table3Seq(systems)
+}
+
+// table3Par fans the rows out over the worker pool. Per-row obs phases
+// are skipped — the phase stack assumes a single-threaded spine — but
+// the counters and the returned rows match table3Seq.
+func table3Par(systems []System, workers int) []Table3Row {
+	done := obs.Phase("liveness:table3-parallel")
+	defer done()
+	rows := make([]Table3Row, len(systems))
+	parbfs.For(len(systems), workers, func(i int) {
+		sys := systems[i]
+		buildStart := time.Now()
+		ts := explore.BuildWorkers(sys.Alg, sys.CM, 1)
+		buildElapsed := time.Since(buildStart)
+		row := Table3Row{
+			Obstruction: CheckObstructionFreedom(ts),
+			Livelock:    CheckLivelockFreedom(ts),
+			Wait:        CheckWaitFreedom(ts),
+		}
+		row.Obstruction.BuildElapsed = buildElapsed
+		rows[i] = row
+	})
+	return rows
+}
+
+func table3Seq(systems []System) []Table3Row {
 	var rows []Table3Row
 	for _, sys := range systems {
 		name := sys.Alg.Name()

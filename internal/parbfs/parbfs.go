@@ -1,0 +1,292 @@
+// Package parbfs is the parallel state-space engine shared by the
+// explorers of this repository: a level-synchronized breadth-first
+// search over an implicitly defined graph whose states are interned
+// into a sharded (hash-partitioned) table, with state numbering
+// canonicalized per level so the result is bit-identical to a
+// sequential scan-order BFS.
+//
+// The determinism argument: a sequential BFS that processes states in
+// id order and interns successors on first sight assigns, within each
+// distance level, ids in lexicographic order of (position of the
+// discovering parent in the level, ordinal of the discovering emission
+// within that parent's expansion). The engine expands a whole level in
+// parallel, records for every newly discovered state the minimum such
+// discovery key across all racing discoverers, sorts the new states by
+// that key at the level barrier, and only then assigns ids — exactly
+// the sequential numbering, independent of scheduling. Per-state edge
+// order is deterministic too, because a single worker expands each
+// state and emissions are resolved positionally.
+//
+// The package also owns the process-wide worker-count knob surfaced as
+// the -workers flag of cmd/tmcheck: Workers() defaults to GOMAXPROCS
+// and SetWorkers overrides it; one worker selects the callers' plain
+// sequential code paths.
+package parbfs
+
+import (
+	"hash/maphash"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the process-wide worker count; 0 means "use
+// GOMAXPROCS".
+var defaultWorkers atomic.Int32
+
+// Workers returns the process-wide worker count for the parallel
+// engines: the value installed by SetWorkers, or GOMAXPROCS.
+func Workers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers installs the process-wide worker count. n < 1 resets to
+// the GOMAXPROCS default. One worker makes every engine take its exact
+// sequential code path.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 0
+	}
+	defaultWorkers.Store(int32(n))
+}
+
+// Stats reports the work profile of one Run, for the observability
+// layer. Levels, LevelSizes and DupHits are deterministic for a given
+// graph; Shards and MaxShardLoad depend on the per-process hash seed
+// (like wall-clock timers, they vary between runs but not within one).
+type Stats struct {
+	// Levels is the number of BFS levels (the initial state is level 0).
+	Levels int
+	// LevelSizes is the number of states first discovered per level.
+	LevelSizes []int
+	// DupHits counts emissions that hit an already-interned state — the
+	// intern-table collisions that produce no new state.
+	DupHits int64
+	// Shards is the number of intern-table shards used.
+	Shards int
+	// MaxShardLoad is the largest number of states interned into a
+	// single shard (hash-seed dependent).
+	MaxShardLoad int
+}
+
+// cand is a state discovered during the current level, before its id is
+// assigned at the barrier. fi/di form the discovery key: the minimum
+// (frontier position, emission ordinal) over all events that reached
+// the state this level.
+type cand[S comparable] struct {
+	s  S
+	fi int32
+	di int32
+	id int32
+}
+
+// succRef is one emission: either an already-known id or a pointer to a
+// same-level candidate whose id is assigned at the barrier.
+type succRef[S comparable] struct {
+	id int32
+	c  *cand[S]
+}
+
+// shard is one partition of the intern table. known is read without
+// locking during level expansion (it is only written at level barriers,
+// with the worker pool joined); cands is locked.
+type shard[S comparable] struct {
+	mu    sync.Mutex
+	known map[S]int32
+	cands map[S]*cand[S]
+}
+
+func (sh *shard[S]) candidate(s S, fi, di int32) *cand[S] {
+	sh.mu.Lock()
+	c, ok := sh.cands[s]
+	if !ok {
+		c = &cand[S]{s: s, fi: fi, di: di}
+		sh.cands[s] = c
+	} else if fi < c.fi || (fi == c.fi && di < c.di) {
+		c.fi, c.di = fi, di
+	}
+	sh.mu.Unlock()
+	return c
+}
+
+// Run explores the graph reachable from init with the given number of
+// workers and returns the work profile. The caller supplies three
+// hooks:
+//
+//   - place(id, s) is called exactly once per reachable state, in id
+//     order (starting with place(0, init)), before the state is ever
+//     expanded — append the state to caller-side storage here;
+//   - expand(id, emit) enumerates the successors of the already-placed
+//     state id, calling emit once per outgoing edge (self-loops and
+//     duplicates included). It runs concurrently with other expand
+//     calls of the same level;
+//   - finish(id, succ) delivers the successor ids of state id, aligned
+//     one-to-one with that state's emit calls. It runs concurrently
+//     with other finish calls of the same level.
+//
+// The assigned numbering, and hence the succ slices, are bit-identical
+// to a sequential scan-order BFS using the same expand enumeration
+// order, for any worker count and schedule.
+func Run[S comparable](
+	init S,
+	workers int,
+	expand func(id int, emit func(S)),
+	place func(id int, s S),
+	finish func(id int, succ []int32),
+) Stats {
+	if workers < 1 {
+		workers = 1
+	}
+	nshards := shardCount(workers)
+	shards := make([]shard[S], nshards)
+	for i := range shards {
+		shards[i].known = map[S]int32{}
+		shards[i].cands = map[S]*cand[S]{}
+	}
+	seed := maphash.MakeSeed()
+	shardOf := func(s S) *shard[S] {
+		return &shards[maphash.Comparable(seed, s)&uint64(nshards-1)]
+	}
+
+	st := Stats{Shards: nshards}
+	place(0, init)
+	shardOf(init).known[init] = 0
+	level := []int32{0}
+	nextID := int32(1)
+	var emissions int64
+
+	for len(level) > 0 {
+		st.Levels++
+		st.LevelSizes = append(st.LevelSizes, len(level))
+		outs := make([][]succRef[S], len(level))
+
+		For(len(level), workers, func(fi int) {
+			id := level[fi]
+			var refs []succRef[S]
+			di := int32(0)
+			expand(int(id), func(s S) {
+				sh := shardOf(s)
+				if kid, ok := sh.known[s]; ok {
+					refs = append(refs, succRef[S]{id: kid})
+				} else {
+					refs = append(refs, succRef[S]{c: sh.candidate(s, int32(fi), di)})
+				}
+				di++
+			})
+			outs[fi] = refs
+		})
+
+		// Barrier: gather this level's discoveries, order them by their
+		// minimal discovery key, and assign the canonical ids.
+		var fresh []*cand[S]
+		for i := range shards {
+			for _, c := range shards[i].cands {
+				fresh = append(fresh, c)
+			}
+		}
+		sort.Slice(fresh, func(i, j int) bool {
+			if fresh[i].fi != fresh[j].fi {
+				return fresh[i].fi < fresh[j].fi
+			}
+			return fresh[i].di < fresh[j].di
+		})
+		newLevel := make([]int32, 0, len(fresh))
+		for _, c := range fresh {
+			c.id = nextID
+			place(int(nextID), c.s)
+			newLevel = append(newLevel, nextID)
+			nextID++
+		}
+		for i := range shards {
+			for s, c := range shards[i].cands {
+				shards[i].known[s] = c.id
+			}
+			clear(shards[i].cands)
+		}
+
+		For(len(level), workers, func(fi int) {
+			refs := outs[fi]
+			succ := make([]int32, len(refs))
+			for j, r := range refs {
+				if r.c != nil {
+					succ[j] = r.c.id
+				} else {
+					succ[j] = r.id
+				}
+			}
+			finish(int(level[fi]), succ)
+		})
+		for _, refs := range outs {
+			emissions += int64(len(refs))
+		}
+		level = newLevel
+	}
+
+	for i := range shards {
+		if l := len(shards[i].known); l > st.MaxShardLoad {
+			st.MaxShardLoad = l
+		}
+	}
+	// Every emission either discovers a new state or collides with an
+	// interned one, so collisions = emissions − (states − 1).
+	st.DupHits = emissions - (int64(nextID) - 1)
+	return st
+}
+
+// shardCount picks a power-of-two shard count comfortably above the
+// worker count, capped so the per-build footprint stays small.
+func shardCount(workers int) int {
+	n := 16
+	for n < 8*workers && n < 256 {
+		n <<= 1
+	}
+	return n
+}
+
+// For runs f(0..n-1) on the given number of workers, in chunks, and
+// returns when every call has completed. With one worker (or n ≤ 1) it
+// runs inline, preserving the caller's sequential behavior exactly.
+func For(n, workers int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 64 {
+		chunk = 64
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				end := int(next.Add(int64(chunk)))
+				start := end - chunk
+				if start >= n {
+					return
+				}
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					f(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,117 @@
+package parbfs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// succsOf defines a deterministic synthetic graph over uint32 states:
+// each state has a pseudo-random fan-out with duplicates and back-edges,
+// bounded so the reachable set stays finite.
+func succsOf(s uint32) []uint32 {
+	x := s*2654435761 + 1
+	deg := int(x % 5)
+	out := make([]uint32, 0, deg+1)
+	for i := 0; i < deg; i++ {
+		x = x*1664525 + 1013904223
+		out = append(out, x%4096)
+	}
+	if deg == 0 {
+		out = append(out, (s+1)%4096)
+	}
+	return out
+}
+
+// refBFS is the sequential scan-order BFS the engine must reproduce
+// bit-identically: states interned on first sight, processed in id
+// order.
+func refBFS(init uint32) (states []uint32, edges [][]int32) {
+	index := map[uint32]int32{init: 0}
+	states = []uint32{init}
+	edges = [][]int32{nil}
+	for qi := 0; qi < len(states); qi++ {
+		for _, t := range succsOf(states[qi]) {
+			id, ok := index[t]
+			if !ok {
+				id = int32(len(states))
+				index[t] = id
+				states = append(states, t)
+				edges = append(edges, nil)
+			}
+			edges[qi] = append(edges[qi], id)
+		}
+	}
+	return states, edges
+}
+
+func runEngine(init uint32, workers int) (states []uint32, edges [][]int32, st Stats) {
+	st = Run(init, workers,
+		func(id int, emit func(uint32)) {
+			for _, t := range succsOf(states[id]) {
+				emit(t)
+			}
+		},
+		func(id int, s uint32) {
+			states = append(states, s)
+			edges = append(edges, nil)
+		},
+		func(id int, succ []int32) {
+			edges[id] = succ
+		},
+	)
+	return states, edges, st
+}
+
+func TestRunMatchesSequentialBFS(t *testing.T) {
+	wantStates, wantEdges := refBFS(7)
+	if len(wantStates) < 100 {
+		t.Fatalf("synthetic graph too small (%d states) to exercise the engine", len(wantStates))
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		states, edges, st := runEngine(7, workers)
+		if !reflect.DeepEqual(states, wantStates) {
+			t.Fatalf("workers=%d: state numbering diverges from sequential BFS", workers)
+		}
+		if !reflect.DeepEqual(edges, wantEdges) {
+			t.Fatalf("workers=%d: edge resolution diverges from sequential BFS", workers)
+		}
+		var emitted int64
+		for _, e := range edges {
+			emitted += int64(len(e))
+		}
+		if got := st.DupHits; got != emitted-int64(len(states)-1) {
+			t.Errorf("workers=%d: DupHits = %d, want %d", workers, got, emitted-int64(len(states)-1))
+		}
+		var levelTotal int
+		for _, n := range st.LevelSizes {
+			levelTotal += n
+		}
+		if levelTotal != len(states) || st.Levels != len(st.LevelSizes) {
+			t.Errorf("workers=%d: level sizes %v inconsistent with %d states", workers, st.LevelSizes, len(states))
+		}
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after reset", Workers())
+	}
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		seen := make([]int32, 1000)
+		For(len(seen), workers, func(i int) { seen[i]++ })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"tmcheck/internal/core"
 	"tmcheck/internal/explore"
 	"tmcheck/internal/obs"
+	"tmcheck/internal/parbfs"
 	"tmcheck/internal/spec"
 	"tmcheck/internal/tm"
 )
@@ -74,8 +75,17 @@ func Check(ts *explore.TS, prop spec.Property) Result {
 // the (comparatively expensive) specification enumeration can be shared
 // across many TM checks.
 func CheckAgainstDFA(ts *explore.TS, prop spec.Property, dfa *automata.DFA) Result {
-	done := obs.Phase("inclusion:" + ts.Name() + ":" + prop.Key())
-	defer done()
+	return checkAgainstDFA(ts, prop, dfa, true)
+}
+
+// checkAgainstDFA is CheckAgainstDFA with the phase span optional: the
+// obs phase stack assumes one single-threaded spine, so concurrent
+// table rows must not open spans.
+func checkAgainstDFA(ts *explore.TS, prop spec.Property, dfa *automata.DFA, phase bool) Result {
+	if phase {
+		done := obs.Phase("inclusion:" + ts.Name() + ":" + prop.Key())
+		defer done()
+	}
 	nfa := ts.NFA()
 	start := time.Now()
 	ok, cexLetters, st := automata.IncludedInDFAStats(nfa, dfa)
@@ -175,7 +185,19 @@ type Table2Row struct {
 // the transition-system size and the verdicts for strict serializability
 // and opacity with counterexamples. The deterministic specifications for
 // the (n, k) instances involved are built once and shared.
+//
+// With the process-wide worker count above one, the rows run
+// concurrently over a bounded pool (each row's exploration and checks
+// stay sequential inside the row — the row fan-out is the coarser and
+// cheaper parallelism); results are identical to the sequential driver.
 func Table2(systems []System) []Table2Row {
+	if workers := parbfs.Workers(); workers > 1 && len(systems) > 1 {
+		return table2Par(systems, workers)
+	}
+	return table2Seq(systems)
+}
+
+func table2Seq(systems []System) []Table2Row {
 	type key struct {
 		prop spec.Property
 		n, k int
@@ -222,6 +244,62 @@ func Table2(systems []System) []Table2Row {
 		rows = append(rows, row)
 		doneSys()
 	}
+	return rows
+}
+
+// table2Par is the concurrent Table 2 driver: the distinct deterministic
+// specifications are enumerated once up front (their cost charged to the
+// first row that uses them, like the sequential driver), then the rows
+// fan out over the worker pool. Per-row obs phases are skipped — the
+// phase stack assumes a single-threaded spine — but all counters and
+// the returned rows are identical to table2Seq.
+func table2Par(systems []System, workers int) []Table2Row {
+	type key struct {
+		prop spec.Property
+		n, k int
+	}
+	type builtDFA struct {
+		dfa      *automata.DFA
+		elapsed  time.Duration
+		firstRow int
+	}
+	done := obs.Phase("safety:table2-parallel")
+	defer done()
+	dfas := map[key]*builtDFA{}
+	for i, sys := range systems {
+		n, k := sys.Alg.Threads(), sys.Alg.Vars()
+		for _, prop := range []spec.Property{spec.StrictSerializability, spec.Opacity} {
+			k2 := key{prop, n, k}
+			if _, ok := dfas[k2]; ok {
+				continue
+			}
+			start := time.Now()
+			d := spec.NewDet(prop, n, k).EnumerateWorkers(workers)
+			dfas[k2] = &builtDFA{dfa: d, elapsed: time.Since(start), firstRow: i}
+		}
+	}
+	rows := make([]Table2Row, len(systems))
+	parbfs.For(len(systems), workers, func(i int) {
+		sys := systems[i]
+		n, k := sys.Alg.Threads(), sys.Alg.Vars()
+		buildStart := time.Now()
+		ts := explore.BuildWorkers(sys.Alg, sys.CM, 1)
+		buildElapsed := time.Since(buildStart)
+		ss := dfas[key{spec.StrictSerializability, n, k}]
+		op := dfas[key{spec.Opacity, n, k}]
+		row := Table2Row{
+			SS: checkAgainstDFA(ts, spec.StrictSerializability, ss.dfa, false),
+			OP: checkAgainstDFA(ts, spec.Opacity, op.dfa, false),
+		}
+		row.SS.BuildTMElapsed = buildElapsed
+		if ss.firstRow == i {
+			row.SS.BuildSpecElapsed = ss.elapsed
+		}
+		if op.firstRow == i {
+			row.OP.BuildSpecElapsed = op.elapsed
+		}
+		rows[i] = row
+	})
 	return rows
 }
 

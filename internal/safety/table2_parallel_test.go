@@ -1,0 +1,57 @@
+package safety
+
+import (
+	"reflect"
+	"testing"
+
+	"tmcheck/internal/parbfs"
+)
+
+// TestTable2ParallelMatchesSequential drives the concurrent Table 2
+// path explicitly and checks the rows — verdicts, sizes, and
+// counterexamples — against the sequential driver.
+func TestTable2ParallelMatchesSequential(t *testing.T) {
+	systems := PaperSystems(2, 1)
+	seq := table2Seq(systems)
+	par := table2Par(systems, 4)
+	if len(par) != len(seq) {
+		t.Fatalf("row count: parallel %d, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		for _, c := range []struct {
+			name     string
+			seq, par Result
+		}{
+			{"ss", seq[i].SS, par[i].SS},
+			{"op", seq[i].OP, par[i].OP},
+		} {
+			if c.par.Holds != c.seq.Holds || c.par.TMStates != c.seq.TMStates ||
+				c.par.SpecStates != c.seq.SpecStates {
+				t.Errorf("row %d %s: parallel (%v,%d,%d) != sequential (%v,%d,%d)",
+					i, c.name, c.par.Holds, c.par.TMStates, c.par.SpecStates,
+					c.seq.Holds, c.seq.TMStates, c.seq.SpecStates)
+			}
+			if !reflect.DeepEqual(c.par.Counterexample, c.seq.Counterexample) {
+				t.Errorf("row %d %s: counterexamples diverge:\n  sequential: %v\n  parallel:   %v",
+					i, c.name, c.seq.Counterexample, c.par.Counterexample)
+			}
+		}
+	}
+}
+
+// TestTable2DispatchesOnWorkerCount checks the public entry point takes
+// the parallel path under a multi-worker setting and still returns the
+// sequential rows.
+func TestTable2DispatchesOnWorkerCount(t *testing.T) {
+	defer parbfs.SetWorkers(0)
+	systems := PaperSystems(2, 1)
+	parbfs.SetWorkers(1)
+	seq := Table2(systems)
+	parbfs.SetWorkers(3)
+	par := Table2(systems)
+	for i := range seq {
+		if par[i].SS.Holds != seq[i].SS.Holds || par[i].OP.Holds != seq[i].OP.Holds {
+			t.Fatalf("row %d: verdicts diverge between worker counts", i)
+		}
+	}
+}

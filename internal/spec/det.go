@@ -7,6 +7,7 @@ import (
 	"tmcheck/internal/automata"
 	"tmcheck/internal/core"
 	"tmcheck/internal/obs"
+	"tmcheck/internal/parbfs"
 	"tmcheck/internal/tm"
 )
 
@@ -323,12 +324,36 @@ func (sp *Det) Accepts(w core.Word) bool {
 }
 
 // Enumerate builds the explicit DFA of the specification over the
-// instance alphabet. The enumeration size and time are recorded under
+// instance alphabet, with the process-wide worker count. The
+// enumeration size and time are recorded under
 // "spec.det.<prop>.n<n>k<k>.*" in the obs registry.
 func (sp *Det) Enumerate() *automata.DFA {
+	return sp.EnumerateWorkers(parbfs.Workers())
+}
+
+// EnumerateWorkers is Enumerate with an explicit worker count. The
+// resulting DFA — state numbering and edges — is identical for every
+// worker count (see internal/parbfs).
+func (sp *Det) EnumerateWorkers(workers int) *automata.DFA {
 	start := time.Now()
 	ab := core.Alphabet{Threads: sp.Threads, Vars: sp.Vars}
 	dfa := automata.NewDFA(ab.Size())
+	if workers <= 1 {
+		sp.enumerateSeq(dfa, ab)
+	} else {
+		sp.enumeratePar(dfa, ab, workers)
+	}
+	if obs.Enabled() {
+		key := fmt.Sprintf("spec.det.%s.n%dk%d", sp.Prop.Key(), sp.Threads, sp.Vars)
+		obs.Inc(key+".enumerations", 1)
+		obs.Inc(key+".states", int64(dfa.NumStates()))
+		obs.AddTime(key+".enumerate", time.Since(start))
+	}
+	return dfa
+}
+
+// enumerateSeq is the sequential scan-order enumeration.
+func (sp *Det) enumerateSeq(dfa *automata.DFA, ab core.Alphabet) {
 	index := map[DState]int{sp.Initial(): 0}
 	states := []DState{sp.Initial()}
 	for qi := 0; qi < len(states); qi++ {
@@ -347,11 +372,40 @@ func (sp *Det) Enumerate() *automata.DFA {
 			dfa.SetEdge(qi, l, id)
 		}
 	}
-	if obs.Enabled() {
-		key := fmt.Sprintf("spec.det.%s.n%dk%d", sp.Prop.Key(), sp.Threads, sp.Vars)
-		obs.Inc(key+".enumerations", 1)
-		obs.Inc(key+".states", int64(dfa.NumStates()))
-		obs.AddTime(key+".enumerate", time.Since(start))
-	}
-	return dfa
+}
+
+// enumeratePar is the frontier-parallel enumeration via the shared
+// parbfs engine; the canonical per-level numbering makes the DFA
+// bit-identical to enumerateSeq.
+func (sp *Det) enumeratePar(dfa *automata.DFA, ab core.Alphabet, workers int) {
+	var states []DState
+	// letters[id] records which letters had an enabled Step from state
+	// id, aligned with that state's emissions.
+	var letters [][]int16
+	parbfs.Run(sp.Initial(), workers,
+		func(id int, emit func(DState)) {
+			q := states[id]
+			var ls []int16
+			for l := 0; l < ab.Size(); l++ {
+				if q2, ok := sp.Step(q, ab.Decode(l)); ok {
+					ls = append(ls, int16(l))
+					emit(q2)
+				}
+			}
+			letters[id] = ls
+		},
+		func(id int, q DState) {
+			if id > 0 {
+				dfa.AddState() // state 0 is pre-allocated by NewDFA
+			}
+			states = append(states, q)
+			letters = append(letters, nil)
+		},
+		func(id int, succ []int32) {
+			for j, l := range letters[id] {
+				dfa.SetEdge(id, int(l), int(succ[j]))
+			}
+			letters[id] = nil
+		},
+	)
 }

@@ -1,0 +1,76 @@
+package spec
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tmcheck/internal/automata"
+)
+
+// dims are the instance sizes the reduction theorems need; the
+// equivalence must hold on every one of them.
+var parDims = []struct{ n, k int }{{2, 1}, {2, 2}}
+
+// TestDetEnumerateWorkersEquivalent checks that the parallel DFA
+// enumeration is bit-identical — same numbering, same transitions — to
+// the sequential one, for both properties at (2,1) and (2,2).
+func TestDetEnumerateWorkersEquivalent(t *testing.T) {
+	for _, prop := range []Property{StrictSerializability, Opacity} {
+		for _, d := range parDims {
+			t.Run(fmt.Sprintf("%s-n%dk%d", prop.Key(), d.n, d.k), func(t *testing.T) {
+				seq := NewDet(prop, d.n, d.k).EnumerateWorkers(1)
+				for _, workers := range []int{2, 4} {
+					par := NewDet(prop, d.n, d.k).EnumerateWorkers(workers)
+					if par.NumStates() != seq.NumStates() {
+						t.Fatalf("workers=%d: %d states, sequential has %d",
+							workers, par.NumStates(), seq.NumStates())
+					}
+					for s := 0; s < seq.NumStates(); s++ {
+						for l := 0; l < seq.Alphabet(); l++ {
+							if par.Succ(s, l) != seq.Succ(s, l) {
+								t.Fatalf("workers=%d: δ(%d,%d) = %d, sequential %d",
+									workers, s, l, par.Succ(s, l), seq.Succ(s, l))
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestNondetEnumerateWorkersEquivalent is the same cross-check for the
+// nondeterministic specification's NFA, including ε-edge order.
+func TestNondetEnumerateWorkersEquivalent(t *testing.T) {
+	for _, prop := range []Property{StrictSerializability, Opacity} {
+		for _, d := range parDims {
+			t.Run(fmt.Sprintf("%s-n%dk%d", prop.Key(), d.n, d.k), func(t *testing.T) {
+				seq := NewNondet(prop, d.n, d.k).EnumerateWorkers(1)
+				for _, workers := range []int{2, 4} {
+					par := NewNondet(prop, d.n, d.k).EnumerateWorkers(workers)
+					if !nfasEqual(par, seq) {
+						t.Fatalf("workers=%d: NFA diverges from sequential enumeration", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+func nfasEqual(a, b *automata.NFA) bool {
+	if a.NumStates() != b.NumStates() || a.Alphabet() != b.Alphabet() {
+		return false
+	}
+	for s := 0; s < a.NumStates(); s++ {
+		for l := 0; l < a.Alphabet(); l++ {
+			if !reflect.DeepEqual(a.Succ(s, l), b.Succ(s, l)) {
+				return false
+			}
+		}
+		if !reflect.DeepEqual(a.EpsSucc(s), b.EpsSucc(s)) {
+			return false
+		}
+	}
+	return true
+}
