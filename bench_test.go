@@ -104,6 +104,45 @@ func BenchmarkTable2EndToEnd(b *testing.B) {
 	}
 }
 
+// engineCases are the representative checks the engine comparison runs:
+// a passing opacity check, the heaviest passing (2,2) check, and the
+// failing modified TL2 where the on-the-fly engine early-exits.
+var engineCases = []struct {
+	name  string
+	sys   func() safety.System
+	prop  spec.Property
+	holds bool
+}{
+	{"dstm-op", func() safety.System { return safety.System{Alg: tm.NewDSTM(2, 2)} }, spec.Opacity, true},
+	{"tl2-ss", func() safety.System { return safety.System{Alg: tm.NewTL2(2, 2)} }, spec.StrictSerializability, true},
+	{"modtl2+polite-ss", func() safety.System { return safety.System{Alg: tm.NewTL2Mod(2, 2), CM: tm.Polite{}} }, spec.StrictSerializability, false},
+}
+
+// BenchmarkEngines compares the materialized build-then-check pipeline
+// against the on-the-fly product search end to end (construction
+// included, single worker). The allocation columns show the memory
+// story: on-the-fly never materializes the spec DFA or the TM NFA.
+func BenchmarkEngines(b *testing.B) {
+	for _, c := range engineCases {
+		sys := c.sys()
+		for _, engine := range []safety.Engine{safety.EngineMaterialized, safety.EngineOnTheFly} {
+			engine := engine
+			b.Run(c.name+"/"+engine.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := safety.VerifyOpts(sys.Alg, sys.CM, c.prop, safety.Options{Workers: 1, Engine: engine})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Holds != c.holds {
+						b.Fatalf("%s/%s: holds = %v, want %v", c.name, engine, res.Holds, c.holds)
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- Table 3 ---
 
 func BenchmarkTable3Liveness(b *testing.B) {

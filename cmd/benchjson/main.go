@@ -151,6 +151,32 @@ func benchmarks(full bool) []namedBench {
 			}
 		},
 	})
+	engineCases := []struct {
+		name string
+		sys  safety.System
+		prop spec.Property
+	}{
+		{"dstm-op", safety.System{Alg: tm.NewDSTM(2, 2)}, spec.Opacity},
+		{"tl2-ss", safety.System{Alg: tm.NewTL2(2, 2)}, spec.StrictSerializability},
+		{"modtl2+polite-ss", safety.System{Alg: tm.NewTL2Mod(2, 2), CM: tm.Polite{}}, spec.StrictSerializability},
+	}
+	for _, c := range engineCases {
+		c := c
+		for _, engine := range []safety.Engine{safety.EngineMaterialized, safety.EngineOnTheFly} {
+			engine := engine
+			bms = append(bms, namedBench{
+				name: "Engines/" + c.name + "/" + engine.String(),
+				fn: func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := safety.VerifyOpts(c.sys.Alg, c.sys.CM, c.prop, safety.Options{Workers: 1, Engine: engine}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				},
+			})
+		}
+	}
 	dims := [][2]int{{2, 1}, {2, 2}, {3, 1}}
 	if full {
 		dims = append(dims, [2]int{2, 3})

@@ -6,26 +6,37 @@
 // Usage:
 //
 //	tmcheck table1                 reproduce Table 1 (runs and words)
-//	tmcheck table2 [-n 2 -k 2]     reproduce Table 2 (safety verdicts)
+//	tmcheck table2 [-n 2 -k 2] [-engine onthefly|materialized]
+//	                               reproduce Table 2 (safety verdicts)
 //	tmcheck table3 [-n 2 -k 1]     reproduce Table 3 (liveness verdicts)
 //	tmcheck specs  [-n 2 -k 2]     specification sizes and Theorem 3
 //	tmcheck figures                analyze the Figure 1 and 2 words
 //	tmcheck safety -tm NAME [-cm NAME] [-prop ss|op] [-n 2 -k 2]
+//	               [-engine onthefly|materialized]
 //	tmcheck liveness -tm NAME [-cm NAME] [-n 2 -k 1]
 //	tmcheck word -w "(r,1)1, c1" [-n N -k K]
 //	tmcheck all                    everything above with defaults
 //
 // Every command additionally accepts the global flags -workers N,
-// -stats, -stats-json FILE, -cpuprofile FILE and -memprofile FILE (see
-// cmd/tmcheck/stats.go), e.g.:
+// -maxstates N, -stats, -stats-json FILE, -cpuprofile FILE and
+// -memprofile FILE (see cmd/tmcheck/stats.go), e.g.:
 //
 //	tmcheck table2 -stats-json report.json
 //	tmcheck -workers 4 table2
+//	tmcheck -maxstates 100000 safety -tm tl2 -n 2 -k 3
 //
 // -workers sets the worker count of the parallel engines (state-space
 // exploration, specification enumeration, table-row fan-out); it
 // defaults to GOMAXPROCS, and -workers 1 restores the exact sequential
 // behavior. Results are bit-identical for every worker count.
+//
+// -maxstates bounds the total number of states any check constructs
+// (TM states + spec states + product pairs); a check that would exceed
+// the budget aborts with a budget error instead of exhausting memory.
+// Safety checks default to the on-the-fly engine, which interleaves TM
+// exploration with specification stepping and constructs only the spec
+// states the product reaches; -engine=materialized restores the classic
+// build-then-check pipeline.
 package main
 
 import (
@@ -134,6 +145,7 @@ commands:
 
 global flags (any command, before or after it):
   -workers N        parallel-engine workers (default GOMAXPROCS; 1 = sequential)
+  -maxstates N      abort any check constructing more than N states
   -stats            print the instrumentation report to stderr
   -stats-json FILE  write the machine-readable report to FILE ("-" = stdout)
   -cpuprofile FILE  write a pprof CPU profile
@@ -164,7 +176,12 @@ func runTable2(args []string) error {
 	n := fs.Int("n", 2, "threads")
 	k := fs.Int("k", 2, "variables")
 	ext := fs.Bool("ext", false, "include the extension TMs (norec, etl) and broken variants")
+	engineName := fs.String("engine", "onthefly", "safety engine: onthefly or materialized")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	engine, err := safety.ParseEngine(*engineName)
+	if err != nil {
 		return err
 	}
 	fmt.Printf("Table 2: safety verdicts on the most general program (%d threads, %d variables)\n", *n, *k)
@@ -179,7 +196,18 @@ func runTable2(args []string) error {
 			systems = append(systems, safety.System{Alg: alg})
 		}
 	}
-	rows := safety.Table2(systems)
+	var rows []safety.Table2Row
+	if engine == safety.EngineOnTheFly {
+		rows, err = safety.Table2OnTheFly(systems)
+		if err != nil {
+			return err
+		}
+	} else {
+		rows, err = safety.Table2Materialized(systems)
+		if err != nil {
+			return err
+		}
+	}
 	for _, row := range rows {
 		fmt.Printf("%-15s %8d  %-22s %-22s\n", row.SS.System, row.SS.TMStates,
 			verdict(row.SS), verdict(row.OP))
@@ -291,6 +319,7 @@ func runSafety(args []string) error {
 	tmName := fs.String("tm", "dstm", "TM algorithm")
 	cmName := fs.String("cm", "", "contention manager (optional)")
 	propName := fs.String("prop", "op", "property: ss or op")
+	engineName := fs.String("engine", "onthefly", "safety engine: onthefly or materialized")
 	n := fs.Int("n", 2, "threads")
 	k := fs.Int("k", 2, "variables")
 	if err := fs.Parse(args); err != nil {
@@ -308,13 +337,26 @@ func runSafety(args []string) error {
 	if *propName == "ss" {
 		prop = spec.StrictSerializability
 	}
-	res := safety.Verify(alg, cm, prop)
+	engine, err := safety.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	res, err := safety.VerifyOpts(alg, cm, prop, safety.Options{Engine: engine})
+	if err != nil {
+		return err
+	}
 	fmt.Printf("system:         %s\n", res.System)
 	fmt.Printf("property:       %v (%d threads, %d variables)\n", res.Prop, res.Threads, res.Vars)
+	fmt.Printf("engine:         %v\n", res.Engine)
 	fmt.Printf("TM states:      %d\n", res.TMStates)
 	fmt.Printf("spec states:    %d\n", res.SpecStates)
-	fmt.Printf("build TM:       %v\n", res.BuildTMElapsed.Round(10*time.Microsecond))
-	fmt.Printf("build spec:     %v\n", res.BuildSpecElapsed.Round(10*time.Microsecond))
+	if res.Engine == safety.EngineOnTheFly {
+		fmt.Printf("product pairs:  %d\n", res.Inclusion.PairsVisited)
+		fmt.Printf("peak frontier:  %d\n", res.FrontierPeak)
+	} else {
+		fmt.Printf("build TM:       %v\n", res.BuildTMElapsed.Round(10*time.Microsecond))
+		fmt.Printf("build spec:     %v\n", res.BuildSpecElapsed.Round(10*time.Microsecond))
+	}
 	if res.Holds {
 		fmt.Printf("verdict:        SAFE (inclusion holds, %v)\n", res.Elapsed.Round(10*time.Microsecond))
 	} else {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"tmcheck/internal/obs"
+	"tmcheck/internal/space"
 )
 
 // captureStdout runs f with os.Stdout redirected to a pipe and returns
@@ -223,17 +225,47 @@ func TestExtractGlobalFlags(t *testing.T) {
 			t.Errorf("-workers %s should error", bad)
 		}
 	}
+
+	g4, rest4, err := extractGlobalFlags([]string{"-maxstates", "5000", "safety", "-tm", "tl2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g4.maxStates != 5000 || !reflect.DeepEqual(rest4, []string{"safety", "-tm", "tl2"}) {
+		t.Errorf("-maxstates extraction failed: %+v rest %v", g4, rest4)
+	}
+	for _, bad := range []string{"0", "-5", "many"} {
+		if _, _, err := extractGlobalFlags([]string{"-maxstates", bad, "table1"}); err == nil {
+			t.Errorf("-maxstates %s should error", bad)
+		}
+	}
+}
+
+// TestMaxStatesBudgetCLI drives the budget end to end: under a tiny
+// -maxstates both engines abort the safety command with a budget error
+// naming the budget.
+func TestMaxStatesBudgetCLI(t *testing.T) {
+	old := space.MaxStates()
+	space.SetMaxStates(100)
+	defer space.SetMaxStates(old)
+	for _, engine := range []string{"onthefly", "materialized"} {
+		err := runSafety([]string{"-tm", "dstm", "-prop", "op", "-engine", engine})
+		if !errors.Is(err, space.ErrBudgetExceeded) {
+			t.Errorf("engine %s: want budget error, got %v", engine, err)
+		}
+	}
 }
 
 // TestStatsReportTable2 is the acceptance check of the observability
 // layer: running table2 twice produces reports with identical counter
 // and gauge values (times may differ), containing per-TM exploration
 // counts, spec enumeration size and time, inclusion pairs visited, and
-// the phase wall-clock breakdown.
+// the phase wall-clock breakdown. It pins the materialized pipeline,
+// whose counters come from the build-then-check stages; the default
+// on-the-fly engine is covered by TestStatsReportTable2OnTheFly.
 func TestStatsReportTable2(t *testing.T) {
 	run := func() obs.Report {
 		obs.Default().Reset()
-		captureStdout(t, func() error { return dispatch("table2", nil) })
+		captureStdout(t, func() error { return dispatch("table2", []string{"-engine", "materialized"}) })
 		return obs.Default().Snapshot("table2")
 	}
 	rep := run()
@@ -283,6 +315,50 @@ func TestStatsReportTable2(t *testing.T) {
 		if !strings.Contains(joined, want) {
 			t.Errorf("phase tree missing %q: %v", want, names)
 		}
+	}
+}
+
+// TestStatsReportTable2OnTheFly checks the vitals of the default
+// engine: table2 records per-system on-the-fly counters, and the spec
+// states the lazy product constructs never exceed the full enumeration
+// (strictly fewer for the restrictive TMs).
+func TestStatsReportTable2OnTheFly(t *testing.T) {
+	obs.Default().Reset()
+	defer obs.Default().Reset()
+	captureStdout(t, func() error { return dispatch("table2", nil) })
+	rep := obs.Default().Snapshot("table2")
+
+	for _, key := range []string{
+		"safety.seq.ss.otf.product_pairs", "safety.dstm.op.otf.product_pairs",
+		"safety.modtl2+polite.ss.otf.product_pairs",
+	} {
+		if rep.Counters[key] <= 0 {
+			t.Errorf("counter %q missing or zero in report", key)
+		}
+	}
+	// The lazy spec never grows past the full enumeration (5614 ss /
+	// 2208 op states at (2,2)), and the restrictive seq TM constructs
+	// far fewer.
+	full := map[string]int64{"ss": 5614, "op": 2208}
+	for _, sys := range []string{"seq", "2pl", "dstm", "tl2", "modtl2+polite"} {
+		for prop, limit := range full {
+			key := "safety." + sys + "." + prop + ".otf.spec_states"
+			got, ok := rep.Gauges[key]
+			if !ok {
+				t.Errorf("gauge %q missing in report", key)
+				continue
+			}
+			if got > limit {
+				t.Errorf("%s exceeds the full spec: %d > %d", key, got, limit)
+			}
+		}
+	}
+	if got := rep.Gauges["safety.seq.ss.otf.spec_states"]; got >= 100 {
+		t.Errorf("seq constructed %d ss spec states, expected a small fraction of 5614", got)
+	}
+	// The failing modtl2+polite checks record their early-exit depth.
+	if got := rep.Gauges["safety.modtl2+polite.ss.otf.early_exit_depth"]; got <= 0 {
+		t.Errorf("early_exit_depth missing for modtl2+polite ss, gauges: %v", rep.Gauges)
 	}
 }
 

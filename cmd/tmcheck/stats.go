@@ -5,6 +5,9 @@ package main
 //
 //	-workers N        worker count for the parallel engines (default
 //	                  GOMAXPROCS; 1 = exact sequential behavior)
+//	-maxstates N      state budget: abort any check that would construct
+//	                  more than N states (TM + spec + product) with a
+//	                  budget error instead of exhausting memory
 //	-stats            print the instrumentation report to stderr
 //	-stats-json FILE  write the machine-readable report to FILE ("-" = stdout)
 //	-cpuprofile FILE  write a pprof CPU profile of the whole command
@@ -24,12 +27,14 @@ import (
 
 	"tmcheck/internal/obs"
 	"tmcheck/internal/parbfs"
+	"tmcheck/internal/space"
 )
 
 // globalOpts holds the global flags extracted before subcommand
 // dispatch.
 type globalOpts struct {
 	workers    int
+	maxStates  int
 	stats      bool
 	statsJSON  string
 	cpuProfile string
@@ -71,6 +76,14 @@ func extractGlobalFlags(args []string) (globalOpts, []string, error) {
 					err = fmt.Errorf("flag -workers needs a positive integer, got %q", v)
 				}
 			}
+		case "maxstates":
+			var v string
+			if v, err = value(); err == nil {
+				g.maxStates, err = strconv.Atoi(v)
+				if err != nil || g.maxStates < 1 {
+					err = fmt.Errorf("flag -maxstates needs a positive integer, got %q", v)
+				}
+			}
 		case "stats":
 			g.stats = true
 		case "stats-json":
@@ -94,6 +107,9 @@ func extractGlobalFlags(args []string) (globalOpts, []string, error) {
 func (g *globalOpts) begin() error {
 	if g.workers > 0 {
 		parbfs.SetWorkers(g.workers)
+	}
+	if g.maxStates > 0 {
+		space.SetMaxStates(g.maxStates)
 	}
 	if g.cpuProfile == "" {
 		return nil

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"tmcheck/internal/obs"
+	"tmcheck/internal/space"
 )
 
 // Language inclusion for prefix-closed (all-states-accepting) automata.
@@ -80,6 +81,16 @@ func putDenseVisited(v []int32, touched []int64) {
 // indexed by n·width+d (both factors are known up front), recycled
 // across checks through a pool; oversized products fall back to a map.
 func IncludedInDFAStats(a *NFA, d *DFA) (ok bool, cex []int, st InclusionStats) {
+	ok, cex, st, _ = IncludedInDFABudget(a, d, 0) // unbounded: cannot fail
+	return ok, cex, st
+}
+
+// IncludedInDFABudget is IncludedInDFAStats with a budget on visited
+// product pairs: when maxPairs > 0 and the search would visit more, it
+// stops with a *space.BudgetError (the stats still report the truncated
+// work). maxPairs <= 0 means unbounded, and then the error is always
+// nil.
+func IncludedInDFABudget(a *NFA, d *DFA, maxPairs int) (ok bool, cex []int, st InclusionStats, err error) {
 	type node struct {
 		parent int
 		letter int // -1 for the root and for ε-steps
@@ -138,20 +149,23 @@ func IncludedInDFAStats(a *NFA, d *DFA) (ok bool, cex []int, st InclusionStats) 
 		return rev
 	}
 
-	record := func(ok bool, cex []int) (bool, []int, InclusionStats) {
+	record := func(ok bool, cex []int, err error) (bool, []int, InclusionStats, error) {
 		st = InclusionStats{PairsVisited: len(queue), CexLen: len(cex)}
 		obs.Inc("automata.dfa_inclusion.checks", 1)
 		obs.Inc("automata.dfa_inclusion.pairs", int64(st.PairsVisited))
 		if dense != nil {
 			putDenseVisited(dense, queue)
 		}
-		return ok, cex, st
+		return ok, cex, st, err
 	}
 
 	start := encode(a.Initial(), d.Initial())
 	set(start, 0)
 	queue = append(queue, start)
 	for qi := 0; qi < len(queue); qi++ {
+		if maxPairs > 0 && len(queue) > maxPairs {
+			return record(false, nil, &space.BudgetError{Budget: maxPairs, Visited: len(queue)})
+		}
 		pair := queue[qi]
 		n := int(pair / width)
 		dd := int(pair % width)
@@ -167,14 +181,14 @@ func IncludedInDFAStats(a *NFA, d *DFA) (ok bool, cex []int, st InclusionStats) 
 			}
 			d2 := d.Succ(dd, l)
 			if d2 < 0 {
-				return record(false, buildWord(idx, l))
+				return record(false, buildWord(idx, l), nil)
 			}
 			for _, n2 := range succs {
 				push(encode(int(n2), d2), idx, l)
 			}
 		}
 	}
-	return record(true, nil)
+	return record(true, nil, nil)
 }
 
 // IncludedInNFA reports whether L(a) ⊆ L(b) using the antichain method.

@@ -31,6 +31,7 @@ import (
 	"tmcheck/internal/core"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/parbfs"
+	"tmcheck/internal/space"
 	"tmcheck/internal/tm"
 )
 
@@ -121,83 +122,82 @@ func Build(alg tm.Algorithm, cm tm.ContentionManager) *TS {
 // bit-identical for every worker count (see the parbfs package comment
 // for the argument; TestEngineEquivalence checks it on the registry).
 func BuildWorkers(alg tm.Algorithm, cm tm.ContentionManager, workers int) *TS {
-	start := time.Now()
-	n := alg.Threads()
-	ab := core.Alphabet{Threads: n, Vars: alg.Vars()}
-	ts := &TS{Alg: alg, CM: cm, Alphabet: ab}
-
-	var cmInit tm.State
-	if cm != nil {
-		cmInit = cm.Initial()
-	}
-	init := prodState{TM: alg.Initial(), CM: cmInit}
-
-	var pstats parbfs.Stats
-	if workers <= 1 {
-		ts.buildSeq(init)
-	} else {
-		pstats = ts.buildPar(init, workers)
-	}
-	ts.record(start, workers, pstats)
+	ts, _ := BuildBudget(alg, cm, workers, 0) // unbounded: cannot fail
 	return ts
 }
 
-// buildSeq is the sequential scan-order BFS: states are interned on
-// first sight and processed in id order.
-func (ts *TS) buildSeq(init prodState) {
-	index := map[prodState]int32{init: 0}
-	ts.States = append(ts.States, init)
-	ts.Out = append(ts.Out, nil)
+// BuildBudget is BuildWorkers with a state budget: when maxStates > 0
+// and the reachable system has more states, the exploration stops with
+// a *space.BudgetError instead of materializing it (the parallel engine
+// checks at level barriers, so it may overshoot by one BFS level).
+// maxStates <= 0 means unbounded, and then the error is always nil.
+func BuildBudget(alg tm.Algorithm, cm tm.ContentionManager, workers, maxStates int) (*TS, error) {
+	start := time.Now()
+	ts := &TS{Alg: alg, CM: cm, Alphabet: core.Alphabet{Threads: alg.Threads(), Vars: alg.Vars()}}
 
-	intern := func(s prodState) int32 {
-		if id, ok := index[s]; ok {
-			return id
+	var pstats parbfs.Stats
+	var err error
+	if workers <= 1 {
+		err = ts.buildSeq(maxStates)
+	} else {
+		pstats, err = ts.buildPar(workers, maxStates)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ts.record(start, workers, pstats)
+	return ts, nil
+}
+
+// buildSeq is the sequential scan-order BFS: a Scan of the lazy Space
+// to its fixpoint, recording the resolved edges per state. The
+// numbering is first-sight scan order, exactly as the pre-Space builder
+// hand-rolled it.
+func (ts *TS) buildSeq(maxStates int) error {
+	sp := newSpace(ts.Alg, ts.CM, false)
+	// The yield closure is hoisted out of the scan loop (capturing qi) so
+	// the hot path allocates none per state.
+	var qi space.State
+	yield := func(e Edge) { ts.Out[qi] = append(ts.Out[qi], e) }
+	for qi = 0; int(qi) < sp.NumStates(); qi++ {
+		if maxStates > 0 && sp.NumStates() > maxStates {
+			return &space.BudgetError{Budget: maxStates, Visited: sp.NumStates()}
 		}
-		id := int32(len(ts.States))
-		index[s] = id
-		ts.States = append(ts.States, s)
 		ts.Out = append(ts.Out, nil)
-		return id
+		sp.SuccEdges(qi, yield)
 	}
-
-	commands := ts.Alphabet.Commands()
-	// The yield closures are hoisted out of the scan loop (capturing the
-	// loop variables) so the hot path allocates none per state.
-	var (
-		qi int
-		q  prodState
-	)
-	stepYield := func(next prodState, e Edge) {
-		e.To = intern(next)
-		ts.Out[qi] = append(ts.Out[qi], e)
-	}
-	cmdYield := func(c core.Command, t core.Thread) {
-		ts.forEachStep(q, c, t, stepYield)
-	}
-	for qi = 0; qi < len(ts.States); qi++ {
-		q = ts.States[qi]
-		ts.forEachEnabled(q, commands, cmdYield)
-	}
+	ts.States = sp.in.Snapshot()
+	return nil
 }
 
 // buildPar is the frontier-parallel exploration: each BFS level is
 // expanded by a worker pool interning into parbfs's sharded table, and
 // state numbering is canonicalized at every level barrier so the result
 // matches buildSeq bit for bit.
-func (ts *TS) buildPar(init prodState, workers int) parbfs.Stats {
-	commands := ts.Alphabet.Commands()
+func (ts *TS) buildPar(workers, maxStates int) (parbfs.Stats, error) {
+	// The Space supplies only the successor enumeration here — parbfs
+	// owns the interning, so the Space's own table stays at the initial
+	// state.
+	sp := newSpace(ts.Alg, ts.CM, false)
+	var control func(states int) error
+	if maxStates > 0 {
+		control = func(states int) error {
+			if states > maxStates {
+				return &space.BudgetError{Budget: maxStates, Visited: states}
+			}
+			return nil
+		}
+	}
 	// pendEdges[id] buffers state id's edge templates (To unresolved)
 	// between the expand and finish passes of its level.
 	var pendEdges [][]Edge
-	return parbfs.Run(init, workers,
+	return parbfs.RunControlled(sp.in.At(0), workers, control,
 		func(id int, emit func(prodState)) {
 			q := ts.States[id]
 			var buf []Edge
-			ts.forEachEnabled(q, commands, func(c core.Command, t core.Thread) {
-				ts.forEachStep(q, c, t, func(next prodState, e Edge) {
-					buf = append(buf, e)
-					emit(next)
-				})
+			sp.expand(q, func(next prodState, e Edge) {
+				buf = append(buf, e)
+				emit(next)
 			})
 			pendEdges[id] = buf
 		},
@@ -318,81 +318,6 @@ func recordFrontierHist(key string, sizes []int) {
 		obs.Inc(bucket, 1)
 	}
 	obs.MaxGauge(key+".frontier_peak", int64(peak))
-}
-
-// forEachEnabled calls yield for every (command, thread) pair the most
-// general program may issue from q: everything when the thread has no
-// pending command, only the pending command otherwise.
-func (ts *TS) forEachEnabled(q prodState, commands []core.Command, yield func(core.Command, core.Thread)) {
-	n := ts.Alg.Threads()
-	for t := core.Thread(0); int(t) < n; t++ {
-		if q.Pending[t].Active {
-			yield(q.Pending[t].C, t)
-			continue
-		}
-		for _, c := range commands {
-			yield(c, t)
-		}
-	}
-}
-
-// forEachStep enumerates every transition for command c by thread t from
-// state q, calling yield with the successor product state and the edge
-// template (To left unset — the caller interns the successor). Both
-// engines funnel through this single enumerator, so their edge order
-// agrees by construction.
-func (ts *TS) forEachStep(q prodState, c core.Command, t core.Thread, yield func(next prodState, e Edge)) {
-	steps := ts.Alg.Steps(q.TM, c, t)
-	conflict := ts.Alg.Conflict(q.TM, c, t)
-
-	// cmStep resolves the contention-manager product for extended command
-	// x: allowed reports whether the transition survives, and next is the
-	// manager's state afterwards.
-	cmStep := func(x tm.XCmd) (next tm.State, allowed bool) {
-		if ts.CM == nil {
-			return q.CM, true
-		}
-		p2, has := ts.CM.Step(q.CM, x, t)
-		if conflict && !has {
-			return nil, false
-		}
-		if has {
-			return p2, true
-		}
-		return q.CM, true
-	}
-
-	for _, step := range steps {
-		cmNext, ok := cmStep(step.X)
-		if !ok {
-			continue
-		}
-		next := prodState{TM: step.Next, Pending: q.Pending, CM: cmNext}
-		emit := int16(-1)
-		if step.R == tm.RespPending {
-			next.Pending[t] = pending{Active: true, C: c}
-		} else {
-			next.Pending[t] = pending{}
-			if step.R == tm.Resp1 {
-				emit = int16(ts.Alphabet.Encode(core.St(c, t)))
-			}
-		}
-		yield(next, Edge{Cmd: c, T: t, X: step.X, R: step.R, Emit: emit})
-	}
-
-	// Abort transitions exist when the command is abort enabled (no
-	// extended-command step) or the conflict function is true.
-	if len(steps) == 0 || conflict {
-		if cmNext, ok := cmStep(tm.XCmd{Kind: tm.XAbort}); ok {
-			next := prodState{TM: ts.Alg.AbortStep(q.TM, t), Pending: q.Pending, CM: cmNext}
-			next.Pending[t] = pending{}
-			emit := int16(ts.Alphabet.Encode(core.St(core.Abort(), t)))
-			yield(next, Edge{
-				Cmd: c, T: t,
-				X: tm.XCmd{Kind: tm.XAbort}, R: tm.Resp0, Emit: emit,
-			})
-		}
-	}
 }
 
 // addEdge appends one resolved edge; the sequential restricted explorer

@@ -138,6 +138,27 @@ func Run[S comparable](
 	place func(id int, s S),
 	finish func(id int, succ []int32),
 ) Stats {
+	st, _ := RunControlled(init, workers, nil, expand, place, finish)
+	return st
+}
+
+// RunControlled is Run with a stopping hook for searches that may end
+// before the fixpoint: control(states) is called at every level barrier
+// — after the level's finish calls, with the number of states placed so
+// far — and a non-nil return stops the search cleanly. The error is
+// returned verbatim, with the stats of the truncated run. The on-the-fly
+// safety engine uses this for early exit on a found counterexample and
+// for state budgets; because the check sits at the barrier, a truncated
+// run still carries the exact canonical numbering of its completed
+// levels.
+func RunControlled[S comparable](
+	init S,
+	workers int,
+	control func(states int) error,
+	expand func(id int, emit func(S)),
+	place func(id int, s S),
+	finish func(id int, succ []int32),
+) (Stats, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -224,8 +245,21 @@ func Run[S comparable](
 			emissions += int64(len(refs))
 		}
 		level = newLevel
+
+		if control != nil {
+			if err := control(int(nextID)); err != nil {
+				finalize(shards, &st, emissions, nextID)
+				return st, err
+			}
+		}
 	}
 
+	finalize(shards, &st, emissions, nextID)
+	return st, nil
+}
+
+// finalize fills in the run-wide intern-table statistics.
+func finalize[S comparable](shards []shard[S], st *Stats, emissions int64, nextID int32) {
 	for i := range shards {
 		if l := len(shards[i].known); l > st.MaxShardLoad {
 			st.MaxShardLoad = l
@@ -234,7 +268,6 @@ func Run[S comparable](
 	// Every emission either discovers a new state or collides with an
 	// interned one, so collisions = emissions − (states − 1).
 	st.DupHits = emissions - (int64(nextID) - 1)
-	return st
 }
 
 // shardCount picks a power-of-two shard count comfortably above the

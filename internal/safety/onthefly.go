@@ -1,0 +1,563 @@
+package safety
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tmcheck/internal/automata"
+	"tmcheck/internal/explore"
+	"tmcheck/internal/obs"
+	"tmcheck/internal/parbfs"
+	"tmcheck/internal/space"
+	"tmcheck/internal/spec"
+	"tmcheck/internal/tm"
+)
+
+// Engine selects how an inclusion check is executed.
+type Engine uint8
+
+const (
+	// EngineMaterialized is the classic build-then-check pipeline:
+	// explore the full TM system, enumerate the full specification DFA,
+	// then run the product inclusion check. Its peak memory is the sum
+	// of both full automata even when a counterexample is shallow.
+	EngineMaterialized Engine = iota
+	// EngineOnTheFly interleaves TM exploration with specification
+	// stepping: the product BFS constructs TM and spec states only as
+	// the product reaches them and stops at the first violation. It is
+	// the default engine of cmd/tmcheck.
+	EngineOnTheFly
+)
+
+// String names the engine as accepted by the -engine flag.
+func (e Engine) String() string {
+	if e == EngineOnTheFly {
+		return "onthefly"
+	}
+	return "materialized"
+}
+
+// ParseEngine parses an -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "onthefly":
+		return EngineOnTheFly, nil
+	case "materialized":
+		return EngineMaterialized, nil
+	}
+	return EngineMaterialized, fmt.Errorf("unknown engine %q (want onthefly or materialized)", s)
+}
+
+// Options configures VerifyOpts.
+type Options struct {
+	// Workers is the worker count; <= 0 takes the process-wide
+	// parbfs.Workers(). One worker runs the plain sequential engines.
+	Workers int
+	// MaxStates bounds the total states constructed (see VerifyOpts);
+	// <= 0 takes the process-wide space.MaxStates(), where 0 means
+	// unbounded.
+	MaxStates int
+	// Engine selects the pipeline; the zero value is EngineMaterialized.
+	Engine Engine
+}
+
+// VerifyOpts checks L(alg×cm) ⊆ L(Σd prop) with the selected engine.
+//
+// A positive state budget (Options.MaxStates or the process-wide
+// -maxstates knob) bounds the total number of states constructed — TM
+// states + spec states + product pairs for the on-the-fly engine; TM
+// states, then the full spec DFA, then inclusion pairs cumulatively for
+// the materialized one — and the check stops with a *space.BudgetError
+// instead of exhausting memory. The sequential engines trip the budget
+// exactly; parallel ones check at BFS level barriers and may overshoot
+// by one level.
+//
+// Both engines return identical verdicts and identical counterexample
+// words (the on-the-fly search orders each state's edges ε-first then
+// by letter, matching the product order of the materialized inclusion
+// check — TestEngineAgreement asserts this across the registry).
+func VerifyOpts(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, opts Options) (Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = parbfs.Workers()
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = space.MaxStates()
+	}
+	if opts.Engine == EngineOnTheFly {
+		return checkOnTheFly(alg, cm, prop, workers, maxStates, true)
+	}
+	return verifyMaterialized(alg, cm, prop, workers, maxStates)
+}
+
+// CheckOnTheFly verifies the TM with the on-the-fly engine at the
+// process-wide worker count and state budget.
+func CheckOnTheFly(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property) (Result, error) {
+	return VerifyOpts(alg, cm, prop, Options{Engine: EngineOnTheFly})
+}
+
+// verifyMaterialized is the classic pipeline with the budget threaded
+// through its three stages; each stage is charged against what the
+// previous stages already constructed.
+func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, workers, maxStates int) (Result, error) {
+	buildStart := time.Now()
+	ts, err := explore.BuildBudget(alg, cm, workers, maxStates)
+	if err != nil {
+		return Result{}, err
+	}
+	buildElapsed := time.Since(buildStart)
+
+	remaining := 0
+	if maxStates > 0 {
+		if remaining = maxStates - ts.NumStates(); remaining < 1 {
+			return Result{}, &space.BudgetError{Budget: maxStates, Visited: ts.NumStates() + 1}
+		}
+	}
+	det := spec.NewDet(prop, alg.Threads(), alg.Vars())
+	specStart := time.Now()
+	dfa, err := det.EnumerateBudget(workers, remaining)
+	if err != nil {
+		var be *space.BudgetError
+		if errors.As(err, &be) {
+			return Result{}, &space.BudgetError{Budget: maxStates, Visited: ts.NumStates() + be.Visited}
+		}
+		return Result{}, err
+	}
+	specElapsed := time.Since(specStart)
+
+	if maxStates > 0 {
+		if remaining = maxStates - ts.NumStates() - dfa.NumStates(); remaining < 1 {
+			return Result{}, &space.BudgetError{Budget: maxStates, Visited: ts.NumStates() + dfa.NumStates() + 1}
+		}
+	}
+	done := obs.Phase("inclusion:" + ts.Name() + ":" + prop.Key())
+	nfa := ts.NFA()
+	start := time.Now()
+	ok, cexLetters, st, err := automata.IncludedInDFABudget(nfa, dfa, remaining)
+	elapsed := time.Since(start)
+	done()
+	if err != nil {
+		var be *space.BudgetError
+		if errors.As(err, &be) {
+			return Result{}, &space.BudgetError{Budget: maxStates, Visited: ts.NumStates() + dfa.NumStates() + be.Visited}
+		}
+		return Result{}, err
+	}
+	res := Result{
+		System:           ts.Name(),
+		Prop:             prop,
+		Threads:          ts.Alg.Threads(),
+		Vars:             ts.Alg.Vars(),
+		TMStates:         ts.NumStates(),
+		SpecStates:       dfa.NumStates(),
+		Holds:            ok,
+		Elapsed:          elapsed,
+		BuildTMElapsed:   buildElapsed,
+		BuildSpecElapsed: specElapsed,
+		Inclusion:        st,
+		Engine:           EngineMaterialized,
+	}
+	if !ok {
+		res.Counterexample = ts.Alphabet.DecodeWord(cexLetters)
+	}
+	res.record("dfa")
+	return res, nil
+}
+
+// pairState is a state of the synchronized product: an interned TM
+// state and an interned spec state.
+type pairState struct {
+	tm, spec space.State
+}
+
+// errViolationFound stops the parallel product search at the level
+// barrier once a violation has been recorded.
+var errViolationFound = errors.New("safety: violation found")
+
+// checkOnTheFly runs the on-the-fly product search: a BFS over
+// pairState that expands the TM space and steps the lazy specification
+// in lockstep, stopping at the first undefined spec transition (the
+// inclusion counterexample) or the fixpoint. phase=false suppresses the
+// obs span for callers off the single-threaded spine.
+func checkOnTheFly(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, workers, maxStates int, phase bool) (Result, error) {
+	det := spec.NewDet(prop, alg.Threads(), alg.Vars())
+	var res Result
+	var err error
+	start := time.Now()
+	if workers <= 1 {
+		res, err = otfSeq(alg, cm, det, prop, maxStates, phase)
+	} else {
+		res, err = otfPar(alg, cm, det, prop, workers, maxStates, phase)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	// Exploration and checking are interleaved, so the whole search is
+	// charged to Elapsed and the build fields stay zero.
+	res.Elapsed = time.Since(start)
+	res.recordOTF()
+	return res, nil
+}
+
+// sortEdgesByEmit stable-sorts a state's edges ε-first, then by letter.
+// This is exactly the successor order of the materialized inclusion
+// check (which walks ε-successors first and then the letters in
+// ascending order, each in edge-insertion order), so the product BFS —
+// and hence the counterexample word — is bit-identical across engines.
+func sortEdgesByEmit(buf []explore.Edge) {
+	sort.SliceStable(buf, func(i, j int) bool { return buf[i].Emit < buf[j].Emit })
+}
+
+// expandSorted collects the sorted edges of one TM state into a fresh
+// slice.
+func expandSorted(tmsp *explore.Space, s space.State) []explore.Edge {
+	buf := make([]explore.Edge, 0, 8)
+	tmsp.SuccEdges(s, func(e explore.Edge) { buf = append(buf, e) })
+	sortEdgesByEmit(buf)
+	return buf
+}
+
+// otfSeq is the sequential on-the-fly search.
+func otfSeq(alg tm.Algorithm, cm tm.ContentionManager, det *spec.Det, prop spec.Property, maxStates int, phase bool) (Result, error) {
+	if phase {
+		done := obs.Phase("otf:" + systemName(alg, cm) + ":" + prop.Key())
+		defer done()
+	}
+	tmsp := explore.NewSpace(alg, cm)
+	lz := spec.NewLazy(det)
+
+	type node struct {
+		p      pairState
+		parent int32
+		letter int16 // letter that discovered this pair; -1 for root and ε
+	}
+	nodes := []node{{p: pairState{}, parent: -1, letter: -1}}
+	index := map[pairState]int32{{}: 0}
+	push := func(p pairState, parent int32, letter int16) {
+		if _, ok := index[p]; ok {
+			return
+		}
+		index[p] = int32(len(nodes))
+		nodes = append(nodes, node{p: p, parent: parent, letter: letter})
+	}
+	buildWord := func(idx int32, last int16) []int {
+		rev := []int{int(last)}
+		for idx > 0 {
+			if nodes[idx].letter >= 0 {
+				rev = append(rev, int(nodes[idx].letter))
+			}
+			idx = nodes[idx].parent
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return rev
+	}
+
+	// Sorted edges are cached per TM state: distinct product pairs
+	// sharing a TM state re-use its expansion instead of re-running the
+	// TM semantics.
+	var edgeCache [][]explore.Edge
+	edgesOf := func(s space.State) []explore.Edge {
+		for int(s) >= len(edgeCache) {
+			edgeCache = append(edgeCache, nil)
+		}
+		if edgeCache[s] == nil {
+			edgeCache[s] = expandSorted(tmsp, s)
+		}
+		return edgeCache[s]
+	}
+
+	frontierPeak := 1
+	result := func(holds bool, cexLetters []int) Result {
+		res := Result{
+			System:       tmsp.Name(),
+			Prop:         prop,
+			Threads:      alg.Threads(),
+			Vars:         alg.Vars(),
+			TMStates:     tmsp.NumStates(),
+			SpecStates:   lz.NumStates(),
+			Holds:        holds,
+			Engine:       EngineOnTheFly,
+			FrontierPeak: frontierPeak,
+			Inclusion:    automata.InclusionStats{PairsVisited: len(nodes), CexLen: len(cexLetters)},
+		}
+		if !holds {
+			res.Counterexample = tmsp.Alphabet.DecodeWord(cexLetters)
+		}
+		return res
+	}
+
+	for qi := int32(0); int(qi) < len(nodes); qi++ {
+		if maxStates > 0 {
+			if total := len(nodes) + tmsp.NumStates() + lz.NumStates(); total > maxStates {
+				return Result{}, &space.BudgetError{Budget: maxStates, Visited: total}
+			}
+		}
+		if f := len(nodes) - int(qi); f > frontierPeak {
+			frontierPeak = f
+		}
+		p := nodes[qi].p
+		for _, e := range edgesOf(p.tm) {
+			if e.Emit < 0 {
+				push(pairState{e.To, p.spec}, qi, -1)
+				continue
+			}
+			d2 := lz.Step(p.spec, int(e.Emit))
+			if d2 == space.None {
+				return result(false, buildWord(qi, e.Emit)), nil
+			}
+			push(pairState{e.To, d2}, qi, e.Emit)
+		}
+	}
+	return result(true, nil), nil
+}
+
+// otfPar is the level-parallel on-the-fly search over product pairs.
+// Violations can only occur in the level currently being expanded (the
+// barrier hook stops the search at the first level that records one),
+// and the canonical winner — minimal (source id, edge index) — is
+// exactly the violation the sequential scan hits first, so verdict and
+// counterexample word match otfSeq for every worker count. The states
+// constructed at the stopping point may differ (trailing same-level
+// expansions), so the budget and the reported sizes are
+// worker-count-dependent on early exit; verdicts never are.
+func otfPar(alg tm.Algorithm, cm tm.ContentionManager, det *spec.Det, prop spec.Property, workers, maxStates int, phase bool) (Result, error) {
+	if phase {
+		done := obs.Phase("otf:" + systemName(alg, cm) + ":" + prop.Key())
+		defer done()
+	}
+	tmsp := explore.NewSpaceSync(alg, cm)
+	lz := spec.NewLazySync(det)
+
+	var pairs []pairState
+	// parents[id] is the packed minimal discovery key of pair id —
+	// srcID<<32 | emission ordinal — min-updated atomically across the
+	// racing finish calls; ^0 marks the root/unset.
+	var parents []uint64
+
+	var vioMu sync.Mutex
+	vioFound := false
+	var vioSrc, vioEdge int32
+	var vioLetter int16
+
+	pstats, err := parbfs.RunControlled(pairState{}, workers,
+		func(states int) error {
+			vioMu.Lock()
+			found := vioFound
+			vioMu.Unlock()
+			if found {
+				return errViolationFound
+			}
+			if maxStates > 0 {
+				if total := states + tmsp.NumStates() + lz.NumStates(); total > maxStates {
+					return &space.BudgetError{Budget: maxStates, Visited: total}
+				}
+			}
+			return nil
+		},
+		func(id int, emit func(pairState)) {
+			p := pairs[id]
+			for j, e := range expandSorted(tmsp, p.tm) {
+				if e.Emit < 0 {
+					emit(pairState{e.To, p.spec})
+					continue
+				}
+				d2 := lz.Step(p.spec, int(e.Emit))
+				if d2 == space.None {
+					vioMu.Lock()
+					if !vioFound || int32(id) < vioSrc || (int32(id) == vioSrc && int32(j) < vioEdge) {
+						vioFound, vioSrc, vioEdge, vioLetter = true, int32(id), int32(j), e.Emit
+					}
+					vioMu.Unlock()
+					continue
+				}
+				emit(pairState{e.To, d2})
+			}
+		},
+		func(id int, p pairState) {
+			pairs = append(pairs, p)
+			parents = append(parents, ^uint64(0))
+		},
+		func(id int, succ []int32) {
+			for j, to := range succ {
+				key := uint64(id)<<32 | uint64(j)
+				for {
+					old := atomic.LoadUint64(&parents[to])
+					if key >= old || atomic.CompareAndSwapUint64(&parents[to], old, key) {
+						break
+					}
+				}
+			}
+		},
+	)
+
+	frontierPeak := 1
+	for _, n := range pstats.LevelSizes {
+		if n > frontierPeak {
+			frontierPeak = n
+		}
+	}
+	result := func(holds bool, cexLetters []int) Result {
+		res := Result{
+			System:       tmsp.Name(),
+			Prop:         prop,
+			Threads:      alg.Threads(),
+			Vars:         alg.Vars(),
+			TMStates:     tmsp.NumStates(),
+			SpecStates:   lz.NumStates(),
+			Holds:        holds,
+			Engine:       EngineOnTheFly,
+			FrontierPeak: frontierPeak,
+			Inclusion:    automata.InclusionStats{PairsVisited: len(pairs), CexLen: len(cexLetters)},
+		}
+		if !holds {
+			res.Counterexample = tmsp.Alphabet.DecodeWord(cexLetters)
+		}
+		return res
+	}
+
+	switch {
+	case err == nil:
+		return result(true, nil), nil
+	case errors.Is(err, errViolationFound):
+		// Reconstruct the word along the parent tree. Every ancestor sits
+		// in an earlier level than the violation, and earlier levels have
+		// no violating edges (the search would have stopped there), so an
+		// ancestor's emission ordinal equals its sorted-edge index and
+		// re-expanding it recovers the discovering letter.
+		rev := []int{int(vioLetter)}
+		for cur := vioSrc; cur != 0; {
+			pk := parents[cur]
+			src := int32(pk >> 32)
+			j := int(uint32(pk))
+			if l := expandSorted(tmsp, pairs[src].tm)[j].Emit; l >= 0 {
+				rev = append(rev, int(l))
+			}
+			cur = src
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return result(false, rev), nil
+	default:
+		return Result{}, err
+	}
+}
+
+// systemName names the system without constructing anything.
+func systemName(alg tm.Algorithm, cm tm.ContentionManager) string {
+	if cm == nil {
+		return alg.Name()
+	}
+	return alg.Name() + "+" + cm.Name()
+}
+
+// recordOTF writes the on-the-fly vitals into the obs registry, keyed
+// "safety.<system>.<prop>.otf.*": product pairs visited, TM and spec
+// states actually constructed (compare spec_states against a full
+// "spec.det.*.states" to see the laziness win), peak frontier, and the
+// early-exit depth when a counterexample stopped the search.
+func (r Result) recordOTF() {
+	if !obs.Enabled() {
+		return
+	}
+	key := "safety." + r.System + "." + r.Prop.Key() + ".otf"
+	obs.Inc(key+".checks", 1)
+	obs.Inc(key+".product_pairs", int64(r.Inclusion.PairsVisited))
+	obs.SetGauge(key+".tm_states", int64(r.TMStates))
+	obs.SetGauge(key+".spec_states", int64(r.SpecStates))
+	obs.MaxGauge(key+".frontier_peak", int64(r.FrontierPeak))
+	if !r.Holds {
+		obs.SetGauge(key+".early_exit_depth", int64(r.Inclusion.CexLen))
+	}
+	obs.AddTime(key+".search", r.Elapsed)
+}
+
+// Table2OnTheFly is Table2 with the on-the-fly engine. Each check runs
+// the sequential search; with the process-wide worker count above one,
+// the rows fan out over the pool instead (the coarser parallelism, as
+// in Table2) — so rows are bit-identical for every worker count,
+// including the early-exit sizes of failing rows, which the
+// level-synchronized parallel search would report differently (see
+// otfPar). A budget error on any row aborts the table.
+func Table2OnTheFly(systems []System) ([]Table2Row, error) {
+	maxStates := space.MaxStates()
+	if workers := parbfs.Workers(); workers > 1 && len(systems) > 1 {
+		return table2OnTheFlyPar(systems, workers, maxStates)
+	}
+	var rows []Table2Row
+	for _, sys := range systems {
+		ss, err := checkOnTheFly(sys.Alg, sys.CM, spec.StrictSerializability, 1, maxStates, true)
+		if err != nil {
+			return nil, err
+		}
+		op, err := checkOnTheFly(sys.Alg, sys.CM, spec.Opacity, 1, maxStates, true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{SS: ss, OP: op})
+	}
+	return rows, nil
+}
+
+// Table2Materialized is Table2 through the materialized engine. Without
+// a global -maxstates budget it is exactly Table2 (shared spec
+// enumeration, row fan-out at workers > 1). With a budget set, the rows
+// go through the budgeted per-check pipeline instead — each check
+// charges its own TM build, spec enumeration, and inclusion against the
+// budget, and a typed *space.BudgetError aborts the table, matching the
+// on-the-fly driver's contract.
+func Table2Materialized(systems []System) ([]Table2Row, error) {
+	if space.MaxStates() <= 0 {
+		return Table2(systems), nil
+	}
+	var rows []Table2Row
+	for _, sys := range systems {
+		ss, err := VerifyOpts(sys.Alg, sys.CM, spec.StrictSerializability, Options{Engine: EngineMaterialized})
+		if err != nil {
+			return nil, err
+		}
+		op, err := VerifyOpts(sys.Alg, sys.CM, spec.Opacity, Options{Engine: EngineMaterialized})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{SS: ss, OP: op})
+	}
+	return rows, nil
+}
+
+// table2OnTheFlyPar fans the rows out over the worker pool; per-row obs
+// phases are skipped (the phase stack assumes a single-threaded spine)
+// but counters and rows match the sequential driver.
+func table2OnTheFlyPar(systems []System, workers, maxStates int) ([]Table2Row, error) {
+	done := obs.Phase("safety:table2-onthefly-parallel")
+	defer done()
+	rows := make([]Table2Row, len(systems))
+	errs := make([]error, len(systems))
+	parbfs.For(len(systems), workers, func(i int) {
+		sys := systems[i]
+		ss, err := checkOnTheFly(sys.Alg, sys.CM, spec.StrictSerializability, 1, maxStates, false)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		op, err := checkOnTheFly(sys.Alg, sys.CM, spec.Opacity, 1, maxStates, false)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		rows[i] = Table2Row{SS: ss, OP: op}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}

@@ -55,8 +55,15 @@ type Result struct {
 	// and zero here for the rest. BuildTMElapsed + BuildSpecElapsed +
 	// Elapsed then adds up to the total wall-clock of the check.
 	BuildSpecElapsed time.Duration
-	// Inclusion reports the work counters of the inclusion check.
+	// Inclusion reports the work counters of the inclusion check. For
+	// the on-the-fly engine PairsVisited counts the product pairs the
+	// interleaved search constructed.
 	Inclusion automata.InclusionStats
+	// Engine identifies the pipeline that produced this result.
+	Engine Engine
+	// FrontierPeak is the peak BFS frontier of the on-the-fly product
+	// search (zero for the materialized engine).
+	FrontierPeak int
 }
 
 // Check verifies L(ts) ⊆ L(Σd prop) with the deterministic specification,

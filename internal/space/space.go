@@ -1,0 +1,214 @@
+// Package space defines the lazy state-space abstraction shared by the
+// checker pipeline: an implicit transition system whose states are
+// constructed on demand and canonically numbered on first sight.
+//
+// Before this abstraction the pipeline was strictly "build then check":
+// explore materialized the full TM transition system, spec enumerated
+// the full deterministic specification, and only then did the safety
+// check walk their product. The Space interface turns every layer into
+// a successor generator instead — the materialized structures become
+// one possible consumer (a Scan to the fixpoint), and the on-the-fly
+// safety engine becomes another that interleaves TM exploration with
+// specification stepping and stops at the first counterexample, never
+// constructing the parts of either system the product does not reach.
+//
+// The package also owns the state-budget vocabulary: a typed
+// BudgetError for searches that would exceed a state cap (so callers
+// degrade gracefully instead of OOMing), and the process-wide MaxStates
+// knob surfaced as the -maxstates flag of cmd/tmcheck.
+package space
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// State identifies an interned state of a Space: a dense id assigned in
+// canonical discovery order, with the initial state always 0.
+type State = int32
+
+// None is the absent state, returned by deterministic successor lookups
+// when no transition exists.
+const None State = -1
+
+// Letter is a letter of the emission alphabet, or Eps for an internal
+// (non-emitting) transition.
+type Letter = int16
+
+// Eps marks an internal transition that emits no letter.
+const Eps Letter = -1
+
+// Space is an implicit transition system: an initial state, a successor
+// generator, and a canonical interning of every state it has
+// constructed so far. Implementations intern lazily — calling Succ may
+// discover and number fresh states — and number states densely in
+// first-sight order, so a scan loop "for id := 0; id < NumStates();
+// id++" drives the space to its reachable fixpoint.
+type Space interface {
+	// Init returns the initial state's id (always 0 by the numbering
+	// convention; provided so consumers need not assume it).
+	Init() State
+	// Succ enumerates the outgoing transitions of the already-interned
+	// state s in a deterministic order, calling emit once per
+	// transition with the emitted letter (Eps for internal steps) and
+	// the interned successor.
+	Succ(s State, emit func(l Letter, to State))
+	// NumStates returns the number of states interned so far. It grows
+	// as Succ discovers fresh successors.
+	NumStates() int
+}
+
+// Scan drives sp to its reachable fixpoint: every interned state is
+// expanded exactly once, in id order, and edge is called for each
+// transition (from, letter, to). Since interning is canonical this is
+// exactly the sequential scan-order BFS the materialized builders used
+// to hand-roll.
+//
+// A positive maxStates bounds the number of states constructed: the
+// scan stops with a *BudgetError as soon as the interned count exceeds
+// it. maxStates <= 0 means unbounded. Scan returns the number of states
+// interned when it stopped.
+func Scan(sp Space, maxStates int, edge func(from State, l Letter, to State)) (int, error) {
+	var from State
+	emit := func(l Letter, to State) { edge(from, l, to) }
+	for from = 0; int(from) < sp.NumStates(); from++ {
+		if maxStates > 0 && sp.NumStates() > maxStates {
+			return sp.NumStates(), &BudgetError{Budget: maxStates, Visited: sp.NumStates()}
+		}
+		sp.Succ(from, emit)
+	}
+	return sp.NumStates(), nil
+}
+
+// Interner canonically numbers the states of an implicit space: each
+// distinct state value receives a dense id in first-Intern order. A
+// plain Interner (NewInterner) is single-goroutine and lock-free on the
+// hot path; a shared one (NewSyncInterner) may be used from concurrent
+// expansions, as the parallel on-the-fly product search does.
+type Interner[S comparable] struct {
+	shared bool
+	mu     sync.RWMutex
+	index  map[S]State
+	states []S
+}
+
+// NewInterner returns an empty single-goroutine interner.
+func NewInterner[S comparable]() *Interner[S] {
+	return &Interner[S]{index: map[S]State{}}
+}
+
+// NewSyncInterner returns an empty interner safe for concurrent use.
+func NewSyncInterner[S comparable]() *Interner[S] {
+	return &Interner[S]{shared: true, index: map[S]State{}}
+}
+
+// Intern returns the canonical id of s, assigning the next dense id on
+// first sight.
+func (in *Interner[S]) Intern(s S) State {
+	id, _ := in.InternFresh(s)
+	return id
+}
+
+// InternFresh is Intern reporting whether the state was newly interned.
+func (in *Interner[S]) InternFresh(s S) (State, bool) {
+	if in.shared {
+		in.mu.RLock()
+		id, ok := in.index[s]
+		in.mu.RUnlock()
+		if ok {
+			return id, false
+		}
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		if id, ok := in.index[s]; ok {
+			return id, false
+		}
+		id = State(len(in.states))
+		in.index[s] = id
+		in.states = append(in.states, s)
+		return id, true
+	}
+	if id, ok := in.index[s]; ok {
+		return id, false
+	}
+	id := State(len(in.states))
+	in.index[s] = id
+	in.states = append(in.states, s)
+	return id, true
+}
+
+// At returns the state value with the given id.
+func (in *Interner[S]) At(id State) S {
+	if in.shared {
+		in.mu.RLock()
+		defer in.mu.RUnlock()
+	}
+	return in.states[id]
+}
+
+// Len returns the number of states interned so far.
+func (in *Interner[S]) Len() int {
+	if in.shared {
+		in.mu.RLock()
+		defer in.mu.RUnlock()
+	}
+	return len(in.states)
+}
+
+// Snapshot returns the interned states in id order. The returned slice
+// aliases the interner's storage up to its current length; callers must
+// not modify it. Meant for materializing consumers that take over the
+// states once interning is complete.
+func (in *Interner[S]) Snapshot() []S {
+	if in.shared {
+		in.mu.RLock()
+		defer in.mu.RUnlock()
+		return in.states[:len(in.states):len(in.states)]
+	}
+	return in.states[:len(in.states):len(in.states)]
+}
+
+// ErrBudgetExceeded is the sentinel matched by errors.Is for every
+// *BudgetError, so callers can test the class without unwrapping.
+var ErrBudgetExceeded = errors.New("space: state budget exceeded")
+
+// BudgetError reports that a search or construction stopped because it
+// would have exceeded its state budget. It is a graceful refusal, not a
+// crash: the process keeps running and the caller can retry with a
+// larger budget or a lazier engine.
+type BudgetError struct {
+	// Budget is the configured cap.
+	Budget int
+	// Visited is the number of states constructed or visited when the
+	// budget tripped. With parallel workers the overshoot is checked at
+	// level barriers, so Visited may exceed Budget by up to one BFS
+	// level; the sequential engines trip exactly.
+	Visited int
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("space: state budget exceeded: %d states visited, budget %d", e.Visited, e.Budget)
+}
+
+// Is reports errors.Is equivalence with ErrBudgetExceeded.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// maxStates is the process-wide state budget; 0 means unlimited.
+var maxStates atomic.Int64
+
+// MaxStates returns the process-wide state budget installed by
+// SetMaxStates (the -maxstates flag of cmd/tmcheck), or 0 for
+// unlimited.
+func MaxStates() int { return int(maxStates.Load()) }
+
+// SetMaxStates installs the process-wide state budget. n <= 0 resets to
+// unlimited.
+func SetMaxStates(n int) {
+	if n < 0 {
+		n = 0
+	}
+	maxStates.Store(int64(n))
+}

@@ -8,6 +8,7 @@ import (
 	"tmcheck/internal/core"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/parbfs"
+	"tmcheck/internal/space"
 	"tmcheck/internal/tm"
 )
 
@@ -335,13 +336,28 @@ func (sp *Det) Enumerate() *automata.DFA {
 // resulting DFA — state numbering and edges — is identical for every
 // worker count (see internal/parbfs).
 func (sp *Det) EnumerateWorkers(workers int) *automata.DFA {
+	dfa, _ := sp.EnumerateBudget(workers, 0) // unbounded: cannot fail
+	return dfa
+}
+
+// EnumerateBudget is EnumerateWorkers with a state budget: when
+// maxStates > 0 and the specification has more reachable states, the
+// enumeration stops with a *space.BudgetError instead of materializing
+// it (the parallel engine checks at level barriers, so it may overshoot
+// by one BFS level). maxStates <= 0 means unbounded, and then the error
+// is always nil.
+func (sp *Det) EnumerateBudget(workers, maxStates int) (*automata.DFA, error) {
 	start := time.Now()
 	ab := core.Alphabet{Threads: sp.Threads, Vars: sp.Vars}
 	dfa := automata.NewDFA(ab.Size())
+	var err error
 	if workers <= 1 {
-		sp.enumerateSeq(dfa, ab)
+		err = sp.enumerateSeq(dfa, maxStates)
 	} else {
-		sp.enumeratePar(dfa, ab, workers)
+		err = sp.enumeratePar(dfa, ab, workers, maxStates)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if obs.Enabled() {
 		key := fmt.Sprintf("spec.det.%s.n%dk%d", sp.Prop.Key(), sp.Threads, sp.Vars)
@@ -349,40 +365,42 @@ func (sp *Det) EnumerateWorkers(workers int) *automata.DFA {
 		obs.Inc(key+".states", int64(dfa.NumStates()))
 		obs.AddTime(key+".enumerate", time.Since(start))
 	}
-	return dfa
+	return dfa, nil
 }
 
-// enumerateSeq is the sequential scan-order enumeration.
-func (sp *Det) enumerateSeq(dfa *automata.DFA, ab core.Alphabet) {
-	index := map[DState]int{sp.Initial(): 0}
-	states := []DState{sp.Initial()}
-	for qi := 0; qi < len(states); qi++ {
-		q := states[qi]
-		for l := 0; l < ab.Size(); l++ {
-			q2, ok := sp.Step(q, ab.Decode(l))
-			if !ok {
-				continue
-			}
-			id, seen := index[q2]
-			if !seen {
-				id = dfa.AddState()
-				index[q2] = id
-				states = append(states, q2)
-			}
-			dfa.SetEdge(qi, l, id)
+// enumerateSeq is the sequential scan-order enumeration: a Scan of the
+// lazy view to its fixpoint, materializing each defined transition into
+// the DFA. The numbering is first-sight scan order, exactly as the
+// pre-Space enumerator hand-rolled it.
+func (sp *Det) enumerateSeq(dfa *automata.DFA, maxStates int) error {
+	lz := NewLazy(sp)
+	_, err := space.Scan(lz, maxStates, func(from space.State, l space.Letter, to space.State) {
+		for dfa.NumStates() <= int(to) {
+			dfa.AddState() // state 0 is pre-allocated by NewDFA
 		}
-	}
+		dfa.SetEdge(int(from), int(l), int(to))
+	})
+	return err
 }
 
 // enumeratePar is the frontier-parallel enumeration via the shared
 // parbfs engine; the canonical per-level numbering makes the DFA
 // bit-identical to enumerateSeq.
-func (sp *Det) enumeratePar(dfa *automata.DFA, ab core.Alphabet, workers int) {
+func (sp *Det) enumeratePar(dfa *automata.DFA, ab core.Alphabet, workers, maxStates int) error {
 	var states []DState
 	// letters[id] records which letters had an enabled Step from state
 	// id, aligned with that state's emissions.
 	var letters [][]int16
-	parbfs.Run(sp.Initial(), workers,
+	var control func(states int) error
+	if maxStates > 0 {
+		control = func(n int) error {
+			if n > maxStates {
+				return &space.BudgetError{Budget: maxStates, Visited: n}
+			}
+			return nil
+		}
+	}
+	_, err := parbfs.RunControlled(sp.Initial(), workers, control,
 		func(id int, emit func(DState)) {
 			q := states[id]
 			var ls []int16
@@ -408,4 +426,5 @@ func (sp *Det) enumeratePar(dfa *automata.DFA, ab core.Alphabet, workers int) {
 			letters[id] = nil
 		},
 	)
+	return err
 }

@@ -1,0 +1,139 @@
+package spec
+
+import (
+	"sync"
+
+	"tmcheck/internal/core"
+	"tmcheck/internal/space"
+)
+
+// stepUnknown marks a memo row entry whose Step has not been computed
+// yet (space.None marks a computed "no transition").
+const stepUnknown space.State = -2
+
+// Lazy is the deterministic specification as an implicit space.Space:
+// states are interned DStates, successors are computed by Det.Step on
+// demand and memoized per (state, letter). The on-the-fly safety engine
+// steps it from the product search, so only the spec states the product
+// actually reaches are ever constructed — on TM products that is a
+// small fraction of the full enumeration (the gap the obs counter
+// "spec_states" vs. a full Enumerate measures).
+type Lazy struct {
+	Det *Det
+	ab  core.Alphabet
+
+	shared bool
+	mu     sync.RWMutex // guards rows in shared mode
+	in     *space.Interner[DState]
+	rows   [][]space.State // rows[id][letter]: stepUnknown, space.None, or successor id
+}
+
+// NewLazy returns the lazy view of the specification for
+// single-goroutine consumers.
+func NewLazy(d *Det) *Lazy { return newLazy(d, false) }
+
+// NewLazySync is NewLazy with concurrency-safe memoization, for the
+// parallel on-the-fly product search.
+func NewLazySync(d *Det) *Lazy { return newLazy(d, true) }
+
+func newLazy(d *Det, shared bool) *Lazy {
+	lz := &Lazy{Det: d, ab: core.Alphabet{Threads: d.Threads, Vars: d.Vars}, shared: shared}
+	if shared {
+		lz.in = space.NewSyncInterner[DState]()
+	} else {
+		lz.in = space.NewInterner[DState]()
+	}
+	lz.in.Intern(d.Initial())
+	return lz
+}
+
+// AlphabetSize returns the instance alphabet size n·(2k+2).
+func (lz *Lazy) AlphabetSize() int { return lz.ab.Size() }
+
+// Init implements space.Space.
+func (lz *Lazy) Init() space.State { return 0 }
+
+// NumStates implements space.Space: the number of spec states
+// constructed so far.
+func (lz *Lazy) NumStates() int { return lz.in.Len() }
+
+// Succ implements space.Space, enumerating the defined transitions in
+// letter order. The specification is deterministic, so there is exactly
+// one emission per defined letter and never an ε.
+func (lz *Lazy) Succ(s space.State, emit func(l space.Letter, to space.State)) {
+	for l := 0; l < lz.ab.Size(); l++ {
+		if to := lz.Step(s, l); to != space.None {
+			emit(space.Letter(l), to)
+		}
+	}
+}
+
+// Step returns the successor of the already-interned spec state s under
+// letter l, or space.None when the specification refuses the statement
+// (the detSpec ⊥ — in the product search this is exactly a safety
+// violation). Results are memoized; the underlying Det.Step runs at
+// most once per (state, letter).
+func (lz *Lazy) Step(s space.State, l int) space.State {
+	if lz.shared {
+		return lz.stepSync(s, l)
+	}
+	for len(lz.rows) < lz.in.Len() {
+		lz.rows = append(lz.rows, nil)
+	}
+	row := lz.rows[s]
+	if row == nil {
+		row = newRow(lz.ab.Size())
+		lz.rows[s] = row
+	}
+	if r := row[l]; r != stepUnknown {
+		return r
+	}
+	id := lz.compute(s, l)
+	row[l] = id
+	return id
+}
+
+func (lz *Lazy) stepSync(s space.State, l int) space.State {
+	lz.mu.RLock()
+	cached := stepUnknown
+	if int(s) < len(lz.rows) && lz.rows[s] != nil {
+		cached = lz.rows[s][l]
+	}
+	lz.mu.RUnlock()
+	if cached != stepUnknown {
+		return cached
+	}
+	// Compute outside the lock: Det.Step is pure on the DState value, so
+	// racing computations of the same cell agree and the double write is
+	// harmless.
+	id := lz.compute(s, l)
+	lz.mu.Lock()
+	for len(lz.rows) < lz.in.Len() {
+		lz.rows = append(lz.rows, nil)
+	}
+	row := lz.rows[s]
+	if row == nil {
+		row = newRow(lz.ab.Size())
+		lz.rows[s] = row
+	}
+	row[l] = id
+	lz.mu.Unlock()
+	return id
+}
+
+// compute runs the actual Det.Step and interns the successor.
+func (lz *Lazy) compute(s space.State, l int) space.State {
+	q2, ok := lz.Det.Step(lz.in.At(s), lz.ab.Decode(l))
+	if !ok {
+		return space.None
+	}
+	return lz.in.Intern(q2)
+}
+
+func newRow(size int) []space.State {
+	row := make([]space.State, size)
+	for i := range row {
+		row[i] = stepUnknown
+	}
+	return row
+}
