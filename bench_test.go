@@ -161,6 +161,60 @@ func BenchmarkTable3Liveness(b *testing.B) {
 	}
 }
 
+// livenessEngineCases are the representative liveness checks the engine
+// comparison runs: a holding property (the on-the-fly engine must reach
+// the fixpoint anyway), and two early failures where it stops after a
+// fraction of the exploration.
+var livenessEngineCases = []struct {
+	name  string
+	sys   func() (tm.Algorithm, tm.ContentionManager)
+	prop  liveness.Prop
+	holds bool
+}{
+	{"dstm+aggressive-obstruction", func() (tm.Algorithm, tm.ContentionManager) { return tm.NewDSTM(2, 1), tm.Aggressive{} }, liveness.ObstructionFreedom, true},
+	{"tl2+polite-obstruction", func() (tm.Algorithm, tm.ContentionManager) { return tm.NewTL2(2, 1), tm.Polite{} }, liveness.ObstructionFreedom, false},
+	{"dstm+aggressive-livelock", func() (tm.Algorithm, tm.ContentionManager) { return tm.NewDSTM(2, 1), tm.Aggressive{} }, liveness.LivelockFreedom, false},
+}
+
+// BenchmarkLivenessEngines compares the materialized build-then-check
+// liveness pipeline against the on-the-fly lasso search end to end
+// (construction included, single worker). The allocation columns show
+// the early-exit win on the failing checks: the lazy engine never
+// materializes the states past the violating prefix.
+func BenchmarkLivenessEngines(b *testing.B) {
+	for _, c := range livenessEngineCases {
+		alg, cm := c.sys()
+		b.Run(c.name+"/materialized", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ts := explore.BuildWorkers(alg, cm, 1)
+				var res liveness.Result
+				switch c.prop {
+				case liveness.ObstructionFreedom:
+					res = liveness.CheckObstructionFreedom(ts)
+				default:
+					res = liveness.CheckLivelockFreedom(ts)
+				}
+				if res.Holds != c.holds {
+					b.Fatalf("%s: holds = %v, want %v", c.name, res.Holds, c.holds)
+				}
+			}
+		})
+		b.Run(c.name+"/onthefly", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := liveness.CheckOnTheFlyOpts(alg, cm, c.prop, liveness.Options{Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Holds != c.holds {
+					b.Fatalf("%s: holds = %v, want %v", c.name, res.Holds, c.holds)
+				}
+			}
+		})
+	}
+}
+
 // --- §5.3: specification construction and Theorem 3 ---
 
 func BenchmarkSpecEnumerate(b *testing.B) {

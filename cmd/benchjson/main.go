@@ -1,7 +1,8 @@
 // Command benchjson records the benchmark baseline of the checker: it
-// runs the key Table 2 and scaling benchmarks in-process (the same
-// workloads as bench_test.go's BenchmarkTable2Build,
-// BenchmarkTable2EndToEnd and BenchmarkScaling) and writes a
+// runs the key Table 2, engine-comparison and scaling benchmarks
+// in-process (the same workloads as bench_test.go's BenchmarkTable2Build,
+// BenchmarkTable2EndToEnd, BenchmarkEngines, BenchmarkLivenessEngines
+// and BenchmarkScaling) and writes a
 // BENCH_<n>.json file with ns/op per benchmark, so the perf trajectory
 // across commits is committed next to the code it measures.
 //
@@ -24,6 +25,7 @@ import (
 	"testing"
 
 	"tmcheck/internal/explore"
+	"tmcheck/internal/liveness"
 	"tmcheck/internal/parbfs"
 	"tmcheck/internal/safety"
 	"tmcheck/internal/spec"
@@ -176,6 +178,45 @@ func benchmarks(full bool) []namedBench {
 				},
 			})
 		}
+	}
+	livenessCases := []struct {
+		name string
+		alg  tm.Algorithm
+		cm   tm.ContentionManager
+		prop liveness.Prop
+	}{
+		{"dstm+aggressive-obstruction", tm.NewDSTM(2, 1), tm.Aggressive{}, liveness.ObstructionFreedom},
+		{"tl2+polite-obstruction", tm.NewTL2(2, 1), tm.Polite{}, liveness.ObstructionFreedom},
+		{"dstm+aggressive-livelock", tm.NewDSTM(2, 1), tm.Aggressive{}, liveness.LivelockFreedom},
+	}
+	for _, c := range livenessCases {
+		c := c
+		bms = append(bms,
+			namedBench{
+				name: "LivenessEngines/" + c.name + "/materialized",
+				fn: func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						ts := explore.BuildWorkers(c.alg, c.cm, 1)
+						if c.prop == liveness.ObstructionFreedom {
+							liveness.CheckObstructionFreedom(ts)
+						} else {
+							liveness.CheckLivelockFreedom(ts)
+						}
+					}
+				},
+			},
+			namedBench{
+				name: "LivenessEngines/" + c.name + "/onthefly",
+				fn: func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, err := liveness.CheckOnTheFlyOpts(c.alg, c.cm, c.prop, liveness.Options{Workers: 1}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				},
+			})
 	}
 	dims := [][2]int{{2, 1}, {2, 2}, {3, 1}}
 	if full {

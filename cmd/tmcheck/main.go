@@ -8,12 +8,14 @@
 //	tmcheck table1                 reproduce Table 1 (runs and words)
 //	tmcheck table2 [-n 2 -k 2] [-engine onthefly|materialized]
 //	                               reproduce Table 2 (safety verdicts)
-//	tmcheck table3 [-n 2 -k 1]     reproduce Table 3 (liveness verdicts)
+//	tmcheck table3 [-n 2 -k 1] [-engine onthefly|materialized]
+//	                               reproduce Table 3 (liveness verdicts)
 //	tmcheck specs  [-n 2 -k 2]     specification sizes and Theorem 3
 //	tmcheck figures                analyze the Figure 1 and 2 words
 //	tmcheck safety -tm NAME [-cm NAME] [-prop ss|op] [-n 2 -k 2]
 //	               [-engine onthefly|materialized]
 //	tmcheck liveness -tm NAME [-cm NAME] [-n 2 -k 1]
+//	               [-engine onthefly|materialized]
 //	tmcheck word -w "(r,1)1, c1" [-n N -k K]
 //	tmcheck all                    everything above with defaults
 //
@@ -33,13 +35,20 @@
 // -maxstates bounds the total number of states any check constructs
 // (TM states + spec states + product pairs); a check that would exceed
 // the budget aborts with a budget error instead of exhausting memory.
+// The budget is genuinely global: safety, liveness, table2, table3 and
+// all honor it in both engines.
 // Safety checks default to the on-the-fly engine, which interleaves TM
 // exploration with specification stepping and constructs only the spec
 // states the product reaches; -engine=materialized restores the classic
-// build-then-check pipeline.
+// build-then-check pipeline. Liveness checks likewise default to an
+// on-the-fly engine that probes the growing exploration prefix for
+// violating lassos and stops at the first violation; verdicts and loop
+// words are bit-identical to the materialized engine at every -workers
+// count.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -51,11 +60,33 @@ import (
 	"tmcheck/internal/explore"
 	"tmcheck/internal/liveness"
 	"tmcheck/internal/obs"
+	"tmcheck/internal/parbfs"
 	"tmcheck/internal/runtime"
 	"tmcheck/internal/safety"
+	"tmcheck/internal/space"
 	"tmcheck/internal/spec"
 	"tmcheck/internal/tm"
 )
+
+// budgetHint decorates a blown -maxstates budget with actionable advice;
+// the typed error stays reachable through errors.Is/errors.As.
+func budgetHint(err error) error {
+	if errors.Is(err, space.ErrBudgetExceeded) {
+		return fmt.Errorf("%w; raise -maxstates or shrink the instance (-n/-k)", err)
+	}
+	return err
+}
+
+// buildBudgeted materializes one system at the process-wide worker count
+// and state budget, so every subcommand that builds a full transition
+// system honors -maxstates.
+func buildBudgeted(alg tm.Algorithm, cm tm.ContentionManager) (*explore.TS, error) {
+	ts, err := explore.BuildBudget(alg, cm, parbfs.Workers(), space.MaxStates())
+	if err != nil {
+		return nil, budgetHint(err)
+	}
+	return ts, nil
+}
 
 func main() {
 	global, rest, gerr := extractGlobalFlags(os.Args[1:])
@@ -164,7 +195,10 @@ func runTable1(args []string) error {
 	fmt.Println("Table 1: example runs and emitted words")
 	fmt.Printf("%-14s %-58s %s\n", "TM/schedule", "run", "word")
 	for _, sc := range explore.Table1Scenarios {
-		ts := explore.Build(sc.Alg(), nil)
+		ts, err := buildBudgeted(sc.Alg(), nil)
+		if err != nil {
+			return err
+		}
 		run := ts.RunProgram(sc.Schedule, sc.Programs)
 		fmt.Printf("%-14s %-58s %s\n", sc.Name, explore.FormatRun(run), ts.WordOf(run))
 	}
@@ -236,17 +270,34 @@ func runTable3(args []string) error {
 	fs := flag.NewFlagSet("table3", flag.ContinueOnError)
 	n := fs.Int("n", 2, "threads")
 	k := fs.Int("k", 1, "variables")
+	engineName := fs.String("engine", "onthefly", "liveness engine: onthefly or materialized")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	engine, err := space.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	systems := liveness.PaperSystems(*n, *k)
+	var rows []liveness.Table3Row
+	if engine == space.EngineOnTheFly {
+		rows, err = liveness.Table3OnTheFly(systems)
+	} else {
+		rows, err = liveness.Table3Materialized(systems)
+	}
+	if err != nil {
+		return budgetHint(err)
+	}
 	fmt.Printf("Table 3: liveness verdicts on the most general program (%d threads, %d variables)\n", *n, *k)
 	fmt.Printf("%-18s %6s  %-30s %-30s\n", "TM algorithm", "size", "obstruction freedom", "livelock freedom")
-	rows := liveness.Table3(liveness.PaperSystems(*n, *k))
 	for _, row := range rows {
 		fmt.Printf("%-18s %6d  %-30s %-30s\n", row.Obstruction.System, row.Obstruction.TMStates,
 			liveVerdict(row.Obstruction), liveVerdict(row.Livelock))
 	}
 	fmt.Println("(wait freedom fails for every system; it implies livelock freedom)")
+	if engine == space.EngineOnTheFly {
+		fmt.Println("(size = states constructed at the obstruction verdict; -engine materialized reports full systems)")
+	}
 	return nil
 }
 
@@ -372,6 +423,7 @@ func runLiveness(args []string) error {
 	fs := flag.NewFlagSet("liveness", flag.ContinueOnError)
 	tmName := fs.String("tm", "dstm", "TM algorithm")
 	cmName := fs.String("cm", "aggressive", "contention manager (optional)")
+	engineName := fs.String("engine", "onthefly", "liveness engine: onthefly or materialized")
 	n := fs.Int("n", 2, "threads")
 	k := fs.Int("k", 1, "variables")
 	if err := fs.Parse(args); err != nil {
@@ -385,19 +437,57 @@ func runLiveness(args []string) error {
 	if err != nil {
 		return err
 	}
-	buildStart := time.Now()
-	ts := explore.Build(alg, cm)
-	fmt.Printf("system: %s (%d states, built in %v)\n",
-		ts.Name(), ts.NumStates(), time.Since(buildStart).Round(10*time.Microsecond))
-	for _, res := range []liveness.Result{
-		liveness.CheckObstructionFreedom(ts),
-		liveness.CheckLivelockFreedom(ts),
-		liveness.CheckWaitFreedom(ts),
-	} {
+	engine, err := space.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
+	var results []liveness.Result
+	if engine == space.EngineOnTheFly {
+		row, err := liveness.CheckAllOnTheFly(alg, cm)
+		if err != nil {
+			return budgetHint(err)
+		}
+		results = []liveness.Result{row.Obstruction, row.Livelock, row.Wait}
+		constructed := 0
+		for _, res := range results {
+			if res.TMStates > constructed {
+				constructed = res.TMStates
+			}
+		}
+		fmt.Printf("system: %s (%v engine, %d states constructed)\n",
+			results[0].System, engine, constructed)
+	} else {
+		buildStart := time.Now()
+		buildDone := obs.Phase("build-tm")
+		ts, err := buildBudgeted(alg, cm)
+		buildDone()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("system: %s (%d states, built in %v)\n",
+			ts.Name(), ts.NumStates(), time.Since(buildStart).Round(10*time.Microsecond))
+		for _, c := range []struct {
+			prop  liveness.Prop
+			check func(*explore.TS) liveness.Result
+		}{
+			{liveness.ObstructionFreedom, liveness.CheckObstructionFreedom},
+			{liveness.LivelockFreedom, liveness.CheckLivelockFreedom},
+			{liveness.WaitFreedom, liveness.CheckWaitFreedom},
+		} {
+			checkDone := obs.Phase("check:" + c.prop.Key())
+			results = append(results, c.check(ts))
+			checkDone()
+		}
+	}
+	for _, res := range results {
 		if res.Holds {
 			fmt.Printf("%-22s HOLDS (%v)\n", res.Prop.String()+":", res.Elapsed.Round(10*time.Microsecond))
 		} else {
 			fmt.Printf("%-22s FAILS, loop: %s\n", res.Prop.String()+":", res.LoopWord())
+		}
+		if engine == space.EngineOnTheFly {
+			fmt.Printf("%-22s %d of %d states expanded, %d probes\n",
+				"", res.Expanded, res.TMStates, res.Probes)
 		}
 	}
 	return nil
@@ -493,7 +583,10 @@ func runCount(args []string) error {
 		if err != nil {
 			return err
 		}
-		ts := explore.Build(alg, nil)
+		ts, err := buildBudgeted(alg, nil)
+		if err != nil {
+			return err
+		}
 		counts, ok := automata.CountWordsNFA(ts.NFA(), *maxLen, 500000)
 		rows = append(rows, row{"L(" + name + ")", counts, ok})
 	}
@@ -536,7 +629,10 @@ func runDot(args []string) error {
 	if err != nil {
 		return err
 	}
-	ts := explore.Build(alg, cm)
+	ts, err := buildBudgeted(alg, cm)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "%s: %d states, %d edges\n", ts.Name(), ts.NumStates(), ts.NumEdges())
 	return ts.WriteDOT(os.Stdout)
 }

@@ -73,6 +73,15 @@ func TestRunTable3(t *testing.T) {
 			t.Errorf("table3 output missing %q", want)
 		}
 	}
+	mat := captureStdout(t, func() error { return runTable3([]string{"-engine", "materialized"}) })
+	for _, want := range []string{"dstm+aggressive", "loop a1", "Y,"} {
+		if !strings.Contains(mat, want) {
+			t.Errorf("table3 -engine materialized output missing %q", want)
+		}
+	}
+	if err := runTable3([]string{"-engine", "nope"}); err == nil {
+		t.Error("unknown engine should error")
+	}
 }
 
 func TestRunSpecs(t *testing.T) {
@@ -115,11 +124,47 @@ func TestRunLiveness(t *testing.T) {
 	out := captureStdout(t, func() error {
 		return runLiveness([]string{"-tm", "dstm", "-cm", "aggressive"})
 	})
-	for _, want := range []string{"obstruction freedom", "HOLDS", "livelock freedom", "FAILS"} {
+	for _, want := range []string{"obstruction freedom", "HOLDS", "livelock freedom", "FAILS", "onthefly engine", "states expanded"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("liveness output missing %q:\n%s", want, out)
 		}
 	}
+	if err := runLiveness([]string{"-engine", "nope"}); err == nil {
+		t.Error("unknown engine should error")
+	}
+}
+
+// TestRunLivenessEnginesAgree runs both engines through the CLI and
+// checks the per-property verdict lines match verbatim.
+func TestRunLivenessEnginesAgree(t *testing.T) {
+	verdicts := func(out string) []string {
+		var lines []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "HOLDS") || strings.Contains(line, "FAILS") {
+				lines = append(lines, line[:strings.Index(line, ":")+1]+" "+verdictTail(line))
+			}
+		}
+		return lines
+	}
+	otf := captureStdout(t, func() error {
+		return runLiveness([]string{"-tm", "tl2", "-cm", "polite"})
+	})
+	mat := captureStdout(t, func() error {
+		return runLiveness([]string{"-tm", "tl2", "-cm", "polite", "-engine", "materialized"})
+	})
+	got, want := verdicts(otf), verdicts(mat)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("engine verdicts differ:\nonthefly:     %v\nmaterialized: %v", got, want)
+	}
+}
+
+// verdictTail strips the timing so HOLDS lines compare across engines;
+// FAILS lines keep the full loop word.
+func verdictTail(line string) string {
+	if i := strings.Index(line, "FAILS"); i >= 0 {
+		return line[i:]
+	}
+	return "HOLDS"
 }
 
 func TestRunWord(t *testing.T) {
@@ -255,6 +300,25 @@ func TestMaxStatesBudgetCLI(t *testing.T) {
 	}
 }
 
+// TestMaxStatesBudgetLivenessCLI is the bug this PR fixes: -maxstates
+// used to be silently ignored by the liveness command and the table3
+// driver. Both engines must now abort with the typed budget error.
+func TestMaxStatesBudgetLivenessCLI(t *testing.T) {
+	old := space.MaxStates()
+	space.SetMaxStates(50)
+	defer space.SetMaxStates(old)
+	for _, engine := range []string{"onthefly", "materialized"} {
+		err := runLiveness([]string{"-tm", "dstm", "-cm", "aggressive", "-engine", engine})
+		if !errors.Is(err, space.ErrBudgetExceeded) {
+			t.Errorf("liveness engine %s: want budget error, got %v", engine, err)
+		}
+		err = runTable3([]string{"-engine", engine})
+		if !errors.Is(err, space.ErrBudgetExceeded) {
+			t.Errorf("table3 engine %s: want budget error, got %v", engine, err)
+		}
+	}
+}
+
 // TestStatsReportTable2 is the acceptance check of the observability
 // layer: running table2 twice produces reports with identical counter
 // and gauge values (times may differ), containing per-TM exploration
@@ -359,6 +423,67 @@ func TestStatsReportTable2OnTheFly(t *testing.T) {
 	// The failing modtl2+polite checks record their early-exit depth.
 	if got := rep.Gauges["safety.modtl2+polite.ss.otf.early_exit_depth"]; got <= 0 {
 		t.Errorf("early_exit_depth missing for modtl2+polite ss, gauges: %v", rep.Gauges)
+	}
+}
+
+// TestStatsReportLiveness threads the -stats machinery through the
+// liveness path, matching the safety pipeline: the materialized engine
+// records build-tm and per-check phases plus per-property vitals; the
+// on-the-fly engine records its probe counters under the .otf keys.
+func TestStatsReportLiveness(t *testing.T) {
+	obs.Default().Reset()
+	defer obs.Default().Reset()
+	captureStdout(t, func() error {
+		return dispatch("liveness", []string{"-tm", "dstm", "-cm", "aggressive", "-engine", "materialized"})
+	})
+	rep := obs.Default().Snapshot("liveness")
+	for _, key := range []string{
+		"liveness.dstm+aggressive.obstruction.checks",
+		"liveness.dstm+aggressive.livelock.checks",
+		"liveness.dstm+aggressive.wait.checks",
+		"liveness.dstm+aggressive.obstruction.probes",
+	} {
+		if rep.Counters[key] <= 0 {
+			t.Errorf("counter %q missing or zero in materialized report", key)
+		}
+	}
+	if rep.Gauges["liveness.dstm+aggressive.obstruction.tm_states"] != 192 {
+		t.Errorf("tm_states gauge = %d, want 192", rep.Gauges["liveness.dstm+aggressive.obstruction.tm_states"])
+	}
+	if len(rep.Phases) != 1 || rep.Phases[0].Name != "liveness" {
+		t.Fatalf("phase roots = %+v, want single liveness", rep.Phases)
+	}
+	var names []string
+	for _, p := range rep.Phases[0].Children {
+		names = append(names, p.Name)
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"build-tm", "check:obstruction", "check:livelock", "check:wait"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("materialized phase tree missing %q: %v", want, names)
+		}
+	}
+
+	obs.Default().Reset()
+	captureStdout(t, func() error {
+		return dispatch("liveness", []string{"-tm", "dstm", "-cm", "aggressive"})
+	})
+	rep = obs.Default().Snapshot("liveness")
+	for _, key := range []string{
+		"liveness.dstm+aggressive.obstruction.otf.checks",
+		"liveness.dstm+aggressive.obstruction.otf.probes",
+		"liveness.dstm+aggressive.livelock.otf.probes",
+	} {
+		if rep.Counters[key] <= 0 {
+			t.Errorf("counter %q missing or zero in on-the-fly report", key)
+		}
+	}
+	// Livelock freedom fails early: strictly fewer states expanded than
+	// the 192-state fixpoint the HOLDS verdict needs.
+	lk := rep.Gauges["liveness.dstm+aggressive.livelock.otf.expanded"]
+	ob := rep.Gauges["liveness.dstm+aggressive.obstruction.otf.expanded"]
+	if lk <= 0 || ob != 192 || lk >= ob {
+		t.Errorf("otf expanded gauges: livelock %d, obstruction %d (want 0 < livelock < 192 = obstruction)", lk, ob)
 	}
 }
 

@@ -10,6 +10,12 @@
 // liveness reduction theorem — and prints the verdict matrix with
 // counterexample loops.
 //
+// It runs on the on-the-fly engine: liveness.CheckAllOnTheFly resolves
+// all three properties over one lazy exploration, stopping each failing
+// property at its first violating lasso instead of materializing the
+// full transition system (the same verdicts and loops as the
+// materialized liveness.Check* functions, at any worker count).
+//
 // Run with:
 //
 //	go run ./examples/liveness
@@ -18,7 +24,6 @@ package main
 import (
 	"fmt"
 
-	"tmcheck/internal/explore"
 	"tmcheck/internal/liveness"
 	"tmcheck/internal/tm"
 )
@@ -38,12 +43,12 @@ func main() {
 			if err != nil {
 				panic(err)
 			}
-			ts := explore.Build(alg, cm)
-			of := liveness.CheckObstructionFreedom(ts)
-			lf := liveness.CheckLivelockFreedom(ts)
-			wf := liveness.CheckWaitFreedom(ts)
-			fmt.Printf("%-18s %-24s %-40s %s\n", ts.Name(),
-				verdict(of), verdict(lf), verdict(wf))
+			row, err := liveness.CheckAllOnTheFly(alg, cm)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%-18s %-24s %-40s %s\n", row.Obstruction.System,
+				verdict(row.Obstruction), verdict(row.Livelock), verdict(row.Wait))
 		}
 	}
 	fmt.Println("\nReading the table:")

@@ -134,66 +134,130 @@ func BuildWorkers(alg tm.Algorithm, cm tm.ContentionManager, workers int) *TS {
 func BuildBudget(alg tm.Algorithm, cm tm.ContentionManager, workers, maxStates int) (*TS, error) {
 	start := time.Now()
 	ts := &TS{Alg: alg, CM: cm, Alphabet: core.Alphabet{Threads: alg.Threads(), Vars: alg.Vars()}}
-
-	var pstats parbfs.Stats
-	var err error
-	if workers <= 1 {
-		err = ts.buildSeq(maxStates)
-	} else {
-		pstats, err = ts.buildPar(workers, maxStates)
-	}
+	out, states, pstats, err := scanControlled(alg, cm, workers, maxStates, nil)
 	if err != nil {
 		return nil, err
 	}
+	ts.Out, ts.States = out, states
 	ts.record(start, workers, pstats)
 	return ts, nil
 }
 
-// buildSeq is the sequential scan-order BFS: a Scan of the lazy Space
-// to its fixpoint, recording the resolved edges per state. The
-// numbering is first-sight scan order, exactly as the pre-Space builder
-// hand-rolled it.
-func (ts *TS) buildSeq(maxStates int) error {
-	sp := newSpace(ts.Alg, ts.CM, false)
+// Barrier is the level-boundary hook of ScanLevels. It fires once per
+// BFS level with the adjacency constructed so far: states with ids
+// below expanded have their outgoing edges resolved in out, states in
+// [expanded, interned) are discovered but not yet expanded (their out
+// entry is nil or absent — len(out) may be either expanded or interned,
+// so treat missing tails as edgeless). Every edge target is below
+// interned. The final call of a completed scan has expanded == interned
+// == the total state count. A non-nil return stops the scan and is
+// returned verbatim.
+//
+// Both the sequential scan and the level-synchronized parallel engine
+// produce the identical barrier sequence — (cum(0), cum(1)), (cum(1),
+// cum(2)), …, (total, total), where cum(L) counts the states in BFS
+// levels 0..L — because the numbering is canonical; this is what lets
+// the on-the-fly liveness engine promise bit-identical verdicts at any
+// worker count.
+type Barrier func(out [][]Edge, interned, expanded int) error
+
+// ScanLevels lazily unfolds the TM×CM product in canonical scan order,
+// calling barrier at every BFS level boundary, without materializing a
+// TS. The on-the-fly liveness engine drives its lasso probes from this.
+// A positive maxStates bounds the states interned, failing with a
+// *space.BudgetError; the sequential scan trips it exactly, the
+// parallel one at level barriers (budget is checked before the barrier
+// hook runs, so a blown budget is reported in preference to whatever
+// the hook would have found at that boundary).
+func ScanLevels(alg tm.Algorithm, cm tm.ContentionManager, workers, maxStates int, barrier Barrier) error {
+	_, _, _, err := scanControlled(alg, cm, workers, maxStates, barrier)
+	return err
+}
+
+// scanControlled is the exploration engine under BuildBudget and
+// ScanLevels: scan-order BFS to the fixpoint (sequential for one
+// worker, parbfs for more), with an optional budget and an optional
+// per-level barrier hook. The returned adjacency and state table are
+// bit-identical for every worker count.
+func scanControlled(alg tm.Algorithm, cm tm.ContentionManager, workers, maxStates int, barrier Barrier) ([][]Edge, []prodState, parbfs.Stats, error) {
+	if workers <= 1 {
+		out, states, err := scanSeq(alg, cm, maxStates, barrier)
+		return out, states, parbfs.Stats{}, err
+	}
+	return scanPar(alg, cm, workers, maxStates, barrier)
+}
+
+// scanSeq is the sequential scan-order BFS: a scan of the lazy Space to
+// its fixpoint, recording the resolved edges per state. The numbering
+// is first-sight scan order, exactly as the pre-Space builder
+// hand-rolled it. The budget is exact (checked per state, before the
+// barrier at the same boundary).
+func scanSeq(alg tm.Algorithm, cm tm.ContentionManager, maxStates int, barrier Barrier) ([][]Edge, []prodState, error) {
+	sp := newSpace(alg, cm, false)
+	var out [][]Edge
 	// The yield closure is hoisted out of the scan loop (capturing qi) so
 	// the hot path allocates none per state.
 	var qi space.State
-	yield := func(e Edge) { ts.Out[qi] = append(ts.Out[qi], e) }
+	yield := func(e Edge) { out[qi] = append(out[qi], e) }
+	levelEnd := 1
 	for qi = 0; int(qi) < sp.NumStates(); qi++ {
 		if maxStates > 0 && sp.NumStates() > maxStates {
-			return &space.BudgetError{Budget: maxStates, Visited: sp.NumStates()}
+			return nil, nil, &space.BudgetError{Budget: maxStates, Visited: sp.NumStates()}
 		}
-		ts.Out = append(ts.Out, nil)
+		if barrier != nil && int(qi) == levelEnd {
+			if err := barrier(out, sp.NumStates(), levelEnd); err != nil {
+				return nil, nil, err
+			}
+			levelEnd = sp.NumStates()
+		}
+		out = append(out, nil)
 		sp.SuccEdges(qi, yield)
 	}
-	ts.States = sp.in.Snapshot()
-	return nil
+	if barrier != nil {
+		if err := barrier(out, sp.NumStates(), sp.NumStates()); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, sp.in.Snapshot(), nil
 }
 
-// buildPar is the frontier-parallel exploration: each BFS level is
+// scanPar is the frontier-parallel exploration: each BFS level is
 // expanded by a worker pool interning into parbfs's sharded table, and
 // state numbering is canonicalized at every level barrier so the result
-// matches buildSeq bit for bit.
-func (ts *TS) buildPar(workers, maxStates int) (parbfs.Stats, error) {
+// matches scanSeq bit for bit. The budget and barrier hook both run at
+// the level barriers (budget first), where the canonical numbering of
+// all completed levels is already assigned.
+func scanPar(alg tm.Algorithm, cm tm.ContentionManager, workers, maxStates int, barrier Barrier) ([][]Edge, []prodState, parbfs.Stats, error) {
 	// The Space supplies only the successor enumeration here — parbfs
 	// owns the interning, so the Space's own table stays at the initial
 	// state.
-	sp := newSpace(ts.Alg, ts.CM, false)
-	var control func(states int) error
-	if maxStates > 0 {
-		control = func(states int) error {
-			if states > maxStates {
-				return &space.BudgetError{Budget: maxStates, Visited: states}
+	sp := newSpace(alg, cm, false)
+	var out [][]Edge
+	var states []prodState
+	var control func(n int) error
+	if maxStates > 0 || barrier != nil {
+		// prevInterned is the interned count at the previous barrier —
+		// exactly the states already expanded when this one fires.
+		prevInterned := 1
+		control = func(n int) error {
+			if maxStates > 0 && n > maxStates {
+				return &space.BudgetError{Budget: maxStates, Visited: n}
 			}
+			if barrier != nil {
+				if err := barrier(out, n, prevInterned); err != nil {
+					return err
+				}
+			}
+			prevInterned = n
 			return nil
 		}
 	}
 	// pendEdges[id] buffers state id's edge templates (To unresolved)
 	// between the expand and finish passes of its level.
 	var pendEdges [][]Edge
-	return parbfs.RunControlled(sp.in.At(0), workers, control,
+	pstats, err := parbfs.RunControlled(sp.in.At(0), workers, control,
 		func(id int, emit func(prodState)) {
-			q := ts.States[id]
+			q := states[id]
 			var buf []Edge
 			sp.expand(q, func(next prodState, e Edge) {
 				buf = append(buf, e)
@@ -202,8 +266,8 @@ func (ts *TS) buildPar(workers, maxStates int) (parbfs.Stats, error) {
 			pendEdges[id] = buf
 		},
 		func(id int, s prodState) {
-			ts.States = append(ts.States, s)
-			ts.Out = append(ts.Out, nil)
+			states = append(states, s)
+			out = append(out, nil)
 			pendEdges = append(pendEdges, nil)
 		},
 		func(id int, succ []int32) {
@@ -211,10 +275,14 @@ func (ts *TS) buildPar(workers, maxStates int) (parbfs.Stats, error) {
 			for j := range edges {
 				edges[j].To = succ[j]
 			}
-			ts.Out[id] = edges
+			out[id] = edges
 			pendEdges[id] = nil
 		},
 	)
+	if err != nil {
+		return nil, nil, pstats, err
+	}
+	return out, states, pstats, nil
 }
 
 // record batches the exploration statistics into the obs registry, so
@@ -260,7 +328,7 @@ func (ts *TS) record(start time.Time, workers int, pstats parbfs.Stats) {
 	obs.Inc(key+".intern.dup_hits", int64(ts.NumEdges()-(ts.NumStates()-1)))
 	obs.MaxGauge(key+".frontier_max", int64(maxFrontier))
 	obs.SetGauge(key+".workers", int64(workers))
-	recordFrontierHist(key, ts.levelSizes())
+	recordFrontierHist(key, ts.LevelSizes())
 	if pstats.Shards > 0 {
 		obs.SetGauge(key+".intern.shards", int64(pstats.Shards))
 		obs.MaxGauge(key+".intern.max_shard_load", int64(pstats.MaxShardLoad))
@@ -268,10 +336,13 @@ func (ts *TS) record(start time.Time, workers int, pstats parbfs.Stats) {
 	obs.AddTime(key+".build", time.Since(start))
 }
 
-// levelSizes returns the BFS level populations of the final graph
+// LevelSizes returns the BFS level populations of the final graph
 // (identical to the per-level frontiers of the parallel engine, and
-// engine independent since both numberings are canonical).
-func (ts *TS) levelSizes() []int {
+// engine independent since both numberings are canonical). Because the
+// numbering is first-sight scan order, level L occupies the contiguous
+// id range [cum(L-1), cum(L)); the materialized liveness checks use
+// these prefix boundaries to replay the on-the-fly probe schedule.
+func (ts *TS) LevelSizes() []int {
 	dist := make([]int32, len(ts.Out))
 	for i := range dist {
 		dist[i] = -1

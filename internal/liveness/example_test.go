@@ -32,5 +32,20 @@ func ExampleCheckLivelockFreedom() {
 	fmt.Println("loop:", res.LoopWord())
 	// Output:
 	// livelock free: false
-	// loop: a1, (o,1)1, a2, (o,1)2
+	// loop: a2, (o,1)2, a1, (o,1)1
+}
+
+func ExampleCheckOnTheFly() {
+	// The on-the-fly engine explores the managed TM lazily and stops at
+	// the first violating lasso; verdicts and loop words are identical
+	// to the materialized checks above for every -workers count.
+	res, err := liveness.CheckOnTheFly(tm.NewDSTM(2, 1), tm.Polite{}, liveness.ObstructionFreedom)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("dstm+polite:", res.Holds, "loop:", res.LoopWord())
+	fmt.Printf("expanded %d of %d constructed states\n", res.Expanded, res.TMStates)
+	// Output:
+	// dstm+polite: false loop: a1
+	// expanded 7 of 21 constructed states
 }

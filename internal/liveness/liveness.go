@@ -1,6 +1,6 @@
 // Package liveness model checks liveness properties of TM algorithms
 // combined with specific contention managers (the paper's §6). Unlike
-// safety, liveness depends on the manager: the checks run on the explicit
+// safety, liveness depends on the manager: the checks run on the
 // transition system of the managed TM applied to the most general program
 // — by the liveness reduction theorem (Theorem 5), two threads and one
 // variable suffice for TMs with the structural properties P5 and P6.
@@ -17,15 +17,24 @@
 //     no commit of that same thread (other threads may commit); since
 //     wait freedom implies livelock freedom, any livelock violation is
 //     also a wait-freedom violation.
+//
+// Two engines run the same search. The on-the-fly engine (onthefly.go)
+// unfolds the managed TM lazily through internal/space and probes the
+// closed prefix for lassos at BFS level barriers, stopping at the first
+// violation; the materialized checks below replay the identical probe
+// schedule over the level prefixes of a built *explore.TS. Because the
+// numbering is canonical and the probe is a pure function of the prefix,
+// verdicts and lasso words are bit-identical across engines and worker
+// counts.
 package liveness
 
 import (
 	"time"
 
-	"tmcheck/internal/core"
 	"tmcheck/internal/explore"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/parbfs"
+	"tmcheck/internal/space"
 	"tmcheck/internal/tm"
 )
 
@@ -38,6 +47,9 @@ const (
 	LivelockFreedom
 	WaitFreedom
 )
+
+// Props lists the three properties in the order the drivers check them.
+var Props = []Prop{ObstructionFreedom, LivelockFreedom, WaitFreedom}
 
 // String names the property.
 func (p Prop) String() string {
@@ -71,7 +83,10 @@ type Result struct {
 	Prop Prop
 	// Threads and Vars are the instance bounds.
 	Threads, Vars int
-	// TMStates is the size of the transition system.
+	// TMStates is the number of states constructed when the check
+	// concluded: the full transition system for the materialized engine,
+	// possibly fewer for an on-the-fly check that found its violation
+	// before the fixpoint.
 	TMStates int
 	// Holds reports whether the property holds (no violating loop).
 	Holds bool
@@ -83,9 +98,21 @@ type Result struct {
 	Elapsed time.Duration
 	// BuildElapsed is the wall-clock time spent exploring the managed
 	// TM transition system, when the checking entry point built it
-	// (zero when the caller passed a pre-built system). BuildElapsed +
-	// Elapsed then adds up to the check's total wall-clock.
+	// (zero when the caller passed a pre-built system, and zero for the
+	// on-the-fly engine, whose exploration is interleaved with the
+	// search and charged to Elapsed). BuildElapsed + Elapsed then adds
+	// up to the check's total wall-clock.
 	BuildElapsed time.Duration
+	// Engine identifies the pipeline that produced this result.
+	Engine space.Engine
+	// Expanded is the number of states whose successors had been
+	// explored when the verdict was reached — the prefix the violating
+	// probe ran on, or the full state count when the property holds.
+	// Identical across engines and worker counts.
+	Expanded int
+	// Probes counts the lasso probes the geometric schedule ran before
+	// the check concluded.
+	Probes int
 }
 
 // LoopWord renders the looping part of the counterexample in the paper's
@@ -99,244 +126,71 @@ type edgeRef struct {
 	idx  int
 }
 
-// graphView is a filtered view of a transition system: only edges passing
-// keep participate.
-type graphView struct {
-	ts   *explore.TS
-	keep func(explore.Edge) bool
-}
-
-// sccs computes strongly connected components over the filtered edges with
-// an iterative Tarjan algorithm, returning the component id per state
-// (only components with at least one internal edge can host loops, but all
-// are returned).
-func (g graphView) sccs() []int32 {
-	n := len(g.ts.Out)
-	const unvisited = -1
-	index := make([]int32, n)
-	low := make([]int32, n)
-	onStack := make([]bool, n)
-	comp := make([]int32, n)
-	for i := range index {
-		index[i] = unvisited
-		comp[i] = -1
-	}
-	var stack []int32
-	var next int32
-	var compCount int32
-
-	type frame struct {
-		v  int32
-		ei int
-	}
-	for root := 0; root < n; root++ {
-		if index[root] != unvisited {
-			continue
-		}
-		var call []frame
-		call = append(call, frame{v: int32(root)})
-		index[root] = next
-		low[root] = next
-		next++
-		stack = append(stack, int32(root))
-		onStack[root] = true
-		for len(call) > 0 {
-			f := &call[len(call)-1]
-			advanced := false
-			for f.ei < len(g.ts.Out[f.v]) {
-				e := g.ts.Out[f.v][f.ei]
-				f.ei++
-				if !g.keep(e) {
-					continue
-				}
-				w := e.To
-				if index[w] == unvisited {
-					index[w] = next
-					low[w] = next
-					next++
-					stack = append(stack, w)
-					onStack[w] = true
-					call = append(call, frame{v: w})
-					advanced = true
-					break
-				} else if onStack[w] {
-					if index[w] < low[f.v] {
-						low[f.v] = index[w]
-					}
-				}
-			}
-			if advanced {
-				continue
-			}
-			// f.v is done.
-			if low[f.v] == index[f.v] {
-				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp[w] = compCount
-					if w == f.v {
-						break
-					}
-				}
-				compCount++
-			}
-			call = call[:len(call)-1]
-			if len(call) > 0 {
-				p := &call[len(call)-1]
-				if low[f.v] < low[p.v] {
-					low[p.v] = low[f.v]
-				}
-			}
-		}
-	}
-	return comp
-}
-
-// pathWithin finds a (possibly empty) path of kept edges from src to dst
-// staying inside the given component, by BFS.
-func (g graphView) pathWithin(comp []int32, cid int32, src, dst int32) []explore.Edge {
-	if src == dst {
-		return nil
-	}
-	type pred struct {
-		prev int32
-		ref  edgeRef
-	}
-	preds := map[int32]pred{src: {prev: -1}}
-	queue := []int32{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for i, e := range g.ts.Out[v] {
-			if !g.keep(e) || comp[e.To] != cid {
-				continue
-			}
-			if _, seen := preds[e.To]; seen {
-				continue
-			}
-			preds[e.To] = pred{prev: v, ref: edgeRef{from: v, idx: i}}
-			if e.To == dst {
-				// Reconstruct.
-				var rev []explore.Edge
-				cur := dst
-				for cur != src {
-					p := preds[cur]
-					rev = append(rev, g.ts.Out[p.ref.from][p.ref.idx])
-					cur = p.prev
-				}
-				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-					rev[i], rev[j] = rev[j], rev[i]
-				}
-				return rev
-			}
-			queue = append(queue, e.To)
-		}
-	}
-	return nil // unreachable within the component (should not happen in an SCC)
-}
-
-// stemTo finds a path of arbitrary edges from the initial state to dst.
-func stemTo(ts *explore.TS, dst int32) []explore.Edge {
-	if dst == 0 {
-		return nil
-	}
-	type pred struct {
-		prev int32
-		ref  edgeRef
-	}
-	preds := map[int32]pred{0: {prev: -1}}
-	queue := []int32{0}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		for i, e := range ts.Out[v] {
-			if _, seen := preds[e.To]; seen {
-				continue
-			}
-			preds[e.To] = pred{prev: v, ref: edgeRef{from: v, idx: i}}
-			if e.To == dst {
-				var rev []explore.Edge
-				cur := dst
-				for cur != 0 {
-					p := preds[cur]
-					rev = append(rev, ts.Out[p.ref.from][p.ref.idx])
-					cur = p.prev
-				}
-				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-					rev[i], rev[j] = rev[j], rev[i]
-				}
-				return rev
-			}
-			queue = append(queue, e.To)
-		}
-	}
-	return nil
-}
-
 func isCommit(e explore.Edge) bool { return e.X.Kind == tm.XCommit }
 func isAbort(e explore.Edge) bool  { return e.X.Kind == tm.XAbort }
 
 // CheckObstructionFreedom looks for a loop of one thread's statements that
 // aborts without committing.
-func CheckObstructionFreedom(ts *explore.TS) Result {
-	start := time.Now()
-	res := newResult(ts, ObstructionFreedom)
-	for t := core.Thread(0); int(t) < ts.Alg.Threads(); t++ {
-		g := graphView{ts: ts, keep: func(e explore.Edge) bool {
-			return e.T == t && !isCommit(e)
-		}}
-		if stem, loop := findAbortLoop(g, []core.Thread{t}); loop != nil {
-			res.Holds = false
-			res.Stem, res.Loop = stem, loop
-			break
-		}
-	}
-	res.Elapsed = time.Since(start)
-	res.record()
-	return res
-}
+func CheckObstructionFreedom(ts *explore.TS) Result { return checkTS(ts, ObstructionFreedom) }
 
 // CheckLivelockFreedom looks for a commit-free loop in which every
 // participating thread aborts.
-func CheckLivelockFreedom(ts *explore.TS) Result {
-	start := time.Now()
-	res := newResult(ts, LivelockFreedom)
-	n := ts.Alg.Threads()
-	// Enumerate nonempty thread subsets; smaller subsets first so the
-	// counterexample involves as few threads as possible.
-	subsets := allSubsets(n)
-	for _, sub := range subsets {
-		set := sub
-		g := graphView{ts: ts, keep: func(e explore.Edge) bool {
-			return set.Has(e.T) && !isCommit(e)
-		}}
-		if stem, loop := findAbortLoop(g, set.Threads()); loop != nil {
-			res.Holds = false
-			res.Stem, res.Loop = stem, loop
-			break
-		}
-	}
-	res.Elapsed = time.Since(start)
-	res.record()
-	return res
-}
+func CheckLivelockFreedom(ts *explore.TS) Result { return checkTS(ts, LivelockFreedom) }
 
 // CheckWaitFreedom looks for a loop that aborts some thread t without ever
 // committing t — other threads may commit inside the loop.
-func CheckWaitFreedom(ts *explore.TS) Result {
+func CheckWaitFreedom(ts *explore.TS) Result { return checkTS(ts, WaitFreedom) }
+
+// checkTS is the materialized engine: it replays the on-the-fly probe
+// schedule over the canonical BFS level prefixes of the built system.
+// Running the same pure lasso search on the same prefix sequence is what
+// makes the two engines' verdicts and lasso words bit-identical (the
+// first due prefix containing a violation determines the counterexample,
+// not the full graph) — TestLivenessEngineAgreement asserts it.
+func checkTS(ts *explore.TS, p Prop) Result {
 	start := time.Now()
-	res := newResult(ts, WaitFreedom)
-	for t := core.Thread(0); int(t) < ts.Alg.Threads(); t++ {
-		th := t
-		g := graphView{ts: ts, keep: func(e explore.Edge) bool {
-			return !(isCommit(e) && e.T == th)
-		}}
-		if stem, loop := findAbortLoopOf(g, th); loop != nil {
+	res := newResult(ts, p)
+	threads := ts.Alg.Threads()
+	total := len(ts.Out)
+	// cum[L] counts the states in BFS levels 0..L; level L occupies the
+	// id range [cum[L-1], cum[L]) under the canonical numbering.
+	sizes := ts.LevelSizes()
+	cum := make([]int, len(sizes))
+	c := 0
+	for i, n := range sizes {
+		c += n
+		cum[i] = c
+	}
+	lastProbed := 0
+	last := len(cum) - 1
+	for k := 0; k <= last; k++ {
+		// The barrier sequence of ScanLevels: (cum[k], cum[k+1]) per
+		// level boundary, then a final (total, total).
+		expanded := cum[k] // cum[last] == total, so the last pair is (total, total)
+		interned := total
+		if k < last {
+			interned = cum[k+1]
+		}
+		final := expanded == interned
+		if !final && !probeDue(expanded, lastProbed) {
+			continue
+		}
+		lastProbed = expanded
+		res.Probes++
+		view := ts.Out
+		if !final {
+			view = make([][]explore.Edge, interned)
+			copy(view, ts.Out[:expanded])
+		}
+		if stem, loop := lassoSearch(view, threads, p); loop != nil {
 			res.Holds = false
 			res.Stem, res.Loop = stem, loop
+			res.Expanded = expanded
 			break
 		}
+	}
+	if res.Holds {
+		res.Expanded = total
 	}
 	res.Elapsed = time.Since(start)
 	res.record()
@@ -351,6 +205,7 @@ func newResult(ts *explore.TS, p Prop) Result {
 		Vars:     ts.Alg.Vars(),
 		TMStates: ts.NumStates(),
 		Holds:    true,
+		Engine:   space.EngineMaterialized,
 	}
 }
 
@@ -363,107 +218,15 @@ func (r Result) record() {
 	key := "liveness." + r.System + "." + r.Prop.Key()
 	obs.Inc(key+".checks", 1)
 	obs.SetGauge(key+".tm_states", int64(r.TMStates))
+	obs.SetGauge(key+".expanded", int64(r.Expanded))
+	if r.Probes > 0 {
+		obs.Inc(key+".probes", int64(r.Probes))
+	}
 	if !r.Holds {
 		obs.SetGauge(key+".loop_len", int64(len(r.Loop)))
 		obs.SetGauge(key+".stem_len", int64(len(r.Stem)))
 	}
 	obs.AddTime(key+".check", r.Elapsed)
-}
-
-// findAbortLoop searches the filtered graph for a loop containing an abort
-// of every thread in need. It returns the stem and the loop, or nils.
-func findAbortLoop(g graphView, need []core.Thread) (stem, loop []explore.Edge) {
-	comp := g.sccs()
-	// Collect abort edges per component per needed thread.
-	type compKey struct {
-		cid int32
-		t   core.Thread
-	}
-	aborts := map[compKey]edgeRef{}
-	for v := range g.ts.Out {
-		for i, e := range g.ts.Out[v] {
-			if !g.keep(e) || !isAbort(e) {
-				continue
-			}
-			if comp[v] != comp[e.To] {
-				continue
-			}
-			k := compKey{cid: comp[v], t: e.T}
-			if _, ok := aborts[k]; !ok {
-				aborts[k] = edgeRef{from: int32(v), idx: i}
-			}
-		}
-	}
-	// Find a component containing abort edges for every needed thread.
-	numComps := int32(0)
-	for _, c := range comp {
-		if c >= numComps {
-			numComps = c + 1
-		}
-	}
-	for cid := int32(0); cid < numComps; cid++ {
-		refs := make([]edgeRef, 0, len(need))
-		ok := true
-		for _, t := range need {
-			r, has := aborts[compKey{cid: cid, t: t}]
-			if !has {
-				ok = false
-				break
-			}
-			refs = append(refs, r)
-		}
-		if !ok {
-			continue
-		}
-		return buildLoop(g, comp, cid, refs)
-	}
-	return nil, nil
-}
-
-// findAbortLoopOf searches for a loop containing an abort of thread t
-// (edges of other threads may participate freely).
-func findAbortLoopOf(g graphView, t core.Thread) (stem, loop []explore.Edge) {
-	comp := g.sccs()
-	for v := range g.ts.Out {
-		for i, e := range g.ts.Out[v] {
-			if !g.keep(e) || !isAbort(e) || e.T != t {
-				continue
-			}
-			if comp[v] != comp[e.To] {
-				continue
-			}
-			return buildLoop(g, comp, comp[v], []edgeRef{{from: int32(v), idx: i}})
-		}
-	}
-	return nil, nil
-}
-
-// buildLoop stitches the required edges into a loop inside component cid
-// and prepends a stem from the initial state.
-func buildLoop(g graphView, comp []int32, cid int32, refs []edgeRef) (stem, loop []explore.Edge) {
-	for i, r := range refs {
-		e := g.ts.Out[r.from][r.idx]
-		loop = append(loop, e)
-		next := refs[(i+1)%len(refs)]
-		loop = append(loop, g.pathWithin(comp, cid, e.To, next.from)...)
-	}
-	stem = stemTo(g.ts, refs[0].from)
-	return stem, loop
-}
-
-// allSubsets enumerates the nonempty subsets of {0..n-1} ordered by size.
-func allSubsets(n int) []core.ThreadSet {
-	var subs []core.ThreadSet
-	for mask := 1; mask < 1<<n; mask++ {
-		subs = append(subs, core.ThreadSet(mask))
-	}
-	// Order by population count, stable.
-	for i := 1; i < len(subs); i++ {
-		for j := i; j > 0 && subs[j].Len() < subs[j-1].Len(); j-- {
-			subs[j], subs[j-1] = subs[j-1], subs[j]
-		}
-	}
-	return subs
 }
 
 // Table3Row pairs the obstruction- and livelock-freedom verdicts for one
@@ -492,7 +255,9 @@ func PaperSystems(n, k int) []System {
 	}
 }
 
-// Table3 reproduces the paper's Table 3 on the given systems.
+// Table3 reproduces the paper's Table 3 on the given systems with the
+// materialized engine, ignoring any state budget (Table3Materialized is
+// the budget-aware driver behind cmd/tmcheck).
 //
 // With the process-wide worker count above one, the rows run
 // concurrently over a bounded pool (each row's exploration and checks

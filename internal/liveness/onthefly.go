@@ -1,0 +1,332 @@
+package liveness
+
+import (
+	"errors"
+	"time"
+
+	"tmcheck/internal/core"
+	"tmcheck/internal/explore"
+	"tmcheck/internal/obs"
+	"tmcheck/internal/parbfs"
+	"tmcheck/internal/space"
+	"tmcheck/internal/tm"
+)
+
+// This file is the on-the-fly liveness engine: instead of materializing
+// the full managed-TM transition system and then hunting for lassos, it
+// drives the lazy explore.Space scan and probes the closed prefix for
+// violating loops at BFS level barriers. Any loop (plus its stem) found
+// in a prefix uses only real edges of the full system, so reporting it
+// immediately is sound; a property can only be declared to HOLD at the
+// fixpoint, which the final barrier always probes.
+//
+// Determinism across engines and worker counts: the scan numbering is
+// canonical, the barrier sequence is a function of BFS level sizes only
+// (see explore.Barrier), probeDue picks barriers from that sequence
+// alone, and the lasso search is a pure function of the prefix — so the
+// first violating (prefix, lasso) pair is identical everywhere, and the
+// materialized checkTS replays the exact same schedule.
+
+// probeDue is the geometric probe schedule shared by both engines:
+// probe the first barrier, then again whenever the expanded prefix has
+// at least doubled since the last probe. Total probe cost stays within
+// a constant factor of one full-graph search while shallow violations
+// are still found early. A function of the expanded counts only, so
+// both engines probe identical prefixes.
+func probeDue(expanded, lastProbed int) bool {
+	return lastProbed == 0 || expanded >= 2*lastProbed
+}
+
+// lassoSearch runs one property's violation search on a (possibly
+// prefix) adjacency through the shared Streett predicates of
+// streett.go. It is a pure deterministic function of its arguments —
+// the cornerstone of the cross-engine bit-identity.
+func lassoSearch(out [][]explore.Edge, threads int, p Prop) (stem, loop []explore.Edge) {
+	switch p {
+	case ObstructionFreedom:
+		for t := core.Thread(0); int(t) < threads; t++ {
+			restrict, require := obstructionStreett(t)
+			if stem, loop := FindStreettRun(out, restrict, nil, require); loop != nil {
+				return stem, loop
+			}
+		}
+	case LivelockFreedom:
+		restrict, pairs, require := livelockStreett(threads)
+		return FindStreettRun(out, restrict, pairs, require)
+	case WaitFreedom:
+		for t := core.Thread(0); int(t) < threads; t++ {
+			restrict, require := waitStreett(t)
+			if stem, loop := FindStreettRun(out, restrict, nil, require); loop != nil {
+				return stem, loop
+			}
+		}
+	}
+	return nil, nil
+}
+
+// Options configures CheckOnTheFlyOpts.
+type Options struct {
+	// Workers is the exploration worker count; <= 0 takes the
+	// process-wide parbfs.Workers(). One worker runs the sequential
+	// scan. Verdicts and lasso words are identical for every value.
+	Workers int
+	// MaxStates bounds the states interned; <= 0 takes the process-wide
+	// space.MaxStates(), where 0 means unbounded. A blown budget fails
+	// the check with a *space.BudgetError.
+	MaxStates int
+}
+
+// CheckOnTheFly checks one liveness property with the on-the-fly engine
+// at the process-wide worker count and state budget (the -workers and
+// -maxstates flags of cmd/tmcheck).
+func CheckOnTheFly(alg tm.Algorithm, cm tm.ContentionManager, p Prop) (Result, error) {
+	return CheckOnTheFlyOpts(alg, cm, p, Options{})
+}
+
+// CheckOnTheFlyOpts is CheckOnTheFly with explicit options.
+func CheckOnTheFlyOpts(alg tm.Algorithm, cm tm.ContentionManager, p Prop, opts Options) (Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = parbfs.Workers()
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = space.MaxStates()
+	}
+	res, err := checkLazy(alg, cm, []Prop{p}, workers, maxStates, true)
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// CheckAllOnTheFly checks all three properties over a single shared
+// exploration: each property resolves (fails) at its own probe, and the
+// scan stops early once every property has a violation. Results equal
+// three independent CheckOnTheFly calls.
+func CheckAllOnTheFly(alg tm.Algorithm, cm tm.ContentionManager) (Table3Row, error) {
+	res, err := checkLazy(alg, cm, Props, parbfs.Workers(), space.MaxStates(), true)
+	if err != nil {
+		return Table3Row{}, err
+	}
+	return Table3Row{Obstruction: res[0], Livelock: res[1], Wait: res[2]}, nil
+}
+
+// errAllResolved stops the lazy scan once every property has found its
+// violation — exploring further could not change any verdict.
+var errAllResolved = errors.New("liveness: all properties resolved")
+
+// checkLazy is the engine core: one lazy exploration, probing every
+// unresolved property at the scheduled barriers. phase=false suppresses
+// the obs span for callers off the single-threaded spine.
+func checkLazy(alg tm.Algorithm, cm tm.ContentionManager, props []Prop, workers, maxStates int, phase bool) ([]Result, error) {
+	name := systemName(alg, cm)
+	if phase {
+		done := obs.Phase("liveness-otf:" + name)
+		defer done()
+	}
+	start := time.Now()
+	threads := alg.Threads()
+	results := make([]Result, len(props))
+	resolved := make([]bool, len(props))
+	remaining := len(props)
+	probes := 0
+	lastProbed := 0
+	finalStates := 1
+	var pad [][]explore.Edge
+	barrier := func(out [][]explore.Edge, interned, expanded int) error {
+		finalStates = interned
+		final := expanded == interned
+		if !final && !probeDue(expanded, lastProbed) {
+			return nil
+		}
+		lastProbed = expanded
+		probes++
+		view := out
+		if len(view) < interned {
+			// The sequential scan hands over only the expanded prefix; pad
+			// the discovered-but-unexpanded tail with edgeless states so
+			// every edge target is in range. The parallel engine's
+			// adjacency already has that shape (nil tails), so both
+			// engines probe the identical view.
+			pad = append(pad[:0], out...)
+			for len(pad) < interned {
+				pad = append(pad, nil)
+			}
+			view = pad
+		} else {
+			view = view[:interned]
+		}
+		for i, p := range props {
+			if resolved[i] {
+				continue
+			}
+			stem, loop := lassoSearch(view, threads, p)
+			if loop == nil {
+				continue
+			}
+			resolved[i] = true
+			remaining--
+			results[i] = Result{
+				System: name, Prop: p, Threads: threads, Vars: alg.Vars(),
+				TMStates: interned, Holds: false, Stem: stem, Loop: loop,
+				Elapsed: time.Since(start), Engine: space.EngineOnTheFly,
+				Expanded: expanded, Probes: probes,
+			}
+		}
+		if remaining == 0 {
+			return errAllResolved
+		}
+		return nil
+	}
+	if err := explore.ScanLevels(alg, cm, workers, maxStates, barrier); err != nil && !errors.Is(err, errAllResolved) {
+		return nil, err
+	}
+	for i, p := range props {
+		if resolved[i] {
+			continue
+		}
+		results[i] = Result{
+			System: name, Prop: p, Threads: threads, Vars: alg.Vars(),
+			TMStates: finalStates, Holds: true,
+			Elapsed: time.Since(start), Engine: space.EngineOnTheFly,
+			Expanded: finalStates, Probes: probes,
+		}
+	}
+	for i := range results {
+		results[i].recordOTF()
+	}
+	return results, nil
+}
+
+// recordOTF writes the on-the-fly vitals into the obs registry, keyed
+// "liveness.<system>.<prop>.otf.*": states constructed and expanded at
+// the verdict (compare against the materialized "liveness.<system>.
+// <prop>.tm_states" to see the early-exit win), probes run, and the
+// search wall-clock (exploration and probing are interleaved, so the
+// whole check is one timer).
+func (r Result) recordOTF() {
+	if !obs.Enabled() {
+		return
+	}
+	key := "liveness." + r.System + "." + r.Prop.Key() + ".otf"
+	obs.Inc(key+".checks", 1)
+	obs.SetGauge(key+".tm_states", int64(r.TMStates))
+	obs.SetGauge(key+".expanded", int64(r.Expanded))
+	obs.Inc(key+".probes", int64(r.Probes))
+	if !r.Holds {
+		obs.SetGauge(key+".loop_len", int64(len(r.Loop)))
+		obs.SetGauge(key+".stem_len", int64(len(r.Stem)))
+	}
+	obs.AddTime(key+".search", r.Elapsed)
+}
+
+// Table3OnTheFly is Table3 with the on-the-fly engine and the
+// process-wide state budget. Each row runs the sequential scan; with
+// the process-wide worker count above one, the rows fan out over the
+// pool instead (the coarser parallelism, exactly as Table2OnTheFly) —
+// so rows are bit-identical for every worker count. A budget error on
+// any row aborts the table.
+func Table3OnTheFly(systems []System) ([]Table3Row, error) {
+	maxStates := space.MaxStates()
+	if workers := parbfs.Workers(); workers > 1 && len(systems) > 1 {
+		return table3OnTheFlyPar(systems, workers, maxStates)
+	}
+	var rows []Table3Row
+	for _, sys := range systems {
+		res, err := checkLazy(sys.Alg, sys.CM, Props, 1, maxStates, true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{Obstruction: res[0], Livelock: res[1], Wait: res[2]})
+	}
+	return rows, nil
+}
+
+// table3OnTheFlyPar fans the rows out over the worker pool; per-row obs
+// phases are skipped (the phase stack assumes a single-threaded spine)
+// but counters and rows match the sequential driver.
+func table3OnTheFlyPar(systems []System, workers, maxStates int) ([]Table3Row, error) {
+	done := obs.Phase("liveness:table3-onthefly-parallel")
+	defer done()
+	rows := make([]Table3Row, len(systems))
+	errs := make([]error, len(systems))
+	parbfs.For(len(systems), workers, func(i int) {
+		sys := systems[i]
+		res, err := checkLazy(sys.Alg, sys.CM, Props, 1, maxStates, false)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		rows[i] = Table3Row{Obstruction: res[0], Livelock: res[1], Wait: res[2]}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// Table3Materialized is Table3 through the materialized engine. Without
+// a global -maxstates budget it is exactly Table3 (shared per-row
+// exploration, row fan-out at workers > 1). With a budget set, each
+// row's exploration goes through explore.BuildBudget instead, and a
+// typed *space.BudgetError aborts the table, matching the on-the-fly
+// driver's contract.
+func Table3Materialized(systems []System) ([]Table3Row, error) {
+	maxStates := space.MaxStates()
+	if maxStates <= 0 {
+		return Table3(systems), nil
+	}
+	workers := parbfs.Workers()
+	if workers > 1 && len(systems) > 1 {
+		done := obs.Phase("liveness:table3-parallel")
+		defer done()
+		rows := make([]Table3Row, len(systems))
+		errs := make([]error, len(systems))
+		parbfs.For(len(systems), workers, func(i int) {
+			rows[i], errs[i] = table3RowBudget(systems[i], 1, maxStates)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return rows, nil
+	}
+	var rows []Table3Row
+	for _, sys := range systems {
+		row, err := table3RowBudget(sys, workers, maxStates)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// table3RowBudget materializes one system under the state budget and
+// runs the three checks on it.
+func table3RowBudget(sys System, workers, maxStates int) (Table3Row, error) {
+	buildStart := time.Now()
+	ts, err := explore.BuildBudget(sys.Alg, sys.CM, workers, maxStates)
+	if err != nil {
+		return Table3Row{}, err
+	}
+	row := Table3Row{
+		Obstruction: CheckObstructionFreedom(ts),
+		Livelock:    CheckLivelockFreedom(ts),
+		Wait:        CheckWaitFreedom(ts),
+	}
+	row.Obstruction.BuildElapsed = time.Since(buildStart)
+	return row, nil
+}
+
+// systemName names the system without constructing anything.
+func systemName(alg tm.Algorithm, cm tm.ContentionManager) string {
+	if cm == nil {
+		return alg.Name()
+	}
+	return alg.Name() + "+" + cm.Name()
+}

@@ -1,0 +1,166 @@
+package liveness
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"tmcheck/internal/explore"
+	"tmcheck/internal/space"
+)
+
+// TestLivenessEngineAgreement is the cross-engine contract of the
+// on-the-fly engine: for every paper system and property, verdicts,
+// lasso words, and even the raw stem/loop edge sequences must be
+// bit-identical to the materialized checks at every worker count
+// (run race-enabled in CI, so the parallel scans are exercised too).
+func TestLivenessEngineAgreement(t *testing.T) {
+	for _, sys := range PaperSystems(2, 1) {
+		ts := explore.Build(sys.Alg, sys.CM)
+		name := ts.Name()
+		for _, p := range Props {
+			mat := checkTS(ts, p)
+			for _, workers := range []int{1, 2, 4} {
+				res, err := checkLazy(sys.Alg, sys.CM, []Prop{p}, workers, 0, false)
+				if err != nil {
+					t.Fatalf("%s %s workers=%d: %v", name, p.Key(), workers, err)
+				}
+				otf := res[0]
+				if otf.Holds != mat.Holds {
+					t.Errorf("%s %s workers=%d: holds = %v, materialized %v",
+						name, p.Key(), workers, otf.Holds, mat.Holds)
+				}
+				if otf.LoopWord() != mat.LoopWord() {
+					t.Errorf("%s %s workers=%d: loop %q, materialized %q",
+						name, p.Key(), workers, otf.LoopWord(), mat.LoopWord())
+				}
+				if !reflect.DeepEqual(otf.Stem, mat.Stem) || !reflect.DeepEqual(otf.Loop, mat.Loop) {
+					t.Errorf("%s %s workers=%d: stem/loop edges differ from materialized",
+						name, p.Key(), workers)
+				}
+				if otf.Expanded != mat.Expanded {
+					t.Errorf("%s %s workers=%d: expanded = %d, materialized %d",
+						name, p.Key(), workers, otf.Expanded, mat.Expanded)
+				}
+				if otf.Engine != space.EngineOnTheFly || mat.Engine != space.EngineMaterialized {
+					t.Errorf("%s %s: engines mislabeled (%v, %v)", name, p.Key(), otf.Engine, mat.Engine)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckAllOnTheFlySharesExploration checks that the shared-scan
+// driver resolves each property exactly as three independent checks do.
+func TestCheckAllOnTheFlySharesExploration(t *testing.T) {
+	for _, sys := range PaperSystems(2, 1) {
+		row, err := CheckAllOnTheFly(sys.Alg, sys.CM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range []struct {
+			got  Result
+			prop Prop
+		}{
+			{row.Obstruction, ObstructionFreedom},
+			{row.Livelock, LivelockFreedom},
+			{row.Wait, WaitFreedom},
+		} {
+			single, err := CheckOnTheFlyOpts(sys.Alg, sys.CM, pair.prop, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pair.got.Holds != single.Holds || pair.got.LoopWord() != single.LoopWord() {
+				t.Errorf("%s %s: shared scan (%v, %q) differs from single check (%v, %q)",
+					single.System, pair.prop.Key(),
+					pair.got.Holds, pair.got.LoopWord(), single.Holds, single.LoopWord())
+			}
+			if pair.got.Expanded != single.Expanded {
+				t.Errorf("%s %s: shared scan expanded %d, single %d",
+					single.System, pair.prop.Key(), pair.got.Expanded, single.Expanded)
+			}
+		}
+	}
+}
+
+// TestLivenessBudgetBothEngines drives both engines into a tiny state
+// budget: the typed *space.BudgetError must surface through errors.Is
+// from the sequential and the parallel scans alike, before any probe
+// can run (budget is checked ahead of the barrier hook).
+func TestLivenessBudgetBothEngines(t *testing.T) {
+	sys := PaperSystems(2, 1)[2] // dstm+aggressive
+	for _, workers := range []int{1, 4} {
+		if _, err := checkLazy(sys.Alg, sys.CM, Props, workers, 2, false); !errors.Is(err, space.ErrBudgetExceeded) {
+			t.Errorf("onthefly workers=%d: err = %v, want budget error", workers, err)
+		}
+		if _, err := explore.BuildBudget(sys.Alg, sys.CM, workers, 2); !errors.Is(err, space.ErrBudgetExceeded) {
+			t.Errorf("materialized workers=%d: err = %v, want budget error", workers, err)
+		}
+	}
+	var be *space.BudgetError
+	_, err := CheckOnTheFlyOpts(sys.Alg, sys.CM, LivelockFreedom, Options{Workers: 1, MaxStates: 2})
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *space.BudgetError", err)
+	}
+	if be.Budget != 2 || be.Visited <= 2 {
+		t.Errorf("budget error = %+v, want Budget 2 and Visited > 2", be)
+	}
+}
+
+// TestTable3DriversBudget checks that both table drivers honor the
+// process-wide -maxstates knob instead of silently ignoring it — the
+// bug this engine was built to fix.
+func TestTable3DriversBudget(t *testing.T) {
+	prev := space.MaxStates()
+	defer space.SetMaxStates(prev)
+	space.SetMaxStates(2)
+	if _, err := Table3OnTheFly(PaperSystems(2, 1)); !errors.Is(err, space.ErrBudgetExceeded) {
+		t.Errorf("Table3OnTheFly: err = %v, want budget error", err)
+	}
+	if _, err := Table3Materialized(PaperSystems(2, 1)); !errors.Is(err, space.ErrBudgetExceeded) {
+		t.Errorf("Table3Materialized: err = %v, want budget error", err)
+	}
+}
+
+// TestTable3EnginesAgree compares full Table 3 rows across the two
+// unbudgeted drivers.
+func TestTable3EnginesAgree(t *testing.T) {
+	systems := PaperSystems(2, 1)
+	otf, err := Table3OnTheFly(systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat := Table3(systems)
+	if len(otf) != len(mat) {
+		t.Fatalf("row counts differ: %d vs %d", len(otf), len(mat))
+	}
+	for i := range otf {
+		for _, pair := range []struct {
+			name     string
+			got, ref Result
+		}{
+			{"obstruction", otf[i].Obstruction, mat[i].Obstruction},
+			{"livelock", otf[i].Livelock, mat[i].Livelock},
+			{"wait", otf[i].Wait, mat[i].Wait},
+		} {
+			if pair.got.Holds != pair.ref.Holds || pair.got.LoopWord() != pair.ref.LoopWord() {
+				t.Errorf("%s %s: onthefly (%v, %q) vs materialized (%v, %q)",
+					pair.ref.System, pair.name,
+					pair.got.Holds, pair.got.LoopWord(), pair.ref.Holds, pair.ref.LoopWord())
+			}
+		}
+	}
+}
+
+// TestProbeSchedule pins the geometric schedule both engines share.
+func TestProbeSchedule(t *testing.T) {
+	if !probeDue(1, 0) {
+		t.Error("first barrier must probe")
+	}
+	if probeDue(3, 2) {
+		t.Error("3 states since probe at 2: not due yet")
+	}
+	if !probeDue(4, 2) {
+		t.Error("doubling since the last probe is due")
+	}
+}

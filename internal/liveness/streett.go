@@ -8,13 +8,18 @@ import (
 )
 
 // The paper observes (§6) that obstruction freedom is formally a Streett
-// condition and livelock freedom a close relative, then exploits their
-// special shape with direct loop searches. This file provides the general
-// machinery as an independent backend: a Streett-satisfaction engine based
-// on the classical recursive SCC decomposition (find an SCC; any pair with
-// its E-edges present but F-edges absent is unsatisfiable there, so delete
-// those E-edges and recurse), used to re-derive both liveness checks. The
-// two backends cross-validate each other in the tests.
+// condition and livelock freedom a close relative. This file provides the
+// machinery both liveness engines share: a Streett-satisfaction search
+// based on the classical recursive SCC decomposition (find an SCC; any
+// pair with its E-edges present but F-edges absent is unsatisfiable
+// there, so delete those E-edges and recurse), plus the per-property
+// restriction/pair/required-class predicates.
+//
+// The search operates on a bare adjacency slice rather than a *explore.TS
+// so it can run on the closed prefixes the on-the-fly engine exposes at
+// its level barriers (states beyond the expanded boundary simply have no
+// outgoing edges yet): a loop found in a prefix uses only real edges, so
+// it is a real violation of the full system.
 //
 // Violations are phrased as runs to FIND:
 //
@@ -23,7 +28,9 @@ import (
 //     infinitely — a required-class search on a restricted graph;
 //   - livelock freedom is violated by a run with finitely many commits
 //     that satisfies the Streett pairs (statements of t ⇒ aborts of t) for
-//     every thread — a Streett satisfaction on the commit-free graph.
+//     every thread — a Streett satisfaction on the commit-free graph;
+//   - wait freedom is violated by a run that aborts some thread t
+//     infinitely while never committing t (other threads may commit).
 
 // StreettPair is an edge-level Streett pair: a run satisfies it when
 // visiting E infinitely implies visiting F infinitely.
@@ -32,11 +39,50 @@ type StreettPair struct {
 	F func(explore.Edge) bool
 }
 
-// FindStreettRun looks for an infinite run of ts that eventually uses only
-// edges passing restrict, satisfies every Streett pair, and visits at
-// least one edge of every required class infinitely often. It returns the
-// stem and loop of a witness lasso, or nil loops when no such run exists.
-func FindStreettRun(ts *explore.TS, restrict func(explore.Edge) bool, pairs []StreettPair, require []func(explore.Edge) bool) (stem, loop []explore.Edge) {
+// obstructionStreett is the §6 single-pair shortcut for one thread:
+// restrict the graph to t's non-commit edges and require an abort of t.
+func obstructionStreett(t core.Thread) (restrict func(explore.Edge) bool, require []func(explore.Edge) bool) {
+	restrict = func(e explore.Edge) bool { return e.T == t && !isCommit(e) }
+	require = []func(explore.Edge) bool{
+		func(e explore.Edge) bool { return isAbort(e) && e.T == t },
+	}
+	return restrict, require
+}
+
+// livelockStreett phrases livelock freedom over all threads: on the
+// commit-free graph, the pairs (statements of t ⇒ aborts of t) for every
+// thread, with at least one abort overall.
+func livelockStreett(threads int) (restrict func(explore.Edge) bool, pairs []StreettPair, require []func(explore.Edge) bool) {
+	restrict = func(e explore.Edge) bool { return !isCommit(e) }
+	for t := core.Thread(0); int(t) < threads; t++ {
+		th := t
+		pairs = append(pairs, StreettPair{
+			E: func(e explore.Edge) bool { return e.T == th },
+			F: func(e explore.Edge) bool { return e.T == th && isAbort(e) },
+		})
+	}
+	require = []func(explore.Edge) bool{isAbort}
+	return restrict, pairs, require
+}
+
+// waitStreett phrases wait freedom for one thread: forbid only t's own
+// commits and require an abort of t (other threads may commit freely).
+func waitStreett(t core.Thread) (restrict func(explore.Edge) bool, require []func(explore.Edge) bool) {
+	restrict = func(e explore.Edge) bool { return !(isCommit(e) && e.T == t) }
+	require = []func(explore.Edge) bool{
+		func(e explore.Edge) bool { return isAbort(e) && e.T == t },
+	}
+	return restrict, require
+}
+
+// FindStreettRun looks for an infinite run of the graph that eventually
+// uses only edges passing restrict, satisfies every Streett pair, and
+// visits at least one edge of every required class infinitely often. It
+// returns the stem and loop of a witness lasso, or nil loops when no
+// such run exists. The search is a pure deterministic function of the
+// adjacency, so identical prefixes yield identical lassos — the
+// cross-engine equality the on-the-fly liveness engine relies on.
+func FindStreettRun(out [][]explore.Edge, restrict func(explore.Edge) bool, pairs []StreettPair, require []func(explore.Edge) bool) (stem, loop []explore.Edge) {
 	// live marks the edges currently allowed; the recursion disables
 	// E-edges of failing pairs.
 	type edgeKey struct {
@@ -53,7 +99,7 @@ func FindStreettRun(ts *explore.TS, restrict func(explore.Edge) bool, pairs []St
 	search = func(states []int32) ([]explore.Edge, []explore.Edge) {
 		inScope := map[int32]bool{}
 		if states == nil {
-			for s := range ts.Out {
+			for s := range out {
 				inScope[int32(s)] = true
 			}
 		} else {
@@ -61,9 +107,7 @@ func FindStreettRun(ts *explore.TS, restrict func(explore.Edge) bool, pairs []St
 				inScope[s] = true
 			}
 		}
-		// graphView's keep only sees the edge value, not its index, so the
-		// SCC computation here is index-aware.
-		comp, comps := sccWithFilter(ts, inScope, allowed)
+		comp, comps := sccWithFilter(out, inScope, allowed)
 		for cid, members := range comps {
 			// Edges fully inside this SCC.
 			type cedge struct {
@@ -72,7 +116,7 @@ func FindStreettRun(ts *explore.TS, restrict func(explore.Edge) bool, pairs []St
 			}
 			var inside []cedge
 			for _, s := range members {
-				for i, e := range ts.Out[s] {
+				for i, e := range out[s] {
 					if allowed(s, i, e) && comp[e.To] == int32(cid) && inScope[e.To] {
 						inside = append(inside, cedge{s, i})
 					}
@@ -86,7 +130,7 @@ func FindStreettRun(ts *explore.TS, restrict func(explore.Edge) bool, pairs []St
 			for pi, p := range pairs {
 				hasE, hasF := false, false
 				for _, ce := range inside {
-					e := ts.Out[ce.from][ce.idx]
+					e := out[ce.from][ce.idx]
 					if p.E(e) {
 						hasE = true
 					}
@@ -103,7 +147,7 @@ func FindStreettRun(ts *explore.TS, restrict func(explore.Edge) bool, pairs []St
 				// recurse on its states.
 				var disabledHere []edgeKey
 				for _, ce := range inside {
-					e := ts.Out[ce.from][ce.idx]
+					e := out[ce.from][ce.idx]
 					for _, pi := range failing {
 						if pairs[pi].E(e) {
 							k := edgeKey{ce.from, ce.idx}
@@ -130,7 +174,7 @@ func FindStreettRun(ts *explore.TS, restrict func(explore.Edge) bool, pairs []St
 			for _, rc := range require {
 				found := false
 				for _, ce := range inside {
-					if rc(ts.Out[ce.from][ce.idx]) {
+					if rc(out[ce.from][ce.idx]) {
 						reqEdges = append(reqEdges, edgeRef{from: ce.from, idx: ce.idx})
 						found = true
 						break
@@ -145,11 +189,22 @@ func FindStreettRun(ts *explore.TS, restrict func(explore.Edge) bool, pairs []St
 				continue
 			}
 			// Include one F-edge for every pair whose E-edges occur here,
-			// so the loop itself satisfies the pairs.
+			// so the loop itself satisfies the pairs — unless an already
+			// chosen edge covers the pair (keeps the stitched loop short:
+			// a required abort doubles as its own thread's F-edge).
 			for _, p := range pairs {
-				hasE := false
+				hasE, covered := false, false
+				for _, r := range reqEdges {
+					if p.F(out[r.from][r.idx]) {
+						covered = true
+						break
+					}
+				}
+				if covered {
+					continue
+				}
 				for _, ce := range inside {
-					if p.E(ts.Out[ce.from][ce.idx]) {
+					if p.E(out[ce.from][ce.idx]) {
 						hasE = true
 						break
 					}
@@ -158,7 +213,7 @@ func FindStreettRun(ts *explore.TS, restrict func(explore.Edge) bool, pairs []St
 					continue
 				}
 				for _, ce := range inside {
-					if p.F(ts.Out[ce.from][ce.idx]) {
+					if p.F(out[ce.from][ce.idx]) {
 						reqEdges = append(reqEdges, edgeRef{from: ce.from, idx: ce.idx})
 						break
 					}
@@ -168,7 +223,7 @@ func FindStreettRun(ts *explore.TS, restrict func(explore.Edge) bool, pairs []St
 				// Any cycle will do; take the first inside edge.
 				reqEdges = append(reqEdges, edgeRef{from: inside[0].from, idx: inside[0].idx})
 			}
-			return buildStreettLoop(ts, inScope, allowed, comp, int32(cid), reqEdges)
+			return buildStreettLoop(out, inScope, allowed, comp, int32(cid), reqEdges)
 		}
 		return nil, nil
 	}
@@ -178,8 +233,8 @@ func FindStreettRun(ts *explore.TS, restrict func(explore.Edge) bool, pairs []St
 // sccWithFilter computes SCCs over the filtered, index-aware edge set,
 // returning the component of each state and the member lists of
 // components that contain at least one state.
-func sccWithFilter(ts *explore.TS, inScope map[int32]bool, allowed func(int32, int, explore.Edge) bool) ([]int32, [][]int32) {
-	n := len(ts.Out)
+func sccWithFilter(out [][]explore.Edge, inScope map[int32]bool, allowed func(int32, int, explore.Edge) bool) ([]int32, [][]int32) {
+	n := len(out)
 	const unvisited = -1
 	index := make([]int32, n)
 	low := make([]int32, n)
@@ -210,9 +265,9 @@ func sccWithFilter(ts *explore.TS, inScope map[int32]bool, allowed func(int32, i
 		for len(call) > 0 {
 			f := &call[len(call)-1]
 			advanced := false
-			for f.ei < len(ts.Out[f.v]) {
+			for f.ei < len(out[f.v]) {
 				i := f.ei
-				e := ts.Out[f.v][i]
+				e := out[f.v][i]
 				f.ei++
 				if !allowed(f.v, i, e) || !inScope[e.To] {
 					continue
@@ -263,7 +318,7 @@ func sccWithFilter(ts *explore.TS, inScope map[int32]bool, allowed func(int32, i
 
 // buildStreettLoop stitches the required edges into a loop within the SCC
 // and finds a stem from the initial state.
-func buildStreettLoop(ts *explore.TS, inScope map[int32]bool, allowed func(int32, int, explore.Edge) bool, comp []int32, cid int32, refs []edgeRef) (stem, loop []explore.Edge) {
+func buildStreettLoop(out [][]explore.Edge, inScope map[int32]bool, allowed func(int32, int, explore.Edge) bool, comp []int32, cid int32, refs []edgeRef) (stem, loop []explore.Edge) {
 	path := func(src, dst int32) []explore.Edge {
 		if src == dst {
 			return nil
@@ -277,7 +332,7 @@ func buildStreettLoop(ts *explore.TS, inScope map[int32]bool, allowed func(int32
 		for len(queue) > 0 {
 			v := queue[0]
 			queue = queue[1:]
-			for i, e := range ts.Out[v] {
+			for i, e := range out[v] {
 				if !allowed(v, i, e) || comp[e.To] != cid || !inScope[e.To] {
 					continue
 				}
@@ -290,7 +345,7 @@ func buildStreettLoop(ts *explore.TS, inScope map[int32]bool, allowed func(int32
 					cur := dst
 					for cur != src {
 						p := preds[cur]
-						rev = append(rev, ts.Out[p.ref.from][p.ref.idx])
+						rev = append(rev, out[p.ref.from][p.ref.idx])
 						cur = p.prev
 					}
 					for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
@@ -304,27 +359,63 @@ func buildStreettLoop(ts *explore.TS, inScope map[int32]bool, allowed func(int32
 		return nil
 	}
 	for i, r := range refs {
-		e := ts.Out[r.from][r.idx]
+		e := out[r.from][r.idx]
 		loop = append(loop, e)
 		next := refs[(i+1)%len(refs)]
 		loop = append(loop, path(e.To, next.from)...)
 	}
-	stem = stemTo(ts, refs[0].from)
+	stem = stemTo(out, refs[0].from)
 	return stem, loop
 }
 
-// CheckObstructionFreedomStreett re-derives the obstruction-freedom check
-// through the general engine.
+// stemTo finds a path of arbitrary edges from the initial state to dst.
+func stemTo(out [][]explore.Edge, dst int32) []explore.Edge {
+	if dst == 0 {
+		return nil
+	}
+	type pred struct {
+		prev int32
+		ref  edgeRef
+	}
+	preds := map[int32]pred{0: {prev: -1}}
+	queue := []int32{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for i, e := range out[v] {
+			if _, seen := preds[e.To]; seen {
+				continue
+			}
+			preds[e.To] = pred{prev: v, ref: edgeRef{from: v, idx: i}}
+			if e.To == dst {
+				var rev []explore.Edge
+				cur := dst
+				for cur != 0 {
+					p := preds[cur]
+					rev = append(rev, out[p.ref.from][p.ref.idx])
+					cur = p.prev
+				}
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	return nil
+}
+
+// CheckObstructionFreedomStreett runs the obstruction-freedom search as
+// a single full-graph Streett query (no probe schedule) — an
+// independent backend the probe-based CheckObstructionFreedom is
+// cross-validated against in the tests.
 func CheckObstructionFreedomStreett(ts *explore.TS) Result {
 	start := time.Now()
 	res := newResult(ts, ObstructionFreedom)
 	for t := core.Thread(0); int(t) < ts.Alg.Threads(); t++ {
-		th := t
-		restrict := func(e explore.Edge) bool { return e.T == th && !isCommit(e) }
-		require := []func(explore.Edge) bool{
-			func(e explore.Edge) bool { return isAbort(e) && e.T == th },
-		}
-		if stem, loop := FindStreettRun(ts, restrict, nil, require); loop != nil {
+		restrict, require := obstructionStreett(t)
+		if stem, loop := FindStreettRun(ts.Out, restrict, nil, require); loop != nil {
 			res.Holds = false
 			res.Stem, res.Loop = stem, loop
 			break
@@ -335,26 +426,33 @@ func CheckObstructionFreedomStreett(ts *explore.TS) Result {
 	return res
 }
 
-// CheckLivelockFreedomStreett re-derives the livelock-freedom check
-// through the general engine: on the commit-free graph, find a run
-// satisfying the Streett pairs (statements of t ⇒ aborts of t) for every
-// thread, with at least one abort overall.
+// CheckLivelockFreedomStreett is the single full-graph Streett query for
+// livelock freedom; see CheckObstructionFreedomStreett.
 func CheckLivelockFreedomStreett(ts *explore.TS) Result {
 	start := time.Now()
 	res := newResult(ts, LivelockFreedom)
-	restrict := func(e explore.Edge) bool { return !isCommit(e) }
-	var pairs []StreettPair
-	for t := core.Thread(0); int(t) < ts.Alg.Threads(); t++ {
-		th := t
-		pairs = append(pairs, StreettPair{
-			E: func(e explore.Edge) bool { return e.T == th },
-			F: func(e explore.Edge) bool { return e.T == th && isAbort(e) },
-		})
-	}
-	require := []func(explore.Edge) bool{isAbort}
-	if stem, loop := FindStreettRun(ts, restrict, pairs, require); loop != nil {
+	restrict, pairs, require := livelockStreett(ts.Alg.Threads())
+	if stem, loop := FindStreettRun(ts.Out, restrict, pairs, require); loop != nil {
 		res.Holds = false
 		res.Stem, res.Loop = stem, loop
+	}
+	res.Elapsed = time.Since(start)
+	res.record()
+	return res
+}
+
+// CheckWaitFreedomStreett is the single full-graph Streett query for
+// wait freedom; see CheckObstructionFreedomStreett.
+func CheckWaitFreedomStreett(ts *explore.TS) Result {
+	start := time.Now()
+	res := newResult(ts, WaitFreedom)
+	for t := core.Thread(0); int(t) < ts.Alg.Threads(); t++ {
+		restrict, require := waitStreett(t)
+		if stem, loop := FindStreettRun(ts.Out, restrict, nil, require); loop != nil {
+			res.Holds = false
+			res.Stem, res.Loop = stem, loop
+			break
+		}
 	}
 	res.Elapsed = time.Since(start)
 	res.record()

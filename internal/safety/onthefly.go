@@ -2,7 +2,6 @@ package safety
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -17,40 +16,27 @@ import (
 	"tmcheck/internal/tm"
 )
 
-// Engine selects how an inclusion check is executed.
-type Engine uint8
+// Engine selects how an inclusion check is executed. The type lives in
+// internal/space (it is shared with the liveness checker); the aliases
+// here keep the original safety API intact. For safety the engines are:
+//
+//   - EngineMaterialized: explore the full TM system, enumerate the
+//     full specification DFA, then run the product inclusion check. Its
+//     peak memory is the sum of both full automata even when a
+//     counterexample is shallow.
+//   - EngineOnTheFly: interleave TM exploration with specification
+//     stepping — the product BFS constructs TM and spec states only as
+//     the product reaches them and stops at the first violation. It is
+//     the default engine of cmd/tmcheck.
+type Engine = space.Engine
 
 const (
-	// EngineMaterialized is the classic build-then-check pipeline:
-	// explore the full TM system, enumerate the full specification DFA,
-	// then run the product inclusion check. Its peak memory is the sum
-	// of both full automata even when a counterexample is shallow.
-	EngineMaterialized Engine = iota
-	// EngineOnTheFly interleaves TM exploration with specification
-	// stepping: the product BFS constructs TM and spec states only as
-	// the product reaches them and stops at the first violation. It is
-	// the default engine of cmd/tmcheck.
-	EngineOnTheFly
+	EngineMaterialized = space.EngineMaterialized
+	EngineOnTheFly     = space.EngineOnTheFly
 )
 
-// String names the engine as accepted by the -engine flag.
-func (e Engine) String() string {
-	if e == EngineOnTheFly {
-		return "onthefly"
-	}
-	return "materialized"
-}
-
 // ParseEngine parses an -engine flag value.
-func ParseEngine(s string) (Engine, error) {
-	switch s {
-	case "onthefly":
-		return EngineOnTheFly, nil
-	case "materialized":
-		return EngineMaterialized, nil
-	}
-	return EngineMaterialized, fmt.Errorf("unknown engine %q (want onthefly or materialized)", s)
-}
+func ParseEngine(s string) (Engine, error) { return space.ParseEngine(s) }
 
 // Options configures VerifyOpts.
 type Options struct {
