@@ -20,12 +20,14 @@
 //	tmcheck all                    everything above with defaults
 //
 // Every command additionally accepts the global flags -workers N,
-// -maxstates N, -stats, -stats-json FILE, -cpuprofile FILE and
-// -memprofile FILE (see cmd/tmcheck/stats.go), e.g.:
+// -maxstates N, -timeout D, -maxmem BYTES, -strict-limits, -stats,
+// -stats-json FILE, -cpuprofile FILE and -memprofile FILE (see
+// cmd/tmcheck/stats.go), e.g.:
 //
 //	tmcheck table2 -stats-json report.json
 //	tmcheck -workers 4 table2
 //	tmcheck -maxstates 100000 safety -tm tl2 -n 2 -k 3
+//	tmcheck table3 -n 3 -k 2 -timeout 5s
 //
 // -workers sets the worker count of the parallel engines (state-space
 // exploration, specification enumeration, table-row fan-out); it
@@ -36,7 +38,15 @@
 // (TM states + spec states + product pairs); a check that would exceed
 // the budget aborts with a budget error instead of exhausting memory.
 // The budget is genuinely global: safety, liveness, table2, table3 and
-// all honor it in both engines.
+// all honor it in both engines. -timeout and -maxmem bound wall-clock
+// and heap the same way, and Ctrl-C (SIGINT/SIGTERM) cancels in-flight
+// checks at the same polling points, so a stopped check reports the
+// states it reached deterministically.
+//
+// The table drivers (table2, table3, all) keep going when a row hits a
+// limit: the stopped cell renders as LIMIT(states|time|mem|cancelled|
+// panic), the remaining rows still run, and the command exits 0 unless
+// -strict-limits is set.
 // Safety checks default to the on-the-fly engine, which interleaves TM
 // exploration with specification stepping and constructs only the spec
 // states the product reaches; -engine=materialized restores the classic
@@ -48,16 +58,19 @@
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"tmcheck/internal/automata"
 	"tmcheck/internal/core"
 	"tmcheck/internal/explore"
+	"tmcheck/internal/guard"
 	"tmcheck/internal/liveness"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/parbfs"
@@ -68,24 +81,26 @@ import (
 	"tmcheck/internal/tm"
 )
 
-// budgetHint decorates a blown -maxstates budget with actionable advice;
-// the typed error stays reachable through errors.Is/errors.As.
-func budgetHint(err error) error {
-	if errors.Is(err, space.ErrBudgetExceeded) {
-		return fmt.Errorf("%w; raise -maxstates or shrink the instance (-n/-k)", err)
-	}
-	return err
+// buildBudgeted materializes one system at the process-wide worker
+// count under ctx plus the process-wide -maxstates/-maxmem limits, so
+// every subcommand that builds a full transition system is guarded the
+// same way.
+func buildBudgeted(ctx context.Context, alg tm.Algorithm, cm tm.ContentionManager) (*explore.TS, error) {
+	return explore.BuildGuarded(alg, cm, parbfs.Workers(), guard.Process(ctx, space.MaxStates()))
 }
 
-// buildBudgeted materializes one system at the process-wide worker count
-// and state budget, so every subcommand that builds a full transition
-// system honors -maxstates.
-func buildBudgeted(alg tm.Algorithm, cm tm.ContentionManager) (*explore.TS, error) {
-	ts, err := explore.BuildBudget(alg, cm, parbfs.Workers(), space.MaxStates())
-	if err != nil {
-		return nil, budgetHint(err)
+// limitSummary finishes a keep-going table run: limited checks get a
+// one-line stderr summary, and -strict-limits turns them into a command
+// error (nonzero exit) that still wraps the first typed limit.
+func limitSummary(limits []*guard.LimitError) error {
+	if len(limits) == 0 {
+		return nil
 	}
-	return ts, nil
+	fmt.Fprintf(os.Stderr, "tmcheck: %d check(s) hit resource limits; first: %v\n", len(limits), limits[0])
+	if strictLimits {
+		return fmt.Errorf("%d check(s) hit resource limits: %w", len(limits), limits[0])
+	}
+	return nil
 }
 
 func main() {
@@ -103,7 +118,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tmcheck:", err)
 		os.Exit(1)
 	}
-	err := dispatch(cmd, args)
+	// Ctrl-C and SIGTERM cancel every in-flight check at its next guard
+	// poll; -timeout turns into a deadline on the same context.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if global.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, global.timeout)
+		defer cancel()
+	}
+	err := dispatch(ctx, cmd, args)
 	if ferr := global.finish(cmd); ferr != nil && err == nil {
 		err = ferr
 	}
@@ -115,37 +139,37 @@ func main() {
 
 // dispatch runs one subcommand inside a top-level obs phase named
 // after it, so every report's phase tree is rooted at the command.
-func dispatch(cmd string, args []string) error {
+func dispatch(ctx context.Context, cmd string, args []string) error {
 	done := obs.Phase(cmd)
 	defer done()
 	var err error
 	switch cmd {
 	case "table1":
-		err = runTable1(args)
+		err = runTable1(ctx, args)
 	case "table2":
-		err = runTable2(args)
+		err = runTable2(ctx, args)
 	case "table3":
-		err = runTable3(args)
+		err = runTable3(ctx, args)
 	case "specs":
 		err = runSpecs(args)
 	case "figures":
 		err = runFigures(args)
 	case "safety":
-		err = runSafety(args)
+		err = runSafety(ctx, args)
 	case "liveness":
-		err = runLiveness(args)
+		err = runLiveness(ctx, args)
 	case "word":
 		err = runWord(args)
 	case "count":
-		err = runCount(args)
+		err = runCount(ctx, args)
 	case "dot":
-		err = runDot(args)
+		err = runDot(ctx, args)
 	case "trace":
 		err = runTrace(args)
 	case "methodology":
 		err = runMethodology(args)
 	case "all":
-		err = runAll()
+		err = runAll(ctx)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -177,6 +201,9 @@ commands:
 global flags (any command, before or after it):
   -workers N        parallel-engine workers (default GOMAXPROCS; 1 = sequential)
   -maxstates N      abort any check constructing more than N states
+  -timeout D        cancel outstanding checks after D (e.g. 30s, 5m)
+  -maxmem BYTES     stop checks when the Go heap exceeds BYTES (e.g. 512m, 2g)
+  -strict-limits    exit nonzero when any table row hits a resource limit
   -stats            print the instrumentation report to stderr
   -stats-json FILE  write the machine-readable report to FILE ("-" = stdout)
   -cpuprofile FILE  write a pprof CPU profile
@@ -187,7 +214,7 @@ global flags (any command, before or after it):
 	fmt.Fprintf(os.Stderr, "managers:   %s\n", strings.Join(tm.ManagerNames(), ", "))
 }
 
-func runTable1(args []string) error {
+func runTable1(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -195,7 +222,7 @@ func runTable1(args []string) error {
 	fmt.Println("Table 1: example runs and emitted words")
 	fmt.Printf("%-14s %-58s %s\n", "TM/schedule", "run", "word")
 	for _, sc := range explore.Table1Scenarios {
-		ts, err := buildBudgeted(sc.Alg(), nil)
+		ts, err := buildBudgeted(ctx, sc.Alg(), nil)
 		if err != nil {
 			return err
 		}
@@ -205,7 +232,7 @@ func runTable1(args []string) error {
 	return nil
 }
 
-func runTable2(args []string) error {
+func runTable2(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table2", flag.ContinueOnError)
 	n := fs.Int("n", 2, "threads")
 	k := fs.Int("k", 2, "variables")
@@ -230,18 +257,8 @@ func runTable2(args []string) error {
 			systems = append(systems, safety.System{Alg: alg})
 		}
 	}
-	var rows []safety.Table2Row
-	if engine == safety.EngineOnTheFly {
-		rows, err = safety.Table2OnTheFly(systems)
-		if err != nil {
-			return err
-		}
-	} else {
-		rows, err = safety.Table2Materialized(systems)
-		if err != nil {
-			return err
-		}
-	}
+	rows := safety.Table2Resilient(ctx, systems, engine)
+	var limits []*guard.LimitError
 	for _, row := range rows {
 		fmt.Printf("%-15s %8d  %-22s %-22s\n", row.SS.System, row.SS.TMStates,
 			verdict(row.SS), verdict(row.OP))
@@ -249,11 +266,19 @@ func runTable2(args []string) error {
 		if row.SS.Holds || row.OP.Holds {
 			printCex(row.OP)
 		}
+		for _, r := range []safety.Result{row.SS, row.OP} {
+			if r.Limit != nil {
+				limits = append(limits, r.Limit)
+			}
+		}
 	}
-	return nil
+	return limitSummary(limits)
 }
 
 func verdict(r safety.Result) string {
+	if r.Limit != nil {
+		return fmt.Sprintf("LIMIT(%s)", r.Limit.Kind.Label())
+	}
 	if r.Holds {
 		return fmt.Sprintf("Y, %v", r.Elapsed.Round(10*time.Microsecond))
 	}
@@ -261,12 +286,12 @@ func verdict(r safety.Result) string {
 }
 
 func printCex(r safety.Result) {
-	if !r.Holds {
+	if r.Limit == nil && !r.Holds {
 		fmt.Printf("    counterexample (%v): %s\n", r.Prop, r.Counterexample)
 	}
 }
 
-func runTable3(args []string) error {
+func runTable3(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("table3", flag.ContinueOnError)
 	n := fs.Int("n", 2, "threads")
 	k := fs.Int("k", 1, "variables")
@@ -279,29 +304,30 @@ func runTable3(args []string) error {
 		return err
 	}
 	systems := liveness.PaperSystems(*n, *k)
-	var rows []liveness.Table3Row
-	if engine == space.EngineOnTheFly {
-		rows, err = liveness.Table3OnTheFly(systems)
-	} else {
-		rows, err = liveness.Table3Materialized(systems)
-	}
-	if err != nil {
-		return budgetHint(err)
-	}
+	rows := liveness.Table3Resilient(ctx, systems, engine)
 	fmt.Printf("Table 3: liveness verdicts on the most general program (%d threads, %d variables)\n", *n, *k)
 	fmt.Printf("%-18s %6s  %-30s %-30s\n", "TM algorithm", "size", "obstruction freedom", "livelock freedom")
+	var limits []*guard.LimitError
 	for _, row := range rows {
 		fmt.Printf("%-18s %6d  %-30s %-30s\n", row.Obstruction.System, row.Obstruction.TMStates,
 			liveVerdict(row.Obstruction), liveVerdict(row.Livelock))
+		for _, r := range []liveness.Result{row.Obstruction, row.Livelock, row.Wait} {
+			if r.Limit != nil {
+				limits = append(limits, r.Limit)
+			}
+		}
 	}
 	fmt.Println("(wait freedom fails for every system; it implies livelock freedom)")
 	if engine == space.EngineOnTheFly {
 		fmt.Println("(size = states constructed at the obstruction verdict; -engine materialized reports full systems)")
 	}
-	return nil
+	return limitSummary(limits)
 }
 
 func liveVerdict(r liveness.Result) string {
+	if r.Limit != nil {
+		return fmt.Sprintf("LIMIT(%s)", r.Limit.Kind.Label())
+	}
 	if r.Holds {
 		return fmt.Sprintf("Y, %v", r.Elapsed.Round(10*time.Microsecond))
 	}
@@ -365,7 +391,7 @@ func runFigures(args []string) error {
 	return nil
 }
 
-func runSafety(args []string) error {
+func runSafety(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("safety", flag.ContinueOnError)
 	tmName := fs.String("tm", "dstm", "TM algorithm")
 	cmName := fs.String("cm", "", "contention manager (optional)")
@@ -392,7 +418,7 @@ func runSafety(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := safety.VerifyOpts(alg, cm, prop, safety.Options{Engine: engine})
+	res, err := safety.VerifyOpts(alg, cm, prop, safety.Options{Engine: engine, Ctx: ctx})
 	if err != nil {
 		return err
 	}
@@ -419,7 +445,7 @@ func runSafety(args []string) error {
 	return nil
 }
 
-func runLiveness(args []string) error {
+func runLiveness(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("liveness", flag.ContinueOnError)
 	tmName := fs.String("tm", "dstm", "TM algorithm")
 	cmName := fs.String("cm", "aggressive", "contention manager (optional)")
@@ -443,9 +469,9 @@ func runLiveness(args []string) error {
 	}
 	var results []liveness.Result
 	if engine == space.EngineOnTheFly {
-		row, err := liveness.CheckAllOnTheFly(alg, cm)
+		row, err := liveness.CheckAllOnTheFlyOpts(alg, cm, liveness.Options{Ctx: ctx})
 		if err != nil {
-			return budgetHint(err)
+			return err
 		}
 		results = []liveness.Result{row.Obstruction, row.Livelock, row.Wait}
 		constructed := 0
@@ -459,7 +485,7 @@ func runLiveness(args []string) error {
 	} else {
 		buildStart := time.Now()
 		buildDone := obs.Phase("build-tm")
-		ts, err := buildBudgeted(alg, cm)
+		ts, err := buildBudgeted(ctx, alg, cm)
 		buildDone()
 		if err != nil {
 			return err
@@ -538,16 +564,16 @@ func runWord(args []string) error {
 	return nil
 }
 
-func runAll() error {
-	if err := runTable1(nil); err != nil {
+func runAll(ctx context.Context) error {
+	if err := runTable1(ctx, nil); err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := runTable2(nil); err != nil {
+	if err := runTable2(ctx, nil); err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := runTable3(nil); err != nil {
+	if err := runTable3(ctx, nil); err != nil {
 		return err
 	}
 	fmt.Println()
@@ -558,7 +584,7 @@ func runAll() error {
 	return runFigures(nil)
 }
 
-func runCount(args []string) error {
+func runCount(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("count", flag.ContinueOnError)
 	n := fs.Int("n", 2, "threads")
 	k := fs.Int("k", 2, "variables")
@@ -583,7 +609,7 @@ func runCount(args []string) error {
 		if err != nil {
 			return err
 		}
-		ts, err := buildBudgeted(alg, nil)
+		ts, err := buildBudgeted(ctx, alg, nil)
 		if err != nil {
 			return err
 		}
@@ -612,7 +638,7 @@ func runCount(args []string) error {
 	return nil
 }
 
-func runDot(args []string) error {
+func runDot(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("dot", flag.ContinueOnError)
 	tmName := fs.String("tm", "seq", "TM algorithm")
 	cmName := fs.String("cm", "", "contention manager (optional)")
@@ -629,7 +655,7 @@ func runDot(args []string) error {
 	if err != nil {
 		return err
 	}
-	ts, err := buildBudgeted(alg, cm)
+	ts, err := buildBudgeted(ctx, alg, cm)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"os"
@@ -8,14 +9,18 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"tmcheck/internal/obs"
 	"tmcheck/internal/space"
 )
 
-// captureStdout runs f with os.Stdout redirected to a pipe and returns
-// what it printed.
-func captureStdout(t *testing.T, f func() error) string {
+// bgCtx is the no-deadline context the direct run* call sites use.
+var bgCtx = context.Background()
+
+// captureStdoutErr runs f with os.Stdout redirected to a pipe and
+// returns what it printed along with f's error.
+func captureStdoutErr(t *testing.T, f func() error) (string, error) {
 	t.Helper()
 	old := os.Stdout
 	r, w, err := os.Pipe()
@@ -38,14 +43,21 @@ func captureStdout(t *testing.T, f func() error) string {
 			break
 		}
 	}
-	if runErr != nil {
-		t.Fatalf("command failed: %v", runErr)
+	return string(buf[:n]), runErr
+}
+
+// captureStdout is captureStdoutErr for commands that must succeed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	out, err := captureStdoutErr(t, f)
+	if err != nil {
+		t.Fatalf("command failed: %v", err)
 	}
-	return string(buf[:n])
+	return out
 }
 
 func TestRunTable1(t *testing.T) {
-	out := captureStdout(t, func() error { return runTable1(nil) })
+	out := captureStdout(t, func() error { return runTable1(bgCtx, nil) })
 	for _, want := range []string{
 		"Table 1",
 		"(rl,1)1, (r,1)1, (wl,2)1, (w,2)1, c1, (wl,2)2",
@@ -58,7 +70,7 @@ func TestRunTable1(t *testing.T) {
 }
 
 func TestRunTable2(t *testing.T) {
-	out := captureStdout(t, func() error { return runTable2(nil) })
+	out := captureStdout(t, func() error { return runTable2(bgCtx, nil) })
 	for _, want := range []string{"seq", "modtl2+polite", "counterexample", "Y,", "N,"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table2 output missing %q", want)
@@ -67,19 +79,19 @@ func TestRunTable2(t *testing.T) {
 }
 
 func TestRunTable3(t *testing.T) {
-	out := captureStdout(t, func() error { return runTable3(nil) })
+	out := captureStdout(t, func() error { return runTable3(bgCtx, nil) })
 	for _, want := range []string{"dstm+aggressive", "loop a1", "Y,"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table3 output missing %q", want)
 		}
 	}
-	mat := captureStdout(t, func() error { return runTable3([]string{"-engine", "materialized"}) })
+	mat := captureStdout(t, func() error { return runTable3(bgCtx, []string{"-engine", "materialized"}) })
 	for _, want := range []string{"dstm+aggressive", "loop a1", "Y,"} {
 		if !strings.Contains(mat, want) {
 			t.Errorf("table3 -engine materialized output missing %q", want)
 		}
 	}
-	if err := runTable3([]string{"-engine", "nope"}); err == nil {
+	if err := runTable3(bgCtx, []string{"-engine", "nope"}); err == nil {
 		t.Error("unknown engine should error")
 	}
 }
@@ -105,7 +117,7 @@ func TestRunFigures(t *testing.T) {
 
 func TestRunSafetyVerdicts(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return runSafety([]string{"-tm", "modtl2", "-cm", "polite", "-prop", "ss"})
+		return runSafety(bgCtx, []string{"-tm", "modtl2", "-cm", "polite", "-prop", "ss"})
 	})
 	for _, want := range []string{"UNSAFE", "counterexample", "must precede"} {
 		if !strings.Contains(out, want) {
@@ -113,7 +125,7 @@ func TestRunSafetyVerdicts(t *testing.T) {
 		}
 	}
 	out = captureStdout(t, func() error {
-		return runSafety([]string{"-tm", "dstm", "-prop", "op"})
+		return runSafety(bgCtx, []string{"-tm", "dstm", "-prop", "op"})
 	})
 	if !strings.Contains(out, "SAFE") {
 		t.Errorf("safety output missing SAFE verdict:\n%s", out)
@@ -122,14 +134,14 @@ func TestRunSafetyVerdicts(t *testing.T) {
 
 func TestRunLiveness(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return runLiveness([]string{"-tm", "dstm", "-cm", "aggressive"})
+		return runLiveness(bgCtx, []string{"-tm", "dstm", "-cm", "aggressive"})
 	})
 	for _, want := range []string{"obstruction freedom", "HOLDS", "livelock freedom", "FAILS", "onthefly engine", "states expanded"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("liveness output missing %q:\n%s", want, out)
 		}
 	}
-	if err := runLiveness([]string{"-engine", "nope"}); err == nil {
+	if err := runLiveness(bgCtx, []string{"-engine", "nope"}); err == nil {
 		t.Error("unknown engine should error")
 	}
 }
@@ -147,10 +159,10 @@ func TestRunLivenessEnginesAgree(t *testing.T) {
 		return lines
 	}
 	otf := captureStdout(t, func() error {
-		return runLiveness([]string{"-tm", "tl2", "-cm", "polite"})
+		return runLiveness(bgCtx, []string{"-tm", "tl2", "-cm", "polite"})
 	})
 	mat := captureStdout(t, func() error {
-		return runLiveness([]string{"-tm", "tl2", "-cm", "polite", "-engine", "materialized"})
+		return runLiveness(bgCtx, []string{"-tm", "tl2", "-cm", "polite", "-engine", "materialized"})
 	})
 	got, want := verdicts(otf), verdicts(mat)
 	if !reflect.DeepEqual(got, want) {
@@ -188,7 +200,7 @@ func TestRunWordErrors(t *testing.T) {
 }
 
 func TestRunCount(t *testing.T) {
-	out := captureStdout(t, func() error { return runCount([]string{"-len", "4"}) })
+	out := captureStdout(t, func() error { return runCount(bgCtx, []string{"-len", "4"}) })
 	for _, want := range []string{"πss", "L(dstm)", "permissiveness"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("count output missing %q", want)
@@ -224,7 +236,7 @@ func TestRunMethodology(t *testing.T) {
 
 func TestRunDot(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return runDot([]string{"-tm", "seq", "-k", "1"})
+		return runDot(bgCtx, []string{"-tm", "seq", "-k", "1"})
 	})
 	if !strings.Contains(out, "digraph") {
 		t.Errorf("dot output missing digraph:\n%s", out)
@@ -283,6 +295,26 @@ func TestExtractGlobalFlags(t *testing.T) {
 			t.Errorf("-maxstates %s should error", bad)
 		}
 	}
+
+	g5, rest5, err := extractGlobalFlags([]string{"-timeout", "30s", "-maxmem", "2g", "-strict-limits", "table3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g5.timeout != 30*time.Second || g5.maxMem != 2<<30 || !g5.strictLimits {
+		t.Errorf("resource flags not extracted: %+v", g5)
+	}
+	if !reflect.DeepEqual(rest5, []string{"table3"}) {
+		t.Errorf("rest = %v, want [table3]", rest5)
+	}
+	for _, bad := range [][]string{
+		{"-timeout", "0s", "table1"},
+		{"-timeout", "soon", "table1"},
+		{"-maxmem", "lots", "table1"},
+	} {
+		if _, _, err := extractGlobalFlags(bad); err == nil {
+			t.Errorf("%v should error", bad)
+		}
+	}
 }
 
 // TestMaxStatesBudgetCLI drives the budget end to end: under a tiny
@@ -293,29 +325,111 @@ func TestMaxStatesBudgetCLI(t *testing.T) {
 	space.SetMaxStates(100)
 	defer space.SetMaxStates(old)
 	for _, engine := range []string{"onthefly", "materialized"} {
-		err := runSafety([]string{"-tm", "dstm", "-prop", "op", "-engine", engine})
+		err := runSafety(bgCtx, []string{"-tm", "dstm", "-prop", "op", "-engine", engine})
 		if !errors.Is(err, space.ErrBudgetExceeded) {
 			t.Errorf("engine %s: want budget error, got %v", engine, err)
 		}
 	}
 }
 
-// TestMaxStatesBudgetLivenessCLI is the bug this PR fixes: -maxstates
-// used to be silently ignored by the liveness command and the table3
-// driver. Both engines must now abort with the typed budget error.
+// TestMaxStatesBudgetLivenessCLI drives -maxstates through the liveness
+// paths: the single-system liveness command still fails fast with the
+// typed budget error (whose message names the flag to raise), while the
+// table3 driver keeps going — limited rows render as LIMIT(states), the
+// command exits clean by default and fails only under -strict-limits.
 func TestMaxStatesBudgetLivenessCLI(t *testing.T) {
 	old := space.MaxStates()
 	space.SetMaxStates(50)
 	defer space.SetMaxStates(old)
 	for _, engine := range []string{"onthefly", "materialized"} {
-		err := runLiveness([]string{"-tm", "dstm", "-cm", "aggressive", "-engine", engine})
+		err := runLiveness(bgCtx, []string{"-tm", "dstm", "-cm", "aggressive", "-engine", engine})
 		if !errors.Is(err, space.ErrBudgetExceeded) {
 			t.Errorf("liveness engine %s: want budget error, got %v", engine, err)
 		}
-		err = runTable3([]string{"-engine", engine})
-		if !errors.Is(err, space.ErrBudgetExceeded) {
-			t.Errorf("table3 engine %s: want budget error, got %v", engine, err)
+		if err == nil || !strings.Contains(err.Error(), "-maxstates") {
+			t.Errorf("liveness engine %s: error %q does not name -maxstates", engine, err)
 		}
+		out, err := captureStdoutErr(t, func() error {
+			return runTable3(bgCtx, []string{"-engine", engine})
+		})
+		if err != nil {
+			t.Errorf("table3 engine %s: keep-going run failed: %v", engine, err)
+		}
+		if !strings.Contains(out, "LIMIT(states)") {
+			t.Errorf("table3 engine %s: output missing LIMIT(states):\n%s", engine, out)
+		}
+		// seq fits in 50 states even materialized, so at least one row
+		// must still complete with a real verdict (every (2,1) verdict
+		// that resolves is a violation with its loop word).
+		if !strings.Contains(out, "N, loop") {
+			t.Errorf("table3 engine %s: no completed row alongside the limited ones:\n%s", engine, out)
+		}
+		strictLimits = true
+		_, err = captureStdoutErr(t, func() error {
+			return runTable3(bgCtx, []string{"-engine", engine})
+		})
+		strictLimits = false
+		if !errors.Is(err, space.ErrBudgetExceeded) {
+			t.Errorf("table3 engine %s -strict-limits: want budget error, got %v", engine, err)
+		}
+	}
+}
+
+// TestTable2KeepGoingCLI runs table2 under a budget that stops the
+// larger systems: limited cells render as LIMIT(states), the small
+// systems still get verdicts, and -strict-limits flips the exit.
+func TestTable2KeepGoingCLI(t *testing.T) {
+	old := space.MaxStates()
+	space.SetMaxStates(200)
+	defer space.SetMaxStates(old)
+	for _, engine := range []string{"onthefly", "materialized"} {
+		out, err := captureStdoutErr(t, func() error {
+			return runTable2(bgCtx, []string{"-engine", engine})
+		})
+		if err != nil {
+			t.Errorf("table2 engine %s: keep-going run failed: %v", engine, err)
+		}
+		if !strings.Contains(out, "LIMIT(states)") {
+			t.Errorf("table2 engine %s: output missing LIMIT(states):\n%s", engine, out)
+		}
+		strictLimits = true
+		_, err = captureStdoutErr(t, func() error {
+			return runTable2(bgCtx, []string{"-engine", engine})
+		})
+		strictLimits = false
+		if !errors.Is(err, space.ErrBudgetExceeded) {
+			t.Errorf("table2 engine %s -strict-limits: want budget error, got %v", engine, err)
+		}
+	}
+}
+
+// TestTimeoutTable3CLI cancels table3 with an already-expired deadline:
+// every row reports LIMIT(time), the command still exits clean, and the
+// stats report records the limited rows.
+func TestTimeoutTable3CLI(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	obs.Default().Reset()
+	defer obs.Default().Reset()
+	out, err := captureStdoutErr(t, func() error {
+		return dispatch(ctx, "table3", nil)
+	})
+	if err != nil {
+		t.Fatalf("expired table3 run failed: %v", err)
+	}
+	if !strings.Contains(out, "LIMIT(time)") {
+		t.Errorf("output missing LIMIT(time):\n%s", out)
+	}
+	rep := obs.Default().Snapshot("table3")
+	limited := int64(0)
+	for key, v := range rep.Counters {
+		if strings.Contains(key, ".limit_time") {
+			limited += v
+		}
+	}
+	if limited == 0 {
+		t.Errorf("stats report has no driver.*.limit_time counters: %v", rep.Counters)
 	}
 }
 
@@ -329,7 +443,7 @@ func TestMaxStatesBudgetLivenessCLI(t *testing.T) {
 func TestStatsReportTable2(t *testing.T) {
 	run := func() obs.Report {
 		obs.Default().Reset()
-		captureStdout(t, func() error { return dispatch("table2", []string{"-engine", "materialized"}) })
+		captureStdout(t, func() error { return dispatch(bgCtx, "table2", []string{"-engine", "materialized"}) })
 		return obs.Default().Snapshot("table2")
 	}
 	rep := run()
@@ -389,7 +503,7 @@ func TestStatsReportTable2(t *testing.T) {
 func TestStatsReportTable2OnTheFly(t *testing.T) {
 	obs.Default().Reset()
 	defer obs.Default().Reset()
-	captureStdout(t, func() error { return dispatch("table2", nil) })
+	captureStdout(t, func() error { return dispatch(bgCtx, "table2", nil) })
 	rep := obs.Default().Snapshot("table2")
 
 	for _, key := range []string{
@@ -434,7 +548,7 @@ func TestStatsReportLiveness(t *testing.T) {
 	obs.Default().Reset()
 	defer obs.Default().Reset()
 	captureStdout(t, func() error {
-		return dispatch("liveness", []string{"-tm", "dstm", "-cm", "aggressive", "-engine", "materialized"})
+		return dispatch(bgCtx, "liveness", []string{"-tm", "dstm", "-cm", "aggressive", "-engine", "materialized"})
 	})
 	rep := obs.Default().Snapshot("liveness")
 	for _, key := range []string{
@@ -466,7 +580,7 @@ func TestStatsReportLiveness(t *testing.T) {
 
 	obs.Default().Reset()
 	captureStdout(t, func() error {
-		return dispatch("liveness", []string{"-tm", "dstm", "-cm", "aggressive"})
+		return dispatch(bgCtx, "liveness", []string{"-tm", "dstm", "-cm", "aggressive"})
 	})
 	rep = obs.Default().Snapshot("liveness")
 	for _, key := range []string{
@@ -497,7 +611,7 @@ func TestStatsOutputsWritten(t *testing.T) {
 		t.Fatal(err)
 	}
 	obs.Default().Reset()
-	captureStdout(t, func() error { return dispatch("table1", nil) })
+	captureStdout(t, func() error { return dispatch(bgCtx, "table1", nil) })
 	if err := g.finish("table1"); err != nil {
 		t.Fatal(err)
 	}
@@ -522,10 +636,10 @@ func TestStatsOutputsWritten(t *testing.T) {
 }
 
 func TestUnknownAlgorithmErrors(t *testing.T) {
-	if err := runSafety([]string{"-tm", "nope"}); err == nil {
+	if err := runSafety(bgCtx, []string{"-tm", "nope"}); err == nil {
 		t.Error("unknown TM should error")
 	}
-	if err := runLiveness([]string{"-cm", "nope"}); err == nil {
+	if err := runLiveness(bgCtx, []string{"-cm", "nope"}); err == nil {
 		t.Error("unknown manager should error")
 	}
 }

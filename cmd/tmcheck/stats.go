@@ -8,6 +8,14 @@ package main
 //	-maxstates N      state budget: abort any check that would construct
 //	                  more than N states (TM + spec + product) with a
 //	                  budget error instead of exhausting memory
+//	-timeout D        wall-clock limit for the whole command (e.g. 30s,
+//	                  5m); expiry cancels in-flight checks at the same
+//	                  points where the state budget is polled
+//	-maxmem BYTES     heap cap (e.g. 512m, 2g): checks stop with a
+//	                  memory-limit error when the sampled Go heap
+//	                  exceeds it
+//	-strict-limits    exit nonzero when any keep-going table row hits a
+//	                  resource limit (default: report LIMIT rows, exit 0)
 //	-stats            print the instrumentation report to stderr
 //	-stats-json FILE  write the machine-readable report to FILE ("-" = stdout)
 //	-cpuprofile FILE  write a pprof CPU profile of the whole command
@@ -24,7 +32,9 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
+	"tmcheck/internal/guard"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/parbfs"
 	"tmcheck/internal/space"
@@ -33,15 +43,23 @@ import (
 // globalOpts holds the global flags extracted before subcommand
 // dispatch.
 type globalOpts struct {
-	workers    int
-	maxStates  int
-	stats      bool
-	statsJSON  string
-	cpuProfile string
-	memProfile string
+	workers      int
+	maxStates    int
+	timeout      time.Duration
+	maxMem       uint64
+	strictLimits bool
+	stats        bool
+	statsJSON    string
+	cpuProfile   string
+	memProfile   string
 
 	cpuFile *os.File
 }
+
+// strictLimits mirrors the -strict-limits flag for the keep-going table
+// drivers: limited rows then fail the command instead of only being
+// reported.
+var strictLimits bool
 
 // extractGlobalFlags splits the global observability flags out of args,
 // wherever they appear, and returns the remaining arguments unchanged
@@ -84,6 +102,24 @@ func extractGlobalFlags(args []string) (globalOpts, []string, error) {
 					err = fmt.Errorf("flag -maxstates needs a positive integer, got %q", v)
 				}
 			}
+		case "timeout":
+			var v string
+			if v, err = value(); err == nil {
+				g.timeout, err = time.ParseDuration(v)
+				if err != nil || g.timeout <= 0 {
+					err = fmt.Errorf("flag -timeout needs a positive duration (e.g. 30s), got %q", v)
+				}
+			}
+		case "maxmem":
+			var v string
+			if v, err = value(); err == nil {
+				g.maxMem, err = guard.ParseBytes(v)
+				if err != nil {
+					err = fmt.Errorf("flag -maxmem: %v", err)
+				}
+			}
+		case "strict-limits":
+			g.strictLimits = true
 		case "stats":
 			g.stats = true
 		case "stats-json":
@@ -111,6 +147,10 @@ func (g *globalOpts) begin() error {
 	if g.maxStates > 0 {
 		space.SetMaxStates(g.maxStates)
 	}
+	if g.maxMem > 0 {
+		guard.SetMaxMem(g.maxMem)
+	}
+	strictLimits = g.strictLimits
 	if g.cpuProfile == "" {
 		return nil
 	}

@@ -6,30 +6,44 @@
 //
 //	go run ./cmd/tmfuzz -threads 3 -vars 3 -n 1000000
 //	go run ./cmd/tmfuzz -directed -seed 7
+//	go run ./cmd/tmfuzz -timeout 30s -maxstates 50000000
+//
+// -timeout bounds the campaign's wall-clock and -maxstates the total
+// number of automaton states the specification runs visit across all
+// words; Ctrl-C, an expired timeout, or an exhausted budget stop the
+// campaign gracefully after the current word, printing the progress
+// report and a "campaign stopped" line (exit 0 — a stopped campaign
+// found no disagreement).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"tmcheck/internal/core"
+	"tmcheck/internal/guard"
 	"tmcheck/internal/spec"
 	"tmcheck/internal/wordgen"
 )
 
 // config bounds one fuzzing session.
 type config struct {
-	threads  int
-	vars     int
-	maxLen   int
-	count    int // 0 = run forever
-	seed     int64
-	directed bool
-	every    int // progress-report interval in words
+	threads   int
+	vars      int
+	maxLen    int
+	count     int // 0 = run forever
+	seed      int64
+	directed  bool
+	every     int           // progress-report interval in words
+	maxStates int           // 0 = unbounded: total spec states visited
+	timeout   time.Duration // 0 = no deadline
 }
 
 func main() {
@@ -40,9 +54,18 @@ func main() {
 	flag.IntVar(&cfg.count, "n", 200000, "words to check (0 = run forever)")
 	flag.Int64Var(&cfg.seed, "seed", time.Now().UnixNano(), "random seed")
 	flag.BoolVar(&cfg.directed, "directed", false, "use directed generators only")
+	flag.IntVar(&cfg.maxStates, "maxstates", 0, "stop after visiting this many spec states in total (0 = unbounded)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "stop the campaign after this long (0 = no deadline)")
 	flag.Parse()
 	cfg.every = 50000
-	if err := fuzz(cfg, os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	if err := fuzz(ctx, cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -50,24 +73,34 @@ func main() {
 
 // fuzz runs the cross-validation loop, writing progress to out. It
 // returns an error describing the first disagreement between a
-// specification and the oracles, or nil after cfg.count clean words.
-func fuzz(cfg config, out io.Writer) error {
+// specification and the oracles, or nil after cfg.count clean words —
+// or earlier when the guard (deadline, cancellation, or the cumulative
+// spec-state budget) stops the campaign, which is reported on out and
+// is not an error.
+func fuzz(ctx context.Context, cfg config, out io.Writer) error {
 	rng := rand.New(rand.NewSource(cfg.seed))
 	gen := wordgen.Config{Threads: cfg.threads, Vars: cfg.vars, Len: cfg.maxLen}
 	ndSS := spec.NewNondet(spec.StrictSerializability, cfg.threads, cfg.vars)
 	ndOP := spec.NewNondet(spec.Opacity, cfg.threads, cfg.vars)
 	dtSS := spec.NewDet(spec.StrictSerializability, cfg.threads, cfg.vars)
 	dtOP := spec.NewDet(spec.Opacity, cfg.threads, cfg.vars)
+	g := guard.New(ctx, cfg.maxStates, 0)
 
 	fmt.Fprintf(out, "fuzzing specs vs oracles at (%d threads, %d vars), seed %d\n",
 		cfg.threads, cfg.vars, cfg.seed)
 	start := time.Now()
 	checked := 0
+	statesVisited := 0
 	report := func() {
 		rate := float64(checked) / time.Since(start).Seconds()
 		fmt.Fprintf(out, "  %d words checked (%.0f/s)\n", checked, rate)
 	}
 	for cfg.count == 0 || checked < cfg.count {
+		if err := g.Check(statesVisited); err != nil {
+			report()
+			fmt.Fprintf(out, "campaign stopped: %v\n", err)
+			return nil
+		}
 		var w core.Word
 		switch {
 		case cfg.directed, rng.Intn(3) == 0:
@@ -86,16 +119,24 @@ func fuzz(cfg config, out io.Writer) error {
 			return fmt.Errorf("DISAGREEMENT (%s): got %v want %v\n  word: %s\n  seed: %d",
 				which, got, want, w, cfg.seed)
 		}
-		if got := ndSS.Accepts(w); got != wantSS {
+		got, n := ndSS.AcceptsStates(w)
+		statesVisited += n
+		if got != wantSS {
 			return fail("nondet πss", got, wantSS)
 		}
-		if got := dtSS.Accepts(w); got != wantSS {
+		got, n = dtSS.AcceptsStates(w)
+		statesVisited += n
+		if got != wantSS {
 			return fail("det πss", got, wantSS)
 		}
-		if got := ndOP.Accepts(w); got != wantOP {
+		got, n = ndOP.AcceptsStates(w)
+		statesVisited += n
+		if got != wantOP {
 			return fail("nondet πop", got, wantOP)
 		}
-		if got := dtOP.Accepts(w); got != wantOP {
+		got, n = dtOP.AcceptsStates(w)
+		statesVisited += n
+		if got != wantOP {
 			return fail("det πop", got, wantOP)
 		}
 		if wantOP && !wantSS {

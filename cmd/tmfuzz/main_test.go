@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"bytes"
 	"strings"
 	"testing"
@@ -13,7 +14,7 @@ import (
 func TestFuzzSmoke(t *testing.T) {
 	var out bytes.Buffer
 	cfg := config{threads: 2, vars: 2, maxLen: 8, count: 300, seed: 1}
-	if err := fuzz(cfg, &out); err != nil {
+	if err := fuzz(context.Background(), cfg, &out); err != nil {
 		t.Fatalf("fuzz found a disagreement: %v", err)
 	}
 	got := out.String()
@@ -28,7 +29,7 @@ func TestFuzzSmoke(t *testing.T) {
 func TestFuzzSmokeDirected(t *testing.T) {
 	var out bytes.Buffer
 	cfg := config{threads: 3, vars: 2, maxLen: 10, count: 100, seed: 7, directed: true}
-	if err := fuzz(cfg, &out); err != nil {
+	if err := fuzz(context.Background(), cfg, &out); err != nil {
 		t.Fatalf("fuzz found a disagreement: %v", err)
 	}
 	if !strings.Contains(out.String(), "no disagreements") {
@@ -41,7 +42,7 @@ func TestFuzzSmokeDirected(t *testing.T) {
 func TestFuzzDeterministic(t *testing.T) {
 	run := func() string {
 		var out bytes.Buffer
-		if err := fuzz(config{threads: 2, vars: 2, maxLen: 8, count: 100, seed: 42}, &out); err != nil {
+		if err := fuzz(context.Background(), config{threads: 2, vars: 2, maxLen: 8, count: 100, seed: 42}, &out); err != nil {
 			t.Fatal(err)
 		}
 		// Drop the rate-bearing progress lines.
@@ -55,5 +56,45 @@ func TestFuzzDeterministic(t *testing.T) {
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("same seed produced different sessions:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestFuzzBudgetStops drives the campaign into a tiny cumulative
+// spec-state budget: it must stop gracefully — progress report, a
+// "campaign stopped" line naming the budget, nil error — instead of
+// running all requested words.
+func TestFuzzBudgetStops(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{threads: 2, vars: 2, maxLen: 8, count: 100000, seed: 1, maxStates: 500}
+	if err := fuzz(context.Background(), cfg, &out); err != nil {
+		t.Fatalf("stopped campaign must not error: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"campaign stopped:", "state budget", "-maxstates"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "no disagreements") {
+		t.Errorf("stopped campaign claims completion:\n%s", got)
+	}
+}
+
+// TestFuzzCancelStops checks an already-cancelled context stops the
+// campaign before the first word, again without an error exit.
+func TestFuzzCancelStops(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	cfg := config{threads: 2, vars: 2, maxLen: 8, count: 100000, seed: 1}
+	if err := fuzz(ctx, cfg, &out); err != nil {
+		t.Fatalf("cancelled campaign must not error: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "campaign stopped: check cancelled") {
+		t.Errorf("output missing cancellation notice:\n%s", got)
+	}
+	if !strings.Contains(got, "0 words checked") {
+		t.Errorf("cancelled-before-start campaign checked words:\n%s", got)
 	}
 }

@@ -3,8 +3,8 @@ package automata
 import (
 	"sync"
 
+	"tmcheck/internal/guard"
 	"tmcheck/internal/obs"
-	"tmcheck/internal/space"
 )
 
 // Language inclusion for prefix-closed (all-states-accepting) automata.
@@ -90,7 +90,15 @@ func IncludedInDFAStats(a *NFA, d *DFA) (ok bool, cex []int, st InclusionStats) 
 // stops with a *space.BudgetError (the stats still report the truncated
 // work). maxPairs <= 0 means unbounded, and then the error is always
 // nil.
-func IncludedInDFABudget(a *NFA, d *DFA, maxPairs int) (ok bool, cex []int, st InclusionStats, err error) {
+func IncludedInDFABudget(a *NFA, d *DFA, maxPairs int) (bool, []int, InclusionStats, error) {
+	return IncludedInDFAGuarded(a, d, guard.New(nil, maxPairs, 0))
+}
+
+// IncludedInDFAGuarded is the fully guarded inclusion check: the
+// guard's context, pair budget, and heap watchdog are consulted once
+// per dequeued product pair, so a -timeout or Ctrl-C interrupts even a
+// long inclusion phase. The stats still report the truncated work.
+func IncludedInDFAGuarded(a *NFA, d *DFA, g *guard.Guard) (ok bool, cex []int, st InclusionStats, err error) {
 	type node struct {
 		parent int
 		letter int // -1 for the root and for ε-steps
@@ -162,9 +170,12 @@ func IncludedInDFABudget(a *NFA, d *DFA, maxPairs int) (ok bool, cex []int, st I
 	start := encode(a.Initial(), d.Initial())
 	set(start, 0)
 	queue = append(queue, start)
+	guarded := g.Active()
 	for qi := 0; qi < len(queue); qi++ {
-		if maxPairs > 0 && len(queue) > maxPairs {
-			return record(false, nil, &space.BudgetError{Budget: maxPairs, Visited: len(queue)})
+		if guarded {
+			if gerr := g.Check(len(queue)); gerr != nil {
+				return record(false, nil, gerr)
+			}
 		}
 		pair := queue[qi]
 		n := int(pair / width)

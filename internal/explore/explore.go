@@ -29,6 +29,7 @@ import (
 
 	"tmcheck/internal/automata"
 	"tmcheck/internal/core"
+	"tmcheck/internal/guard"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/parbfs"
 	"tmcheck/internal/space"
@@ -122,7 +123,14 @@ func Build(alg tm.Algorithm, cm tm.ContentionManager) *TS {
 // bit-identical for every worker count (see the parbfs package comment
 // for the argument; TestEngineEquivalence checks it on the registry).
 func BuildWorkers(alg tm.Algorithm, cm tm.ContentionManager, workers int) *TS {
-	ts, _ := BuildBudget(alg, cm, workers, 0) // unbounded: cannot fail
+	ts, err := BuildBudget(alg, cm, workers, 0) // unbounded: only a TM panic can fail it
+	if err != nil {
+		// Preserve the historical contract of the unbudgeted builder —
+		// a panicking TM algorithm panics through — instead of
+		// returning a nil system. Guarded callers use BuildBudget or
+		// BuildGuarded and receive the error.
+		panic(err)
+	}
 	return ts
 }
 
@@ -130,11 +138,20 @@ func BuildWorkers(alg tm.Algorithm, cm tm.ContentionManager, workers int) *TS {
 // and the reachable system has more states, the exploration stops with
 // a *space.BudgetError instead of materializing it (the parallel engine
 // checks at level barriers, so it may overshoot by one BFS level).
-// maxStates <= 0 means unbounded, and then the error is always nil.
+// maxStates <= 0 means unbounded.
 func BuildBudget(alg tm.Algorithm, cm tm.ContentionManager, workers, maxStates int) (*TS, error) {
+	return BuildGuarded(alg, cm, workers, guard.New(nil, maxStates, 0))
+}
+
+// BuildGuarded is the fully guarded builder: the exploration honors
+// the guard's context (deadline and cancellation), state budget, and
+// heap watchdog — consulted per state by the sequential scan and at
+// level barriers by the parallel engine — and a panic in the TM
+// algorithm is isolated into a *guard.LimitError instead of crashing.
+func BuildGuarded(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard) (*TS, error) {
 	start := time.Now()
 	ts := &TS{Alg: alg, CM: cm, Alphabet: core.Alphabet{Threads: alg.Threads(), Vars: alg.Vars()}}
-	out, states, pstats, err := scanControlled(alg, cm, workers, maxStates, nil)
+	out, states, pstats, err := scanControlled(alg, cm, workers, g, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -170,39 +187,62 @@ type Barrier func(out [][]Edge, interned, expanded int) error
 // hook runs, so a blown budget is reported in preference to whatever
 // the hook would have found at that boundary).
 func ScanLevels(alg tm.Algorithm, cm tm.ContentionManager, workers, maxStates int, barrier Barrier) error {
-	_, _, _, err := scanControlled(alg, cm, workers, maxStates, barrier)
+	return ScanLevelsGuarded(alg, cm, workers, guard.New(nil, maxStates, 0), barrier)
+}
+
+// ScanLevelsGuarded is ScanLevels under a full resource guard: the
+// context, state budget, and heap watchdog are all consulted at the
+// points the budget alone used to be — per state in the sequential
+// scan and at level barriers in the parallel engine, always before the
+// barrier hook at the same boundary — so a cancelled or timed-out scan
+// still observes a prefix of the identical canonical barrier sequence
+// at every worker count.
+func ScanLevelsGuarded(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard, barrier Barrier) error {
+	_, _, _, err := scanControlled(alg, cm, workers, g, barrier)
 	return err
 }
 
-// scanControlled is the exploration engine under BuildBudget and
-// ScanLevels: scan-order BFS to the fixpoint (sequential for one
-// worker, parbfs for more), with an optional budget and an optional
-// per-level barrier hook. The returned adjacency and state table are
-// bit-identical for every worker count.
-func scanControlled(alg tm.Algorithm, cm tm.ContentionManager, workers, maxStates int, barrier Barrier) ([][]Edge, []prodState, parbfs.Stats, error) {
-	if workers <= 1 {
-		out, states, err := scanSeq(alg, cm, maxStates, barrier)
-		return out, states, parbfs.Stats{}, err
+// scanControlled is the exploration engine under BuildGuarded and
+// ScanLevelsGuarded: scan-order BFS to the fixpoint (sequential for
+// one worker, parbfs for more), with an optional guard and an optional
+// per-level barrier hook, inside a panic-isolation capture. The
+// returned adjacency and state table are bit-identical for every
+// worker count.
+func scanControlled(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard, barrier Barrier) (out [][]Edge, states []prodState, pstats parbfs.Stats, err error) {
+	err = guard.Capture(func() error {
+		var ierr error
+		if workers <= 1 {
+			out, states, ierr = scanSeq(alg, cm, g, barrier)
+			return ierr
+		}
+		out, states, pstats, ierr = scanPar(alg, cm, workers, g, barrier)
+		return ierr
+	})
+	if err != nil {
+		out, states = nil, nil
 	}
-	return scanPar(alg, cm, workers, maxStates, barrier)
+	return out, states, pstats, err
 }
 
 // scanSeq is the sequential scan-order BFS: a scan of the lazy Space to
 // its fixpoint, recording the resolved edges per state. The numbering
 // is first-sight scan order, exactly as the pre-Space builder
-// hand-rolled it. The budget is exact (checked per state, before the
+// hand-rolled it. The guard is exact (checked per state, before the
 // barrier at the same boundary).
-func scanSeq(alg tm.Algorithm, cm tm.ContentionManager, maxStates int, barrier Barrier) ([][]Edge, []prodState, error) {
+func scanSeq(alg tm.Algorithm, cm tm.ContentionManager, g *guard.Guard, barrier Barrier) ([][]Edge, []prodState, error) {
 	sp := newSpace(alg, cm, false)
 	var out [][]Edge
 	// The yield closure is hoisted out of the scan loop (capturing qi) so
 	// the hot path allocates none per state.
 	var qi space.State
 	yield := func(e Edge) { out[qi] = append(out[qi], e) }
+	guarded := g.Active()
 	levelEnd := 1
 	for qi = 0; int(qi) < sp.NumStates(); qi++ {
-		if maxStates > 0 && sp.NumStates() > maxStates {
-			return nil, nil, &space.BudgetError{Budget: maxStates, Visited: sp.NumStates()}
+		if guarded {
+			if err := g.Check(sp.NumStates()); err != nil {
+				return nil, nil, err
+			}
 		}
 		if barrier != nil && int(qi) == levelEnd {
 			if err := barrier(out, sp.NumStates(), levelEnd); err != nil {
@@ -224,10 +264,10 @@ func scanSeq(alg tm.Algorithm, cm tm.ContentionManager, maxStates int, barrier B
 // scanPar is the frontier-parallel exploration: each BFS level is
 // expanded by a worker pool interning into parbfs's sharded table, and
 // state numbering is canonicalized at every level barrier so the result
-// matches scanSeq bit for bit. The budget and barrier hook both run at
-// the level barriers (budget first), where the canonical numbering of
+// matches scanSeq bit for bit. The guard and barrier hook both run at
+// the level barriers (guard first), where the canonical numbering of
 // all completed levels is already assigned.
-func scanPar(alg tm.Algorithm, cm tm.ContentionManager, workers, maxStates int, barrier Barrier) ([][]Edge, []prodState, parbfs.Stats, error) {
+func scanPar(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard, barrier Barrier) ([][]Edge, []prodState, parbfs.Stats, error) {
 	// The Space supplies only the successor enumeration here — parbfs
 	// owns the interning, so the Space's own table stays at the initial
 	// state.
@@ -235,13 +275,13 @@ func scanPar(alg tm.Algorithm, cm tm.ContentionManager, workers, maxStates int, 
 	var out [][]Edge
 	var states []prodState
 	var control func(n int) error
-	if maxStates > 0 || barrier != nil {
+	if g.Active() || barrier != nil {
 		// prevInterned is the interned count at the previous barrier —
 		// exactly the states already expanded when this one fires.
 		prevInterned := 1
 		control = func(n int) error {
-			if maxStates > 0 && n > maxStates {
-				return &space.BudgetError{Budget: maxStates, Visited: n}
+			if err := g.Check(n); err != nil {
+				return err
 			}
 			if barrier != nil {
 				if err := barrier(out, n, prevInterned); err != nil {

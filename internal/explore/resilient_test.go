@@ -1,0 +1,109 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"tmcheck/internal/core"
+	"tmcheck/internal/guard"
+	"tmcheck/internal/tm"
+)
+
+// cancelTrace scans dstm at (2,2) with the given worker count,
+// recording each barrier's (expanded, interned) pair, and cancels
+// the context from inside barrier number cancelAt (0 = never).
+func cancelTrace(t *testing.T, workers, cancelAt int) ([][2]int, error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var trace [][2]int
+	err := ScanLevelsGuarded(tm.NewDSTM(2, 2), nil, workers, guard.New(ctx, 0, 0),
+		func(out [][]Edge, interned, expanded int) error {
+			trace = append(trace, [2]int{expanded, interned})
+			if len(trace) == cancelAt {
+				cancel()
+			}
+			return nil
+		})
+	return trace, err
+}
+
+// TestCancellationDeterminism is the determinism contract of guarded
+// stops: cancelling at a fixed barrier yields the identical barrier
+// trace — the same (expanded, interned) prefix of the uncancelled scan
+// — at every worker count, with the typed cancellation error. A limited
+// run is a prefix of the full run, never a different run.
+func TestCancellationDeterminism(t *testing.T) {
+	full, err := cancelTrace(t, 1, 0)
+	if err != nil {
+		t.Fatalf("uncancelled scan failed: %v", err)
+	}
+	const cancelAt = 4
+	if len(full) <= cancelAt {
+		t.Fatalf("scan has only %d barriers, need > %d", len(full), cancelAt)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		trace, err := cancelTrace(t, workers, cancelAt)
+		if !errors.Is(err, guard.ErrCancelled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want cancellation", workers, err)
+		}
+		var le *guard.LimitError
+		if !errors.As(err, &le) || le.Kind != guard.KindCancelled {
+			t.Fatalf("workers=%d: err = %v, want *guard.LimitError{KindCancelled}", workers, err)
+		}
+		if len(trace) != cancelAt {
+			t.Errorf("workers=%d: %d barriers ran after cancelling at %d", workers, len(trace), cancelAt)
+			continue
+		}
+		for i, pair := range trace {
+			if pair != full[i] {
+				t.Errorf("workers=%d: barrier %d = %v, full run has %v", workers, i, pair, full[i])
+			}
+		}
+	}
+}
+
+// panicAfter wraps a TM algorithm and panics on the Nth Steps call,
+// modelling a buggy TM implementation crashing mid-exploration.
+type panicAfter struct {
+	tm.Algorithm
+	calls *atomic.Int64
+	after int64
+}
+
+func (p panicAfter) Steps(q tm.State, c core.Command, t core.Thread) []tm.Step {
+	if p.calls.Add(1) > p.after {
+		panic(fmt.Sprintf("injected TM fault after %d steps", p.after))
+	}
+	return p.Algorithm.Steps(q, c, t)
+}
+
+// TestBuildGuardedIsolatesPanics crashes the TM mid-exploration at
+// several worker counts: the build must return a typed
+// *guard.LimitError carrying the panic value and a stack trace instead
+// of crashing the process (workers > 1 exercises the parbfs worker
+// recovery; workers = 1 the sequential Capture path).
+func TestBuildGuardedIsolatesPanics(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		var calls atomic.Int64
+		alg := panicAfter{Algorithm: tm.NewDSTM(2, 2), calls: &calls, after: 100}
+		ts, err := BuildGuarded(alg, nil, workers, nil)
+		if ts != nil {
+			t.Errorf("workers=%d: got a transition system from a crashed build", workers)
+		}
+		if !errors.Is(err, guard.ErrPanic) {
+			t.Fatalf("workers=%d: err = %v, want panic limit", workers, err)
+		}
+		var le *guard.LimitError
+		if !errors.As(err, &le) {
+			t.Fatalf("workers=%d: err = %v, want *guard.LimitError", workers, err)
+		}
+		if le.Kind != guard.KindPanic || le.Value == nil || len(le.Stack) == 0 {
+			t.Errorf("workers=%d: limit = kind %v value %v stack %d bytes, want isolated panic with stack",
+				workers, le.Kind, le.Value, len(le.Stack))
+		}
+	}
+}

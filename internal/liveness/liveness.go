@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"tmcheck/internal/explore"
+	"tmcheck/internal/guard"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/parbfs"
 	"tmcheck/internal/space"
@@ -113,6 +114,12 @@ type Result struct {
 	// Probes counts the lasso probes the geometric schedule ran before
 	// the check concluded.
 	Probes int
+	// Limit is non-nil when the check stopped at a resource limit
+	// before resolving this property; Holds is then meaningless and the
+	// keep-going table drivers render the cell as LIMIT(kind). A
+	// violation found before the limit tripped keeps its Result (Limit
+	// nil) — only unresolved properties are limited.
+	Limit *guard.LimitError
 }
 
 // LoopWord renders the looping part of the counterexample in the paper's

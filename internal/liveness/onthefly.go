@@ -1,11 +1,13 @@
 package liveness
 
 import (
+	"context"
 	"errors"
 	"time"
 
 	"tmcheck/internal/core"
 	"tmcheck/internal/explore"
+	"tmcheck/internal/guard"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/parbfs"
 	"tmcheck/internal/space"
@@ -74,6 +76,10 @@ type Options struct {
 	// space.MaxStates(), where 0 means unbounded. A blown budget fails
 	// the check with a *space.BudgetError.
 	MaxStates int
+	// Ctx carries the check's deadline and cancellation; nil means no
+	// deadline. The scan consults it at the same points where it checks
+	// the state budget.
+	Ctx context.Context
 }
 
 // CheckOnTheFly checks one liveness property with the on-the-fly engine
@@ -93,8 +99,14 @@ func CheckOnTheFlyOpts(alg tm.Algorithm, cm tm.ContentionManager, p Prop, opts O
 	if maxStates <= 0 {
 		maxStates = space.MaxStates()
 	}
-	res, err := checkLazy(alg, cm, []Prop{p}, workers, maxStates, true)
+	res, err := checkLazy(alg, cm, []Prop{p}, workers, guard.Process(opts.Ctx, maxStates), true)
 	if err != nil {
+		if len(res) == 1 {
+			// Partial outcome: the property may have resolved (a real
+			// violation) before the limit tripped, or carries the limit
+			// in Result.Limit. The error still reports the stop.
+			return res[0], err
+		}
 		return Result{}, err
 	}
 	return res[0], nil
@@ -105,8 +117,26 @@ func CheckOnTheFlyOpts(alg tm.Algorithm, cm tm.ContentionManager, p Prop, opts O
 // scan stops early once every property has a violation. Results equal
 // three independent CheckOnTheFly calls.
 func CheckAllOnTheFly(alg tm.Algorithm, cm tm.ContentionManager) (Table3Row, error) {
-	res, err := checkLazy(alg, cm, Props, parbfs.Workers(), space.MaxStates(), true)
+	return CheckAllOnTheFlyOpts(alg, cm, Options{})
+}
+
+// CheckAllOnTheFlyOpts is CheckAllOnTheFly with explicit options.
+func CheckAllOnTheFlyOpts(alg tm.Algorithm, cm tm.ContentionManager, opts Options) (Table3Row, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = parbfs.Workers()
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = space.MaxStates()
+	}
+	res, err := checkLazy(alg, cm, Props, workers, guard.Process(opts.Ctx, maxStates), true)
 	if err != nil {
+		if len(res) == 3 {
+			// Partial outcome: resolved properties keep their violations,
+			// unresolved ones carry the limit in Result.Limit.
+			return Table3Row{Obstruction: res[0], Livelock: res[1], Wait: res[2]}, err
+		}
 		return Table3Row{}, err
 	}
 	return Table3Row{Obstruction: res[0], Livelock: res[1], Wait: res[2]}, nil
@@ -119,7 +149,12 @@ var errAllResolved = errors.New("liveness: all properties resolved")
 // checkLazy is the engine core: one lazy exploration, probing every
 // unresolved property at the scheduled barriers. phase=false suppresses
 // the obs span for callers off the single-threaded spine.
-func checkLazy(alg tm.Algorithm, cm tm.ContentionManager, props []Prop, workers, maxStates int, phase bool) ([]Result, error) {
+//
+// When the guard stops the scan, properties already resolved keep their
+// violation Results; the unresolved ones carry the *guard.LimitError in
+// Result.Limit. The partial results are returned together with the
+// error, so keep-going drivers render exactly what was learned.
+func checkLazy(alg tm.Algorithm, cm tm.ContentionManager, props []Prop, workers int, g *guard.Guard, phase bool) ([]Result, error) {
 	name := systemName(alg, cm)
 	if phase {
 		done := obs.Phase("liveness-otf:" + name)
@@ -179,8 +214,28 @@ func checkLazy(alg tm.Algorithm, cm tm.ContentionManager, props []Prop, workers,
 		}
 		return nil
 	}
-	if err := explore.ScanLevels(alg, cm, workers, maxStates, barrier); err != nil && !errors.Is(err, errAllResolved) {
-		return nil, err
+	if err := explore.ScanLevelsGuarded(alg, cm, workers, g, barrier); err != nil && !errors.Is(err, errAllResolved) {
+		var le *guard.LimitError
+		if !errors.As(err, &le) {
+			return nil, err
+		}
+		// Limited scan: resolved properties keep their violations, the
+		// rest are marked limited at the states reached.
+		for i, p := range props {
+			if resolved[i] {
+				continue
+			}
+			results[i] = Result{
+				System: name, Prop: p, Threads: threads, Vars: alg.Vars(),
+				TMStates: finalStates,
+				Elapsed:  time.Since(start), Engine: space.EngineOnTheFly,
+				Expanded: lastProbed, Probes: probes, Limit: le,
+			}
+		}
+		for i := range results {
+			results[i].recordOTF()
+		}
+		return results, err
 	}
 	for i, p := range props {
 		if resolved[i] {
@@ -214,7 +269,9 @@ func (r Result) recordOTF() {
 	obs.SetGauge(key+".tm_states", int64(r.TMStates))
 	obs.SetGauge(key+".expanded", int64(r.Expanded))
 	obs.Inc(key+".probes", int64(r.Probes))
-	if !r.Holds {
+	if r.Limit != nil {
+		obs.Inc(key+".limited", 1)
+	} else if !r.Holds {
 		obs.SetGauge(key+".loop_len", int64(len(r.Loop)))
 		obs.SetGauge(key+".stem_len", int64(len(r.Stem)))
 	}
@@ -234,7 +291,7 @@ func Table3OnTheFly(systems []System) ([]Table3Row, error) {
 	}
 	var rows []Table3Row
 	for _, sys := range systems {
-		res, err := checkLazy(sys.Alg, sys.CM, Props, 1, maxStates, true)
+		res, err := checkLazy(sys.Alg, sys.CM, Props, 1, guard.Process(nil, maxStates), true)
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +310,7 @@ func table3OnTheFlyPar(systems []System, workers, maxStates int) ([]Table3Row, e
 	errs := make([]error, len(systems))
 	parbfs.For(len(systems), workers, func(i int) {
 		sys := systems[i]
-		res, err := checkLazy(sys.Alg, sys.CM, Props, 1, maxStates, false)
+		res, err := checkLazy(sys.Alg, sys.CM, Props, 1, guard.Process(nil, maxStates), false)
 		if err != nil {
 			errs[i] = err
 			return

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tmcheck/internal/explore"
+	"tmcheck/internal/guard"
 	"tmcheck/internal/space"
 )
 
@@ -21,7 +22,7 @@ func TestLivenessEngineAgreement(t *testing.T) {
 		for _, p := range Props {
 			mat := checkTS(ts, p)
 			for _, workers := range []int{1, 2, 4} {
-				res, err := checkLazy(sys.Alg, sys.CM, []Prop{p}, workers, 0, false)
+				res, err := checkLazy(sys.Alg, sys.CM, []Prop{p}, workers, nil, false)
 				if err != nil {
 					t.Fatalf("%s %s workers=%d: %v", name, p.Key(), workers, err)
 				}
@@ -90,7 +91,7 @@ func TestCheckAllOnTheFlySharesExploration(t *testing.T) {
 func TestLivenessBudgetBothEngines(t *testing.T) {
 	sys := PaperSystems(2, 1)[2] // dstm+aggressive
 	for _, workers := range []int{1, 4} {
-		if _, err := checkLazy(sys.Alg, sys.CM, Props, workers, 2, false); !errors.Is(err, space.ErrBudgetExceeded) {
+		if _, err := checkLazy(sys.Alg, sys.CM, Props, workers, guard.New(nil, 2, 0), false); !errors.Is(err, space.ErrBudgetExceeded) {
 			t.Errorf("onthefly workers=%d: err = %v, want budget error", workers, err)
 		}
 		if _, err := explore.BuildBudget(sys.Alg, sys.CM, workers, 2); !errors.Is(err, space.ErrBudgetExceeded) {

@@ -1,0 +1,119 @@
+package liveness
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"tmcheck/internal/explore"
+	"tmcheck/internal/guard"
+	"tmcheck/internal/obs"
+	"tmcheck/internal/parbfs"
+	"tmcheck/internal/space"
+)
+
+// Table3Resilient is the keep-going Table 3 driver of cmd/tmcheck:
+// every row runs under ctx (deadline and Ctrl-C) plus the process-wide
+// -maxstates and -maxmem limits, and a row that hits a limit — or
+// panics inside the TM algorithm — reports what it learned instead of
+// aborting the table. With the on-the-fly engine a limited row keeps
+// the violations its probes found before the stop and marks only the
+// unresolved properties with Result.Limit; with the materialized
+// engine a limited build marks all three.
+func Table3Resilient(ctx context.Context, systems []System, engine space.Engine) []Table3Row {
+	workers := parbfs.Workers()
+	if workers > 1 && len(systems) > 1 {
+		phase := "liveness:table3-onthefly-parallel"
+		if engine == space.EngineMaterialized {
+			phase = "liveness:table3-parallel"
+		}
+		done := obs.Phase(phase)
+		defer done()
+		rows := make([]Table3Row, len(systems))
+		parbfs.For(len(systems), workers, func(i int) {
+			rows[i] = table3ResilientRow(ctx, systems[i], engine, false)
+		})
+		return rows
+	}
+	rows := make([]Table3Row, 0, len(systems))
+	for _, sys := range systems {
+		rows = append(rows, table3ResilientRow(ctx, sys, engine, true))
+	}
+	return rows
+}
+
+// table3ResilientRow runs one guarded row with the selected engine.
+func table3ResilientRow(ctx context.Context, sys System, engine space.Engine, phase bool) Table3Row {
+	g := guard.Process(ctx, space.MaxStates())
+	if engine == space.EngineOnTheFly {
+		res, err := checkLazy(sys.Alg, sys.CM, Props, 1, g, phase)
+		if err != nil && len(res) != 3 {
+			// No partials to keep (a non-limit error): every cell limited.
+			return limitedRow(sys, space.EngineOnTheFly, 0, err)
+		}
+		row := Table3Row{Obstruction: res[0], Livelock: res[1], Wait: res[2]}
+		recordDriverRow3(row)
+		return row
+	}
+	buildStart := time.Now()
+	ts, err := explore.BuildGuarded(sys.Alg, sys.CM, 1, g)
+	buildElapsed := time.Since(buildStart)
+	if err != nil {
+		row := limitedRow(sys, space.EngineMaterialized, buildElapsed, err)
+		recordDriverRow3(row)
+		return row
+	}
+	row := Table3Row{
+		Obstruction: CheckObstructionFreedom(ts),
+		Livelock:    CheckLivelockFreedom(ts),
+		Wait:        CheckWaitFreedom(ts),
+	}
+	row.Obstruction.BuildElapsed = buildElapsed
+	recordDriverRow3(row)
+	return row
+}
+
+// limitedRow marks all three properties of one system limited.
+func limitedRow(sys System, engine space.Engine, elapsed time.Duration, err error) Table3Row {
+	var le *guard.LimitError
+	if !errors.As(err, &le) {
+		le = &guard.LimitError{Kind: guard.KindPanic, Value: err}
+	}
+	cell := func(p Prop) Result {
+		return Result{
+			System:   systemName(sys.Alg, sys.CM),
+			Prop:     p,
+			Threads:  sys.Alg.Threads(),
+			Vars:     sys.Alg.Vars(),
+			TMStates: le.Visited,
+			Engine:   engine,
+			Limit:    le,
+		}
+	}
+	row := Table3Row{
+		Obstruction: cell(ObstructionFreedom),
+		Livelock:    cell(LivelockFreedom),
+		Wait:        cell(WaitFreedom),
+	}
+	row.Obstruction.Elapsed = elapsed
+	return row
+}
+
+// recordDriverRow3 writes one keep-going row's vitals under
+// "driver.table3.<system>.<prop>.*": a limit_<label> counter when the
+// cell was stopped, plus its elapsed time and the states it reached.
+func recordDriverRow3(row Table3Row) {
+	if !obs.Enabled() {
+		return
+	}
+	for _, r := range []Result{row.Obstruction, row.Livelock, row.Wait} {
+		key := "driver.table3." + r.System + "." + r.Prop.Key()
+		if r.Limit != nil {
+			obs.Inc(key+".limit_"+r.Limit.Kind.Label(), 1)
+		} else {
+			obs.Inc(key+".completed", 1)
+		}
+		obs.SetGauge(key+".states", int64(r.TMStates))
+		obs.AddTime(key+".elapsed", r.Elapsed)
+	}
+}

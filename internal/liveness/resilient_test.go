@@ -1,0 +1,168 @@
+package liveness
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"tmcheck/internal/core"
+	"tmcheck/internal/guard"
+	"tmcheck/internal/space"
+	"tmcheck/internal/tm"
+)
+
+// panicAfter wraps a TM algorithm and panics on the Nth Steps call,
+// modelling a buggy TM implementation crashing mid-exploration.
+type panicAfter struct {
+	tm.Algorithm
+	calls *atomic.Int64
+	after int64
+}
+
+func (p panicAfter) Name() string { return "panicky" }
+
+func (p panicAfter) Steps(q tm.State, c core.Command, t core.Thread) []tm.Step {
+	if p.calls.Add(1) > p.after {
+		panic("injected TM fault")
+	}
+	return p.Algorithm.Steps(q, c, t)
+}
+
+// cells flattens a row for assertions.
+func cells(row Table3Row) []Result {
+	return []Result{row.Obstruction, row.Livelock, row.Wait}
+}
+
+// TestTable3ResilientMatchesFailFast checks the keep-going driver is a
+// strict generalization: without limits it reproduces the fail-fast
+// drivers' rows exactly, in both engines, with no Limit set.
+func TestTable3ResilientMatchesFailFast(t *testing.T) {
+	systems := PaperSystems(2, 1)
+	otfWant, err := Table3OnTheFly(systems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matWant := Table3(systems)
+	for _, tc := range []struct {
+		engine space.Engine
+		want   []Table3Row
+	}{
+		{space.EngineOnTheFly, otfWant},
+		{space.EngineMaterialized, matWant},
+	} {
+		got := Table3Resilient(context.Background(), systems, tc.engine)
+		if len(got) != len(tc.want) {
+			t.Fatalf("engine %v: %d rows, want %d", tc.engine, len(got), len(tc.want))
+		}
+		for i := range got {
+			gs, ws := cells(got[i]), cells(tc.want[i])
+			for j := range gs {
+				g, w := gs[j], ws[j]
+				if g.Limit != nil {
+					t.Errorf("engine %v: %s %v unexpectedly limited: %v", tc.engine, g.System, g.Prop, g.Limit)
+				}
+				if g.Holds != w.Holds || g.LoopWord() != w.LoopWord() || g.TMStates != w.TMStates {
+					t.Errorf("engine %v: %s %v = (%v, %q, %d states), fail-fast (%v, %q, %d states)",
+						tc.engine, g.System, g.Prop, g.Holds, g.LoopWord(), g.TMStates,
+						w.Holds, w.LoopWord(), w.TMStates)
+				}
+			}
+		}
+	}
+}
+
+// TestTable3ResilientKeepsGoing runs the paper systems under a budget
+// that stops dstm and tl2: the small systems still resolve, the
+// stopped cells carry a typed states limit — and with the on-the-fly
+// engine, violations the probes found before the stop keep their full
+// Results (partial rows, the heart of keep-going liveness).
+func TestTable3ResilientKeepsGoing(t *testing.T) {
+	prev := space.MaxStates()
+	defer space.SetMaxStates(prev)
+	space.SetMaxStates(50)
+	for _, engine := range []space.Engine{space.EngineOnTheFly, space.EngineMaterialized} {
+		rows := Table3Resilient(context.Background(), PaperSystems(2, 1), engine)
+		if len(rows) != 4 {
+			t.Fatalf("engine %v: %d rows, want 4", engine, len(rows))
+		}
+		resolved, limited := 0, 0
+		for _, row := range rows {
+			for _, r := range cells(row) {
+				if r.Limit == nil {
+					resolved++
+					continue
+				}
+				limited++
+				if r.Limit.Kind != guard.KindStates {
+					t.Errorf("engine %v: %s %v limited by %v, want states", engine, r.System, r.Prop, r.Limit.Kind)
+				}
+			}
+		}
+		if resolved == 0 || limited == 0 {
+			t.Errorf("engine %v: resolved %d, limited %d — keep-going needs both", engine, resolved, limited)
+		}
+	}
+	// The partial-row guarantee is on-the-fly only: dstm+aggressive blows
+	// the 50-state budget before obstruction freedom's fixpoint, but its
+	// livelock violation is found by an earlier probe and must survive
+	// with its loop word.
+	rows := Table3Resilient(context.Background(), PaperSystems(2, 1), space.EngineOnTheFly)
+	dstm := rows[2]
+	if dstm.Obstruction.Limit == nil {
+		t.Fatalf("dstm obstruction = %+v, want limited", dstm.Obstruction)
+	}
+	if dstm.Livelock.Limit != nil || dstm.Livelock.Holds || dstm.Livelock.LoopWord() == "" {
+		t.Errorf("dstm livelock = %+v, want the pre-limit violation kept", dstm.Livelock)
+	}
+}
+
+// TestTable3ResilientIsolatesPanicTM registers a deliberately crashing
+// TM through the public registry and checks both engines isolate the
+// panic into LimitError{Kind: panic} cells while healthy rows resolve.
+func TestTable3ResilientIsolatesPanicTM(t *testing.T) {
+	if err := tm.RegisterAlgorithm("panicky-liveness", func(n, k int) tm.Algorithm {
+		return panicAfter{Algorithm: tm.NewDSTM(n, k), calls: new(atomic.Int64), after: 20}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	broken, err := tm.NewAlgorithm("panicky-liveness", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems := []System{{Alg: tm.NewSeq(2, 1)}, {Alg: broken, CM: tm.Aggressive{}}}
+	for _, engine := range []space.Engine{space.EngineOnTheFly, space.EngineMaterialized} {
+		rows := Table3Resilient(context.Background(), systems, engine)
+		if len(rows) != 2 {
+			t.Fatalf("engine %v: %d rows, want 2", engine, len(rows))
+		}
+		for _, r := range cells(rows[0]) {
+			if r.Limit != nil {
+				t.Errorf("engine %v: healthy seq limited: %v", engine, r.Limit)
+			}
+		}
+		for _, r := range cells(rows[1]) {
+			if r.Limit == nil || r.Limit.Kind != guard.KindPanic {
+				t.Fatalf("engine %v: broken TM limit = %v, want isolated panic", engine, r.Limit)
+			}
+			if r.Limit.Value == nil || len(r.Limit.Stack) == 0 {
+				t.Errorf("engine %v: panic limit lost value or stack", engine)
+			}
+		}
+	}
+}
+
+// TestCheckOnTheFlyOptsCtx threads a cancelled context through the
+// one-shot liveness entry point: the typed cancellation surfaces.
+func TestCheckOnTheFlyOptsCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := CheckOnTheFlyOpts(tm.NewDSTM(2, 1), tm.Aggressive{}, LivelockFreedom, Options{Ctx: ctx})
+	var le *guard.LimitError
+	if !errors.As(err, &le) || le.Kind != guard.KindCancelled {
+		t.Fatalf("err = %v, want cancellation limit", err)
+	}
+	if res.Limit == nil || res.Limit.Kind != guard.KindCancelled {
+		t.Errorf("partial result limit = %v, want cancelled", res.Limit)
+	}
+}

@@ -26,9 +26,12 @@ package parbfs
 import (
 	"hash/maphash"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"tmcheck/internal/guard"
 )
 
 // defaultWorkers is the process-wide worker count; 0 means "use
@@ -138,8 +141,51 @@ func Run[S comparable](
 	place func(id int, s S),
 	finish func(id int, succ []int32),
 ) Stats {
-	st, _ := RunControlled(init, workers, nil, expand, place, finish)
+	st, err := RunControlled(init, workers, nil, expand, place, finish)
+	if err != nil {
+		// With a nil control the only possible error is an isolated
+		// worker panic; Run has no error channel, so re-panic with the
+		// *guard.LimitError — guard.Capture in the engine entry points
+		// converts it back into the error, unwrapped.
+		panic(err)
+	}
 	return st
+}
+
+// panicBox records the first panic of a run's worker pool. parbfs
+// converts it into a *guard.LimitError carrying the recovered value
+// and the crashing worker's stack, so one broken user-supplied TM
+// degrades that search instead of killing the whole process.
+type panicBox struct {
+	mu  sync.Mutex
+	err *guard.LimitError
+}
+
+// protect wraps a worker task with a recover that files the panic.
+func (b *panicBox) protect(f func(int)) func(int) {
+	return func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				le := &guard.LimitError{Kind: guard.KindPanic, Value: v, Stack: debug.Stack()}
+				b.mu.Lock()
+				if b.err == nil {
+					b.err = le
+				}
+				b.mu.Unlock()
+			}
+		}()
+		f(i)
+	}
+}
+
+// limit returns the filed error, if any.
+func (b *panicBox) limit() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err != nil {
+		return b.err
+	}
+	return nil
 }
 
 // RunControlled is Run with a stopping hook for searches that may end
@@ -174,6 +220,7 @@ func RunControlled[S comparable](
 	}
 
 	st := Stats{Shards: nshards}
+	var panics panicBox
 	place(0, init)
 	shardOf(init).known[init] = 0
 	level := []int32{0}
@@ -185,7 +232,7 @@ func RunControlled[S comparable](
 		st.LevelSizes = append(st.LevelSizes, len(level))
 		outs := make([][]succRef[S], len(level))
 
-		For(len(level), workers, func(fi int) {
+		For(len(level), workers, panics.protect(func(fi int) {
 			id := level[fi]
 			var refs []succRef[S]
 			di := int32(0)
@@ -199,7 +246,14 @@ func RunControlled[S comparable](
 				di++
 			})
 			outs[fi] = refs
-		})
+		}))
+		// A crashed worker poisons the level (its discoveries may be
+		// incomplete): stop at this barrier with the isolated panic
+		// instead of assigning ids from partial expansions.
+		if err := panics.limit(); err != nil {
+			finalize(shards, &st, emissions, nextID)
+			return st, err
+		}
 
 		// Barrier: gather this level's discoveries, order them by their
 		// minimal discovery key, and assign the canonical ids.
@@ -229,7 +283,7 @@ func RunControlled[S comparable](
 			clear(shards[i].cands)
 		}
 
-		For(len(level), workers, func(fi int) {
+		For(len(level), workers, panics.protect(func(fi int) {
 			refs := outs[fi]
 			succ := make([]int32, len(refs))
 			for j, r := range refs {
@@ -240,7 +294,11 @@ func RunControlled[S comparable](
 				}
 			}
 			finish(int(level[fi]), succ)
-		})
+		}))
+		if err := panics.limit(); err != nil {
+			finalize(shards, &st, emissions, nextID)
+			return st, err
+		}
 		for _, refs := range outs {
 			emissions += int64(len(refs))
 		}

@@ -1,6 +1,7 @@
 package safety
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"tmcheck/internal/automata"
 	"tmcheck/internal/explore"
+	"tmcheck/internal/guard"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/parbfs"
 	"tmcheck/internal/space"
@@ -49,6 +51,10 @@ type Options struct {
 	MaxStates int
 	// Engine selects the pipeline; the zero value is EngineMaterialized.
 	Engine Engine
+	// Ctx carries the check's deadline and cancellation; nil means no
+	// deadline. The engines consult it at the same points where they
+	// check the state budget.
+	Ctx context.Context
 }
 
 // VerifyOpts checks L(alg×cm) ⊆ L(Σd prop) with the selected engine.
@@ -75,10 +81,11 @@ func VerifyOpts(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, o
 	if maxStates <= 0 {
 		maxStates = space.MaxStates()
 	}
+	g := guard.Process(opts.Ctx, maxStates)
 	if opts.Engine == EngineOnTheFly {
-		return checkOnTheFly(alg, cm, prop, workers, maxStates, true)
+		return checkOnTheFly(alg, cm, prop, workers, g, true)
 	}
-	return verifyMaterialized(alg, cm, prop, workers, maxStates)
+	return verifyMaterialized(alg, cm, prop, workers, g)
 }
 
 // CheckOnTheFly verifies the TM with the on-the-fly engine at the
@@ -87,12 +94,14 @@ func CheckOnTheFly(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property
 	return VerifyOpts(alg, cm, prop, Options{Engine: EngineOnTheFly})
 }
 
-// verifyMaterialized is the classic pipeline with the budget threaded
-// through its three stages; each stage is charged against what the
-// previous stages already constructed.
-func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, workers, maxStates int) (Result, error) {
+// verifyMaterialized is the classic pipeline with the guard threaded
+// through its three stages; the state budget of each stage is charged
+// against what the previous stages already constructed (the context
+// and heap watchdog are shared across all three unchanged).
+func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, workers int, g *guard.Guard) (Result, error) {
+	maxStates := g.MaxStates()
 	buildStart := time.Now()
-	ts, err := explore.BuildBudget(alg, cm, workers, maxStates)
+	ts, err := explore.BuildGuarded(alg, cm, workers, g)
 	if err != nil {
 		return Result{}, err
 	}
@@ -106,13 +115,9 @@ func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Pro
 	}
 	det := spec.NewDet(prop, alg.Threads(), alg.Vars())
 	specStart := time.Now()
-	dfa, err := det.EnumerateBudget(workers, remaining)
+	dfa, err := det.EnumerateGuarded(workers, g.WithStates(remaining))
 	if err != nil {
-		var be *space.BudgetError
-		if errors.As(err, &be) {
-			return Result{}, &space.BudgetError{Budget: maxStates, Visited: ts.NumStates() + be.Visited}
-		}
-		return Result{}, err
+		return Result{}, chargeStates(err, maxStates, ts.NumStates())
 	}
 	specElapsed := time.Since(specStart)
 
@@ -124,15 +129,11 @@ func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Pro
 	done := obs.Phase("inclusion:" + ts.Name() + ":" + prop.Key())
 	nfa := ts.NFA()
 	start := time.Now()
-	ok, cexLetters, st, err := automata.IncludedInDFABudget(nfa, dfa, remaining)
+	ok, cexLetters, st, err := automata.IncludedInDFAGuarded(nfa, dfa, g.WithStates(remaining))
 	elapsed := time.Since(start)
 	done()
 	if err != nil {
-		var be *space.BudgetError
-		if errors.As(err, &be) {
-			return Result{}, &space.BudgetError{Budget: maxStates, Visited: ts.NumStates() + dfa.NumStates() + be.Visited}
-		}
-		return Result{}, err
+		return Result{}, chargeStates(err, maxStates, ts.NumStates()+dfa.NumStates())
 	}
 	res := Result{
 		System:           ts.Name(),
@@ -155,6 +156,17 @@ func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Pro
 	return res, nil
 }
 
+// chargeStates re-bases a staged state-budget error onto the whole
+// pipeline's budget, adding the states the earlier stages already
+// constructed; every other limit kind passes through untouched.
+func chargeStates(err error, maxStates, already int) error {
+	var le *guard.LimitError
+	if errors.As(err, &le) && le.Kind == guard.KindStates {
+		return &guard.LimitError{Kind: guard.KindStates, Budget: maxStates, Visited: already + le.Visited}
+	}
+	return err
+}
+
 // pairState is a state of the synchronized product: an interned TM
 // state and an interned spec state.
 type pairState struct {
@@ -170,16 +182,19 @@ var errViolationFound = errors.New("safety: violation found")
 // in lockstep, stopping at the first undefined spec transition (the
 // inclusion counterexample) or the fixpoint. phase=false suppresses the
 // obs span for callers off the single-threaded spine.
-func checkOnTheFly(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, workers, maxStates int, phase bool) (Result, error) {
+func checkOnTheFly(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, workers int, g *guard.Guard, phase bool) (Result, error) {
 	det := spec.NewDet(prop, alg.Threads(), alg.Vars())
 	var res Result
-	var err error
 	start := time.Now()
-	if workers <= 1 {
-		res, err = otfSeq(alg, cm, det, prop, maxStates, phase)
-	} else {
-		res, err = otfPar(alg, cm, det, prop, workers, maxStates, phase)
-	}
+	err := guard.Capture(func() error {
+		var ierr error
+		if workers <= 1 {
+			res, ierr = otfSeq(alg, cm, det, prop, g, phase)
+		} else {
+			res, ierr = otfPar(alg, cm, det, prop, workers, g, phase)
+		}
+		return ierr
+	})
 	if err != nil {
 		return Result{}, err
 	}
@@ -209,7 +224,7 @@ func expandSorted(tmsp *explore.Space, s space.State) []explore.Edge {
 }
 
 // otfSeq is the sequential on-the-fly search.
-func otfSeq(alg tm.Algorithm, cm tm.ContentionManager, det *spec.Det, prop spec.Property, maxStates int, phase bool) (Result, error) {
+func otfSeq(alg tm.Algorithm, cm tm.ContentionManager, det *spec.Det, prop spec.Property, g *guard.Guard, phase bool) (Result, error) {
 	if phase {
 		done := obs.Phase("otf:" + systemName(alg, cm) + ":" + prop.Key())
 		defer done()
@@ -279,10 +294,11 @@ func otfSeq(alg tm.Algorithm, cm tm.ContentionManager, det *spec.Det, prop spec.
 		return res
 	}
 
+	guarded := g.Active()
 	for qi := int32(0); int(qi) < len(nodes); qi++ {
-		if maxStates > 0 {
-			if total := len(nodes) + tmsp.NumStates() + lz.NumStates(); total > maxStates {
-				return Result{}, &space.BudgetError{Budget: maxStates, Visited: total}
+		if guarded {
+			if err := g.Check(len(nodes) + tmsp.NumStates() + lz.NumStates()); err != nil {
+				return Result{}, err
 			}
 		}
 		if f := len(nodes) - int(qi); f > frontierPeak {
@@ -313,7 +329,7 @@ func otfSeq(alg tm.Algorithm, cm tm.ContentionManager, det *spec.Det, prop spec.
 // constructed at the stopping point may differ (trailing same-level
 // expansions), so the budget and the reported sizes are
 // worker-count-dependent on early exit; verdicts never are.
-func otfPar(alg tm.Algorithm, cm tm.ContentionManager, det *spec.Det, prop spec.Property, workers, maxStates int, phase bool) (Result, error) {
+func otfPar(alg tm.Algorithm, cm tm.ContentionManager, det *spec.Det, prop spec.Property, workers int, g *guard.Guard, phase bool) (Result, error) {
 	if phase {
 		done := obs.Phase("otf:" + systemName(alg, cm) + ":" + prop.Key())
 		defer done()
@@ -340,12 +356,7 @@ func otfPar(alg tm.Algorithm, cm tm.ContentionManager, det *spec.Det, prop spec.
 			if found {
 				return errViolationFound
 			}
-			if maxStates > 0 {
-				if total := states + tmsp.NumStates() + lz.NumStates(); total > maxStates {
-					return &space.BudgetError{Budget: maxStates, Visited: total}
-				}
-			}
-			return nil
+			return g.Check(states + tmsp.NumStates() + lz.NumStates())
 		},
 		func(id int, emit func(pairState)) {
 			p := pairs[id]
@@ -479,11 +490,11 @@ func Table2OnTheFly(systems []System) ([]Table2Row, error) {
 	}
 	var rows []Table2Row
 	for _, sys := range systems {
-		ss, err := checkOnTheFly(sys.Alg, sys.CM, spec.StrictSerializability, 1, maxStates, true)
+		ss, err := checkOnTheFly(sys.Alg, sys.CM, spec.StrictSerializability, 1, guard.Process(nil, maxStates), true)
 		if err != nil {
 			return nil, err
 		}
-		op, err := checkOnTheFly(sys.Alg, sys.CM, spec.Opacity, 1, maxStates, true)
+		op, err := checkOnTheFly(sys.Alg, sys.CM, spec.Opacity, 1, guard.Process(nil, maxStates), true)
 		if err != nil {
 			return nil, err
 		}
@@ -528,12 +539,12 @@ func table2OnTheFlyPar(systems []System, workers, maxStates int) ([]Table2Row, e
 	errs := make([]error, len(systems))
 	parbfs.For(len(systems), workers, func(i int) {
 		sys := systems[i]
-		ss, err := checkOnTheFly(sys.Alg, sys.CM, spec.StrictSerializability, 1, maxStates, false)
+		ss, err := checkOnTheFly(sys.Alg, sys.CM, spec.StrictSerializability, 1, guard.Process(nil, maxStates), false)
 		if err != nil {
 			errs[i] = err
 			return
 		}
-		op, err := checkOnTheFly(sys.Alg, sys.CM, spec.Opacity, 1, maxStates, false)
+		op, err := checkOnTheFly(sys.Alg, sys.CM, spec.Opacity, 1, guard.Process(nil, maxStates), false)
 		if err != nil {
 			errs[i] = err
 			return

@@ -1,0 +1,218 @@
+package safety
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"tmcheck/internal/automata"
+	"tmcheck/internal/explore"
+	"tmcheck/internal/guard"
+	"tmcheck/internal/obs"
+	"tmcheck/internal/parbfs"
+	"tmcheck/internal/space"
+	"tmcheck/internal/spec"
+	"tmcheck/internal/tm"
+)
+
+// Table2Resilient is the keep-going Table 2 driver of cmd/tmcheck:
+// every check runs under ctx (deadline and Ctrl-C) plus the
+// process-wide -maxstates and -maxmem limits, and a check that hits a
+// limit — or panics inside the TM algorithm — yields a Result whose
+// Limit field carries the *guard.LimitError instead of aborting the
+// table. The remaining checks still run, so one oversized or broken
+// system costs its own rows and nothing else.
+func Table2Resilient(ctx context.Context, systems []System, engine Engine) []Table2Row {
+	workers := parbfs.Workers()
+	if engine == EngineOnTheFly {
+		if workers > 1 && len(systems) > 1 {
+			return table2ResilientOTFPar(ctx, systems, workers)
+		}
+		return table2ResilientOTFSeq(ctx, systems)
+	}
+	return table2ResilientMat(ctx, systems, workers)
+}
+
+// limitedResult wraps a check-stopping error into a row-renderable
+// Result. Every error on these paths is a *guard.LimitError already;
+// anything else (defensively) is reported as an isolated panic.
+func limitedResult(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, engine Engine, elapsed time.Duration, err error) Result {
+	var le *guard.LimitError
+	if !errors.As(err, &le) {
+		le = &guard.LimitError{Kind: guard.KindPanic, Value: err}
+	}
+	return Result{
+		System:   systemName(alg, cm),
+		Prop:     prop,
+		Threads:  alg.Threads(),
+		Vars:     alg.Vars(),
+		TMStates: le.Visited,
+		Elapsed:  elapsed,
+		Engine:   engine,
+		Limit:    le,
+	}
+}
+
+// recordDriverRow writes one keep-going row's vitals under
+// "driver.<table>.<system>.<prop>.*": a limit_<label> counter when the
+// check was stopped, plus its elapsed time and the states it reached.
+func recordDriverRow(table string, r Result) {
+	if !obs.Enabled() {
+		return
+	}
+	key := "driver." + table + "." + r.System + "." + r.Prop.Key()
+	if r.Limit != nil {
+		obs.Inc(key+".limit_"+r.Limit.Kind.Label(), 1)
+	} else {
+		obs.Inc(key+".completed", 1)
+	}
+	obs.SetGauge(key+".states", int64(r.TMStates))
+	obs.AddTime(key+".elapsed", r.Elapsed)
+}
+
+// resilientCheck runs one guarded check and converts a limit into a
+// Limit-carrying Result.
+func resilientCheck(run func() (Result, error), alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, engine Engine) Result {
+	start := time.Now()
+	res, err := run()
+	if err != nil {
+		res = limitedResult(alg, cm, prop, engine, time.Since(start), err)
+	}
+	recordDriverRow("table2", res)
+	return res
+}
+
+// table2ResilientOTFSeq checks the systems with the sequential
+// on-the-fly engine, one guarded check at a time, with the same obs
+// phase names as the fail-fast driver.
+func table2ResilientOTFSeq(ctx context.Context, systems []System) []Table2Row {
+	rows := make([]Table2Row, 0, len(systems))
+	for _, sys := range systems {
+		row := Table2Row{}
+		for _, prop := range []spec.Property{spec.StrictSerializability, spec.Opacity} {
+			prop := prop
+			res := resilientCheck(func() (Result, error) {
+				return checkOnTheFly(sys.Alg, sys.CM, prop, 1, guard.Process(ctx, space.MaxStates()), true)
+			}, sys.Alg, sys.CM, prop, EngineOnTheFly)
+			if prop == spec.StrictSerializability {
+				row.SS = res
+			} else {
+				row.OP = res
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// table2ResilientOTFPar fans the rows out over the worker pool;
+// per-row obs phases are skipped (the phase stack assumes a
+// single-threaded spine), matching the fail-fast parallel driver.
+func table2ResilientOTFPar(ctx context.Context, systems []System, workers int) []Table2Row {
+	done := obs.Phase("safety:table2-onthefly-parallel")
+	defer done()
+	rows := make([]Table2Row, len(systems))
+	parbfs.For(len(systems), workers, func(i int) {
+		sys := systems[i]
+		ss := resilientCheck(func() (Result, error) {
+			return checkOnTheFly(sys.Alg, sys.CM, spec.StrictSerializability, 1, guard.Process(ctx, space.MaxStates()), false)
+		}, sys.Alg, sys.CM, spec.StrictSerializability, EngineOnTheFly)
+		op := resilientCheck(func() (Result, error) {
+			return checkOnTheFly(sys.Alg, sys.CM, spec.Opacity, 1, guard.Process(ctx, space.MaxStates()), false)
+		}, sys.Alg, sys.CM, spec.Opacity, EngineOnTheFly)
+		rows[i] = Table2Row{SS: ss, OP: op}
+	})
+	return rows
+}
+
+// table2ResilientMat is the keep-going materialized driver. Without a
+// state budget it replicates the classic Table2 shape — one TM build
+// per row under "safety:<name>" / "build-tm" phases, deterministic
+// specifications enumerated once per (prop, n, k) under "build-spec:*"
+// and shared across rows, inclusions under "inclusion:*" — with the
+// guard threaded through every stage. With a budget set the rows go
+// through the per-check staged pipeline instead (each check charges
+// its own TM build, spec enumeration, and inclusion), matching the
+// historical budgeted semantics.
+func table2ResilientMat(ctx context.Context, systems []System, workers int) []Table2Row {
+	if space.MaxStates() > 0 {
+		rows := make([]Table2Row, 0, len(systems))
+		for _, sys := range systems {
+			ss := resilientCheck(func() (Result, error) {
+				return VerifyOpts(sys.Alg, sys.CM, spec.StrictSerializability, Options{Engine: EngineMaterialized, Ctx: ctx})
+			}, sys.Alg, sys.CM, spec.StrictSerializability, EngineMaterialized)
+			op := resilientCheck(func() (Result, error) {
+				return VerifyOpts(sys.Alg, sys.CM, spec.Opacity, Options{Engine: EngineMaterialized, Ctx: ctx})
+			}, sys.Alg, sys.CM, spec.Opacity, EngineMaterialized)
+			rows = append(rows, Table2Row{SS: ss, OP: op})
+		}
+		return rows
+	}
+
+	type dfaKey struct {
+		prop spec.Property
+		n, k int
+	}
+	dfas := map[dfaKey]*automata.DFA{}
+	// dfaFor builds (or reuses) the deterministic specification under
+	// the guard, reporting the enumeration time — zero on a cache hit,
+	// so the cost is charged exactly once across the table.
+	dfaFor := func(prop spec.Property, n, k int) (*automata.DFA, time.Duration, error) {
+		k2 := dfaKey{prop, n, k}
+		if d, ok := dfas[k2]; ok {
+			return d, 0, nil
+		}
+		done := obs.Phase("build-spec:" + prop.Key())
+		defer done()
+		start := time.Now()
+		d, err := spec.NewDet(prop, n, k).EnumerateGuarded(workers, guard.Process(ctx, 0))
+		if err != nil {
+			return nil, time.Since(start), err
+		}
+		dfas[k2] = d
+		return d, time.Since(start), nil
+	}
+
+	rows := make([]Table2Row, 0, len(systems))
+	for _, sys := range systems {
+		name := systemName(sys.Alg, sys.CM)
+		doneSys := obs.Phase("safety:" + name)
+		doneBuild := obs.Phase("build-tm")
+		buildStart := time.Now()
+		ts, buildErr := explore.BuildGuarded(sys.Alg, sys.CM, workers, guard.Process(ctx, 0))
+		buildElapsed := time.Since(buildStart)
+		doneBuild()
+		if buildErr != nil {
+			// The row's TM never materialized: both checks are limited.
+			row := Table2Row{
+				SS: limitedResult(sys.Alg, sys.CM, spec.StrictSerializability, EngineMaterialized, buildElapsed, buildErr),
+				OP: limitedResult(sys.Alg, sys.CM, spec.Opacity, EngineMaterialized, 0, buildErr),
+			}
+			recordDriverRow("table2", row.SS)
+			recordDriverRow("table2", row.OP)
+			rows = append(rows, row)
+			doneSys()
+			continue
+		}
+		n, k := sys.Alg.Threads(), sys.Alg.Vars()
+		check := func(prop spec.Property) Result {
+			return resilientCheck(func() (Result, error) {
+				dfa, specElapsed, err := dfaFor(prop, n, k)
+				if err != nil {
+					return Result{}, err
+				}
+				res, err := checkAgainstDFAGuarded(ts, prop, dfa, guard.Process(ctx, 0), true)
+				if err != nil {
+					return Result{}, err
+				}
+				res.BuildSpecElapsed = specElapsed
+				return res, nil
+			}, sys.Alg, sys.CM, prop, EngineMaterialized)
+		}
+		row := Table2Row{SS: check(spec.StrictSerializability), OP: check(spec.Opacity)}
+		row.SS.BuildTMElapsed = buildElapsed
+		rows = append(rows, row)
+		doneSys()
+	}
+	return rows
+}

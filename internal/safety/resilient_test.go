@@ -1,0 +1,166 @@
+package safety
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"tmcheck/internal/core"
+	"tmcheck/internal/guard"
+	"tmcheck/internal/space"
+	"tmcheck/internal/spec"
+	"tmcheck/internal/tm"
+)
+
+// panicAfter wraps a TM algorithm and panics on the Nth Steps call,
+// modelling a buggy TM implementation crashing mid-exploration.
+type panicAfter struct {
+	tm.Algorithm
+	calls *atomic.Int64
+	after int64
+}
+
+func (p panicAfter) Name() string { return "panicky" }
+
+func (p panicAfter) Steps(q tm.State, c core.Command, t core.Thread) []tm.Step {
+	if p.calls.Add(1) > p.after {
+		panic("injected TM fault")
+	}
+	return p.Algorithm.Steps(q, c, t)
+}
+
+// TestTable2ResilientMatchesFailFast checks the keep-going driver is a
+// strict generalization: without limits it reproduces the fail-fast
+// drivers' verdicts exactly, in both engines, with no Limit set.
+func TestTable2ResilientMatchesFailFast(t *testing.T) {
+	systems := PaperSystems(2, 2)
+	for _, engine := range []Engine{EngineOnTheFly, EngineMaterialized} {
+		got := Table2Resilient(context.Background(), systems, engine)
+		var want []Table2Row
+		var err error
+		if engine == EngineOnTheFly {
+			want, err = Table2OnTheFly(systems)
+		} else {
+			want, err = Table2Materialized(systems)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("engine %v: %d rows, want %d", engine, len(got), len(want))
+		}
+		for i := range got {
+			for _, pair := range [][2]Result{{got[i].SS, want[i].SS}, {got[i].OP, want[i].OP}} {
+				g, w := pair[0], pair[1]
+				if g.Limit != nil {
+					t.Errorf("engine %v: %s %v unexpectedly limited: %v", engine, g.System, g.Prop, g.Limit)
+				}
+				gc, wc := fmt.Sprint(g.Counterexample), fmt.Sprint(w.Counterexample)
+				if g.Holds != w.Holds || gc != wc || g.TMStates != w.TMStates {
+					t.Errorf("engine %v: %s %v = (%v, %q, %d states), fail-fast (%v, %q, %d states)",
+						engine, g.System, g.Prop, g.Holds, gc, g.TMStates, w.Holds, wc, w.TMStates)
+				}
+			}
+		}
+	}
+}
+
+// TestTable2ResilientKeepsGoing runs the paper systems under a budget
+// that stops the big TMs: the small ones must still resolve, the
+// stopped ones must carry a typed states limit, and no error escapes.
+func TestTable2ResilientKeepsGoing(t *testing.T) {
+	prev := space.MaxStates()
+	defer space.SetMaxStates(prev)
+	// The materialized pipeline charges the full deterministic spec
+	// (5614 ss states at (2,2)) to every check, so it needs a larger
+	// budget than the lazy engine for the small systems to fit.
+	budgets := map[Engine]int{EngineOnTheFly: 200, EngineMaterialized: 8000}
+	for _, engine := range []Engine{EngineOnTheFly, EngineMaterialized} {
+		space.SetMaxStates(budgets[engine])
+		rows := Table2Resilient(context.Background(), PaperSystems(2, 2), engine)
+		resolved, limited := 0, 0
+		for _, row := range rows {
+			for _, r := range []Result{row.SS, row.OP} {
+				if r.Limit == nil {
+					resolved++
+					continue
+				}
+				limited++
+				if r.Limit.Kind != guard.KindStates {
+					t.Errorf("engine %v: %s %v limited by %v, want states", engine, r.System, r.Prop, r.Limit.Kind)
+				}
+			}
+		}
+		if resolved == 0 || limited == 0 {
+			t.Errorf("engine %v: resolved %d, limited %d — keep-going needs both", engine, resolved, limited)
+		}
+	}
+}
+
+// TestTable2ResilientCancelled hands the driver an expired deadline:
+// every check reports a time limit, none crashes or hangs.
+func TestTable2ResilientCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows := Table2Resilient(ctx, PaperSystems(2, 2), EngineOnTheFly)
+	for _, row := range rows {
+		for _, r := range []Result{row.SS, row.OP} {
+			if r.Limit == nil || r.Limit.Kind != guard.KindCancelled {
+				t.Errorf("%s %v: limit = %v, want cancelled", r.System, r.Prop, r.Limit)
+			}
+		}
+	}
+}
+
+// TestTable2ResilientIsolatesPanicTM registers a deliberately crashing
+// TM through the public registry — the way an extension TM reaches the
+// drivers — and checks the keep-going table isolates the panic into
+// LimitError{Kind: panic} rows while the healthy systems still resolve.
+func TestTable2ResilientIsolatesPanicTM(t *testing.T) {
+	if err := tm.RegisterAlgorithm("panicky-safety", func(n, k int) tm.Algorithm {
+		return panicAfter{Algorithm: tm.NewDSTM(n, k), calls: new(atomic.Int64), after: 50}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	broken, err := tm.NewAlgorithm("panicky-safety", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems := []System{{Alg: tm.NewSeq(2, 2)}, {Alg: broken}}
+	for _, engine := range []Engine{EngineOnTheFly, EngineMaterialized} {
+		rows := Table2Resilient(context.Background(), systems, engine)
+		if len(rows) != 2 {
+			t.Fatalf("engine %v: %d rows, want 2", engine, len(rows))
+		}
+		for _, r := range []Result{rows[0].SS, rows[0].OP} {
+			if r.Limit != nil {
+				t.Errorf("engine %v: healthy seq limited: %v", engine, r.Limit)
+			}
+		}
+		for _, r := range []Result{rows[1].SS, rows[1].OP} {
+			if r.Limit == nil || r.Limit.Kind != guard.KindPanic {
+				t.Fatalf("engine %v: broken TM limit = %v, want isolated panic", engine, r.Limit)
+			}
+			if r.Limit.Value == nil {
+				t.Errorf("engine %v: panic limit lost its value", engine)
+			}
+		}
+	}
+}
+
+// TestVerifyOptsCtx threads a cancelled context through the one-shot
+// safety entry point: the typed cancellation surfaces via the error,
+// in both engines.
+func TestVerifyOptsCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, engine := range []Engine{EngineOnTheFly, EngineMaterialized} {
+		_, err := VerifyOpts(tm.NewDSTM(2, 2), nil, spec.Opacity, Options{Engine: engine, Ctx: ctx})
+		var le *guard.LimitError
+		if !errors.As(err, &le) || le.Kind != guard.KindCancelled {
+			t.Errorf("engine %v: err = %v, want cancellation limit", engine, err)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"tmcheck/internal/automata"
 	"tmcheck/internal/core"
 	"tmcheck/internal/explore"
+	"tmcheck/internal/guard"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/parbfs"
 	"tmcheck/internal/spec"
@@ -64,6 +65,11 @@ type Result struct {
 	// FrontierPeak is the peak BFS frontier of the on-the-fly product
 	// search (zero for the materialized engine).
 	FrontierPeak int
+	// Limit is non-nil when the check stopped at a resource limit
+	// instead of reaching a verdict; Holds is then meaningless and the
+	// keep-going table drivers render the row as LIMIT(kind). TMStates
+	// reports the states constructed before the stop, when known.
+	Limit *guard.LimitError
 }
 
 // Check verifies L(ts) ⊆ L(Σd prop) with the deterministic specification,
@@ -89,14 +95,29 @@ func CheckAgainstDFA(ts *explore.TS, prop spec.Property, dfa *automata.DFA) Resu
 // obs phase stack assumes one single-threaded spine, so concurrent
 // table rows must not open spans.
 func checkAgainstDFA(ts *explore.TS, prop spec.Property, dfa *automata.DFA, phase bool) Result {
+	res, err := checkAgainstDFAGuarded(ts, prop, dfa, nil, phase)
+	if err != nil {
+		// Unreachable: a nil guard never trips.
+		panic(err)
+	}
+	return res
+}
+
+// checkAgainstDFAGuarded is checkAgainstDFA consulting a resource
+// guard during the inclusion search, for the keep-going drivers: a
+// deadline or cancellation interrupts the product walk itself.
+func checkAgainstDFAGuarded(ts *explore.TS, prop spec.Property, dfa *automata.DFA, g *guard.Guard, phase bool) (Result, error) {
 	if phase {
 		done := obs.Phase("inclusion:" + ts.Name() + ":" + prop.Key())
 		defer done()
 	}
 	nfa := ts.NFA()
 	start := time.Now()
-	ok, cexLetters, st := automata.IncludedInDFAStats(nfa, dfa)
+	ok, cexLetters, st, err := automata.IncludedInDFAGuarded(nfa, dfa, g)
 	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
 	res := Result{
 		System:     ts.Name(),
 		Prop:       prop,
@@ -112,7 +133,7 @@ func checkAgainstDFA(ts *explore.TS, prop spec.Property, dfa *automata.DFA, phas
 		res.Counterexample = ts.Alphabet.DecodeWord(cexLetters)
 	}
 	res.record("dfa")
-	return res
+	return res, nil
 }
 
 // record writes the per-system verdict counters and timings into the

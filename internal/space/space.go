@@ -19,10 +19,10 @@
 package space
 
 import (
-	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"tmcheck/internal/guard"
 )
 
 // State identifies an interned state of a Space: a dense id assigned in
@@ -71,11 +71,23 @@ type Space interface {
 // it. maxStates <= 0 means unbounded. Scan returns the number of states
 // interned when it stopped.
 func Scan(sp Space, maxStates int, edge func(from State, l Letter, to State)) (int, error) {
+	return ScanGuarded(sp, guard.New(nil, maxStates, 0), edge)
+}
+
+// ScanGuarded is Scan consulting a full resource guard instead of a
+// bare state budget: the scan stops with the guard's *guard.LimitError
+// as soon as the context is done, the state budget is exceeded, or the
+// heap watchdog trips, checked once per expanded state. A nil or
+// limitless guard costs nothing per state.
+func ScanGuarded(sp Space, g *guard.Guard, edge func(from State, l Letter, to State)) (int, error) {
 	var from State
 	emit := func(l Letter, to State) { edge(from, l, to) }
+	active := g.Active()
 	for from = 0; int(from) < sp.NumStates(); from++ {
-		if maxStates > 0 && sp.NumStates() > maxStates {
-			return sp.NumStates(), &BudgetError{Budget: maxStates, Visited: sp.NumStates()}
+		if active {
+			if err := g.Check(sp.NumStates()); err != nil {
+				return sp.NumStates(), err
+			}
 		}
 		sp.Succ(from, emit)
 	}
@@ -171,30 +183,21 @@ func (in *Interner[S]) Snapshot() []S {
 }
 
 // ErrBudgetExceeded is the sentinel matched by errors.Is for every
-// *BudgetError, so callers can test the class without unwrapping.
-var ErrBudgetExceeded = errors.New("space: state budget exceeded")
+// states-kind limit error, so callers can test the class without
+// unwrapping. It is guard.ErrStates under its historical name.
+var ErrBudgetExceeded = guard.ErrStates
 
 // BudgetError reports that a search or construction stopped because it
 // would have exceeded its state budget. It is a graceful refusal, not a
 // crash: the process keeps running and the caller can retry with a
 // larger budget or a lazier engine.
-type BudgetError struct {
-	// Budget is the configured cap.
-	Budget int
-	// Visited is the number of states constructed or visited when the
-	// budget tripped. With parallel workers the overshoot is checked at
-	// level barriers, so Visited may exceed Budget by up to one BFS
-	// level; the sequential engines trip exactly.
-	Visited int
-}
-
-// Error implements error.
-func (e *BudgetError) Error() string {
-	return fmt.Sprintf("space: state budget exceeded: %d states visited, budget %d", e.Visited, e.Budget)
-}
-
-// Is reports errors.Is equivalence with ErrBudgetExceeded.
-func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+//
+// The type is now an alias of the structured guard.LimitError, whose
+// zero Kind is guard.KindStates: existing literals constructing
+// &BudgetError{Budget: b, Visited: v} keep meaning "state budget
+// exceeded", while the guard layer adds the wall-clock, memory,
+// cancellation and panic kinds under the same type.
+type BudgetError = guard.LimitError
 
 // maxStates is the process-wide state budget; 0 means unlimited.
 var maxStates atomic.Int64

@@ -6,6 +6,7 @@ import (
 
 	"tmcheck/internal/automata"
 	"tmcheck/internal/core"
+	"tmcheck/internal/guard"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/parbfs"
 	"tmcheck/internal/space"
@@ -313,15 +314,26 @@ func (sp *Det) Step(q DState, s core.Stmt) (DState, bool) {
 
 // Accepts reports whether w ∈ L(Σd) by direct simulation.
 func (sp *Det) Accepts(w core.Word) bool {
+	ok, _ := sp.AcceptsStates(w)
+	return ok
+}
+
+// AcceptsStates is Accepts also reporting the number of specification
+// states visited by the simulation (the initial state plus one per
+// consumed letter) — the unit the fuzzer charges against its state
+// budget.
+func (sp *Det) AcceptsStates(w core.Word) (bool, int) {
 	q := sp.Initial()
+	visited := 1
 	for _, s := range w {
 		var ok bool
 		q, ok = sp.Step(q, s)
 		if !ok {
-			return false
+			return false, visited
 		}
+		visited++
 	}
-	return true
+	return true, visited
 }
 
 // Enumerate builds the explicit DFA of the specification over the
@@ -336,7 +348,10 @@ func (sp *Det) Enumerate() *automata.DFA {
 // resulting DFA — state numbering and edges — is identical for every
 // worker count (see internal/parbfs).
 func (sp *Det) EnumerateWorkers(workers int) *automata.DFA {
-	dfa, _ := sp.EnumerateBudget(workers, 0) // unbounded: cannot fail
+	dfa, err := sp.EnumerateBudget(workers, 0) // unbounded: only a panic can fail it
+	if err != nil {
+		panic(err)
+	}
 	return dfa
 }
 
@@ -344,18 +359,25 @@ func (sp *Det) EnumerateWorkers(workers int) *automata.DFA {
 // maxStates > 0 and the specification has more reachable states, the
 // enumeration stops with a *space.BudgetError instead of materializing
 // it (the parallel engine checks at level barriers, so it may overshoot
-// by one BFS level). maxStates <= 0 means unbounded, and then the error
-// is always nil.
+// by one BFS level). maxStates <= 0 means unbounded.
 func (sp *Det) EnumerateBudget(workers, maxStates int) (*automata.DFA, error) {
+	return sp.EnumerateGuarded(workers, guard.New(nil, maxStates, 0))
+}
+
+// EnumerateGuarded is the fully guarded enumeration: the guard's
+// context, state budget, and heap watchdog are consulted per state in
+// the sequential path and at level barriers in the parallel one, and a
+// panicking specification is isolated into a *guard.LimitError.
+func (sp *Det) EnumerateGuarded(workers int, g *guard.Guard) (dfa *automata.DFA, err error) {
 	start := time.Now()
 	ab := core.Alphabet{Threads: sp.Threads, Vars: sp.Vars}
-	dfa := automata.NewDFA(ab.Size())
-	var err error
-	if workers <= 1 {
-		err = sp.enumerateSeq(dfa, maxStates)
-	} else {
-		err = sp.enumeratePar(dfa, ab, workers, maxStates)
-	}
+	dfa = automata.NewDFA(ab.Size())
+	err = guard.Capture(func() error {
+		if workers <= 1 {
+			return sp.enumerateSeq(dfa, g)
+		}
+		return sp.enumeratePar(dfa, ab, workers, g)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -372,9 +394,9 @@ func (sp *Det) EnumerateBudget(workers, maxStates int) (*automata.DFA, error) {
 // lazy view to its fixpoint, materializing each defined transition into
 // the DFA. The numbering is first-sight scan order, exactly as the
 // pre-Space enumerator hand-rolled it.
-func (sp *Det) enumerateSeq(dfa *automata.DFA, maxStates int) error {
+func (sp *Det) enumerateSeq(dfa *automata.DFA, g *guard.Guard) error {
 	lz := NewLazy(sp)
-	_, err := space.Scan(lz, maxStates, func(from space.State, l space.Letter, to space.State) {
+	_, err := space.ScanGuarded(lz, g, func(from space.State, l space.Letter, to space.State) {
 		for dfa.NumStates() <= int(to) {
 			dfa.AddState() // state 0 is pre-allocated by NewDFA
 		}
@@ -386,19 +408,14 @@ func (sp *Det) enumerateSeq(dfa *automata.DFA, maxStates int) error {
 // enumeratePar is the frontier-parallel enumeration via the shared
 // parbfs engine; the canonical per-level numbering makes the DFA
 // bit-identical to enumerateSeq.
-func (sp *Det) enumeratePar(dfa *automata.DFA, ab core.Alphabet, workers, maxStates int) error {
+func (sp *Det) enumeratePar(dfa *automata.DFA, ab core.Alphabet, workers int, g *guard.Guard) error {
 	var states []DState
 	// letters[id] records which letters had an enabled Step from state
 	// id, aligned with that state's emissions.
 	var letters [][]int16
 	var control func(states int) error
-	if maxStates > 0 {
-		control = func(n int) error {
-			if n > maxStates {
-				return &space.BudgetError{Budget: maxStates, Visited: n}
-			}
-			return nil
-		}
+	if g.Active() {
+		control = g.Check
 	}
 	_, err := parbfs.RunControlled(sp.Initial(), workers, control,
 		func(id int, emit func(DState)) {

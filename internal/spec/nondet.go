@@ -262,12 +262,23 @@ func (sp *Nondet) eps(q NState, t core.Thread) (NState, bool) {
 
 // Accepts reports whether w ∈ L(Σ) by subset simulation with ε-closure.
 func (sp *Nondet) Accepts(w core.Word) bool {
+	ok, _ := sp.AcceptsStates(w)
+	return ok
+}
+
+// AcceptsStates is Accepts also reporting the number of specification
+// states inserted into subset sets during the simulation (ε-closure
+// members included) — the unit the fuzzer charges against its state
+// budget.
+func (sp *Nondet) AcceptsStates(w core.Word) (bool, int) {
+	visited := 0
 	cur := map[NState]bool{}
 	add := func(set map[NState]bool, q NState) {
 		if set[q] {
 			return
 		}
 		set[q] = true
+		visited++
 		// ε-closure: follow every enabled ε(t), recursively.
 		var stack []NState
 		stack = append(stack, q)
@@ -277,6 +288,7 @@ func (sp *Nondet) Accepts(w core.Word) bool {
 			for t := 0; t < sp.Threads; t++ {
 				if y, ok := sp.Eps(x, core.Thread(t)); ok && !set[y] {
 					set[y] = true
+					visited++
 					stack = append(stack, y)
 				}
 			}
@@ -291,11 +303,11 @@ func (sp *Nondet) Accepts(w core.Word) bool {
 			}
 		}
 		if len(next) == 0 {
-			return false
+			return false, visited
 		}
 		cur = next
 	}
-	return true
+	return true, visited
 }
 
 // Enumerate builds the explicit NFA of the specification over the instance

@@ -3,7 +3,14 @@ package tm
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
+
+// regMu guards both factory maps: RegisterAlgorithm lets tests and
+// extensions add algorithms at runtime (e.g. deliberately broken TMs
+// exercising the panic-isolation path), so lookups must synchronize
+// with registration.
+var regMu sync.Mutex
 
 // algorithmFactories maps TM names to constructors.
 var algorithmFactories = map[string]func(n, k int) Algorithm{
@@ -26,9 +33,29 @@ var managerFactories = map[string]func() ContentionManager{
 	"timid":      func() ContentionManager { return Timid{} },
 }
 
+// RegisterAlgorithm adds a TM algorithm constructor under the given
+// name, making it reachable from every by-name entry point (the
+// -alg flag, fuzzing campaigns, check-all drivers). Registering a name
+// that already exists is an error — the built-in registry is not
+// overridable.
+func RegisterAlgorithm(name string, factory func(n, k int) Algorithm) error {
+	if name == "" || factory == nil {
+		return fmt.Errorf("tm: RegisterAlgorithm needs a name and a factory")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, exists := algorithmFactories[name]; exists {
+		return fmt.Errorf("tm: algorithm %q already registered", name)
+	}
+	algorithmFactories[name] = factory
+	return nil
+}
+
 // NewAlgorithm constructs a TM algorithm by name.
 func NewAlgorithm(name string, n, k int) (Algorithm, error) {
+	regMu.Lock()
 	f, ok := algorithmFactories[name]
+	regMu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("tm: unknown algorithm %q (have %v)", name, AlgorithmNames())
 	}
@@ -41,7 +68,9 @@ func NewContentionManager(name string) (ContentionManager, error) {
 	if name == "" || name == "none" {
 		return nil, nil
 	}
+	regMu.Lock()
 	f, ok := managerFactories[name]
+	regMu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("tm: unknown contention manager %q (have %v)", name, ManagerNames())
 	}
@@ -50,6 +79,8 @@ func NewContentionManager(name string) (ContentionManager, error) {
 
 // AlgorithmNames lists the registered TM algorithms.
 func AlgorithmNames() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
 	var names []string
 	for n := range algorithmFactories {
 		names = append(names, n)
@@ -60,6 +91,8 @@ func AlgorithmNames() []string {
 
 // ManagerNames lists the registered contention managers.
 func ManagerNames() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
 	var names []string
 	for n := range managerFactories {
 		names = append(names, n)
