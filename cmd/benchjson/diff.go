@@ -1,0 +1,124 @@
+package main
+
+// The -diff mode compares two committed trajectory files: it aligns
+// benchmarks by name, prints the ns/op and allocs/op movement of each,
+// and exits nonzero when any common benchmark's ns/op regressed by more
+// than -regress-pct percent — the CI tripwire over the BENCH_<n>.json
+// series.
+//
+//	benchjson -diff BENCH_2.json BENCH_3.json
+//	benchjson -diff -regress-pct 25 BENCH_2.json BENCH_3.json
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// diffRow is one aligned benchmark comparison. Exactly one of the
+// states holds: present in both files (the deltas are meaningful), only
+// in the old file (removed), or only in the new one (added).
+type diffRow struct {
+	Name             string
+	OldNs, NewNs     float64
+	NsDeltaPct       float64
+	OldAllocs        int64
+	NewAllocs        int64
+	OnlyOld, OnlyNew bool
+	Regressed        bool
+}
+
+// loadReport reads and validates one trajectory file.
+func loadReport(path string) (report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != benchSchema {
+		return report{}, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, benchSchema)
+	}
+	return rep, nil
+}
+
+// diffReports aligns the two reports by benchmark name. Rows follow the
+// new report's order, with removed benchmarks appended in the old
+// report's order. A row regresses when it is in both reports and its
+// ns/op grew by strictly more than regressPct percent.
+func diffReports(oldRep, newRep report, regressPct float64) []diffRow {
+	oldByName := make(map[string]entry, len(oldRep.Benchmarks))
+	for _, e := range oldRep.Benchmarks {
+		oldByName[e.Name] = e
+	}
+	seen := make(map[string]bool, len(newRep.Benchmarks))
+	var rows []diffRow
+	for _, ne := range newRep.Benchmarks {
+		seen[ne.Name] = true
+		oe, ok := oldByName[ne.Name]
+		if !ok {
+			rows = append(rows, diffRow{Name: ne.Name, NewNs: ne.NsPerOp, NewAllocs: ne.AllocsPerOp, OnlyNew: true})
+			continue
+		}
+		row := diffRow{
+			Name:      ne.Name,
+			OldNs:     oe.NsPerOp,
+			NewNs:     ne.NsPerOp,
+			OldAllocs: oe.AllocsPerOp,
+			NewAllocs: ne.AllocsPerOp,
+		}
+		if oe.NsPerOp > 0 {
+			row.NsDeltaPct = (ne.NsPerOp - oe.NsPerOp) / oe.NsPerOp * 100
+		}
+		row.Regressed = row.NsDeltaPct > regressPct
+		rows = append(rows, row)
+	}
+	for _, oe := range oldRep.Benchmarks {
+		if !seen[oe.Name] {
+			rows = append(rows, diffRow{Name: oe.Name, OldNs: oe.NsPerOp, OldAllocs: oe.AllocsPerOp, OnlyOld: true})
+		}
+	}
+	return rows
+}
+
+// runDiff loads both files, prints the comparison table, and returns
+// the exit code: 0 when no common benchmark regressed past the
+// threshold, 1 otherwise.
+func runDiff(w io.Writer, oldPath, newPath string, regressPct float64) (int, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return 0, err
+	}
+	rows := diffReports(oldRep, newRep, regressPct)
+	fmt.Fprintf(w, "benchjson diff: %s -> %s (fail above +%.1f%% ns/op)\n", oldPath, newPath, regressPct)
+	fmt.Fprintf(w, "%-44s %14s %14s %8s %14s\n", "benchmark", "old ns/op", "new ns/op", "Δ%", "allocs Δ")
+	regressed := 0
+	for _, r := range rows {
+		switch {
+		case r.OnlyNew:
+			fmt.Fprintf(w, "%-44s %14s %14.0f %8s %14s  (added)\n", r.Name, "-", r.NewNs, "-", "-")
+		case r.OnlyOld:
+			fmt.Fprintf(w, "%-44s %14.0f %14s %8s %14s  (removed)\n", r.Name, r.OldNs, "-", "-", "-")
+		default:
+			mark := ""
+			if r.Regressed {
+				mark = "  REGRESSION"
+				regressed++
+			}
+			fmt.Fprintf(w, "%-44s %14.0f %14.0f %+7.1f%% %+14d%s\n",
+				r.Name, r.OldNs, r.NewNs, r.NsDeltaPct, r.NewAllocs-r.OldAllocs, mark)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) regressed more than %.1f%% ns/op\n", regressed, regressPct)
+		return 1, nil
+	}
+	return 0, nil
+}

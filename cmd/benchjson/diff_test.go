@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchFile(t *testing.T, dir, name string, entries []entry) string {
+	t.Helper()
+	rep := report{Schema: benchSchema, Benchmarks: entries}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffReportsAlignment(t *testing.T) {
+	oldRep := report{Benchmarks: []entry{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "B", NsPerOp: 200, AllocsPerOp: 20},
+		{Name: "Gone", NsPerOp: 50},
+	}}
+	newRep := report{Benchmarks: []entry{
+		{Name: "A", NsPerOp: 105, AllocsPerOp: 12}, // +5%: within threshold
+		{Name: "B", NsPerOp: 260, AllocsPerOp: 18}, // +30%: regression
+		{Name: "Fresh", NsPerOp: 70},
+	}}
+	rows := diffReports(oldRep, newRep, 10)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	byName := map[string]diffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["A"]; r.Regressed || r.NsDeltaPct < 4.9 || r.NsDeltaPct > 5.1 || r.NewAllocs-r.OldAllocs != 2 {
+		t.Errorf("row A wrong: %+v", r)
+	}
+	if r := byName["B"]; !r.Regressed || r.NewAllocs-r.OldAllocs != -2 {
+		t.Errorf("row B should regress: %+v", r)
+	}
+	if r := byName["Fresh"]; !r.OnlyNew || r.Regressed {
+		t.Errorf("row Fresh should be added-only: %+v", r)
+	}
+	if r := byName["Gone"]; !r.OnlyOld || r.Regressed {
+		t.Errorf("row Gone should be removed-only: %+v", r)
+	}
+	// Removed rows come last, after the new report's order.
+	if rows[3].Name != "Gone" {
+		t.Errorf("removed row not last: %v", rows)
+	}
+}
+
+func TestDiffRegressionThresholdBoundary(t *testing.T) {
+	oldRep := report{Benchmarks: []entry{{Name: "X", NsPerOp: 100}}}
+	newRep := report{Benchmarks: []entry{{Name: "X", NsPerOp: 110}}}
+	// Exactly at the threshold is not a regression; strictly above is.
+	if rows := diffReports(oldRep, newRep, 10); rows[0].Regressed {
+		t.Errorf("+10%% at threshold 10 should pass: %+v", rows[0])
+	}
+	if rows := diffReports(oldRep, newRep, 9.9); !rows[0].Regressed {
+		t.Errorf("+10%% at threshold 9.9 should fail: %+v", rows[0])
+	}
+}
+
+func TestRunDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := benchFile(t, dir, "old.json", []entry{{Name: "A", NsPerOp: 100}})
+	badPath := benchFile(t, dir, "bad.json", []entry{{Name: "A", NsPerOp: 200}})
+	okPath := benchFile(t, dir, "ok.json", []entry{{Name: "A", NsPerOp: 101}})
+
+	var out strings.Builder
+	code, err := runDiff(&out, oldPath, badPath, 10)
+	if err != nil || code != 1 {
+		t.Errorf("100%% regression: code %d err %v, want 1 nil", code, err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("output misses REGRESSION marker:\n%s", out.String())
+	}
+
+	out.Reset()
+	code, err = runDiff(&out, oldPath, okPath, 10)
+	if err != nil || code != 0 {
+		t.Errorf("1%% movement: code %d err %v, want 0 nil", code, err)
+	}
+
+	if _, err := runDiff(&out, oldPath, filepath.Join(dir, "missing.json"), 10); err == nil {
+		t.Error("missing file should error")
+	}
+
+	wrongSchema := filepath.Join(dir, "wrong.json")
+	if err := os.WriteFile(wrongSchema, []byte(`{"schema":"nope/v0"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runDiff(&out, oldPath, wrongSchema, 10); err == nil {
+		t.Error("wrong schema should error")
+	}
+}

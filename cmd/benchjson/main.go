@@ -9,11 +9,17 @@
 // Usage:
 //
 //	benchjson [-o FILE] [-workers N] [-full]
+//	benchjson -diff [-regress-pct P] OLD.json NEW.json
 //
 // Without -o the tool picks the next free BENCH_<n>.json in the current
 // directory. -workers pins the parallel-engine worker count (default
 // GOMAXPROCS); the recorded file notes the setting. -full adds the
 // expensive (2,3) scaling instance.
+//
+// -diff compares two recorded files instead of running anything: it
+// prints the per-benchmark ns/op and allocs/op movement and exits
+// nonzero when any benchmark present in both regressed its ns/op by
+// more than -regress-pct percent (default 10).
 package main
 
 import (
@@ -31,6 +37,9 @@ import (
 	"tmcheck/internal/spec"
 	"tmcheck/internal/tm"
 )
+
+// benchSchema identifies the trajectory file layout.
+const benchSchema = "tmcheck/bench/v1"
 
 // report is the trajectory file schema ("tmcheck/bench/v1").
 type report struct {
@@ -57,13 +66,28 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel-engine workers (default GOMAXPROCS)")
 	full := flag.Bool("full", false, "include the expensive (2,3) scaling instance")
 	note := flag.String("note", "", "free-form annotation recorded in the file")
+	diffMode := flag.Bool("diff", false, "compare two recorded files: benchjson -diff OLD.json NEW.json")
+	regressPct := flag.Float64("regress-pct", 10, "with -diff: fail when any ns/op regressed by more than this percent")
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: benchjson -diff OLD.json NEW.json")
+			os.Exit(2)
+		}
+		code, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *regressPct)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
+	}
 
 	if *workers > 0 {
 		parbfs.SetWorkers(*workers)
 	}
 	rep := report{
-		Schema:    "tmcheck/bench/v1",
+		Schema:    benchSchema,
 		Note:      *note,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,

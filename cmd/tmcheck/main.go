@@ -21,13 +21,21 @@
 //
 // Every command additionally accepts the global flags -workers N,
 // -maxstates N, -timeout D, -maxmem BYTES, -strict-limits, -stats,
-// -stats-json FILE, -cpuprofile FILE and -memprofile FILE (see
-// cmd/tmcheck/stats.go), e.g.:
+// -stats-json FILE, -cpuprofile FILE, -memprofile FILE, -progress,
+// -trace FILE and -debug-addr ADDR (see cmd/tmcheck/stats.go), e.g.:
 //
 //	tmcheck table2 -stats-json report.json
 //	tmcheck -workers 4 table2
 //	tmcheck -maxstates 100000 safety -tm tl2 -n 2 -k 3
 //	tmcheck table3 -n 3 -k 2 -timeout 5s
+//	tmcheck -progress -trace table2.trace.json table2
+//	tmcheck -debug-addr localhost:7077 table3 -n 3 -k 2
+//
+// -progress streams a throttled live status line to stderr; -trace
+// writes a Chrome trace-event timeline (open in Perfetto); -debug-addr
+// serves /vitals, an /events SSE stream, and /debug/pprof while the
+// command runs. All three feed off the same in-process event bus,
+// which stays disabled — at zero cost — when none of them is set.
 //
 // -workers sets the worker count of the parallel engines (state-space
 // exploration, specification enumeration, table-row fan-out); it
@@ -114,7 +122,7 @@ func main() {
 		os.Exit(2)
 	}
 	cmd, args := rest[0], rest[1:]
-	if err := global.begin(); err != nil {
+	if err := global.begin(cmd); err != nil {
 		fmt.Fprintln(os.Stderr, "tmcheck:", err)
 		os.Exit(1)
 	}
@@ -208,6 +216,9 @@ global flags (any command, before or after it):
   -stats-json FILE  write the machine-readable report to FILE ("-" = stdout)
   -cpuprofile FILE  write a pprof CPU profile
   -memprofile FILE  write a pprof heap profile
+  -progress         stream live status (level, states, states/sec, heap) to stderr
+  -trace FILE       write a Chrome trace-event timeline (Perfetto-loadable)
+  -debug-addr ADDR  serve /vitals, /events (SSE) and /debug/pprof on ADDR
 
 `)
 	fmt.Fprintf(os.Stderr, "algorithms: %s\n", strings.Join(tm.AlgorithmNames(), ", "))

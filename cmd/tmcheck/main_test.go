@@ -607,7 +607,7 @@ func TestStatsOutputsWritten(t *testing.T) {
 	memPath := filepath.Join(dir, "mem.prof")
 	cpuPath := filepath.Join(dir, "cpu.prof")
 	g := globalOpts{statsJSON: jsonPath, memProfile: memPath, cpuProfile: cpuPath}
-	if err := g.begin(); err != nil {
+	if err := g.begin("table1"); err != nil {
 		t.Fatal(err)
 	}
 	obs.Default().Reset()

@@ -20,13 +20,28 @@ package main
 //	-stats-json FILE  write the machine-readable report to FILE ("-" = stdout)
 //	-cpuprofile FILE  write a pprof CPU profile of the whole command
 //	-memprofile FILE  write a pprof heap profile taken after the command
+//	-progress         stream live status (level, states, states/sec, heap)
+//	                  to stderr while checks run
+//	-trace FILE       write a Chrome trace-event JSON timeline of the run
+//	                  (load in Perfetto or chrome://tracing)
+//	-debug-addr ADDR  serve /vitals, /events (SSE) and /debug/pprof on
+//	                  ADDR (e.g. localhost:7077) for the duration of the
+//	                  command
 //
 // The JSON report (schema "tmcheck/stats/v1") is deterministic in its
 // counter and gauge values for a deterministic command, so reports from
-// two commits on the same inputs are directly comparable.
+// two commits on the same inputs are directly comparable. The telemetry
+// flags enable the event bus (internal/obs/events.go); with all three
+// off the bus stays disabled, the engines' fast paths are untouched,
+// and the report bytes are identical to a run without telemetry.
+// When a check stops at a resource limit or isolated panic, the last
+// bus events are attached to the report as a flight recorder
+// ("flight" in the JSON, a "flight recorder" section under -stats).
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -52,8 +67,15 @@ type globalOpts struct {
 	statsJSON    string
 	cpuProfile   string
 	memProfile   string
+	progress     bool
+	traceFile    string
+	debugAddr    string
 
-	cpuFile *os.File
+	cpuFile    *os.File
+	progressUI *obs.Progress
+	traceW     *obs.TraceWriter
+	traceF     *os.File
+	debugSrv   *obs.DebugServer
 }
 
 // strictLimits mirrors the -strict-limits flag for the keep-going table
@@ -128,6 +150,12 @@ func extractGlobalFlags(args []string) (globalOpts, []string, error) {
 			g.cpuProfile, err = value()
 		case "memprofile":
 			g.memProfile, err = value()
+		case "progress":
+			g.progress = true
+		case "trace":
+			g.traceFile, err = value()
+		case "debug-addr":
+			g.debugAddr, err = value()
 		default:
 			rest = append(rest, arg)
 		}
@@ -138,9 +166,10 @@ func extractGlobalFlags(args []string) (globalOpts, []string, error) {
 	return g, rest, nil
 }
 
-// begin installs the worker count and starts CPU profiling when
-// requested. Call finish afterwards.
-func (g *globalOpts) begin() error {
+// begin installs the worker count, switches on the telemetry surfaces
+// that were asked for, and starts CPU profiling when requested. Call
+// finish afterwards.
+func (g *globalOpts) begin(command string) error {
 	if g.workers > 0 {
 		parbfs.SetWorkers(g.workers)
 	}
@@ -151,6 +180,32 @@ func (g *globalOpts) begin() error {
 		guard.SetMaxMem(g.maxMem)
 	}
 	strictLimits = g.strictLimits
+	if g.progress || g.traceFile != "" || g.debugAddr != "" {
+		bus := obs.Events()
+		bus.SetEnabled(true)
+		if g.traceFile != "" {
+			f, err := os.Create(g.traceFile)
+			if err != nil {
+				return err
+			}
+			g.traceF = f
+			g.traceW = obs.StartTrace(f, bus)
+		}
+		if g.progress {
+			g.progressUI = obs.StartProgress(os.Stderr, bus)
+		}
+		if g.debugAddr != "" {
+			srv, err := obs.StartDebugServer(g.debugAddr, bus, obs.Default())
+			if err != nil {
+				return err
+			}
+			g.debugSrv = srv
+			fmt.Fprintf(os.Stderr, "tmcheck: debug server on http://%s (/vitals, /events, /debug/pprof)\n", srv.Addr)
+		}
+		// Emitted after the trace writer subscribed, so the run span is
+		// the first event on every surface.
+		obs.Emit(obs.Event{Kind: obs.EvRunStart, Name: command})
+	}
 	if g.cpuProfile == "" {
 		return nil
 	}
@@ -166,9 +221,27 @@ func (g *globalOpts) begin() error {
 	return nil
 }
 
-// finish stops profiling and emits the requested reports for the
-// command that just ran.
+// finish tears the telemetry surfaces down, stops profiling, and emits
+// the requested reports for the command that just ran.
 func (g *globalOpts) finish(command string) error {
+	if obs.EventsEnabled() {
+		obs.Emit(obs.Event{Kind: obs.EvRunDone, Name: command})
+	}
+	if g.progressUI != nil {
+		g.progressUI.Stop()
+	}
+	if g.traceW != nil {
+		err := g.traceW.Close()
+		if cerr := g.traceF.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if g.debugSrv != nil {
+		g.debugSrv.Close()
+	}
 	if g.cpuFile != nil {
 		pprof.StopCPUProfile()
 		if err := g.cpuFile.Close(); err != nil {
@@ -196,21 +269,46 @@ func (g *globalOpts) finish(command string) error {
 	}
 	if g.stats {
 		fmt.Fprint(os.Stderr, obs.Default().Text())
+		if evs, dropped, limited := obs.Events().Flight(flightDepth); limited {
+			fmt.Fprintf(os.Stderr, "flight recorder (last %d event(s), %d dropped):\n%s",
+				len(evs), dropped, obs.FormatEvents(evs))
+		}
 	}
 	return nil
 }
 
+// flightDepth is how many recent bus events a limited run's report
+// carries.
+const flightDepth = 64
+
+// statsReport snapshots the registry and attaches the flight-recorder
+// dump when a limit or panic was captured on the bus. With telemetry
+// off — or a limit-free run — the report is exactly the registry
+// snapshot.
+func statsReport(command string) obs.Report {
+	rep := obs.Default().Snapshot(command)
+	rep.AttachFlight(obs.Events(), flightDepth)
+	return rep
+}
+
 func writeStatsJSON(path, command string) error {
+	rep := statsReport(command)
 	if path == "-" {
-		return obs.Default().WriteJSON(os.Stdout, command)
+		return encodeReport(os.Stdout, rep)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	err = obs.Default().WriteJSON(f, command)
+	err = encodeReport(f, rep)
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+func encodeReport(w io.Writer, rep obs.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }

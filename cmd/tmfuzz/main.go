@@ -7,6 +7,11 @@
 //	go run ./cmd/tmfuzz -threads 3 -vars 3 -n 1000000
 //	go run ./cmd/tmfuzz -directed -seed 7
 //	go run ./cmd/tmfuzz -timeout 30s -maxstates 50000000
+//	go run ./cmd/tmfuzz -progress -n 0
+//
+// -progress streams a throttled live status line (words checked,
+// words/sec, heap) to stderr via the shared telemetry bus — the same
+// surface as tmcheck -progress — which long -n 0 campaigns want.
 //
 // -timeout bounds the campaign's wall-clock and -maxstates the total
 // number of automaton states the specification runs visit across all
@@ -29,9 +34,15 @@ import (
 
 	"tmcheck/internal/core"
 	"tmcheck/internal/guard"
+	"tmcheck/internal/obs"
 	"tmcheck/internal/spec"
 	"tmcheck/internal/wordgen"
 )
+
+// fuzzProgressEvery is the telemetry-bus heartbeat: one EvProgress per
+// this many checked words (the stderr line itself is time-throttled by
+// the renderer).
+const fuzzProgressEvery = 512
 
 // config bounds one fuzzing session.
 type config struct {
@@ -44,6 +55,7 @@ type config struct {
 	every     int           // progress-report interval in words
 	maxStates int           // 0 = unbounded: total spec states visited
 	timeout   time.Duration // 0 = no deadline
+	progress  bool          // live status line on stderr
 }
 
 func main() {
@@ -56,8 +68,16 @@ func main() {
 	flag.BoolVar(&cfg.directed, "directed", false, "use directed generators only")
 	flag.IntVar(&cfg.maxStates, "maxstates", 0, "stop after visiting this many spec states in total (0 = unbounded)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "stop the campaign after this long (0 = no deadline)")
+	flag.BoolVar(&cfg.progress, "progress", false, "stream a live status line to stderr")
 	flag.Parse()
 	cfg.every = 50000
+	var prog *obs.Progress
+	if cfg.progress {
+		bus := obs.Events()
+		bus.SetEnabled(true)
+		obs.Emit(obs.Event{Kind: obs.EvRunStart, Name: "tmfuzz"})
+		prog = obs.StartProgress(os.Stderr, bus)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if cfg.timeout > 0 {
@@ -65,7 +85,12 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
 		defer cancel()
 	}
-	if err := fuzz(ctx, cfg, os.Stdout); err != nil {
+	err := fuzz(ctx, cfg, os.Stdout)
+	if prog != nil {
+		obs.Emit(obs.Event{Kind: obs.EvRunDone, Name: "tmfuzz"})
+		prog.Stop()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -91,6 +116,7 @@ func fuzz(ctx context.Context, cfg config, out io.Writer) error {
 	start := time.Now()
 	checked := 0
 	statesVisited := 0
+	events := obs.EventsEnabled()
 	report := func() {
 		rate := float64(checked) / time.Since(start).Seconds()
 		fmt.Fprintf(out, "  %d words checked (%.0f/s)\n", checked, rate)
@@ -143,6 +169,12 @@ func fuzz(ctx context.Context, cfg config, out io.Writer) error {
 			return fail("oracle internal (πop ⊆ πss)", true, false)
 		}
 		checked++
+		if events && checked%fuzzProgressEvery == 0 {
+			obs.Emit(obs.Event{
+				Kind: obs.EvProgress, Name: "fuzz",
+				States: int64(checked), HeapBytes: obs.SampledHeap(),
+			})
+		}
 		if cfg.every > 0 && checked%cfg.every == 0 {
 			report()
 		}

@@ -237,6 +237,10 @@ func scanSeq(alg tm.Algorithm, cm tm.ContentionManager, g *guard.Guard, barrier 
 	var qi space.State
 	yield := func(e Edge) { out[qi] = append(out[qi], e) }
 	guarded := g.Active()
+	// With the telemetry bus on, every level boundary additionally
+	// publishes an EvLevelDone; disabled, the boundary bookkeeping is
+	// only kept when a barrier hook needs it, exactly as before.
+	emit := newLevelEmitter(systemLabel(alg, cm))
 	levelEnd := 1
 	for qi = 0; int(qi) < sp.NumStates(); qi++ {
 		if guarded {
@@ -244,14 +248,22 @@ func scanSeq(alg tm.Algorithm, cm tm.ContentionManager, g *guard.Guard, barrier 
 				return nil, nil, err
 			}
 		}
-		if barrier != nil && int(qi) == levelEnd {
-			if err := barrier(out, sp.NumStates(), levelEnd); err != nil {
-				return nil, nil, err
+		if (barrier != nil || emit != nil) && int(qi) == levelEnd {
+			if emit != nil {
+				emit(sp.NumStates(), levelEnd)
+			}
+			if barrier != nil {
+				if err := barrier(out, sp.NumStates(), levelEnd); err != nil {
+					return nil, nil, err
+				}
 			}
 			levelEnd = sp.NumStates()
 		}
 		out = append(out, nil)
 		sp.SuccEdges(qi, yield)
+	}
+	if emit != nil {
+		emit(sp.NumStates(), sp.NumStates())
 	}
 	if barrier != nil {
 		if err := barrier(out, sp.NumStates(), sp.NumStates()); err != nil {
@@ -259,6 +271,42 @@ func scanSeq(alg tm.Algorithm, cm tm.ContentionManager, g *guard.Guard, barrier 
 		}
 	}
 	return out, sp.in.Snapshot(), nil
+}
+
+// systemLabel names the system without constructing a TS.
+func systemLabel(alg tm.Algorithm, cm tm.ContentionManager) string {
+	if cm == nil {
+		return alg.Name()
+	}
+	return alg.Name() + "+" + cm.Name()
+}
+
+// newLevelEmitter returns the per-barrier telemetry publisher for one
+// scan — nil when the bus is disabled, so callers pay a single branch.
+// The returned function is called with (interned, expanded) at each
+// level boundary and publishes an EvLevelDone carrying the cumulative
+// states, the unexpanded frontier, the sampled heap, and the time since
+// the previous boundary.
+func newLevelEmitter(name string) func(interned, expanded int) {
+	if !obs.EventsEnabled() {
+		return nil
+	}
+	last := time.Now()
+	level := int32(0)
+	return func(interned, expanded int) {
+		now := time.Now()
+		obs.Emit(obs.Event{
+			Kind:      obs.EvLevelDone,
+			Name:      name,
+			Level:     level,
+			States:    int64(interned),
+			Frontier:  int64(interned - expanded),
+			HeapBytes: obs.SampledHeap(),
+			DurNS:     now.Sub(last).Nanoseconds(),
+		})
+		last = now
+		level++
+	}
 }
 
 // scanPar is the frontier-parallel exploration: each BFS level is
@@ -275,13 +323,17 @@ func scanPar(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Gu
 	var out [][]Edge
 	var states []prodState
 	var control func(n int) error
-	if g.Active() || barrier != nil {
+	emit := newLevelEmitter(systemLabel(alg, cm))
+	if g.Active() || barrier != nil || emit != nil {
 		// prevInterned is the interned count at the previous barrier —
 		// exactly the states already expanded when this one fires.
 		prevInterned := 1
 		control = func(n int) error {
 			if err := g.Check(n); err != nil {
 				return err
+			}
+			if emit != nil {
+				emit(n, prevInterned)
 			}
 			if barrier != nil {
 				if err := barrier(out, n, prevInterned); err != nil {

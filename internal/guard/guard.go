@@ -26,6 +26,8 @@ import (
 	"runtime/debug"
 	"sync/atomic"
 	"time"
+
+	"tmcheck/internal/obs"
 )
 
 // Kind classifies what stopped a check.
@@ -257,26 +259,51 @@ func (g *Guard) Check(states int) error {
 			if errors.Is(err, context.DeadlineExceeded) {
 				kind = KindTime
 			}
-			return &LimitError{Kind: kind, Visited: states, Elapsed: time.Since(g.start)}
+			return trip(&LimitError{Kind: kind, Visited: states, Elapsed: time.Since(g.start)})
 		}
 	}
 	if g.maxStates > 0 && states > g.maxStates {
-		return &LimitError{Kind: KindStates, Budget: g.maxStates, Visited: states}
+		return trip(&LimitError{Kind: KindStates, Budget: g.maxStates, Visited: states})
 	}
 	if g.maxMem > 0 {
 		if now := time.Now(); g.lastMem.IsZero() || now.Sub(g.lastMem) >= memCheckEvery {
 			g.lastMem = now
 			var ms runtime.MemStats
 			runtime.ReadMemStats(&ms)
+			// The watchdog is the one place that already pays for
+			// ReadMemStats, so it also publishes the heap vitals the
+			// after-the-run report used to silently discard.
+			obs.Inc("guard.mem.samples", 1)
+			obs.MaxGauge("guard.heap.max_bytes", int64(ms.HeapAlloc))
 			if ms.HeapAlloc > g.maxMem {
-				return &LimitError{
+				return trip(&LimitError{
 					Kind: KindMemory, Visited: states, Elapsed: time.Since(g.start),
 					MaxMemBytes: g.maxMem, HeapBytes: ms.HeapAlloc,
-				}
+				})
 			}
 		}
 	}
 	return nil
+}
+
+// trip publishes the limit on the telemetry bus (an EvLimitHit, or an
+// EvPanicRecovered for isolated panics) and returns it, so every way a
+// check can stop shows up in the live event stream and the flight
+// recorder without per-call-site wiring.
+func trip(le *LimitError) *LimitError {
+	if obs.EventsEnabled() {
+		kind := obs.EvLimitHit
+		if le.Kind == KindPanic {
+			kind = obs.EvPanicRecovered
+		}
+		obs.Emit(obs.Event{
+			Kind:      kind,
+			States:    int64(le.Visited),
+			HeapBytes: le.HeapBytes,
+			Detail:    le.Kind.Label() + ": " + le.Error(),
+		})
+	}
+	return le
 }
 
 // Capture runs f and converts a panic into a *LimitError{Kind:
@@ -292,7 +319,7 @@ func Capture(f func() error) (err error) {
 				err = le
 				return
 			}
-			err = &LimitError{Kind: KindPanic, Value: v, Stack: debug.Stack()}
+			err = trip(&LimitError{Kind: KindPanic, Value: v, Stack: debug.Stack()})
 		}
 	}()
 	return f()

@@ -3,6 +3,7 @@ package liveness
 import (
 	"context"
 	"errors"
+	"strconv"
 	"time"
 
 	"tmcheck/internal/core"
@@ -161,6 +162,10 @@ func checkLazy(alg tm.Algorithm, cm tm.ContentionManager, props []Prop, workers 
 		defer done()
 	}
 	start := time.Now()
+	events := obs.EventsEnabled()
+	if events {
+		obs.Emit(obs.Event{Kind: obs.EvCheckStart, Name: "liveness-otf:" + name})
+	}
 	threads := alg.Threads()
 	results := make([]Result, len(props))
 	resolved := make([]bool, len(props))
@@ -168,6 +173,15 @@ func checkLazy(alg tm.Algorithm, cm tm.ContentionManager, props []Prop, workers 
 	probes := 0
 	lastProbed := 0
 	finalStates := 1
+	emitDone := func(detail string) {
+		if events {
+			obs.Emit(obs.Event{
+				Kind: obs.EvCheckDone, Name: "liveness-otf:" + name,
+				States: int64(finalStates), DurNS: time.Since(start).Nanoseconds(),
+				Detail: detail,
+			})
+		}
+	}
 	var pad [][]explore.Edge
 	barrier := func(out [][]explore.Edge, interned, expanded int) error {
 		finalStates = interned
@@ -208,6 +222,14 @@ func checkLazy(alg tm.Algorithm, cm tm.ContentionManager, props []Prop, workers 
 				Elapsed: time.Since(start), Engine: space.EngineOnTheFly,
 				Expanded: expanded, Probes: probes,
 			}
+			if events {
+				obs.Emit(obs.Event{
+					Kind: obs.EvViolation, Name: name + ":" + p.Key(),
+					States: int64(interned),
+					Detail: "lasso found: stem " + strconv.Itoa(len(stem)) +
+						", loop " + strconv.Itoa(len(loop)),
+				})
+			}
 		}
 		if remaining == 0 {
 			return errAllResolved
@@ -217,6 +239,7 @@ func checkLazy(alg tm.Algorithm, cm tm.ContentionManager, props []Prop, workers 
 	if err := explore.ScanLevelsGuarded(alg, cm, workers, g, barrier); err != nil && !errors.Is(err, errAllResolved) {
 		var le *guard.LimitError
 		if !errors.As(err, &le) {
+			emitDone("ERROR: " + err.Error())
 			return nil, err
 		}
 		// Limited scan: resolved properties keep their violations, the
@@ -235,6 +258,7 @@ func checkLazy(alg tm.Algorithm, cm tm.ContentionManager, props []Prop, workers 
 		for i := range results {
 			results[i].recordOTF()
 		}
+		emitDone("LIMIT: " + le.Error())
 		return results, err
 	}
 	for i, p := range props {
@@ -251,6 +275,13 @@ func checkLazy(alg tm.Algorithm, cm tm.ContentionManager, props []Prop, workers 
 	for i := range results {
 		results[i].recordOTF()
 	}
+	violated := 0
+	for i := range results {
+		if !results[i].Holds {
+			violated++
+		}
+	}
+	emitDone(strconv.Itoa(len(props)-violated) + "/" + strconv.Itoa(len(props)) + " hold")
 	return results, nil
 }
 

@@ -1,0 +1,140 @@
+package obs
+
+// The -debug-addr surface: a small HTTP server exposing the live run —
+// net/http/pprof for profiles, /vitals for a JSON snapshot of the
+// registry plus the bus's live view, and /events for a Server-Sent
+// Events stream of the bus. This is exactly the observation surface a
+// long-running verification daemon (tmcheckd, see ROADMAP) will mount
+// per job, so it lives here rather than in cmd/tmcheck.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Vitals is the /vitals response: the live in-flight view and the full
+// registry snapshot at request time.
+type Vitals struct {
+	Schema string       `json:"schema"`
+	Live   LiveSnapshot `json:"live"`
+	Report Report       `json:"report"`
+}
+
+// VitalsSchema identifies the /vitals JSON layout.
+const VitalsSchema = "tmcheck/vitals/v1"
+
+// DebugServer is a running debug HTTP server.
+type DebugServer struct {
+	// Addr is the bound address (with the real port when ":0" was asked).
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebugServer binds addr (e.g. "localhost:7077" or ":0") and
+// serves the debug surface for the given bus and registry in a
+// background goroutine.
+func StartDebugServer(addr string, bus *Bus, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "tmcheck debug surface\n\n"+
+			"  /vitals        live JSON snapshot (registry + in-flight run)\n"+
+			"  /events        Server-Sent Events stream of the telemetry bus\n"+
+			"  /debug/pprof/  Go profiling endpoints\n")
+	})
+	mux.HandleFunc("/vitals", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Vitals{Schema: VitalsSchema, Live: bus.Live(), Report: reg.Snapshot("")})
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		serveSSE(w, r, bus)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &DebugServer{Addr: ln.Addr().String(), srv: &http.Server{Handler: mux}, ln: ln}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Close stops accepting connections and closes the listener.
+func (s *DebugServer) Close() error { return s.srv.Close() }
+
+// serveSSE streams bus events as Server-Sent Events: the flight
+// recorder's recent history first (so a late subscriber sees context),
+// then live events until the client disconnects.
+func serveSSE(w http.ResponseWriter, r *http.Request, bus *Bus) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	sub := bus.Subscribe(256)
+	defer bus.Unsubscribe(sub)
+
+	write := func(e Event) bool {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	seen := uint64(0)
+	for _, e := range bus.Recent(64) {
+		if !write(e) {
+			return
+		}
+		seen = e.Seq
+	}
+	// Heartbeat comments keep idle connections alive through proxies.
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case e, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			if e.Seq <= seen {
+				continue // already replayed from the flight recorder
+			}
+			if !write(e) {
+				return
+			}
+		}
+	}
+}

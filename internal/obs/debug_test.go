@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startTestServer(t *testing.T) (*DebugServer, *Bus, *Registry) {
+	t.Helper()
+	bus := NewBus(64)
+	bus.SetEnabled(true)
+	reg := New()
+	reg.SetEnabled(true)
+	srv, err := StartDebugServer("127.0.0.1:0", bus, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, bus, reg
+}
+
+func TestDebugServerVitals(t *testing.T) {
+	srv, bus, reg := startTestServer(t)
+	reg.Inc("guard.mem.samples", 3)
+	bus.Emit(Event{Kind: EvRunStart, Name: "table2"})
+	bus.Emit(Event{Kind: EvLevelDone, Name: "dstm:op", Level: 4, States: 77})
+
+	resp, err := http.Get("http://" + srv.Addr + "/vitals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /vitals: %s", resp.Status)
+	}
+	var v Vitals
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("/vitals is not JSON: %v", err)
+	}
+	if v.Schema != VitalsSchema {
+		t.Errorf("schema %q, want %q", v.Schema, VitalsSchema)
+	}
+	if v.Live.Run != "table2" || v.Live.States != 77 || v.Live.Level != 4 {
+		t.Errorf("live view wrong: %+v", v.Live)
+	}
+	if v.Report.Schema != Schema || v.Report.Counters["guard.mem.samples"] != 3 {
+		t.Errorf("registry snapshot wrong: %+v", v.Report)
+	}
+}
+
+func TestDebugServerIndexAndPprof(t *testing.T) {
+	srv, _, _ := startTestServer(t)
+	for path, want := range map[string]string{
+		"/":                         "/vitals",
+		"/debug/pprof/":             "profiles",
+		"/debug/pprof/heap?debug=1": "heap",
+	} {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body := make([]byte, 4096)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %s", path, resp.Status)
+		}
+		if !strings.Contains(string(body[:n]), want) {
+			t.Errorf("GET %s body misses %q", path, want)
+		}
+	}
+	resp, err := http.Get("http://" + srv.Addr + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope: %s, want 404", resp.Status)
+	}
+}
+
+func TestDebugServerSSEReplaysAndStreams(t *testing.T) {
+	srv, bus, _ := startTestServer(t)
+	bus.Emit(Event{Kind: EvRunStart, Name: "table3"})
+	bus.Emit(Event{Kind: EvLevelDone, Name: "dstm+aggressive", Level: 1, States: 8})
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get("http://" + srv.Addr + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	type sse struct {
+		kind  string
+		event Event
+	}
+	lines := make(chan sse, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var e Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &e); err != nil {
+				continue
+			}
+			lines <- sse{kind: e.Kind.String(), event: e}
+		}
+	}()
+
+	read := func(wantKind string) Event {
+		t.Helper()
+		select {
+		case got := <-lines:
+			if got.kind != wantKind {
+				t.Fatalf("got %s event, want %s (%+v)", got.kind, wantKind, got.event)
+			}
+			return got.event
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %s event", wantKind)
+			return Event{}
+		}
+	}
+	// The two pre-connection events replay from the ring...
+	read("run_start")
+	replayed := read("level_done")
+	// ...and a live event follows without duplicating the replayed ones.
+	bus.Emit(Event{Kind: EvViolation, Name: "dstm+aggressive:livelock", Detail: "lasso"})
+	live := read("violation")
+	if live.Seq <= replayed.Seq {
+		t.Errorf("live event seq %d not after replayed %d", live.Seq, replayed.Seq)
+	}
+}

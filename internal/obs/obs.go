@@ -241,5 +241,18 @@ func AddTime(name string, d time.Duration) { std.AddTime(name, d) }
 func Observe(name string, d time.Duration) { std.Observe(name, d) }
 
 // Phase opens a phase on the default registry; call the returned
-// function to close it.
-func Phase(name string) func() { return std.StartPhase(name) }
+// function to close it. With the event bus enabled the phase is
+// mirrored as EvPhaseStart/EvPhaseEnd events, which the -trace writer
+// renders as nested spans on the pipeline track.
+func Phase(name string) func() {
+	done := std.StartPhase(name)
+	if !events.Enabled() {
+		return done
+	}
+	events.Emit(Event{Kind: EvPhaseStart, Name: name})
+	start := time.Now()
+	return func() {
+		done()
+		events.Emit(Event{Kind: EvPhaseEnd, Name: name, DurNS: time.Since(start).Nanoseconds()})
+	}
+}

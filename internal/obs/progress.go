@@ -1,0 +1,187 @@
+package obs
+
+// The -progress renderer: a throttled live status line driven by the
+// bus's live snapshot (no subscription — reading the snapshot on a
+// ticker can never drop events or stall the publisher). On a TTY it
+// rewrites a single line in place; piped, it prints a plain line at a
+// slower cadence so logs stay readable.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Progress renders live run status from a Bus until stopped.
+type Progress struct {
+	w        io.Writer
+	bus      *Bus
+	tty      bool
+	interval time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu         sync.Mutex
+	lastLine   string
+	prevStates int64
+	prevNS     int64
+	rate       float64
+}
+
+// StartProgress launches a renderer writing to w (TTY-detected when w
+// is an *os.File): every 100ms on a TTY, every 2s piped. Call Stop to
+// finish; on a TTY the status line is cleared, piped the last status is
+// left as a final line.
+func StartProgress(w io.Writer, bus *Bus) *Progress {
+	p := &Progress{w: w, bus: bus, stop: make(chan struct{}), done: make(chan struct{})}
+	if f, ok := w.(*os.File); ok {
+		if fi, err := f.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+			p.tty = true
+		}
+	}
+	p.interval = 2 * time.Second
+	if p.tty {
+		p.interval = 100 * time.Millisecond
+	}
+	go p.loop()
+	return p
+}
+
+func (p *Progress) loop() {
+	defer close(p.done)
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C:
+			p.render(false)
+		}
+	}
+}
+
+// Stop halts the renderer and flushes or clears the status line: on a
+// TTY the in-place line is erased; piped, one final complete status
+// line is left in the log (even when the run ended between ticks).
+func (p *Progress) Stop() {
+	close(p.stop)
+	<-p.done
+	lv := p.bus.Live()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.tty {
+		if p.lastLine != "" {
+			fmt.Fprint(p.w, "\r\x1b[K")
+		}
+	} else if lv.Events > 0 {
+		if line := p.format(lv); line != p.lastLine {
+			fmt.Fprintln(p.w, line)
+		}
+	}
+	p.lastLine = ""
+}
+
+// render formats the current live snapshot and writes it when changed.
+func (p *Progress) render(force bool) {
+	lv := p.bus.Live()
+	if lv.Events == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// states/sec over the window since the previous render.
+	if p.prevNS != 0 && lv.UpdatedNS > p.prevNS && lv.States >= p.prevStates {
+		dt := float64(lv.UpdatedNS-p.prevNS) / float64(time.Second)
+		if dt > 0.01 {
+			p.rate = float64(lv.States-p.prevStates) / dt
+		}
+	}
+	p.prevStates, p.prevNS = lv.States, lv.UpdatedNS
+
+	line := p.format(lv)
+	if line == p.lastLine && !force {
+		return
+	}
+	p.lastLine = line
+	if p.tty {
+		fmt.Fprintf(p.w, "\r\x1b[K%s", line)
+	} else {
+		fmt.Fprintln(p.w, line)
+	}
+}
+
+// format renders one status line, e.g.
+//
+//	table2 · tl2:op · level 14 · 35,821 states · 120k st/s · heap 89.2MiB · 2.1s
+func (p *Progress) format(lv LiveSnapshot) string {
+	line := lv.Run
+	if line == "" {
+		line = "run"
+	}
+	if lv.Check != "" {
+		line += " · " + lv.Check
+	}
+	if lv.Level > 0 {
+		line += " · level " + strconv.Itoa(int(lv.Level))
+	}
+	line += " · " + groupThousands(lv.States) + " states"
+	if p.rate >= 1 {
+		line += " · " + formatRate(p.rate) + " st/s"
+	}
+	if lv.HeapBytes > 0 {
+		line += " · heap " + formatEventBytes(lv.HeapBytes)
+	}
+	if lv.StartNS > 0 && lv.UpdatedNS >= lv.StartNS {
+		line += " · " + time.Duration(lv.UpdatedNS-lv.StartNS).Round(100*time.Millisecond).String()
+	}
+	if lv.Dropped > 0 {
+		line += fmt.Sprintf(" · %d dropped", lv.Dropped)
+	}
+	return line
+}
+
+// groupThousands renders 1234567 as "1,234,567".
+func groupThousands(n int64) string {
+	s := strconv.FormatInt(n, 10)
+	neg := false
+	if len(s) > 0 && s[0] == '-' {
+		neg, s = true, s[1:]
+	}
+	if len(s) <= 3 {
+		if neg {
+			return "-" + s
+		}
+		return s
+	}
+	var out []byte
+	lead := len(s) % 3
+	if lead > 0 {
+		out = append(out, s[:lead]...)
+	}
+	for i := lead; i < len(s); i += 3 {
+		if len(out) > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, s[i:i+3]...)
+	}
+	if neg {
+		return "-" + string(out)
+	}
+	return string(out)
+}
+
+// formatRate renders a per-second rate compactly: 850, 12.3k, 4.5M.
+func formatRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	}
+	return fmt.Sprintf("%.0f", r)
+}

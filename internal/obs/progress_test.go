@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for the renderer tests.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestProgressPipedWritesFinalLine(t *testing.T) {
+	bus := NewBus(16)
+	bus.SetEnabled(true)
+	var out syncBuffer
+	p := StartProgress(&out, bus)
+	if p.tty {
+		t.Fatal("a plain buffer must not be detected as a TTY")
+	}
+	bus.Emit(Event{Kind: EvRunStart, Name: "table2"})
+	bus.Emit(Event{Kind: EvLevelDone, Name: "otf:dstm:op", Level: 5, States: 12345, HeapBytes: 3 << 20})
+	p.Stop()
+	got := out.String()
+	for _, want := range []string{"table2", "otf:dstm:op", "level 5", "12,345 states", "heap 3.0MiB"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("final status line misses %q:\n%q", want, got)
+		}
+	}
+	if strings.Contains(got, "\r") {
+		t.Errorf("piped output contains carriage returns:\n%q", got)
+	}
+}
+
+func TestProgressSilentWithoutEvents(t *testing.T) {
+	bus := NewBus(16)
+	bus.SetEnabled(true)
+	var out syncBuffer
+	p := StartProgress(&out, bus)
+	time.Sleep(20 * time.Millisecond)
+	p.Stop()
+	if got := out.String(); got != "" {
+		t.Errorf("renderer wrote %q with no events", got)
+	}
+}
+
+func TestProgressFormatRateAndDrops(t *testing.T) {
+	p := &Progress{rate: 12_500}
+	lv := LiveSnapshot{Run: "table3", Check: "dstm+aggressive", States: 1000,
+		StartNS: 1, UpdatedNS: 1 + int64(2*time.Second), Dropped: 4}
+	line := p.format(lv)
+	for _, want := range []string{"table3", "dstm+aggressive", "1,000 states", "12.5k st/s", "2s", "4 dropped"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line misses %q: %q", want, line)
+		}
+	}
+}

@@ -27,6 +27,23 @@ type Report struct {
 	Timers     map[string]TimerReport     `json:"timers"`
 	Histograms map[string]HistogramReport `json:"histograms"`
 	Phases     []PhaseReport              `json:"phases"`
+
+	// Flight is the flight-recorder dump: the most recent telemetry bus
+	// events, attached by AttachFlight only when the bus was enabled AND
+	// a limit or panic event was captured — so every LIMIT(kind) cell
+	// ships with its recent history, while limit-free reports stay
+	// byte-identical whether telemetry ran or not.
+	Flight        []Event `json:"flight,omitempty"`
+	FlightDropped uint64  `json:"flight_dropped,omitempty"`
+}
+
+// AttachFlight copies the bus's flight-recorder dump (up to n events)
+// into the report when a limit or panic event was captured; otherwise
+// the report is left untouched.
+func (rep *Report) AttachFlight(b *Bus, n int) {
+	if evs, dropped, limited := b.Flight(n); limited {
+		rep.Flight, rep.FlightDropped = evs, dropped
+	}
 }
 
 // TimerReport is one timer's JSON form.

@@ -30,8 +30,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tmcheck/internal/guard"
+	"tmcheck/internal/obs"
 )
 
 // defaultWorkers is the process-wide worker count; 0 means "use
@@ -168,10 +170,14 @@ func (b *panicBox) protect(f func(int)) func(int) {
 			if v := recover(); v != nil {
 				le := &guard.LimitError{Kind: guard.KindPanic, Value: v, Stack: debug.Stack()}
 				b.mu.Lock()
-				if b.err == nil {
+				first := b.err == nil
+				if first {
 					b.err = le
 				}
 				b.mu.Unlock()
+				if first && obs.EventsEnabled() {
+					obs.Emit(obs.Event{Kind: obs.EvPanicRecovered, Detail: le.Error()})
+				}
 			}
 		}()
 		f(i)
@@ -358,26 +364,42 @@ func For(n, workers int, f func(i int)) {
 	if chunk > 64 {
 		chunk = 64
 	}
+	// With the telemetry bus on, each worker reports its activity window
+	// as one EvWorkerSpan — the per-worker tracks of the -trace view.
+	// Disabled (the common case), the loop body is untouched.
+	spans := obs.EventsEnabled()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var start time.Time
+			items := 0
+			if spans {
+				start = time.Now()
+			}
 			for {
 				end := int(next.Add(int64(chunk)))
-				start := end - chunk
-				if start >= n {
-					return
+				begin := end - chunk
+				if begin >= n {
+					break
 				}
 				if end > n {
 					end = n
 				}
-				for i := start; i < end; i++ {
+				for i := begin; i < end; i++ {
 					f(i)
 				}
+				items += end - begin
 			}
-		}()
+			if spans && items > 0 {
+				obs.Emit(obs.Event{
+					Kind: obs.EvWorkerSpan, Worker: int32(w),
+					States: int64(items), DurNS: time.Since(start).Nanoseconds(),
+				})
+			}
+		}(w)
 	}
 	wg.Wait()
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,11 +95,42 @@ func CheckOnTheFly(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property
 	return VerifyOpts(alg, cm, prop, Options{Engine: EngineOnTheFly})
 }
 
+// checkEvents brackets one inclusion check on the telemetry bus:
+// EvCheckStart now, then EvCheckDone (verdict in Detail, product pairs
+// in States) — plus an EvViolation when a counterexample was found —
+// when the returned func is called with the outcome. With the bus
+// disabled it is a no-op closure.
+func checkEvents(name string) func(res Result, err error) {
+	if !obs.EventsEnabled() {
+		return func(Result, error) {}
+	}
+	obs.Emit(obs.Event{Kind: obs.EvCheckStart, Name: name})
+	start := time.Now()
+	return func(res Result, err error) {
+		e := obs.Event{Kind: obs.EvCheckDone, Name: name, DurNS: time.Since(start).Nanoseconds()}
+		switch {
+		case err != nil:
+			e.Detail = "ERROR: " + err.Error()
+		case res.Holds:
+			e.Detail = "SAFE"
+			e.States = int64(res.Inclusion.PairsVisited)
+		default:
+			e.Detail = "UNSAFE"
+			e.States = int64(res.Inclusion.PairsVisited)
+			obs.Emit(obs.Event{Kind: obs.EvViolation, Name: name,
+				Detail: "counterexample of length " + strconv.Itoa(res.Inclusion.CexLen)})
+		}
+		obs.Emit(e)
+	}
+}
+
 // verifyMaterialized is the classic pipeline with the guard threaded
 // through its three stages; the state budget of each stage is charged
 // against what the previous stages already constructed (the context
 // and heap watchdog are shared across all three unchanged).
-func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, workers int, g *guard.Guard) (Result, error) {
+func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, workers int, g *guard.Guard) (res Result, err error) {
+	fin := checkEvents("dfa:" + systemName(alg, cm) + ":" + prop.Key())
+	defer func() { fin(res, err) }()
 	maxStates := g.MaxStates()
 	buildStart := time.Now()
 	ts, err := explore.BuildGuarded(alg, cm, workers, g)
@@ -135,7 +167,7 @@ func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Pro
 	if err != nil {
 		return Result{}, chargeStates(err, maxStates, ts.NumStates()+dfa.NumStates())
 	}
-	res := Result{
+	res = Result{
 		System:           ts.Name(),
 		Prop:             prop,
 		Threads:          ts.Alg.Threads(),
@@ -184,6 +216,7 @@ var errViolationFound = errors.New("safety: violation found")
 // obs span for callers off the single-threaded spine.
 func checkOnTheFly(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, workers int, g *guard.Guard, phase bool) (Result, error) {
 	det := spec.NewDet(prop, alg.Threads(), alg.Vars())
+	fin := checkEvents("otf:" + systemName(alg, cm) + ":" + prop.Key())
 	var res Result
 	start := time.Now()
 	err := guard.Capture(func() error {
@@ -196,12 +229,14 @@ func checkOnTheFly(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property
 		return ierr
 	})
 	if err != nil {
+		fin(Result{}, err)
 		return Result{}, err
 	}
 	// Exploration and checking are interleaved, so the whole search is
 	// charged to Elapsed and the build fields stay zero.
 	res.Elapsed = time.Since(start)
 	res.recordOTF()
+	fin(res, nil)
 	return res, nil
 }
 
@@ -223,12 +258,19 @@ func expandSorted(tmsp *explore.Space, s space.State) []explore.Edge {
 	return buf
 }
 
+// otfProgressEvery is the heartbeat granularity of the sequential
+// on-the-fly search on the telemetry bus: one EvProgress per this many
+// expanded product pairs.
+const otfProgressEvery = 4096
+
 // otfSeq is the sequential on-the-fly search.
 func otfSeq(alg tm.Algorithm, cm tm.ContentionManager, det *spec.Det, prop spec.Property, g *guard.Guard, phase bool) (Result, error) {
+	name := "otf:" + systemName(alg, cm) + ":" + prop.Key()
 	if phase {
-		done := obs.Phase("otf:" + systemName(alg, cm) + ":" + prop.Key())
+		done := obs.Phase(name)
 		defer done()
 	}
+	events := obs.EventsEnabled()
 	tmsp := explore.NewSpace(alg, cm)
 	lz := spec.NewLazy(det)
 
@@ -304,6 +346,13 @@ func otfSeq(alg tm.Algorithm, cm tm.ContentionManager, det *spec.Det, prop spec.
 		if f := len(nodes) - int(qi); f > frontierPeak {
 			frontierPeak = f
 		}
+		if events && qi > 0 && qi%otfProgressEvery == 0 {
+			obs.Emit(obs.Event{
+				Kind: obs.EvProgress, Name: name,
+				States: int64(len(nodes)), Frontier: int64(len(nodes) - int(qi)),
+				HeapBytes: obs.SampledHeap(),
+			})
+		}
 		p := nodes[qi].p
 		for _, e := range edgesOf(p.tm) {
 			if e.Emit < 0 {
@@ -330,9 +379,26 @@ func otfSeq(alg tm.Algorithm, cm tm.ContentionManager, det *spec.Det, prop spec.
 // expansions), so the budget and the reported sizes are
 // worker-count-dependent on early exit; verdicts never are.
 func otfPar(alg tm.Algorithm, cm tm.ContentionManager, det *spec.Det, prop spec.Property, workers int, g *guard.Guard, phase bool) (Result, error) {
+	name := "otf:" + systemName(alg, cm) + ":" + prop.Key()
 	if phase {
-		done := obs.Phase("otf:" + systemName(alg, cm) + ":" + prop.Key())
+		done := obs.Phase(name)
 		defer done()
+	}
+	// With the telemetry bus on, every level barrier reports one
+	// EvLevelDone — the per-level product-BFS slices of the -trace view.
+	var emitLevel func(states int)
+	if obs.EventsEnabled() {
+		last, level, prev := time.Now(), int32(0), 0
+		emitLevel = func(states int) {
+			now := time.Now()
+			obs.Emit(obs.Event{
+				Kind: obs.EvLevelDone, Name: name, Level: level,
+				States: int64(states), Frontier: int64(states - prev),
+				HeapBytes: obs.SampledHeap(), DurNS: now.Sub(last).Nanoseconds(),
+			})
+			last, prev = now, states
+			level++
+		}
 	}
 	tmsp := explore.NewSpaceSync(alg, cm)
 	lz := spec.NewLazySync(det)
@@ -350,6 +416,9 @@ func otfPar(alg tm.Algorithm, cm tm.ContentionManager, det *spec.Det, prop spec.
 
 	pstats, err := parbfs.RunControlled(pairState{}, workers,
 		func(states int) error {
+			if emitLevel != nil {
+				emitLevel(states)
+			}
 			vioMu.Lock()
 			found := vioFound
 			vioMu.Unlock()

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"tmcheck/internal/guard"
+	"tmcheck/internal/obs"
 )
 
 // State identifies an interned state of a Space: a dense id assigned in
@@ -74,6 +75,10 @@ func Scan(sp Space, maxStates int, edge func(from State, l Letter, to State)) (i
 	return ScanGuarded(sp, guard.New(nil, maxStates, 0), edge)
 }
 
+// scanProgressEvery is the heartbeat granularity of ScanGuarded on the
+// telemetry bus: one EvProgress per this many expanded states.
+const scanProgressEvery = 8192
+
 // ScanGuarded is Scan consulting a full resource guard instead of a
 // bare state budget: the scan stops with the guard's *guard.LimitError
 // as soon as the context is done, the state budget is exceeded, or the
@@ -83,11 +88,19 @@ func ScanGuarded(sp Space, g *guard.Guard, edge func(from State, l Letter, to St
 	var from State
 	emit := func(l Letter, to State) { edge(from, l, to) }
 	active := g.Active()
+	events := obs.EventsEnabled()
 	for from = 0; int(from) < sp.NumStates(); from++ {
 		if active {
 			if err := g.Check(sp.NumStates()); err != nil {
 				return sp.NumStates(), err
 			}
+		}
+		if events && from > 0 && from%scanProgressEvery == 0 {
+			obs.Emit(obs.Event{
+				Kind: obs.EvProgress, Name: "space.scan",
+				States: int64(sp.NumStates()), Frontier: int64(sp.NumStates() - int(from)),
+				HeapBytes: obs.SampledHeap(),
+			})
 		}
 		sp.Succ(from, emit)
 	}
