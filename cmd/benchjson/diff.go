@@ -25,8 +25,33 @@ type diffRow struct {
 	NsDeltaPct       float64
 	OldAllocs        int64
 	NewAllocs        int64
+	OldBytes         int64
+	NewBytes         int64
+	AllocDeltaPct    float64
 	OnlyOld, OnlyNew bool
 	Regressed        bool
+	// AllocRegressed flags allocs/op or bytes/op growth past the
+	// -alloc-regress-pct threshold — the tripwire that keeps the
+	// zero-allocation core from silently eroding.
+	AllocRegressed bool
+}
+
+// growPct reports the percent growth from old to new and whether it
+// exceeds the threshold. Growth from a zero base always regresses (the
+// percentage is undefined and reported as 0); a negative threshold
+// disables the check.
+func growPct(old, new int64, pct float64) (float64, bool) {
+	if pct < 0 {
+		if old > 0 {
+			return float64(new-old) / float64(old) * 100, false
+		}
+		return 0, false
+	}
+	if old <= 0 {
+		return 0, new > 0
+	}
+	delta := float64(new-old) / float64(old) * 100
+	return delta, delta > pct
 }
 
 // loadReport reads and validates one trajectory file.
@@ -48,8 +73,10 @@ func loadReport(path string) (report, error) {
 // diffReports aligns the two reports by benchmark name. Rows follow the
 // new report's order, with removed benchmarks appended in the old
 // report's order. A row regresses when it is in both reports and its
-// ns/op grew by strictly more than regressPct percent.
-func diffReports(oldRep, newRep report, regressPct float64) []diffRow {
+// ns/op grew by strictly more than regressPct percent; it
+// alloc-regresses when allocs/op or bytes/op grew past allocRegressPct
+// (negative disables that gate).
+func diffReports(oldRep, newRep report, regressPct, allocRegressPct float64) []diffRow {
 	oldByName := make(map[string]entry, len(oldRep.Benchmarks))
 	for _, e := range oldRep.Benchmarks {
 		oldByName[e.Name] = e
@@ -69,11 +96,17 @@ func diffReports(oldRep, newRep report, regressPct float64) []diffRow {
 			NewNs:     ne.NsPerOp,
 			OldAllocs: oe.AllocsPerOp,
 			NewAllocs: ne.AllocsPerOp,
+			OldBytes:  oe.BytesPerOp,
+			NewBytes:  ne.BytesPerOp,
 		}
 		if oe.NsPerOp > 0 {
 			row.NsDeltaPct = (ne.NsPerOp - oe.NsPerOp) / oe.NsPerOp * 100
 		}
 		row.Regressed = row.NsDeltaPct > regressPct
+		allocPct, allocBad := growPct(oe.AllocsPerOp, ne.AllocsPerOp, allocRegressPct)
+		_, bytesBad := growPct(oe.BytesPerOp, ne.BytesPerOp, allocRegressPct)
+		row.AllocDeltaPct = allocPct
+		row.AllocRegressed = allocBad || bytesBad
 		rows = append(rows, row)
 	}
 	for _, oe := range oldRep.Benchmarks {
@@ -85,9 +118,9 @@ func diffReports(oldRep, newRep report, regressPct float64) []diffRow {
 }
 
 // runDiff loads both files, prints the comparison table, and returns
-// the exit code: 0 when no common benchmark regressed past the
-// threshold, 1 otherwise.
-func runDiff(w io.Writer, oldPath, newPath string, regressPct float64) (int, error) {
+// the exit code: 0 when no common benchmark regressed past either
+// threshold (ns/op, or allocs/bytes per op), 1 otherwise.
+func runDiff(w io.Writer, oldPath, newPath string, regressPct, allocRegressPct float64) (int, error) {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		return 0, err
@@ -96,28 +129,38 @@ func runDiff(w io.Writer, oldPath, newPath string, regressPct float64) (int, err
 	if err != nil {
 		return 0, err
 	}
-	rows := diffReports(oldRep, newRep, regressPct)
-	fmt.Fprintf(w, "benchjson diff: %s -> %s (fail above +%.1f%% ns/op)\n", oldPath, newPath, regressPct)
-	fmt.Fprintf(w, "%-44s %14s %14s %8s %14s\n", "benchmark", "old ns/op", "new ns/op", "Δ%", "allocs Δ")
-	regressed := 0
+	rows := diffReports(oldRep, newRep, regressPct, allocRegressPct)
+	fmt.Fprintf(w, "benchjson diff: %s -> %s (fail above +%.1f%% ns/op, +%.1f%% allocs/bytes)\n",
+		oldPath, newPath, regressPct, allocRegressPct)
+	fmt.Fprintf(w, "%-44s %14s %14s %8s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "Δ%", "allocs Δ", "allocΔ%")
+	regressed, allocRegressed := 0, 0
 	for _, r := range rows {
 		switch {
 		case r.OnlyNew:
-			fmt.Fprintf(w, "%-44s %14s %14.0f %8s %14s  (added)\n", r.Name, "-", r.NewNs, "-", "-")
+			fmt.Fprintf(w, "%-44s %14s %14.0f %8s %14s %8s  (added)\n", r.Name, "-", r.NewNs, "-", "-", "-")
 		case r.OnlyOld:
-			fmt.Fprintf(w, "%-44s %14.0f %14s %8s %14s  (removed)\n", r.Name, r.OldNs, "-", "-", "-")
+			fmt.Fprintf(w, "%-44s %14.0f %14s %8s %14s %8s  (removed)\n", r.Name, r.OldNs, "-", "-", "-", "-")
 		default:
 			mark := ""
 			if r.Regressed {
-				mark = "  REGRESSION"
+				mark += "  REGRESSION"
 				regressed++
 			}
-			fmt.Fprintf(w, "%-44s %14.0f %14.0f %+7.1f%% %+14d%s\n",
-				r.Name, r.OldNs, r.NewNs, r.NsDeltaPct, r.NewAllocs-r.OldAllocs, mark)
+			if r.AllocRegressed {
+				mark += "  ALLOC-REGRESSION"
+				allocRegressed++
+			}
+			fmt.Fprintf(w, "%-44s %14.0f %14.0f %+7.1f%% %+14d %+7.1f%%%s\n",
+				r.Name, r.OldNs, r.NewNs, r.NsDeltaPct, r.NewAllocs-r.OldAllocs, r.AllocDeltaPct, mark)
 		}
 	}
 	if regressed > 0 {
 		fmt.Fprintf(w, "%d benchmark(s) regressed more than %.1f%% ns/op\n", regressed, regressPct)
+	}
+	if allocRegressed > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) regressed more than %.1f%% allocs/op or bytes/op\n", allocRegressed, allocRegressPct)
+	}
+	if regressed > 0 || allocRegressed > 0 {
 		return 1, nil
 	}
 	return 0, nil

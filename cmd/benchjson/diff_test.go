@@ -29,11 +29,11 @@ func TestDiffReportsAlignment(t *testing.T) {
 		{Name: "Gone", NsPerOp: 50},
 	}}
 	newRep := report{Benchmarks: []entry{
-		{Name: "A", NsPerOp: 105, AllocsPerOp: 12}, // +5%: within threshold
+		{Name: "A", NsPerOp: 105, AllocsPerOp: 12}, // +5% ns: within threshold (+20% allocs: within 25)
 		{Name: "B", NsPerOp: 260, AllocsPerOp: 18}, // +30%: regression
 		{Name: "Fresh", NsPerOp: 70},
 	}}
-	rows := diffReports(oldRep, newRep, 10)
+	rows := diffReports(oldRep, newRep, 10, 25)
 	if len(rows) != 4 {
 		t.Fatalf("got %d rows, want 4", len(rows))
 	}
@@ -41,7 +41,7 @@ func TestDiffReportsAlignment(t *testing.T) {
 	for _, r := range rows {
 		byName[r.Name] = r
 	}
-	if r := byName["A"]; r.Regressed || r.NsDeltaPct < 4.9 || r.NsDeltaPct > 5.1 || r.NewAllocs-r.OldAllocs != 2 {
+	if r := byName["A"]; r.Regressed || r.AllocRegressed || r.NsDeltaPct < 4.9 || r.NsDeltaPct > 5.1 || r.NewAllocs-r.OldAllocs != 2 {
 		t.Errorf("row A wrong: %+v", r)
 	}
 	if r := byName["B"]; !r.Regressed || r.NewAllocs-r.OldAllocs != -2 {
@@ -63,11 +63,43 @@ func TestDiffRegressionThresholdBoundary(t *testing.T) {
 	oldRep := report{Benchmarks: []entry{{Name: "X", NsPerOp: 100}}}
 	newRep := report{Benchmarks: []entry{{Name: "X", NsPerOp: 110}}}
 	// Exactly at the threshold is not a regression; strictly above is.
-	if rows := diffReports(oldRep, newRep, 10); rows[0].Regressed {
+	if rows := diffReports(oldRep, newRep, 10, 25); rows[0].Regressed {
 		t.Errorf("+10%% at threshold 10 should pass: %+v", rows[0])
 	}
-	if rows := diffReports(oldRep, newRep, 9.9); !rows[0].Regressed {
+	if rows := diffReports(oldRep, newRep, 9.9, 25); !rows[0].Regressed {
 		t.Errorf("+10%% at threshold 9.9 should fail: %+v", rows[0])
+	}
+}
+
+func TestDiffAllocRegression(t *testing.T) {
+	oldRep := report{Benchmarks: []entry{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 100, BytesPerOp: 1000},
+		{Name: "B", NsPerOp: 100, AllocsPerOp: 100, BytesPerOp: 1000},
+		{Name: "Zero", NsPerOp: 100, AllocsPerOp: 0, BytesPerOp: 0},
+	}}
+	newRep := report{Benchmarks: []entry{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 140, BytesPerOp: 1000}, // +40% allocs
+		{Name: "B", NsPerOp: 100, AllocsPerOp: 100, BytesPerOp: 1300}, // +30% bytes
+		{Name: "Zero", NsPerOp: 100, AllocsPerOp: 3, BytesPerOp: 48},  // growth from zero
+	}}
+	rows := diffReports(oldRep, newRep, 10, 25)
+	byName := map[string]diffRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	for _, name := range []string{"A", "B", "Zero"} {
+		if r := byName[name]; !r.AllocRegressed || r.Regressed {
+			t.Errorf("row %s should alloc-regress only: %+v", name, r)
+		}
+	}
+	if r := byName["A"]; r.AllocDeltaPct < 39.9 || r.AllocDeltaPct > 40.1 {
+		t.Errorf("row A alloc delta wrong: %+v", r)
+	}
+	// A negative threshold disables the allocation gate entirely.
+	for _, r := range diffReports(oldRep, newRep, 10, -1) {
+		if r.AllocRegressed {
+			t.Errorf("alloc gate disabled, row still regressed: %+v", r)
+		}
 	}
 }
 
@@ -78,7 +110,7 @@ func TestRunDiffExitCodes(t *testing.T) {
 	okPath := benchFile(t, dir, "ok.json", []entry{{Name: "A", NsPerOp: 101}})
 
 	var out strings.Builder
-	code, err := runDiff(&out, oldPath, badPath, 10)
+	code, err := runDiff(&out, oldPath, badPath, 10, 25)
 	if err != nil || code != 1 {
 		t.Errorf("100%% regression: code %d err %v, want 1 nil", code, err)
 	}
@@ -87,12 +119,22 @@ func TestRunDiffExitCodes(t *testing.T) {
 	}
 
 	out.Reset()
-	code, err = runDiff(&out, oldPath, okPath, 10)
+	code, err = runDiff(&out, oldPath, okPath, 10, 25)
 	if err != nil || code != 0 {
 		t.Errorf("1%% movement: code %d err %v, want 0 nil", code, err)
 	}
 
-	if _, err := runDiff(&out, oldPath, filepath.Join(dir, "missing.json"), 10); err == nil {
+	out.Reset()
+	allocPath := benchFile(t, dir, "alloc.json", []entry{{Name: "A", NsPerOp: 100, AllocsPerOp: 7}})
+	code, err = runDiff(&out, oldPath, allocPath, 10, 25)
+	if err != nil || code != 1 {
+		t.Errorf("alloc growth from zero: code %d err %v, want 1 nil", code, err)
+	}
+	if !strings.Contains(out.String(), "ALLOC-REGRESSION") {
+		t.Errorf("output misses ALLOC-REGRESSION marker:\n%s", out.String())
+	}
+
+	if _, err := runDiff(&out, oldPath, filepath.Join(dir, "missing.json"), 10, 25); err == nil {
 		t.Error("missing file should error")
 	}
 
@@ -100,7 +142,7 @@ func TestRunDiffExitCodes(t *testing.T) {
 	if err := os.WriteFile(wrongSchema, []byte(`{"schema":"nope/v0"}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := runDiff(&out, oldPath, wrongSchema, 10); err == nil {
+	if _, err := runDiff(&out, oldPath, wrongSchema, 10, 25); err == nil {
 		t.Error("wrong schema should error")
 	}
 }

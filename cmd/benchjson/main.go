@@ -9,17 +9,21 @@
 // Usage:
 //
 //	benchjson [-o FILE] [-workers N] [-full]
-//	benchjson -diff [-regress-pct P] OLD.json NEW.json
+//	benchjson -diff [-regress-pct P] [-alloc-regress-pct P] OLD.json NEW.json
 //
 // Without -o the tool picks the next free BENCH_<n>.json in the current
 // directory. -workers pins the parallel-engine worker count (default
-// GOMAXPROCS); the recorded file notes the setting. -full adds the
-// expensive (2,3) scaling instance.
+// GOMAXPROCS); the recorded file notes the setting, along with the
+// host's runtime.NumCPU() and the effective GOMAXPROCS, so baselines
+// from different machines stay interpretable. -full adds the expensive
+// (2,3) scaling instance.
 //
 // -diff compares two recorded files instead of running anything: it
 // prints the per-benchmark ns/op and allocs/op movement and exits
 // nonzero when any benchmark present in both regressed its ns/op by
-// more than -regress-pct percent (default 10).
+// more than -regress-pct percent (default 10) or its allocs/op or
+// bytes/op by more than -alloc-regress-pct percent (default 25;
+// negative disables the allocation gate).
 package main
 
 import (
@@ -49,6 +53,7 @@ type report struct {
 	GOOS       string  `json:"goos"`
 	GOARCH     string  `json:"goarch"`
 	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
 	Workers    int     `json:"workers"`
 	Benchmarks []entry `json:"benchmarks"`
 }
@@ -68,6 +73,7 @@ func main() {
 	note := flag.String("note", "", "free-form annotation recorded in the file")
 	diffMode := flag.Bool("diff", false, "compare two recorded files: benchjson -diff OLD.json NEW.json")
 	regressPct := flag.Float64("regress-pct", 10, "with -diff: fail when any ns/op regressed by more than this percent")
+	allocRegressPct := flag.Float64("alloc-regress-pct", 25, "with -diff: fail when any allocs/op or bytes/op regressed by more than this percent (negative disables)")
 	flag.Parse()
 
 	if *diffMode {
@@ -75,7 +81,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two files: benchjson -diff OLD.json NEW.json")
 			os.Exit(2)
 		}
-		code, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *regressPct)
+		code, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *regressPct, *allocRegressPct)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -87,13 +93,14 @@ func main() {
 		parbfs.SetWorkers(*workers)
 	}
 	rep := report{
-		Schema:    benchSchema,
-		Note:      *note,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Workers:   parbfs.Workers(),
+		Schema:     benchSchema,
+		Note:       *note,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    parbfs.Workers(),
 	}
 	for _, bm := range benchmarks(*full) {
 		fmt.Fprintf(os.Stderr, "running %s...\n", bm.name)

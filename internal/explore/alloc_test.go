@@ -1,0 +1,39 @@
+//go:build !race
+
+package explore
+
+import (
+	"testing"
+
+	"tmcheck/internal/tm"
+)
+
+// TestBuildAllocsPerState pins the zero-allocation core: building the
+// tl2 (2,2) system must amortize to (well under) one heap allocation
+// per interned state. Before the packed core this build allocated ~12
+// per state (boxed states, map interner, per-level frontier churn); the
+// packed path interns bit-packed keys into a flat open-addressing table
+// and reuses pooled buffers, so the whole build is a few hundred
+// allocations for ~20k states. The 0.1 bound keeps an order of
+// magnitude of headroom while still tripping on any return to boxing.
+//
+// Race builds skip this file: the detector instruments allocations and
+// the count is not meaningful there.
+func TestBuildAllocsPerState(t *testing.T) {
+	alg := tm.NewTL2(2, 2)
+	warm := BuildWorkers(alg, nil, 1) // warm the frontier and key pools
+	n := warm.NumStates()
+	if n < 1000 {
+		t.Fatalf("tl2 (2,2) has %d states; expected thousands", n)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		ts := BuildWorkers(alg, nil, 1)
+		if ts.NumStates() != n {
+			t.Fatalf("state count drifted: %d vs %d", ts.NumStates(), n)
+		}
+	})
+	if perState := allocs / float64(n); perState > 0.1 {
+		t.Errorf("build allocated %.0f times for %d states (%.4f/state), want ≤ 0.1/state",
+			allocs, n, perState)
+	}
+}

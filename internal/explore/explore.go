@@ -67,20 +67,46 @@ type Edge struct {
 	Emit int16
 }
 
+// stateTable is the id-indexed product-state storage of a TS. The
+// generic engines keep boxed states (boxedStates); the packed engines
+// keep bit-packed keys and decode on demand (packedStates), so
+// materializing a system never boxes every state.
+type stateTable interface {
+	Len() int
+	At(i int32) prodState
+}
+
+// boxedStates is the boxed state table of the generic engines.
+type boxedStates []prodState
+
+func (b boxedStates) Len() int             { return len(b) }
+func (b boxedStates) At(i int32) prodState { return b[i] }
+
 // TS is the explicit transition system of a TM algorithm applied to the
 // most general program.
 type TS struct {
 	Alg      tm.Algorithm
 	CM       tm.ContentionManager // nil when the TM runs without a manager
 	Alphabet core.Alphabet
-	States   []prodState
 	Out      [][]Edge // outgoing edges per state; state 0 is initial
+
+	// states holds the product states by id; access through StateAt.
+	states stateTable
 
 	// nfa caches the NFA view: TS is immutable after Build, so the view
 	// is computed at most once and shared by every caller.
 	nfaOnce sync.Once
 	nfa     *automata.NFA
+
+	// dense caches the CSR automaton view the DFA-inclusion checks walk.
+	denseOnce sync.Once
+	dense     *automata.DenseNFA
 }
+
+// StateAt returns the product state with the given id. Packed systems
+// decode it on demand, so treat this as a cold-path accessor (tests,
+// witnesses, diagnostics) — the hot analyses walk Out and the NFA view.
+func (ts *TS) StateAt(i int32) prodState { return ts.states.At(i) }
 
 // Name describes the explored system, e.g. "dstm" or "tl2+polite".
 func (ts *TS) Name() string {
@@ -92,7 +118,12 @@ func (ts *TS) Name() string {
 
 // NumStates returns the number of reachable states — the "Size" column of
 // the paper's Table 2.
-func (ts *TS) NumStates() int { return len(ts.States) }
+func (ts *TS) NumStates() int {
+	if ts.states == nil {
+		return 0
+	}
+	return ts.states.Len()
+}
 
 // NumEdges returns the total number of transitions.
 func (ts *TS) NumEdges() int {
@@ -155,7 +186,7 @@ func BuildGuarded(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *gua
 	if err != nil {
 		return nil, err
 	}
-	ts.Out, ts.States = out, states
+	ts.Out, ts.states = out, states
 	ts.record(start, workers, pstats)
 	return ts, nil
 }
@@ -205,17 +236,27 @@ func ScanLevelsGuarded(alg tm.Algorithm, cm tm.ContentionManager, workers int, g
 // scanControlled is the exploration engine under BuildGuarded and
 // ScanLevelsGuarded: scan-order BFS to the fixpoint (sequential for
 // one worker, parbfs for more), with an optional guard and an optional
-// per-level barrier hook, inside a panic-isolation capture. The
-// returned adjacency and state table are bit-identical for every
-// worker count.
-func scanControlled(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard, barrier Barrier) (out [][]Edge, states []prodState, pstats parbfs.Stats, err error) {
+// per-level barrier hook, inside a panic-isolation capture. Products
+// whose TM and manager both pack (packedFor) run on the bit-packed
+// open-addressing core; everything else takes the generic boxed path.
+// All four engines produce bit-identical adjacency and numbering.
+func scanControlled(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard, barrier Barrier) (out [][]Edge, states stateTable, pstats parbfs.Stats, err error) {
+	pc := packedFor(alg, cm)
 	err = guard.Capture(func() error {
 		var ierr error
 		if workers <= 1 {
-			out, states, ierr = scanSeq(alg, cm, g, barrier)
+			if pc != nil {
+				out, states, ierr = scanSeqPacked(pc, alg, cm, g, barrier)
+			} else {
+				out, states, ierr = scanSeq(alg, cm, g, barrier)
+			}
 			return ierr
 		}
-		out, states, pstats, ierr = scanPar(alg, cm, workers, g, barrier)
+		if pc != nil {
+			out, states, pstats, ierr = scanParPacked(pc, alg, cm, workers, g, barrier)
+		} else {
+			out, states, pstats, ierr = scanPar(alg, cm, workers, g, barrier)
+		}
 		return ierr
 	})
 	if err != nil {
@@ -229,7 +270,7 @@ func scanControlled(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *g
 // is first-sight scan order, exactly as the pre-Space builder
 // hand-rolled it. The guard is exact (checked per state, before the
 // barrier at the same boundary).
-func scanSeq(alg tm.Algorithm, cm tm.ContentionManager, g *guard.Guard, barrier Barrier) ([][]Edge, []prodState, error) {
+func scanSeq(alg tm.Algorithm, cm tm.ContentionManager, g *guard.Guard, barrier Barrier) ([][]Edge, stateTable, error) {
 	sp := newSpace(alg, cm, false)
 	var out [][]Edge
 	// The yield closure is hoisted out of the scan loop (capturing qi) so
@@ -270,7 +311,7 @@ func scanSeq(alg tm.Algorithm, cm tm.ContentionManager, g *guard.Guard, barrier 
 			return nil, nil, err
 		}
 	}
-	return out, sp.in.Snapshot(), nil
+	return out, boxedStates(sp.in.Snapshot()), nil
 }
 
 // systemLabel names the system without constructing a TS.
@@ -315,7 +356,7 @@ func newLevelEmitter(name string) func(interned, expanded int) {
 // matches scanSeq bit for bit. The guard and barrier hook both run at
 // the level barriers (guard first), where the canonical numbering of
 // all completed levels is already assigned.
-func scanPar(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard, barrier Barrier) ([][]Edge, []prodState, parbfs.Stats, error) {
+func scanPar(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard, barrier Barrier) ([][]Edge, stateTable, parbfs.Stats, error) {
 	// The Space supplies only the successor enumeration here — parbfs
 	// owns the interning, so the Space's own table stays at the initial
 	// state.
@@ -374,7 +415,7 @@ func scanPar(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Gu
 	if err != nil {
 		return nil, nil, pstats, err
 	}
-	return out, states, pstats, nil
+	return out, boxedStates(states), pstats, nil
 }
 
 // record batches the exploration statistics into the obs registry, so
@@ -502,7 +543,7 @@ func (ts *TS) NFA() *automata.NFA {
 
 func (ts *TS) buildNFA() *automata.NFA {
 	a := automata.NewNFA(ts.Alphabet.Size())
-	for i := 1; i < len(ts.States); i++ {
+	for i := 1; i < ts.NumStates(); i++ {
 		a.AddState()
 	}
 	for s, es := range ts.Out {
@@ -515,6 +556,32 @@ func (ts *TS) buildNFA() *automata.NFA {
 		}
 	}
 	return a
+}
+
+// DenseNFA views the transition system as a CSR automaton — the same
+// language and per-state successor order as NFA(), flattened into the
+// arrays the deterministic inclusion walk iterates. Built once and
+// cached, like the boxed view, and built directly from the edge lists
+// (not via NFA()), so the safety pipeline never materializes the boxed
+// per-state-per-letter slices.
+func (ts *TS) DenseNFA() *automata.DenseNFA {
+	ts.denseOnce.Do(func() { ts.dense = ts.buildDenseNFA() })
+	return ts.dense
+}
+
+func (ts *TS) buildDenseNFA() *automata.DenseNFA {
+	b := automata.NewDenseBuilder(ts.Alphabet.Size())
+	for s := range ts.Out {
+		b.StartState()
+		for _, e := range ts.Out[s] {
+			if e.Emit >= 0 {
+				b.Edge(int(e.Emit), int(e.To))
+			} else {
+				b.Eps(int(e.To))
+			}
+		}
+	}
+	return b.Finish(0)
 }
 
 // InLanguage reports whether the word is in L(A), by NFA simulation.

@@ -51,7 +51,7 @@ func TestPendingIsExclusive(t *testing.T) {
 	ts := Build(tm.NewTwoPL(2, 2), nil)
 	for s := range ts.Out {
 		// Find the pending command per thread by looking at the state.
-		st := ts.States[s]
+		st := ts.StateAt(int32(s))
 		for _, e := range ts.Out[s] {
 			p := st.Pending[e.T]
 			if p.Active && e.Cmd != p.C {

@@ -1,0 +1,106 @@
+package explore
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"tmcheck/internal/tm"
+)
+
+// buildFallbackSystems enumerates the products the fallback test pins:
+// every registered TM without a manager, plus modtl2 with every
+// registered manager (the CM factor has its own packed form to bypass).
+func buildFallbackSystems(t *testing.T) []struct {
+	alg func() tm.Algorithm
+	cm  tm.ContentionManager
+} {
+	t.Helper()
+	var systems []struct {
+		alg func() tm.Algorithm
+		cm  tm.ContentionManager
+	}
+	for _, name := range tm.AlgorithmNames() {
+		name := name
+		systems = append(systems, struct {
+			alg func() tm.Algorithm
+			cm  tm.ContentionManager
+		}{alg: func() tm.Algorithm {
+			alg, err := tm.NewAlgorithm(name, 2, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return alg
+		}})
+	}
+	for _, mname := range tm.ManagerNames() {
+		cm, err := tm.NewContentionManager(mname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems = append(systems, struct {
+			alg func() tm.Algorithm
+			cm  tm.ContentionManager
+		}{alg: func() tm.Algorithm { return tm.NewTL2Mod(2, 2) }, cm: cm})
+	}
+	return systems
+}
+
+// TestOpaqueFallbackMatchesPacked pins the opt-in contract of the
+// packed core: a registry TM (or manager) without an encoder — modeled
+// by tm.Opaque/tm.OpaqueCM, which strip the typed extension — must take
+// the generic boxed path and produce the identical table: same states
+// in the same canonical order, same edges edge for edge, at one worker
+// and at four.
+func TestOpaqueFallbackMatchesPacked(t *testing.T) {
+	for _, sys := range buildFallbackSystems(t) {
+		alg := sys.alg()
+		name := alg.Name()
+		if sys.cm != nil {
+			name += "+" + sys.cm.Name()
+		}
+		t.Run(name, func(t *testing.T) {
+			// The non-opaque product must actually take the packed path and
+			// the opaque one must not, or the comparison is vacuous.
+			if packedFor(alg, sys.cm) == nil {
+				t.Fatalf("%s: packed core not selected for the typed product", name)
+			}
+			if packedFor(tm.Opaque(alg), sys.cm) != nil {
+				t.Fatal("Opaque algorithm still matched the packed dispatch")
+			}
+			if sys.cm != nil && packedFor(alg, tm.OpaqueCM(sys.cm)) != nil {
+				t.Fatal("OpaqueCM manager still matched the packed dispatch")
+			}
+			for _, workers := range []int{1, 4} {
+				packed := BuildWorkers(sys.alg(), sys.cm, workers)
+				generic := BuildWorkers(tm.Opaque(sys.alg()), tm.OpaqueCM(sys.cm), workers)
+				compareTables(t, fmt.Sprintf("workers=%d", workers), packed, generic)
+			}
+		})
+	}
+}
+
+// compareTables asserts two transition systems are bit-identical:
+// canonical numbering, edges, and decoded product states.
+func compareTables(t *testing.T, label string, a, b *TS) {
+	t.Helper()
+	if a.NumStates() != b.NumStates() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("%s: %d states/%d edges vs %d/%d",
+			label, a.NumStates(), a.NumEdges(), b.NumStates(), b.NumEdges())
+	}
+	if !reflect.DeepEqual(a.Out, b.Out) {
+		for s := range a.Out {
+			if !reflect.DeepEqual(a.Out[s], b.Out[s]) {
+				t.Fatalf("%s: state %d edges differ:\n packed  %v\n generic %v",
+					label, s, a.Out[s], b.Out[s])
+			}
+		}
+		t.Fatalf("%s: edge tables differ", label)
+	}
+	for s := 0; s < a.NumStates(); s++ {
+		if sa, sb := a.StateAt(int32(s)), b.StateAt(int32(s)); sa != sb {
+			t.Fatalf("%s: state %d decodes differently:\n packed  %+v\n generic %+v",
+				label, s, sa, sb)
+		}
+	}
+}

@@ -1,0 +1,488 @@
+package explore
+
+import (
+	"tmcheck/internal/core"
+	"tmcheck/internal/guard"
+	"tmcheck/internal/pack"
+	"tmcheck/internal/parbfs"
+	"tmcheck/internal/tm"
+)
+
+// The packed exploration core: when the TM algorithm implements
+// tm.Packed[S] for its own name and the contention manager packs
+// (tm.PackCM), the whole product state — TM state, per-thread pending
+// commands, manager state — is encoded into a fixed-width key of a few
+// uint64 words, interned into open-addressing pack.Map tables, and
+// expanded through the typed yield-style steppers. No interface values,
+// no map of structs, no per-step []Step slices: the hot loop's only
+// amortized allocations are the growth of the dense tables and the
+// edge arena.
+//
+// The enumeration order mirrors forEachEnabled/forEachStep exactly
+// (same command order, same contention-manager product rule, same
+// abort rule on the pre-filter step count), so the canonical numbering,
+// every edge list, and every downstream verdict are bit-identical to
+// the generic boxed path — TestPackedFallbackEquivalence pins this.
+
+// pendBits is the fixed per-thread width of the pending-command field:
+// 1 active bit, 2 op bits, 4 variable bits (k ≤ 16). An inactive entry
+// is all zeros, matching the zero pending value the generic path keeps.
+const pendBits = 7
+
+// packedIface is the non-generic view of packedCore[S] the scan loops
+// drive; one value is single-goroutine, clone() makes per-worker copies.
+type packedIface interface {
+	keyWords() int
+	// writeInit writes the initial product key into key (len keyWords).
+	writeInit(key []uint64)
+	// expandKey enumerates the outgoing edge templates of the state with
+	// the given key, calling yield with each successor's key (a scratch
+	// buffer overwritten by the next yield — consumers intern or copy
+	// immediately) and the edge with To unset.
+	expandKey(key []uint64, yield func(next []uint64, e Edge))
+	// clone returns a core sharing the immutable configuration with
+	// fresh expansion scratch, for one parallel worker.
+	clone() packedIface
+	// stateAt decodes a key into the boxed product state (cold path:
+	// state-table reads by tests, witnesses, and the restricted builder).
+	stateAt(key []uint64) prodState
+}
+
+// packedFor returns the packed core for the product, or nil when either
+// factor cannot pack: an algorithm outside the typed registry, a
+// wrapper whose PackedFor does not match its Name (method promotion
+// guard), a user-registered contention manager, or a product key wider
+// than pack.MaxWords. Callers fall back to the generic boxed path.
+func packedFor(alg tm.Algorithm, cm tm.ContentionManager) packedIface {
+	pcm, ok := tm.PackCM(cm)
+	if !ok {
+		return nil
+	}
+	switch a := alg.(type) {
+	case tm.Packed[tm.TL2State]:
+		return newPackedCore(a, pcm)
+	case tm.Packed[tm.TwoPLState]:
+		return newPackedCore(a, pcm)
+	case tm.Packed[tm.DSTMState]:
+		return newPackedCore(a, pcm)
+	case tm.Packed[tm.NOrecState]:
+		return newPackedCore(a, pcm)
+	case tm.Packed[tm.ETLState]:
+		return newPackedCore(a, pcm)
+	case tm.Packed[tm.SeqState]:
+		return newPackedCore(a, pcm)
+	default:
+		return nil
+	}
+}
+
+// packedCore is the typed implementation. The expansion scratch fields
+// make the hot path closure-allocation free: stepYield is built once
+// per core and reads the current (command, thread, conflict) from the
+// receiver instead of capturing per-call locals.
+type packedCore[S comparable] struct {
+	alg      tm.Packed[S]
+	pcm      tm.PackedCM // nil: no manager factor in the product
+	ab       core.Alphabet
+	commands []core.Command
+	n        int
+	kw       int
+	cmBits   int
+
+	// Expansion scratch (one goroutine per core; clone() for workers).
+	q         S
+	pend      [tm.MaxThreads]pending
+	cmw       uint64
+	c         core.Command
+	t         core.Thread
+	conflict  bool
+	nextKey   [pack.MaxWords]uint64
+	wtr       pack.Writer
+	rdr       pack.Reader
+	yield     func(next []uint64, e Edge)
+	stepYield func(x tm.XCmd, r tm.Resp, next S)
+}
+
+func newPackedCore[S comparable](alg tm.Packed[S], pcm tm.PackedCM) packedIface {
+	if alg.PackedFor() != alg.Name() {
+		return nil
+	}
+	n := alg.Threads()
+	cmBits := 0
+	if pcm != nil {
+		cmBits = pcm.CMBits()
+	}
+	bits := alg.StateBits() + n*pendBits + cmBits
+	if bits > 64*pack.MaxWords {
+		return nil
+	}
+	pc := &packedCore[S]{
+		alg: alg, pcm: pcm,
+		ab:       core.Alphabet{Threads: n, Vars: alg.Vars()},
+		n:        n,
+		kw:       pack.WordsFor(bits),
+		cmBits:   cmBits,
+		commands: core.Alphabet{Threads: n, Vars: alg.Vars()}.Commands(),
+	}
+	pc.initStepYield()
+	return pc
+}
+
+func (pc *packedCore[S]) initStepYield() {
+	pc.stepYield = func(x tm.XCmd, r tm.Resp, next S) {
+		cmNext, ok := pc.cmStep(x)
+		if !ok {
+			return
+		}
+		np := pc.pend
+		emit := int16(-1)
+		if r == tm.RespPending {
+			np[pc.t] = pending{Active: true, C: pc.c}
+		} else {
+			np[pc.t] = pending{}
+			if r == tm.Resp1 {
+				emit = int16(pc.ab.Encode(core.St(pc.c, pc.t)))
+			}
+		}
+		pc.encode(next, &np, cmNext)
+		pc.yield(pc.nextKey[:pc.kw], Edge{Cmd: pc.c, T: pc.t, X: x, R: r, Emit: emit})
+	}
+}
+
+func (pc *packedCore[S]) keyWords() int { return pc.kw }
+
+func (pc *packedCore[S]) clone() packedIface {
+	c := &packedCore[S]{
+		alg: pc.alg, pcm: pc.pcm, ab: pc.ab, commands: pc.commands,
+		n: pc.n, kw: pc.kw, cmBits: pc.cmBits,
+	}
+	c.initStepYield()
+	return c
+}
+
+// cmStep resolves the contention-manager product for extended command x
+// from the current scratch state: exactly forEachStep's cmStep on
+// packed manager words.
+func (pc *packedCore[S]) cmStep(x tm.XCmd) (uint64, bool) {
+	if pc.pcm == nil {
+		return pc.cmw, true
+	}
+	p2, has := pc.pcm.StepCM(pc.cmw, x, pc.t)
+	if pc.conflict && !has {
+		return 0, false
+	}
+	if has {
+		return p2, true
+	}
+	return pc.cmw, true
+}
+
+// encode packs (q, pend, cmw) into pc.nextKey. Layout: TM state bits,
+// then n fixed-width pending fields, then the manager word.
+func (pc *packedCore[S]) encode(q S, pend *[tm.MaxThreads]pending, cmw uint64) {
+	for i := 0; i < pc.kw; i++ {
+		pc.nextKey[i] = 0
+	}
+	pc.wtr.Reset(pc.nextKey[:pc.kw])
+	pc.alg.EncodeState(q, &pc.wtr)
+	for t := 0; t < pc.n; t++ {
+		p := &pend[t]
+		if p.Active {
+			pc.wtr.Put(1|uint64(p.C.Op)<<1|uint64(p.C.V)<<3, pendBits)
+		} else {
+			pc.wtr.Put(0, pendBits)
+		}
+	}
+	if pc.cmBits > 0 {
+		pc.wtr.Put(cmw, uint(pc.cmBits))
+	}
+}
+
+// decodeKey unpacks key into the expansion scratch.
+func (pc *packedCore[S]) decodeKey(key []uint64) {
+	pc.rdr.Reset(key)
+	pc.q = pc.alg.DecodeState(&pc.rdr)
+	for t := 0; t < pc.n; t++ {
+		b := pc.rdr.Get(pendBits)
+		if b&1 != 0 {
+			pc.pend[t] = pending{Active: true, C: core.Command{Op: core.Op((b >> 1) & 3), V: core.Var(b >> 3)}}
+		} else {
+			pc.pend[t] = pending{}
+		}
+	}
+	pc.cmw = 0
+	if pc.cmBits > 0 {
+		pc.cmw = pc.rdr.Get(uint(pc.cmBits))
+	}
+}
+
+func (pc *packedCore[S]) writeInit(key []uint64) {
+	pc.pend = [tm.MaxThreads]pending{}
+	var cmw uint64
+	if pc.pcm != nil {
+		cmw = pc.pcm.InitialCM()
+	}
+	pc.encode(pc.alg.InitialP(), &pc.pend, cmw)
+	copy(key, pc.nextKey[:pc.kw])
+}
+
+func (pc *packedCore[S]) expandKey(key []uint64, yield func(next []uint64, e Edge)) {
+	pc.yield = yield
+	pc.decodeKey(key)
+	for t := core.Thread(0); int(t) < pc.n; t++ {
+		if pc.pend[t].Active {
+			pc.stepKey(pc.pend[t].C, t)
+			continue
+		}
+		for _, c := range pc.commands {
+			pc.stepKey(c, t)
+		}
+	}
+}
+
+// stepKey mirrors forEachStep for one (command, thread) pair: typed
+// steps through the manager product, then the abort transition when the
+// command is abort enabled (zero pre-filter steps) or in conflict.
+func (pc *packedCore[S]) stepKey(c core.Command, t core.Thread) {
+	pc.c, pc.t = c, t
+	pc.conflict = pc.alg.ConflictP(pc.q, c, t)
+	count := pc.alg.StepsP(pc.q, c, t, pc.stepYield)
+	if count == 0 || pc.conflict {
+		if cmNext, ok := pc.cmStep(tm.XCmd{Kind: tm.XAbort}); ok {
+			np := pc.pend
+			np[t] = pending{}
+			emit := int16(pc.ab.Encode(core.St(core.Abort(), t)))
+			pc.encode(pc.alg.AbortStepP(pc.q, t), &np, cmNext)
+			pc.yield(pc.nextKey[:pc.kw], Edge{
+				Cmd: c, T: t,
+				X: tm.XCmd{Kind: tm.XAbort}, R: tm.Resp0, Emit: emit,
+			})
+		}
+	}
+}
+
+// stateAt decodes a key into the boxed product state. It uses its own
+// cursors so state-table reads never race the expansion scratch.
+func (pc *packedCore[S]) stateAt(key []uint64) prodState {
+	var rdr pack.Reader
+	rdr.Reset(key)
+	ps := prodState{TM: pc.alg.DecodeState(&rdr)}
+	for t := 0; t < pc.n; t++ {
+		b := rdr.Get(pendBits)
+		if b&1 != 0 {
+			ps.Pending[t] = pending{Active: true, C: core.Command{Op: core.Op((b >> 1) & 3), V: core.Var(b >> 3)}}
+		}
+	}
+	if pc.pcm != nil {
+		var cmw uint64
+		if pc.cmBits > 0 {
+			cmw = rdr.Get(uint(pc.cmBits))
+		}
+		ps.CM = pc.pcm.DecodeCM(cmw)
+	}
+	return ps
+}
+
+// edgeArena allocates Edge storage in chunks: place copies a scratch
+// edge list into the current chunk (opening a fresh chunk when it
+// would not fit) and returns a stable full-capacity slice, so
+// per-state adjacency costs no per-state allocation and never moves —
+// the Barrier contract's stability requirement. Chunks grow
+// geometrically from chunkSize up to maxChunk, so tiny systems (a
+// 3-state seq build, the liveness probes at (2,1)) don't pay a
+// 100-KB-class fixed cost while large builds still amortize to a
+// handful of chunks.
+type edgeArena struct {
+	chunkSize int
+	cur       []Edge
+}
+
+// maxChunk caps the arena chunk growth (edges per chunk).
+const maxChunk = 8192
+
+func (a *edgeArena) place(es []Edge) []Edge {
+	if len(es) == 0 {
+		return nil
+	}
+	if len(a.cur)+len(es) > cap(a.cur) {
+		size := a.chunkSize
+		if size < len(es) {
+			size = len(es)
+		}
+		if next := a.chunkSize * 2; next <= maxChunk {
+			a.chunkSize = next
+		}
+		a.cur = make([]Edge, 0, size)
+	}
+	start := len(a.cur)
+	a.cur = append(a.cur, es...)
+	return a.cur[start:len(a.cur):len(a.cur)]
+}
+
+// packedStates is the packed state table: keys stay bit-packed (either
+// still inside the sequential scan's intern table or in the parallel
+// scan's flat word slice) and decode to boxed product states on demand.
+type packedStates struct {
+	pc    packedIface
+	kw    int
+	in    *pack.Map // sequential path
+	words []uint64  // parallel path
+}
+
+func (p *packedStates) Len() int {
+	if p.in != nil {
+		return p.in.Len()
+	}
+	return len(p.words) / p.kw
+}
+
+func (p *packedStates) At(i int32) prodState {
+	if p.in != nil {
+		return p.pc.stateAt(p.in.KeyAt(i))
+	}
+	off := int(i) * p.kw
+	return p.pc.stateAt(p.words[off : off+p.kw])
+}
+
+// scanSeqPacked is scanSeq over packed keys: one open-addressing intern
+// table, a reused per-state edge scratch, and the chunked edge arena.
+// Barrier and guard semantics match scanSeq exactly.
+func scanSeqPacked(pc packedIface, alg tm.Algorithm, cm tm.ContentionManager, g *guard.Guard, barrier Barrier) ([][]Edge, stateTable, error) {
+	kw := pc.keyWords()
+	in := pack.NewMap(kw, 0)
+	var keyBuf [pack.MaxWords]uint64
+	pc.writeInit(keyBuf[:kw])
+	in.Intern(keyBuf[:kw])
+
+	var out [][]Edge
+	arena := &edgeArena{chunkSize: 64}
+	var scratch []Edge
+	yield := func(next []uint64, e Edge) {
+		id, _ := in.Intern(next)
+		e.To = id
+		scratch = append(scratch, e)
+	}
+	guarded := g.Active()
+	emit := newLevelEmitter(systemLabel(alg, cm))
+	levelEnd := 1
+	var cur [pack.MaxWords]uint64
+	for qi := int32(0); int(qi) < in.Len(); qi++ {
+		if guarded {
+			if err := g.Check(in.Len()); err != nil {
+				return nil, nil, err
+			}
+		}
+		if (barrier != nil || emit != nil) && int(qi) == levelEnd {
+			if emit != nil {
+				emit(in.Len(), levelEnd)
+			}
+			if barrier != nil {
+				if err := barrier(out, in.Len(), levelEnd); err != nil {
+					return nil, nil, err
+				}
+			}
+			levelEnd = in.Len()
+		}
+		// KeyAt aliases the table; interning successors may grow it, so
+		// expand from a copy.
+		copy(cur[:kw], in.KeyAt(qi))
+		scratch = scratch[:0]
+		pc.expandKey(cur[:kw], yield)
+		out = append(out, arena.place(scratch))
+	}
+	if emit != nil {
+		emit(in.Len(), in.Len())
+	}
+	if barrier != nil {
+		if err := barrier(out, in.Len(), in.Len()); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, &packedStates{pc: pc, kw: kw, in: in}, nil
+}
+
+// parCtx is one parallel worker's expansion context; its yield closure
+// is built once (capturing only the context), mirroring scanPar's
+// buffered two-pass edge resolution without per-state closures.
+type parCtx struct {
+	buf     []Edge
+	emitKey func([]uint64)
+	yield   func([]uint64, Edge)
+}
+
+func newParCtx() *parCtx {
+	ctx := &parCtx{}
+	ctx.yield = func(next []uint64, e Edge) {
+		ctx.buf = append(ctx.buf, e)
+		ctx.emitKey(next)
+	}
+	return ctx
+}
+
+// scanParPacked is scanPar over packed keys: parbfs.RunPackedControlled
+// owns the sharded open-addressing interning, per-worker cores expand
+// decoded keys, and per-worker arenas hold the edge storage.
+func scanParPacked(pc packedIface, alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard, barrier Barrier) ([][]Edge, stateTable, parbfs.Stats, error) {
+	kw := pc.keyWords()
+	var words []uint64
+	var out [][]Edge
+	var pendEdges [][]Edge
+	var control func(n int) error
+	emit := newLevelEmitter(systemLabel(alg, cm))
+	if g.Active() || barrier != nil || emit != nil {
+		prevInterned := 1
+		control = func(n int) error {
+			if err := g.Check(n); err != nil {
+				return err
+			}
+			if emit != nil {
+				emit(n, prevInterned)
+			}
+			if barrier != nil {
+				if err := barrier(out, n, prevInterned); err != nil {
+					return err
+				}
+			}
+			prevInterned = n
+			return nil
+		}
+	}
+
+	cores := make([]packedIface, workers)
+	arenas := make([]*edgeArena, workers)
+	ctxs := make([]*parCtx, workers)
+	for w := 0; w < workers; w++ {
+		cores[w] = pc.clone()
+		arenas[w] = &edgeArena{chunkSize: 64}
+		ctxs[w] = newParCtx()
+	}
+
+	var initKey [pack.MaxWords]uint64
+	pc.writeInit(initKey[:kw])
+	pstats, err := parbfs.RunPackedControlled(kw, initKey[:kw], workers, control,
+		func(w, id int, emitKey func(key []uint64)) {
+			ctx := ctxs[w]
+			ctx.buf = ctx.buf[:0]
+			ctx.emitKey = emitKey
+			cores[w].expandKey(words[id*kw:(id+1)*kw], ctx.yield)
+			pendEdges[id] = arenas[w].place(ctx.buf)
+		},
+		func(id int, key []uint64) {
+			words = append(words, key...)
+			out = append(out, nil)
+			pendEdges = append(pendEdges, nil)
+		},
+		func(w, id int, succ []int32) {
+			edges := pendEdges[id]
+			for j := range edges {
+				edges[j].To = succ[j]
+			}
+			out[id] = edges
+			pendEdges[id] = nil
+		},
+	)
+	if err != nil {
+		return nil, nil, pstats, err
+	}
+	return out, &packedStates{pc: pc, kw: kw, words: words}, pstats, nil
+}

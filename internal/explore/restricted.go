@@ -126,7 +126,7 @@ func BuildRestricted(alg tm.Algorithm, cm tm.ContentionManager, progs []ThreadPr
 
 	index := map[rstate]int32{init: 0}
 	states := []rstate{init}
-	ts.States = append(ts.States, init.Prod)
+	prods := boxedStates{init.Prod}
 	ts.Out = append(ts.Out, nil)
 	intern := func(s rstate) int32 {
 		if id, ok := index[s]; ok {
@@ -135,7 +135,7 @@ func BuildRestricted(alg tm.Algorithm, cm tm.ContentionManager, progs []ThreadPr
 		id := int32(len(states))
 		index[s] = id
 		states = append(states, s)
-		ts.States = append(ts.States, s.Prod)
+		prods = append(prods, s.Prod)
 		ts.Out = append(ts.Out, nil)
 		return id
 	}
@@ -159,6 +159,7 @@ func BuildRestricted(alg tm.Algorithm, cm tm.ContentionManager, progs []ThreadPr
 			}
 		}
 	}
+	ts.states = prods
 	return ts
 }
 

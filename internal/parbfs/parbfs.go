@@ -184,6 +184,27 @@ func (b *panicBox) protect(f func(int)) func(int) {
 	}
 }
 
+// protectW is protect for worker-indexed tasks (ForWorker bodies).
+func (b *panicBox) protectW(f func(w, i int)) func(w, i int) {
+	return func(w, i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				le := &guard.LimitError{Kind: guard.KindPanic, Value: v, Stack: debug.Stack()}
+				b.mu.Lock()
+				first := b.err == nil
+				if first {
+					b.err = le
+				}
+				b.mu.Unlock()
+				if first && obs.EventsEnabled() {
+					obs.Emit(obs.Event{Kind: obs.EvPanicRecovered, Detail: le.Error()})
+				}
+			}
+		}()
+		f(w, i)
+	}
+}
+
 // limit returns the filed error, if any.
 func (b *panicBox) limit() error {
 	b.mu.Lock()
@@ -348,12 +369,19 @@ func shardCount(workers int) int {
 // returns when every call has completed. With one worker (or n ≤ 1) it
 // runs inline, preserving the caller's sequential behavior exactly.
 func For(n, workers int, f func(i int)) {
+	ForWorker(n, workers, func(_, i int) { f(i) })
+}
+
+// ForWorker is For passing each call the index of the worker goroutine
+// executing it (0 when running inline), so callers can keep per-worker
+// scratch without locking.
+func ForWorker(n, workers int, f func(w, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			f(0, i)
 		}
 		return
 	}
@@ -389,7 +417,7 @@ func For(n, workers int, f func(i int)) {
 					end = n
 				}
 				for i := begin; i < end; i++ {
-					f(i)
+					f(w, i)
 				}
 				items += end - begin
 			}

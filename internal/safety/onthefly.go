@@ -159,9 +159,9 @@ func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Pro
 		}
 	}
 	done := obs.Phase("inclusion:" + ts.Name() + ":" + prop.Key())
-	nfa := ts.NFA()
+	nfa := ts.DenseNFA()
 	start := time.Now()
-	ok, cexLetters, st, err := automata.IncludedInDFAGuarded(nfa, dfa, g.WithStates(remaining))
+	ok, cexLetters, st, err := automata.IncludedInDFADenseGuarded(nfa, dfa, g.WithStates(remaining))
 	elapsed := time.Since(start)
 	done()
 	if err != nil {

@@ -111,9 +111,9 @@ func checkAgainstDFAGuarded(ts *explore.TS, prop spec.Property, dfa *automata.DF
 		done := obs.Phase("inclusion:" + ts.Name() + ":" + prop.Key())
 		defer done()
 	}
-	nfa := ts.NFA()
+	nfa := ts.DenseNFA()
 	start := time.Now()
-	ok, cexLetters, st, err := automata.IncludedInDFAGuarded(nfa, dfa, g)
+	ok, cexLetters, st, err := automata.IncludedInDFADenseGuarded(nfa, dfa, g)
 	elapsed := time.Since(start)
 	if err != nil {
 		return Result{}, err

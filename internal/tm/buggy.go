@@ -30,12 +30,25 @@ func (p *TwoPLNoReadLock) Name() string { return "2pl-noreadlock" }
 // Steps implements Algorithm: reads always complete immediately; all other
 // commands behave as in 2PL.
 func (p *TwoPLNoReadLock) Steps(q State, c core.Command, t core.Thread) []Step {
+	var steps []Step
+	p.StepsP(q.(TwoPLState), c, t, func(x XCmd, r Resp, next TwoPLState) {
+		steps = append(steps, Step{X: x, R: r, Next: next})
+	})
+	return steps
+}
+
+// PackedFor implements Packed: the embedded TwoPL's typed steppers are
+// overridden here, keeping the packed path valid for this variant.
+func (p *TwoPLNoReadLock) PackedFor() string { return "2pl-noreadlock" }
+
+// StepsP implements Packed, mirroring Steps.
+func (p *TwoPLNoReadLock) StepsP(st TwoPLState, c core.Command, t core.Thread, yield func(XCmd, Resp, TwoPLState)) int {
 	if c.Op != core.OpRead {
-		return p.TwoPL.Steps(q, c, t)
+		return p.TwoPL.StepsP(st, c, t, yield)
 	}
-	st := q.(TwoPLState)
 	// A read never blocks and never locks — the bug.
-	return []Step{{X: Base(c), R: Resp1, Next: st}}
+	yield(Base(c), Resp1, st)
+	return 1
 }
 
 // DSTMNoValidate is DSTM with read validation removed entirely: a commit
@@ -62,29 +75,47 @@ func (d *DSTMNoValidate) Name() string { return "dstm-novalidate" }
 // Steps implements Algorithm: commit publishes in a single step with no
 // validation; reads and writes behave as in DSTM.
 func (d *DSTMNoValidate) Steps(q State, c core.Command, t core.Thread) []Step {
+	var steps []Step
+	d.StepsP(q.(DSTMState), c, t, func(x XCmd, r Resp, next DSTMState) {
+		steps = append(steps, Step{X: x, R: r, Next: next})
+	})
+	return steps
+}
+
+// PackedFor implements Packed: the embedded DSTM's typed steppers are
+// overridden here, keeping the packed path valid for this variant.
+func (d *DSTMNoValidate) PackedFor() string { return "dstm-novalidate" }
+
+// StepsP implements Packed, mirroring Steps.
+func (d *DSTMNoValidate) StepsP(st DSTMState, c core.Command, t core.Thread, yield func(XCmd, Resp, DSTMState)) int {
 	if c.Op != core.OpCommit {
-		return d.DSTM.Steps(q, c, t)
+		return d.DSTM.StepsP(st, c, t, yield)
 	}
-	st := q.(DSTMState)
 	ti := int(t)
 	if st.Status[ti] == dstmAborted {
-		return nil
+		return 0
 	}
 	if st.Status[ti] != dstmFinished {
-		return nil
+		return 0
 	}
 	next := st
 	next.RS[ti] = 0
 	next.OS[ti] = 0
 	// The bug: readers of the committed write set are left untouched.
-	return []Step{{X: Base(c), R: Resp1, Next: next}}
+	yield(Base(c), Resp1, next)
+	return 1
 }
 
 // Conflict implements Algorithm: without validation, only the write
 // conflict remains.
 func (d *DSTMNoValidate) Conflict(q State, c core.Command, t core.Thread) bool {
+	return d.ConflictP(q.(DSTMState), c, t)
+}
+
+// ConflictP implements Packed, mirroring Conflict.
+func (d *DSTMNoValidate) ConflictP(st DSTMState, c core.Command, t core.Thread) bool {
 	if c.Op == core.OpCommit {
 		return false
 	}
-	return d.DSTM.Conflict(q, c, t)
+	return d.DSTM.ConflictP(st, c, t)
 }

@@ -2,6 +2,8 @@ package tm
 
 import (
 	"tmcheck/internal/core"
+
+	"tmcheck/internal/pack"
 )
 
 // DSTM thread statuses (the paper's Status function for Algorithm 3).
@@ -48,7 +50,7 @@ func (d *DSTM) Threads() int { return d.n }
 func (d *DSTM) Vars() int { return d.k }
 
 // Initial implements Algorithm: every status finished, all sets empty.
-func (d *DSTM) Initial() State { return DSTMState{} }
+func (d *DSTM) Initial() State { return d.InitialP() }
 
 // Conflict implements Algorithm: φ(q, (c, t)) is true when c writes a
 // variable owned by another thread, or c commits while the thread's read
@@ -56,7 +58,11 @@ func (d *DSTM) Initial() State { return DSTMState{} }
 // by another thread has no decision left to make — it can only abort — so
 // φ is false for it regardless of the command.
 func (d *DSTM) Conflict(q State, c core.Command, t core.Thread) bool {
-	st := q.(DSTMState)
+	return d.ConflictP(q.(DSTMState), c, t)
+}
+
+// ConflictP implements Packed.
+func (d *DSTM) ConflictP(st DSTMState, c core.Command, t core.Thread) bool {
 	ti := int(t)
 	if st.Status[ti] == dstmAborted {
 		return false
@@ -83,30 +89,41 @@ func (d *DSTM) Conflict(q State, c core.Command, t core.Thread) bool {
 
 // Steps implements Algorithm (the getDSTM procedure).
 func (d *DSTM) Steps(q State, c core.Command, t core.Thread) []Step {
-	st := q.(DSTMState)
+	var steps []Step
+	d.StepsP(q.(DSTMState), c, t, func(x XCmd, r Resp, next DSTMState) {
+		steps = append(steps, Step{X: x, R: r, Next: next})
+	})
+	return steps
+}
+
+// StepsP implements Packed (the getDSTM procedure).
+func (d *DSTM) StepsP(st DSTMState, c core.Command, t core.Thread, yield func(XCmd, Resp, DSTMState)) int {
 	ti := int(t)
 	// A thread aborted by another thread can only abort.
 	if st.Status[ti] == dstmAborted {
-		return nil
+		return 0
 	}
 	switch c.Op {
 	case core.OpRead:
 		v := c.V
 		if st.OS[ti].Has(v) {
-			return []Step{{X: Base(c), R: Resp1, Next: st}}
+			yield(Base(c), Resp1, st)
+			return 1
 		}
 		if st.Status[ti] == dstmFinished {
 			next := st
 			next.RS[ti] = next.RS[ti].Add(v)
-			return []Step{{X: Base(c), R: Resp1, Next: next}}
+			yield(Base(c), Resp1, next)
+			return 1
 		}
 		// Status invalid: no global read is possible; the command is abort
 		// enabled.
-		return nil
+		return 0
 	case core.OpWrite:
 		v := c.V
 		if st.OS[ti].Has(v) {
-			return []Step{{X: Base(c), R: Resp1, Next: st}}
+			yield(Base(c), Resp1, st)
+			return 1
 		}
 		// Acquire ownership, aborting any current owner.
 		next := st
@@ -118,7 +135,8 @@ func (d *DSTM) Steps(q State, c core.Command, t core.Thread) []Step {
 				next.OS[u] = 0
 			}
 		}
-		return []Step{{X: XCmd{Kind: XOwn, V: v}, R: RespPending, Next: next}}
+		yield(XCmd{Kind: XOwn, V: v}, RespPending, next)
+		return 1
 	case core.OpCommit:
 		switch st.Status[ti] {
 		case dstmFinished:
@@ -133,7 +151,8 @@ func (d *DSTM) Steps(q State, c core.Command, t core.Thread) []Step {
 					next.OS[u] = 0
 				}
 			}
-			return []Step{{X: XCmd{Kind: XValidate}, R: RespPending, Next: next}}
+			yield(XCmd{Kind: XValidate}, RespPending, next)
+			return 1
 		case dstmValidated:
 			// Commit: invalidate readers of the committed write set.
 			next := st
@@ -145,22 +164,59 @@ func (d *DSTM) Steps(q State, c core.Command, t core.Thread) []Step {
 					next.Status[u] = dstmInvalid
 				}
 			}
-			return []Step{{X: Base(c), R: Resp1, Next: next}}
+			yield(Base(c), Resp1, next)
+			return 1
 		default:
 			// Invalid: the commit is abort enabled.
-			return nil
+			return 0
 		}
 	default:
-		return nil
+		return 0
 	}
 }
 
 // AbortStep implements Algorithm: the thread resets to finished with empty
 // sets.
 func (d *DSTM) AbortStep(q State, t core.Thread) State {
-	st := q.(DSTMState)
+	return d.AbortStepP(q.(DSTMState), t)
+}
+
+// AbortStepP implements Packed.
+func (d *DSTM) AbortStepP(st DSTMState, t core.Thread) DSTMState {
 	st.Status[t] = dstmFinished
 	st.RS[t] = 0
 	st.OS[t] = 0
+	return st
+}
+
+// PackedFor implements Packed.
+func (d *DSTM) PackedFor() string { return "dstm" }
+
+// InitialP implements Packed.
+func (d *DSTM) InitialP() DSTMState { return DSTMState{} }
+
+// StateBits implements Packed: a 2-bit status and two k-bit sets per
+// live thread.
+func (d *DSTM) StateBits() int { return d.n * (2 + 2*d.k) }
+
+// EncodeState implements Packed.
+func (d *DSTM) EncodeState(st DSTMState, w *pack.Writer) {
+	kb := uint(d.k)
+	for t := 0; t < d.n; t++ {
+		w.Put(uint64(st.Status[t]), 2)
+		w.Put(uint64(st.RS[t]), kb)
+		w.Put(uint64(st.OS[t]), kb)
+	}
+}
+
+// DecodeState implements Packed.
+func (d *DSTM) DecodeState(r *pack.Reader) DSTMState {
+	var st DSTMState
+	kb := uint(d.k)
+	for t := 0; t < d.n; t++ {
+		st.Status[t] = uint8(r.Get(2))
+		st.RS[t] = core.VarSet(r.Get(kb))
+		st.OS[t] = core.VarSet(r.Get(kb))
+	}
 	return st
 }

@@ -2,6 +2,8 @@ package tm
 
 import (
 	"tmcheck/internal/core"
+
+	"tmcheck/internal/pack"
 )
 
 // ETLState is the encounter-time-locking state: per-thread status,
@@ -42,12 +44,16 @@ func (e *ETL) Threads() int { return e.n }
 func (e *ETL) Vars() int { return e.k }
 
 // Initial implements Algorithm.
-func (e *ETL) Initial() State { return ETLState{} }
+func (e *ETL) Initial() State { return e.InitialP() }
 
 // Conflict implements Algorithm: writing a variable locked by another
 // thread is the contention point (steal or abort, the manager decides).
 func (e *ETL) Conflict(q State, c core.Command, t core.Thread) bool {
-	st := q.(ETLState)
+	return e.ConflictP(q.(ETLState), c, t)
+}
+
+// ConflictP implements Packed.
+func (e *ETL) ConflictP(st ETLState, c core.Command, t core.Thread) bool {
 	ti := int(t)
 	if st.Status[ti] == tl2Aborted || c.Op != core.OpWrite {
 		return false
@@ -62,16 +68,25 @@ func (e *ETL) Conflict(q State, c core.Command, t core.Thread) bool {
 
 // Steps implements Algorithm.
 func (e *ETL) Steps(q State, c core.Command, t core.Thread) []Step {
-	st := q.(ETLState)
+	var steps []Step
+	e.StepsP(q.(ETLState), c, t, func(x XCmd, r Resp, next ETLState) {
+		steps = append(steps, Step{X: x, R: r, Next: next})
+	})
+	return steps
+}
+
+// StepsP implements Packed.
+func (e *ETL) StepsP(st ETLState, c core.Command, t core.Thread, yield func(XCmd, Resp, ETLState)) int {
 	ti := int(t)
 	if st.Status[ti] == tl2Aborted {
-		return nil
+		return 0
 	}
 	switch c.Op {
 	case core.OpRead:
 		v := c.V
 		if st.WS[ti].Has(v) {
-			return []Step{{X: Base(c), R: Resp1, Next: st}}
+			yield(Base(c), Resp1, st)
+			return 1
 		}
 		locked := false
 		for u := 0; u < e.n; u++ {
@@ -81,15 +96,17 @@ func (e *ETL) Steps(q State, c core.Command, t core.Thread) []Step {
 			}
 		}
 		if st.MS[ti].Has(v) || locked {
-			return nil
+			return 0
 		}
 		next := st
 		next.RS[ti] = next.RS[ti].Add(v)
-		return []Step{{X: Base(c), R: Resp1, Next: next}}
+		yield(Base(c), Resp1, next)
+		return 1
 	case core.OpWrite:
 		v := c.V
 		if st.WS[ti].Has(v) {
-			return []Step{{X: Base(c), R: Resp1, Next: st}}
+			yield(Base(c), Resp1, st)
+			return 1
 		}
 		// Acquire the lock at encounter, stealing from (and aborting) any
 		// current holder.
@@ -101,17 +118,19 @@ func (e *ETL) Steps(q State, c core.Command, t core.Thread) []Step {
 				next.Status[u] = tl2Aborted
 			}
 		}
-		return []Step{{X: XCmd{Kind: XWLock, V: v}, R: RespPending, Next: next}}
+		yield(XCmd{Kind: XWLock, V: v}, RespPending, next)
+		return 1
 	case core.OpCommit:
 		switch st.Status[ti] {
 		case tl2Finished:
 			// Locks are already held; validate the read set.
 			if !etlValidate(e.n, st, ti) {
-				return nil
+				return 0
 			}
 			next := st
 			next.Status[ti] = tl2Validated
-			return []Step{{X: XCmd{Kind: XValidate}, R: RespPending, Next: next}}
+			yield(XCmd{Kind: XValidate}, RespPending, next)
+			return 1
 		case tl2Validated:
 			next := st
 			for u := 0; u < e.n; u++ {
@@ -124,12 +143,13 @@ func (e *ETL) Steps(q State, c core.Command, t core.Thread) []Step {
 			next.WS[ti] = 0
 			next.LS[ti] = 0
 			next.MS[ti] = 0
-			return []Step{{X: Base(c), R: Resp1, Next: next}}
+			yield(Base(c), Resp1, next)
+			return 1
 		default:
-			return nil
+			return 0
 		}
 	default:
-		return nil
+		return 0
 	}
 }
 
@@ -147,11 +167,51 @@ func etlValidate(n int, st ETLState, ti int) bool {
 
 // AbortStep implements Algorithm.
 func (e *ETL) AbortStep(q State, t core.Thread) State {
-	st := q.(ETLState)
+	return e.AbortStepP(q.(ETLState), t)
+}
+
+// AbortStepP implements Packed.
+func (e *ETL) AbortStepP(st ETLState, t core.Thread) ETLState {
 	st.Status[t] = tl2Finished
 	st.RS[t] = 0
 	st.WS[t] = 0
 	st.LS[t] = 0
 	st.MS[t] = 0
+	return st
+}
+
+// PackedFor implements Packed.
+func (e *ETL) PackedFor() string { return "etl" }
+
+// InitialP implements Packed.
+func (e *ETL) InitialP() ETLState { return ETLState{} }
+
+// StateBits implements Packed: a 2-bit status and four k-bit sets per
+// live thread, exactly the TL2 shape.
+func (e *ETL) StateBits() int { return e.n * (2 + 4*e.k) }
+
+// EncodeState implements Packed.
+func (e *ETL) EncodeState(st ETLState, w *pack.Writer) {
+	kb := uint(e.k)
+	for t := 0; t < e.n; t++ {
+		w.Put(uint64(st.Status[t]), 2)
+		w.Put(uint64(st.RS[t]), kb)
+		w.Put(uint64(st.WS[t]), kb)
+		w.Put(uint64(st.LS[t]), kb)
+		w.Put(uint64(st.MS[t]), kb)
+	}
+}
+
+// DecodeState implements Packed.
+func (e *ETL) DecodeState(r *pack.Reader) ETLState {
+	var st ETLState
+	kb := uint(e.k)
+	for t := 0; t < e.n; t++ {
+		st.Status[t] = uint8(r.Get(2))
+		st.RS[t] = core.VarSet(r.Get(kb))
+		st.WS[t] = core.VarSet(r.Get(kb))
+		st.LS[t] = core.VarSet(r.Get(kb))
+		st.MS[t] = core.VarSet(r.Get(kb))
+	}
 	return st
 }

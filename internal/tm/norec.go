@@ -2,6 +2,8 @@ package tm
 
 import (
 	"tmcheck/internal/core"
+
+	"tmcheck/internal/pack"
 )
 
 // NOrec thread statuses.
@@ -57,12 +59,16 @@ func (m *NOrec) Threads() int { return m.n }
 func (m *NOrec) Vars() int { return m.k }
 
 // Initial implements Algorithm.
-func (m *NOrec) Initial() State { return NOrecState{GlobalLock: MaxThreads} }
+func (m *NOrec) Initial() State { return m.InitialP() }
 
 // Conflict implements Algorithm: committing writes while another thread
 // holds the global commit lock.
 func (m *NOrec) Conflict(q State, c core.Command, t core.Thread) bool {
-	st := q.(NOrecState)
+	return m.ConflictP(q.(NOrecState), c, t)
+}
+
+// ConflictP implements Packed.
+func (m *NOrec) ConflictP(st NOrecState, c core.Command, t core.Thread) bool {
 	return c.Op == core.OpCommit &&
 		st.Status[t] == norecActive &&
 		st.WS[t] != 0 &&
@@ -71,74 +77,88 @@ func (m *NOrec) Conflict(q State, c core.Command, t core.Thread) bool {
 
 // Steps implements Algorithm.
 func (m *NOrec) Steps(q State, c core.Command, t core.Thread) []Step {
-	st := q.(NOrecState)
+	var steps []Step
+	m.StepsP(q.(NOrecState), c, t, func(x XCmd, r Resp, next NOrecState) {
+		steps = append(steps, Step{X: x, R: r, Next: next})
+	})
+	return steps
+}
+
+// StepsP implements Packed.
+func (m *NOrec) StepsP(st NOrecState, c core.Command, t core.Thread, yield func(XCmd, Resp, NOrecState)) int {
 	ti := int(t)
 	switch c.Op {
 	case core.OpRead:
 		v := c.V
 		if st.WS[ti].Has(v) {
-			return []Step{{X: Base(c), R: Resp1, Next: st}}
+			yield(Base(c), Resp1, st)
+			return 1
 		}
 		// A snapshot that saw a concurrent commit over its read set is
 		// dead; also, reads wait out a commit in progress (the sequence
 		// lock is odd) — modeled as abort enabled while the lock is held
 		// by another thread.
 		if st.RS[ti].Intersects(st.MS[ti]) {
-			return nil
+			return 0
 		}
 		if st.GlobalLock != uint8(MaxThreads) && st.GlobalLock != uint8(ti) {
-			return nil
+			return 0
 		}
 		// Reading a freshly modified variable is fine only together with
 		// revalidation; NOrec revalidates by value, which the set model
 		// abstracts as: reading a variable modified since the snapshot
 		// kills the transaction (conservative, like the TL2 model).
 		if st.MS[ti].Has(v) {
-			return nil
+			return 0
 		}
 		next := st
 		next.RS[ti] = next.RS[ti].Add(v)
-		return []Step{{X: Base(c), R: Resp1, Next: next}}
+		yield(Base(c), Resp1, next)
+		return 1
 	case core.OpWrite:
 		next := st
 		next.WS[ti] = next.WS[ti].Add(c.V)
-		return []Step{{X: Base(c), R: Resp1, Next: next}}
+		yield(Base(c), Resp1, next)
+		return 1
 	case core.OpCommit:
-		return m.commitSteps(st, ti)
+		return m.commitStepsP(st, ti, yield)
 	default:
-		return nil
+		return 0
 	}
 }
 
-func (m *NOrec) commitSteps(st NOrecState, ti int) []Step {
+func (m *NOrec) commitStepsP(st NOrecState, ti int, yield func(XCmd, Resp, NOrecState)) int {
 	switch st.Status[ti] {
 	case norecActive:
 		if st.WS[ti] == 0 {
 			// Read-only fast path: valid snapshot ⇒ commit immediately.
 			if st.RS[ti].Intersects(st.MS[ti]) {
-				return nil
+				return 0
 			}
 			next := st
 			next.RS[ti] = 0
 			next.MS[ti] = 0
-			return []Step{{X: Base(core.Commit()), R: Resp1, Next: next}}
+			yield(Base(core.Commit()), Resp1, next)
+			return 1
 		}
 		// Writer: acquire the global sequence lock.
 		if st.GlobalLock != uint8(MaxThreads) {
-			return nil // held: abort enabled (φ is true here)
+			return 0 // held: abort enabled (φ is true here)
 		}
 		next := st
 		next.GlobalLock = uint8(ti)
 		next.Status[ti] = norecCommitLocked
-		return []Step{{X: XCmd{Kind: XLock}, R: RespPending, Next: next}}
+		yield(XCmd{Kind: XLock}, RespPending, next)
+		return 1
 	case norecCommitLocked:
 		// Validate under the lock.
 		if st.RS[ti].Intersects(st.MS[ti]) {
-			return nil
+			return 0
 		}
 		next := st
 		next.Status[ti] = norecValidated
-		return []Step{{X: XCmd{Kind: XValidate}, R: RespPending, Next: next}}
+		yield(XCmd{Kind: XValidate}, RespPending, next)
+		return 1
 	case norecValidated:
 		// Publish, bump every active snapshot's modified set, release.
 		next := st
@@ -152,16 +172,21 @@ func (m *NOrec) commitSteps(st NOrecState, ti int) []Step {
 		next.MS[ti] = 0
 		next.Status[ti] = norecActive
 		next.GlobalLock = uint8(MaxThreads)
-		return []Step{{X: Base(core.Commit()), R: Resp1, Next: next}}
+		yield(Base(core.Commit()), Resp1, next)
+		return 1
 	default:
-		return nil
+		return 0
 	}
 }
 
 // AbortStep implements Algorithm: release the commit lock if held, reset
 // the thread.
 func (m *NOrec) AbortStep(q State, t core.Thread) State {
-	st := q.(NOrecState)
+	return m.AbortStepP(q.(NOrecState), t)
+}
+
+// AbortStepP implements Packed.
+func (m *NOrec) AbortStepP(st NOrecState, t core.Thread) NOrecState {
 	if st.GlobalLock == uint8(t) {
 		st.GlobalLock = uint8(MaxThreads)
 	}
@@ -169,5 +194,53 @@ func (m *NOrec) AbortStep(q State, t core.Thread) State {
 	st.RS[t] = 0
 	st.WS[t] = 0
 	st.MS[t] = 0
+	return st
+}
+
+// PackedFor implements Packed.
+func (m *NOrec) PackedFor() string { return "norec" }
+
+// InitialP implements Packed.
+func (m *NOrec) InitialP() NOrecState { return NOrecState{GlobalLock: MaxThreads} }
+
+// StateBits implements Packed: a 2-bit status and three k-bit sets per
+// live thread, plus the global-lock holder (n live threads or free).
+func (m *NOrec) StateBits() int {
+	return m.n*(2+3*m.k) + pack.BitsFor(m.n+1)
+}
+
+// EncodeState implements Packed. The free GlobalLock value MaxThreads
+// is encoded as n, so the field fits BitsFor(n+1) bits for every n.
+func (m *NOrec) EncodeState(st NOrecState, w *pack.Writer) {
+	kb := uint(m.k)
+	for t := 0; t < m.n; t++ {
+		w.Put(uint64(st.Status[t]), 2)
+		w.Put(uint64(st.RS[t]), kb)
+		w.Put(uint64(st.WS[t]), kb)
+		w.Put(uint64(st.MS[t]), kb)
+	}
+	gl := st.GlobalLock
+	if gl == MaxThreads {
+		gl = uint8(m.n)
+	}
+	w.Put(uint64(gl), uint(pack.BitsFor(m.n+1)))
+}
+
+// DecodeState implements Packed.
+func (m *NOrec) DecodeState(r *pack.Reader) NOrecState {
+	var st NOrecState
+	kb := uint(m.k)
+	for t := 0; t < m.n; t++ {
+		st.Status[t] = uint8(r.Get(2))
+		st.RS[t] = core.VarSet(r.Get(kb))
+		st.WS[t] = core.VarSet(r.Get(kb))
+		st.MS[t] = core.VarSet(r.Get(kb))
+	}
+	st.GlobalLock = MaxThreads
+	if bits := uint(pack.BitsFor(m.n + 1)); bits > 0 {
+		if gl := uint8(r.Get(bits)); int(gl) < m.n {
+			st.GlobalLock = gl
+		}
+	}
 	return st
 }

@@ -1,0 +1,193 @@
+package tm
+
+import (
+	"math/rand"
+	"testing"
+
+	"tmcheck/internal/core"
+	"tmcheck/internal/pack"
+)
+
+// roundTrip drives the typed stepper over random walks (including the
+// derived abort rule, so aborted shapes are reached too) and checks,
+// for every distinct state seen, that EncodeState writes exactly
+// StateBits() bits and DecodeState inverts it.
+func roundTrip[S comparable](t *testing.T, p Packed[S], n int) {
+	t.Helper()
+	if got, want := p.PackedFor(), p.Name(); got != want {
+		t.Fatalf("PackedFor() = %q, Name() = %q", got, want)
+	}
+	bits := p.StateBits()
+	if bits <= 0 || bits > 64*pack.MaxWords {
+		t.Fatalf("StateBits() = %d out of range (0, %d]", bits, 64*pack.MaxWords)
+	}
+	cmds := core.Alphabet{Threads: n, Vars: p.Vars()}.Commands()
+	rng := rand.New(rand.NewSource(int64(bits)))
+	states := map[S]bool{p.InitialP(): true}
+	var succ []S
+	for walk := 0; walk < 60; walk++ {
+		cur := p.InitialP()
+		for step := 0; step < 60; step++ {
+			c := cmds[rng.Intn(len(cmds))]
+			th := core.Thread(rng.Intn(n))
+			succ = succ[:0]
+			cnt := p.StepsP(cur, c, th, func(x XCmd, r Resp, next S) {
+				succ = append(succ, next)
+			})
+			if cnt != len(succ) {
+				t.Fatalf("StepsP returned %d but yielded %d", cnt, len(succ))
+			}
+			// The abort rule of §3: abort is possible exactly when the
+			// command is abort enabled (no steps) or φ holds.
+			if cnt == 0 || p.ConflictP(cur, c, th) {
+				succ = append(succ, p.AbortStepP(cur, th))
+			}
+			cur = succ[rng.Intn(len(succ))]
+			states[cur] = true
+		}
+	}
+	// seq's whole space is 3 states at (2,2); anything below 2 means the
+	// walk never left the initial state and the test is vacuous.
+	if len(states) < 2 {
+		t.Fatalf("random walks reached only %d states", len(states))
+	}
+	var buf [pack.MaxWords]uint64
+	var w pack.Writer
+	var r pack.Reader
+	for q := range states {
+		for i := range buf {
+			buf[i] = 0
+		}
+		w.Reset(buf[:])
+		p.EncodeState(q, &w)
+		if w.Bits() != bits {
+			t.Fatalf("EncodeState(%+v) wrote %d bits, StateBits() = %d", q, w.Bits(), bits)
+		}
+		r.Reset(buf[:])
+		if got := p.DecodeState(&r); got != q {
+			t.Fatalf("round trip mismatch:\n encoded %+v\n decoded %+v", q, got)
+		}
+	}
+}
+
+// TestPackingRoundTripAllRegistered quick-checks Decode(Encode(q)) == q
+// over random-walk-reachable states for every registered TM: each
+// built-in must implement the typed extension for its own name, and its
+// encoding must be exact-width and injective on reached states.
+func TestPackingRoundTripAllRegistered(t *testing.T) {
+	for _, dim := range [][2]int{{2, 2}, {3, 1}, {2, 3}} {
+		n, k := dim[0], dim[1]
+		for _, name := range AlgorithmNames() {
+			alg, err := NewAlgorithm(name, n, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Run(alg.Name()+dimSuffix(n, k), func(t *testing.T) {
+				switch p := alg.(type) {
+				case Packed[SeqState]:
+					roundTrip(t, p, n)
+				case Packed[TwoPLState]:
+					roundTrip(t, p, n)
+				case Packed[DSTMState]:
+					roundTrip(t, p, n)
+				case Packed[TL2State]:
+					roundTrip(t, p, n)
+				case Packed[NOrecState]:
+					roundTrip(t, p, n)
+				case Packed[ETLState]:
+					roundTrip(t, p, n)
+				default:
+					t.Fatalf("registered TM %q implements no packed extension", name)
+				}
+			})
+		}
+	}
+}
+
+func dimSuffix(n, k int) string {
+	return "/" + string(rune('0'+n)) + "t" + string(rune('0'+k)) + "v"
+}
+
+// allXCmds enumerates every extended command shape over k variables —
+// the full domain the contention managers must agree on.
+func allXCmds(k int) []XCmd {
+	var out []XCmd
+	for kind := XRead; kind <= XChkLock; kind++ {
+		x := XCmd{Kind: kind}
+		if x.HasVar() {
+			for v := 0; v < k; v++ {
+				out = append(out, XCmd{Kind: kind, V: core.Var(v)})
+			}
+		} else {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// TestPackedCMAgreesWithBoxed checks each registered contention
+// manager's packed form against the boxed one on random statement
+// sequences: same allowed/blocked verdict at every step, and DecodeCM
+// reproduces the boxed state exactly along the whole trajectory.
+func TestPackedCMAgreesWithBoxed(t *testing.T) {
+	for _, name := range ManagerNames() {
+		cm, err := NewContentionManager(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			pcm, ok := PackCM(cm)
+			if !ok || pcm == nil {
+				t.Fatalf("built-in manager %q has no packed form", name)
+			}
+			if bits := pcm.CMBits(); bits < 0 || bits > 64 {
+				t.Fatalf("CMBits() = %d out of range [0,64]", bits)
+			}
+			boxed := cm.Initial()
+			packed := pcm.InitialCM()
+			if got := pcm.DecodeCM(packed); got != boxed {
+				t.Fatalf("DecodeCM(InitialCM()) = %+v, boxed Initial() = %+v", got, boxed)
+			}
+			xcmds := allXCmds(2)
+			rng := rand.New(rand.NewSource(23))
+			for step := 0; step < 4000; step++ {
+				x := xcmds[rng.Intn(len(xcmds))]
+				th := core.Thread(rng.Intn(MaxThreads))
+				b2, okB := cm.Step(boxed, x, th)
+				p2, okP := pcm.StepCM(packed, x, th)
+				if okB != okP {
+					t.Fatalf("step %d %v t%d: boxed ok=%v packed ok=%v (state %+v)",
+						step, x, th, okB, okP, boxed)
+				}
+				if !okB {
+					continue
+				}
+				boxed, packed = b2, p2
+				if bits := pcm.CMBits(); bits < 64 && packed>>uint(bits) != 0 {
+					t.Fatalf("step %d: packed state %#x exceeds CMBits %d", step, packed, bits)
+				}
+				if got := pcm.DecodeCM(packed); got != boxed {
+					t.Fatalf("step %d %v t%d: DecodeCM = %+v, boxed = %+v",
+						step, x, th, got, boxed)
+				}
+			}
+		})
+	}
+}
+
+// TestPackCMOpaque pins the fallback contract: a manager hidden behind
+// the plain interface (modeling a user-registered manager without a
+// packed form) must be rejected by PackCM, and a nil manager packs to
+// the empty factor.
+func TestPackCMOpaque(t *testing.T) {
+	if _, ok := PackCM(OpaqueCM(Karma{})); ok {
+		t.Error("PackCM accepted an opaque manager; it must force the generic path")
+	}
+	pcm, ok := PackCM(nil)
+	if !ok || pcm != nil {
+		t.Errorf("PackCM(nil) = %v, %v; want nil, true", pcm, ok)
+	}
+	if OpaqueCM(nil) != nil {
+		t.Error("OpaqueCM(nil) must stay nil")
+	}
+}

@@ -2,6 +2,8 @@ package tm
 
 import (
 	"tmcheck/internal/core"
+
+	"tmcheck/internal/pack"
 )
 
 // SeqState is the sequential TM's state: the set of threads whose current
@@ -36,17 +38,39 @@ func (s *Seq) Threads() int { return s.n }
 func (s *Seq) Vars() int { return s.k }
 
 // Initial implements Algorithm: every thread's status is finished.
-func (s *Seq) Initial() State { return SeqState{} }
+func (s *Seq) Initial() State { return s.InitialP() }
 
 // Conflict implements Algorithm: φ is constantly false.
 func (s *Seq) Conflict(q State, c core.Command, t core.Thread) bool { return false }
 
 // Steps implements Algorithm (the getSequential procedure).
 func (s *Seq) Steps(q State, c core.Command, t core.Thread) []Step {
-	st := q.(SeqState)
+	var steps []Step
+	s.StepsP(q.(SeqState), c, t, func(x XCmd, r Resp, next SeqState) {
+		steps = append(steps, Step{X: x, R: r, Next: next})
+	})
+	return steps
+}
+
+// AbortStep implements Algorithm: the thread's status resets to finished.
+func (s *Seq) AbortStep(q State, t core.Thread) State {
+	return s.AbortStepP(q.(SeqState), t)
+}
+
+// PackedFor implements Packed.
+func (s *Seq) PackedFor() string { return "seq" }
+
+// InitialP implements Packed.
+func (s *Seq) InitialP() SeqState { return SeqState{} }
+
+// ConflictP implements Packed: φ is constantly false.
+func (s *Seq) ConflictP(st SeqState, c core.Command, t core.Thread) bool { return false }
+
+// StepsP implements Packed (the getSequential procedure).
+func (s *Seq) StepsP(st SeqState, c core.Command, t core.Thread, yield func(XCmd, Resp, SeqState)) int {
 	// A command executes only when all other threads are finished.
 	if st.Started.Remove(t) != 0 {
-		return nil
+		return 0
 	}
 	next := st
 	switch c.Op {
@@ -55,12 +79,25 @@ func (s *Seq) Steps(q State, c core.Command, t core.Thread) []Step {
 	case core.OpCommit:
 		next.Started = next.Started.Remove(t)
 	}
-	return []Step{{X: Base(c), R: Resp1, Next: next}}
+	yield(Base(c), Resp1, next)
+	return 1
 }
 
-// AbortStep implements Algorithm: the thread's status resets to finished.
-func (s *Seq) AbortStep(q State, t core.Thread) State {
-	st := q.(SeqState)
+// AbortStepP implements Packed.
+func (s *Seq) AbortStepP(st SeqState, t core.Thread) SeqState {
 	st.Started = st.Started.Remove(t)
 	return st
+}
+
+// StateBits implements Packed: one started bit per live thread.
+func (s *Seq) StateBits() int { return s.n }
+
+// EncodeState implements Packed.
+func (s *Seq) EncodeState(st SeqState, w *pack.Writer) {
+	w.Put(uint64(st.Started), uint(s.n))
+}
+
+// DecodeState implements Packed.
+func (s *Seq) DecodeState(r *pack.Reader) SeqState {
+	return SeqState{Started: core.ThreadSet(r.Get(uint(s.n)))}
 }

@@ -2,6 +2,8 @@ package tm
 
 import (
 	"tmcheck/internal/core"
+
+	"tmcheck/internal/pack"
 )
 
 // TL2 thread statuses (Algorithm 4, plus rvalidated for the modified
@@ -57,7 +59,7 @@ func (l *TL2) Threads() int { return l.n }
 func (l *TL2) Vars() int { return l.k }
 
 // Initial implements Algorithm.
-func (l *TL2) Initial() State { return TL2State{} }
+func (l *TL2) Initial() State { return l.InitialP() }
 
 // Conflict implements Algorithm: φ(q, (c, t)) is true when c is a commit
 // and some write-set variable is locked by another thread — the point
@@ -66,7 +68,11 @@ func (l *TL2) Initial() State { return TL2State{} }
 // make (it can only abort), so φ is false for it; the paper's own
 // livelock counterexample for DSTM requires this reading.
 func (l *TL2) Conflict(q State, c core.Command, t core.Thread) bool {
-	st := q.(TL2State)
+	return l.ConflictP(q.(TL2State), c, t)
+}
+
+// ConflictP implements Packed.
+func (l *TL2) ConflictP(st TL2State, c core.Command, t core.Thread) bool {
 	ti := int(t)
 	if c.Op != core.OpCommit || st.Status[ti] == tl2Aborted {
 		return false
@@ -81,13 +87,22 @@ func (l *TL2) Conflict(q State, c core.Command, t core.Thread) bool {
 
 // Steps implements Algorithm (the getTL2 procedure).
 func (l *TL2) Steps(q State, c core.Command, t core.Thread) []Step {
-	st := q.(TL2State)
+	var steps []Step
+	l.StepsP(q.(TL2State), c, t, func(x XCmd, r Resp, next TL2State) {
+		steps = append(steps, Step{X: x, R: r, Next: next})
+	})
+	return steps
+}
+
+// StepsP implements Packed (the getTL2 procedure).
+func (l *TL2) StepsP(st TL2State, c core.Command, t core.Thread, yield func(XCmd, Resp, TL2State)) int {
 	ti := int(t)
 	switch c.Op {
 	case core.OpRead:
 		v := c.V
 		if st.WS[ti].Has(v) {
-			return []Step{{X: Base(c), R: Resp1, Next: st}}
+			yield(Base(c), Resp1, st)
+			return 1
 		}
 		// A global read checks the variable's version-and-lock word, as in
 		// the published TL2: it fails if the variable was modified since
@@ -103,29 +118,31 @@ func (l *TL2) Steps(q State, c core.Command, t core.Thread) []Step {
 		if !st.MS[ti].Has(v) && !locked {
 			next := st
 			next.RS[ti] = next.RS[ti].Add(v)
-			return []Step{{X: Base(c), R: Resp1, Next: next}}
+			yield(Base(c), Resp1, next)
+			return 1
 		}
 		// The read is abort enabled.
-		return nil
+		return 0
 	case core.OpWrite:
 		next := st
 		next.WS[ti] = next.WS[ti].Add(c.V)
-		return []Step{{X: Base(c), R: Resp1, Next: next}}
+		yield(Base(c), Resp1, next)
+		return 1
 	case core.OpCommit:
-		return l.commitSteps(st, ti)
+		return l.commitStepsP(st, ti, yield)
 	default:
-		return nil
+		return 0
 	}
 }
 
-func (l *TL2) commitSteps(st TL2State, ti int) []Step {
+func (l *TL2) commitStepsP(st TL2State, ti int, yield func(XCmd, Resp, TL2State)) int {
 	switch st.Status[ti] {
 	case tl2Finished:
-		var steps []Step
-		// Lock each write-set variable not yet locked, stealing from (and
-		// thereby aborting) any current holder.
-		for _, v := range st.WS[ti].Vars() {
-			if st.LS[ti].Has(v) {
+		count := 0
+		// Lock each write-set variable not yet locked, in ascending
+		// order, stealing from (and thereby aborting) any current holder.
+		for v := core.Var(0); int(v) < l.k; v++ {
+			if !st.WS[ti].Has(v) || st.LS[ti].Has(v) {
 				continue
 			}
 			next := st
@@ -135,24 +152,27 @@ func (l *TL2) commitSteps(st TL2State, ti int) []Step {
 					next.Status[u] = tl2Aborted
 				}
 			}
-			steps = append(steps, Step{X: XCmd{Kind: XLock, V: v}, R: RespPending, Next: next})
+			yield(XCmd{Kind: XLock, V: v}, RespPending, next)
+			count++
 		}
 		// Validate once all locks are held: the read set must be
 		// unmodified since the transaction began and unlocked by others.
 		if st.WS[ti] == st.LS[ti] && tl2ValidateReads(l.n, st, ti) {
 			next := st
 			next.Status[ti] = tl2Validated
-			steps = append(steps, Step{X: XCmd{Kind: XValidate}, R: RespPending, Next: next})
+			yield(XCmd{Kind: XValidate}, RespPending, next)
+			count++
 		}
-		return steps
+		return count
 	case tl2Validated:
 		next := st
 		tl2Publish(l.n, &next, ti)
-		return []Step{{X: XCmd{Kind: XCommit}, R: Resp1, Next: next}}
+		yield(XCmd{Kind: XCommit}, Resp1, next)
+		return 1
 	default:
 		// Aborted (or mid-validation in the modified variant): nothing to
 		// do here.
-		return nil
+		return 0
 	}
 }
 
@@ -200,11 +220,52 @@ func tl2Publish(n int, st *TL2State, ti int) {
 
 // AbortStep implements Algorithm: the thread resets entirely.
 func (l *TL2) AbortStep(q State, t core.Thread) State {
-	st := q.(TL2State)
+	return l.AbortStepP(q.(TL2State), t)
+}
+
+// AbortStepP implements Packed.
+func (l *TL2) AbortStepP(st TL2State, t core.Thread) TL2State {
 	st.Status[t] = tl2Finished
 	st.RS[t] = 0
 	st.WS[t] = 0
 	st.LS[t] = 0
 	st.MS[t] = 0
+	return st
+}
+
+// PackedFor implements Packed. TL2Mod overrides it (it embeds TL2 and
+// must not inherit TL2's typed steppers through promotion unchecked).
+func (l *TL2) PackedFor() string { return "tl2" }
+
+// InitialP implements Packed.
+func (l *TL2) InitialP() TL2State { return TL2State{} }
+
+// StateBits implements Packed: a 2-bit status and four k-bit sets per
+// live thread.
+func (l *TL2) StateBits() int { return l.n * (2 + 4*l.k) }
+
+// EncodeState implements Packed.
+func (l *TL2) EncodeState(st TL2State, w *pack.Writer) {
+	kb := uint(l.k)
+	for t := 0; t < l.n; t++ {
+		w.Put(uint64(st.Status[t]), 2)
+		w.Put(uint64(st.RS[t]), kb)
+		w.Put(uint64(st.WS[t]), kb)
+		w.Put(uint64(st.LS[t]), kb)
+		w.Put(uint64(st.MS[t]), kb)
+	}
+}
+
+// DecodeState implements Packed.
+func (l *TL2) DecodeState(r *pack.Reader) TL2State {
+	var st TL2State
+	kb := uint(l.k)
+	for t := 0; t < l.n; t++ {
+		st.Status[t] = uint8(r.Get(2))
+		st.RS[t] = core.VarSet(r.Get(kb))
+		st.WS[t] = core.VarSet(r.Get(kb))
+		st.LS[t] = core.VarSet(r.Get(kb))
+		st.MS[t] = core.VarSet(r.Get(kb))
+	}
 	return st
 }

@@ -34,16 +34,28 @@ func (l *TL2Mod) Name() string { return "modtl2" }
 // Steps implements Algorithm: identical to TL2 except for the commit
 // sequence lock* · rvalidate · chklock · commit.
 func (l *TL2Mod) Steps(q State, c core.Command, t core.Thread) []Step {
+	var steps []Step
+	l.StepsP(q.(TL2State), c, t, func(x XCmd, r Resp, next TL2State) {
+		steps = append(steps, Step{X: x, R: r, Next: next})
+	})
+	return steps
+}
+
+// PackedFor implements Packed: the embedded TL2's typed steppers are
+// overridden here, so the packed path is valid for this name too.
+func (l *TL2Mod) PackedFor() string { return "modtl2" }
+
+// StepsP implements Packed, mirroring Steps.
+func (l *TL2Mod) StepsP(st TL2State, c core.Command, t core.Thread, yield func(XCmd, Resp, TL2State)) int {
 	if c.Op != core.OpCommit {
-		return l.TL2.Steps(q, c, t)
+		return l.TL2.StepsP(st, c, t, yield)
 	}
-	st := q.(TL2State)
 	ti := int(t)
 	switch st.Status[ti] {
 	case tl2Finished:
-		var steps []Step
-		for _, v := range st.WS[ti].Vars() {
-			if st.LS[ti].Has(v) {
+		count := 0
+		for v := core.Var(0); int(v) < l.k; v++ {
+			if !st.WS[ti].Has(v) || st.LS[ti].Has(v) {
 				continue
 			}
 			next := st
@@ -53,29 +65,33 @@ func (l *TL2Mod) Steps(q State, c core.Command, t core.Thread) []Step {
 					next.Status[u] = tl2Aborted
 				}
 			}
-			steps = append(steps, Step{X: XCmd{Kind: XLock, V: v}, R: RespPending, Next: next})
+			yield(XCmd{Kind: XLock, V: v}, RespPending, next)
+			count++
 		}
 		// rvalidate: only the version half of TL2's validation.
 		if st.WS[ti] == st.LS[ti] && !st.RS[ti].Intersects(st.MS[ti]) {
 			next := st
 			next.Status[ti] = tl2RValidated
-			steps = append(steps, Step{X: XCmd{Kind: XRValidate}, R: RespPending, Next: next})
+			yield(XCmd{Kind: XRValidate}, RespPending, next)
+			count++
 		}
-		return steps
+		return count
 	case tl2RValidated:
 		// chklock: the lock half, atomically separate from rvalidate.
 		if !tl2ChkLockOnly(l.n, st, ti) {
-			return nil
+			return 0
 		}
 		next := st
 		next.Status[ti] = tl2Validated
-		return []Step{{X: XCmd{Kind: XChkLock}, R: RespPending, Next: next}}
+		yield(XCmd{Kind: XChkLock}, RespPending, next)
+		return 1
 	case tl2Validated:
 		next := st
 		tl2Publish(l.n, &next, ti)
-		return []Step{{X: XCmd{Kind: XCommit}, R: Resp1, Next: next}}
+		yield(XCmd{Kind: XCommit}, Resp1, next)
+		return 1
 	default:
-		return nil
+		return 0
 	}
 }
 

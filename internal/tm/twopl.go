@@ -2,6 +2,8 @@ package tm
 
 import (
 	"tmcheck/internal/core"
+
+	"tmcheck/internal/pack"
 )
 
 // TwoPLState is the two-phase-locking state: per-thread shared (read) and
@@ -37,60 +39,109 @@ func (p *TwoPL) Threads() int { return p.n }
 func (p *TwoPL) Vars() int { return p.k }
 
 // Initial implements Algorithm: all lock sets empty.
-func (p *TwoPL) Initial() State { return TwoPLState{} }
+func (p *TwoPL) Initial() State { return p.InitialP() }
 
 // Conflict implements Algorithm: φ is constantly false.
 func (p *TwoPL) Conflict(q State, c core.Command, t core.Thread) bool { return false }
 
 // Steps implements Algorithm (the get2PL procedure).
 func (p *TwoPL) Steps(q State, c core.Command, t core.Thread) []Step {
-	st := q.(TwoPLState)
+	var steps []Step
+	p.StepsP(q.(TwoPLState), c, t, func(x XCmd, r Resp, next TwoPLState) {
+		steps = append(steps, Step{X: x, R: r, Next: next})
+	})
+	return steps
+}
+
+// AbortStep implements Algorithm: all locks of t release.
+func (p *TwoPL) AbortStep(q State, t core.Thread) State {
+	return p.AbortStepP(q.(TwoPLState), t)
+}
+
+// PackedFor implements Packed.
+func (p *TwoPL) PackedFor() string { return "2pl" }
+
+// InitialP implements Packed.
+func (p *TwoPL) InitialP() TwoPLState { return TwoPLState{} }
+
+// ConflictP implements Packed: φ is constantly false.
+func (p *TwoPL) ConflictP(st TwoPLState, c core.Command, t core.Thread) bool { return false }
+
+// StepsP implements Packed (the get2PL procedure).
+func (p *TwoPL) StepsP(st TwoPLState, c core.Command, t core.Thread, yield func(XCmd, Resp, TwoPLState)) int {
 	ti := int(t)
 	switch c.Op {
 	case core.OpRead:
 		v := c.V
 		if st.RS[ti].Has(v) || st.WS[ti].Has(v) {
-			return []Step{{X: Base(c), R: Resp1, Next: st}}
+			yield(Base(c), Resp1, st)
+			return 1
 		}
 		// Acquire a shared lock unless another thread holds an exclusive
 		// lock on v.
 		for u := 0; u < p.n; u++ {
 			if u != ti && st.WS[u].Has(v) {
-				return nil
+				return 0
 			}
 		}
 		next := st
 		next.RS[ti] = next.RS[ti].Add(v)
-		return []Step{{X: XCmd{Kind: XRLock, V: v}, R: RespPending, Next: next}}
+		yield(XCmd{Kind: XRLock, V: v}, RespPending, next)
+		return 1
 	case core.OpWrite:
 		v := c.V
 		if st.WS[ti].Has(v) {
-			return []Step{{X: Base(c), R: Resp1, Next: st}}
+			yield(Base(c), Resp1, st)
+			return 1
 		}
 		// Acquire an exclusive lock unless any other thread holds any lock
 		// on v. A thread holding only its own shared lock upgrades.
 		for u := 0; u < p.n; u++ {
 			if u != ti && (st.WS[u].Has(v) || st.RS[u].Has(v)) {
-				return nil
+				return 0
 			}
 		}
 		next := st
 		next.WS[ti] = next.WS[ti].Add(v)
-		return []Step{{X: XCmd{Kind: XWLock, V: v}, R: RespPending, Next: next}}
+		yield(XCmd{Kind: XWLock, V: v}, RespPending, next)
+		return 1
 	case core.OpCommit:
 		next := st
 		next.RS[ti] = 0
 		next.WS[ti] = 0
-		return []Step{{X: Base(c), R: Resp1, Next: next}}
+		yield(Base(c), Resp1, next)
+		return 1
 	default:
-		return nil
+		return 0
 	}
 }
 
-// AbortStep implements Algorithm: all locks of t release.
-func (p *TwoPL) AbortStep(q State, t core.Thread) State {
-	st := q.(TwoPLState)
+// AbortStepP implements Packed: all locks of t release.
+func (p *TwoPL) AbortStepP(st TwoPLState, t core.Thread) TwoPLState {
 	st.RS[t] = 0
 	st.WS[t] = 0
+	return st
+}
+
+// StateBits implements Packed: two k-bit lock sets per live thread.
+func (p *TwoPL) StateBits() int { return p.n * 2 * p.k }
+
+// EncodeState implements Packed.
+func (p *TwoPL) EncodeState(st TwoPLState, w *pack.Writer) {
+	kb := uint(p.k)
+	for t := 0; t < p.n; t++ {
+		w.Put(uint64(st.RS[t]), kb)
+		w.Put(uint64(st.WS[t]), kb)
+	}
+}
+
+// DecodeState implements Packed.
+func (p *TwoPL) DecodeState(r *pack.Reader) TwoPLState {
+	var st TwoPLState
+	kb := uint(p.k)
+	for t := 0; t < p.n; t++ {
+		st.RS[t] = core.VarSet(r.Get(kb))
+		st.WS[t] = core.VarSet(r.Get(kb))
+	}
 	return st
 }
