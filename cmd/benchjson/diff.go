@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 )
 
 // diffRow is one aligned benchmark comparison. Exactly one of the
@@ -70,12 +71,13 @@ func loadReport(path string) (report, error) {
 	return rep, nil
 }
 
-// diffReports aligns the two reports by benchmark name. Rows follow the
-// new report's order, with removed benchmarks appended in the old
-// report's order. A row regresses when it is in both reports and its
-// ns/op grew by strictly more than regressPct percent; it
-// alloc-regresses when allocs/op or bytes/op grew past allocRegressPct
-// (negative disables that gate).
+// diffReports aligns the two reports by benchmark name and returns the
+// rows sorted by name, so the table is stable regardless of the order
+// either file recorded its benchmarks in — diffs of diffs stay clean.
+// A row regresses when it is in both reports and its ns/op grew by
+// strictly more than regressPct percent; it alloc-regresses when
+// allocs/op or bytes/op grew past allocRegressPct (negative disables
+// that gate).
 func diffReports(oldRep, newRep report, regressPct, allocRegressPct float64) []diffRow {
 	oldByName := make(map[string]entry, len(oldRep.Benchmarks))
 	for _, e := range oldRep.Benchmarks {
@@ -114,6 +116,7 @@ func diffReports(oldRep, newRep report, regressPct, allocRegressPct float64) []d
 			rows = append(rows, diffRow{Name: oe.Name, OldNs: oe.NsPerOp, OldAllocs: oe.AllocsPerOp, OnlyOld: true})
 		}
 	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
 	return rows
 }
 

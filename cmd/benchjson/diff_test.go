@@ -53,9 +53,44 @@ func TestDiffReportsAlignment(t *testing.T) {
 	if r := byName["Gone"]; !r.OnlyOld || r.Regressed {
 		t.Errorf("row Gone should be removed-only: %+v", r)
 	}
-	// Removed rows come last, after the new report's order.
+	// Rows come back sorted by name.
 	if rows[3].Name != "Gone" {
-		t.Errorf("removed row not last: %v", rows)
+		t.Errorf("rows out of order: %v", rows)
+	}
+}
+
+// TestDiffReportsStableOrder pins the sorted output: however the input
+// files ordered their benchmarks, the diff rows come back sorted by
+// name, so committed diff output is reproducible across bench runs.
+func TestDiffReportsStableOrder(t *testing.T) {
+	oldRep := report{Benchmarks: []entry{
+		{Name: "Zeta", NsPerOp: 10},
+		{Name: "Mid", NsPerOp: 10},
+		{Name: "Removed", NsPerOp: 10},
+	}}
+	newRep := report{Benchmarks: []entry{
+		{Name: "Mid", NsPerOp: 10},
+		{Name: "Added", NsPerOp: 10},
+		{Name: "Zeta", NsPerOp: 10},
+	}}
+	rows := diffReports(oldRep, newRep, 10, 25)
+	want := []string{"Added", "Mid", "Removed", "Zeta"}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(want))
+	}
+	for i, name := range want {
+		if rows[i].Name != name {
+			t.Errorf("rows[%d] = %q, want %q", i, rows[i].Name, name)
+		}
+	}
+	// Shuffling the inputs changes nothing.
+	oldRep.Benchmarks[0], oldRep.Benchmarks[2] = oldRep.Benchmarks[2], oldRep.Benchmarks[0]
+	newRep.Benchmarks[0], newRep.Benchmarks[1] = newRep.Benchmarks[1], newRep.Benchmarks[0]
+	again := diffReports(oldRep, newRep, 10, 25)
+	for i := range want {
+		if again[i].Name != want[i] {
+			t.Errorf("shuffled input: rows[%d] = %q, want %q", i, again[i].Name, want[i])
+		}
 	}
 }
 

@@ -22,7 +22,8 @@
 // Every command additionally accepts the global flags -workers N,
 // -maxstates N, -timeout D, -maxmem BYTES, -strict-limits, -stats,
 // -stats-json FILE, -cpuprofile FILE, -memprofile FILE, -progress,
-// -trace FILE and -debug-addr ADDR (see cmd/tmcheck/stats.go), e.g.:
+// -trace FILE, -debug-addr ADDR and -remote ADDR (see
+// internal/job/flags.go), e.g.:
 //
 //	tmcheck table2 -stats-json report.json
 //	tmcheck -workers 4 table2
@@ -30,6 +31,7 @@
 //	tmcheck table3 -n 3 -k 2 -timeout 5s
 //	tmcheck -progress -trace table2.trace.json table2
 //	tmcheck -debug-addr localhost:7077 table3 -n 3 -k 2
+//	tmcheck -remote 127.0.0.1:7078 table2
 //
 // -progress streams a throttled live status line to stderr; -trace
 // writes a Chrome trace-event timeline (open in Perfetto); -debug-addr
@@ -63,6 +65,15 @@
 // violating lassos and stops at the first violation; verdicts and loop
 // words are bit-identical to the materialized engine at every -workers
 // count.
+//
+// -remote ADDR submits the verification commands (table2, table3,
+// safety, liveness) to a running tmcheckd (cmd/tmcheckd) instead of
+// checking in-process: the job spec — including the budget flags —
+// travels over the wire protocol, progress frames stream back into the
+// local -progress display, and the rendered output is identical to a
+// local run up to wall-clock timings. Ctrl-C cancels the remote job at
+// the same deterministic barriers as -maxstates and still collects the
+// partial result.
 package main
 
 import (
@@ -70,16 +81,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
 	"tmcheck/internal/automata"
 	"tmcheck/internal/core"
 	"tmcheck/internal/explore"
 	"tmcheck/internal/guard"
-	"tmcheck/internal/liveness"
+	"tmcheck/internal/job"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/parbfs"
 	"tmcheck/internal/runtime"
@@ -87,6 +96,14 @@ import (
 	"tmcheck/internal/space"
 	"tmcheck/internal/spec"
 	"tmcheck/internal/tm"
+	"tmcheck/internal/wire"
+)
+
+// gflags holds the parsed global flags; strictLimits mirrors its
+// StrictLimits field as a package var so tests can flip it directly.
+var (
+	gflags       job.Flags
+	strictLimits bool
 )
 
 // buildBudgeted materializes one system at the process-wide worker
@@ -111,32 +128,86 @@ func limitSummary(limits []*guard.LimitError) error {
 	return nil
 }
 
+// runJob routes one verification job: locally through job.Run, or to
+// the tmcheckd named by -remote. Both paths render the same Result the
+// same way, so the output bytes match up to wall-clock timings.
+func runJob(ctx context.Context, sp job.Spec) error {
+	var res *job.Result
+	var err error
+	if gflags.Remote != "" {
+		res, err = runRemote(ctx, sp)
+	} else {
+		res, err = job.Run(ctx, sp)
+	}
+	if err != nil {
+		return err
+	}
+	res.Render(os.Stdout)
+	return limitSummary(res.Limits())
+}
+
+// runRemote submits sp to the daemon at -remote. The budget flags ride
+// in the spec (the local Install is irrelevant remotely), and streamed
+// progress frames are re-emitted onto the local bus so -progress and
+// -trace work unchanged.
+func runRemote(ctx context.Context, sp job.Spec) (*job.Result, error) {
+	sp.Workers = gflags.Workers
+	sp.MaxStates = gflags.MaxStates
+	sp.Timeout = gflags.Timeout
+	sp.MaxMem = gflags.MaxMem
+	client, err := wire.Dial(gflags.Remote)
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: %w", gflags.Remote, err)
+	}
+	defer client.Close()
+	var onProgress func(wire.Progress)
+	if obs.EventsEnabled() {
+		onProgress = func(p wire.Progress) {
+			obs.Emit(obs.Event{
+				Kind:      obs.EvProgress,
+				Name:      p.Name,
+				Level:     p.Level,
+				States:    p.States,
+				Frontier:  p.Frontier,
+				HeapBytes: p.HeapBytes,
+				Detail:    p.Detail,
+			})
+		}
+	}
+	res, err := client.Run(ctx, sp, onProgress)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("remote %s: empty result", gflags.Remote)
+	}
+	return res, nil
+}
+
 func main() {
-	global, rest, gerr := extractGlobalFlags(os.Args[1:])
+	g, rest, gerr := job.Extract(os.Args[1:])
 	if gerr != nil {
 		fmt.Fprintln(os.Stderr, "tmcheck:", gerr)
 		os.Exit(2)
 	}
+	gflags = g
+	strictLimits = g.StrictLimits
 	if len(rest) < 1 {
 		usage()
 		os.Exit(2)
 	}
 	cmd, args := rest[0], rest[1:]
-	if err := global.begin(cmd); err != nil {
+	gflags.Install()
+	if err := gflags.Begin(cmd); err != nil {
 		fmt.Fprintln(os.Stderr, "tmcheck:", err)
 		os.Exit(1)
 	}
 	// Ctrl-C and SIGTERM cancel every in-flight check at its next guard
 	// poll; -timeout turns into a deadline on the same context.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := gflags.SignalContext(context.Background())
 	defer stop()
-	if global.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, global.timeout)
-		defer cancel()
-	}
 	err := dispatch(ctx, cmd, args)
-	if ferr := global.finish(cmd); ferr != nil && err == nil {
+	if ferr := gflags.Finish(cmd); ferr != nil && err == nil {
 		err = ferr
 	}
 	if err != nil {
@@ -148,6 +219,13 @@ func main() {
 // dispatch runs one subcommand inside a top-level obs phase named
 // after it, so every report's phase tree is rooted at the command.
 func dispatch(ctx context.Context, cmd string, args []string) error {
+	if gflags.Remote != "" {
+		switch cmd {
+		case "table2", "table3", "safety", "liveness":
+		default:
+			return fmt.Errorf("-remote supports table2, table3, safety and liveness; %q only runs locally", cmd)
+		}
+	}
 	done := obs.Phase(cmd)
 	defer done()
 	var err error
@@ -219,6 +297,7 @@ global flags (any command, before or after it):
   -progress         stream live status (level, states, states/sec, heap) to stderr
   -trace FILE       write a Chrome trace-event timeline (Perfetto-loadable)
   -debug-addr ADDR  serve /vitals, /events (SSE) and /debug/pprof on ADDR
+  -remote ADDR      submit table2/table3/safety/liveness to a tmcheckd at ADDR
 
 `)
 	fmt.Fprintf(os.Stderr, "algorithms: %s\n", strings.Join(tm.AlgorithmNames(), ", "))
@@ -252,54 +331,13 @@ func runTable2(ctx context.Context, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	engine, err := safety.ParseEngine(*engineName)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("Table 2: safety verdicts on the most general program (%d threads, %d variables)\n", *n, *k)
-	fmt.Printf("%-15s %8s  %-22s %-22s\n", "TM", "size", "L(A) ⊆ L(Σss)", "L(A) ⊆ L(Σop)")
-	systems := safety.PaperSystems(*n, *k)
-	if *ext {
-		for _, name := range []string{"norec", "etl", "2pl-noreadlock", "dstm-novalidate"} {
-			alg, err := tm.NewAlgorithm(name, *n, *k)
-			if err != nil {
-				return err
-			}
-			systems = append(systems, safety.System{Alg: alg})
-		}
-	}
-	rows := safety.Table2Resilient(ctx, systems, engine)
-	var limits []*guard.LimitError
-	for _, row := range rows {
-		fmt.Printf("%-15s %8d  %-22s %-22s\n", row.SS.System, row.SS.TMStates,
-			verdict(row.SS), verdict(row.OP))
-		printCex(row.SS)
-		if row.SS.Holds || row.OP.Holds {
-			printCex(row.OP)
-		}
-		for _, r := range []safety.Result{row.SS, row.OP} {
-			if r.Limit != nil {
-				limits = append(limits, r.Limit)
-			}
-		}
-	}
-	return limitSummary(limits)
-}
-
-func verdict(r safety.Result) string {
-	if r.Limit != nil {
-		return fmt.Sprintf("LIMIT(%s)", r.Limit.Kind.Label())
-	}
-	if r.Holds {
-		return fmt.Sprintf("Y, %v", r.Elapsed.Round(10*time.Microsecond))
-	}
-	return fmt.Sprintf("N, %v", r.Elapsed.Round(10*time.Microsecond))
-}
-
-func printCex(r safety.Result) {
-	if r.Limit == nil && !r.Holds {
-		fmt.Printf("    counterexample (%v): %s\n", r.Prop, r.Counterexample)
-	}
+	return runJob(ctx, job.Spec{
+		Kind:    job.KindTable2,
+		Engine:  *engineName,
+		Threads: *n,
+		Vars:    *k,
+		Ext:     *ext,
+	})
 }
 
 func runTable3(ctx context.Context, args []string) error {
@@ -310,39 +348,54 @@ func runTable3(ctx context.Context, args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	engine, err := space.ParseEngine(*engineName)
-	if err != nil {
-		return err
-	}
-	systems := liveness.PaperSystems(*n, *k)
-	rows := liveness.Table3Resilient(ctx, systems, engine)
-	fmt.Printf("Table 3: liveness verdicts on the most general program (%d threads, %d variables)\n", *n, *k)
-	fmt.Printf("%-18s %6s  %-30s %-30s\n", "TM algorithm", "size", "obstruction freedom", "livelock freedom")
-	var limits []*guard.LimitError
-	for _, row := range rows {
-		fmt.Printf("%-18s %6d  %-30s %-30s\n", row.Obstruction.System, row.Obstruction.TMStates,
-			liveVerdict(row.Obstruction), liveVerdict(row.Livelock))
-		for _, r := range []liveness.Result{row.Obstruction, row.Livelock, row.Wait} {
-			if r.Limit != nil {
-				limits = append(limits, r.Limit)
-			}
-		}
-	}
-	fmt.Println("(wait freedom fails for every system; it implies livelock freedom)")
-	if engine == space.EngineOnTheFly {
-		fmt.Println("(size = states constructed at the obstruction verdict; -engine materialized reports full systems)")
-	}
-	return limitSummary(limits)
+	return runJob(ctx, job.Spec{
+		Kind:    job.KindTable3,
+		Engine:  *engineName,
+		Threads: *n,
+		Vars:    *k,
+	})
 }
 
-func liveVerdict(r liveness.Result) string {
-	if r.Limit != nil {
-		return fmt.Sprintf("LIMIT(%s)", r.Limit.Kind.Label())
+func runSafety(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("safety", flag.ContinueOnError)
+	tmName := fs.String("tm", "dstm", "TM algorithm")
+	cmName := fs.String("cm", "", "contention manager (optional)")
+	propName := fs.String("prop", "op", "property: ss or op")
+	engineName := fs.String("engine", "onthefly", "safety engine: onthefly or materialized")
+	n := fs.Int("n", 2, "threads")
+	k := fs.Int("k", 2, "variables")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	if r.Holds {
-		return fmt.Sprintf("Y, %v", r.Elapsed.Round(10*time.Microsecond))
+	return runJob(ctx, job.Spec{
+		Kind:    job.KindSafety,
+		TM:      *tmName,
+		CM:      *cmName,
+		Prop:    *propName,
+		Engine:  *engineName,
+		Threads: *n,
+		Vars:    *k,
+	})
+}
+
+func runLiveness(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("liveness", flag.ContinueOnError)
+	tmName := fs.String("tm", "dstm", "TM algorithm")
+	cmName := fs.String("cm", "aggressive", "contention manager (optional)")
+	engineName := fs.String("engine", "onthefly", "liveness engine: onthefly or materialized")
+	n := fs.Int("n", 2, "threads")
+	k := fs.Int("k", 1, "variables")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	return fmt.Sprintf("N, loop %s", r.LoopWord())
+	return runJob(ctx, job.Spec{
+		Kind:    job.KindLiveness,
+		TM:      *tmName,
+		CM:      *cmName,
+		Engine:  *engineName,
+		Threads: *n,
+		Vars:    *k,
+	})
 }
 
 func runSpecs(args []string) error {
@@ -398,134 +451,6 @@ func runFigures(args []string) error {
 		w := core.MustParseWord(c.word)
 		fmt.Printf("%-12s %-62s %-8v %v\n", c.name, c.word,
 			core.IsStrictlySerializable(w), core.IsOpaque(w))
-	}
-	return nil
-}
-
-func runSafety(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("safety", flag.ContinueOnError)
-	tmName := fs.String("tm", "dstm", "TM algorithm")
-	cmName := fs.String("cm", "", "contention manager (optional)")
-	propName := fs.String("prop", "op", "property: ss or op")
-	engineName := fs.String("engine", "onthefly", "safety engine: onthefly or materialized")
-	n := fs.Int("n", 2, "threads")
-	k := fs.Int("k", 2, "variables")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	alg, err := tm.NewAlgorithm(*tmName, *n, *k)
-	if err != nil {
-		return err
-	}
-	cm, err := tm.NewContentionManager(*cmName)
-	if err != nil {
-		return err
-	}
-	prop := spec.Opacity
-	if *propName == "ss" {
-		prop = spec.StrictSerializability
-	}
-	engine, err := safety.ParseEngine(*engineName)
-	if err != nil {
-		return err
-	}
-	res, err := safety.VerifyOpts(alg, cm, prop, safety.Options{Engine: engine, Ctx: ctx})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("system:         %s\n", res.System)
-	fmt.Printf("property:       %v (%d threads, %d variables)\n", res.Prop, res.Threads, res.Vars)
-	fmt.Printf("engine:         %v\n", res.Engine)
-	fmt.Printf("TM states:      %d\n", res.TMStates)
-	fmt.Printf("spec states:    %d\n", res.SpecStates)
-	if res.Engine == safety.EngineOnTheFly {
-		fmt.Printf("product pairs:  %d\n", res.Inclusion.PairsVisited)
-		fmt.Printf("peak frontier:  %d\n", res.FrontierPeak)
-	} else {
-		fmt.Printf("build TM:       %v\n", res.BuildTMElapsed.Round(10*time.Microsecond))
-		fmt.Printf("build spec:     %v\n", res.BuildSpecElapsed.Round(10*time.Microsecond))
-	}
-	if res.Holds {
-		fmt.Printf("verdict:        SAFE (inclusion holds, %v)\n", res.Elapsed.Round(10*time.Microsecond))
-	} else {
-		fmt.Printf("verdict:        UNSAFE (%v)\n", res.Elapsed.Round(10*time.Microsecond))
-		fmt.Printf("counterexample: %s\n", res.Counterexample)
-		fmt.Println()
-		fmt.Print(safety.Explain(res))
-	}
-	return nil
-}
-
-func runLiveness(ctx context.Context, args []string) error {
-	fs := flag.NewFlagSet("liveness", flag.ContinueOnError)
-	tmName := fs.String("tm", "dstm", "TM algorithm")
-	cmName := fs.String("cm", "aggressive", "contention manager (optional)")
-	engineName := fs.String("engine", "onthefly", "liveness engine: onthefly or materialized")
-	n := fs.Int("n", 2, "threads")
-	k := fs.Int("k", 1, "variables")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	alg, err := tm.NewAlgorithm(*tmName, *n, *k)
-	if err != nil {
-		return err
-	}
-	cm, err := tm.NewContentionManager(*cmName)
-	if err != nil {
-		return err
-	}
-	engine, err := space.ParseEngine(*engineName)
-	if err != nil {
-		return err
-	}
-	var results []liveness.Result
-	if engine == space.EngineOnTheFly {
-		row, err := liveness.CheckAllOnTheFlyOpts(alg, cm, liveness.Options{Ctx: ctx})
-		if err != nil {
-			return err
-		}
-		results = []liveness.Result{row.Obstruction, row.Livelock, row.Wait}
-		constructed := 0
-		for _, res := range results {
-			if res.TMStates > constructed {
-				constructed = res.TMStates
-			}
-		}
-		fmt.Printf("system: %s (%v engine, %d states constructed)\n",
-			results[0].System, engine, constructed)
-	} else {
-		buildStart := time.Now()
-		buildDone := obs.Phase("build-tm")
-		ts, err := buildBudgeted(ctx, alg, cm)
-		buildDone()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("system: %s (%d states, built in %v)\n",
-			ts.Name(), ts.NumStates(), time.Since(buildStart).Round(10*time.Microsecond))
-		for _, c := range []struct {
-			prop  liveness.Prop
-			check func(*explore.TS) liveness.Result
-		}{
-			{liveness.ObstructionFreedom, liveness.CheckObstructionFreedom},
-			{liveness.LivelockFreedom, liveness.CheckLivelockFreedom},
-			{liveness.WaitFreedom, liveness.CheckWaitFreedom},
-		} {
-			checkDone := obs.Phase("check:" + c.prop.Key())
-			results = append(results, c.check(ts))
-			checkDone()
-		}
-	}
-	for _, res := range results {
-		if res.Holds {
-			fmt.Printf("%-22s HOLDS (%v)\n", res.Prop.String()+":", res.Elapsed.Round(10*time.Microsecond))
-		} else {
-			fmt.Printf("%-22s FAILS, loop: %s\n", res.Prop.String()+":", res.LoopWord())
-		}
-		if engine == space.EngineOnTheFly {
-			fmt.Printf("%-22s %d of %d states expanded, %d probes\n",
-				"", res.Expanded, res.TMStates, res.Probes)
-		}
 	}
 	return nil
 }

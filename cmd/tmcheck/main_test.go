@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"tmcheck/internal/job"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/space"
 )
@@ -244,13 +245,13 @@ func TestRunDot(t *testing.T) {
 }
 
 func TestExtractGlobalFlags(t *testing.T) {
-	g, rest, err := extractGlobalFlags([]string{
+	g, rest, err := job.Extract([]string{
 		"table2", "-n", "3", "-stats", "-stats-json", "out.json", "-cpuprofile=cpu.prof",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !g.stats || g.statsJSON != "out.json" || g.cpuProfile != "cpu.prof" {
+	if !g.Stats || g.StatsJSON != "out.json" || g.CPUProfile != "cpu.prof" {
 		t.Errorf("flags not extracted: %+v", g)
 	}
 	if want := []string{"table2", "-n", "3"}; !reflect.DeepEqual(rest, want) {
@@ -258,49 +259,49 @@ func TestExtractGlobalFlags(t *testing.T) {
 	}
 
 	// Global flags are position-independent: before the subcommand too.
-	g2, rest2, err := extractGlobalFlags([]string{"-memprofile", "mem.prof", "table1"})
+	g2, rest2, err := job.Extract([]string{"-memprofile", "mem.prof", "table1"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g2.memProfile != "mem.prof" || !reflect.DeepEqual(rest2, []string{"table1"}) {
+	if g2.MemProfile != "mem.prof" || !reflect.DeepEqual(rest2, []string{"table1"}) {
 		t.Errorf("prefix extraction failed: %+v rest %v", g2, rest2)
 	}
 
-	if _, _, err := extractGlobalFlags([]string{"table1", "-stats-json"}); err == nil {
+	if _, _, err := job.Extract([]string{"table1", "-stats-json"}); err == nil {
 		t.Error("dangling -stats-json should error")
 	}
 
-	g3, rest3, err := extractGlobalFlags([]string{"-workers", "4", "table2", "-n", "2"})
+	g3, rest3, err := job.Extract([]string{"-workers", "4", "table2", "-n", "2"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g3.workers != 4 || !reflect.DeepEqual(rest3, []string{"table2", "-n", "2"}) {
+	if g3.Workers != 4 || !reflect.DeepEqual(rest3, []string{"table2", "-n", "2"}) {
 		t.Errorf("-workers extraction failed: %+v rest %v", g3, rest3)
 	}
 	for _, bad := range []string{"0", "-2", "x"} {
-		if _, _, err := extractGlobalFlags([]string{"-workers", bad, "table1"}); err == nil {
+		if _, _, err := job.Extract([]string{"-workers", bad, "table1"}); err == nil {
 			t.Errorf("-workers %s should error", bad)
 		}
 	}
 
-	g4, rest4, err := extractGlobalFlags([]string{"-maxstates", "5000", "safety", "-tm", "tl2"})
+	g4, rest4, err := job.Extract([]string{"-maxstates", "5000", "safety", "-tm", "tl2"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g4.maxStates != 5000 || !reflect.DeepEqual(rest4, []string{"safety", "-tm", "tl2"}) {
+	if g4.MaxStates != 5000 || !reflect.DeepEqual(rest4, []string{"safety", "-tm", "tl2"}) {
 		t.Errorf("-maxstates extraction failed: %+v rest %v", g4, rest4)
 	}
 	for _, bad := range []string{"0", "-5", "many"} {
-		if _, _, err := extractGlobalFlags([]string{"-maxstates", bad, "table1"}); err == nil {
+		if _, _, err := job.Extract([]string{"-maxstates", bad, "table1"}); err == nil {
 			t.Errorf("-maxstates %s should error", bad)
 		}
 	}
 
-	g5, rest5, err := extractGlobalFlags([]string{"-timeout", "30s", "-maxmem", "2g", "-strict-limits", "table3"})
+	g5, rest5, err := job.Extract([]string{"-timeout", "30s", "-maxmem", "2g", "-strict-limits", "table3"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g5.timeout != 30*time.Second || g5.maxMem != 2<<30 || !g5.strictLimits {
+	if g5.Timeout != 30*time.Second || g5.MaxMem != 2<<30 || !g5.StrictLimits {
 		t.Errorf("resource flags not extracted: %+v", g5)
 	}
 	if !reflect.DeepEqual(rest5, []string{"table3"}) {
@@ -311,9 +312,17 @@ func TestExtractGlobalFlags(t *testing.T) {
 		{"-timeout", "soon", "table1"},
 		{"-maxmem", "lots", "table1"},
 	} {
-		if _, _, err := extractGlobalFlags(bad); err == nil {
+		if _, _, err := job.Extract(bad); err == nil {
 			t.Errorf("%v should error", bad)
 		}
+	}
+
+	g6, rest6, err := job.Extract([]string{"-remote", "127.0.0.1:7078", "table2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g6.Remote != "127.0.0.1:7078" || !reflect.DeepEqual(rest6, []string{"table2"}) {
+		t.Errorf("-remote extraction failed: %+v rest %v", g6, rest6)
 	}
 }
 
@@ -606,13 +615,13 @@ func TestStatsOutputsWritten(t *testing.T) {
 	jsonPath := filepath.Join(dir, "report.json")
 	memPath := filepath.Join(dir, "mem.prof")
 	cpuPath := filepath.Join(dir, "cpu.prof")
-	g := globalOpts{statsJSON: jsonPath, memProfile: memPath, cpuProfile: cpuPath}
-	if err := g.begin("table1"); err != nil {
+	g := job.Flags{StatsJSON: jsonPath, MemProfile: memPath, CPUProfile: cpuPath}
+	if err := g.Begin("table1"); err != nil {
 		t.Fatal(err)
 	}
 	obs.Default().Reset()
 	captureStdout(t, func() error { return dispatch(bgCtx, "table1", nil) })
-	if err := g.finish("table1"); err != nil {
+	if err := g.Finish("table1"); err != nil {
 		t.Fatal(err)
 	}
 	defer obs.Default().Reset()

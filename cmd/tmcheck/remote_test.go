@@ -1,0 +1,129 @@
+package main
+
+// Local-vs-remote equivalence: the whole point of the daemon split is
+// that `tmcheck -remote addr` renders byte-identical output to a local
+// run. Timing differs between runs, so rendered durations are
+// normalized to a placeholder before comparison; everything else —
+// verdicts, state counts, counterexamples, loops, layout — must match
+// exactly.
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"strings"
+	"testing"
+
+	"tmcheck/internal/job"
+	"tmcheck/internal/jobd"
+	"tmcheck/internal/wire"
+)
+
+// durToken matches a rendered Go duration (1.23ms, 450µs, 2m3s, ...).
+// Longer unit names come first so "ms" is not split as "m"+"s".
+var durToken = regexp.MustCompile(`\d+(\.\d+)?(ns|µs|us|ms|s|m|h)`)
+
+func normalizeDurations(s string) string {
+	return durToken.ReplaceAllString(s, "DUR")
+}
+
+func startDaemon(t *testing.T) string {
+	t.Helper()
+	srv := jobd.New(jobd.Config{Jobs: 2})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr.String()
+}
+
+func renderLocal(t *testing.T, sp job.Spec) string {
+	t.Helper()
+	res, err := job.Run(context.Background(), sp)
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	return sb.String()
+}
+
+func renderRemote(t *testing.T, addr string, sp job.Spec) string {
+	t.Helper()
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Run(context.Background(), sp, nil)
+	if err != nil {
+		t.Fatalf("remote run: %v", err)
+	}
+	var sb strings.Builder
+	res.Render(&sb)
+	return sb.String()
+}
+
+// TestRemoteEquivalence runs a table-2 row (dstm opacity) and a failing
+// liveness check (dstm+aggressive livelock) both locally and through a
+// real daemon, at 1 and 4 workers, and requires the rendered output to
+// be byte-identical up to durations.
+func TestRemoteEquivalence(t *testing.T) {
+	addr := startDaemon(t)
+	specs := []struct {
+		name string
+		sp   job.Spec
+	}{
+		{"table2-row-dstm-op", job.Spec{Kind: job.KindSafety, TM: "dstm", Prop: "op"}},
+		{"failing-liveness-dstm-aggressive", job.Spec{Kind: job.KindLiveness, TM: "dstm", CM: "aggressive"}},
+	}
+	for _, tc := range specs {
+		for _, workers := range []int{1, 4} {
+			sp := tc.sp
+			sp.Workers = workers
+			local := normalizeDurations(renderLocal(t, sp))
+			remote := normalizeDurations(renderRemote(t, addr, sp))
+			if local != remote {
+				t.Errorf("%s workers=%d: local and remote renders differ\n--- local ---\n%s--- remote ---\n%s",
+					tc.name, workers, local, remote)
+			}
+			// Sanity: the run produced real content, not two empty strings.
+			if !strings.Contains(local, "verdict") && !strings.Contains(local, "HOLDS") && !strings.Contains(local, "FAILS") {
+				t.Errorf("%s workers=%d: suspicious render:\n%s", tc.name, workers, local)
+			}
+		}
+	}
+}
+
+// TestRenderSurvivesWire is the strict half: a Result pushed through
+// the wire codec renders byte-identical to the original, durations
+// included — no normalization allowed. Any lossy field would show here.
+func TestRenderSurvivesWire(t *testing.T) {
+	for _, sp := range []job.Spec{
+		{Kind: job.KindSafety, TM: "dstm", Prop: "op"},
+		{Kind: job.KindLiveness, TM: "dstm", CM: "aggressive"},
+	} {
+		res, err := job.Run(context.Background(), sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		c := wire.NewConn(&buf)
+		if err := c.Write(1, wire.ResultMsg{Result: res}); err != nil {
+			t.Fatal(err)
+		}
+		_, m, err := c.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded := m.(wire.ResultMsg).Result
+
+		var want, got strings.Builder
+		res.Render(&want)
+		decoded.Render(&got)
+		if want.String() != got.String() {
+			t.Errorf("render changed across the wire\n--- before ---\n%s--- after ---\n%s", want.String(), got.String())
+		}
+	}
+}

@@ -9,16 +9,18 @@
 //	go run ./cmd/tmfuzz -timeout 30s -maxstates 50000000
 //	go run ./cmd/tmfuzz -progress -n 0
 //
-// -progress streams a throttled live status line (words checked,
-// words/sec, heap) to stderr via the shared telemetry bus — the same
-// surface as tmcheck -progress — which long -n 0 campaigns want.
+// The budget and telemetry flags are the shared set from
+// internal/job/flags.go — -progress, -stats, -stats-json, -cpuprofile,
+// -memprofile, -trace and -debug-addr behave exactly as under tmcheck
+// and feed the same bus and registry.
 //
 // -timeout bounds the campaign's wall-clock and -maxstates the total
 // number of automaton states the specification runs visit across all
-// words; Ctrl-C, an expired timeout, or an exhausted budget stop the
-// campaign gracefully after the current word, printing the progress
-// report and a "campaign stopped" line (exit 0 — a stopped campaign
-// found no disagreement).
+// words (a cumulative campaign budget, not tmcheck's per-check knob);
+// -maxmem caps the heap the same way as tmcheck. Ctrl-C, an expired
+// timeout, or an exhausted budget stop the campaign gracefully after
+// the current word, printing the progress report and a "campaign
+// stopped" line (exit 0 — a stopped campaign found no disagreement).
 package main
 
 import (
@@ -28,12 +30,11 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"tmcheck/internal/core"
 	"tmcheck/internal/guard"
+	"tmcheck/internal/job"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/spec"
 	"tmcheck/internal/wordgen"
@@ -54,41 +55,38 @@ type config struct {
 	directed  bool
 	every     int           // progress-report interval in words
 	maxStates int           // 0 = unbounded: total spec states visited
+	maxMem    uint64        // 0 = uncapped heap
 	timeout   time.Duration // 0 = no deadline
 	progress  bool          // live status line on stderr
 }
 
 func main() {
 	var cfg config
+	gf := job.Flags{Prog: "tmfuzz"}
 	flag.IntVar(&cfg.threads, "threads", 3, "threads")
 	flag.IntVar(&cfg.vars, "vars", 2, "variables")
 	flag.IntVar(&cfg.maxLen, "len", 12, "maximum word length")
 	flag.IntVar(&cfg.count, "n", 200000, "words to check (0 = run forever)")
 	flag.Int64Var(&cfg.seed, "seed", time.Now().UnixNano(), "random seed")
 	flag.BoolVar(&cfg.directed, "directed", false, "use directed generators only")
-	flag.IntVar(&cfg.maxStates, "maxstates", 0, "stop after visiting this many spec states in total (0 = unbounded)")
-	flag.DurationVar(&cfg.timeout, "timeout", 0, "stop the campaign after this long (0 = no deadline)")
-	flag.BoolVar(&cfg.progress, "progress", false, "stream a live status line to stderr")
+	gf.Register(flag.CommandLine)
 	flag.Parse()
 	cfg.every = 50000
-	var prog *obs.Progress
-	if cfg.progress {
-		bus := obs.Events()
-		bus.SetEnabled(true)
-		obs.Emit(obs.Event{Kind: obs.EvRunStart, Name: "tmfuzz"})
-		prog = obs.StartProgress(os.Stderr, bus)
+	// The budgets go into the campaign's own guard, not the process-wide
+	// knobs (no Install): -maxstates here is cumulative across words.
+	cfg.maxStates = gf.MaxStates
+	cfg.maxMem = gf.MaxMem
+	cfg.timeout = gf.Timeout
+	cfg.progress = gf.Progress
+	if err := gf.Begin("tmfuzz"); err != nil {
+		fmt.Fprintln(os.Stderr, "tmfuzz:", err)
+		os.Exit(1)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := gf.SignalContext(context.Background())
 	defer stop()
-	if cfg.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
-		defer cancel()
-	}
 	err := fuzz(ctx, cfg, os.Stdout)
-	if prog != nil {
-		obs.Emit(obs.Event{Kind: obs.EvRunDone, Name: "tmfuzz"})
-		prog.Stop()
+	if ferr := gf.Finish("tmfuzz"); ferr != nil && err == nil {
+		err = ferr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -109,7 +107,7 @@ func fuzz(ctx context.Context, cfg config, out io.Writer) error {
 	ndOP := spec.NewNondet(spec.Opacity, cfg.threads, cfg.vars)
 	dtSS := spec.NewDet(spec.StrictSerializability, cfg.threads, cfg.vars)
 	dtOP := spec.NewDet(spec.Opacity, cfg.threads, cfg.vars)
-	g := guard.New(ctx, cfg.maxStates, 0)
+	g := guard.New(ctx, cfg.maxStates, cfg.maxMem)
 
 	fmt.Fprintf(out, "fuzzing specs vs oracles at (%d threads, %d vars), seed %d\n",
 		cfg.threads, cfg.vars, cfg.seed)

@@ -1,0 +1,26 @@
+package job
+
+import "tmcheck/internal/obs"
+
+// Events bridges the process-wide obs event bus to a front-end: it
+// enables the bus, subscribes with a buffer of buf events, and feeds
+// each event to fn on a dedicated goroutine. The returned stop
+// function unsubscribes and waits for the consumer to drain. Slow
+// consumers drop events (the bus never blocks an engine); fn must not
+// call back into the bus.
+func Events(buf int, fn func(obs.Event)) (stop func()) {
+	bus := obs.Events()
+	bus.SetEnabled(true)
+	sub := bus.Subscribe(buf)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for e := range sub.C {
+			fn(e)
+		}
+	}()
+	return func() {
+		bus.Unsubscribe(sub)
+		<-done
+	}
+}

@@ -1,7 +1,8 @@
-package main
+package job
 
-// Global flags, accepted by every subcommand and position-independent
-// (before or after the subcommand):
+// Global flags shared by the tmcheck and tmfuzz binaries, accepted by
+// every tmcheck subcommand and position-independent (before or after
+// the subcommand):
 //
 //	-workers N        worker count for the parallel engines (default
 //	                  GOMAXPROCS; 1 = exact sequential behavior)
@@ -27,6 +28,8 @@ package main
 //	-debug-addr ADDR  serve /vitals, /events (SSE) and /debug/pprof on
 //	                  ADDR (e.g. localhost:7077) for the duration of the
 //	                  command
+//	-remote ADDR      submit the job to a running tmcheckd at ADDR
+//	                  instead of checking in-process (tmcheck only)
 //
 // The JSON report (schema "tmcheck/stats/v1") is deterministic in its
 // counter and gauge values for a deterministic command, so reports from
@@ -39,14 +42,18 @@ package main
 // ("flight" in the JSON, a "flight recorder" section under -stats).
 
 import (
+	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"tmcheck/internal/guard"
@@ -55,21 +62,29 @@ import (
 	"tmcheck/internal/space"
 )
 
-// globalOpts holds the global flags extracted before subcommand
-// dispatch.
-type globalOpts struct {
-	workers      int
-	maxStates    int
-	timeout      time.Duration
-	maxMem       uint64
-	strictLimits bool
-	stats        bool
-	statsJSON    string
-	cpuProfile   string
-	memProfile   string
-	progress     bool
-	traceFile    string
-	debugAddr    string
+// Flags holds the global flags every front-end shares: resource
+// budgets, the telemetry surfaces, profiling, and the remote-submit
+// address. Fill it with Extract (position-independent parsing, the
+// tmcheck style) or Register (a flag.FlagSet, the tmfuzz style), then
+// drive the lifecycle: Install to set the process-wide knobs, Begin
+// before the command, Finish after.
+type Flags struct {
+	Workers      int
+	MaxStates    int
+	Timeout      time.Duration
+	MaxMem       uint64
+	StrictLimits bool
+	Stats        bool
+	StatsJSON    string
+	CPUProfile   string
+	MemProfile   string
+	Progress     bool
+	TraceFile    string
+	DebugAddr    string
+	Remote       string
+
+	// Prog names the binary in stderr messages; "" means "tmcheck".
+	Prog string
 
 	cpuFile    *os.File
 	progressUI *obs.Progress
@@ -78,16 +93,11 @@ type globalOpts struct {
 	debugSrv   *obs.DebugServer
 }
 
-// strictLimits mirrors the -strict-limits flag for the keep-going table
-// drivers: limited rows then fail the command instead of only being
-// reported.
-var strictLimits bool
-
-// extractGlobalFlags splits the global observability flags out of args,
-// wherever they appear, and returns the remaining arguments unchanged
-// and in order for the subcommand's own flag set.
-func extractGlobalFlags(args []string) (globalOpts, []string, error) {
-	var g globalOpts
+// Extract splits the global flags out of args, wherever they appear,
+// and returns the remaining arguments unchanged and in order for the
+// subcommand's own flag set.
+func Extract(args []string) (Flags, []string, error) {
+	var g Flags
 	rest := make([]string, 0, len(args))
 	for i := 0; i < len(args); i++ {
 		arg := args[i]
@@ -111,51 +121,53 @@ func extractGlobalFlags(args []string) (globalOpts, []string, error) {
 		case "workers":
 			var v string
 			if v, err = value(); err == nil {
-				g.workers, err = strconv.Atoi(v)
-				if err != nil || g.workers < 1 {
+				g.Workers, err = strconv.Atoi(v)
+				if err != nil || g.Workers < 1 {
 					err = fmt.Errorf("flag -workers needs a positive integer, got %q", v)
 				}
 			}
 		case "maxstates":
 			var v string
 			if v, err = value(); err == nil {
-				g.maxStates, err = strconv.Atoi(v)
-				if err != nil || g.maxStates < 1 {
+				g.MaxStates, err = strconv.Atoi(v)
+				if err != nil || g.MaxStates < 1 {
 					err = fmt.Errorf("flag -maxstates needs a positive integer, got %q", v)
 				}
 			}
 		case "timeout":
 			var v string
 			if v, err = value(); err == nil {
-				g.timeout, err = time.ParseDuration(v)
-				if err != nil || g.timeout <= 0 {
+				g.Timeout, err = time.ParseDuration(v)
+				if err != nil || g.Timeout <= 0 {
 					err = fmt.Errorf("flag -timeout needs a positive duration (e.g. 30s), got %q", v)
 				}
 			}
 		case "maxmem":
 			var v string
 			if v, err = value(); err == nil {
-				g.maxMem, err = guard.ParseBytes(v)
+				g.MaxMem, err = guard.ParseBytes(v)
 				if err != nil {
 					err = fmt.Errorf("flag -maxmem: %v", err)
 				}
 			}
 		case "strict-limits":
-			g.strictLimits = true
+			g.StrictLimits = true
 		case "stats":
-			g.stats = true
+			g.Stats = true
 		case "stats-json":
-			g.statsJSON, err = value()
+			g.StatsJSON, err = value()
 		case "cpuprofile":
-			g.cpuProfile, err = value()
+			g.CPUProfile, err = value()
 		case "memprofile":
-			g.memProfile, err = value()
+			g.MemProfile, err = value()
 		case "progress":
-			g.progress = true
+			g.Progress = true
 		case "trace":
-			g.traceFile, err = value()
+			g.TraceFile, err = value()
 		case "debug-addr":
-			g.debugAddr, err = value()
+			g.DebugAddr, err = value()
+		case "remote":
+			g.Remote, err = value()
 		default:
 			rest = append(rest, arg)
 		}
@@ -166,50 +178,114 @@ func extractGlobalFlags(args []string) (globalOpts, []string, error) {
 	return g, rest, nil
 }
 
-// begin installs the worker count, switches on the telemetry surfaces
-// that were asked for, and starts CPU profiling when requested. Call
-// finish afterwards.
-func (g *globalOpts) begin(command string) error {
-	if g.workers > 0 {
-		parbfs.SetWorkers(g.workers)
+// Register declares the shared budget and telemetry flags on fs — the
+// front door for binaries that parse a single flat flag set (tmfuzz).
+// The remote and strict-limits flags stay tmcheck-specific.
+func (g *Flags) Register(fs *flag.FlagSet) {
+	fs.IntVar(&g.MaxStates, "maxstates", 0, "state budget: stop after this many states in total (0 = unbounded)")
+	fs.DurationVar(&g.Timeout, "timeout", 0, "stop after this long (0 = no deadline)")
+	fs.Var(bytesFlag{&g.MaxMem}, "maxmem", "heap cap, e.g. 512m or 2g (0 = uncapped)")
+	fs.BoolVar(&g.Progress, "progress", false, "stream a live status line to stderr")
+	fs.BoolVar(&g.Stats, "stats", false, "print the instrumentation report to stderr")
+	fs.StringVar(&g.StatsJSON, "stats-json", "", "write the machine-readable report to `file` (\"-\" = stdout)")
+	fs.StringVar(&g.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to `file`")
+	fs.StringVar(&g.MemProfile, "memprofile", "", "write a pprof heap profile to `file`")
+	fs.StringVar(&g.TraceFile, "trace", "", "write a Chrome trace-event timeline to `file`")
+	fs.StringVar(&g.DebugAddr, "debug-addr", "", "serve /vitals, /events and /debug/pprof on `addr`")
+}
+
+// bytesFlag adapts guard.ParseBytes to the flag.Value interface.
+type bytesFlag struct{ v *uint64 }
+
+func (b bytesFlag) String() string {
+	if b.v == nil || *b.v == 0 {
+		return "0"
 	}
-	if g.maxStates > 0 {
-		space.SetMaxStates(g.maxStates)
+	return strconv.FormatUint(*b.v, 10)
+}
+
+func (b bytesFlag) Set(s string) error {
+	n, err := guard.ParseBytes(s)
+	if err != nil {
+		return err
 	}
-	if g.maxMem > 0 {
-		guard.SetMaxMem(g.maxMem)
+	*b.v = n
+	return nil
+}
+
+// Install publishes the resource flags to the process-wide knobs the
+// engines' default paths read: parbfs.Workers, space.MaxStates,
+// guard.MaxMem. Front-ends that scope budgets per job (tmcheckd, or
+// tmfuzz's cumulative spec-state budget) skip Install and put the
+// fields in the Spec or guard themselves.
+func (g *Flags) Install() {
+	if g.Workers > 0 {
+		parbfs.SetWorkers(g.Workers)
 	}
-	strictLimits = g.strictLimits
-	if g.progress || g.traceFile != "" || g.debugAddr != "" {
+	if g.MaxStates > 0 {
+		space.SetMaxStates(g.MaxStates)
+	}
+	if g.MaxMem > 0 {
+		guard.SetMaxMem(g.MaxMem)
+	}
+}
+
+// prog names the binary for stderr messages.
+func (g *Flags) prog() string {
+	if g.Prog == "" {
+		return "tmcheck"
+	}
+	return g.Prog
+}
+
+// SignalContext derives the command context: cancelled on SIGINT or
+// SIGTERM, and bounded by -timeout when one was given. The returned
+// stop releases both.
+func (g *Flags) SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+	if g.Timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, g.Timeout)
+	return ctx, func() {
+		cancel()
+		stop()
+	}
+}
+
+// Begin switches on the telemetry surfaces that were asked for and
+// starts CPU profiling when requested. Call Finish afterwards.
+func (g *Flags) Begin(command string) error {
+	if g.Progress || g.TraceFile != "" || g.DebugAddr != "" {
 		bus := obs.Events()
 		bus.SetEnabled(true)
-		if g.traceFile != "" {
-			f, err := os.Create(g.traceFile)
+		if g.TraceFile != "" {
+			f, err := os.Create(g.TraceFile)
 			if err != nil {
 				return err
 			}
 			g.traceF = f
 			g.traceW = obs.StartTrace(f, bus)
 		}
-		if g.progress {
+		if g.Progress {
 			g.progressUI = obs.StartProgress(os.Stderr, bus)
 		}
-		if g.debugAddr != "" {
-			srv, err := obs.StartDebugServer(g.debugAddr, bus, obs.Default())
+		if g.DebugAddr != "" {
+			srv, err := obs.StartDebugServer(g.DebugAddr, bus, obs.Default())
 			if err != nil {
 				return err
 			}
 			g.debugSrv = srv
-			fmt.Fprintf(os.Stderr, "tmcheck: debug server on http://%s (/vitals, /events, /debug/pprof)\n", srv.Addr)
+			fmt.Fprintf(os.Stderr, "%s: debug server on http://%s (/vitals, /events, /debug/pprof)\n", g.prog(), srv.Addr)
 		}
 		// Emitted after the trace writer subscribed, so the run span is
 		// the first event on every surface.
 		obs.Emit(obs.Event{Kind: obs.EvRunStart, Name: command})
 	}
-	if g.cpuProfile == "" {
+	if g.CPUProfile == "" {
 		return nil
 	}
-	f, err := os.Create(g.cpuProfile)
+	f, err := os.Create(g.CPUProfile)
 	if err != nil {
 		return err
 	}
@@ -221,9 +297,9 @@ func (g *globalOpts) begin(command string) error {
 	return nil
 }
 
-// finish tears the telemetry surfaces down, stops profiling, and emits
+// Finish tears the telemetry surfaces down, stops profiling, and emits
 // the requested reports for the command that just ran.
-func (g *globalOpts) finish(command string) error {
+func (g *Flags) Finish(command string) error {
 	if obs.EventsEnabled() {
 		obs.Emit(obs.Event{Kind: obs.EvRunDone, Name: command})
 	}
@@ -248,8 +324,8 @@ func (g *globalOpts) finish(command string) error {
 			return err
 		}
 	}
-	if g.memProfile != "" {
-		f, err := os.Create(g.memProfile)
+	if g.MemProfile != "" {
+		f, err := os.Create(g.MemProfile)
 		if err != nil {
 			return err
 		}
@@ -262,12 +338,12 @@ func (g *globalOpts) finish(command string) error {
 			return err
 		}
 	}
-	if g.statsJSON != "" {
-		if err := writeStatsJSON(g.statsJSON, command); err != nil {
+	if g.StatsJSON != "" {
+		if err := WriteStatsJSON(g.StatsJSON, command); err != nil {
 			return err
 		}
 	}
-	if g.stats {
+	if g.Stats {
 		fmt.Fprint(os.Stderr, obs.Default().Text())
 		if evs, dropped, limited := obs.Events().Flight(flightDepth); limited {
 			fmt.Fprintf(os.Stderr, "flight recorder (last %d event(s), %d dropped):\n%s",
@@ -281,18 +357,20 @@ func (g *globalOpts) finish(command string) error {
 // carries.
 const flightDepth = 64
 
-// statsReport snapshots the registry and attaches the flight-recorder
+// StatsReport snapshots the registry and attaches the flight-recorder
 // dump when a limit or panic was captured on the bus. With telemetry
 // off — or a limit-free run — the report is exactly the registry
 // snapshot.
-func statsReport(command string) obs.Report {
+func StatsReport(command string) obs.Report {
 	rep := obs.Default().Snapshot(command)
 	rep.AttachFlight(obs.Events(), flightDepth)
 	return rep
 }
 
-func writeStatsJSON(path, command string) error {
-	rep := statsReport(command)
+// WriteStatsJSON writes the stats report for command to path ("-" =
+// stdout), pretty-printed.
+func WriteStatsJSON(path, command string) error {
+	rep := StatsReport(command)
 	if path == "-" {
 		return encodeReport(os.Stdout, rep)
 	}

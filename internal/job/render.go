@@ -1,0 +1,184 @@
+package job
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tmcheck/internal/core"
+	"tmcheck/internal/guard"
+	"tmcheck/internal/liveness"
+	"tmcheck/internal/safety"
+)
+
+// render.go turns a Result back into the CLI's exact output. The
+// renderers consume only Result fields, so a Result decoded from the
+// wire renders byte-for-byte what the local run printed — the property
+// the tmcheck-vs-tmcheck-remote equivalence test pins.
+
+// Render writes the job's verdict report to w in the CLI's format.
+func (r *Result) Render(w io.Writer) {
+	switch r.Spec.Kind {
+	case KindSafety:
+		r.renderSafety(w)
+	case KindLiveness:
+		r.renderLiveness(w)
+	case KindTable2:
+		r.renderTable2(w)
+	case KindTable3:
+		r.renderTable3(w)
+	}
+}
+
+// round renders a stored nanosecond count the way the CLI rounds
+// durations.
+func round(ns int64) time.Duration {
+	return time.Duration(ns).Round(10 * time.Microsecond)
+}
+
+// verdictOf formats one table2 cell.
+func verdictOf(c Check) string {
+	if c.Limit != nil {
+		return fmt.Sprintf("LIMIT(%s)", guard.Kind(c.Limit.Kind).Label())
+	}
+	if c.Holds {
+		return fmt.Sprintf("Y, %v", round(c.ElapsedNS))
+	}
+	return fmt.Sprintf("N, %v", round(c.ElapsedNS))
+}
+
+// fprintCex prints a safety counterexample line when the check found
+// one.
+func fprintCex(w io.Writer, c Check) {
+	if c.Limit == nil && !c.Holds {
+		fmt.Fprintf(w, "    counterexample (%v): %s\n", safetyProp(c.Prop), c.Counterexample)
+	}
+}
+
+// liveVerdictOf formats one table3 cell.
+func liveVerdictOf(c Check) string {
+	if c.Limit != nil {
+		return fmt.Sprintf("LIMIT(%s)", guard.Kind(c.Limit.Kind).Label())
+	}
+	if c.Holds {
+		return fmt.Sprintf("Y, %v", round(c.ElapsedNS))
+	}
+	return fmt.Sprintf("N, loop %s", c.LoopWord)
+}
+
+// livenessProp maps a Check.Prop key back onto the liveness property.
+func livenessProp(key string) liveness.Prop {
+	switch key {
+	case "obstruction":
+		return liveness.ObstructionFreedom
+	case "livelock":
+		return liveness.LivelockFreedom
+	}
+	return liveness.WaitFreedom
+}
+
+func (r *Result) renderTable2(w io.Writer) {
+	fmt.Fprintf(w, "Table 2: safety verdicts on the most general program (%d threads, %d variables)\n",
+		r.Spec.Threads, r.Spec.Vars)
+	fmt.Fprintf(w, "%-15s %8s  %-22s %-22s\n", "TM", "size", "L(A) ⊆ L(Σss)", "L(A) ⊆ L(Σop)")
+	for i := 0; i+1 < len(r.Checks); i += 2 {
+		ss, op := r.Checks[i], r.Checks[i+1]
+		fmt.Fprintf(w, "%-15s %8d  %-22s %-22s\n", ss.System, ss.TMStates,
+			verdictOf(ss), verdictOf(op))
+		fprintCex(w, ss)
+		if ss.Holds || op.Holds {
+			fprintCex(w, op)
+		}
+	}
+}
+
+func (r *Result) renderTable3(w io.Writer) {
+	fmt.Fprintf(w, "Table 3: liveness verdicts on the most general program (%d threads, %d variables)\n",
+		r.Spec.Threads, r.Spec.Vars)
+	fmt.Fprintf(w, "%-18s %6s  %-30s %-30s\n", "TM algorithm", "size", "obstruction freedom", "livelock freedom")
+	for i := 0; i+2 < len(r.Checks); i += 3 {
+		ob, lk := r.Checks[i], r.Checks[i+1]
+		fmt.Fprintf(w, "%-18s %6d  %-30s %-30s\n", ob.System, ob.TMStates,
+			liveVerdictOf(ob), liveVerdictOf(lk))
+	}
+	fmt.Fprintln(w, "(wait freedom fails for every system; it implies livelock freedom)")
+	if r.Spec.Engine == "onthefly" {
+		fmt.Fprintln(w, "(size = states constructed at the obstruction verdict; -engine materialized reports full systems)")
+	}
+}
+
+func (r *Result) renderSafety(w io.Writer) {
+	if len(r.Checks) == 0 {
+		return
+	}
+	c := r.Checks[0]
+	fmt.Fprintf(w, "system:         %s\n", c.System)
+	fmt.Fprintf(w, "property:       %v (%d threads, %d variables)\n", safetyProp(c.Prop), c.Threads, c.Vars)
+	fmt.Fprintf(w, "engine:         %s\n", c.Engine)
+	fmt.Fprintf(w, "TM states:      %d\n", c.TMStates)
+	fmt.Fprintf(w, "spec states:    %d\n", c.SpecStates)
+	if c.Engine == "onthefly" {
+		fmt.Fprintf(w, "product pairs:  %d\n", c.Pairs)
+		fmt.Fprintf(w, "peak frontier:  %d\n", c.FrontierPeak)
+	} else {
+		fmt.Fprintf(w, "build TM:       %v\n", round(c.BuildTMNS))
+		fmt.Fprintf(w, "build spec:     %v\n", round(c.BuildSpecNS))
+	}
+	if c.Holds {
+		fmt.Fprintf(w, "verdict:        SAFE (inclusion holds, %v)\n", round(c.ElapsedNS))
+	} else {
+		fmt.Fprintf(w, "verdict:        UNSAFE (%v)\n", round(c.ElapsedNS))
+		fmt.Fprintf(w, "counterexample: %s\n", c.Counterexample)
+		fmt.Fprintln(w)
+		fmt.Fprint(w, safety.Explain(c.toSafetyResult()))
+	}
+}
+
+// toSafetyResult rebuilds the slice of a safety.Result that
+// safety.Explain consumes, reparsing the counterexample word from its
+// paper notation (which round-trips exactly).
+func (c Check) toSafetyResult() safety.Result {
+	res := safety.Result{
+		System:  c.System,
+		Prop:    safetyProp(c.Prop),
+		Threads: c.Threads,
+		Vars:    c.Vars,
+		Holds:   c.Holds,
+	}
+	if c.Counterexample != "" {
+		if wd, err := core.ParseWord(c.Counterexample); err == nil {
+			res.Counterexample = wd
+		}
+	}
+	return res
+}
+
+func (r *Result) renderLiveness(w io.Writer) {
+	if len(r.Checks) == 0 {
+		return
+	}
+	if r.Spec.Engine == "onthefly" {
+		constructed := 0
+		for _, c := range r.Checks {
+			if c.TMStates > constructed {
+				constructed = c.TMStates
+			}
+		}
+		fmt.Fprintf(w, "system: %s (%s engine, %d states constructed)\n",
+			r.Checks[0].System, r.Spec.Engine, constructed)
+	} else {
+		fmt.Fprintf(w, "system: %s (%d states, built in %v)\n",
+			r.Checks[0].System, r.Checks[0].TMStates, round(r.Checks[0].BuildTMNS))
+	}
+	for _, c := range r.Checks {
+		if c.Holds {
+			fmt.Fprintf(w, "%-22s HOLDS (%v)\n", livenessProp(c.Prop).String()+":", round(c.ElapsedNS))
+		} else {
+			fmt.Fprintf(w, "%-22s FAILS, loop: %s\n", livenessProp(c.Prop).String()+":", c.LoopWord)
+		}
+		if r.Spec.Engine == "onthefly" {
+			fmt.Fprintf(w, "%-22s %d of %d states expanded, %d probes\n",
+				"", c.Expanded, c.TMStates, c.Probes)
+		}
+	}
+}

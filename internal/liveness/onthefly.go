@@ -77,10 +77,31 @@ type Options struct {
 	// space.MaxStates(), where 0 means unbounded. A blown budget fails
 	// the check with a *space.BudgetError.
 	MaxStates int
+	// MaxMem is the heap cap in bytes; 0 takes the process-wide
+	// guard.MaxMem(), where 0 means uncapped.
+	MaxMem uint64
 	// Ctx carries the check's deadline and cancellation; nil means no
 	// deadline. The scan consults it at the same points where it checks
 	// the state budget.
 	Ctx context.Context
+	// NoPhases suppresses the obs phase spans (the phase stack assumes a
+	// single-threaded spine); counters and bus events still record.
+	// Front-ends running checks concurrently (tmcheckd) set it.
+	NoPhases bool
+}
+
+// guard builds one check's guard from the options, resolving unset
+// budgets from the process-wide knobs.
+func (opts Options) guard() *guard.Guard {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = space.MaxStates()
+	}
+	maxMem := opts.MaxMem
+	if maxMem == 0 {
+		maxMem = guard.MaxMem()
+	}
+	return guard.New(opts.Ctx, maxStates, maxMem)
 }
 
 // CheckOnTheFly checks one liveness property with the on-the-fly engine
@@ -96,11 +117,7 @@ func CheckOnTheFlyOpts(alg tm.Algorithm, cm tm.ContentionManager, p Prop, opts O
 	if workers <= 0 {
 		workers = parbfs.Workers()
 	}
-	maxStates := opts.MaxStates
-	if maxStates <= 0 {
-		maxStates = space.MaxStates()
-	}
-	res, err := checkLazy(alg, cm, []Prop{p}, workers, guard.Process(opts.Ctx, maxStates), true)
+	res, err := checkLazy(alg, cm, []Prop{p}, workers, opts.guard(), !opts.NoPhases)
 	if err != nil {
 		if len(res) == 1 {
 			// Partial outcome: the property may have resolved (a real
@@ -127,11 +144,7 @@ func CheckAllOnTheFlyOpts(alg tm.Algorithm, cm tm.ContentionManager, opts Option
 	if workers <= 0 {
 		workers = parbfs.Workers()
 	}
-	maxStates := opts.MaxStates
-	if maxStates <= 0 {
-		maxStates = space.MaxStates()
-	}
-	res, err := checkLazy(alg, cm, Props, workers, guard.Process(opts.Ctx, maxStates), true)
+	res, err := checkLazy(alg, cm, Props, workers, opts.guard(), !opts.NoPhases)
 	if err != nil {
 		if len(res) == 3 {
 			// Partial outcome: resolved properties keep their violations,

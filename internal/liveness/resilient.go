@@ -21,30 +21,44 @@ import (
 // unresolved properties with Result.Limit; with the materialized
 // engine a limited build marks all three.
 func Table3Resilient(ctx context.Context, systems []System, engine space.Engine) []Table3Row {
-	workers := parbfs.Workers()
+	return Table3ResilientOpts(systems, engine, Options{Ctx: ctx})
+}
+
+// Table3ResilientOpts is Table3Resilient with explicit options: unset
+// budgets resolve from the process-wide knobs (so the CLI path is
+// unchanged), while a fully-specified Options scopes every limit to
+// this table — the tmcheckd path, which also sets NoPhases because it
+// runs tables concurrently.
+func Table3ResilientOpts(systems []System, engine space.Engine, opts Options) []Table3Row {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = parbfs.Workers()
+	}
 	if workers > 1 && len(systems) > 1 {
-		phase := "liveness:table3-onthefly-parallel"
-		if engine == space.EngineMaterialized {
-			phase = "liveness:table3-parallel"
+		if !opts.NoPhases {
+			phase := "liveness:table3-onthefly-parallel"
+			if engine == space.EngineMaterialized {
+				phase = "liveness:table3-parallel"
+			}
+			done := obs.Phase(phase)
+			defer done()
 		}
-		done := obs.Phase(phase)
-		defer done()
 		rows := make([]Table3Row, len(systems))
 		parbfs.For(len(systems), workers, func(i int) {
-			rows[i] = table3ResilientRow(ctx, systems[i], engine, false)
+			rows[i] = table3ResilientRow(systems[i], engine, false, opts)
 		})
 		return rows
 	}
 	rows := make([]Table3Row, 0, len(systems))
 	for _, sys := range systems {
-		rows = append(rows, table3ResilientRow(ctx, sys, engine, true))
+		rows = append(rows, table3ResilientRow(sys, engine, !opts.NoPhases, opts))
 	}
 	return rows
 }
 
 // table3ResilientRow runs one guarded row with the selected engine.
-func table3ResilientRow(ctx context.Context, sys System, engine space.Engine, phase bool) Table3Row {
-	g := guard.Process(ctx, space.MaxStates())
+func table3ResilientRow(sys System, engine space.Engine, phase bool, opts Options) Table3Row {
+	g := opts.guard()
 	if engine == space.EngineOnTheFly {
 		res, err := checkLazy(sys.Alg, sys.CM, Props, 1, g, phase)
 		if err != nil && len(res) != 3 {

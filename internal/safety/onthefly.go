@@ -50,12 +50,33 @@ type Options struct {
 	// <= 0 takes the process-wide space.MaxStates(), where 0 means
 	// unbounded.
 	MaxStates int
+	// MaxMem is the heap cap in bytes; 0 takes the process-wide
+	// guard.MaxMem(), where 0 means uncapped.
+	MaxMem uint64
 	// Engine selects the pipeline; the zero value is EngineMaterialized.
 	Engine Engine
 	// Ctx carries the check's deadline and cancellation; nil means no
 	// deadline. The engines consult it at the same points where they
 	// check the state budget.
 	Ctx context.Context
+	// NoPhases suppresses the obs phase spans (the phase stack assumes a
+	// single-threaded spine); counters and bus events still record.
+	// Front-ends running checks concurrently (tmcheckd) set it.
+	NoPhases bool
+}
+
+// guard builds one check's guard from the options, resolving unset
+// budgets from the process-wide knobs.
+func (opts Options) guard() *guard.Guard {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = space.MaxStates()
+	}
+	maxMem := opts.MaxMem
+	if maxMem == 0 {
+		maxMem = guard.MaxMem()
+	}
+	return guard.New(opts.Ctx, maxStates, maxMem)
 }
 
 // VerifyOpts checks L(alg×cm) ⊆ L(Σd prop) with the selected engine.
@@ -78,15 +99,11 @@ func VerifyOpts(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, o
 	if workers <= 0 {
 		workers = parbfs.Workers()
 	}
-	maxStates := opts.MaxStates
-	if maxStates <= 0 {
-		maxStates = space.MaxStates()
-	}
-	g := guard.Process(opts.Ctx, maxStates)
+	g := opts.guard()
 	if opts.Engine == EngineOnTheFly {
-		return checkOnTheFly(alg, cm, prop, workers, g, true)
+		return checkOnTheFly(alg, cm, prop, workers, g, !opts.NoPhases)
 	}
-	return verifyMaterialized(alg, cm, prop, workers, g)
+	return verifyMaterialized(alg, cm, prop, workers, g, !opts.NoPhases)
 }
 
 // CheckOnTheFly verifies the TM with the on-the-fly engine at the
@@ -128,7 +145,9 @@ func checkEvents(name string) func(res Result, err error) {
 // through its three stages; the state budget of each stage is charged
 // against what the previous stages already constructed (the context
 // and heap watchdog are shared across all three unchanged).
-func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, workers int, g *guard.Guard) (res Result, err error) {
+// phase=false suppresses the obs span for callers off the
+// single-threaded spine.
+func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, workers int, g *guard.Guard, phase bool) (res Result, err error) {
 	fin := checkEvents("dfa:" + systemName(alg, cm) + ":" + prop.Key())
 	defer func() { fin(res, err) }()
 	maxStates := g.MaxStates()
@@ -158,7 +177,10 @@ func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Pro
 			return Result{}, &space.BudgetError{Budget: maxStates, Visited: ts.NumStates() + dfa.NumStates() + 1}
 		}
 	}
-	done := obs.Phase("inclusion:" + ts.Name() + ":" + prop.Key())
+	done := func() {}
+	if phase {
+		done = obs.Phase("inclusion:" + ts.Name() + ":" + prop.Key())
+	}
 	nfa := ts.DenseNFA()
 	start := time.Now()
 	ok, cexLetters, st, err := automata.IncludedInDFADenseGuarded(nfa, dfa, g.WithStates(remaining))

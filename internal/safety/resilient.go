@@ -23,14 +23,26 @@ import (
 // table. The remaining checks still run, so one oversized or broken
 // system costs its own rows and nothing else.
 func Table2Resilient(ctx context.Context, systems []System, engine Engine) []Table2Row {
-	workers := parbfs.Workers()
+	return Table2ResilientOpts(systems, engine, Options{Ctx: ctx})
+}
+
+// Table2ResilientOpts is Table2Resilient with explicit options: unset
+// budgets resolve from the process-wide knobs (so the CLI path is
+// unchanged), while a fully-specified Options scopes every limit to
+// this table — the tmcheckd path, which also sets NoPhases because it
+// runs tables concurrently.
+func Table2ResilientOpts(systems []System, engine Engine, opts Options) []Table2Row {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = parbfs.Workers()
+	}
 	if engine == EngineOnTheFly {
 		if workers > 1 && len(systems) > 1 {
-			return table2ResilientOTFPar(ctx, systems, workers)
+			return table2ResilientOTFPar(systems, workers, opts)
 		}
-		return table2ResilientOTFSeq(ctx, systems)
+		return table2ResilientOTFSeq(systems, opts)
 	}
-	return table2ResilientMat(ctx, systems, workers)
+	return table2ResilientMat(systems, workers, opts)
 }
 
 // limitedResult wraps a check-stopping error into a row-renderable
@@ -85,14 +97,14 @@ func resilientCheck(run func() (Result, error), alg tm.Algorithm, cm tm.Contenti
 // table2ResilientOTFSeq checks the systems with the sequential
 // on-the-fly engine, one guarded check at a time, with the same obs
 // phase names as the fail-fast driver.
-func table2ResilientOTFSeq(ctx context.Context, systems []System) []Table2Row {
+func table2ResilientOTFSeq(systems []System, opts Options) []Table2Row {
 	rows := make([]Table2Row, 0, len(systems))
 	for _, sys := range systems {
 		row := Table2Row{}
 		for _, prop := range []spec.Property{spec.StrictSerializability, spec.Opacity} {
 			prop := prop
 			res := resilientCheck(func() (Result, error) {
-				return checkOnTheFly(sys.Alg, sys.CM, prop, 1, guard.Process(ctx, space.MaxStates()), true)
+				return checkOnTheFly(sys.Alg, sys.CM, prop, 1, opts.guard(), !opts.NoPhases)
 			}, sys.Alg, sys.CM, prop, EngineOnTheFly)
 			if prop == spec.StrictSerializability {
 				row.SS = res
@@ -108,17 +120,19 @@ func table2ResilientOTFSeq(ctx context.Context, systems []System) []Table2Row {
 // table2ResilientOTFPar fans the rows out over the worker pool;
 // per-row obs phases are skipped (the phase stack assumes a
 // single-threaded spine), matching the fail-fast parallel driver.
-func table2ResilientOTFPar(ctx context.Context, systems []System, workers int) []Table2Row {
-	done := obs.Phase("safety:table2-onthefly-parallel")
-	defer done()
+func table2ResilientOTFPar(systems []System, workers int, opts Options) []Table2Row {
+	if !opts.NoPhases {
+		done := obs.Phase("safety:table2-onthefly-parallel")
+		defer done()
+	}
 	rows := make([]Table2Row, len(systems))
 	parbfs.For(len(systems), workers, func(i int) {
 		sys := systems[i]
 		ss := resilientCheck(func() (Result, error) {
-			return checkOnTheFly(sys.Alg, sys.CM, spec.StrictSerializability, 1, guard.Process(ctx, space.MaxStates()), false)
+			return checkOnTheFly(sys.Alg, sys.CM, spec.StrictSerializability, 1, opts.guard(), false)
 		}, sys.Alg, sys.CM, spec.StrictSerializability, EngineOnTheFly)
 		op := resilientCheck(func() (Result, error) {
-			return checkOnTheFly(sys.Alg, sys.CM, spec.Opacity, 1, guard.Process(ctx, space.MaxStates()), false)
+			return checkOnTheFly(sys.Alg, sys.CM, spec.Opacity, 1, opts.guard(), false)
 		}, sys.Alg, sys.CM, spec.Opacity, EngineOnTheFly)
 		rows[i] = Table2Row{SS: ss, OP: op}
 	})
@@ -134,19 +148,33 @@ func table2ResilientOTFPar(ctx context.Context, systems []System, workers int) [
 // through the per-check staged pipeline instead (each check charges
 // its own TM build, spec enumeration, and inclusion), matching the
 // historical budgeted semantics.
-func table2ResilientMat(ctx context.Context, systems []System, workers int) []Table2Row {
-	if space.MaxStates() > 0 {
+func table2ResilientMat(systems []System, workers int, opts Options) []Table2Row {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = space.MaxStates()
+	}
+	if maxStates > 0 {
+		perCheck := opts
+		perCheck.Engine = EngineMaterialized
 		rows := make([]Table2Row, 0, len(systems))
 		for _, sys := range systems {
 			ss := resilientCheck(func() (Result, error) {
-				return VerifyOpts(sys.Alg, sys.CM, spec.StrictSerializability, Options{Engine: EngineMaterialized, Ctx: ctx})
+				return VerifyOpts(sys.Alg, sys.CM, spec.StrictSerializability, perCheck)
 			}, sys.Alg, sys.CM, spec.StrictSerializability, EngineMaterialized)
 			op := resilientCheck(func() (Result, error) {
-				return VerifyOpts(sys.Alg, sys.CM, spec.Opacity, Options{Engine: EngineMaterialized, Ctx: ctx})
+				return VerifyOpts(sys.Alg, sys.CM, spec.Opacity, perCheck)
 			}, sys.Alg, sys.CM, spec.Opacity, EngineMaterialized)
 			rows = append(rows, Table2Row{SS: ss, OP: op})
 		}
 		return rows
+	}
+	// Unbudgeted from here on: opts.guard() carries a zero state budget
+	// (plus the context and heap watchdog) through every stage.
+	pf := func(name string) func() {
+		if opts.NoPhases {
+			return func() {}
+		}
+		return obs.Phase(name)
 	}
 
 	type dfaKey struct {
@@ -162,10 +190,10 @@ func table2ResilientMat(ctx context.Context, systems []System, workers int) []Ta
 		if d, ok := dfas[k2]; ok {
 			return d, 0, nil
 		}
-		done := obs.Phase("build-spec:" + prop.Key())
+		done := pf("build-spec:" + prop.Key())
 		defer done()
 		start := time.Now()
-		d, err := spec.NewDet(prop, n, k).EnumerateGuarded(workers, guard.Process(ctx, 0))
+		d, err := spec.NewDet(prop, n, k).EnumerateGuarded(workers, opts.guard())
 		if err != nil {
 			return nil, time.Since(start), err
 		}
@@ -176,10 +204,10 @@ func table2ResilientMat(ctx context.Context, systems []System, workers int) []Ta
 	rows := make([]Table2Row, 0, len(systems))
 	for _, sys := range systems {
 		name := systemName(sys.Alg, sys.CM)
-		doneSys := obs.Phase("safety:" + name)
-		doneBuild := obs.Phase("build-tm")
+		doneSys := pf("safety:" + name)
+		doneBuild := pf("build-tm")
 		buildStart := time.Now()
-		ts, buildErr := explore.BuildGuarded(sys.Alg, sys.CM, workers, guard.Process(ctx, 0))
+		ts, buildErr := explore.BuildGuarded(sys.Alg, sys.CM, workers, opts.guard())
 		buildElapsed := time.Since(buildStart)
 		doneBuild()
 		if buildErr != nil {
@@ -201,7 +229,7 @@ func table2ResilientMat(ctx context.Context, systems []System, workers int) []Ta
 				if err != nil {
 					return Result{}, err
 				}
-				res, err := checkAgainstDFAGuarded(ts, prop, dfa, guard.Process(ctx, 0), true)
+				res, err := checkAgainstDFAGuarded(ts, prop, dfa, opts.guard(), !opts.NoPhases)
 				if err != nil {
 					return Result{}, err
 				}

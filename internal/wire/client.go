@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"tmcheck/internal/job"
+)
+
+// Client multiplexes job submissions over one connection to tmcheckd.
+// A background reader demultiplexes frames by request id, auto-acks
+// server heartbeats, and fans progress frames out to the submitting
+// calls; Run is safe to call from many goroutines.
+type Client struct {
+	conn   *Conn
+	closer io.Closer
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*pendingReq
+	readErr error
+	done    chan struct{}
+}
+
+// pendingReq is one in-flight Run call.
+type pendingReq struct {
+	onProgress func(Progress)
+	result     chan ResultMsg
+}
+
+// Dial connects to a tmcheckd at addr (TCP).
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection and starts the reader.
+func NewClient(rwc io.ReadWriteCloser) *Client {
+	c := &Client{
+		conn:    NewConn(rwc),
+		closer:  rwc,
+		pending: make(map[uint64]*pendingReq),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Close tears the connection down; in-flight Runs return the read
+// error. The server cancels this connection's running jobs.
+func (c *Client) Close() error {
+	return c.closer.Close()
+}
+
+// readLoop demultiplexes incoming frames until the connection dies.
+func (c *Client) readLoop() {
+	for {
+		reqID, m, err := c.conn.Read()
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.mu.Unlock()
+			close(c.done)
+			return
+		}
+		switch m := m.(type) {
+		case Heartbeat:
+			// Ack on the shared writer; a failed ack will surface as a
+			// read error when the server drops us.
+			_ = c.conn.Write(0, HeartbeatAck{SentNS: m.SentNS})
+		case Progress:
+			c.mu.Lock()
+			req := c.pending[reqID]
+			c.mu.Unlock()
+			if req != nil && req.onProgress != nil {
+				req.onProgress(m)
+			}
+		case ResultMsg:
+			c.deliver(reqID, m)
+		case ErrorMsg:
+			c.deliver(reqID, ResultMsg{ErrMsg: m.Msg})
+		case Accepted:
+			// Admission is informational; Run only waits for the Result.
+		}
+	}
+}
+
+// deliver resolves one pending request.
+func (c *Client) deliver(reqID uint64, m ResultMsg) {
+	c.mu.Lock()
+	req := c.pending[reqID]
+	delete(c.pending, reqID)
+	c.mu.Unlock()
+	if req != nil {
+		req.result <- m
+	}
+}
+
+// err reports why the connection died.
+func (c *Client) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr != nil {
+		return fmt.Errorf("wire: connection lost: %w", c.readErr)
+	}
+	return fmt.Errorf("wire: connection closed")
+}
+
+// Run submits sp and blocks until the server answers with the job's
+// Result. onProgress (optional) receives each streamed progress frame
+// on the reader goroutine. Cancelling ctx sends a Cancel and still
+// waits for the Result — the server stops the job at its next guard
+// barrier and reports what it reached, so a cancelled Run returns the
+// partial Result plus the reconstructed cancellation error.
+func (c *Client) Run(ctx context.Context, sp job.Spec, onProgress func(Progress)) (*job.Result, error) {
+	c.mu.Lock()
+	if c.readErr != nil {
+		c.mu.Unlock()
+		return nil, c.err()
+	}
+	c.nextID++
+	id := c.nextID
+	req := &pendingReq{onProgress: onProgress, result: make(chan ResultMsg, 1)}
+	c.pending[id] = req
+	c.mu.Unlock()
+
+	if err := c.conn.Write(id, Submit{Spec: sp}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	cancelSent := false
+	for {
+		select {
+		case m := <-req.result:
+			var err error
+			if m.ErrMsg != "" {
+				err = job.ReconstructError(m.ErrMsg, m.Limit)
+			}
+			return m.Result, err
+		case <-ctx.Done():
+			if !cancelSent {
+				cancelSent = true
+				// Best effort: if the write fails the connection is dying
+				// and c.done fires next.
+				_ = c.conn.Write(id, Cancel{})
+			}
+			// Keep waiting for the Result the cancel provokes.
+			ctx = context.Background()
+		case <-c.done:
+			c.mu.Lock()
+			delete(c.pending, id)
+			c.mu.Unlock()
+			return nil, c.err()
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package wire
+
+import (
+	"time"
+
+	"tmcheck/internal/job"
+)
+
+// Message type bytes. The zero byte is reserved (it is the most likely
+// corruption value).
+const (
+	tSubmit       = 1 // client → server: run this Spec
+	tCancel       = 2 // client → server: stop the request's job
+	tHeartbeat    = 3 // server → client: liveness probe
+	tHeartbeatAck = 4 // client → server: heartbeat echo
+	tAccepted     = 5 // server → client: job admitted to the pool
+	tProgress     = 6 // server → client: throttled engine vitals
+	tResult       = 7 // server → client: the job's Result (or error)
+	tError        = 8 // server → client: protocol-level failure
+)
+
+// Msg is one protocol message; the concrete types below are the full
+// vocabulary.
+type Msg interface {
+	msgType() byte
+	appendBody(b []byte) []byte
+}
+
+// Submit asks the server to run one job.
+type Submit struct {
+	Spec job.Spec
+}
+
+// Cancel asks the server to stop the request's running job; the server
+// still answers with a Result (carrying the cancelled limit).
+type Cancel struct{}
+
+// Heartbeat is the server's liveness probe; clients echo it back as
+// HeartbeatAck. SentNS is an opaque timestamp the server chose.
+type Heartbeat struct {
+	SentNS int64
+}
+
+// HeartbeatAck echoes a Heartbeat.
+type HeartbeatAck struct {
+	SentNS int64
+}
+
+// Accepted acknowledges a Submit: the job is admitted (it may still
+// wait for a pool slot). Running reports the jobs running or queued
+// ahead of it at admission.
+type Accepted struct {
+	Running int
+}
+
+// Progress is one throttled vitals frame from the engines' event bus:
+// Name identifies the check phase emitting it, States/Frontier/Level
+// mirror the bus event, HeapBytes samples the server heap.
+type Progress struct {
+	Name      string
+	States    int64
+	Frontier  int64
+	Level     int32
+	HeapBytes uint64
+	Detail    string
+}
+
+// ResultMsg closes a request: the job's Result when it ran (even
+// cancelled or limited table jobs carry one), ErrMsg when it failed
+// fail-fast, and Limit the typed limit behind ErrMsg when there is
+// one, so the client reconstructs errors.Is-compatible errors.
+type ResultMsg struct {
+	Result *job.Result
+	ErrMsg string
+	Limit  *job.Limit
+}
+
+// ErrorMsg reports a request-independent protocol failure (malformed
+// spec, server draining); the connection stays usable.
+type ErrorMsg struct {
+	Msg string
+}
+
+func (Submit) msgType() byte       { return tSubmit }
+func (Cancel) msgType() byte       { return tCancel }
+func (Heartbeat) msgType() byte    { return tHeartbeat }
+func (HeartbeatAck) msgType() byte { return tHeartbeatAck }
+func (Accepted) msgType() byte     { return tAccepted }
+func (Progress) msgType() byte     { return tProgress }
+func (ResultMsg) msgType() byte    { return tResult }
+func (ErrorMsg) msgType() byte     { return tError }
+
+func (m Submit) appendBody(b []byte) []byte {
+	return appendSpec(b, m.Spec)
+}
+
+func (Cancel) appendBody(b []byte) []byte { return b }
+
+func (m Heartbeat) appendBody(b []byte) []byte {
+	return appendVarint(b, m.SentNS)
+}
+
+func (m HeartbeatAck) appendBody(b []byte) []byte {
+	return appendVarint(b, m.SentNS)
+}
+
+func (m Accepted) appendBody(b []byte) []byte {
+	return appendVarint(b, int64(m.Running))
+}
+
+func (m Progress) appendBody(b []byte) []byte {
+	b = appendString(b, m.Name)
+	b = appendVarint(b, m.States)
+	b = appendVarint(b, m.Frontier)
+	b = appendVarint(b, int64(m.Level))
+	b = appendUvarint(b, m.HeapBytes)
+	return appendString(b, m.Detail)
+}
+
+func decodeProgress(d *dec) Progress {
+	var m Progress
+	m.Name = d.str()
+	m.States = d.varint()
+	m.Frontier = d.varint()
+	m.Level = int32(d.varint())
+	m.HeapBytes = d.uvarint()
+	m.Detail = d.str()
+	return m
+}
+
+func (m ResultMsg) appendBody(b []byte) []byte {
+	b = appendString(b, m.ErrMsg)
+	b = appendLimit(b, m.Limit)
+	if m.Result == nil {
+		return appendBool(b, false)
+	}
+	b = appendBool(b, true)
+	return appendResult(b, m.Result)
+}
+
+func decodeResult(d *dec) ResultMsg {
+	var m ResultMsg
+	m.ErrMsg = d.str()
+	m.Limit = decodeLimit(d)
+	if d.bool_() {
+		m.Result = decodeResultBody(d)
+	}
+	return m
+}
+
+func (m ErrorMsg) appendBody(b []byte) []byte {
+	return appendString(b, m.Msg)
+}
+
+// ---- job.Spec ----
+
+func appendSpec(b []byte, s job.Spec) []byte {
+	b = append(b, byte(s.Kind))
+	b = appendString(b, s.TM)
+	b = appendString(b, s.CM)
+	b = appendString(b, s.Prop)
+	b = appendString(b, s.Engine)
+	b = appendVarint(b, int64(s.Threads))
+	b = appendVarint(b, int64(s.Vars))
+	b = appendBool(b, s.Ext)
+	b = appendVarint(b, int64(s.Workers))
+	b = appendVarint(b, int64(s.MaxStates))
+	b = appendVarint(b, int64(s.Timeout))
+	return appendUvarint(b, s.MaxMem)
+}
+
+func decodeSpec(d *dec) job.Spec {
+	var s job.Spec
+	s.Kind = job.Kind(d.byte_())
+	s.TM = d.str()
+	s.CM = d.str()
+	s.Prop = d.str()
+	s.Engine = d.str()
+	s.Threads = d.int_()
+	s.Vars = d.int_()
+	s.Ext = d.bool_()
+	s.Workers = d.int_()
+	s.MaxStates = d.int_()
+	s.Timeout = time.Duration(d.varint())
+	s.MaxMem = d.uvarint()
+	return s
+}
+
+func decodeSubmit(d *dec) Submit {
+	return Submit{Spec: decodeSpec(d)}
+}
+
+// ---- job.Limit ----
+
+// appendLimit writes a presence flag then the limit fields.
+func appendLimit(b []byte, l *job.Limit) []byte {
+	if l == nil {
+		return appendBool(b, false)
+	}
+	b = appendBool(b, true)
+	b = append(b, l.Kind)
+	b = appendVarint(b, int64(l.Budget))
+	b = appendVarint(b, int64(l.Visited))
+	b = appendVarint(b, l.ElapsedNS)
+	b = appendUvarint(b, l.MaxMemBytes)
+	b = appendUvarint(b, l.HeapBytes)
+	return appendString(b, l.Panic)
+}
+
+func decodeLimit(d *dec) *job.Limit {
+	if !d.bool_() || d.err != nil {
+		return nil
+	}
+	var l job.Limit
+	l.Kind = d.byte_()
+	l.Budget = d.int_()
+	l.Visited = d.int_()
+	l.ElapsedNS = d.varint()
+	l.MaxMemBytes = d.uvarint()
+	l.HeapBytes = d.uvarint()
+	l.Panic = d.str()
+	return &l
+}
+
+// ---- job.Result ----
+
+func appendResult(b []byte, r *job.Result) []byte {
+	b = appendSpec(b, r.Spec)
+	b = appendUvarint(b, uint64(len(r.Checks)))
+	for i := range r.Checks {
+		b = appendCheck(b, &r.Checks[i])
+	}
+	return b
+}
+
+// maxChecks bounds the declared check count of a decoded Result: a
+// table job yields a few dozen checks, so anything beyond this is a
+// corrupt length, not data.
+const maxChecks = 1 << 16
+
+func decodeResultBody(d *dec) *job.Result {
+	var r job.Result
+	r.Spec = decodeSpec(d)
+	n := d.uvarint()
+	if d.err != nil {
+		return &r
+	}
+	if n > maxChecks {
+		d.fail(ErrCorrupt)
+		return &r
+	}
+	r.Checks = make([]job.Check, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		r.Checks = append(r.Checks, decodeCheck(d))
+	}
+	return &r
+}
+
+func appendCheck(b []byte, c *job.Check) []byte {
+	b = appendString(b, c.System)
+	b = appendString(b, c.Prop)
+	b = appendString(b, c.Engine)
+	b = appendVarint(b, int64(c.Threads))
+	b = appendVarint(b, int64(c.Vars))
+	b = appendVarint(b, int64(c.TMStates))
+	b = appendVarint(b, int64(c.SpecStates))
+	b = appendBool(b, c.Holds)
+	b = appendString(b, c.Counterexample)
+	b = appendString(b, c.LoopWord)
+	b = appendVarint(b, c.ElapsedNS)
+	b = appendVarint(b, c.BuildTMNS)
+	b = appendVarint(b, c.BuildSpecNS)
+	b = appendVarint(b, int64(c.Pairs))
+	b = appendVarint(b, int64(c.CexLen))
+	b = appendVarint(b, int64(c.FrontierPeak))
+	b = appendVarint(b, int64(c.Expanded))
+	b = appendVarint(b, int64(c.Probes))
+	return appendLimit(b, c.Limit)
+}
+
+func decodeCheck(d *dec) job.Check {
+	var c job.Check
+	c.System = d.str()
+	c.Prop = d.str()
+	c.Engine = d.str()
+	c.Threads = d.int_()
+	c.Vars = d.int_()
+	c.TMStates = d.int_()
+	c.SpecStates = d.int_()
+	c.Holds = d.bool_()
+	c.Counterexample = d.str()
+	c.LoopWord = d.str()
+	c.ElapsedNS = d.varint()
+	c.BuildTMNS = d.varint()
+	c.BuildSpecNS = d.varint()
+	c.Pairs = d.int_()
+	c.CexLen = d.int_()
+	c.FrontierPeak = d.int_()
+	c.Expanded = d.int_()
+	c.Probes = d.int_()
+	c.Limit = decodeLimit(d)
+	return c
+}

@@ -1,0 +1,277 @@
+// Package wire is the compact binary protocol between tmcheck and
+// tmcheckd: length-prefixed frames of ULEB128 varints carrying job
+// specs, results, progress events, cancels and heartbeats.
+//
+// A frame on the wire is
+//
+//	uvarint(len(payload)) | payload
+//
+// and a payload is
+//
+//	version(1 byte) | type(1 byte) | uvarint(reqID) | body
+//
+// Request ids multiplex many jobs over one connection: the client
+// allocates them, the server echoes them on every frame belonging to
+// the job. Id 0 is the connection itself (heartbeats, protocol
+// errors). All integers are ULEB128 varints — unsigned directly,
+// signed zig-zag — and strings are length-prefixed bytes, so a frame
+// costs a few bytes plus its strings. Encoders append into reused
+// buffers; decoding aliases nothing and returns typed errors
+// (ErrTruncated, ErrCorrupt, ErrVersion, ErrTooBig) that the fuzz
+// harness and the corrupt-frame tests pin.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Version is the protocol version byte every payload leads with.
+const Version = 1
+
+// MaxFrame bounds a frame's payload; a peer announcing more is corrupt
+// (or hostile) and the connection is dropped rather than buffered.
+const MaxFrame = 16 << 20
+
+var (
+	// ErrTruncated reports a payload that ended mid-field.
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrCorrupt reports a structurally invalid payload: overlong
+	// varint, a length running past the frame, an unknown type byte.
+	ErrCorrupt = errors.New("wire: corrupt frame")
+	// ErrVersion reports a payload of an unsupported protocol version.
+	ErrVersion = errors.New("wire: unsupported protocol version")
+	// ErrTooBig reports a frame longer than MaxFrame.
+	ErrTooBig = errors.New("wire: frame exceeds size limit")
+)
+
+// appendUvarint appends v as ULEB128.
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// appendVarint appends v zig-zag encoded.
+func appendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// appendString appends a length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendBool appends one byte, 0 or 1.
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// dec is a cursor over one payload. The first failed read latches err;
+// subsequent reads return zero values, so decoders read straight
+// through and check once.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrTruncated)
+		} else {
+			d.fail(ErrCorrupt)
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		if n == 0 {
+			d.fail(ErrTruncated)
+		} else {
+			d.fail(ErrCorrupt)
+		}
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) byte_() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) bool_() bool {
+	switch d.byte_() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail(ErrCorrupt)
+		return false
+	}
+}
+
+func (d *dec) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail(ErrCorrupt)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// int_ decodes a zig-zag varint into an int, rejecting values outside
+// the platform int range.
+func (d *dec) int_() int {
+	v := d.varint()
+	if int64(int(v)) != v {
+		d.fail(ErrCorrupt)
+		return 0
+	}
+	return int(v)
+}
+
+// Conn frames messages over one reliable byte stream. Writes are
+// serialized by an internal mutex (many job goroutines share the
+// connection); the encode buffer is reused across writes and the read
+// buffer across reads, so steady-state framing does not allocate.
+type Conn struct {
+	br *bufio.Reader
+	w  io.Writer
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	rbuf []byte
+}
+
+// NewConn wraps a reliable byte stream (a net.Conn, a pipe).
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{br: bufio.NewReader(rw), w: rw}
+}
+
+// Write frames and sends one message for request id reqID.
+func (c *Conn) Write(reqID uint64, m Msg) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	payload := c.wbuf[:0]
+	payload = append(payload, Version, m.msgType())
+	payload = appendUvarint(payload, reqID)
+	payload = m.appendBody(payload)
+	c.wbuf = payload
+	if len(payload) > MaxFrame {
+		return ErrTooBig
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := c.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := c.w.Write(payload)
+	return err
+}
+
+// Read blocks for the next frame and decodes it. io.EOF surfaces
+// unchanged when the peer closed between frames.
+func (c *Conn) Read() (reqID uint64, m Msg, err error) {
+	size, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	if size > MaxFrame {
+		return 0, nil, ErrTooBig
+	}
+	if uint64(cap(c.rbuf)) < size {
+		c.rbuf = make([]byte, size)
+	}
+	buf := c.rbuf[:size]
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		return 0, nil, err
+	}
+	return DecodePayload(buf)
+}
+
+// DecodePayload decodes one frame payload (everything after the length
+// prefix). It is the entry point the fuzz harness drives.
+func DecodePayload(b []byte) (reqID uint64, m Msg, err error) {
+	d := &dec{b: b}
+	if v := d.byte_(); d.err == nil && v != Version {
+		return 0, nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, Version)
+	}
+	t := d.byte_()
+	reqID = d.uvarint()
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	switch t {
+	case tSubmit:
+		m = decodeSubmit(d)
+	case tCancel:
+		m = Cancel{}
+	case tHeartbeat:
+		m = Heartbeat{SentNS: d.varint()}
+	case tHeartbeatAck:
+		m = HeartbeatAck{SentNS: d.varint()}
+	case tAccepted:
+		m = Accepted{Running: d.int_()}
+	case tProgress:
+		m = decodeProgress(d)
+	case tResult:
+		m = decodeResult(d)
+	case tError:
+		m = ErrorMsg{Msg: d.str()}
+	default:
+		return 0, nil, fmt.Errorf("%w: unknown message type %d", ErrCorrupt, t)
+	}
+	if d.err != nil {
+		return 0, nil, d.err
+	}
+	if d.off != len(b) {
+		return 0, nil, fmt.Errorf("%w: %d trailing byte(s)", ErrCorrupt, len(b)-d.off)
+	}
+	return reqID, m, nil
+}

@@ -1,0 +1,318 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tmcheck/internal/job"
+)
+
+// encodePayload builds the payload bytes for one message the way
+// Conn.Write does — the form DecodePayload consumes.
+func encodePayload(reqID uint64, m Msg) []byte {
+	b := []byte{Version, m.msgType()}
+	b = appendUvarint(b, reqID)
+	return m.appendBody(b)
+}
+
+// sampleSpec exercises every Spec field, including negative-looking
+// and zero values.
+func sampleSpec() job.Spec {
+	return job.Spec{
+		Kind:      job.KindTable2,
+		TM:        "dstm",
+		CM:        "aggressive",
+		Prop:      "op",
+		Engine:    "onthefly",
+		Threads:   3,
+		Vars:      2,
+		Ext:       true,
+		Workers:   4,
+		MaxStates: 100000,
+		Timeout:   90 * time.Second,
+		MaxMem:    512 << 20,
+	}
+}
+
+// sampleResult exercises nested Checks with and without limits.
+func sampleResult() *job.Result {
+	return &job.Result{
+		Spec: sampleSpec(),
+		Checks: []job.Check{
+			{
+				System: "dstm", Prop: "ss", Engine: "onthefly",
+				Threads: 2, Vars: 2, TMStates: 2864, SpecStates: 131,
+				Holds: true, ElapsedNS: 1234567, Pairs: 9000, FrontierPeak: 77,
+			},
+			{
+				System: "modtl2+polite", Prop: "op", Engine: "materialized",
+				Threads: 2, Vars: 2, TMStates: 1210, SpecStates: 2208,
+				Holds: false, Counterexample: "(w,2)1, (w,1)2, c2, c1",
+				ElapsedNS: 7654321, BuildTMNS: 111, BuildSpecNS: 222, CexLen: 4,
+			},
+			{
+				System: "tl2", Prop: "obstruction", Engine: "onthefly",
+				Threads: 2, Vars: 1, TMStates: 50, LoopWord: "(a1)ω",
+				Expanded: 40, Probes: 12,
+				Limit: &job.Limit{Kind: 0, Budget: 50, Visited: 51, ElapsedNS: 5000},
+			},
+		},
+	}
+}
+
+// goldenMessages is one of every frame type with its request id.
+func goldenMessages() []struct {
+	reqID uint64
+	m     Msg
+} {
+	return []struct {
+		reqID uint64
+		m     Msg
+	}{
+		{1, Submit{Spec: sampleSpec()}},
+		{2, Cancel{}},
+		{0, Heartbeat{SentNS: 123456789}},
+		{0, HeartbeatAck{SentNS: 123456789}},
+		{3, Accepted{Running: 7}},
+		{3, Progress{Name: "safety:dstm", States: 1 << 20, Frontier: 4096, Level: 12, HeapBytes: 1 << 30, Detail: "otf"}},
+		{4, ResultMsg{Result: sampleResult()}},
+		{5, ResultMsg{ErrMsg: "state budget exhausted at 51 states; rerun with -maxstates 100",
+			Limit: &job.Limit{Kind: 0, Budget: 50, Visited: 51}}},
+		{6, ErrorMsg{Msg: "tmcheckd: draining, not accepting jobs"}},
+	}
+}
+
+// TestRoundTripEveryType encodes one of every message type through a
+// Conn pair and checks the decoded value is deeply equal.
+func TestRoundTripEveryType(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	msgs := goldenMessages()
+	for _, g := range msgs {
+		if err := c.Write(g.reqID, g.m); err != nil {
+			t.Fatalf("Write(%T): %v", g.m, err)
+		}
+	}
+	for _, g := range msgs {
+		reqID, m, err := c.Read()
+		if err != nil {
+			t.Fatalf("Read(%T): %v", g.m, err)
+		}
+		if reqID != g.reqID {
+			t.Errorf("%T: reqID = %d, want %d", g.m, reqID, g.reqID)
+		}
+		if !reflect.DeepEqual(m, g.m) {
+			t.Errorf("%T round trip:\n got %+v\nwant %+v", g.m, m, g.m)
+		}
+	}
+	if _, _, err := c.Read(); err != io.EOF {
+		t.Errorf("drained conn: err = %v, want io.EOF", err)
+	}
+}
+
+// TestGoldenCancelBytes pins the exact wire bytes of the simplest
+// frame, so accidental format changes fail loudly instead of silently
+// breaking cross-version daemons.
+func TestGoldenCancelBytes(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if err := c.Write(7, Cancel{}); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{3, Version, tCancel, 7} // len=3 | version | type | reqID
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("cancel frame = %v, want %v", buf.Bytes(), want)
+	}
+}
+
+// TestTruncatedPayloads checks every strict prefix of every valid
+// payload fails with a typed error — never a panic, never a bogus
+// success.
+func TestTruncatedPayloads(t *testing.T) {
+	for _, g := range goldenMessages() {
+		full := encodePayload(g.reqID, g.m)
+		for n := 0; n < len(full); n++ {
+			_, _, err := DecodePayload(full[:n])
+			if err == nil {
+				t.Fatalf("%T: prefix %d/%d decoded successfully", g.m, n, len(full))
+			}
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+				t.Errorf("%T: prefix %d/%d: untyped error %v", g.m, n, len(full), err)
+			}
+		}
+	}
+}
+
+func TestCorruptPayloads(t *testing.T) {
+	valid := encodePayload(2, Heartbeat{SentNS: 42})
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"bad version", append([]byte{Version + 1}, valid[1:]...), ErrVersion},
+		{"unknown type", []byte{Version, 99, 0}, ErrCorrupt},
+		{"trailing bytes", append(append([]byte{}, valid...), 0xFF), ErrCorrupt},
+		{"overlong varint", append([]byte{Version, tHeartbeat, 0},
+			0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80)[:14], ErrCorrupt},
+		{"bad bool", func() []byte {
+			// ResultMsg: empty ErrMsg, then limit-presence byte 2.
+			return []byte{Version, tResult, 1, 0, 2}
+		}(), ErrCorrupt},
+		{"string overrun", func() []byte {
+			// ErrorMsg declaring a 100-byte string with 3 bytes present.
+			b := []byte{Version, tError, 0}
+			b = appendUvarint(b, 100)
+			return append(b, 'a', 'b', 'c')
+		}(), ErrCorrupt},
+	}
+	for _, c := range cases {
+		_, _, err := DecodePayload(c.b)
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// TestCorruptCheckCount rejects a Result declaring an absurd number of
+// checks instead of allocating for it.
+func TestCorruptCheckCount(t *testing.T) {
+	b := []byte{Version, tResult, 1}
+	b = appendString(b, "")     // ErrMsg
+	b = appendBool(b, false)    // no limit
+	b = appendBool(b, true)     // result present
+	b = appendSpec(b, job.Spec{})
+	b = appendUvarint(b, maxChecks+1)
+	_, _, err := DecodePayload(b)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized check count: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	big := ErrorMsg{Msg: strings.Repeat("x", MaxFrame)}
+	if err := c.Write(0, big); !errors.Is(err, ErrTooBig) {
+		t.Errorf("oversized write: err = %v, want ErrTooBig", err)
+	}
+	// A header announcing more than MaxFrame is rejected before any
+	// buffering.
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], MaxFrame+1)
+	rc := NewConn(bytes.NewBuffer(hdr[:n]))
+	if _, _, err := rc.Read(); !errors.Is(err, ErrTooBig) {
+		t.Errorf("oversized read: err = %v, want ErrTooBig", err)
+	}
+}
+
+// TestReadTruncatedStream covers a peer dying mid-frame: the header
+// promises more bytes than arrive.
+func TestReadTruncatedStream(t *testing.T) {
+	payload := encodePayload(1, Heartbeat{SentNS: 9})
+	var buf bytes.Buffer
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	buf.Write(hdr[:n])
+	buf.Write(payload[:len(payload)-2])
+	c := NewConn(&buf)
+	if _, _, err := c.Read(); !errors.Is(err, ErrTruncated) {
+		t.Errorf("mid-frame EOF: err = %v, want ErrTruncated", err)
+	}
+}
+
+// lockedBuffer serializes reads/writes so a bytes.Buffer can stand in
+// for a socket under concurrent writers.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf.Write(p)
+}
+
+func (l *lockedBuffer) Read(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.buf.Read(p)
+}
+
+// TestConcurrentWrites hammers one Conn from many goroutines — the
+// writer mutex must keep frames intact.
+func TestConcurrentWrites(t *testing.T) {
+	var lb lockedBuffer
+	c := NewConn(&lb)
+	const writers, frames = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < frames; i++ {
+				if err := c.Write(uint64(w+1), Progress{Name: "p", States: int64(i)}); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := 0
+	for {
+		reqID, m, err := c.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("read after %d frames: %v", got, err)
+		}
+		if reqID < 1 || reqID > writers {
+			t.Fatalf("frame %d: bad reqID %d", got, reqID)
+		}
+		if _, ok := m.(Progress); !ok {
+			t.Fatalf("frame %d: type %T", got, m)
+		}
+		got++
+	}
+	if got != writers*frames {
+		t.Errorf("read %d frames, want %d", got, writers*frames)
+	}
+}
+
+// FuzzDecodePayload throws arbitrary bytes at the decoder: it must
+// never panic, and whatever decodes must re-encode and re-decode to
+// the same message (encode/decode is a retraction).
+func FuzzDecodePayload(f *testing.F) {
+	for _, g := range goldenMessages() {
+		f.Add(encodePayload(g.reqID, g.m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{Version})
+	f.Add([]byte{Version, tResult, 1, 0, 2})
+	f.Add([]byte{Version + 1, tCancel, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		reqID, m, err := DecodePayload(b)
+		if err != nil {
+			return
+		}
+		again := encodePayload(reqID, m)
+		reqID2, m2, err := DecodePayload(again)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if reqID2 != reqID || !reflect.DeepEqual(m2, m) {
+			t.Fatalf("unstable round trip:\n first %d %+v\nsecond %d %+v", reqID, m, reqID2, m2)
+		}
+	})
+}
