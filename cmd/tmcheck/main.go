@@ -22,8 +22,8 @@
 // Every command additionally accepts the global flags -workers N,
 // -maxstates N, -timeout D, -maxmem BYTES, -strict-limits, -stats,
 // -stats-json FILE, -cpuprofile FILE, -memprofile FILE, -progress,
-// -trace FILE, -debug-addr ADDR and -remote ADDR (see
-// internal/job/flags.go), e.g.:
+// -trace FILE, -debug-addr ADDR, -remote ADDR, -checkpoint FILE,
+// -resume FILE and -spill DIR (see internal/job/flags.go), e.g.:
 //
 //	tmcheck table2 -stats-json report.json
 //	tmcheck -workers 4 table2
@@ -74,6 +74,16 @@
 // local run up to wall-clock timings. Ctrl-C cancels the remote job at
 // the same deterministic barriers as -maxstates and still collects the
 // partial result.
+//
+// -checkpoint FILE makes a materialized-engine run append the interned
+// state-space prefix to FILE at every guard barrier, so the work done
+// before a SIGKILL, -timeout expiry or blown -maxstates budget is not
+// thrown away; -resume FILE (usually the same path) seeds the next run
+// from the snapshot, and the resumed run's stdout is byte-identical to
+// an uninterrupted one at any -workers count. -spill DIR keeps the
+// visited set's key storage in mmap-backed files under DIR, letting
+// state spaces larger than RAM stay checkable. All three travel with
+// -remote (the daemon maps them into its -snap-dir).
 package main
 
 import (
@@ -132,6 +142,9 @@ func limitSummary(limits []*guard.LimitError) error {
 // the tmcheckd named by -remote. Both paths render the same Result the
 // same way, so the output bytes match up to wall-clock timings.
 func runJob(ctx context.Context, sp job.Spec) error {
+	sp.Checkpoint = gflags.Checkpoint
+	sp.Resume = gflags.Resume
+	sp.Spill = gflags.Spill
 	var res *job.Result
 	var err error
 	if gflags.Remote != "" {
@@ -141,6 +154,11 @@ func runJob(ctx context.Context, sp job.Spec) error {
 	}
 	if err != nil {
 		return err
+	}
+	// The note goes to stderr: stdout stays byte-identical to an
+	// uninterrupted run, which the resume-equivalence tests pin.
+	if n := res.Resumed(); n > 0 {
+		fmt.Fprintf(os.Stderr, "tmcheck: resumed from %d states (snapshot %s)\n", n, sp.Resume)
 	}
 	res.Render(os.Stdout)
 	return limitSummary(res.Limits())
@@ -298,6 +316,10 @@ global flags (any command, before or after it):
   -trace FILE       write a Chrome trace-event timeline (Perfetto-loadable)
   -debug-addr ADDR  serve /vitals, /events (SSE) and /debug/pprof on ADDR
   -remote ADDR      submit table2/table3/safety/liveness to a tmcheckd at ADDR
+  -checkpoint FILE  append the explored prefix to FILE at every guard barrier
+                    so killed or limited runs can resume (-engine materialized)
+  -resume FILE      seed the run from a snapshot (usually the -checkpoint path)
+  -spill DIR        keep visited-set keys in mmap-backed files under DIR
 
 `)
 	fmt.Fprintf(os.Stderr, "algorithms: %s\n", strings.Join(tm.AlgorithmNames(), ", "))

@@ -8,7 +8,7 @@
 //	tmcheckd [-addr 127.0.0.1:7078] [-jobs N] [-workers N]
 //	         [-maxstates N] [-timeout D] [-maxmem BYTES]
 //	         [-progress-every D] [-heartbeat D] [-drain-timeout D]
-//	         [-debug-addr ADDR] [-quiet]
+//	         [-debug-addr ADDR] [-snap-dir DIR] [-quiet]
 //
 // Submit jobs with tmcheck -remote:
 //
@@ -22,6 +22,12 @@
 // client flags win. -debug-addr serves the same /vitals, /events (SSE)
 // and /debug/pprof surfaces as tmcheck's flag, but fleet-wide and for
 // the daemon's lifetime.
+//
+// -snap-dir opts the daemon into checkpoint/resume: a submitted spec's
+// -checkpoint/-resume file names are resolved into that directory
+// (base name only — clients never choose server paths) and -spill maps
+// to the directory itself. Without -snap-dir such jobs are refused, so
+// a daemon never writes snapshot files unless its operator said where.
 //
 // SIGINT/SIGTERM drains gracefully: the listener closes, running jobs
 // finish (or are cancelled at their next guard barrier once
@@ -56,6 +62,7 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 30*time.Second, "connection heartbeat interval (0 = off)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a SIGTERM drain waits before cancelling running jobs")
 	debugAddr := flag.String("debug-addr", "", "serve /vitals, /events (SSE) and /debug/pprof on this address")
+	snapDir := flag.String("snap-dir", "", "directory for job checkpoint/resume snapshots and spill files (\"\" refuses such jobs)")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logging")
 	flag.Parse()
 
@@ -71,6 +78,7 @@ func main() {
 		Timeout:       *timeout,
 		ProgressEvery: *progressEvery,
 		Heartbeat:     *heartbeat,
+		SnapDir:       *snapDir,
 		Logf:          logf,
 	}
 	if *maxMemStr != "" {

@@ -90,6 +90,12 @@ type TS struct {
 	Alphabet core.Alphabet
 	Out      [][]Edge // outgoing edges per state; state 0 is initial
 
+	// Resumed is the number of states seeded from a snapshot when the
+	// build was resumed (0 for a fresh build). It does not affect the
+	// constructed system — numbering and adjacency are bit-identical to
+	// an uninterrupted build — only the reporting.
+	Resumed int
+
 	// states holds the product states by id; access through StateAt.
 	states stateTable
 
@@ -241,19 +247,32 @@ func ScanLevelsGuarded(alg tm.Algorithm, cm tm.ContentionManager, workers int, g
 // open-addressing core; everything else takes the generic boxed path.
 // All four engines produce bit-identical adjacency and numbering.
 func scanControlled(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard, barrier Barrier) (out [][]Edge, states stateTable, pstats parbfs.Stats, err error) {
+	out, states, pstats, _, err = scanPersistControlled(alg, cm, workers, g, barrier, nil)
+	return out, states, pstats, err
+}
+
+// scanPersistControlled is scanControlled with optional persistence
+// hooks. Checkpoint/resume and spill exist only on the packed engines
+// (the boxed paths have no canonical byte representation to persist),
+// so a persisting build of an unpackable product fails loudly instead
+// of silently discarding the work it was asked to keep.
+func scanPersistControlled(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard, barrier Barrier, p *Persist) (out [][]Edge, states stateTable, pstats parbfs.Stats, resumed int, err error) {
 	pc := packedFor(alg, cm)
+	if p != nil && pc == nil && (p.Resume != nil || p.Sink != nil || p.Grow != nil || p.GrowShard != nil) {
+		return nil, nil, pstats, 0, errNotPackable(alg, cm)
+	}
 	err = guard.Capture(func() error {
 		var ierr error
 		if workers <= 1 {
 			if pc != nil {
-				out, states, ierr = scanSeqPacked(pc, alg, cm, g, barrier)
+				out, states, resumed, ierr = scanSeqPacked(pc, alg, cm, g, barrier, p)
 			} else {
 				out, states, ierr = scanSeq(alg, cm, g, barrier)
 			}
 			return ierr
 		}
 		if pc != nil {
-			out, states, pstats, ierr = scanParPacked(pc, alg, cm, workers, g, barrier)
+			out, states, pstats, resumed, ierr = scanParPacked(pc, alg, cm, workers, g, barrier, p)
 		} else {
 			out, states, pstats, ierr = scanPar(alg, cm, workers, g, barrier)
 		}
@@ -262,7 +281,7 @@ func scanControlled(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *g
 	if err != nil {
 		out, states = nil, nil
 	}
-	return out, states, pstats, err
+	return out, states, pstats, resumed, err
 }
 
 // scanSeq is the sequential scan-order BFS: a scan of the lazy Space to

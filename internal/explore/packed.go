@@ -1,6 +1,8 @@
 package explore
 
 import (
+	"fmt"
+
 	"tmcheck/internal/core"
 	"tmcheck/internal/guard"
 	"tmcheck/internal/pack"
@@ -33,6 +35,10 @@ const pendBits = 7
 // drive; one value is single-goroutine, clone() makes per-worker copies.
 type packedIface interface {
 	keyWords() int
+	// keyBits is the exact bit width of the product key — part of the
+	// snapshot section identity, so a resume with a different encoding
+	// fails loudly.
+	keyBits() int
 	// writeInit writes the initial product key into key (len keyWords).
 	writeInit(key []uint64)
 	// expandKey enumerates the outgoing edge templates of the state with
@@ -87,6 +93,7 @@ type packedCore[S comparable] struct {
 	commands []core.Command
 	n        int
 	kw       int
+	bits     int
 	cmBits   int
 
 	// Expansion scratch (one goroutine per core; clone() for workers).
@@ -121,6 +128,7 @@ func newPackedCore[S comparable](alg tm.Packed[S], pcm tm.PackedCM) packedIface 
 		ab:       core.Alphabet{Threads: n, Vars: alg.Vars()},
 		n:        n,
 		kw:       pack.WordsFor(bits),
+		bits:     bits,
 		cmBits:   cmBits,
 		commands: core.Alphabet{Threads: n, Vars: alg.Vars()}.Commands(),
 	}
@@ -151,10 +159,12 @@ func (pc *packedCore[S]) initStepYield() {
 
 func (pc *packedCore[S]) keyWords() int { return pc.kw }
 
+func (pc *packedCore[S]) keyBits() int { return pc.bits }
+
 func (pc *packedCore[S]) clone() packedIface {
 	c := &packedCore[S]{
 		alg: pc.alg, pcm: pc.pcm, ab: pc.ab, commands: pc.commands,
-		n: pc.n, kw: pc.kw, cmBits: pc.cmBits,
+		n: pc.n, kw: pc.kw, bits: pc.bits, cmBits: pc.cmBits,
 	}
 	c.initStepYield()
 	return c
@@ -346,16 +356,43 @@ func (p *packedStates) At(i int32) prodState {
 
 // scanSeqPacked is scanSeq over packed keys: one open-addressing intern
 // table, a reused per-state edge scratch, and the chunked edge arena.
-// Barrier and guard semantics match scanSeq exactly.
-func scanSeqPacked(pc packedIface, alg tm.Algorithm, cm tm.ContentionManager, g *guard.Guard, barrier Barrier) ([][]Edge, stateTable, error) {
+// Barrier and guard semantics match scanSeq exactly. Under persistence
+// hooks the scan seeds from the snapshot prefix (re-interning the keys
+// in id order, so the numbering continues canonically), streams each
+// level delta into the sink before consulting the guard at the same
+// boundary (a tripped limit keeps the prefix it just persisted), and
+// rebacks the intern table's key storage through the spill grower.
+func scanSeqPacked(pc packedIface, alg tm.Algorithm, cm tm.ContentionManager, g *guard.Guard, barrier Barrier, p *Persist) ([][]Edge, stateTable, int, error) {
 	kw := pc.keyWords()
 	in := pack.NewMap(kw, 0)
+	if p != nil && p.Grow != nil {
+		in.SetKeyBacking(p.Grow)
+	}
 	var keyBuf [pack.MaxWords]uint64
 	pc.writeInit(keyBuf[:kw])
-	in.Intern(keyBuf[:kw])
 
 	var out [][]Edge
 	arena := &edgeArena{chunkSize: 64}
+	resumed := 0
+	startQi := int32(0)
+	levelEnd := 1
+	if p != nil && p.Resume != nil && p.Resume.Interned > 0 {
+		r := p.Resume
+		for i := 0; i < r.Interned; i++ {
+			in.Intern(r.Keys[i*kw : (i+1)*kw])
+		}
+		if id, ok := in.Get(keyBuf[:kw]); !ok || id != 0 || in.Len() != r.Interned {
+			return nil, nil, 0, fmt.Errorf("explore: snapshot prefix for %s does not match this system's initial state", systemLabel(alg, cm))
+		}
+		out = append(out, r.Out...)
+		startQi = int32(r.Expanded)
+		levelEnd = r.Interned
+		resumed = r.Interned
+	} else {
+		in.Intern(keyBuf[:kw])
+	}
+
+	flush := newSinkFlusher(p)
 	var scratch []Edge
 	yield := func(next []uint64, e Edge) {
 		id, _ := in.Intern(next)
@@ -364,21 +401,27 @@ func scanSeqPacked(pc packedIface, alg tm.Algorithm, cm tm.ContentionManager, g 
 	}
 	guarded := g.Active()
 	emit := newLevelEmitter(systemLabel(alg, cm))
-	levelEnd := 1
+	track := barrier != nil || emit != nil || flush != nil
 	var cur [pack.MaxWords]uint64
-	for qi := int32(0); int(qi) < in.Len(); qi++ {
-		if guarded {
-			if err := g.Check(in.Len()); err != nil {
-				return nil, nil, err
+	for qi := startQi; int(qi) < in.Len(); qi++ {
+		atBoundary := track && int(qi) == levelEnd
+		if atBoundary {
+			if err := flush.flush(in.KeyAt, out, in.Len(), levelEnd); err != nil {
+				return nil, nil, resumed, err
 			}
 		}
-		if (barrier != nil || emit != nil) && int(qi) == levelEnd {
+		if guarded {
+			if err := g.Check(in.Len()); err != nil {
+				return nil, nil, resumed, err
+			}
+		}
+		if atBoundary {
 			if emit != nil {
 				emit(in.Len(), levelEnd)
 			}
 			if barrier != nil {
 				if err := barrier(out, in.Len(), levelEnd); err != nil {
-					return nil, nil, err
+					return nil, nil, resumed, err
 				}
 			}
 			levelEnd = in.Len()
@@ -390,15 +433,18 @@ func scanSeqPacked(pc packedIface, alg tm.Algorithm, cm tm.ContentionManager, g 
 		pc.expandKey(cur[:kw], yield)
 		out = append(out, arena.place(scratch))
 	}
+	if err := flush.flush(in.KeyAt, out, in.Len(), in.Len()); err != nil {
+		return nil, nil, resumed, err
+	}
 	if emit != nil {
 		emit(in.Len(), in.Len())
 	}
 	if barrier != nil {
 		if err := barrier(out, in.Len(), in.Len()); err != nil {
-			return nil, nil, err
+			return nil, nil, resumed, err
 		}
 	}
-	return out, &packedStates{pc: pc, kw: kw, in: in}, nil
+	return out, &packedStates{pc: pc, kw: kw, in: in}, resumed, nil
 }
 
 // parCtx is one parallel worker's expansion context; its yield closure
@@ -419,19 +465,66 @@ func newParCtx() *parCtx {
 	return ctx
 }
 
-// scanParPacked is scanPar over packed keys: parbfs.RunPackedControlled
-// owns the sharded open-addressing interning, per-worker cores expand
-// decoded keys, and per-worker arenas hold the edge storage.
-func scanParPacked(pc packedIface, alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard, barrier Barrier) ([][]Edge, stateTable, parbfs.Stats, error) {
+// scanParPacked is scanPar over packed keys: parbfs owns the sharded
+// open-addressing interning, per-worker cores expand decoded keys, and
+// per-worker arenas hold the edge storage. Under persistence hooks it
+// seeds the engine's visited tables and frontier from the snapshot
+// prefix (the canonical numbering makes the seeded ids identical to
+// what an uninterrupted run would have assigned), streams level deltas
+// into the sink at each barrier before the guard, and rebacks both the
+// flat key slice and the per-shard tables through the spill growers.
+func scanParPacked(pc packedIface, alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard, barrier Barrier, p *Persist) ([][]Edge, stateTable, parbfs.Stats, int, error) {
 	kw := pc.keyWords()
 	var words []uint64
 	var out [][]Edge
 	var pendEdges [][]Edge
+	var grow pack.GrowFunc
+	var opts parbfs.PackedOpts
+	resumed := 0
+	if p != nil {
+		grow = p.Grow
+		opts.KeyBacking = p.GrowShard
+	}
+	var initKey [pack.MaxWords]uint64
+	pc.writeInit(initKey[:kw])
+	keyAt := func(i int32) []uint64 {
+		off := int(i) * kw
+		return words[off : off+kw]
+	}
+
+	expandedAtBarrier := 1
+	if p != nil && p.Resume != nil && p.Resume.Interned > 0 {
+		r := p.Resume
+		for j := 0; j < kw; j++ {
+			if r.Keys[j] != initKey[j] {
+				return nil, nil, parbfs.Stats{}, 0, fmt.Errorf("explore: snapshot prefix for %s does not match this system's initial state", systemLabel(alg, cm))
+			}
+		}
+		if grow != nil {
+			words = grow(len(r.Keys), words)
+		}
+		words = append(words, r.Keys...)
+		out = append(out, r.Out...)
+		for len(out) < r.Interned {
+			out = append(out, nil)
+		}
+		pendEdges = make([][]Edge, r.Interned)
+		opts.Seed = &parbfs.PackedSeed{Keys: r.Keys, Frontier: r.Expanded}
+		resumed = r.Interned
+		expandedAtBarrier = r.Interned
+	}
+
+	flush := newSinkFlusher(p)
 	var control func(n int) error
 	emit := newLevelEmitter(systemLabel(alg, cm))
-	if g.Active() || barrier != nil || emit != nil {
-		prevInterned := 1
+	if g.Active() || barrier != nil || emit != nil || flush != nil {
+		// prevInterned is the interned count at the previous barrier —
+		// exactly the states already expanded when this one fires.
+		prevInterned := expandedAtBarrier
 		control = func(n int) error {
+			if err := flush.flush(keyAt, out, n, prevInterned); err != nil {
+				return err
+			}
 			if err := g.Check(n); err != nil {
 				return err
 			}
@@ -457,9 +550,7 @@ func scanParPacked(pc packedIface, alg tm.Algorithm, cm tm.ContentionManager, wo
 		ctxs[w] = newParCtx()
 	}
 
-	var initKey [pack.MaxWords]uint64
-	pc.writeInit(initKey[:kw])
-	pstats, err := parbfs.RunPackedControlled(kw, initKey[:kw], workers, control,
+	pstats, err := parbfs.RunPackedOpts(kw, initKey[:kw], workers, opts, control,
 		func(w, id int, emitKey func(key []uint64)) {
 			ctx := ctxs[w]
 			ctx.buf = ctx.buf[:0]
@@ -468,6 +559,11 @@ func scanParPacked(pc packedIface, alg tm.Algorithm, cm tm.ContentionManager, wo
 			pendEdges[id] = arenas[w].place(ctx.buf)
 		},
 		func(id int, key []uint64) {
+			if grow != nil {
+				if need := len(words) + kw; need > cap(words) {
+					words = grow(need, words)
+				}
+			}
 			words = append(words, key...)
 			out = append(out, nil)
 			pendEdges = append(pendEdges, nil)
@@ -482,7 +578,16 @@ func scanParPacked(pc packedIface, alg tm.Algorithm, cm tm.ContentionManager, wo
 		},
 	)
 	if err != nil {
-		return nil, nil, pstats, err
+		return nil, nil, pstats, resumed, err
 	}
-	return out, &packedStates{pc: pc, kw: kw, words: words}, pstats, nil
+	// A fully expanded snapshot never enters the engine loop; its final
+	// (total, total) barrier state is already persisted, so there is
+	// nothing left to flush.
+	if flush != nil {
+		n := len(words) / kw
+		if err := flush.flush(keyAt, out, n, n); err != nil {
+			return nil, nil, pstats, resumed, err
+		}
+	}
+	return out, &packedStates{pc: pc, kw: kw, words: words}, pstats, resumed, nil
 }

@@ -1,0 +1,148 @@
+package explore
+
+import (
+	"fmt"
+	"time"
+
+	"tmcheck/internal/core"
+	"tmcheck/internal/guard"
+	"tmcheck/internal/pack"
+	"tmcheck/internal/tm"
+)
+
+// The checkpoint/resume vocabulary of the packed engines. The
+// persistence layer itself (internal/snap) lives above explore; this
+// file defines only what the scans need to see: a canonical prefix to
+// seed from, a sink to stream level deltas into, and optional
+// spill-backed allocators for the flat key storage. Because the
+// per-level numbering is bit-identical across engines and worker
+// counts, the interned prefix at any level barrier is canonical — a
+// snapshot taken there resumes to the same states, edges, and verdicts
+// no matter which engine continues it.
+
+// ResumeState is a canonical exploration prefix captured at a level
+// barrier: all interned keys in id order (flat, stride = key words),
+// the resolved adjacency of the expanded states, and the two barrier
+// coordinates. Interned == Expanded means the scan had completed.
+// The slices are owned by the snapshot layer and must not be mutated.
+type ResumeState struct {
+	Keys               []uint64
+	Out                [][]Edge
+	Interned, Expanded int
+}
+
+// LevelSink receives the delta of one level barrier: the keys of the
+// states interned since the previous barrier (flat, id order) and the
+// full adjacency slice, of which [prevExpanded, expanded) is new. The
+// edge slices obey the Barrier stability contract (they never move),
+// so a sink may retain them. AppendLevel is called with barriers in
+// order; an error stops the scan and is returned verbatim.
+type LevelSink interface {
+	AppendLevel(newKeys []uint64, out [][]Edge, prevInterned, interned, prevExpanded, expanded int) error
+}
+
+// Persist bundles the checkpoint/resume/spill hooks of one build. Any
+// field may be nil: Resume seeds the scan from a canonical prefix,
+// Sink streams level deltas out, Grow rebacks the flat key storage
+// (sequential intern table, parallel key slice), and GrowShard rebacks
+// the parallel engine's per-shard visited tables.
+type Persist struct {
+	Resume    *ResumeState
+	Sink      LevelSink
+	Grow      pack.GrowFunc
+	GrowShard func(shard int) pack.GrowFunc
+}
+
+// PersistProvider resolves the persistence hooks for one system of a
+// run — the indirection that lets safety/liveness drivers thread
+// checkpointing through without importing the snapshot layer.
+type PersistProvider func(alg tm.Algorithm, cm tm.ContentionManager) (*Persist, error)
+
+// PackedInfo reports the packed-key geometry of the product — key
+// width in words and in bits — or ok == false when the system cannot
+// run on the packed engines (and therefore cannot checkpoint or
+// spill).
+func PackedInfo(alg tm.Algorithm, cm tm.ContentionManager) (kw, keyBits int, ok bool) {
+	pc := packedFor(alg, cm)
+	if pc == nil {
+		return 0, 0, false
+	}
+	return pc.keyWords(), pc.keyBits(), true
+}
+
+// errNotPackable is the loud refusal for checkpoint/spill on a system
+// outside the packed engines (user-registered TM/CM or an oversized
+// product key): silently exploring without persistence would discard
+// exactly the work the caller asked to keep.
+func errNotPackable(alg tm.Algorithm, cm tm.ContentionManager) error {
+	return fmt.Errorf("explore: %s is not bit-packable; -checkpoint/-resume/-spill require a packed system", systemLabel(alg, cm))
+}
+
+// BuildProviderGuarded is BuildGuarded with an optional persistence
+// provider: nil runs a plain guarded build, non-nil resolves the hooks
+// for this system and runs a checkpointing build.
+func BuildProviderGuarded(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard, prov PersistProvider) (*TS, error) {
+	if prov == nil {
+		return BuildGuarded(alg, cm, workers, g)
+	}
+	p, err := prov(alg, cm)
+	if err != nil {
+		return nil, err
+	}
+	return BuildPersistGuarded(alg, cm, workers, g, p)
+}
+
+// BuildPersistGuarded is BuildGuarded under persistence hooks: the
+// scan seeds from p.Resume, streams level deltas into p.Sink, and
+// allocates its flat key storage through the spill growers. The
+// resulting system — numbering, adjacency, verdicts — is bit-identical
+// to an uninterrupted unpersisted build; TS.Resumed reports how many
+// states came from the snapshot.
+func BuildPersistGuarded(alg tm.Algorithm, cm tm.ContentionManager, workers int, g *guard.Guard, p *Persist) (*TS, error) {
+	start := time.Now()
+	ts := &TS{Alg: alg, CM: cm, Alphabet: core.Alphabet{Threads: alg.Threads(), Vars: alg.Vars()}}
+	out, states, pstats, resumed, err := scanPersistControlled(alg, cm, workers, g, nil, p)
+	if err != nil {
+		return nil, err
+	}
+	ts.Out, ts.states, ts.Resumed = out, states, resumed
+	ts.record(start, workers, pstats)
+	return ts, nil
+}
+
+// sinkFlusher tracks the barrier coordinates already persisted and
+// appends each new delta exactly once; no-progress barriers are
+// skipped so an idempotent sink never sees empty records.
+type sinkFlusher struct {
+	sink         LevelSink
+	prevI, prevE int
+	keyBuf       []uint64
+}
+
+func newSinkFlusher(p *Persist) *sinkFlusher {
+	if p == nil || p.Sink == nil {
+		return nil
+	}
+	f := &sinkFlusher{sink: p.Sink}
+	if p.Resume != nil {
+		f.prevI, f.prevE = p.Resume.Interned, p.Resume.Expanded
+	}
+	return f
+}
+
+// flush persists the delta up to (interned, expanded); keyAt yields
+// the key of one interned state (the flusher copies it immediately).
+func (f *sinkFlusher) flush(keyAt func(i int32) []uint64, out [][]Edge, interned, expanded int) error {
+	if f == nil || (interned == f.prevI && expanded == f.prevE) {
+		return nil
+	}
+	f.keyBuf = f.keyBuf[:0]
+	for i := f.prevI; i < interned; i++ {
+		f.keyBuf = append(f.keyBuf, keyAt(int32(i))...)
+	}
+	if err := f.sink.AppendLevel(f.keyBuf, out, f.prevI, interned, f.prevE, expanded); err != nil {
+		return err
+	}
+	f.prevI, f.prevE = interned, expanded
+	return nil
+}

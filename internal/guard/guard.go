@@ -121,30 +121,44 @@ type LimitError struct {
 	// at the recovery point (KindPanic).
 	Value any
 	Stack []byte
+	// Snapshot, when non-empty, is the checkpoint file holding the work
+	// done up to the stop barrier; the run resumes from it with the
+	// same -checkpoint flag. The job layer annotates it — the guard
+	// itself never knows the path.
+	Snapshot string
 }
 
 // Error names the flag that raises the limit, so the CLI needs no
-// extra hinting layer.
+// extra hinting layer. The message is a deterministic function of the
+// fields — the wire layer depends on that to reconstruct errors
+// exactly.
 func (e *LimitError) Error() string {
+	var msg string
 	switch e.Kind {
 	case KindStates:
 		if e.Budget > 0 {
-			return fmt.Sprintf("state budget exhausted at %d states; rerun with -maxstates %d",
+			msg = fmt.Sprintf("state budget exhausted at %d states; rerun with -maxstates %d",
 				e.Visited, 2*e.Budget)
+		} else {
+			msg = fmt.Sprintf("state budget exhausted at %d states", e.Visited)
 		}
-		return fmt.Sprintf("state budget exhausted at %d states", e.Visited)
 	case KindTime:
-		return fmt.Sprintf("wall-clock limit reached after %v; rerun with a larger -timeout",
+		msg = fmt.Sprintf("wall-clock limit reached after %v; rerun with a larger -timeout",
 			e.Elapsed.Round(time.Millisecond))
 	case KindMemory:
-		return fmt.Sprintf("memory limit reached: heap %s over -maxmem %s; rerun with a larger -maxmem or a smaller instance (-n/-k)",
+		msg = fmt.Sprintf("memory limit reached: heap %s over -maxmem %s; rerun with a larger -maxmem or a smaller instance (-n/-k)",
 			FormatBytes(e.HeapBytes), FormatBytes(e.MaxMemBytes))
 	case KindCancelled:
-		return fmt.Sprintf("check cancelled after %v", e.Elapsed.Round(time.Millisecond))
+		msg = fmt.Sprintf("check cancelled after %v", e.Elapsed.Round(time.Millisecond))
 	case KindPanic:
-		return fmt.Sprintf("panic isolated during check: %v", e.Value)
+		msg = fmt.Sprintf("panic isolated during check: %v", e.Value)
+	default:
+		msg = fmt.Sprintf("guard: limit %v reached", e.Kind)
 	}
-	return fmt.Sprintf("guard: limit %v reached", e.Kind)
+	if e.Snapshot != "" {
+		msg += fmt.Sprintf("; progress saved to snapshot %s", e.Snapshot)
+	}
+	return msg
 }
 
 // Is makes errors.Is match ErrLimit, the kind's sentinel, and — for
@@ -168,10 +182,17 @@ func (e *LimitError) Is(target error) bool {
 	return false
 }
 
-// memCheckEvery throttles the ReadMemStats watchdog: the stats are
-// gathered at most once per this interval (the first Check always
-// samples), keeping the per-barrier cost negligible.
-const memCheckEvery = 50 * time.Millisecond
+// The ReadMemStats watchdog samples on an adaptive interval: after
+// each sample the next one is scheduled for when roughly a quarter of
+// the remaining headroom would be consumed at the observed allocation
+// rate, clamped to [memCheckMin, memCheckMax]. A scan allocating fast
+// near the cap is sampled every few hundred microseconds (bounding the
+// overshoot past -maxmem), while an idle or shrinking heap backs off
+// to the old fixed 50ms cadence and pays nothing extra per barrier.
+const (
+	memCheckMin = 500 * time.Microsecond
+	memCheckMax = 50 * time.Millisecond
+)
 
 // Guard bundles the limits one check runs under: a context (deadline
 // and cancellation), a state budget, and a heap cap. The zero of every
@@ -186,6 +207,8 @@ type Guard struct {
 	maxStates int
 	maxMem    uint64
 	lastMem   time.Time
+	lastHeap  uint64
+	memEvery  time.Duration
 }
 
 // New returns a guard over ctx (nil means context.Background()) with
@@ -266,8 +289,10 @@ func (g *Guard) Check(states int) error {
 		return trip(&LimitError{Kind: KindStates, Budget: g.maxStates, Visited: states})
 	}
 	if g.maxMem > 0 {
-		if now := time.Now(); g.lastMem.IsZero() || now.Sub(g.lastMem) >= memCheckEvery {
-			g.lastMem = now
+		if g.memEvery == 0 {
+			g.memEvery = memCheckMin
+		}
+		if now := time.Now(); g.lastMem.IsZero() || now.Sub(g.lastMem) >= g.memEvery {
 			var ms runtime.MemStats
 			runtime.ReadMemStats(&ms)
 			// The watchdog is the one place that already pays for
@@ -281,9 +306,40 @@ func (g *Guard) Check(states int) error {
 					MaxMemBytes: g.maxMem, HeapBytes: ms.HeapAlloc,
 				})
 			}
+			g.memEvery = nextMemCheck(g.memEvery, now.Sub(g.lastMem), g.lastHeap, ms.HeapAlloc, g.maxMem, g.lastMem.IsZero())
+			g.lastMem, g.lastHeap = now, ms.HeapAlloc
 		}
 	}
 	return nil
+}
+
+// nextMemCheck schedules the watchdog's next heap sample from the
+// growth observed over the last interval: the time for the current
+// allocation rate to consume a quarter of the remaining headroom,
+// clamped to [memCheckMin, memCheckMax]. A flat or shrinking heap
+// doubles the interval instead (up to the max), so steady-state scans
+// converge back to the cheap cadence after an allocation burst.
+func nextMemCheck(cur, dt time.Duration, prevHeap, heap, cap uint64, first bool) time.Duration {
+	if first || dt <= 0 {
+		return memCheckMin
+	}
+	if heap <= prevHeap {
+		if cur *= 2; cur > memCheckMax {
+			cur = memCheckMax
+		}
+		return cur
+	}
+	if heap >= cap {
+		return memCheckMin
+	}
+	next := time.Duration(float64(dt) * float64(cap-heap) / (4 * float64(heap-prevHeap)))
+	if next < memCheckMin {
+		return memCheckMin
+	}
+	if next > memCheckMax {
+		return memCheckMax
+	}
+	return next
 }
 
 // trip publishes the limit on the telemetry bus (an EvLimitHit, or an

@@ -3,6 +3,7 @@ package guard
 import (
 	"context"
 	"errors"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -106,6 +107,66 @@ func TestGuardMemoryWatchdog(t *testing.T) {
 	}
 	if err := New(nil, 0, 1<<62).Check(1); err != nil {
 		t.Fatalf("huge cap tripped: %v", err)
+	}
+}
+
+func TestNextMemCheckSchedule(t *testing.T) {
+	// The first sample (no rate observed yet) starts at the floor.
+	if got := nextMemCheck(memCheckMax, time.Millisecond, 0, 0, 1<<30, true); got != memCheckMin {
+		t.Errorf("first interval = %v, want %v", got, memCheckMin)
+	}
+	// Fast growth near the cap pins the interval to the floor.
+	if got := nextMemCheck(memCheckMax, time.Millisecond, 900<<20, 1000<<20, 1024<<20, false); got != memCheckMin {
+		t.Errorf("fast growth near cap = %v, want %v", got, memCheckMin)
+	}
+	// Slow growth far from the cap rides the ceiling.
+	if got := nextMemCheck(memCheckMin, 50*time.Millisecond, 10<<20, 10<<20+1024, 4096<<20, false); got != memCheckMax {
+		t.Errorf("slow growth far from cap = %v, want %v", got, memCheckMax)
+	}
+	// A flat or shrinking heap backs off geometrically.
+	if got := nextMemCheck(memCheckMin, time.Millisecond, 100<<20, 90<<20, 1<<30, false); got != 2*memCheckMin {
+		t.Errorf("shrinking heap = %v, want %v", got, 2*memCheckMin)
+	}
+	// Steady growth schedules for a quarter of the headroom:
+	// 100MiB grown in 10ms with 400MiB headroom left → 10ms.
+	if got, want := nextMemCheck(memCheckMin, 10*time.Millisecond, 0, 100<<20, 500<<20, false), 10*time.Millisecond; got != want {
+		t.Errorf("steady growth = %v, want %v", got, want)
+	}
+}
+
+func TestGuardMemoryWatchdogBoundedOvershoot(t *testing.T) {
+	// Regression: the watchdog used to sample at a fixed 50ms cadence,
+	// so a tight allocation loop could retain hundreds of MiB past
+	// -maxmem between two samples. The adaptive interval must keep the
+	// trip within a modest margin of the cap; the slack is generous to
+	// absorb CI scheduling jitter.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	const headroom = 64 << 20
+	capBytes := ms.HeapAlloc + headroom
+	g := New(nil, 0, capBytes)
+
+	var le *LimitError
+	retained := make([][]byte, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		chunk := make([]byte, 1<<20)
+		chunk[0] = byte(i) // touch so the page is really committed
+		retained = append(retained, chunk)
+		if err := g.Check(i); err != nil {
+			if !errors.As(err, &le) || le.Kind != KindMemory {
+				t.Fatalf("Check = %v, want a memory limit", err)
+			}
+			break
+		}
+	}
+	runtime.KeepAlive(retained)
+	if le == nil {
+		t.Fatal("retained 1GiB past the cap without tripping")
+	}
+	const slack = 48 << 20
+	if le.HeapBytes > capBytes+slack {
+		t.Fatalf("watchdog overshoot: tripped at heap %s, cap %s + %s slack",
+			FormatBytes(le.HeapBytes), FormatBytes(capBytes), FormatBytes(slack))
 	}
 }
 

@@ -30,6 +30,16 @@ package job
 //	                  command
 //	-remote ADDR      submit the job to a running tmcheckd at ADDR
 //	                  instead of checking in-process (tmcheck only)
+//	-checkpoint FILE  append the interned state-space prefix to FILE at
+//	                  every guard barrier, so a killed, timed-out or
+//	                  budget-limited run can be resumed (requires
+//	                  -engine materialized)
+//	-resume FILE      seed the run from the snapshot in FILE; usually
+//	                  the same path as -checkpoint. The resumed run's
+//	                  stdout is byte-identical to an uninterrupted one
+//	-spill DIR        keep the visited set's key storage in mmap-backed
+//	                  files under DIR instead of the heap, so state
+//	                  spaces larger than RAM stay checkable
 //
 // The JSON report (schema "tmcheck/stats/v1") is deterministic in its
 // counter and gauge values for a deterministic command, so reports from
@@ -82,6 +92,9 @@ type Flags struct {
 	TraceFile    string
 	DebugAddr    string
 	Remote       string
+	Checkpoint   string
+	Resume       string
+	Spill        string
 
 	// Prog names the binary in stderr messages; "" means "tmcheck".
 	Prog string
@@ -168,6 +181,12 @@ func Extract(args []string) (Flags, []string, error) {
 			g.DebugAddr, err = value()
 		case "remote":
 			g.Remote, err = value()
+		case "checkpoint":
+			g.Checkpoint, err = value()
+		case "resume":
+			g.Resume, err = value()
+		case "spill":
+			g.Spill, err = value()
 		default:
 			rest = append(rest, arg)
 		}

@@ -104,6 +104,18 @@ type Spec struct {
 	// MaxMem is the heap cap in bytes; 0 resolves to the process-wide
 	// guard.MaxMem().
 	MaxMem uint64
+	// Checkpoint names a snapshot file the run appends the interned
+	// state-space prefix to at every guard barrier, so a killed or
+	// limited run loses no exploration ("" disables). Requires the
+	// materialized engine and a bit-packable system.
+	Checkpoint string
+	// Resume names a snapshot file whose interned prefix seeds the run;
+	// usually the same path as Checkpoint ("" starts fresh).
+	Resume string
+	// Spill names a directory for mmap-backed visited-set key storage,
+	// letting state spaces larger than RAM page out ("" keeps keys on
+	// the heap). Like Checkpoint, it requires the materialized engine.
+	Spill string
 }
 
 // Normalize fills the kind-dependent defaults in place, exactly as the
@@ -141,6 +153,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Threads < 1 || s.Vars < 1 {
 		return fmt.Errorf("job: invalid instance (%d threads, %d variables)", s.Threads, s.Vars)
+	}
+	if (s.Checkpoint != "" || s.Resume != "" || s.Spill != "") && engineName(s.Engine) != "materialized" {
+		return fmt.Errorf("job: -checkpoint/-resume/-spill require -engine materialized (got %q): only the materialized build interns the canonical prefix a snapshot records", engineName(s.Engine))
 	}
 	switch s.Kind {
 	case KindSafety:

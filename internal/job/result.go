@@ -2,6 +2,7 @@ package job
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"tmcheck/internal/guard"
@@ -26,6 +27,9 @@ type Limit struct {
 	// Panic is the formatted panic value (KindPanic); the stack does
 	// not cross the wire.
 	Panic string
+	// Snapshot is the checkpoint file holding the progress made before
+	// the limit tripped ("" when the run was not checkpointing).
+	Snapshot string
 }
 
 // LimitFrom captures a *guard.LimitError for serialization; nil in,
@@ -41,15 +45,10 @@ func LimitFrom(le *guard.LimitError) *Limit {
 		ElapsedNS:   le.Elapsed.Nanoseconds(),
 		MaxMemBytes: le.MaxMemBytes,
 		HeapBytes:   le.HeapBytes,
+		Snapshot:    le.Snapshot,
 	}
 	if le.Kind == guard.KindPanic {
-		l.Panic = le.Error()
-		// Error() is "panic isolated during check: <value>"; keep just
-		// the value so reconstruction does not double the prefix.
-		const prefix = "panic isolated during check: "
-		if len(l.Panic) > len(prefix) {
-			l.Panic = l.Panic[len(prefix):]
-		}
+		l.Panic = fmt.Sprint(le.Value)
 	}
 	return l
 }
@@ -68,6 +67,7 @@ func (l *Limit) Err() *guard.LimitError {
 		Elapsed:     time.Duration(l.ElapsedNS),
 		MaxMemBytes: l.MaxMemBytes,
 		HeapBytes:   l.HeapBytes,
+		Snapshot:    l.Snapshot,
 	}
 	if le.Kind == guard.KindPanic {
 		le.Value = l.Panic
@@ -98,6 +98,9 @@ type Check struct {
 	// Pairs and CexLen mirror the inclusion stats; FrontierPeak,
 	// Expanded and Probes the on-the-fly vitals.
 	Pairs, CexLen, FrontierPeak, Expanded, Probes int
+	// Resumed is the number of TM states seeded from a -resume snapshot
+	// before this check explored anything (0 for a fresh build).
+	Resumed int
 	// Limit is set when the check stopped at a resource limit.
 	Limit *Limit
 }
@@ -108,6 +111,19 @@ type Check struct {
 type Result struct {
 	Spec   Spec
 	Checks []Check
+}
+
+// Resumed reports the largest snapshot seed across the checks — the
+// "resumed from N states" note the CLI prints to stderr (stdout stays
+// byte-identical to an uninterrupted run).
+func (r *Result) Resumed() int {
+	max := 0
+	for i := range r.Checks {
+		if r.Checks[i].Resumed > max {
+			max = r.Checks[i].Resumed
+		}
+	}
+	return max
 }
 
 // Limits collects the reconstructed limit errors of all limited
@@ -139,6 +155,7 @@ func checkFromSafety(r safety.Result) Check {
 		Pairs:        r.Inclusion.PairsVisited,
 		CexLen:       r.Inclusion.CexLen,
 		FrontierPeak: r.FrontierPeak,
+		Resumed:      r.Resumed,
 		Limit:        LimitFrom(r.Limit),
 	}
 	if len(r.Counterexample) > 0 {
@@ -163,6 +180,7 @@ func checkFromLiveness(r liveness.Result) Check {
 		BuildTMNS: r.BuildElapsed.Nanoseconds(),
 		Expanded:  r.Expanded,
 		Probes:    r.Probes,
+		Resumed:   r.Resumed,
 		Limit:     LimitFrom(r.Limit),
 	}
 	if len(r.Loop) > 0 {

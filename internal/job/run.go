@@ -8,8 +8,10 @@ import (
 	"tmcheck/internal/guard"
 	"tmcheck/internal/liveness"
 	"tmcheck/internal/obs"
+	"tmcheck/internal/pack"
 	"tmcheck/internal/parbfs"
 	"tmcheck/internal/safety"
+	"tmcheck/internal/snap"
 	"tmcheck/internal/space"
 	"tmcheck/internal/tm"
 )
@@ -49,21 +51,83 @@ func RunConfig(ctx context.Context, sp Spec, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var prov explore.PersistProvider
+	if sp.Checkpoint != "" || sp.Resume != "" || sp.Spill != "" {
+		store, err := snap.OpenRun(sp.Resume, sp.Checkpoint, sp.Threads, sp.Vars)
+		if err != nil {
+			return nil, err
+		}
+		if store != nil {
+			defer store.Close()
+		}
+		var spill *snap.Spill
+		if sp.Spill != "" {
+			spill = snap.NewSpill(sp.Spill)
+			defer spill.Close()
+		}
+		prov = persistProvider(store, spill)
+	}
 	res := &Result{Spec: sp}
 	switch sp.Kind {
 	case KindSafety:
-		err = runSafety(ctx, sp, cfg, engine, res)
+		err = runSafety(ctx, sp, cfg, engine, prov, res)
 	case KindLiveness:
-		err = runLiveness(ctx, sp, cfg, engine, res)
+		err = runLiveness(ctx, sp, cfg, engine, prov, res)
 	case KindTable2:
-		err = runTable2(ctx, sp, cfg, engine, res)
+		err = runTable2(ctx, sp, cfg, engine, prov, res)
 	case KindTable3:
-		err = runTable3(ctx, sp, cfg, engine, res)
+		err = runTable3(ctx, sp, cfg, engine, prov, res)
 	}
+	annotateSnapshot(res, err, sp.Checkpoint)
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// persistProvider composes the snapshot store and the spill arena into
+// the per-system provider the engines consult: the store contributes
+// the resume prefix and the append sink, the spill contributes
+// mmap-backed key storage. Each invocation hands out fresh spill
+// regions, so concurrent table rows never share an arena.
+func persistProvider(store *snap.Store, spill *snap.Spill) explore.PersistProvider {
+	if store == nil && spill == nil {
+		return nil
+	}
+	return func(alg tm.Algorithm, cm tm.ContentionManager) (*explore.Persist, error) {
+		p := &explore.Persist{}
+		if store != nil {
+			var err error
+			if p, err = store.Persist(alg, cm); err != nil {
+				return nil, err
+			}
+		}
+		if spill != nil {
+			p.Grow = spill.Grow()
+			p.GrowShard = func(int) pack.GrowFunc { return spill.Grow() }
+		}
+		return p, nil
+	}
+}
+
+// annotateSnapshot stamps the checkpoint path onto every limit the run
+// reports — the keep-going table cells and the fail-fast error alike —
+// so a LIMIT(kind) verdict tells the user where the saved progress
+// lives and how to pick it back up.
+func annotateSnapshot(res *Result, err error, path string) {
+	if path == "" {
+		return
+	}
+	if res != nil {
+		for i := range res.Checks {
+			if res.Checks[i].Limit != nil {
+				res.Checks[i].Limit.Snapshot = path
+			}
+		}
+	}
+	if le := AsLimit(err); le != nil {
+		le.Snapshot = path
+	}
 }
 
 // phaseFn opens an obs phase unless the config suppresses them.
@@ -87,7 +151,7 @@ func system(sp Spec) (tm.Algorithm, tm.ContentionManager, error) {
 	return alg, cm, nil
 }
 
-func runSafety(ctx context.Context, sp Spec, cfg Config, engine space.Engine, res *Result) error {
+func runSafety(ctx context.Context, sp Spec, cfg Config, engine space.Engine, prov explore.PersistProvider, res *Result) error {
 	alg, cm, err := system(sp)
 	if err != nil {
 		return err
@@ -99,6 +163,7 @@ func runSafety(ctx context.Context, sp Spec, cfg Config, engine space.Engine, re
 		Engine:    engine,
 		Ctx:       ctx,
 		NoPhases:  cfg.NoPhases,
+		Persist:   prov,
 	})
 	if err != nil {
 		return err
@@ -107,7 +172,7 @@ func runSafety(ctx context.Context, sp Spec, cfg Config, engine space.Engine, re
 	return nil
 }
 
-func runLiveness(ctx context.Context, sp Spec, cfg Config, engine space.Engine, res *Result) error {
+func runLiveness(ctx context.Context, sp Spec, cfg Config, engine space.Engine, prov explore.PersistProvider, res *Result) error {
 	alg, cm, err := system(sp)
 	if err != nil {
 		return err
@@ -144,7 +209,7 @@ func runLiveness(ctx context.Context, sp Spec, cfg Config, engine space.Engine, 
 	}
 	buildStart := time.Now()
 	buildDone := phaseFn(cfg, "build-tm")
-	ts, err := explore.BuildGuarded(alg, cm, workers, guard.New(ctx, maxStates, maxMem))
+	ts, err := explore.BuildProviderGuarded(alg, cm, workers, guard.New(ctx, maxStates, maxMem), prov)
 	buildDone()
 	if err != nil {
 		return err
@@ -164,11 +229,12 @@ func runLiveness(ctx context.Context, sp Spec, cfg Config, engine space.Engine, 
 		checkDone()
 	}
 	checks[0].BuildTMNS = buildElapsed.Nanoseconds()
+	checks[0].Resumed = ts.Resumed
 	res.Checks = checks
 	return nil
 }
 
-func runTable2(ctx context.Context, sp Spec, cfg Config, engine space.Engine, res *Result) error {
+func runTable2(ctx context.Context, sp Spec, cfg Config, engine space.Engine, prov explore.PersistProvider, res *Result) error {
 	systems := safety.PaperSystems(sp.Threads, sp.Vars)
 	if sp.Ext {
 		for _, name := range []string{"norec", "etl", "2pl-noreadlock", "dstm-novalidate"} {
@@ -185,6 +251,7 @@ func runTable2(ctx context.Context, sp Spec, cfg Config, engine space.Engine, re
 		MaxMem:    sp.MaxMem,
 		Ctx:       ctx,
 		NoPhases:  cfg.NoPhases,
+		Persist:   prov,
 	})
 	for _, row := range rows {
 		res.Checks = append(res.Checks, checkFromSafety(row.SS), checkFromSafety(row.OP))
@@ -192,7 +259,7 @@ func runTable2(ctx context.Context, sp Spec, cfg Config, engine space.Engine, re
 	return nil
 }
 
-func runTable3(ctx context.Context, sp Spec, cfg Config, engine space.Engine, res *Result) error {
+func runTable3(ctx context.Context, sp Spec, cfg Config, engine space.Engine, prov explore.PersistProvider, res *Result) error {
 	systems := liveness.PaperSystems(sp.Threads, sp.Vars)
 	rows := liveness.Table3ResilientOpts(systems, engine, liveness.Options{
 		Workers:   sp.Workers,
@@ -200,6 +267,7 @@ func runTable3(ctx context.Context, sp Spec, cfg Config, engine space.Engine, re
 		MaxMem:    sp.MaxMem,
 		Ctx:       ctx,
 		NoPhases:  cfg.NoPhases,
+		Persist:   prov,
 	})
 	for _, row := range rows {
 		res.Checks = append(res.Checks,

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -40,6 +41,11 @@ type Config struct {
 	// Heartbeat is the interval of server→client liveness probes; <= 0
 	// disables them.
 	Heartbeat time.Duration
+	// SnapDir is the directory snapshot files live in. A Spec naming a
+	// checkpoint, resume or spill path is rewritten to this directory
+	// (base name only — clients don't choose server paths); "" refuses
+	// such Specs, so an operator must opt the daemon into disk writes.
+	SnapDir string
 	// Logf receives one line per lifecycle event (accept, submit,
 	// done, drain); nil discards.
 	Logf func(format string, args ...any)
@@ -343,6 +349,10 @@ func (cs *connState) submit(reqID uint64, sp job.Spec) {
 	}
 	s.applyDefaults(&sp)
 	sp.Normalize()
+	if err := s.resolveSnapPaths(&sp); err != nil {
+		_ = cs.wc.Write(reqID, wire.ErrorMsg{Msg: err.Error()})
+		return
+	}
 	if err := sp.Validate(); err != nil {
 		_ = cs.wc.Write(reqID, wire.ErrorMsg{Msg: err.Error()})
 		return
@@ -398,6 +408,29 @@ func (cs *connState) submit(reqID uint64, sp job.Spec) {
 			s.cfg.Logf("tmcheckd: %s req %d: result write failed: %v", cs.nc.RemoteAddr(), reqID, werr)
 		}
 	}()
+}
+
+// resolveSnapPaths confines a Spec's checkpoint/resume/spill paths to
+// the configured snapshot directory: clients name snapshots, the
+// operator decides where they live. Without a SnapDir such Specs are
+// refused rather than silently run unsnapshotted.
+func (s *Server) resolveSnapPaths(sp *job.Spec) error {
+	if sp.Checkpoint == "" && sp.Resume == "" && sp.Spill == "" {
+		return nil
+	}
+	if s.cfg.SnapDir == "" {
+		return errors.New("tmcheckd: this server has no -snap-dir; checkpoint/resume/spill jobs are refused")
+	}
+	if sp.Checkpoint != "" {
+		sp.Checkpoint = filepath.Join(s.cfg.SnapDir, filepath.Base(sp.Checkpoint))
+	}
+	if sp.Resume != "" {
+		sp.Resume = filepath.Join(s.cfg.SnapDir, filepath.Base(sp.Resume))
+	}
+	if sp.Spill != "" {
+		sp.Spill = s.cfg.SnapDir
+	}
+	return nil
 }
 
 // applyDefaults fills the server's budget defaults into unset Spec

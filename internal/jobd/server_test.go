@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -370,5 +372,50 @@ func TestHeartbeats(t *testing.T) {
 	res, err := c.Run(context.Background(), job.Spec{Kind: job.KindLiveness, TM: "dstm", CM: "aggressive"}, nil)
 	if err != nil || len(res.Checks) != 3 {
 		t.Fatalf("run under heartbeats: %v %+v", err, res)
+	}
+}
+
+// TestSnapDirRefusedWithoutConfig: a daemon with no -snap-dir refuses
+// checkpoint/resume/spill jobs instead of writing wherever the client
+// says.
+func TestSnapDirRefusedWithoutConfig(t *testing.T) {
+	_, addr := startServer(t, Config{Jobs: 1})
+	c := dial(t, addr)
+	sp := job.Spec{Kind: job.KindSafety, TM: "tl2", Engine: "materialized", Checkpoint: "/etc/evil.snap"}
+	_, err := c.Run(context.Background(), sp, nil)
+	if err == nil || !strings.Contains(err.Error(), "no -snap-dir") {
+		t.Errorf("checkpoint without -snap-dir: err = %v, want refusal", err)
+	}
+}
+
+// TestSnapDirConfinesPaths: client-named snapshot paths are resolved
+// into the operator's snapshot directory (base name only), and a
+// checkpoint written through the daemon resumes through the daemon.
+func TestSnapDirConfinesPaths(t *testing.T) {
+	dir := t.TempDir()
+	_, addr := startServer(t, Config{Jobs: 1, SnapDir: dir})
+	c := dial(t, addr)
+
+	sp := job.Spec{Kind: job.KindSafety, TM: "tl2", Engine: "materialized",
+		Checkpoint: "/tmp/elsewhere/run.snap"}
+	res, err := c.Run(context.Background(), sp, nil)
+	if err != nil || !res.Checks[0].Holds {
+		t.Fatalf("checkpointed job: %v %+v", err, res)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "run.snap")); err != nil {
+		t.Fatalf("snapshot not confined to the snap dir: %v", err)
+	}
+
+	rsp := job.Spec{Kind: job.KindSafety, TM: "tl2", Engine: "materialized",
+		Resume: "../../run.snap"}
+	rres, err := c.Run(context.Background(), rsp, nil)
+	if err != nil || !rres.Checks[0].Holds {
+		t.Fatalf("resumed job: %v %+v", err, rres)
+	}
+	if rres.Resumed() == 0 {
+		t.Error("resume through the daemon seeded nothing")
+	}
+	if rres.Checks[0].TMStates != res.Checks[0].TMStates {
+		t.Errorf("resumed TMStates = %d, want %d", rres.Checks[0].TMStates, res.Checks[0].TMStates)
 	}
 }

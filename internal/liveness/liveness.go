@@ -114,6 +114,10 @@ type Result struct {
 	// Probes counts the lasso probes the geometric schedule ran before
 	// the check concluded.
 	Probes int
+	// Resumed is the number of TM states seeded from a snapshot before
+	// the row explored anything (zero for a fresh build); like
+	// BuildElapsed it is charged to the row's first check.
+	Resumed int
 	// Limit is non-nil when the check stopped at a resource limit
 	// before resolving this property; Holds is then meaningless and the
 	// keep-going table drivers render the cell as LIMIT(kind). A

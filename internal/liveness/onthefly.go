@@ -88,6 +88,11 @@ type Options struct {
 	// single-threaded spine); counters and bus events still record.
 	// Front-ends running checks concurrently (tmcheckd) set it.
 	NoPhases bool
+	// Persist supplies checkpoint/resume and disk-spill wiring for the
+	// TM exploration (see explore.PersistProvider); nil runs plain.
+	// Honored by the materialized Table 3 driver only — the on-the-fly
+	// engine does not intern a resumable prefix.
+	Persist explore.PersistProvider
 }
 
 // guard builds one check's guard from the options, resolving unset

@@ -70,7 +70,7 @@ func table3ResilientRow(sys System, engine space.Engine, phase bool, opts Option
 		return row
 	}
 	buildStart := time.Now()
-	ts, err := explore.BuildGuarded(sys.Alg, sys.CM, 1, g)
+	ts, err := explore.BuildProviderGuarded(sys.Alg, sys.CM, 1, g, opts.Persist)
 	buildElapsed := time.Since(buildStart)
 	if err != nil {
 		row := limitedRow(sys, space.EngineMaterialized, buildElapsed, err)
@@ -83,6 +83,7 @@ func table3ResilientRow(sys System, engine space.Engine, phase bool, opts Option
 		Wait:        CheckWaitFreedom(ts),
 	}
 	row.Obstruction.BuildElapsed = buildElapsed
+	row.Obstruction.Resumed = ts.Resumed
 	recordDriverRow3(row)
 	return row
 }

@@ -89,6 +89,13 @@ func Hash(key []uint64) uint64 {
 	return h
 }
 
+// GrowFunc reallocates a flat key slice to capacity ≥ need words,
+// preserving its contents and length. The disk-spill layer
+// (internal/snap) supplies mmap-backed growers so visited sets larger
+// than RAM stay addressable; the returned slice replaces cur, which
+// must not be used afterwards.
+type GrowFunc func(need int, cur []uint64) []uint64
+
 // Map is an open-addressing hash table from fixed-width keys to int32
 // values, preserving insertion order: KeyAt/ValAt index entries
 // densely in first-Put order. Key storage is one flat []uint64 at
@@ -97,11 +104,29 @@ func Hash(key []uint64) uint64 {
 // The zero Map is not ready; use NewMap. Map is not safe for
 // concurrent use; callers lock (the parallel engines shard instead).
 type Map struct {
-	kw    int
-	mask  uint64
-	slots []int32 // entry index + 1; 0 = empty
-	keys  []uint64
-	vals  []int32
+	kw       int
+	mask     uint64
+	slots    []int32 // entry index + 1; 0 = empty
+	keys     []uint64
+	vals     []int32
+	growKeys GrowFunc // nil: plain append growth
+}
+
+// SetKeyBacking installs a custom allocator for the flat key storage.
+// All subsequent key-array growth goes through grow instead of append's
+// heap doubling; existing keys migrate on the first growth. The slot
+// and value arrays (4 bytes per entry each) stay on the heap.
+func (m *Map) SetKeyBacking(grow GrowFunc) { m.growKeys = grow }
+
+// appendKey appends one key to the dense storage, honoring the custom
+// backing when one is installed.
+func (m *Map) appendKey(key []uint64) {
+	if m.growKeys != nil {
+		if need := len(m.keys) + len(key); need > cap(m.keys) {
+			m.keys = m.growKeys(need, m.keys)
+		}
+	}
+	m.keys = append(m.keys, key...)
 }
 
 // NewMap returns an empty map for keys of kw words, sized for about
@@ -177,7 +202,7 @@ func (m *Map) GetOrPut(key []uint64, val int32) (int32, bool) {
 		i = (i + 1) & m.mask
 	}
 	e := int32(len(m.vals))
-	m.keys = append(m.keys, key...)
+	m.appendKey(key)
 	m.vals = append(m.vals, val)
 	m.slots[i] = e + 1
 	if uint64(len(m.vals))*4 > (m.mask+1)*3 {
@@ -201,7 +226,7 @@ func (m *Map) Put(key []uint64, val int32) {
 		i = (i + 1) & m.mask
 	}
 	e := int32(len(m.vals))
-	m.keys = append(m.keys, key...)
+	m.appendKey(key)
 	m.vals = append(m.vals, val)
 	m.slots[i] = e + 1
 	if uint64(len(m.vals))*4 > (m.mask+1)*3 {

@@ -96,6 +96,25 @@ type gathered struct {
 	sh, idx int32
 }
 
+// PackedSeed resumes the engine from an already-interned canonical
+// prefix: Keys holds the packed keys of states 0..N-1 flat at stride
+// kw, and ids [Frontier, N) form the BFS level the run continues from
+// (Frontier == N resumes a completed scan: the engine returns without
+// expanding anything). The seeded states enter the visited tables but
+// place is not called for them — the caller already holds their keys.
+type PackedSeed struct {
+	Keys     []uint64
+	Frontier int
+}
+
+// PackedOpts are the optional knobs of RunPackedOpts. KeyBacking, when
+// set, supplies a per-shard allocator for the visited tables' flat key
+// storage (the disk-spill path); each shard index is requested once.
+type PackedOpts struct {
+	Seed       *PackedSeed
+	KeyBacking func(shard int) pack.GrowFunc
+}
+
 // RunPackedControlled is RunControlled over bit-packed state keys of kw
 // words. The hooks mirror RunControlled's, with two differences: they
 // receive the executing worker's index (so callers keep per-worker
@@ -115,6 +134,25 @@ func RunPackedControlled(
 	place func(id int, key []uint64),
 	finish func(w, id int, succ []int32),
 ) (Stats, error) {
+	return RunPackedOpts(kw, init, workers, PackedOpts{}, control, expand, place, finish)
+}
+
+// RunPackedOpts is RunPackedControlled with seeding and spill options.
+// A seeded run continues the level-synchronized BFS from the given
+// prefix; because new states are still ordered by their minimal
+// discovery key at every barrier, the numbering it assigns from
+// Frontier onward is bit-identical to an uninterrupted run at any
+// worker count.
+func RunPackedOpts(
+	kw int,
+	init []uint64,
+	workers int,
+	opts PackedOpts,
+	control func(states int) error,
+	expand func(w, id int, emit func(key []uint64)),
+	place func(id int, key []uint64),
+	finish func(w, id int, succ []int32),
+) (Stats, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -123,6 +161,9 @@ func RunPackedControlled(
 	for i := range eng.shards {
 		eng.shards[i].known = pack.NewMap(kw, 0)
 		eng.shards[i].cands = pack.NewMap(kw, 0)
+		if opts.KeyBacking != nil {
+			eng.shards[i].known.SetKeyBacking(opts.KeyBacking(i))
+		}
 	}
 	pws := make([]*pworker, workers)
 	succScratch := make([][]int32, workers)
@@ -132,11 +173,26 @@ func RunPackedControlled(
 
 	st := Stats{Shards: nshards}
 	var panics panicBox
-	place(0, init)
-	eng.shards[eng.shardOf(init)].known.Put(init, 0)
-	level := []int32{0}
+	var level []int32
+	var nextID int32
+	if seed := opts.Seed; seed != nil {
+		n := len(seed.Keys) / kw
+		for id := 0; id < n; id++ {
+			key := seed.Keys[id*kw : (id+1)*kw]
+			eng.shards[eng.shardOf(key)].known.Put(key, int32(id))
+		}
+		for id := seed.Frontier; id < n; id++ {
+			level = append(level, int32(id))
+		}
+		nextID = int32(n)
+	} else {
+		place(0, init)
+		eng.shards[eng.shardOf(init)].known.Put(init, 0)
+		level = []int32{0}
+		nextID = 1
+	}
+	startID := nextID
 	var nextLevel []int32
-	nextID := int32(1)
 	var emissions int64
 	var outs [][]int64
 	var fresh []gathered
@@ -156,7 +212,7 @@ func RunPackedControlled(
 			outs[fi] = pw.refs
 		}))
 		if err := panics.limit(); err != nil {
-			finalizePacked(eng, &st, emissions, nextID)
+			finalizePacked(eng, &st, emissions, nextID-startID)
 			return st, err
 		}
 
@@ -202,7 +258,7 @@ func RunPackedControlled(
 			finish(w, int(level[fi]), succ)
 		}))
 		if err := panics.limit(); err != nil {
-			finalizePacked(eng, &st, emissions, nextID)
+			finalizePacked(eng, &st, emissions, nextID-startID)
 			return st, err
 		}
 		for _, refs := range outs {
@@ -223,22 +279,25 @@ func RunPackedControlled(
 
 		if control != nil {
 			if err := control(int(nextID)); err != nil {
-				finalizePacked(eng, &st, emissions, nextID)
+				finalizePacked(eng, &st, emissions, nextID-startID)
 				return st, err
 			}
 		}
 	}
 
-	finalizePacked(eng, &st, emissions, nextID)
+	finalizePacked(eng, &st, emissions, nextID-startID)
 	return st, nil
 }
 
 // finalizePacked fills in the run-wide intern-table statistics.
-func finalizePacked(eng *pengine, st *Stats, emissions int64, nextID int32) {
+// discovered counts the states this run itself assigned ids to (a
+// seeded resume excludes the snapshot prefix, whose emissions it never
+// saw), so DupHits stays the rediscovery count of the emissions made.
+func finalizePacked(eng *pengine, st *Stats, emissions int64, discovered int32) {
 	for i := range eng.shards {
 		if l := eng.shards[i].known.Len(); l > st.MaxShardLoad {
 			st.MaxShardLoad = l
 		}
 	}
-	st.DupHits = emissions - (int64(nextID) - 1)
+	st.DupHits = emissions - int64(discovered)
 }

@@ -63,6 +63,11 @@ type Options struct {
 	// single-threaded spine); counters and bus events still record.
 	// Front-ends running checks concurrently (tmcheckd) set it.
 	NoPhases bool
+	// Persist supplies checkpoint/resume and disk-spill wiring for the
+	// TM exploration (see explore.PersistProvider); nil runs plain.
+	// Only the materialized engine interns the canonical prefix a
+	// snapshot records, so setting this with EngineOnTheFly is an error.
+	Persist explore.PersistProvider
 }
 
 // guard builds one check's guard from the options, resolving unset
@@ -101,9 +106,12 @@ func VerifyOpts(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, o
 	}
 	g := opts.guard()
 	if opts.Engine == EngineOnTheFly {
+		if opts.Persist != nil {
+			return Result{}, errors.New("safety: checkpoint/resume requires the materialized engine (the on-the-fly product does not intern a resumable prefix)")
+		}
 		return checkOnTheFly(alg, cm, prop, workers, g, !opts.NoPhases)
 	}
-	return verifyMaterialized(alg, cm, prop, workers, g, !opts.NoPhases)
+	return verifyMaterialized(alg, cm, prop, workers, g, !opts.NoPhases, opts.Persist)
 }
 
 // CheckOnTheFly verifies the TM with the on-the-fly engine at the
@@ -147,12 +155,12 @@ func checkEvents(name string) func(res Result, err error) {
 // and heap watchdog are shared across all three unchanged).
 // phase=false suppresses the obs span for callers off the
 // single-threaded spine.
-func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, workers int, g *guard.Guard, phase bool) (res Result, err error) {
+func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Property, workers int, g *guard.Guard, phase bool, prov explore.PersistProvider) (res Result, err error) {
 	fin := checkEvents("dfa:" + systemName(alg, cm) + ":" + prop.Key())
 	defer func() { fin(res, err) }()
 	maxStates := g.MaxStates()
 	buildStart := time.Now()
-	ts, err := explore.BuildGuarded(alg, cm, workers, g)
+	ts, err := explore.BuildProviderGuarded(alg, cm, workers, g, prov)
 	if err != nil {
 		return Result{}, err
 	}
@@ -202,6 +210,7 @@ func verifyMaterialized(alg tm.Algorithm, cm tm.ContentionManager, prop spec.Pro
 		BuildSpecElapsed: specElapsed,
 		Inclusion:        st,
 		Engine:           EngineMaterialized,
+		Resumed:          ts.Resumed,
 	}
 	if !ok {
 		res.Counterexample = ts.Alphabet.DecodeWord(cexLetters)

@@ -207,7 +207,7 @@ func table2ResilientMat(systems []System, workers int, opts Options) []Table2Row
 		doneSys := pf("safety:" + name)
 		doneBuild := pf("build-tm")
 		buildStart := time.Now()
-		ts, buildErr := explore.BuildGuarded(sys.Alg, sys.CM, workers, opts.guard())
+		ts, buildErr := explore.BuildProviderGuarded(sys.Alg, sys.CM, workers, opts.guard(), opts.Persist)
 		buildElapsed := time.Since(buildStart)
 		doneBuild()
 		if buildErr != nil {

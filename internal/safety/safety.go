@@ -65,6 +65,9 @@ type Result struct {
 	// FrontierPeak is the peak BFS frontier of the on-the-fly product
 	// search (zero for the materialized engine).
 	FrontierPeak int
+	// Resumed is the number of TM states seeded from a snapshot before
+	// this check explored anything (zero for a fresh build).
+	Resumed int
 	// Limit is non-nil when the check stopped at a resource limit
 	// instead of reaching a verdict; Holds is then meaningless and the
 	// keep-going table drivers render the row as LIMIT(kind). TMStates
@@ -128,6 +131,7 @@ func checkAgainstDFAGuarded(ts *explore.TS, prop spec.Property, dfa *automata.DF
 		Holds:      ok,
 		Elapsed:    elapsed,
 		Inclusion:  st,
+		Resumed:    ts.Resumed,
 	}
 	if !ok {
 		res.Counterexample = ts.Alphabet.DecodeWord(cexLetters)

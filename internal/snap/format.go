@@ -1,0 +1,244 @@
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+
+	"tmcheck/internal/core"
+	"tmcheck/internal/explore"
+	"tmcheck/internal/tm"
+)
+
+// The snapshot file format, modeled on append-only-log persistence
+// (gridhouse's AOF): a magic string, then a sequence of CRC-framed
+// records, each fsynced as a unit, so a snapshot killed mid-write
+// (SIGKILL, power loss) is a valid snapshot with a torn tail that Load
+// truncates away.
+//
+//	file   := magic record*
+//	magic  := "tmsnap01" (8 bytes)
+//	record := len:u32le crc:u32le payload   (crc = IEEE CRC-32 of payload)
+//
+// The payload's first byte is the record type:
+//
+//	header  (1) := version:u32 fingerprint:u64 threads:u32 vars:u32
+//	section (2) := id:u32 tm:str cm:str kw:u32 keyBits:u32
+//	level   (3) := id:u32 prevInterned:u64 interned:u64
+//	               prevExpanded:u64 expanded:u64
+//	               key words ((interned-prevInterned)·kw × u64)
+//	               per state in [prevExpanded, expanded):
+//	                 nedges:u32 then nedges × 12-byte edges
+//	edge        := to:u32 emit:u16 op:u8 v:u8 t:u8 xkind:u8 xv:u8 r:u8
+//	str         := len:u16 bytes
+//
+// All integers are little-endian and fixed-width. The header is always
+// the first record; its fingerprint hashes the TM/CM registry so a
+// snapshot resumed under a binary with a different algorithm set fails
+// loudly, and threads/vars pin the instance parameters. Level records
+// carry their previous barrier coordinates, so replaying a file is
+// idempotent: a record whose prev coordinates do not extend the
+// section's current state is either a stale duplicate (skipped) or
+// corruption (refused).
+
+const magic = "tmsnap01"
+
+// FormatVersion is the snapshot format version written into (and
+// required of) the header record.
+const FormatVersion = 1
+
+const (
+	recHeader  = 1
+	recSection = 2
+	recLevel   = 3
+)
+
+// edgeBytes is the fixed on-disk size of one explore.Edge.
+const edgeBytes = 12
+
+// Fingerprint hashes the snapshot format version and the registered
+// TM-algorithm and contention-manager names. Two binaries with the
+// same fingerprint assign the same meaning to a section's (tm, cm)
+// names, so resuming across them is exact; a mismatch is refused.
+func Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "tmsnap/%d", FormatVersion)
+	for _, n := range tm.AlgorithmNames() {
+		io.WriteString(h, "\x00"+n)
+	}
+	io.WriteString(h, "\x01")
+	for _, n := range tm.ManagerNames() {
+		io.WriteString(h, "\x00"+n)
+	}
+	return h.Sum64()
+}
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// frame wraps a payload into a length+CRC framed record.
+func frame(payload []byte) []byte {
+	rec := make([]byte, 0, 8+len(payload))
+	rec = appendU32(rec, uint32(len(payload)))
+	rec = appendU32(rec, crc32.ChecksumIEEE(payload))
+	return append(rec, payload...)
+}
+
+func encodeHeader(threads, vars int) []byte {
+	b := []byte{recHeader}
+	b = appendU32(b, FormatVersion)
+	b = appendU64(b, Fingerprint())
+	b = appendU32(b, uint32(threads))
+	return appendU32(b, uint32(vars))
+}
+
+func encodeSection(sec *section) []byte {
+	b := []byte{recSection}
+	b = appendU32(b, sec.id)
+	b = appendStr(b, sec.tmName)
+	b = appendStr(b, sec.cmName)
+	b = appendU32(b, uint32(sec.kw))
+	return appendU32(b, uint32(sec.keyBits))
+}
+
+func encodeLevel(id uint32, prevI, interned, prevE, expanded int, newKeys []uint64, newOut [][]explore.Edge) []byte {
+	size := 1 + 4 + 4*8 + 8*len(newKeys)
+	for _, es := range newOut {
+		size += 4 + edgeBytes*len(es)
+	}
+	b := make([]byte, 0, size)
+	b = append(b, recLevel)
+	b = appendU32(b, id)
+	b = appendU64(b, uint64(prevI))
+	b = appendU64(b, uint64(interned))
+	b = appendU64(b, uint64(prevE))
+	b = appendU64(b, uint64(expanded))
+	for _, w := range newKeys {
+		b = appendU64(b, w)
+	}
+	for _, es := range newOut {
+		b = appendU32(b, uint32(len(es)))
+		for _, e := range es {
+			b = appendU32(b, uint32(e.To))
+			b = binary.LittleEndian.AppendUint16(b, uint16(e.Emit))
+			b = append(b, byte(e.Cmd.Op), byte(e.Cmd.V), byte(e.T), byte(e.X.Kind), byte(e.X.V), byte(e.R))
+		}
+	}
+	return b
+}
+
+// decoder is a bounds-checked cursor over one record payload; any
+// overrun poisons it and the caller reports the record corrupt.
+type decoder struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.bad || d.off+n > len(d.b) {
+		d.bad = true
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *decoder) u32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (d *decoder) u64() uint64 {
+	s := d.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (d *decoder) u16() uint16 {
+	s := d.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	s := d.take(n)
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+// levelRecord is one decoded level delta. The section id has already
+// been consumed by the caller — the section's key width is needed to
+// decode the key block.
+type levelRecord struct {
+	prevI, interned int
+	prevE, expanded int
+	keys            []uint64
+	out             [][]explore.Edge
+}
+
+func decodeLevel(d *decoder, kw int) (levelRecord, error) {
+	var lr levelRecord
+	lr.prevI = int(d.u64())
+	lr.interned = int(d.u64())
+	lr.prevE = int(d.u64())
+	lr.expanded = int(d.u64())
+	if d.bad || lr.interned < lr.prevI || lr.expanded < lr.prevE || lr.expanded > lr.interned {
+		return lr, fmt.Errorf("snap: malformed level record bounds")
+	}
+	nk := (lr.interned - lr.prevI) * kw
+	raw := d.take(8 * nk)
+	if raw == nil {
+		return lr, fmt.Errorf("snap: truncated level record keys")
+	}
+	lr.keys = make([]uint64, nk)
+	for i := range lr.keys {
+		lr.keys[i] = binary.LittleEndian.Uint64(raw[8*i:])
+	}
+	lr.out = make([][]explore.Edge, 0, lr.expanded-lr.prevE)
+	for s := lr.prevE; s < lr.expanded; s++ {
+		ne := int(d.u32())
+		raw := d.take(edgeBytes * ne)
+		if raw == nil {
+			return lr, fmt.Errorf("snap: truncated level record edges")
+		}
+		var es []explore.Edge
+		if ne > 0 {
+			es = make([]explore.Edge, ne)
+			for j := range es {
+				p := raw[edgeBytes*j:]
+				es[j] = explore.Edge{
+					To:   int32(binary.LittleEndian.Uint32(p)),
+					Emit: int16(binary.LittleEndian.Uint16(p[4:])),
+					Cmd:  core.Command{Op: core.Op(p[6]), V: core.Var(p[7])},
+					T:    core.Thread(p[8]),
+					X:    tm.XCmd{Kind: tm.XKind(p[9]), V: core.Var(p[10])},
+					R:    tm.Resp(p[11]),
+				}
+			}
+		}
+		lr.out = append(lr.out, es)
+	}
+	if d.bad || d.off != len(d.b) {
+		return lr, fmt.Errorf("snap: malformed level record")
+	}
+	return lr, nil
+}

@@ -1,0 +1,185 @@
+// Resume-equivalence property tests: a checkpointed run interrupted at
+// ANY record boundary of its snapshot — every state a crash, SIGKILL
+// or tripped limit can leave the file in, after torn-tail truncation —
+// resumes to verdicts bit-identical to an uninterrupted run, at any
+// worker count. External test package: it drives the full job layer,
+// which sits above snap.
+package snap_test
+
+import (
+	"context"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tmcheck/internal/guard"
+	"tmcheck/internal/job"
+)
+
+// recordBoundaries returns every prefix length at which the snapshot
+// file consists of the magic plus whole records — offset 8 (magic
+// only) first, the full file size last.
+func recordBoundaries(t *testing.T, path string) []int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(8) // the "tmsnap01" magic
+	bounds := []int64{off}
+	for off < int64(len(data)) {
+		if off+8 > int64(len(data)) {
+			t.Fatalf("trailing garbage at offset %d", off)
+		}
+		plen := binary.LittleEndian.Uint32(data[off:])
+		off += 8 + int64(plen)
+		bounds = append(bounds, off)
+	}
+	if off != int64(len(data)) {
+		t.Fatalf("final record overruns the file: offset %d, size %d", off, len(data))
+	}
+	return bounds
+}
+
+// prefixFile copies the first n bytes of path into dir and returns the
+// copy's path.
+func prefixFile(t *testing.T, path string, n int64, dir string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "prefix.snap")
+	if err := os.WriteFile(out, data[:n], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// stripVolatile zeroes the fields that legitimately differ between an
+// uninterrupted and a resumed run — wall-clocks, build vitals and the
+// resume seed itself. Everything left must be bit-identical.
+func stripVolatile(cs []job.Check) []job.Check {
+	out := append([]job.Check(nil), cs...)
+	for i := range out {
+		out[i].ElapsedNS, out[i].BuildTMNS, out[i].BuildSpecNS = 0, 0, 0
+		out[i].FrontierPeak = 0
+		out[i].Resumed = 0
+		out[i].Limit = nil
+	}
+	return out
+}
+
+func mustRun(t *testing.T, sp job.Spec) *job.Result {
+	t.Helper()
+	res, err := job.Run(context.Background(), sp)
+	if err != nil {
+		t.Fatalf("job.Run(%s): %v", sp.Kind, err)
+	}
+	return res
+}
+
+func tl2Spec(kind job.Kind, workers int) job.Spec {
+	return job.Spec{
+		Kind:    kind,
+		TM:      "tl2",
+		Threads: 2, Vars: 2,
+		Engine:  "materialized",
+		Workers: workers,
+	}
+}
+
+func TestResumeEquivalenceEveryBoundary(t *testing.T) {
+	for _, kind := range []job.Kind{job.KindSafety, job.KindLiveness} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			baseline := mustRun(t, tl2Spec(kind, 1))
+			want := stripVolatile(baseline.Checks)
+
+			snapPath := filepath.Join(dir, "full.snap")
+			sp := tl2Spec(kind, 1)
+			sp.Checkpoint = snapPath
+			ckpt := mustRun(t, sp)
+			if !reflect.DeepEqual(stripVolatile(ckpt.Checks), want) {
+				t.Fatalf("checkpointing changed the verdicts:\nwant %+v\ngot  %+v", want, ckpt.Checks)
+			}
+
+			bounds := recordBoundaries(t, snapPath)
+			if len(bounds) < 4 {
+				t.Fatalf("suspiciously few record boundaries: %v", bounds)
+			}
+			full := baseline.Checks[0].TMStates
+			prefixDir := t.TempDir()
+			for i, n := range bounds {
+				boundaries := i > 0 // bounds[0] is the bare magic: no header record
+				for _, workers := range []int{1, 4} {
+					prefix := prefixFile(t, snapPath, n, prefixDir)
+					rsp := tl2Spec(kind, workers)
+					rsp.Resume = prefix
+					res, err := job.Run(context.Background(), rsp)
+					if !boundaries {
+						// A file that never got its header is refused loudly,
+						// not silently restarted.
+						if err == nil || !strings.Contains(err.Error(), "no intact header record") {
+							t.Fatalf("headerless prefix: want loud refusal, got %v", err)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("boundary %d/%d (offset %d) workers=%d: %v", i, len(bounds)-1, n, workers, err)
+					}
+					if got := stripVolatile(res.Checks); !reflect.DeepEqual(got, want) {
+						t.Fatalf("boundary %d/%d (offset %d) workers=%d: verdicts diverge:\nwant %+v\ngot  %+v",
+							i, len(bounds)-1, n, workers, want, got)
+					}
+					if i == len(bounds)-1 && res.Resumed() != full {
+						t.Errorf("full snapshot workers=%d: Resumed() = %d, want %d", workers, res.Resumed(), full)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLimitedRunResumesToBaseline(t *testing.T) {
+	dir := t.TempDir()
+	baseline := mustRun(t, tl2Spec(job.KindSafety, 1))
+	want := stripVolatile(baseline.Checks)
+
+	snapPath := filepath.Join(dir, "lim.snap")
+	sp := tl2Spec(job.KindSafety, 1)
+	sp.Checkpoint = snapPath
+	sp.MaxStates = 5000
+	_, err := job.Run(context.Background(), sp)
+	le := job.AsLimit(err)
+	if le == nil {
+		t.Fatalf("want a state-budget limit, got %v", err)
+	}
+	if le.Kind != guard.KindStates {
+		t.Fatalf("limit kind = %d, want KindStates", le.Kind)
+	}
+	if le.Snapshot != snapPath {
+		t.Fatalf("limit.Snapshot = %q, want %q", le.Snapshot, snapPath)
+	}
+	if !strings.Contains(le.Error(), "progress saved to snapshot") {
+		t.Errorf("limit error does not name the snapshot: %v", le)
+	}
+
+	// Rerun with the budget raised: the run picks up where the limit
+	// tripped and lands on the baseline verdicts.
+	rsp := tl2Spec(job.KindSafety, 1)
+	rsp.Checkpoint = snapPath
+	rsp.Resume = snapPath
+	res := mustRun(t, rsp)
+	if got := stripVolatile(res.Checks); !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed run diverges from baseline:\nwant %+v\ngot  %+v", want, got)
+	}
+	if res.Resumed() == 0 {
+		t.Error("resumed run reports Resumed() == 0; the limited progress was thrown away")
+	}
+}

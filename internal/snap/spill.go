@@ -1,0 +1,141 @@
+package snap
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"unsafe"
+
+	"tmcheck/internal/pack"
+)
+
+// Spill hands out mmap-backed growable word arenas for the visited
+// set's flat key storage (the dominant memory of a packed build), so
+// state spaces larger than RAM stay checkable: the kernel pages cold
+// key regions out to the backing files instead of the heap holding
+// every key resident. Each Grow() call returns an independent
+// pack.GrowFunc (one per intern table or flat key slice); regions are
+// backed by temp files under dir, grown by remap-after-truncate, and
+// removed on Close.
+//
+// A grow failure (mmap unsupported, disk full) panics with a plain
+// error; the scans run under guard.Capture, which isolates it into a
+// LimitError instead of crashing the process.
+type Spill struct {
+	dir     string
+	mu      sync.Mutex
+	regions []*spillRegion
+}
+
+// NewSpill returns a spill arena allocating under dir ("" means the
+// system temp directory).
+func NewSpill(dir string) *Spill {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	return &Spill{dir: dir}
+}
+
+// minSpillBytes is the initial region size (1 MiB): small enough that
+// tiny builds waste little, large enough to amortize remaps.
+const minSpillBytes = 1 << 20
+
+// Grow returns a fresh spill-backed allocator. The returned function
+// follows the pack.GrowFunc contract: it reallocates to capacity ≥
+// need words preserving contents and length. Safe to call Grow
+// concurrently; each returned func is single-goroutine like the table
+// it backs.
+func (s *Spill) Grow() pack.GrowFunc {
+	r := &spillRegion{}
+	s.mu.Lock()
+	s.regions = append(s.regions, r)
+	s.mu.Unlock()
+	return func(need int, cur []uint64) []uint64 {
+		w, err := r.grow(s.dir, need, cur)
+		if err != nil {
+			panic(fmt.Errorf("snap: spill: %w", err))
+		}
+		return w
+	}
+}
+
+// Close unmaps every region and removes the backing files.
+func (s *Spill) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, r := range s.regions {
+		if err := r.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.regions = nil
+	return first
+}
+
+// spillRegion is one growable file-backed mapping.
+type spillRegion struct {
+	f    *os.File
+	data []byte
+}
+
+// grow (re)maps the region to at least need words. Growth remaps after
+// extending the file — the data already written persists through the
+// file, so only the first migration (heap → region) copies.
+func (r *spillRegion) grow(dir string, need int, cur []uint64) ([]uint64, error) {
+	size := len(r.data)
+	if size == 0 {
+		size = minSpillBytes
+	}
+	for size < need*8 {
+		size *= 2
+	}
+	if r.f == nil {
+		f, err := os.CreateTemp(dir, "tmspill-*.keys")
+		if err != nil {
+			return nil, err
+		}
+		r.f = f
+	}
+	fromHeap := r.data == nil
+	if r.data != nil {
+		if err := munmapBytes(r.data); err != nil {
+			return nil, err
+		}
+		r.data = nil
+	}
+	if err := r.f.Truncate(int64(size)); err != nil {
+		return nil, err
+	}
+	data, err := mmapFile(r.f, size)
+	if err != nil {
+		return nil, err
+	}
+	r.data = data
+	words := unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), size/8)
+	if fromHeap {
+		copy(words, cur)
+	}
+	return words[:len(cur)], nil
+}
+
+func (r *spillRegion) close() error {
+	var first error
+	if r.data != nil {
+		if err := munmapBytes(r.data); err != nil {
+			first = err
+		}
+		r.data = nil
+	}
+	if r.f != nil {
+		name := r.f.Name()
+		if err := r.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := os.Remove(name); err != nil && first == nil {
+			first = err
+		}
+		r.f = nil
+	}
+	return first
+}

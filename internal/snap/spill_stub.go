@@ -1,0 +1,16 @@
+//go:build !unix
+
+package snap
+
+import (
+	"errors"
+	"os"
+)
+
+// Without mmap the spill mode is unavailable; the grow panics into a
+// guard-isolated LimitError with this message.
+var errNoMmap = errors.New("disk spill (-spill) is not supported on this platform")
+
+func mmapFile(f *os.File, size int) ([]byte, error) { return nil, errNoMmap }
+
+func munmapBytes(b []byte) error { return nil }

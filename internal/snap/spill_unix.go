@@ -1,0 +1,16 @@
+//go:build unix
+
+package snap
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f shared read-write: writes reach the
+// file, so a remap after truncate sees the same contents.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func munmapBytes(b []byte) error { return syscall.Munmap(b) }

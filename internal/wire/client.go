@@ -25,10 +25,15 @@ type Client struct {
 	done    chan struct{}
 }
 
-// pendingReq is one in-flight Run call.
+// pendingReq is one in-flight Run call. The reader records the last
+// progress frame under the client mutex, so a connection death can
+// report how far the job had gotten instead of a bare "connection
+// lost".
 type pendingReq struct {
-	onProgress func(Progress)
-	result     chan ResultMsg
+	onProgress   func(Progress)
+	result       chan ResultMsg
+	lastProgress Progress
+	hasProgress  bool
 }
 
 // Dial connects to a tmcheckd at addr (TCP).
@@ -77,6 +82,9 @@ func (c *Client) readLoop() {
 		case Progress:
 			c.mu.Lock()
 			req := c.pending[reqID]
+			if req != nil {
+				req.lastProgress, req.hasProgress = m, true
+			}
 			c.mu.Unlock()
 			if req != nil && req.onProgress != nil {
 				req.onProgress(m)
@@ -102,14 +110,21 @@ func (c *Client) deliver(reqID uint64, m ResultMsg) {
 	}
 }
 
-// err reports why the connection died.
-func (c *Client) err() error {
+// err reports why the connection died, annotated with the request's
+// last progress frame when one arrived — the only trace of how far the
+// lost job had gotten.
+func (c *Client) err(req *pendingReq) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.readErr != nil {
-		return fmt.Errorf("wire: connection lost: %w", c.readErr)
+	at := ""
+	if req != nil && req.hasProgress {
+		p := req.lastProgress
+		at = fmt.Sprintf(" (last progress: %s at level %d, %d states)", p.Name, p.Level, p.States)
 	}
-	return fmt.Errorf("wire: connection closed")
+	if c.readErr != nil {
+		return fmt.Errorf("wire: connection lost%s: %w", at, c.readErr)
+	}
+	return fmt.Errorf("wire: connection closed%s", at)
 }
 
 // Run submits sp and blocks until the server answers with the job's
@@ -122,7 +137,7 @@ func (c *Client) Run(ctx context.Context, sp job.Spec, onProgress func(Progress)
 	c.mu.Lock()
 	if c.readErr != nil {
 		c.mu.Unlock()
-		return nil, c.err()
+		return nil, c.err(nil)
 	}
 	c.nextID++
 	id := c.nextID
@@ -158,7 +173,7 @@ func (c *Client) Run(ctx context.Context, sp job.Spec, onProgress func(Progress)
 			c.mu.Lock()
 			delete(c.pending, id)
 			c.mu.Unlock()
-			return nil, c.err()
+			return nil, c.err(req)
 		}
 	}
 }

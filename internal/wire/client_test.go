@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+
+	"tmcheck/internal/job"
+)
+
+// TestClientConnectionLostReportsLastProgress kills the server side of
+// a connection mid-job and asserts the client's error carries the last
+// progress frame — the only trace of how far the lost job had gotten.
+func TestClientConnectionLostReportsLastProgress(t *testing.T) {
+	clientEnd, serverEnd := net.Pipe()
+	c := NewClient(clientEnd)
+	defer c.Close()
+	srv := NewConn(serverEnd)
+
+	sawProgress := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Run(context.Background(), job.Spec{Kind: job.KindTable2}, func(Progress) {
+			close(sawProgress)
+		})
+		errCh <- err
+	}()
+
+	id, m, err := srv.Read()
+	if err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	if _, ok := m.(Submit); !ok {
+		t.Fatalf("server read %T, want Submit", m)
+	}
+	if err := srv.Write(id, Progress{Name: "tl2:op", States: 4242, Frontier: 99, Level: 17}); err != nil {
+		t.Fatalf("server write progress: %v", err)
+	}
+	// The reader records the frame before invoking onProgress, so once
+	// the callback fired the death report must include it.
+	<-sawProgress
+	serverEnd.Close()
+
+	runErr := <-errCh
+	if runErr == nil {
+		t.Fatal("Run returned nil after connection death")
+	}
+	for _, want := range []string{"connection lost", "last progress", "tl2:op", "level 17", "4242 states"} {
+		if !strings.Contains(runErr.Error(), want) {
+			t.Errorf("error %q does not mention %q", runErr, want)
+		}
+	}
+}
+
+// TestClientConnectionLostBeforeProgress asserts the death report stays
+// a plain "connection lost" when no progress frame ever arrived.
+func TestClientConnectionLostBeforeProgress(t *testing.T) {
+	clientEnd, serverEnd := net.Pipe()
+	c := NewClient(clientEnd)
+	defer c.Close()
+	srv := NewConn(serverEnd)
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Run(context.Background(), job.Spec{Kind: job.KindTable2}, nil)
+		errCh <- err
+	}()
+	if _, _, err := srv.Read(); err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	serverEnd.Close()
+
+	runErr := <-errCh
+	if runErr == nil {
+		t.Fatal("Run returned nil after connection death")
+	}
+	if !strings.Contains(runErr.Error(), "connection lost") {
+		t.Errorf("error %q does not mention the lost connection", runErr)
+	}
+	if strings.Contains(runErr.Error(), "last progress") {
+		t.Errorf("error %q invents a progress frame that never arrived", runErr)
+	}
+}

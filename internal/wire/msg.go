@@ -166,7 +166,10 @@ func appendSpec(b []byte, s job.Spec) []byte {
 	b = appendVarint(b, int64(s.Workers))
 	b = appendVarint(b, int64(s.MaxStates))
 	b = appendVarint(b, int64(s.Timeout))
-	return appendUvarint(b, s.MaxMem)
+	b = appendUvarint(b, s.MaxMem)
+	b = appendString(b, s.Checkpoint)
+	b = appendString(b, s.Resume)
+	return appendString(b, s.Spill)
 }
 
 func decodeSpec(d *dec) job.Spec {
@@ -183,6 +186,9 @@ func decodeSpec(d *dec) job.Spec {
 	s.MaxStates = d.int_()
 	s.Timeout = time.Duration(d.varint())
 	s.MaxMem = d.uvarint()
+	s.Checkpoint = d.str()
+	s.Resume = d.str()
+	s.Spill = d.str()
 	return s
 }
 
@@ -204,7 +210,8 @@ func appendLimit(b []byte, l *job.Limit) []byte {
 	b = appendVarint(b, l.ElapsedNS)
 	b = appendUvarint(b, l.MaxMemBytes)
 	b = appendUvarint(b, l.HeapBytes)
-	return appendString(b, l.Panic)
+	b = appendString(b, l.Panic)
+	return appendString(b, l.Snapshot)
 }
 
 func decodeLimit(d *dec) *job.Limit {
@@ -219,6 +226,7 @@ func decodeLimit(d *dec) *job.Limit {
 	l.MaxMemBytes = d.uvarint()
 	l.HeapBytes = d.uvarint()
 	l.Panic = d.str()
+	l.Snapshot = d.str()
 	return &l
 }
 
@@ -275,7 +283,8 @@ func appendCheck(b []byte, c *job.Check) []byte {
 	b = appendVarint(b, int64(c.FrontierPeak))
 	b = appendVarint(b, int64(c.Expanded))
 	b = appendVarint(b, int64(c.Probes))
-	return appendLimit(b, c.Limit)
+	b = appendLimit(b, c.Limit)
+	return appendVarint(b, int64(c.Resumed))
 }
 
 func decodeCheck(d *dec) job.Check {
@@ -299,5 +308,6 @@ func decodeCheck(d *dec) job.Check {
 	c.Expanded = d.int_()
 	c.Probes = d.int_()
 	c.Limit = decodeLimit(d)
+	c.Resumed = d.int_()
 	return c
 }

@@ -31,7 +31,10 @@ import (
 )
 
 // Version is the protocol version byte every payload leads with.
-const Version = 1
+// Version 2 added the checkpoint/resume fields (Spec.Checkpoint,
+// Spec.Resume, Spec.Spill, Limit.Snapshot, Check.Resumed) at the end
+// of their messages.
+const Version = 2
 
 // MaxFrame bounds a frame's payload; a peer announcing more is corrupt
 // (or hostile) and the connection is dropped rather than buffered.
