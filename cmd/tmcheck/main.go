@@ -150,7 +150,10 @@ func runJob(ctx context.Context, sp job.Spec) error {
 	if gflags.Remote != "" {
 		res, err = runRemote(ctx, sp)
 	} else {
-		res, err = job.Run(ctx, sp)
+		var cfg job.Config
+		if cfg, err = gflags.JobConfig(); err == nil {
+			res, err = job.RunConfig(ctx, sp, cfg)
+		}
 	}
 	if err != nil {
 		return err
@@ -164,20 +167,19 @@ func runJob(ctx context.Context, sp job.Spec) error {
 	return limitSummary(res.Limits())
 }
 
-// runRemote submits sp to the daemon at -remote. The budget flags ride
-// in the spec (the local Install is irrelevant remotely), and streamed
-// progress frames are re-emitted onto the local bus so -progress and
-// -trace work unchanged.
+// runRemote submits sp to the daemon at -remote through the
+// self-healing retry loop: a lost connection (or a silent server
+// tripping -heartbeat-timeout) reconnects with capped exponential
+// backoff up to -retries attempts, and with -checkpoint set the
+// resubmission resumes from the snapshot the daemon already persisted.
+// The budget flags ride in the spec (the local Install is irrelevant
+// remotely), and streamed progress frames are re-emitted onto the
+// local bus so -progress and -trace work unchanged.
 func runRemote(ctx context.Context, sp job.Spec) (*job.Result, error) {
 	sp.Workers = gflags.Workers
 	sp.MaxStates = gflags.MaxStates
 	sp.Timeout = gflags.Timeout
 	sp.MaxMem = gflags.MaxMem
-	client, err := wire.Dial(gflags.Remote)
-	if err != nil {
-		return nil, fmt.Errorf("remote %s: %w", gflags.Remote, err)
-	}
-	defer client.Close()
 	var onProgress func(wire.Progress)
 	if obs.EventsEnabled() {
 		onProgress = func(p wire.Progress) {
@@ -192,9 +194,15 @@ func runRemote(ctx context.Context, sp job.Spec) (*job.Result, error) {
 			})
 		}
 	}
-	res, err := client.Run(ctx, sp, onProgress)
+	res, err := wire.RunRetry(ctx, gflags.Remote, sp, wire.RetryConfig{
+		Attempts:         gflags.Retries,
+		HeartbeatTimeout: gflags.HeartbeatTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "tmcheck: "+format+"\n", args...)
+		},
+	}, onProgress)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("remote %s: %w", gflags.Remote, err)
 	}
 	if res == nil {
 		return nil, fmt.Errorf("remote %s: empty result", gflags.Remote)
@@ -272,6 +280,10 @@ func dispatch(ctx context.Context, cmd string, args []string) error {
 		err = runTrace(args)
 	case "methodology":
 		err = runMethodology(args)
+	case "chaos-soak":
+		// Hidden: the deterministic fault-injection soak the CI chaos
+		// smoke runs (see internal/soak).
+		err = runChaosSoak(ctx, args)
 	case "all":
 		err = runAll(ctx)
 	case "help", "-h", "--help":
@@ -320,6 +332,12 @@ global flags (any command, before or after it):
                     so killed or limited runs can resume (-engine materialized)
   -resume FILE      seed the run from a snapshot (usually the -checkpoint path)
   -spill DIR        keep visited-set keys in mmap-backed files under DIR
+  -snap-sync MODE   checkpoint fsync policy: always (default), batch[:N], none
+  -strict-persist   fail on snapshot/spill I/O errors instead of degrading
+  -retries N        with -remote: connection attempts before giving up (default 5)
+  -heartbeat-timeout D  with -remote: declare a silent server dead after D
+                    while a job is in flight (default 30s; 0 disables)
+  -chaos-seed N     inject a deterministic fault plan (testing; 0 = off)
 
 `)
 	fmt.Fprintf(os.Stderr, "algorithms: %s\n", strings.Join(tm.AlgorithmNames(), ", "))

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"os"
+	"strconv"
+
+	"tmcheck/internal/soak"
+)
+
+// runChaosSoak drives the hidden chaos-soak subcommand: K seeds of
+// deterministic fault plans over real checkpointed local runs and a
+// retrying remote run, asserting the verdict-or-typed-error invariant
+// (see internal/soak). Exits nonzero on the first violation, so CI can
+// gate on it.
+func runChaosSoak(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("chaos-soak", flag.ContinueOnError)
+	seeds := fs.Int("seeds", 64, "number of consecutive fault-plan seeds to run")
+	first := fs.String("first", "1", "first seed")
+	dir := fs.String("dir", "", "scratch directory for snapshots and spill files (default: a temp dir)")
+	noRemote := fs.Bool("no-remote", false, "skip the in-process daemon + retrying-client case")
+	verbose := fs.Bool("v", false, "print one line per seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := strconv.ParseUint(*first, 0, 64)
+	if err != nil {
+		return err
+	}
+	return soak.Run(ctx, soak.Config{
+		Seeds: *seeds, First: f, Dir: *dir,
+		NoRemote: *noRemote, Verbose: *verbose, Out: os.Stderr,
+	})
+}

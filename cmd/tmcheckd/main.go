@@ -8,7 +8,8 @@
 //	tmcheckd [-addr 127.0.0.1:7078] [-jobs N] [-workers N]
 //	         [-maxstates N] [-timeout D] [-maxmem BYTES]
 //	         [-progress-every D] [-heartbeat D] [-drain-timeout D]
-//	         [-debug-addr ADDR] [-snap-dir DIR] [-quiet]
+//	         [-debug-addr ADDR] [-snap-dir DIR] [-snap-sync MODE]
+//	         [-strict-persist] [-quiet]
 //
 // Submit jobs with tmcheck -remote:
 //
@@ -28,6 +29,14 @@
 // (base name only — clients never choose server paths) and -spill maps
 // to the directory itself. Without -snap-dir such jobs are refused, so
 // a daemon never writes snapshot files unless its operator said where.
+// A -snap-dir daemon also keeps a crash-recovery journal (jobs.journal)
+// there: jobs in flight when the daemon dies — SIGKILL included — are
+// reported as orphans on the next start, naming the snapshot that holds
+// each one's persisted prefix, and a client resubmitting with -resume
+// re-adopts its job (tmcheck -remote does this automatically on
+// reconnect). -snap-sync relaxes the per-record checkpoint fsync to
+// batched or close-only, and -strict-persist turns snapshot/spill I/O
+// degradation into job failure.
 //
 // SIGINT/SIGTERM drains gracefully: the listener closes, running jobs
 // finish (or are cancelled at their next guard barrier once
@@ -49,6 +58,7 @@ import (
 	"tmcheck/internal/guard"
 	"tmcheck/internal/jobd"
 	"tmcheck/internal/obs"
+	"tmcheck/internal/snap"
 )
 
 func main() {
@@ -63,8 +73,16 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a SIGTERM drain waits before cancelling running jobs")
 	debugAddr := flag.String("debug-addr", "", "serve /vitals, /events (SSE) and /debug/pprof on this address")
 	snapDir := flag.String("snap-dir", "", "directory for job checkpoint/resume snapshots and spill files (\"\" refuses such jobs)")
+	snapSync := flag.String("snap-sync", "", "checkpoint fsync policy for every job: always (default), batch[:N], none")
+	strictPersist := flag.Bool("strict-persist", false, "fail jobs on snapshot/spill I/O errors instead of degrading")
 	quiet := flag.Bool("quiet", false, "suppress per-connection logging")
 	flag.Parse()
+
+	syncMode, syncBatch, err := snap.ParseSyncMode(*snapSync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tmcheckd: -snap-sync: %v\n", err)
+		os.Exit(2)
+	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
 	logf := logger.Printf
@@ -79,6 +97,9 @@ func main() {
 		ProgressEvery: *progressEvery,
 		Heartbeat:     *heartbeat,
 		SnapDir:       *snapDir,
+		SnapSync:      syncMode,
+		SnapBatch:     syncBatch,
+		StrictPersist: *strictPersist,
 		Logf:          logf,
 	}
 	if *maxMemStr != "" {

@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestChaosDisabledZeroAlloc pins the zero-cost contract: with no plan
+// installed, every injection site's Fire — and the parameter lookups
+// the wrappers make — is allocation-free. The packed engines' alloc
+// gate (TestBuildAllocsPerState) rides on this.
+func TestChaosDisabledZeroAlloc(t *testing.T) {
+	Uninstall()
+	for s := Site(0); s < numSites; s++ {
+		s := s
+		if n := testing.AllocsPerRun(1000, func() { Fire(s) }); n != 0 {
+			t.Errorf("Fire(%v) disabled: %.1f allocs/op, want 0", s, n)
+		}
+	}
+	if n := testing.AllocsPerRun(1000, func() { Enabled() }); n != 0 {
+		t.Errorf("Enabled() disabled: %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { shortWriteLen(64) }); n != 0 {
+		t.Errorf("shortWriteLen disabled: %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { stallFor() }); n != 0 {
+		t.Errorf("stallFor disabled: %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestChaosUnarmedSiteZeroAlloc pins the other hot path: a plan IS
+// installed but the site's counter is spent or never armed — what the
+// packed scan loops see on every state while a fault waits elsewhere.
+func TestChaosUnarmedSiteZeroAlloc(t *testing.T) {
+	Install(Manual())
+	defer Uninstall()
+	for s := Site(0); s < numSites; s++ {
+		s := s
+		if n := testing.AllocsPerRun(1000, func() { Fire(s) }); n != 0 {
+			t.Errorf("Fire(%v) unarmed: %.1f allocs/op, want 0", s, n)
+		}
+	}
+}
+
+// TestPlanDeterministic pins replayability: the same seed derives the
+// same counters and parameters.
+func TestPlanDeterministic(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 7, 42, 1 << 40} {
+		a, b := NewPlan(seed), NewPlan(seed)
+		for s := Site(0); s < numSites; s++ {
+			if av, bv := a.counters[s].Load(), b.counters[s].Load(); av != bv {
+				t.Errorf("seed %d site %v: counters %d vs %d", seed, s, av, bv)
+			}
+		}
+		if a.shortLen.Load() != b.shortLen.Load() || a.stall.Load() != b.stall.Load() {
+			t.Errorf("seed %d: parameters differ", seed)
+		}
+	}
+}
+
+// TestFireOneShot pins the Nth-operation contract: the armed site
+// fires on exactly the Nth Fire and never again.
+func TestFireOneShot(t *testing.T) {
+	p := Manual()
+	p.Arm(SiteGuardMem, 3)
+	Install(p)
+	defer Uninstall()
+	want := []bool{false, false, true, false, false}
+	for i, w := range want {
+		if got := Fire(SiteGuardMem); got != w {
+			t.Errorf("Fire #%d = %v, want %v", i+1, got, w)
+		}
+	}
+	if sites := p.Armed(); len(sites) != 0 {
+		t.Errorf("after firing, Armed() = %v, want empty", sites)
+	}
+}
+
+// TestWrapFileTornWrite drives the snapshot file wrapper: the armed
+// write persists exactly the configured prefix — a torn tail on disk —
+// and reports the injected sentinel; the armed sync fails after
+// writing through.
+func TestWrapFileTornWrite(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p := Manual()
+	p.Arm(SiteSnapWrite, 2)
+	p.SetShortWrite(3)
+	Install(p)
+	defer Uninstall()
+
+	w := WrapFile(f)
+	if _, err := w.Write([]byte("hello")); err != nil {
+		t.Fatalf("write 1 (unarmed): %v", err)
+	}
+	n, err := w.Write([]byte("world!"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 2: err = %v, want ErrInjected", err)
+	}
+	if n != 3 {
+		t.Fatalf("write 2 kept %d bytes, want 3", n)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hellowor" {
+		t.Fatalf("file = %q, want %q", data, "hellowor")
+	}
+
+	p.Arm(SiteSnapSync, 1)
+	if err := w.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync: err = %v, want ErrInjected", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync after one-shot: %v", err)
+	}
+}

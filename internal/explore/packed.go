@@ -3,6 +3,7 @@ package explore
 import (
 	"fmt"
 
+	"tmcheck/internal/chaos"
 	"tmcheck/internal/core"
 	"tmcheck/internal/guard"
 	"tmcheck/internal/pack"
@@ -426,6 +427,12 @@ func scanSeqPacked(pc packedIface, alg tm.Algorithm, cm tm.ContentionManager, g 
 			}
 			levelEnd = in.Len()
 		}
+		if chaos.Fire(chaos.SiteWorkerPanic) {
+			// Isolated by guard.Capture on the scan spine into a
+			// LIMIT(panic); the sink flushed the prefix at the last
+			// barrier, so the injected crash loses at most one level.
+			panic(fmt.Errorf("%w: worker panic expanding state %d", chaos.ErrInjected, qi))
+		}
 		// KeyAt aliases the table; interning successors may grow it, so
 		// expand from a copy.
 		copy(cur[:kw], in.KeyAt(qi))
@@ -552,6 +559,12 @@ func scanParPacked(pc packedIface, alg tm.Algorithm, cm tm.ContentionManager, wo
 
 	pstats, err := parbfs.RunPackedOpts(kw, initKey[:kw], workers, opts, control,
 		func(w, id int, emitKey func(key []uint64)) {
+			if chaos.Fire(chaos.SiteWorkerPanic) {
+				// The parbfs pool recovers worker panics into a
+				// LIMIT(panic) at the level barrier, exactly like a
+				// crashing registry TM.
+				panic(fmt.Errorf("%w: worker %d panic expanding state %d", chaos.ErrInjected, w, id))
+			}
 			ctx := ctxs[w]
 			ctx.buf = ctx.buf[:0]
 			ctx.emitKey = emitKey

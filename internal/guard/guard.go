@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tmcheck/internal/chaos"
 	"tmcheck/internal/obs"
 )
 
@@ -275,6 +276,17 @@ func (g *Guard) Active() bool {
 func (g *Guard) Check(states int) error {
 	if g == nil {
 		return nil
+	}
+	if chaos.Fire(chaos.SiteGuardMem) {
+		// A planted watchdog trip: sample the real heap so the message
+		// stays truthful, then report it as over-cap. The soak runner
+		// asserts this surfaces as a typed KindMemory limit.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return trip(&LimitError{
+			Kind: KindMemory, Visited: states, Elapsed: time.Since(g.start),
+			MaxMemBytes: ms.HeapAlloc, HeapBytes: ms.HeapAlloc,
+		})
 	}
 	if g.ctx.Done() != nil {
 		if err := g.ctx.Err(); err != nil {

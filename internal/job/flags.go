@@ -40,6 +40,24 @@ package job
 //	-spill DIR        keep the visited set's key storage in mmap-backed
 //	                  files under DIR instead of the heap, so state
 //	                  spaces larger than RAM stay checkable
+//	-snap-sync MODE   checkpoint fsync policy: always (per record, the
+//	                  default), batch[:N] (every N records, default 8),
+//	                  none (only at close); looser modes widen the
+//	                  crash window but never change a verdict
+//	-strict-persist   fail the run on snapshot/spill I/O errors instead
+//	                  of degrading to an unpersisted run with a
+//	                  DEGRADED warning
+//	-retries N        with -remote, total connection attempts before
+//	                  giving up (default 5); reconnects resume the job
+//	                  from its server-side snapshot when -checkpoint
+//	                  was given
+//	-heartbeat-timeout D  with -remote, declare the server dead after D
+//	                  without any traffic while a job is in flight
+//	                  (default 30s; 0 disables)
+//	-chaos-seed N     deterministic fault injection: derive a fault
+//	                  plan from seed N and inject it at the snapshot,
+//	                  spill, wire and engine seams (testing only;
+//	                  0 = disabled)
 //
 // The JSON report (schema "tmcheck/stats/v1") is deterministic in its
 // counter and gauge values for a deterministic command, so reports from
@@ -66,9 +84,11 @@ import (
 	"syscall"
 	"time"
 
+	"tmcheck/internal/chaos"
 	"tmcheck/internal/guard"
 	"tmcheck/internal/obs"
 	"tmcheck/internal/parbfs"
+	"tmcheck/internal/snap"
 	"tmcheck/internal/space"
 )
 
@@ -79,22 +99,27 @@ import (
 // drive the lifecycle: Install to set the process-wide knobs, Begin
 // before the command, Finish after.
 type Flags struct {
-	Workers      int
-	MaxStates    int
-	Timeout      time.Duration
-	MaxMem       uint64
-	StrictLimits bool
-	Stats        bool
-	StatsJSON    string
-	CPUProfile   string
-	MemProfile   string
-	Progress     bool
-	TraceFile    string
-	DebugAddr    string
-	Remote       string
-	Checkpoint   string
-	Resume       string
-	Spill        string
+	Workers          int
+	MaxStates        int
+	Timeout          time.Duration
+	MaxMem           uint64
+	StrictLimits     bool
+	Stats            bool
+	StatsJSON        string
+	CPUProfile       string
+	MemProfile       string
+	Progress         bool
+	TraceFile        string
+	DebugAddr        string
+	Remote           string
+	Checkpoint       string
+	Resume           string
+	Spill            string
+	SnapSync         string
+	StrictPersist    bool
+	Retries          int
+	HeartbeatTimeout time.Duration
+	ChaosSeed        uint64
 
 	// Prog names the binary in stderr messages; "" means "tmcheck".
 	Prog string
@@ -110,7 +135,7 @@ type Flags struct {
 // and returns the remaining arguments unchanged and in order for the
 // subcommand's own flag set.
 func Extract(args []string) (Flags, []string, error) {
-	var g Flags
+	g := Flags{Retries: 5, HeartbeatTimeout: 30 * time.Second}
 	rest := make([]string, 0, len(args))
 	for i := 0; i < len(args); i++ {
 		arg := args[i]
@@ -187,6 +212,39 @@ func Extract(args []string) (Flags, []string, error) {
 			g.Resume, err = value()
 		case "spill":
 			g.Spill, err = value()
+		case "snap-sync":
+			var v string
+			if v, err = value(); err == nil {
+				if _, _, err = snap.ParseSyncMode(v); err == nil {
+					g.SnapSync = v
+				}
+			}
+		case "strict-persist":
+			g.StrictPersist = true
+		case "retries":
+			var v string
+			if v, err = value(); err == nil {
+				g.Retries, err = strconv.Atoi(v)
+				if err != nil || g.Retries < 1 {
+					err = fmt.Errorf("flag -retries needs a positive integer, got %q", v)
+				}
+			}
+		case "heartbeat-timeout":
+			var v string
+			if v, err = value(); err == nil {
+				g.HeartbeatTimeout, err = time.ParseDuration(v)
+				if err != nil || g.HeartbeatTimeout < 0 {
+					err = fmt.Errorf("flag -heartbeat-timeout needs a non-negative duration (e.g. 30s, 0 to disable), got %q", v)
+				}
+			}
+		case "chaos-seed":
+			var v string
+			if v, err = value(); err == nil {
+				g.ChaosSeed, err = strconv.ParseUint(v, 0, 64)
+				if err != nil {
+					err = fmt.Errorf("flag -chaos-seed needs an unsigned integer, got %q", v)
+				}
+			}
 		default:
 			rest = append(rest, arg)
 		}
@@ -211,6 +269,7 @@ func (g *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&g.MemProfile, "memprofile", "", "write a pprof heap profile to `file`")
 	fs.StringVar(&g.TraceFile, "trace", "", "write a Chrome trace-event timeline to `file`")
 	fs.StringVar(&g.DebugAddr, "debug-addr", "", "serve /vitals, /events and /debug/pprof on `addr`")
+	fs.Uint64Var(&g.ChaosSeed, "chaos-seed", 0, "deterministic fault-injection `seed` (testing only; 0 = disabled)")
 }
 
 // bytesFlag adapts guard.ParseBytes to the flag.Value interface.
@@ -247,6 +306,30 @@ func (g *Flags) Install() {
 	if g.MaxMem > 0 {
 		guard.SetMaxMem(g.MaxMem)
 	}
+	g.InstallChaos()
+}
+
+// InstallChaos installs the deterministic fault plan when -chaos-seed
+// was given, announcing the armed sites on stderr so a failing run is
+// attributable. Front-ends that skip Install (tmfuzz) call this
+// directly.
+func (g *Flags) InstallChaos() {
+	if g.ChaosSeed == 0 {
+		return
+	}
+	p := chaos.NewPlan(g.ChaosSeed)
+	chaos.Install(p)
+	fmt.Fprintf(os.Stderr, "%s: %s\n", g.prog(), p)
+}
+
+// JobConfig resolves the per-run persistence policy the -snap-sync and
+// -strict-persist flags selected into a job Config.
+func (g *Flags) JobConfig() (Config, error) {
+	mode, batch, err := snap.ParseSyncMode(g.SnapSync)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{SnapSync: mode, SnapBatch: batch, StrictPersist: g.StrictPersist}, nil
 }
 
 // prog names the binary for stderr messages.

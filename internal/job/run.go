@@ -24,6 +24,16 @@ type Config struct {
 	// tmcheckd worker pool) run jobs with NoPhases set; counters,
 	// gauges and bus events still record normally.
 	NoPhases bool
+	// SnapSync and SnapBatch set the checkpoint fsync policy
+	// (-snap-sync): per record (default), batched every SnapBatch
+	// records, or only at close. A looser mode trades a wider crash
+	// window for fewer fsyncs; verdicts are unaffected.
+	SnapSync  snap.SyncMode
+	SnapBatch int
+	// StrictPersist makes snapshot and spill I/O errors fail the run
+	// (-strict-persist). The default degrades gracefully: the check
+	// continues unpersisted with a loud DEGRADED warning.
+	StrictPersist bool
 }
 
 // Run executes one job under ctx and returns its Result. The single
@@ -53,7 +63,8 @@ func RunConfig(ctx context.Context, sp Spec, cfg Config) (*Result, error) {
 	}
 	var prov explore.PersistProvider
 	if sp.Checkpoint != "" || sp.Resume != "" || sp.Spill != "" {
-		store, err := snap.OpenRun(sp.Resume, sp.Checkpoint, sp.Threads, sp.Vars)
+		store, err := snap.OpenRunOpts(sp.Resume, sp.Checkpoint, sp.Threads, sp.Vars,
+			snap.Options{Sync: cfg.SnapSync, BatchEvery: cfg.SnapBatch, Strict: cfg.StrictPersist})
 		if err != nil {
 			return nil, err
 		}
@@ -63,6 +74,7 @@ func RunConfig(ctx context.Context, sp Spec, cfg Config) (*Result, error) {
 		var spill *snap.Spill
 		if sp.Spill != "" {
 			spill = snap.NewSpill(sp.Spill)
+			spill.SetStrict(cfg.StrictPersist)
 			defer spill.Close()
 		}
 		prov = persistProvider(store, spill)

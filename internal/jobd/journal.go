@@ -1,0 +1,188 @@
+package jobd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JournalEntry is one record of the daemon's crash-recovery journal —
+// a JSON line in <snap-dir>/jobs.journal. A "start" line is appended
+// when a job is admitted, a matching "done" line when it resolves
+// (result delivered, cancelled, or its client vanished). A start
+// without a done is an orphan: the daemon died (or was SIGKILLed) with
+// the job in flight. On restart the orphans are reported so an
+// operator — or a reconnecting client with -resume — knows which
+// snapshot prefixes hold recoverable progress.
+type JournalEntry struct {
+	// Event is "start" or "done".
+	Event string `json:"event"`
+	// ID names the job uniquely across daemon restarts
+	// (<epoch-hex>.<seq>).
+	ID string `json:"id"`
+	// Kind is the Spec kind ("safety", "liveness", ...); start only.
+	Kind string `json:"kind,omitempty"`
+	// Checkpoint is the base name of the job's snapshot inside
+	// -snap-dir ("" when the job was not checkpointing); start only.
+	Checkpoint string `json:"checkpoint,omitempty"`
+	// Started is the admission wall clock (RFC 3339); start only.
+	Started string `json:"started,omitempty"`
+}
+
+// journalName is the journal file's base name inside -snap-dir.
+const journalName = "jobs.journal"
+
+// journal is the daemon-side ledger of in-flight jobs. All methods are
+// nil-safe no-ops, so a daemon without a -snap-dir carries a nil
+// journal and pays nothing.
+type journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	epoch   int64
+	seq     atomic.Uint64
+	orphans map[string]JournalEntry // id → its start entry, prior lives only
+}
+
+// openJournal loads <dir>/jobs.journal, collects the orphans the
+// previous daemon life left behind, compacts the file down to just
+// those start lines, and reopens it for appending. Corrupt lines (a
+// torn tail from the crash the journal exists to survive) are skipped,
+// never fatal.
+func openJournal(dir string) (*journal, []JournalEntry, error) {
+	j := &journal{
+		path:    filepath.Join(dir, journalName),
+		epoch:   time.Now().UnixNano(),
+		orphans: make(map[string]JournalEntry),
+	}
+	if data, err := os.ReadFile(j.path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		for sc.Scan() {
+			var e JournalEntry
+			if json.Unmarshal(sc.Bytes(), &e) != nil {
+				continue // torn or corrupt line: skip
+			}
+			switch e.Event {
+			case "start":
+				j.orphans[e.ID] = e
+			case "done":
+				delete(j.orphans, e.ID)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	// Compact: rewrite only the surviving starts, atomically, so the
+	// journal never grows without bound across restarts.
+	var buf bytes.Buffer
+	for _, e := range j.sortedOrphans() {
+		b, _ := json.Marshal(e)
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	tmp := j.path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return nil, nil, err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	j.f = f
+	return j, j.sortedOrphans(), nil
+}
+
+// start journals a job admission and returns its id.
+func (j *journal) start(kind, checkpoint string) string {
+	if j == nil {
+		return ""
+	}
+	id := fmt.Sprintf("%x.%d", j.epoch, j.seq.Add(1))
+	j.append(JournalEntry{
+		Event: "start", ID: id, Kind: kind, Checkpoint: checkpoint,
+		Started: time.Now().UTC().Format(time.RFC3339),
+	})
+	return id
+}
+
+// done journals a job's resolution.
+func (j *journal) done(id string) {
+	if j == nil || id == "" {
+		return
+	}
+	j.append(JournalEntry{Event: "done", ID: id})
+}
+
+// adopt looks for an orphan whose checkpoint matches resumeBase — a
+// reconnecting client picking its interrupted job back up — and, when
+// found, retires it (journals its done) and returns it.
+func (j *journal) adopt(resumeBase string) (JournalEntry, bool) {
+	if j == nil || resumeBase == "" {
+		return JournalEntry{}, false
+	}
+	j.mu.Lock()
+	for id, e := range j.orphans {
+		if e.Checkpoint == resumeBase {
+			delete(j.orphans, id)
+			j.mu.Unlock()
+			j.done(id)
+			return e, true
+		}
+	}
+	j.mu.Unlock()
+	return JournalEntry{}, false
+}
+
+// append writes one entry, synced — the journal is tiny and written
+// once per job lifecycle edge, so durability is worth the fsync.
+func (j *journal) append(e JournalEntry) {
+	b, _ := json.Marshal(e)
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return
+	}
+	if _, err := j.f.Write(b); err != nil {
+		return // journal is advisory: never fail a job over it
+	}
+	_ = j.f.Sync()
+}
+
+// sortedOrphans snapshots the un-adopted orphans in id order.
+func (j *journal) sortedOrphans() []JournalEntry {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]JournalEntry, 0, len(j.orphans))
+	for _, e := range j.orphans {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// close releases the journal file.
+func (j *journal) close() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"tmcheck/internal/guard"
 	"tmcheck/internal/job"
 	"tmcheck/internal/obs"
+	"tmcheck/internal/snap"
 	"tmcheck/internal/wire"
 )
 
@@ -45,7 +46,17 @@ type Config struct {
 	// checkpoint, resume or spill path is rewritten to this directory
 	// (base name only — clients don't choose server paths); "" refuses
 	// such Specs, so an operator must opt the daemon into disk writes.
+	// With a SnapDir the daemon also keeps a crash-recovery journal
+	// (jobs.journal) of in-flight jobs there.
 	SnapDir string
+	// SnapSync and SnapBatch set the checkpoint fsync policy
+	// (-snap-sync) for every job this daemon runs; zero values keep
+	// the durable per-record default.
+	SnapSync  snap.SyncMode
+	SnapBatch int
+	// StrictPersist makes snapshot/spill I/O errors fail jobs
+	// (-strict-persist) instead of degrading to unpersisted runs.
+	StrictPersist bool
 	// Logf receives one line per lifecycle event (accept, submit,
 	// done, drain); nil discards.
 	Logf func(format string, args ...any)
@@ -62,6 +73,7 @@ type Server struct {
 	jobWG      sync.WaitGroup
 	connWG     sync.WaitGroup
 	stopBus    func()
+	journal    *journal
 
 	mu       sync.Mutex
 	draining bool
@@ -120,6 +132,28 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 		return nil, err
 	}
 	s.ln = ln
+	// With a snapshot directory, replay the crash-recovery journal:
+	// jobs the previous daemon life never resolved are reported as
+	// orphans, so their persisted snapshot prefixes are findable. A
+	// journal failure degrades (the daemon runs unjournaled) — the
+	// ledger is advisory, not load-bearing.
+	if s.cfg.SnapDir != "" {
+		j, orphans, err := openJournal(s.cfg.SnapDir)
+		if err != nil {
+			s.cfg.Logf("tmcheckd: journal disabled: %v", err)
+		} else {
+			s.journal = j
+			for _, e := range orphans {
+				if e.Checkpoint != "" {
+					s.cfg.Logf("tmcheckd: journal: job %s (%s, started %s) was in flight when the previous daemon stopped; its snapshot %s holds the persisted prefix — resubmit with -resume %s to adopt it",
+						e.ID, e.Kind, e.Started, e.Checkpoint, e.Checkpoint)
+				} else {
+					s.cfg.Logf("tmcheckd: journal: job %s (%s, started %s) was in flight when the previous daemon stopped and left no snapshot; it must be rerun from scratch",
+						e.ID, e.Kind, e.Started)
+				}
+			}
+		}
+	}
 	// One bus subscription fans progress out to every connection; jobs
 	// run with NoPhases, but their engines still emit bus events.
 	s.stopBus = job.Events(256, s.forward)
@@ -226,6 +260,7 @@ func (s *Server) finish() {
 		s.stopBus()
 		s.stopBus = nil
 	}
+	s.journal.close()
 	s.cfg.Logf("tmcheckd: stopped")
 }
 
@@ -371,10 +406,26 @@ func (cs *connState) submit(reqID uint64, sp job.Spec) {
 	_ = cs.wc.Write(reqID, wire.Accepted{Running: active})
 	s.cfg.Logf("tmcheckd: %s req %d: %s accepted", cs.nc.RemoteAddr(), reqID, sp.Kind)
 
+	// Journal the admission; a resume matching an orphaned job's
+	// checkpoint re-adopts that job — the reconnect-and-continue path
+	// a client takes after this daemon's predecessor died.
+	if sp.Resume != "" {
+		if e, ok := s.journal.adopt(filepath.Base(sp.Resume)); ok {
+			s.cfg.Logf("tmcheckd: %s req %d: re-adopts orphaned job %s via snapshot %s",
+				cs.nc.RemoteAddr(), reqID, e.ID, e.Checkpoint)
+		}
+	}
+	ckptBase := ""
+	if sp.Checkpoint != "" {
+		ckptBase = filepath.Base(sp.Checkpoint)
+	}
+	jid := s.journal.start(sp.Kind.String(), ckptBase)
+
 	s.jobWG.Add(1)
 	go func() {
 		defer s.jobWG.Done()
 		defer jobCancel()
+		defer s.journal.done(jid)
 		defer func() {
 			cs.mu.Lock()
 			delete(cs.reqs, reqID)
@@ -396,7 +447,11 @@ func (cs *connState) submit(reqID uint64, sp job.Spec) {
 		}
 		cs.mu.Unlock()
 		start := time.Now()
-		res, err := job.RunConfig(jobCtx, sp, job.Config{NoPhases: true})
+		res, err := job.RunConfig(jobCtx, sp, job.Config{
+			NoPhases: true,
+			SnapSync: s.cfg.SnapSync, SnapBatch: s.cfg.SnapBatch,
+			StrictPersist: s.cfg.StrictPersist,
+		})
 		msg := wire.ResultMsg{Result: res}
 		if err != nil {
 			msg.ErrMsg = err.Error()
@@ -408,6 +463,12 @@ func (cs *connState) submit(reqID uint64, sp job.Spec) {
 			s.cfg.Logf("tmcheckd: %s req %d: result write failed: %v", cs.nc.RemoteAddr(), reqID, werr)
 		}
 	}()
+}
+
+// Orphans reports the journaled jobs left in flight by previous daemon
+// lives that no client has re-adopted yet (empty without a journal).
+func (s *Server) Orphans() []JournalEntry {
+	return s.journal.sortedOrphans()
 }
 
 // resolveSnapPaths confines a Spec's checkpoint/resume/spill paths to

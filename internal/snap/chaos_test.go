@@ -1,0 +1,213 @@
+// Chaos-driven torn-tail property test: a short write injected at
+// EVERY byte offset of one level record — every state a mid-record
+// crash can leave the file in — must (a) degrade the running check
+// without changing its verdict, (b) leave exactly the valid prefix
+// plus the torn bytes on disk, and (c) reopen-truncate and resume to
+// the baseline verdict. External test package like resume_test: it
+// drives the full job layer, which sits above snap.
+package snap_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tmcheck/internal/chaos"
+	"tmcheck/internal/job"
+	"tmcheck/internal/snap"
+)
+
+// tinySpec is the smallest checkpointable job: the seq TM at (2,1)
+// writes a ~400-byte snapshot, so sweeping every byte of a record
+// stays cheap.
+func tinySpec() job.Spec {
+	return job.Spec{
+		Kind: job.KindSafety, TM: "seq", Prop: "op",
+		Threads: 2, Vars: 1, Engine: "materialized", Workers: 1,
+	}
+}
+
+func TestChaosTornTailEveryByteOffset(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	want := stripVolatile(mustRun(t, tinySpec()).Checks)
+
+	// Fault-free checkpointed run: learn the record layout.
+	pristine := filepath.Join(dir, "pristine.snap")
+	sp := tinySpec()
+	sp.Checkpoint = pristine
+	mustRun(t, sp)
+	bounds := recordBoundaries(t, pristine)
+	if len(bounds) < 3 {
+		t.Fatalf("snapshot has too few records to tear: boundaries %v", bounds)
+	}
+
+	// Calibrate which record the first chaos-visible write appends (the
+	// header record is written during open, before the wrapper goes
+	// in): arm write #1 with keep 0 and see where the file stops.
+	cal := filepath.Join(dir, "cal.snap")
+	pl := chaos.Manual()
+	pl.Arm(chaos.SiteSnapWrite, 1)
+	pl.SetShortWrite(0)
+	chaos.Install(pl)
+	spCal := tinySpec()
+	spCal.Checkpoint = cal
+	_, err := job.Run(ctx, spCal)
+	chaos.Uninstall()
+	if err != nil {
+		t.Fatalf("calibration run: %v", err)
+	}
+	fi, err := os.Stat(cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := -1
+	for i := 0; i+1 < len(bounds); i++ {
+		if bounds[i] == fi.Size() {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		t.Fatalf("calibration stopped at %d, not a record boundary of %v", fi.Size(), bounds)
+	}
+
+	// Target the largest chaos-reachable record — a level record with a
+	// real payload — and sweep a short write across every byte of it.
+	target, targetLen := -1, int64(0)
+	for i := first; i+1 < len(bounds); i++ {
+		if l := bounds[i+1] - bounds[i]; l > targetLen {
+			target, targetLen = i, l
+		}
+	}
+	nth := target - first + 1
+	t.Logf("target record: bytes [%d,%d) of %d (%d offsets), chaos write #%d",
+		bounds[target], bounds[target+1], bounds[len(bounds)-1], targetLen, nth)
+
+	for keep := int64(0); keep < targetLen; keep++ {
+		path := filepath.Join(dir, "torn.snap")
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+		p := chaos.Manual()
+		p.Arm(chaos.SiteSnapWrite, nth)
+		p.SetShortWrite(int(keep))
+		chaos.Install(p)
+		sp := tinySpec()
+		sp.Checkpoint = path
+		res, err := job.Run(ctx, sp)
+		chaos.Uninstall()
+		if err != nil {
+			t.Fatalf("keep %d: degraded run failed: %v", keep, err)
+		}
+		if got := stripVolatile(res.Checks); !reflect.DeepEqual(got, want) {
+			t.Fatalf("keep %d: degraded run's verdict differs from baseline", keep)
+		}
+		if fi, err := os.Stat(path); err != nil {
+			t.Fatalf("keep %d: %v", keep, err)
+		} else if fi.Size() != bounds[target]+keep {
+			t.Fatalf("keep %d: torn file is %d bytes, want %d (valid prefix + torn bytes)",
+				keep, fi.Size(), bounds[target]+keep)
+		}
+		// Reopen writable and resume: the torn tail is truncated back to
+		// the last intact record and the run completes to the baseline.
+		sp.Resume = path
+		res, err = job.Run(ctx, sp)
+		if err != nil {
+			t.Fatalf("keep %d: resume after tear: %v", keep, err)
+		}
+		if got := stripVolatile(res.Checks); !reflect.DeepEqual(got, want) {
+			t.Fatalf("keep %d: resumed verdict differs from baseline", keep)
+		}
+		// The healed file must again parse as whole records.
+		recordBoundaries(t, path)
+	}
+}
+
+// TestChaosStrictPersistFailsFast pins -strict-persist: the same
+// injected write error that degrades a default run fails a strict one,
+// and the error names the injected fault.
+func TestChaosStrictPersistFailsFast(t *testing.T) {
+	dir := t.TempDir()
+	p := chaos.Manual()
+	p.Arm(chaos.SiteSnapWrite, 1)
+	chaos.Install(p)
+	defer chaos.Uninstall()
+	sp := tinySpec()
+	sp.Checkpoint = filepath.Join(dir, "strict.snap")
+	_, err := job.RunConfig(context.Background(), sp, job.Config{StrictPersist: true})
+	if err == nil {
+		t.Fatal("strict run with injected write fault succeeded, want failure")
+	}
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("strict failure does not unwrap to the injected fault: %v", err)
+	}
+}
+
+// TestSyncModesResumeEquivalence runs a checkpointed job under every
+// -snap-sync mode and asserts the snapshot still resumes to the
+// baseline verdict — the fsync policy moves the crash window, never
+// the bytes' meaning.
+func TestSyncModesResumeEquivalence(t *testing.T) {
+	want := stripVolatile(mustRun(t, tinySpec()).Checks)
+	for _, mode := range []string{"always", "batch", "batch:2", "none"} {
+		mode := mode
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			sync, batch, err := snap.ParseSyncMode(mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp := tinySpec()
+			sp.Checkpoint = filepath.Join(dir, "ck.snap")
+			res, err := job.RunConfig(context.Background(), sp, job.Config{SnapSync: sync, SnapBatch: batch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := stripVolatile(res.Checks); !reflect.DeepEqual(got, want) {
+				t.Fatal("checkpointed verdict differs from baseline")
+			}
+			resumed := tinySpec()
+			resumed.Resume = sp.Checkpoint
+			res, err = job.Run(context.Background(), resumed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := stripVolatile(res.Checks); !reflect.DeepEqual(got, want) {
+				t.Fatal("resumed verdict differs from baseline")
+			}
+		})
+	}
+}
+
+// TestParseSyncMode pins the flag grammar.
+func TestParseSyncMode(t *testing.T) {
+	cases := []struct {
+		in    string
+		mode  snap.SyncMode
+		batch int
+		ok    bool
+	}{
+		{"", snap.SyncAlways, 0, true},
+		{"always", snap.SyncAlways, 0, true},
+		{"none", snap.SyncNone, 0, true},
+		{"batch", snap.SyncBatch, 8, true},
+		{"batch:4", snap.SyncBatch, 4, true},
+		{"batch:0", 0, 0, false},
+		{"batch:x", 0, 0, false},
+		{"sometimes", 0, 0, false},
+	}
+	for _, c := range cases {
+		mode, batch, err := snap.ParseSyncMode(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseSyncMode(%q): err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && (mode != c.mode || batch != c.batch) {
+			t.Errorf("ParseSyncMode(%q) = (%v, %d), want (%v, %d)", c.in, mode, batch, c.mode, c.batch)
+		}
+	}
+}

@@ -21,11 +21,85 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 
+	"tmcheck/internal/chaos"
 	"tmcheck/internal/explore"
+	"tmcheck/internal/obs"
 	"tmcheck/internal/tm"
 )
+
+// FileOps is the slice of *os.File the store drives its backing file
+// through. It exists as a seam: when a chaos plan is installed the
+// writable file is wrapped in the fault-injecting chaos.WrapFile, so
+// short writes, torn tails and fsync failures are exercised through
+// exactly the code paths a real disk fault would take.
+type FileOps interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
+// SyncMode says when appended records are fsynced — the crash-window
+// knob of the -snap-sync flag (tradeoff documented in DESIGN.md).
+type SyncMode uint8
+
+const (
+	// SyncAlways fsyncs every record: a SIGKILL loses at most the
+	// record being written. The default.
+	SyncAlways SyncMode = iota
+	// SyncBatch fsyncs every Options.BatchEvery level records: a crash
+	// may lose up to a batch of barriers, never file integrity (the
+	// CRC framing truncates whatever tail didn't land).
+	SyncBatch
+	// SyncNone fsyncs only once, at Close: the OS decides when records
+	// land. Fastest, widest crash window, same integrity guarantee.
+	SyncNone
+)
+
+// defaultBatchEvery is the SyncBatch interval when none was given.
+const defaultBatchEvery = 8
+
+// ParseSyncMode parses a -snap-sync value: "always" (or ""), "none",
+// "batch" (every 8 level records) or "batch:N".
+func ParseSyncMode(s string) (SyncMode, int, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, 0, nil
+	case "none":
+		return SyncNone, 0, nil
+	case "batch":
+		return SyncBatch, defaultBatchEvery, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "batch:"); ok {
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 {
+			return 0, 0, fmt.Errorf("snap: -snap-sync batch interval must be a positive integer, got %q", rest)
+		}
+		return SyncBatch, n, nil
+	}
+	return 0, 0, fmt.Errorf("snap: unknown sync mode %q (always, batch, batch:N, none)", s)
+}
+
+// Options shapes a store opened by OpenRunOpts.
+type Options struct {
+	// Sync is the fsync policy for appended records.
+	Sync SyncMode
+	// BatchEvery is the record interval between fsyncs under SyncBatch
+	// (<= 0 takes the default of 8).
+	BatchEvery int
+	// Strict makes persist-path I/O errors fail the run (-strict-persist).
+	// The default degrades instead: the store stops appending, warns
+	// loudly once, and the check continues unpersisted — the snapshot
+	// file keeps its last valid prefix.
+	Strict bool
+}
 
 // section is the persisted state of one explored system: the canonical
 // prefix (all interned keys in id order, the adjacency of the expanded
@@ -56,9 +130,15 @@ func (sec *section) label() string {
 // by parallel table rows.
 type Store struct {
 	mu       sync.Mutex
-	f        *os.File // nil for a read-only store
+	f        FileOps // nil for a read-only store
 	path     string
 	readOnly bool
+
+	syncMode   SyncMode
+	batchEvery int
+	unsynced   int
+	strict     bool
+	degraded   bool
 
 	threads, vars int
 	sections      map[string]*section
@@ -74,6 +154,12 @@ type Store struct {
 // different checkpoint path its sections are carried over into the new
 // snapshot. Both empty returns (nil, nil).
 func OpenRun(resumePath, checkpointPath string, threads, vars int) (*Store, error) {
+	return OpenRunOpts(resumePath, checkpointPath, threads, vars, Options{})
+}
+
+// OpenRunOpts is OpenRun with explicit sync and strictness options for
+// the writable store.
+func OpenRunOpts(resumePath, checkpointPath string, threads, vars int, o Options) (*Store, error) {
 	if resumePath == checkpointPath {
 		resumePath = ""
 	}
@@ -83,7 +169,7 @@ func OpenRun(resumePath, checkpointPath string, threads, vars int) (*Store, erro
 	var src *Store
 	if resumePath != "" {
 		var err error
-		src, err = open(resumePath, true, threads, vars)
+		src, err = open(resumePath, true, threads, vars, o)
 		if err != nil {
 			return nil, err
 		}
@@ -91,7 +177,7 @@ func OpenRun(resumePath, checkpointPath string, threads, vars int) (*Store, erro
 			return src, nil
 		}
 	}
-	st, err := open(checkpointPath, false, threads, vars)
+	st, err := open(checkpointPath, false, threads, vars, o)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +191,7 @@ func OpenRun(resumePath, checkpointPath string, threads, vars int) (*Store, erro
 }
 
 // open loads (or, for a writable store, creates) one snapshot file.
-func open(path string, readOnly bool, threads, vars int) (*Store, error) {
+func open(path string, readOnly bool, threads, vars int, o Options) (*Store, error) {
 	flags, mode := os.O_RDWR|os.O_CREATE, os.FileMode(0o644)
 	if readOnly {
 		flags, mode = os.O_RDONLY, 0
@@ -114,8 +200,13 @@ func open(path string, readOnly bool, threads, vars int) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("snap: %w", err)
 	}
+	batch := o.BatchEvery
+	if batch <= 0 {
+		batch = defaultBatchEvery
+	}
 	s := &Store{
 		f: f, path: path, readOnly: readOnly,
+		syncMode: o.Sync, batchEvery: batch, strict: o.Strict,
 		threads: threads, vars: vars,
 		sections: make(map[string]*section),
 		byID:     make(map[uint32]*section),
@@ -127,6 +218,12 @@ func open(path string, readOnly bool, threads, vars int) (*Store, error) {
 	if readOnly {
 		f.Close()
 		s.f = nil
+	} else if chaos.Enabled() {
+		// Interpose the fault plan only after the load replay: open-time
+		// recovery (truncation, header rewrite) is not an append path,
+		// and injecting there would turn a planted fault into an
+		// untyped open error instead of a degradable append error.
+		s.f = chaos.WrapFile(s.f)
 	}
 	return s, nil
 }
@@ -397,7 +494,7 @@ func (s *Store) Persist(alg tm.Algorithm, cm tm.ContentionManager) (*explore.Per
 		p.Resume = &explore.ResumeState{
 			// Copy the headers: the scan owns its view while the sink
 			// appends to the section's slices.
-			Keys:     sec.keys[:sec.interned*sec.kw:sec.interned*sec.kw],
+			Keys:     sec.keys[: sec.interned*sec.kw : sec.interned*sec.kw],
 			Out:      sec.out[:sec.expanded:sec.expanded],
 			Interned: sec.interned,
 			Expanded: sec.expanded,
@@ -441,16 +538,57 @@ func (k *sectionSink) AppendLevel(newKeys []uint64, out [][]explore.Edge, prevIn
 	return nil
 }
 
-// appendLocked writes one framed record and syncs it to disk; callers
-// hold s.mu (or have exclusive access during load).
+// appendLocked writes one framed record and syncs it per the store's
+// sync mode; callers hold s.mu (or have exclusive access during load).
+// An I/O error on a non-strict store degrades it instead of failing:
+// the store stops touching the file (whose intact prefix the CRC
+// framing preserves — a torn tail from a failed write is truncated on
+// the next open), keeps merging deltas in memory so the run continues
+// correct but unpersisted, warns loudly once, and bumps the
+// snap.degraded vital. A strict store returns the error.
 func (s *Store) appendLocked(payload []byte) error {
+	if s.degraded {
+		return nil
+	}
+	err := s.writeRecordLocked(payload)
+	if err == nil || s.strict {
+		return err
+	}
+	s.degraded = true
+	obs.Inc("snap.degraded", 1)
+	fmt.Fprintf(os.Stderr,
+		"tmcheck: DEGRADED(snapshot): %v — continuing without persistence; %s keeps its last valid prefix (rerun with -strict-persist to fail instead)\n",
+		err, s.path)
+	return nil
+}
+
+func (s *Store) writeRecordLocked(payload []byte) error {
 	if _, err := s.f.Write(frame(payload)); err != nil {
 		return fmt.Errorf("snap: %s: %w", s.path, err)
 	}
-	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("snap: %s: %w", s.path, err)
+	switch s.syncMode {
+	case SyncAlways:
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("snap: %s: %w", s.path, err)
+		}
+	case SyncBatch:
+		s.unsynced++
+		if s.unsynced >= s.batchEvery {
+			if err := s.f.Sync(); err != nil {
+				return fmt.Errorf("snap: %s: %w", s.path, err)
+			}
+			s.unsynced = 0
+		}
 	}
 	return nil
+}
+
+// Degraded reports whether a persist-path I/O error switched the store
+// into in-memory-only mode.
+func (s *Store) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
 }
 
 // Path returns the snapshot file path (the writable one when both a
@@ -469,14 +607,21 @@ func (s *Store) Resumable(label string) int {
 	return 0
 }
 
-// Close closes the backing file; a read-only store is already closed.
+// Close closes the backing file, flushing any batch-mode records that
+// have not been fsynced yet; a read-only store is already closed.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.f == nil {
 		return nil
 	}
-	err := s.f.Close()
+	var err error
+	if !s.degraded && s.syncMode != SyncAlways {
+		err = s.f.Sync()
+	}
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
 	s.f = nil
 	return err
 }

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"unsafe"
 
+	"tmcheck/internal/chaos"
+	"tmcheck/internal/obs"
 	"tmcheck/internal/pack"
 )
 
@@ -18,13 +20,18 @@ import (
 // backed by temp files under dir, grown by remap-after-truncate, and
 // removed on Close.
 //
-// A grow failure (mmap unsupported, disk full) panics with a plain
+// A grow failure (mmap unsupported, disk full, injected chaos) on a
+// non-strict spill degrades the region to plain heap allocation with a
+// loud DEGRADED(spill) warning — the check continues, merely without
+// disk backing for that region. A strict spill panics with a plain
 // error; the scans run under guard.Capture, which isolates it into a
 // LimitError instead of crashing the process.
 type Spill struct {
 	dir     string
+	strict  bool
 	mu      sync.Mutex
 	regions []*spillRegion
+	warn    sync.Once
 }
 
 // NewSpill returns a spill arena allocating under dir ("" means the
@@ -35,6 +42,10 @@ func NewSpill(dir string) *Spill {
 	}
 	return &Spill{dir: dir}
 }
+
+// SetStrict makes grow failures fail the check (-strict-persist)
+// instead of degrading to heap allocation.
+func (s *Spill) SetStrict(v bool) { s.strict = v }
 
 // minSpillBytes is the initial region size (1 MiB): small enough that
 // tiny builds waste little, large enough to amortize remaps.
@@ -51,11 +62,41 @@ func (s *Spill) Grow() pack.GrowFunc {
 	s.regions = append(s.regions, r)
 	s.mu.Unlock()
 	return func(need int, cur []uint64) []uint64 {
-		w, err := r.grow(s.dir, need, cur)
-		if err != nil {
-			panic(fmt.Errorf("snap: spill: %w", err))
+		if !r.heap {
+			var w []uint64
+			var err error
+			if chaos.Fire(chaos.SiteSpillGrow) {
+				err = fmt.Errorf("%w: spill grow to %d words failed", chaos.ErrInjected, need)
+			} else {
+				w, err = r.grow(s.dir, need, cur)
+			}
+			if err == nil {
+				return w
+			}
+			if s.strict {
+				panic(fmt.Errorf("snap: spill: %w", err))
+			}
+			// grow is failure-atomic (the old mapping survives any
+			// error), so cur is still readable and the region can fall
+			// back to the heap mid-run.
+			s.warn.Do(func() {
+				obs.Inc("snap.spill.degraded", 1)
+				fmt.Fprintf(os.Stderr,
+					"tmcheck: DEGRADED(spill): %v — falling back to heap allocation for this region (rerun with -strict-persist to fail instead)\n",
+					err)
+			})
+			r.heap = true
 		}
-		return w
+		c := cap(cur)
+		if c < minSpillBytes/8 {
+			c = minSpillBytes / 8
+		}
+		for c < need {
+			c *= 2
+		}
+		buf := make([]uint64, len(cur), c)
+		copy(buf, cur)
+		return buf
 	}
 }
 
@@ -73,15 +114,20 @@ func (s *Spill) Close() error {
 	return first
 }
 
-// spillRegion is one growable file-backed mapping.
+// spillRegion is one growable file-backed mapping. heap marks a region
+// that degraded to plain heap allocation after a grow failure.
 type spillRegion struct {
 	f    *os.File
 	data []byte
+	heap bool
 }
 
 // grow (re)maps the region to at least need words. Growth remaps after
 // extending the file — the data already written persists through the
-// file, so only the first migration (heap → region) copies.
+// file, so only the first migration (heap → region) copies. The new
+// mapping is established before the old one is released, so any error
+// leaves the caller's current slice fully valid (the degradation path
+// relies on this to migrate contents back to the heap).
 func (r *spillRegion) grow(dir string, need int, cur []uint64) ([]uint64, error) {
 	size := len(r.data)
 	if size == 0 {
@@ -97,13 +143,6 @@ func (r *spillRegion) grow(dir string, need int, cur []uint64) ([]uint64, error)
 		}
 		r.f = f
 	}
-	fromHeap := r.data == nil
-	if r.data != nil {
-		if err := munmapBytes(r.data); err != nil {
-			return nil, err
-		}
-		r.data = nil
-	}
 	if err := r.f.Truncate(int64(size)); err != nil {
 		return nil, err
 	}
@@ -111,10 +150,17 @@ func (r *spillRegion) grow(dir string, need int, cur []uint64) ([]uint64, error)
 	if err != nil {
 		return nil, err
 	}
+	old := r.data
 	r.data = data
 	words := unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), size/8)
-	if fromHeap {
-		copy(words, cur)
+	if old == nil {
+		copy(words, cur) // first migration: heap → region
+	} else {
+		// The old and new mappings share the backing file, so the
+		// contents are already visible; release the old view. A failed
+		// munmap leaks that view rather than failing the grow — the new
+		// mapping is already the region's state.
+		_ = munmapBytes(old)
 	}
 	return words[:len(cur)], nil
 }

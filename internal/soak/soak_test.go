@@ -1,0 +1,47 @@
+package soak
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSoakInvariantSmallCampaign runs a short real campaign — the same
+// code path as `tmcheck chaos-soak` — and asserts the invariant holds
+// and the report accounts for every case. CI's chaos smoke runs the
+// bigger sweep; this keeps `go test ./...` honest on its own.
+func TestSoakInvariantSmallCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak campaign in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	var out bytes.Buffer
+	err := Run(ctx, Config{Seeds: 4, First: 1, Dir: t.TempDir(), Out: &out})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "4 seed(s) ok") || !strings.Contains(report, "0 violations") {
+		t.Fatalf("report does not attest the invariant:\n%s", report)
+	}
+}
+
+// TestSoakSeedZeroDefaults pins the config defaults: First 0 maps to
+// seed 1 (seed 0 derives the degenerate all-unarmed plan).
+func TestSoakSeedZeroDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak campaign in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var out bytes.Buffer
+	if err := Run(ctx, Config{Seeds: 1, Dir: t.TempDir(), NoRemote: true, Out: &out}); err != nil {
+		t.Fatalf("soak with defaults: %v", err)
+	}
+	if !strings.Contains(out.String(), "1 seed(s) ok") {
+		t.Fatalf("unexpected report:\n%s", out.String())
+	}
+}

@@ -2,13 +2,23 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"tmcheck/internal/chaos"
 	"tmcheck/internal/job"
 )
+
+// ErrLost matches (via errors.Is) every error a Client returns because
+// its connection died — read failure, silent-peer heartbeat timeout,
+// or plain close — so callers (the retry layer, the soak oracle) can
+// tell a transport death from a job-level error.
+var ErrLost = errors.New("wire: connection lost")
 
 // Client multiplexes job submissions over one connection to tmcheckd.
 // A background reader demultiplexes frames by request id, auto-acks
@@ -22,7 +32,15 @@ type Client struct {
 	nextID  uint64
 	pending map[uint64]*pendingReq
 	readErr error
+	hbErr   error // set by the heartbeat monitor before it kills the conn
 	done    chan struct{}
+
+	// lastReadNS is the wall clock of the last frame read — any frame,
+	// heartbeats included — which the dead-server detector compares
+	// against the heartbeat timeout.
+	lastReadNS atomic.Int64
+	hbStop     chan struct{}
+	hbOnce     sync.Once
 }
 
 // pendingReq is one in-flight Run call. The reader records the last
@@ -36,13 +54,20 @@ type pendingReq struct {
 	hasProgress  bool
 }
 
-// Dial connects to a tmcheckd at addr (TCP).
+// Dial connects to a tmcheckd at addr (TCP). With a chaos plan
+// installed the connection is wrapped in the fault-injecting conn, so
+// mid-frame resets, torn writes and read stalls are exercised through
+// the client's real error paths.
 func Dial(addr string) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(nc), nil
+	var rwc io.ReadWriteCloser = nc
+	if chaos.Enabled() {
+		rwc = chaos.WrapConn(nc)
+	}
+	return NewClient(rwc), nil
 }
 
 // NewClient wraps an established connection and starts the reader.
@@ -52,14 +77,63 @@ func NewClient(rwc io.ReadWriteCloser) *Client {
 		closer:  rwc,
 		pending: make(map[uint64]*pendingReq),
 		done:    make(chan struct{}),
+		hbStop:  make(chan struct{}),
 	}
+	c.lastReadNS.Store(time.Now().UnixNano())
 	go c.readLoop()
 	return c
+}
+
+// MonitorHeartbeat starts the client-side dead-server detector: if no
+// frame (heartbeats count) arrives for longer than timeout while a
+// request is in flight, the connection is declared lost and torn down,
+// surfacing the usual "connection lost (last progress: …)" error
+// instead of hanging forever on a silent peer. timeout <= 0 disables
+// the monitor. Idle connections are never timed out — a server only
+// owes traffic while it holds our jobs.
+func (c *Client) MonitorHeartbeat(timeout time.Duration) {
+	if timeout <= 0 {
+		return
+	}
+	tick := timeout / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	go func() {
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.hbStop:
+				return
+			case <-c.done:
+				return
+			case <-t.C:
+			}
+			c.mu.Lock()
+			waiting := len(c.pending) > 0
+			c.mu.Unlock()
+			if !waiting {
+				c.lastReadNS.Store(time.Now().UnixNano())
+				continue
+			}
+			silent := time.Duration(time.Now().UnixNano() - c.lastReadNS.Load())
+			if silent > timeout {
+				c.mu.Lock()
+				c.hbErr = fmt.Errorf("no server traffic for %v (heartbeat timeout %v)",
+					silent.Round(time.Millisecond), timeout)
+				c.mu.Unlock()
+				c.closer.Close() // wakes the read loop, which resolves pending Runs
+				return
+			}
+		}
+	}()
 }
 
 // Close tears the connection down; in-flight Runs return the read
 // error. The server cancels this connection's running jobs.
 func (c *Client) Close() error {
+	c.hbOnce.Do(func() { close(c.hbStop) })
 	return c.closer.Close()
 }
 
@@ -74,6 +148,7 @@ func (c *Client) readLoop() {
 			close(c.done)
 			return
 		}
+		c.lastReadNS.Store(time.Now().UnixNano())
 		switch m := m.(type) {
 		case Heartbeat:
 			// Ack on the shared writer; a failed ack will surface as a
@@ -110,9 +185,30 @@ func (c *Client) deliver(reqID uint64, m ResultMsg) {
 	}
 }
 
+// lostError is a connection-death error: it renders the familiar
+// "connection lost (last progress: …)" message, unwraps to the
+// transport cause, and matches ErrLost so the retry layer can classify
+// it without string inspection.
+type lostError struct {
+	verb  string // "lost" or "closed"
+	at    string // " (last progress: …)" or ""
+	cause error  // nil for a plain close
+}
+
+func (e *lostError) Error() string {
+	if e.cause != nil {
+		return fmt.Sprintf("wire: connection %s%s: %v", e.verb, e.at, e.cause)
+	}
+	return fmt.Sprintf("wire: connection %s%s", e.verb, e.at)
+}
+
+func (e *lostError) Unwrap() error        { return e.cause }
+func (e *lostError) Is(target error) bool { return target == ErrLost }
+
 // err reports why the connection died, annotated with the request's
 // last progress frame when one arrived — the only trace of how far the
-// lost job had gotten.
+// lost job had gotten. The heartbeat monitor's verdict, when it fired,
+// names the silence instead of the secondary close error it provoked.
 func (c *Client) err(req *pendingReq) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -121,10 +217,14 @@ func (c *Client) err(req *pendingReq) error {
 		p := req.lastProgress
 		at = fmt.Sprintf(" (last progress: %s at level %d, %d states)", p.Name, p.Level, p.States)
 	}
-	if c.readErr != nil {
-		return fmt.Errorf("wire: connection lost%s: %w", at, c.readErr)
+	cause := c.readErr
+	if c.hbErr != nil {
+		cause = c.hbErr
 	}
-	return fmt.Errorf("wire: connection closed%s", at)
+	if cause != nil {
+		return &lostError{verb: "lost", at: at, cause: cause}
+	}
+	return &lostError{verb: "closed", at: at}
 }
 
 // Run submits sp and blocks until the server answers with the job's
@@ -149,7 +249,8 @@ func (c *Client) Run(ctx context.Context, sp job.Spec, onProgress func(Progress)
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, err
+		// A failed submit write is a transport death, not a job error.
+		return nil, &lostError{verb: "lost", cause: err}
 	}
 	cancelSent := false
 	for {

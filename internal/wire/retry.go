@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"tmcheck/internal/job"
+)
+
+// RetryConfig shapes the self-healing submit loop of RunRetry.
+type RetryConfig struct {
+	// Attempts is the total number of tries (dial + run); <= 0 takes 5.
+	Attempts int
+	// BaseDelay is the first backoff; <= 0 takes 200ms. Each retry
+	// doubles it up to MaxDelay (<= 0 takes 10s), plus up to 50%
+	// jitter so a fleet of clients doesn't thunder back in step.
+	BaseDelay, MaxDelay time.Duration
+	// HeartbeatTimeout arms the client-side dead-server detector on
+	// every connection; <= 0 disables it (see Client.MonitorHeartbeat).
+	HeartbeatTimeout time.Duration
+	// Jitter returns a uniform float in [0,1) for the backoff jitter;
+	// nil uses math/rand (tests inject a deterministic source).
+	Jitter func() float64
+	// Logf receives one line per reconnect attempt; nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *RetryConfig) defaults() {
+	if cfg.Attempts <= 0 {
+		cfg.Attempts = 5
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = 200 * time.Millisecond
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 10 * time.Second
+	}
+	if cfg.Jitter == nil {
+		cfg.Jitter = rand.Float64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+}
+
+// retryable reports whether err is a transport death worth a
+// reconnect: a dial failure or a connection loss (ErrLost). Job-level
+// errors — validation refusals, reconstructed limits — are final.
+func retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrLost) {
+		return true
+	}
+	// Dial errors carry no wire sentinel; they arrive wrapped by the
+	// dial step below, marked with errDial.
+	return errors.Is(err, errDial)
+}
+
+var errDial = errors.New("wire: dial failed")
+
+// RunRetry submits sp to the tmcheckd at addr, reconnecting with
+// capped exponential backoff + jitter when the connection dies and the
+// server remains reachable in principle. When sp names a -checkpoint,
+// a resubmitted job sets Resume to the same snapshot, so the server
+// continues the job from the prefix it already persisted instead of
+// restarting — the self-healing path a killed daemon or a dropped
+// connection takes. The last transport error is returned when every
+// attempt fails; a job-level error returns immediately.
+func RunRetry(ctx context.Context, addr string, sp job.Spec, cfg RetryConfig, onProgress func(Progress)) (*job.Result, error) {
+	cfg.defaults()
+	delay := cfg.BaseDelay
+	var lastErr error
+	for attempt := 1; attempt <= cfg.Attempts; attempt++ {
+		if attempt > 1 {
+			// Resubmissions resume from the server-side snapshot the
+			// interrupted run persisted (same base name: the daemon
+			// resolves both into its -snap-dir).
+			if sp.Checkpoint != "" {
+				sp.Resume = sp.Checkpoint
+			}
+			d := delay + time.Duration(cfg.Jitter()*float64(delay)/2)
+			cfg.Logf("wire: %v; retrying in %v (attempt %d/%d)", lastErr, d.Round(time.Millisecond), attempt, cfg.Attempts)
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w (after %d attempt(s))", lastErr, attempt-1)
+			}
+			if delay *= 2; delay > cfg.MaxDelay {
+				delay = cfg.MaxDelay
+			}
+		}
+		client, err := Dial(addr)
+		if err != nil {
+			lastErr = fmt.Errorf("%w: %v", errDial, err)
+			continue
+		}
+		client.MonitorHeartbeat(cfg.HeartbeatTimeout)
+		res, err := client.Run(ctx, sp, onProgress)
+		client.Close()
+		if err == nil || !retryable(err) {
+			return res, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("wire: giving up after %d attempt(s): %w", cfg.Attempts, lastErr)
+}

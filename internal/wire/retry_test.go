@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tmcheck/internal/job"
+)
+
+// TestHeartbeatTimeoutDetectsSilentServer pins the dead-server
+// detector: a server that accepts the submit and then goes silent —
+// no result, no heartbeats, connection still open — must surface the
+// typed connection-lost error instead of hanging forever.
+func TestHeartbeatTimeoutDetectsSilentServer(t *testing.T) {
+	clientEnd, serverEnd := net.Pipe()
+	defer serverEnd.Close()
+	c := NewClient(clientEnd)
+	defer c.Close()
+	c.MonitorHeartbeat(100 * time.Millisecond)
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Run(context.Background(), job.Spec{Kind: job.KindTable2}, nil)
+		errCh <- err
+	}()
+	srv := NewConn(serverEnd)
+	if _, _, err := srv.Read(); err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	// Silence. The monitor must kill the connection.
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrLost) {
+			t.Fatalf("err = %v, does not match ErrLost", err)
+		}
+		for _, want := range []string{"connection lost", "no server traffic", "heartbeat timeout"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q does not mention %q", err, want)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client hung on a silent server despite the heartbeat monitor")
+	}
+}
+
+// TestHeartbeatIdleConnectionSurvives pins the no-false-positive rule:
+// a connection with no requests in flight owes us nothing and must not
+// be torn down, however long it idles.
+func TestHeartbeatIdleConnectionSurvives(t *testing.T) {
+	clientEnd, serverEnd := net.Pipe()
+	defer serverEnd.Close()
+	c := NewClient(clientEnd)
+	defer c.Close()
+	c.MonitorHeartbeat(50 * time.Millisecond)
+	time.Sleep(300 * time.Millisecond) // 6x the timeout, zero traffic, idle
+
+	// The connection must still work end to end.
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Run(context.Background(), job.Spec{Kind: job.KindTable2}, nil)
+		errCh <- err
+	}()
+	srv := NewConn(serverEnd)
+	id, _, err := srv.Read()
+	if err != nil {
+		t.Fatalf("server read after idle: %v (idle connection was torn down?)", err)
+	}
+	if err := srv.Write(id, ResultMsg{Result: &job.Result{}}); err != nil {
+		t.Fatalf("server write: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("Run after idle: %v", err)
+	}
+}
+
+// TestRunRetryResubmitsWithResume pins the self-healing path: when the
+// first connection dies mid-job, the retry dials again and resubmits
+// with Resume set to the checkpoint, so the server continues from the
+// snapshot prefix it already persisted.
+func TestRunRetryResubmitsWithResume(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resumes := make(chan string, 2)
+	go func() {
+		// Connection 1: take the submit, then die (a killed daemon).
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		sc := NewConn(nc)
+		if _, m, err := sc.Read(); err == nil {
+			resumes <- m.(Submit).Spec.Resume
+		}
+		nc.Close()
+		// Connection 2: serve the resubmission.
+		nc2, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		sc2 := NewConn(nc2)
+		id, m, err := sc2.Read()
+		if err != nil {
+			return
+		}
+		sub := m.(Submit)
+		resumes <- sub.Spec.Resume
+		_ = sc2.Write(id, ResultMsg{Result: &job.Result{Spec: sub.Spec}})
+	}()
+
+	var logged atomic.Int32
+	res, err := RunRetry(context.Background(), ln.Addr().String(),
+		job.Spec{Kind: job.KindTable2, Threads: 2, Vars: 2, Checkpoint: "job.snap"},
+		RetryConfig{
+			Attempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond,
+			Jitter: func() float64 { return 0 },
+			Logf:   func(string, ...any) { logged.Add(1) },
+		}, nil)
+	if err != nil {
+		t.Fatalf("RunRetry: %v", err)
+	}
+	if res == nil {
+		t.Fatal("RunRetry returned nil result")
+	}
+	if got := <-resumes; got != "" {
+		t.Errorf("first submit Resume = %q, want empty (fresh job)", got)
+	}
+	if got := <-resumes; got != "job.snap" {
+		t.Errorf("resubmit Resume = %q, want %q (resume from the persisted snapshot)", got, "job.snap")
+	}
+	if logged.Load() == 0 {
+		t.Error("retry was silent: Logf never called")
+	}
+}
+
+// TestRunRetryJobErrorIsFinal pins the classification: a job-level
+// refusal from the server is returned immediately, not retried.
+func TestRunRetryJobErrorIsFinal(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var accepts atomic.Int32
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepts.Add(1)
+			sc := NewConn(nc)
+			if id, _, err := sc.Read(); err == nil {
+				_ = sc.Write(id, ErrorMsg{Msg: "tmcheckd: bad spec"})
+			}
+		}
+	}()
+	_, err = RunRetry(context.Background(), ln.Addr().String(),
+		job.Spec{Kind: job.KindTable2}, RetryConfig{
+			Attempts: 5, BaseDelay: time.Millisecond, Jitter: func() float64 { return 0 },
+		}, nil)
+	if err == nil || !strings.Contains(err.Error(), "bad spec") {
+		t.Fatalf("err = %v, want the server's refusal", err)
+	}
+	if errors.Is(err, ErrLost) {
+		t.Fatalf("job-level error classified as connection loss: %v", err)
+	}
+	if n := accepts.Load(); n != 1 {
+		t.Errorf("server saw %d connection(s), want 1 (no retry on job errors)", n)
+	}
+}
+
+// TestRunRetryGivesUp pins the budget: with nothing listening, the
+// retry loop stops after its configured attempts with a dial error.
+func TestRunRetryGivesUp(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here anymore
+	_, err = RunRetry(context.Background(), addr, job.Spec{Kind: job.KindTable2},
+		RetryConfig{Attempts: 2, BaseDelay: time.Millisecond, Jitter: func() float64 { return 0 }}, nil)
+	if err == nil || !strings.Contains(err.Error(), "giving up after 2 attempt(s)") {
+		t.Fatalf("err = %v, want a giving-up error after 2 attempts", err)
+	}
+}

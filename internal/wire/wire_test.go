@@ -186,9 +186,9 @@ func TestCorruptPayloads(t *testing.T) {
 // checks instead of allocating for it.
 func TestCorruptCheckCount(t *testing.T) {
 	b := []byte{Version, tResult, 1}
-	b = appendString(b, "")     // ErrMsg
-	b = appendBool(b, false)    // no limit
-	b = appendBool(b, true)     // result present
+	b = appendString(b, "")  // ErrMsg
+	b = appendBool(b, false) // no limit
+	b = appendBool(b, true)  // result present
 	b = appendSpec(b, job.Spec{})
 	b = appendUvarint(b, maxChecks+1)
 	_, _, err := DecodePayload(b)
